@@ -1,0 +1,71 @@
+//! Micro-benchmarks for rule measure evaluation — the inner loop of every
+//! miner (Eqs. 1–5 and the subspace search of Algorithm 4).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use er_datagen::{DatasetKind, ScenarioConfig};
+use er_rules::{ConditionSpace, ConditionSpaceConfig, EditingRule, Evaluator};
+
+fn scenario() -> er_datagen::Scenario {
+    DatasetKind::Adult.build(ScenarioConfig {
+        input_size: 5000,
+        master_size: 800,
+        seed: 2,
+        ..DatasetKind::Adult.paper_config()
+    })
+}
+
+fn bench_measures(c: &mut Criterion) {
+    let s = scenario();
+    let task = &s.task;
+    let pairs = task.candidate_lhs_pairs();
+    let rule1 = EditingRule::new(vec![pairs[0]], task.target(), vec![]);
+    let rule2 = EditingRule::new(vec![pairs[0], pairs[1]], task.target(), vec![]);
+    let space = ConditionSpace::build(task, ConditionSpaceConfig::default());
+    let cond = space.iter().next().map(|(_, _, c)| c.clone()).expect("condition");
+    let rule_p = rule1.with_condition(cond);
+
+    c.bench_function("measures/eval_lhs1_5000rows", |b| {
+        b.iter(|| {
+            let ev = Evaluator::new(task);
+            black_box(ev.eval(&rule1, None))
+        })
+    });
+    c.bench_function("measures/eval_lhs2_shared_index", |b| {
+        let ev = Evaluator::new(task);
+        ev.eval(&rule2, None); // warm the group index
+        b.iter(|| black_box(ev.eval_on_cover(&rule2, &ev.cover(&rule2, None))))
+    });
+    c.bench_function("measures/pattern_cover_full_scan", |b| {
+        let ev = Evaluator::new(task);
+        b.iter(|| black_box(ev.cover(&rule_p, None).len()))
+    });
+    c.bench_function("measures/pattern_cover_subspace", |b| {
+        let ev = Evaluator::new(task);
+        let parent = ev.cover(&rule1, None);
+        b.iter(|| black_box(ev.cover(&rule_p, Some(&parent)).len()))
+    });
+    c.bench_function("measures/cached_eval_lookup", |b| {
+        let ev = Evaluator::new(task);
+        ev.eval(&rule1, None);
+        b.iter(|| black_box(ev.eval(&rule1, None)))
+    });
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let s = scenario();
+    let task = &s.task;
+    let pairs = task.candidate_lhs_pairs();
+    let rules: Vec<EditingRule> = (0..pairs.len().min(5))
+        .map(|i| EditingRule::new(vec![pairs[i]], task.target(), vec![]))
+        .collect();
+    c.bench_function("repair/apply_5_rules_5000rows", |b| {
+        b.iter(|| black_box(er_rules::apply_rules(task, &rules).num_predictions()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_measures, bench_repair
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! End-to-end miner benchmarks at small scale: EnuMiner, EnuMinerH3, CTANE,
+//! and an RLMiner training slice. These are the Criterion counterparts of
+//! the wall-clock columns in Figures 6–9 (run `experiments` for the full
+//! sweeps).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use er_cfd::{ctane_baseline, CtaneConfig};
+use er_datagen::{DatasetKind, Scenario, ScenarioConfig};
+use er_enuminer::EnuMinerConfig;
+use er_rlminer::{RlMiner, RlMinerConfig};
+
+fn covid() -> Scenario {
+    DatasetKind::Covid.build(ScenarioConfig {
+        input_size: 600,
+        master_size: 400,
+        seed: 8,
+        ..DatasetKind::Covid.paper_config()
+    })
+}
+
+fn location() -> Scenario {
+    DatasetKind::Location.build(ScenarioConfig {
+        input_size: 600,
+        master_size: 400,
+        seed: 8,
+        ..DatasetKind::Location.paper_config()
+    })
+}
+
+fn bench_enuminer(c: &mut Criterion) {
+    let cov = covid();
+    let loc = location();
+    c.bench_function("miners/enuminer_covid_600", |b| {
+        b.iter(|| black_box(er_enuminer::mine(&cov.task, EnuMinerConfig::new(cov.support_threshold)).evaluated))
+    });
+    c.bench_function("miners/enuminer_h3_covid_600", |b| {
+        b.iter(|| black_box(er_enuminer::mine(&cov.task, EnuMinerConfig::h3(cov.support_threshold)).evaluated))
+    });
+    c.bench_function("miners/enuminer_location_600", |b| {
+        b.iter(|| black_box(er_enuminer::mine(&loc.task, EnuMinerConfig::new(loc.support_threshold)).evaluated))
+    });
+}
+
+fn bench_ctane(c: &mut Criterion) {
+    let loc = location();
+    c.bench_function("miners/ctane_location_master400", |b| {
+        b.iter(|| black_box(ctane_baseline(&loc.task, CtaneConfig::new(5)).0.len()))
+    });
+}
+
+fn bench_rlminer(c: &mut Criterion) {
+    let cov = covid();
+    c.bench_function("miners/rlminer_train_500_steps_covid", |b| {
+        b.iter_batched(
+            || {
+                let mut config = RlMinerConfig::new(cov.support_threshold);
+                config.train_steps = 500;
+                config.hidden = vec![64];
+                RlMiner::new(&cov.task, config)
+            },
+            |mut miner| black_box(miner.train(&cov.task).steps),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("miners/rlminer_inference_covid", |b| {
+        let mut config = RlMinerConfig::new(cov.support_threshold);
+        config.train_steps = 1000;
+        config.hidden = vec![64];
+        let mut miner = RlMiner::new(&cov.task, config);
+        miner.train(&cov.task);
+        b.iter(|| black_box(miner.mine(&cov.task).rules.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_enuminer, bench_ctane, bench_rlminer
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Micro-benchmarks for the RL substrate and RLMiner's per-step machinery:
+//! value-network forward/backward, DQN learn steps, state encoding, and
+//! mask computation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use er_datagen::{DatasetKind, ScenarioConfig};
+use er_rl::{DqnAgent, DqnConfig, Mat, Mlp, Transition};
+use er_rlminer::{compute_mask, MinerEnv, RewardConfig, StateEncoder};
+use er_rules::{ConditionSpaceConfig, EditingRule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut mlp = Mlp::new(&[256, 128, 128, 257], &mut rng);
+    let x = Mat::from_vec(32, 256, (0..32 * 256).map(|i| (i % 7) as f32 / 7.0).collect());
+    c.bench_function("rl/mlp_forward_batch32", |b| b.iter(|| black_box(mlp.forward(&x))));
+    c.bench_function("rl/mlp_forward_backward_batch32", |b| {
+        b.iter(|| {
+            mlp.zero_grad();
+            let y = mlp.forward_train(&x);
+            let grad = Mat::from_vec(32, 257, vec![0.01; 32 * 257]);
+            mlp.backward(&grad);
+            black_box(y.get(0, 0))
+        })
+    });
+}
+
+fn bench_dqn(c: &mut Criterion) {
+    let mut cfg = DqnConfig::new(256, 257);
+    cfg.seed = 5;
+    let mut agent = DqnAgent::new(cfg);
+    let mask = vec![true; 257];
+    let state = vec![0.5f32; 256];
+    for _ in 0..128 {
+        agent.observe(Transition {
+            state: state.clone(),
+            action: 3,
+            reward: 0.5,
+            next: Some((state.clone(), mask.clone())),
+        });
+    }
+    c.bench_function("rl/dqn_select_action", |b| {
+        b.iter(|| black_box(agent.select_action(&state, &mask)))
+    });
+    c.bench_function("rl/dqn_learn_step_batch32", |b| b.iter(|| black_box(agent.learn())));
+}
+
+fn bench_rlminer_step(c: &mut Criterion) {
+    let s = DatasetKind::Covid.build(ScenarioConfig {
+        input_size: 1000,
+        master_size: 700,
+        seed: 6,
+        ..DatasetKind::Covid.paper_config()
+    });
+    let enc = StateEncoder::new(&s.task, ConditionSpaceConfig::default());
+    c.bench_function("rlminer/state_encode", |b| {
+        let rule = EditingRule::root(s.task.target());
+        b.iter(|| black_box(enc.encode(&rule)))
+    });
+    c.bench_function("rlminer/mask_at_root", |b| {
+        let env = MinerEnv::new(&s.task, &enc, RewardConfig::new(10), 50);
+        let _ = &env;
+        let rule = EditingRule::root(s.task.target());
+        b.iter(|| black_box(compute_mask(&enc, &rule, None)))
+    });
+    c.bench_function("rlminer/env_episode_50_random_steps", |b| {
+        b.iter(|| {
+            let mut env = MinerEnv::new(&s.task, &enc, RewardConfig::normalized(10, 1000), 50);
+            let mut taken = 0;
+            'outer: for a in 0..enc.action_dim() {
+                if a == enc.stop_action() {
+                    continue;
+                }
+                let out = env.step(a);
+                taken += 1;
+                if out.done || taken >= 50 {
+                    break 'outer;
+                }
+            }
+            black_box(env.tree().num_discovered())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_mlp, bench_dqn, bench_rlminer_step
+}
+criterion_main!(benches);

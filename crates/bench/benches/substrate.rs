@@ -1,0 +1,113 @@
+//! Micro-benchmarks for the relational substrate: interning, indexing,
+//! CSV parsing, row gathering, and error injection.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use er_datagen::{DatasetKind, ScenarioConfig};
+use er_table::{csv, GroupIndex, KeyIndex, Pli, Pool, Value};
+use std::sync::Arc;
+
+fn scenario() -> er_datagen::Scenario {
+    DatasetKind::Covid.build(ScenarioConfig {
+        input_size: 2000,
+        master_size: 1000,
+        seed: 1,
+        ..DatasetKind::Covid.paper_config()
+    })
+}
+
+fn bench_pool_intern(c: &mut Criterion) {
+    c.bench_function("pool/intern_10k_mixed", |b| {
+        b.iter(|| {
+            let pool = Pool::new();
+            for i in 0..10_000i64 {
+                pool.intern(Value::Int(i % 512));
+                pool.intern(Value::str(format!("v{}", i % 256)));
+            }
+            black_box(pool.len())
+        })
+    });
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    let s = scenario();
+    let master = s.task.master().clone();
+    c.bench_function("index/key_index_build_2col", |b| {
+        b.iter(|| black_box(KeyIndex::build(&master, &[0, 2])))
+    });
+    c.bench_function("index/group_index_build_2col", |b| {
+        b.iter(|| black_box(GroupIndex::build(&master, &[0, 2], 7)))
+    });
+    c.bench_function("index/pli_build_and_intersect", |b| {
+        b.iter(|| {
+            let p0 = Pli::build(&master, 0);
+            let p2 = Pli::build(&master, 2);
+            black_box(p0.intersect(&p2).error())
+        })
+    });
+    let idx = KeyIndex::build(&master, &[0, 2]);
+    let input = s.task.input().clone();
+    c.bench_function("index/probe_2000_rows", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for row in 0..input.num_rows() {
+                if let Some(rs) = idx.probe(&input, row, &[0, 2]) {
+                    hits += rs.len();
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let s = scenario();
+    let text = csv::write_str(s.task.input());
+    c.bench_function("csv/write_2000x7", |b| b.iter(|| black_box(csv::write_str(s.task.input()))));
+    c.bench_function("csv/read_2000x7", |b| {
+        b.iter(|| {
+            let pool = Arc::new(Pool::new());
+            black_box(csv::read_str("t", &text, pool).unwrap().num_rows())
+        })
+    });
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let s = scenario();
+    let input = s.task.input();
+    let rows: Vec<usize> = (0..input.num_rows()).step_by(2).collect();
+    c.bench_function("relation/gather_half", |b| b.iter(|| black_box(input.gather(&rows))));
+}
+
+fn bench_noise(c: &mut Criterion) {
+    use er_datagen::{inject_errors, NoiseConfig};
+    use er_table::{Attribute, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let schema = Schema::new(
+        "t",
+        vec![Attribute::categorical("A"), Attribute::categorical("B"), Attribute::categorical("C")],
+    );
+    let rows: Vec<Vec<Value>> = (0..2000)
+        .map(|i| {
+            vec![
+                Value::str(format!("a{}", i % 40)),
+                Value::str(format!("b{}", i % 17)),
+                Value::int(i % 100),
+            ]
+        })
+        .collect();
+    c.bench_function("noise/inject_2000x3_rate10", |b| {
+        b.iter(|| {
+            let mut r = rows.clone();
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(inject_errors(&mut r, &schema, NoiseConfig::rate(0.1), &mut rng).len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_pool_intern, bench_indexes, bench_csv, bench_gather, bench_noise
+}
+criterion_main!(benches);

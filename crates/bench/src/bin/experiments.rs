@@ -1,0 +1,110 @@
+//! Experiment driver reproducing every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p er-bench --release --bin experiments -- all
+//! cargo run -p er-bench --release --bin experiments -- table3 fig8
+//! cargo run -p er-bench --release --bin experiments -- --paper-scale table3
+//! cargo run -p er-bench --release --bin experiments -- --quick all
+//! ```
+//!
+//! Results are printed and also saved as JSON under `results/`.
+
+use er_bench::ExperimentConfig;
+
+const USAGE: &str = "\
+usage: experiments [--paper-scale|--quick] [--repeats N] [--train-steps N] <ids...>
+  ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate
+  --paper-scale   run at the paper's dataset sizes (EnuMiner may take hours)
+  --quick         smoke-test scale (shorter training, tighter budgets)
+  --repeats N     repetitions for mean±std tables (default 3, paper 5)
+  --train-steps N RLMiner training steps (default 5000)";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let mut cfg = ExperimentConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--paper-scale" => cfg = ExperimentConfig { out_dir: cfg.out_dir.clone(), ..ExperimentConfig::paper() },
+            "--quick" => cfg = ExperimentConfig { out_dir: cfg.out_dir.clone(), ..ExperimentConfig::quick() },
+            "--repeats" => {
+                cfg.repeats = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--repeats needs a number"));
+            }
+            "--train-steps" => {
+                cfg.train_steps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--train-steps needs a number"));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            id if !id.starts_with('-') => ids.push(id.to_string()),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = ["table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablate"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    println!(
+        "scale={:?} repeats={} train_steps={} enu_budget={:?}\n",
+        cfg.scale, cfg.repeats, cfg.train_steps, cfg.enu_budget
+    );
+    for id in &ids {
+        let start = std::time::Instant::now();
+        match id.as_str() {
+            "table1" => {
+                er_bench::table1(&cfg);
+            }
+            "table2" => {
+                er_bench::table2(&cfg);
+            }
+            "table3" => {
+                er_bench::table3(&cfg);
+            }
+            "fig6" => {
+                er_bench::fig6(&cfg);
+            }
+            "fig7" => {
+                er_bench::fig7(&cfg);
+            }
+            "fig8" => {
+                er_bench::fig8(&cfg);
+            }
+            "fig9" => {
+                er_bench::fig9(&cfg);
+            }
+            "fig10" => {
+                er_bench::fig10(&cfg);
+            }
+            "fig11" => {
+                er_bench::fig11(&cfg);
+            }
+            "fig12" => {
+                er_bench::fig12(&cfg);
+            }
+            "ablate" => {
+                er_bench::ablate(&cfg);
+            }
+            other => die(&format!("unknown experiment id {other}")),
+        }
+        println!("[{} finished in {:.1?}]\n", id, start.elapsed());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}

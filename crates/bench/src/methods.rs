@@ -1,0 +1,187 @@
+//! Uniform wrappers around the four mining methods so every experiment
+//! reports the same columns: rule shapes, repair quality, and costs.
+
+use er_cfd::{ctane_baseline, CtaneConfig};
+use er_datagen::Scenario;
+use er_enuminer::EnuMinerConfig;
+use er_rlminer::{RlMiner, RlMinerConfig};
+use er_rules::{apply_rules, EditingRule, WeightedPrf};
+use serde::Serialize;
+use std::time::Instant;
+
+/// `(|X|, |t_p|)` of one discovered rule.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RuleShape {
+    /// LHS length `|X|`.
+    pub lhs: usize,
+    /// Pattern length `|X_p|`.
+    pub pattern: usize,
+}
+
+/// What one method produced on one scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodOutcome {
+    /// Method name (`CTANE`, `EnuMiner`, `EnuMinerH3`, `RLMiner`,
+    /// `RLMiner-ft`).
+    pub method: String,
+    /// Shape of each discovered rule.
+    pub shapes: Vec<RuleShape>,
+    /// Weighted precision/recall/F1 of the repairs.
+    pub prf: WeightedPrf,
+    /// Training wall-clock seconds (0 for non-RL methods).
+    pub train_seconds: f64,
+    /// Mining/inference wall-clock seconds.
+    pub mine_seconds: f64,
+    /// Total seconds (train + mine).
+    pub total_seconds: f64,
+    /// Candidate rules measure-evaluated (cost proxy comparable across
+    /// miners; for RLMiner this counts fresh evaluations during training).
+    pub evaluated: usize,
+}
+
+fn shapes_of(rules: &[EditingRule]) -> Vec<RuleShape> {
+    rules.iter().map(|r| RuleShape { lhs: r.lhs_len(), pattern: r.pattern_len() }).collect()
+}
+
+fn finish(
+    method: &str,
+    scenario: &Scenario,
+    rules: Vec<EditingRule>,
+    train_seconds: f64,
+    mine_seconds: f64,
+    evaluated: usize,
+) -> MethodOutcome {
+    let report = apply_rules(&scenario.task, &rules);
+    let prf = scenario.evaluate(&report);
+    MethodOutcome {
+        method: method.to_string(),
+        shapes: shapes_of(&rules),
+        prf,
+        train_seconds,
+        mine_seconds,
+        total_seconds: train_seconds + mine_seconds,
+        evaluated,
+    }
+}
+
+/// Run EnuMiner (or EnuMinerH3 with `h3 = true`) on a scenario.
+pub fn enuminer_method(scenario: &Scenario, budget: Option<usize>, h3: bool) -> MethodOutcome {
+    let mut config = if h3 {
+        EnuMinerConfig::h3(scenario.support_threshold)
+    } else {
+        EnuMinerConfig::new(scenario.support_threshold)
+    };
+    config.max_rules_evaluated = budget;
+    let result = er_enuminer::mine(&scenario.task, config);
+    finish(
+        if h3 { "EnuMinerH3" } else { "EnuMiner" },
+        scenario,
+        result.rules_only(),
+        0.0,
+        result.elapsed.as_secs_f64(),
+        result.evaluated,
+    )
+}
+
+/// Train RLMiner from scratch and mine.
+pub fn rlminer_method(scenario: &Scenario, train_steps: usize, seed: u64) -> MethodOutcome {
+    let mut config = RlMinerConfig::new(scenario.support_threshold);
+    config.train_steps = train_steps;
+    config.epsilon.2 = (train_steps * 3) / 5;
+    config.seed = seed;
+    let mut miner = RlMiner::new(&scenario.task, config);
+    let stats = miner.train(&scenario.task);
+    let result = miner.mine(&scenario.task);
+    finish(
+        "RLMiner",
+        scenario,
+        result.rules_only(),
+        stats.elapsed.as_secs_f64(),
+        result.elapsed.as_secs_f64(),
+        stats.fresh_evaluations,
+    )
+}
+
+/// Fine-tune an existing miner on a new scenario version and mine
+/// (RLMiner-ft).
+pub fn rlminer_ft_method(miner: &mut RlMiner, scenario: &Scenario) -> MethodOutcome {
+    let stats = miner.fine_tune(&scenario.task);
+    let result = miner.mine(&scenario.task);
+    finish(
+        "RLMiner-ft",
+        scenario,
+        result.rules_only(),
+        stats.elapsed.as_secs_f64(),
+        result.elapsed.as_secs_f64(),
+        stats.fresh_evaluations,
+    )
+}
+
+/// The CTANE CFD-transfer baseline.
+pub fn ctane_method(scenario: &Scenario) -> MethodOutcome {
+    // CFDs are mined on the (smaller) master relation: scale the threshold
+    // from the input-side η_s by the size ratio, with a floor.
+    let master_rows = scenario.task.master().num_rows();
+    let input_rows = scenario.task.input().num_rows().max(1);
+    let eta = ((scenario.support_threshold as f64 * master_rows as f64 / input_rows as f64)
+        .round() as usize)
+        .max(3);
+    let t = Instant::now();
+    // Exact CFDs (confidence 1.0), as the paper's CTANE mines. On data with
+    // approximate dependencies this starves CTANE of global rules — exactly
+    // the paper's low-recall finding; relaxing the confidence erases the
+    // gap (see EXPERIMENTS.md).
+    let (rules, result) = ctane_baseline(&scenario.task, CtaneConfig::new(eta));
+    let elapsed = t.elapsed().as_secs_f64();
+    finish("CTANE", scenario, rules, 0.0, elapsed, result.evaluated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_datagen::{DatasetKind, ScenarioConfig};
+
+    fn tiny() -> Scenario {
+        DatasetKind::Covid.build(ScenarioConfig {
+            input_size: 300,
+            master_size: 150,
+            seed: 5,
+            ..DatasetKind::Covid.paper_config()
+        })
+    }
+
+    #[test]
+    fn enuminer_outcome_is_consistent() {
+        let s = tiny();
+        let out = enuminer_method(&s, Some(20_000), false);
+        assert_eq!(out.method, "EnuMiner");
+        assert_eq!(out.shapes.len(), out.shapes.len());
+        assert!(out.evaluated > 0);
+        assert!(out.total_seconds >= out.mine_seconds);
+    }
+
+    #[test]
+    fn h3_flag_changes_name_and_caps_depth() {
+        let s = tiny();
+        let out = enuminer_method(&s, Some(20_000), true);
+        assert_eq!(out.method, "EnuMinerH3");
+        assert!(out.shapes.iter().all(|sh| sh.lhs <= 3 && sh.pattern <= 3));
+    }
+
+    #[test]
+    fn ctane_outcome() {
+        let s = tiny();
+        let out = ctane_method(&s);
+        assert_eq!(out.method, "CTANE");
+        assert_eq!(out.train_seconds, 0.0);
+    }
+
+    #[test]
+    fn rlminer_outcome() {
+        let s = tiny();
+        let out = rlminer_method(&s, 400, 3);
+        assert_eq!(out.method, "RLMiner");
+        assert!(out.train_seconds > 0.0);
+        assert!(out.evaluated <= 400);
+    }
+}

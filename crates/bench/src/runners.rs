@@ -1,0 +1,515 @@
+//! One runner per table/figure of the paper (§V).
+
+use crate::methods::{
+    ctane_method, enuminer_method, rlminer_ft_method, rlminer_method, MethodOutcome,
+};
+use crate::stats::{mean_std, MeanStd};
+use crate::ExperimentConfig;
+use er_datagen::{DatasetKind, Scenario, ScenarioConfig};
+use er_rlminer::{RlMiner, RlMinerConfig};
+use er_rules::apply_rules;
+use serde::Serialize;
+
+const SEED_BASE: u64 = 11;
+
+/// Table I — dataset summary.
+#[derive(Debug, Serialize)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// `#A` — input arity.
+    pub input_attrs: usize,
+    /// `#A_m` — master arity.
+    pub master_attrs: usize,
+    /// `#Input` tuples.
+    pub input_rows: usize,
+    /// `#Master` tuples.
+    pub master_rows: usize,
+    /// Default support threshold `η_s` at this scale.
+    pub support_threshold: usize,
+    /// Dirty `Y` cells.
+    pub dirty_y: usize,
+}
+
+/// Run Table I.
+pub fn table1(cfg: &ExperimentConfig) -> Vec<Table1Row> {
+    println!("== Table I: dataset summary ==");
+    println!(
+        "{:<10} {:>4} {:>5} {:>8} {:>8} {:>6} {:>7}",
+        "dataset", "#A", "#A_m", "#input", "#master", "η_s", "dirtyY"
+    );
+    let mut rows = Vec::new();
+    for kind in DatasetKind::all() {
+        let s = cfg.scenario(kind, SEED_BASE);
+        let row = Table1Row {
+            dataset: s.name.clone(),
+            input_attrs: s.task.input().num_attrs(),
+            master_attrs: s.task.master().num_attrs(),
+            input_rows: s.task.input().num_rows(),
+            master_rows: s.task.master().num_rows(),
+            support_threshold: s.support_threshold,
+            dirty_y: s.num_dirty(),
+        };
+        println!(
+            "{:<10} {:>4} {:>5} {:>8} {:>8} {:>6} {:>7}",
+            row.dataset,
+            row.input_attrs,
+            row.master_attrs,
+            row.input_rows,
+            row.master_rows,
+            row.support_threshold,
+            row.dirty_y
+        );
+        rows.push(row);
+    }
+    cfg.write_json("table1", &rows);
+    rows
+}
+
+/// Table II — rule length statistics of one method on one dataset.
+#[derive(Debug, Serialize)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Number of rules returned.
+    pub num_rules: usize,
+    /// `|X|` statistics over the rule set.
+    pub lhs: MeanStd,
+    /// max/min `|X|`.
+    pub lhs_max_min: (usize, usize),
+    /// `|t_p|` statistics over the rule set.
+    pub pattern: MeanStd,
+    /// max/min `|t_p|`.
+    pub pattern_max_min: (usize, usize),
+}
+
+fn shape_stats(dataset: &str, out: &MethodOutcome) -> Table2Row {
+    let lhs: Vec<f64> = out.shapes.iter().map(|s| s.lhs as f64).collect();
+    let pat: Vec<f64> = out.shapes.iter().map(|s| s.pattern as f64).collect();
+    let max_min = |v: &[f64]| {
+        if v.is_empty() {
+            (0, 0)
+        } else {
+            (
+                v.iter().cloned().fold(f64::MIN, f64::max) as usize,
+                v.iter().cloned().fold(f64::MAX, f64::min) as usize,
+            )
+        }
+    };
+    Table2Row {
+        dataset: dataset.to_string(),
+        method: out.method.clone(),
+        num_rules: out.shapes.len(),
+        lhs: mean_std(&lhs),
+        lhs_max_min: max_min(&lhs),
+        pattern: mean_std(&pat),
+        pattern_max_min: max_min(&pat),
+    }
+}
+
+fn run_three_methods(cfg: &ExperimentConfig, s: &Scenario, seed: u64) -> Vec<MethodOutcome> {
+    vec![
+        ctane_method(s),
+        enuminer_method(s, cfg.enu_budget, false),
+        rlminer_method(s, cfg.train_steps, seed),
+    ]
+}
+
+/// Run Table II.
+pub fn table2(cfg: &ExperimentConfig) -> Vec<Table2Row> {
+    println!("== Table II: statistics on rule length ==");
+    println!(
+        "{:<10} {:<11} {:>6} {:>14} {:>9} {:>14} {:>9}",
+        "dataset", "method", "rules", "LHS mean±std", "max/min", "pat mean±std", "max/min"
+    );
+    let mut rows = Vec::new();
+    for kind in DatasetKind::all() {
+        let s = cfg.scenario(kind, SEED_BASE);
+        for out in run_three_methods(cfg, &s, SEED_BASE) {
+            let row = shape_stats(&s.name, &out);
+            println!(
+                "{:<10} {:<11} {:>6} {:>14} {:>6}/{:<2} {:>14} {:>6}/{:<2}",
+                row.dataset,
+                row.method,
+                row.num_rules,
+                row.lhs.fmt2(),
+                row.lhs_max_min.0,
+                row.lhs_max_min.1,
+                row.pattern.fmt2(),
+                row.pattern_max_min.0,
+                row.pattern_max_min.1
+            );
+            rows.push(row);
+        }
+    }
+    cfg.write_json("table2", &rows);
+    rows
+}
+
+/// Table III — repair quality of one method on one dataset (mean ± std over
+/// repeats).
+#[derive(Debug, Serialize)]
+pub struct Table3Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Weighted precision.
+    pub precision: MeanStd,
+    /// Weighted recall.
+    pub recall: MeanStd,
+    /// Weighted F-measure.
+    pub f1: MeanStd,
+    /// Total seconds (mean over repeats).
+    pub seconds: f64,
+}
+
+/// Run Table III.
+pub fn table3(cfg: &ExperimentConfig) -> Vec<Table3Row> {
+    println!("== Table III: repair results (mean ± std over {} runs) ==", cfg.repeats);
+    println!(
+        "{:<10} {:<11} {:>14} {:>14} {:>14} {:>9}",
+        "dataset", "method", "precision", "recall", "f1", "time(s)"
+    );
+    let mut rows = Vec::new();
+    for kind in DatasetKind::all() {
+        // per (method) → per (metric) samples
+        let mut samples: std::collections::HashMap<String, Vec<(f64, f64, f64, f64)>> =
+            Default::default();
+        for rep in 0..cfg.repeats {
+            let seed = SEED_BASE + rep as u64;
+            let s = cfg.scenario(kind, seed);
+            for out in run_three_methods(cfg, &s, seed) {
+                samples.entry(out.method.clone()).or_default().push((
+                    out.prf.precision,
+                    out.prf.recall,
+                    out.prf.f1,
+                    out.total_seconds,
+                ));
+            }
+        }
+        for method in ["CTANE", "EnuMiner", "RLMiner"] {
+            let v = &samples[method];
+            let row = Table3Row {
+                dataset: kind.name().to_string(),
+                method: method.to_string(),
+                precision: mean_std(&v.iter().map(|x| x.0).collect::<Vec<_>>()),
+                recall: mean_std(&v.iter().map(|x| x.1).collect::<Vec<_>>()),
+                f1: mean_std(&v.iter().map(|x| x.2).collect::<Vec<_>>()),
+                seconds: v.iter().map(|x| x.3).sum::<f64>() / v.len() as f64,
+            };
+            println!(
+                "{:<10} {:<11} {:>14} {:>14} {:>14} {:>9.2}",
+                row.dataset,
+                row.method,
+                row.precision.fmt2(),
+                row.recall.fmt2(),
+                row.f1.fmt2(),
+                row.seconds
+            );
+            rows.push(row);
+        }
+    }
+    cfg.write_json("table3", &rows);
+    rows
+}
+
+/// One point of a sweep figure: x-value, method, F1, time.
+#[derive(Debug, Serialize)]
+pub struct SweepPoint {
+    /// Sweep variable value (noise rate, duplicate rate, size, ...).
+    pub x: f64,
+    /// Method name.
+    pub method: String,
+    /// Weighted F-measure.
+    pub f1: f64,
+    /// Weighted precision.
+    pub precision: f64,
+    /// Weighted recall.
+    pub recall: f64,
+    /// Total seconds.
+    pub seconds: f64,
+    /// Candidate rules evaluated (cost proxy).
+    pub evaluated: usize,
+}
+
+fn push_point(points: &mut Vec<SweepPoint>, x: f64, out: MethodOutcome) {
+    println!(
+        "  x={:<9} {:<11} F1={:.3} P={:.3} R={:.3} time={:>8.2}s evaluated={}",
+        x, out.method, out.prf.f1, out.prf.precision, out.prf.recall, out.total_seconds,
+        out.evaluated
+    );
+    points.push(SweepPoint {
+        x,
+        method: out.method,
+        f1: out.prf.f1,
+        precision: out.prf.precision,
+        recall: out.prf.recall,
+        seconds: out.total_seconds,
+        evaluated: out.evaluated,
+    });
+}
+
+/// Fig. 6 — varying noise rate over Adult: (a) F-measure, (b) time cost.
+pub fn fig6(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    println!("== Figure 6: varying noise rate (Adult) ==");
+    let mut points = Vec::new();
+    for &noise in &[0.0, 0.05, 0.10, 0.15, 0.20] {
+        let mut sc = cfg.scenario_config(DatasetKind::Adult, SEED_BASE);
+        sc.noise.rate = noise;
+        let s = DatasetKind::Adult.build(sc);
+        push_point(&mut points, noise, enuminer_method(&s, cfg.enu_budget, false));
+        push_point(&mut points, noise, rlminer_method(&s, cfg.train_steps, SEED_BASE));
+    }
+    cfg.write_json("fig6", &points);
+    points
+}
+
+/// Fig. 7 — varying duplicate rate `d%` over Adult.
+pub fn fig7(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    println!("== Figure 7: varying duplicate rate (Adult) ==");
+    // Paper: master 5000, input 10000 (scaled at Small).
+    let base = cfg.scenario_config(DatasetKind::Adult, SEED_BASE);
+    let (master, input) = match cfg.scale {
+        crate::Scale::Paper => (5000, 10_000),
+        crate::Scale::Small => (base.master_size, base.master_size * 2),
+    };
+    let mut points = Vec::new();
+    for &d in &[0.2, 0.4, 0.6, 0.8, 1.0] {
+        let sc = ScenarioConfig {
+            master_size: master,
+            input_size: input,
+            duplicate_rate: Some(d),
+            ..base
+        };
+        let s = DatasetKind::Adult.build(sc);
+        push_point(&mut points, d, enuminer_method(&s, cfg.enu_budget, false));
+        push_point(&mut points, d, rlminer_method(&s, cfg.train_steps, SEED_BASE));
+    }
+    cfg.write_json("fig7", &points);
+    points
+}
+
+/// Fig. 8 — varying input data size over Adult (incl. EnuMinerH3).
+pub fn fig8(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    println!("== Figure 8: varying input size (Adult) ==");
+    let base = cfg.scenario_config(DatasetKind::Adult, SEED_BASE);
+    let sizes: Vec<usize> = match cfg.scale {
+        crate::Scale::Paper => vec![10_000, 20_000, 30_000, 40_000],
+        crate::Scale::Small => {
+            let max = base.input_size;
+            vec![max / 4, max / 2, (max * 3) / 4, max]
+        }
+    };
+    let mut points = Vec::new();
+    for &n in &sizes {
+        let sc = ScenarioConfig { input_size: n, ..base };
+        let s = DatasetKind::Adult.build(sc);
+        push_point(&mut points, n as f64, enuminer_method(&s, cfg.enu_budget, false));
+        push_point(&mut points, n as f64, enuminer_method(&s, cfg.enu_budget, true));
+        push_point(&mut points, n as f64, rlminer_method(&s, cfg.train_steps, SEED_BASE));
+    }
+    cfg.write_json("fig8", &points);
+    points
+}
+
+/// Fig. 9 — varying master data size over Adult (incl. EnuMinerH3).
+pub fn fig9(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    println!("== Figure 9: varying master size (Adult) ==");
+    let base = cfg.scenario_config(DatasetKind::Adult, SEED_BASE);
+    let sizes: Vec<usize> = match cfg.scale {
+        crate::Scale::Paper => vec![1000, 2000, 3000, 4000, 5000],
+        crate::Scale::Small => {
+            let max = base.master_size;
+            vec![max / 5, (max * 2) / 5, (max * 3) / 5, (max * 4) / 5, max]
+        }
+    };
+    let mut points = Vec::new();
+    for &n in &sizes {
+        let sc = ScenarioConfig { master_size: n, ..base };
+        let s = DatasetKind::Adult.build(sc);
+        push_point(&mut points, n as f64, enuminer_method(&s, cfg.enu_budget, false));
+        push_point(&mut points, n as f64, enuminer_method(&s, cfg.enu_budget, true));
+        push_point(&mut points, n as f64, rlminer_method(&s, cfg.train_steps, SEED_BASE));
+    }
+    cfg.write_json("fig9", &points);
+    points
+}
+
+/// Figs. 10/11 — incremental input/master data: RLMiner-ft fine-tunes the
+/// agent trained on the first increment instead of retraining.
+fn incremental(cfg: &ExperimentConfig, grow_master: bool) -> Vec<SweepPoint> {
+    let which = if grow_master { "master" } else { "input" };
+    println!("== Figure {}: incremental {} data (Adult) ==", if grow_master { 11 } else { 10 }, which);
+    let base = cfg.scenario_config(DatasetKind::Adult, SEED_BASE);
+    let full = DatasetKind::Adult.build(base);
+    let (full_n, versions): (usize, Vec<usize>) = if grow_master {
+        let m = full.task.master().num_rows();
+        (m, vec![(m * 2) / 5, (m * 3) / 5, (m * 4) / 5, m])
+    } else {
+        let n = full.task.input().num_rows();
+        (n, vec![(n * 2) / 5, (n * 3) / 5, (n * 4) / 5, n])
+    };
+    let version = |n: usize| {
+        if grow_master {
+            full.with_master_prefix(n)
+        } else {
+            full.with_input_prefix(n)
+        }
+    };
+    let _ = full_n;
+
+    // Initial training on the first increment.
+    let first = version(versions[0]);
+    let mut config = RlMinerConfig::new(first.support_threshold);
+    config.train_steps = cfg.train_steps;
+    config.finetune_steps = cfg.train_steps / 3;
+    config.seed = SEED_BASE;
+    let mut ft = RlMiner::new(&first.task, config);
+    ft.train(&first.task);
+
+    let mut points = Vec::new();
+    for &n in &versions[1..] {
+        let s = version(n);
+        push_point(&mut points, n as f64, enuminer_method(&s, cfg.enu_budget, false));
+        push_point(&mut points, n as f64, rlminer_method(&s, cfg.train_steps, SEED_BASE));
+        // Keep the fine-tuned miner's threshold aligned with this version's.
+        ft.set_support_threshold(s.support_threshold);
+        push_point(&mut points, n as f64, rlminer_ft_method(&mut ft, &s));
+    }
+    points
+}
+
+/// Fig. 10 — incremental input data.
+pub fn fig10(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    let points = incremental(cfg, false);
+    cfg.write_json("fig10", &points);
+    points
+}
+
+/// Fig. 11 — incremental master data.
+pub fn fig11(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    let points = incremental(cfg, true);
+    cfg.write_json("fig11", &points);
+    points
+}
+
+/// Fig. 12 — training and inference costs of RLMiner per dataset.
+#[derive(Debug, Serialize)]
+pub struct Fig12Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// From-scratch training steps.
+    pub train_steps: usize,
+    /// From-scratch training seconds.
+    pub train_seconds: f64,
+    /// Fine-tuning steps.
+    pub finetune_steps: usize,
+    /// Fine-tuning seconds.
+    pub finetune_seconds: f64,
+    /// Inference steps (the paper observes ≈150).
+    pub inference_steps: usize,
+    /// Inference seconds.
+    pub inference_seconds: f64,
+}
+
+/// Run Fig. 12.
+pub fn fig12(cfg: &ExperimentConfig) -> Vec<Fig12Row> {
+    println!("== Figure 12: RLMiner training/fine-tuning/inference cost ==");
+    println!(
+        "{:<10} {:>11} {:>10} {:>9} {:>9} {:>10} {:>10}",
+        "dataset", "train steps", "train(s)", "ft steps", "ft(s)", "inf steps", "inf(s)"
+    );
+    let mut rows = Vec::new();
+    for kind in DatasetKind::all() {
+        let s = cfg.scenario(kind, SEED_BASE);
+        let mut config = RlMinerConfig::new(s.support_threshold);
+        config.train_steps = cfg.train_steps;
+        config.finetune_steps = cfg.train_steps / 3;
+        config.seed = SEED_BASE;
+        let mut miner = RlMiner::new(&s.task, config);
+        let t = miner.train(&s.task);
+        let ft = miner.fine_tune(&s.task);
+        let inf = miner.mine(&s.task);
+        let row = Fig12Row {
+            dataset: s.name.clone(),
+            train_steps: t.steps,
+            train_seconds: t.elapsed.as_secs_f64(),
+            finetune_steps: ft.steps,
+            finetune_seconds: ft.elapsed.as_secs_f64(),
+            inference_steps: inf.steps,
+            inference_seconds: inf.elapsed.as_secs_f64(),
+        };
+        println!(
+            "{:<10} {:>11} {:>10.2} {:>9} {:>9.2} {:>10} {:>10.3}",
+            row.dataset,
+            row.train_steps,
+            row.train_seconds,
+            row.finetune_steps,
+            row.finetune_seconds,
+            row.inference_steps,
+            row.inference_seconds
+        );
+        rows.push(row);
+    }
+    cfg.write_json("fig12", &rows);
+    rows
+}
+
+/// One ablation variant's outcome.
+#[derive(Debug, Serialize)]
+pub struct AblationRow {
+    /// Variant name.
+    pub variant: String,
+    /// Weighted F-measure of the repairs.
+    pub f1: f64,
+    /// Rules discovered at inference.
+    pub rules: usize,
+    /// Reward collected during training (higher = agent found value).
+    pub reward_sum: f64,
+}
+
+/// Ablations of RLMiner's design choices (DESIGN.md §4): reward shaping,
+/// global mask, stop reward θ, reward normalization.
+pub fn ablate(cfg: &ExperimentConfig) -> Vec<AblationRow> {
+    println!("== Ablation study (Covid) ==");
+    let s = cfg.scenario(DatasetKind::Covid, SEED_BASE);
+    let variants: Vec<(&str, Box<dyn Fn(&mut RlMinerConfig)>)> = vec![
+        ("full", Box::new(|_| {})),
+        ("no-shaping", Box::new(|c| c.shaping = false)),
+        ("no-global-mask", Box::new(|c| c.global_mask = false)),
+        ("theta=0", Box::new(|c| c.theta = 0.0)),
+        ("theta=0.1 (easy money)", Box::new(|c| c.theta = 0.1)),
+        ("no-reward-normalization", Box::new(|c| c.normalize_rewards = false)),
+        ("+double-dqn", Box::new(|c| c.double_dqn = true)),
+        ("+prioritized-replay", Box::new(|c| c.prioritized_replay = true)),
+    ];
+    println!("{:<26} {:>7} {:>7} {:>12}", "variant", "F1", "rules", "reward sum");
+    let mut rows = Vec::new();
+    for (name, tweak) in variants {
+        let mut config = RlMinerConfig::new(s.support_threshold);
+        config.train_steps = cfg.train_steps;
+        config.epsilon.2 = (cfg.train_steps * 3) / 5;
+        config.seed = SEED_BASE;
+        tweak(&mut config);
+        let mut miner = RlMiner::new(&s.task, config);
+        let stats = miner.train(&s.task);
+        let result = miner.mine(&s.task);
+        let prf = s.evaluate(&apply_rules(&s.task, &result.rules_only()));
+        let row = AblationRow {
+            variant: name.to_string(),
+            f1: prf.f1,
+            rules: result.rules.len(),
+            reward_sum: stats.reward_sum,
+        };
+        println!(
+            "{:<26} {:>7.3} {:>7} {:>12.2}",
+            row.variant, row.f1, row.rules, row.reward_sum
+        );
+        rows.push(row);
+    }
+    cfg.write_json("ablate", &rows);
+    rows
+}

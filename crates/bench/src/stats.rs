@@ -1,0 +1,61 @@
+//! Small statistics helpers for mean ± std reporting.
+
+use serde::Serialize;
+
+/// Mean and (population) standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Render as `m.mm ± s.ss`.
+    pub fn fmt2(&self) -> String {
+        format!("{:.2} ± {:.2}", self.mean, self.std)
+    }
+}
+
+/// Mean and standard deviation of `values` (0 ± 0 for an empty slice).
+pub fn mean_std(values: &[f64]) -> MeanStd {
+    if values.is_empty() {
+        return MeanStd { mean: 0.0, std: 0.0 };
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    MeanStd { mean, std: var.sqrt() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample_has_zero_std() {
+        let m = mean_std(&[2.0, 2.0, 2.0]);
+        assert_eq!(m.mean, 2.0);
+        assert_eq!(m.std, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let m = mean_std(&[1.0, 3.0]);
+        assert_eq!(m.mean, 2.0);
+        assert_eq!(m.std, 1.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let m = mean_std(&[]);
+        assert_eq!(m.mean, 0.0);
+        assert_eq!(m.std, 0.0);
+    }
+
+    #[test]
+    fn format() {
+        assert_eq!(mean_std(&[1.0, 3.0]).fmt2(), "2.00 ± 1.00");
+    }
+}

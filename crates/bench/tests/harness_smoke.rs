@@ -1,0 +1,57 @@
+//! Smoke tests for the experiment harness: each runner executes end to end
+//! at a micro scale and produces structurally sound results.
+
+use er_bench::{ExperimentConfig, Scale};
+
+fn micro() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: Scale::Small,
+        repeats: 1,
+        train_steps: 300,
+        enu_budget: Some(5_000),
+        out_dir: std::env::temp_dir().join("erminer_bench_smoke"),
+    }
+}
+
+#[test]
+fn table1_reports_all_datasets() {
+    let rows = er_bench::table1(&micro());
+    assert_eq!(rows.len(), 4);
+    let names: Vec<&str> = rows.iter().map(|r| r.dataset.as_str()).collect();
+    assert_eq!(names, vec!["adult", "covid", "nursery", "location"]);
+    for r in &rows {
+        assert!(r.input_rows > 0 && r.master_rows > 0);
+        assert!(r.support_threshold > 0);
+    }
+    // JSON artefacts land in the out dir.
+    assert!(micro().out_dir.join("table1.json").exists());
+}
+
+#[test]
+fn sweep_points_are_structurally_sound() {
+    // fig6 at micro scale: 5 noise rates × 2 methods.
+    let points = er_bench::fig6(&micro());
+    assert_eq!(points.len(), 10);
+    for p in &points {
+        assert!(p.f1 >= 0.0 && p.f1 <= 1.0);
+        assert!(p.precision >= 0.0 && p.precision <= 1.0);
+        assert!(p.seconds >= 0.0);
+        assert!(p.method == "EnuMiner" || p.method == "RLMiner");
+    }
+    // Noise rates appear in ascending pairs.
+    let xs: Vec<f64> = points.iter().step_by(2).map(|p| p.x).collect();
+    assert_eq!(xs, vec![0.0, 0.05, 0.10, 0.15, 0.20]);
+}
+
+#[test]
+fn fig12_counts_training_and_inference() {
+    let rows = er_bench::fig12(&micro());
+    assert_eq!(rows.len(), 4);
+    for r in &rows {
+        assert_eq!(r.train_steps, 300);
+        assert_eq!(r.finetune_steps, 100);
+        assert!(r.inference_steps > 0);
+        assert!(r.train_seconds > 0.0);
+        assert!(r.finetune_seconds < r.train_seconds);
+    }
+}

@@ -1,0 +1,436 @@
+//! # er-cfd — CTANE-style CFD discovery on master data (the paper's CTANE
+//! baseline, §V-A2)
+//!
+//! The paper compares against adapting a conditional functional dependency
+//! miner: CFDs are mined **on the master relation only** and the ones whose
+//! LHS/pattern attributes all have matches in the input schema are converted
+//! to editing rules. Because the pattern constants are drawn from the master
+//! data's domain, conditions that only exist on the *input* side (e.g. the
+//! `Overseas = No` guard of Example 1) can never be found — the root cause of
+//! the CTANE baseline's low recall in Table III.
+//!
+//! We mine CFDs with a fixed RHS `Y_m` (the only ones convertible to editing
+//! rules for the target), levelwise à la CTANE [Fan et al., TKDE'11]:
+//! an *item* is either a wildcard attribute (`A, _`) or a constant attribute
+//! (`A = c`); an itemset with distinct attributes is a candidate
+//! `(X → Y_m, t_p)`, valid when within every group of tuples that match the
+//! constants and agree on the wildcard attributes the `Y_m` value is (near-)
+//! unique.
+
+use er_rules::{EditingRule, Task};
+use er_table::{AttrId, Code, GroupIndex, Relation, RowId, NULL_CODE};
+use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+/// A conditional functional dependency `(X → rhs, t_p)` over the master
+/// schema. `X = wildcards ∪ {a | (a, c) ∈ constants}`; `constants` is the
+/// constant part of the pattern tuple (wildcard attributes carry `_`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cfd {
+    /// Wildcard LHS attributes (vary freely, must agree pairwise).
+    pub wildcards: Vec<AttrId>,
+    /// Constant LHS attributes with their required value codes.
+    pub constants: Vec<(AttrId, Code)>,
+    /// The RHS attribute.
+    pub rhs: AttrId,
+}
+
+/// Quality statistics of a mined CFD.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CfdStats {
+    /// Number of master tuples matching the constant pattern (with non-NULL
+    /// wildcard values).
+    pub support: usize,
+    /// Fraction of matching tuples kept when each wildcard group is reduced
+    /// to its majority RHS value (1.0 = exact CFD).
+    pub confidence: f64,
+}
+
+/// CTANE configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CtaneConfig {
+    /// Minimum support on the master relation.
+    pub support_threshold: usize,
+    /// Minimum confidence (1.0 mines exact CFDs).
+    pub min_confidence: f64,
+    /// Maximum `|X|` (wildcards + constants).
+    pub max_lhs: usize,
+    /// Cap on constant items generated per attribute (the most frequent
+    /// values are kept — rare constants cannot pass the support threshold
+    /// anyway).
+    pub max_constants_per_attr: usize,
+    /// Number of CFDs to return (most supported first).
+    pub k: usize,
+}
+
+impl CtaneConfig {
+    /// Defaults mirroring the paper's setup: exact CFDs, `K = 50`.
+    pub fn new(support_threshold: usize) -> Self {
+        CtaneConfig {
+            support_threshold,
+            min_confidence: 1.0,
+            max_lhs: 4,
+            max_constants_per_attr: 32,
+            k: 50,
+        }
+    }
+}
+
+/// Result of a CTANE run.
+#[derive(Debug, Clone)]
+pub struct CtaneResult {
+    /// Mined CFDs with statistics, most supported first.
+    pub cfds: Vec<(Cfd, CfdStats)>,
+    /// Number of candidates evaluated.
+    pub evaluated: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Item {
+    Wildcard(AttrId),
+    Constant(AttrId, Code),
+}
+
+impl Item {
+    fn attr(&self) -> AttrId {
+        match *self {
+            Item::Wildcard(a) | Item::Constant(a, _) => a,
+        }
+    }
+}
+
+/// Mine CFDs `(X → rhs, t_p)` on `master` with the given RHS.
+pub fn mine_cfds(master: &Relation, rhs: AttrId, config: CtaneConfig) -> CtaneResult {
+    let start = Instant::now();
+    // Universe of items: one wildcard per attribute plus the most frequent
+    // constants per attribute.
+    let mut items: Vec<Item> = Vec::new();
+    for a in 0..master.num_attrs() {
+        if a == rhs {
+            continue;
+        }
+        items.push(Item::Wildcard(a));
+        for code in top_values(master, a, config.max_constants_per_attr) {
+            items.push(Item::Constant(a, code));
+        }
+    }
+
+    let mut queue: VecDeque<Vec<Item>> = VecDeque::new();
+    queue.push_back(Vec::new());
+    let mut visited: HashSet<Vec<Item>> = HashSet::new();
+    let mut found: Vec<(Cfd, CfdStats)> = Vec::new();
+    let mut evaluated = 0usize;
+
+    while let Some(set) = queue.pop_front() {
+        for item in &items {
+            if set.iter().any(|i| i.attr() == item.attr()) {
+                continue;
+            }
+            let mut child = set.clone();
+            child.push(*item);
+            child.sort_unstable();
+            if !visited.insert(child.clone()) {
+                continue;
+            }
+            let cfd = to_cfd(&child, rhs);
+            let stats = evaluate_cfd(master, &cfd);
+            evaluated += 1;
+            if stats.support < config.support_threshold {
+                continue; // anti-monotone under adding constants/wildcards
+            }
+            let valid = stats.confidence >= config.min_confidence && !cfd.wildcards.is_empty();
+            if valid {
+                // Minimality: report only if no already-found CFD subsumes
+                // this one (BFS guarantees subsets are seen first), and
+                // don't refine valid CFDs further either way.
+                let subsumed = found.iter().any(|(f, _)| {
+                    subset(&f.wildcards, &cfd.wildcards) && subset(&f.constants, &cfd.constants)
+                });
+                if !subsumed {
+                    found.push((cfd, stats));
+                }
+                continue;
+            }
+            if child.len() < config.max_lhs {
+                queue.push_back(child);
+            }
+        }
+    }
+
+    found.sort_by(|(_, a), (_, b)| {
+        b.support
+            .cmp(&a.support)
+            .then(b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    found.truncate(config.k);
+    CtaneResult { cfds: found, evaluated, elapsed: start.elapsed() }
+}
+
+/// Sorted-slice subset test.
+fn subset<T: Ord>(small: &[T], big: &[T]) -> bool {
+    let mut j = 0;
+    for item in small {
+        loop {
+            if j >= big.len() {
+                return false;
+            }
+            match item.cmp(&big[j]) {
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    break;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Less => return false,
+            }
+        }
+    }
+    true
+}
+
+fn to_cfd(items: &[Item], rhs: AttrId) -> Cfd {
+    let mut wildcards = Vec::new();
+    let mut constants = Vec::new();
+    for item in items {
+        match *item {
+            Item::Wildcard(a) => wildcards.push(a),
+            Item::Constant(a, c) => constants.push((a, c)),
+        }
+    }
+    wildcards.sort_unstable();
+    constants.sort_unstable();
+    Cfd { wildcards, constants, rhs }
+}
+
+/// Most frequent non-NULL values of a column, descending.
+fn top_values(rel: &Relation, attr: AttrId, k: usize) -> Vec<Code> {
+    er_table::ColumnStats::compute(rel, attr).top_k(k)
+}
+
+/// Support and confidence of a CFD on the master relation.
+pub fn evaluate_cfd(master: &Relation, cfd: &Cfd) -> CfdStats {
+    let rows: Vec<RowId> = (0..master.num_rows())
+        .filter(|&r| {
+            cfd.constants.iter().all(|&(a, c)| master.code(r, a) == c)
+                && cfd.wildcards.iter().all(|&a| master.code(r, a) != NULL_CODE)
+        })
+        .collect();
+    if rows.is_empty() {
+        return CfdStats { support: 0, confidence: 0.0 };
+    }
+    let group = GroupIndex::build_over(master, &cfd.wildcards, cfd.rhs, rows.iter().copied());
+    // confidence = (Σ_group max-count) / total over distinct wildcard groups.
+    let mut kept = 0usize;
+    let mut total = 0usize;
+    let mut key = Vec::with_capacity(cfd.wildcards.len());
+    let mut seen: HashSet<Vec<Code>> = HashSet::new();
+    for &r in &rows {
+        key.clear();
+        for &a in &cfd.wildcards {
+            key.push(master.code(r, a));
+        }
+        if !seen.insert(key.clone()) {
+            continue;
+        }
+        let dist = group.get(&key);
+        let group_total: u32 = dist.iter().map(|&(_, n)| n).sum();
+        let group_max: u32 = dist.iter().map(|&(_, n)| n).max().unwrap_or(0);
+        kept += group_max as usize;
+        total += group_total as usize;
+    }
+    CfdStats {
+        support: rows.len(),
+        confidence: if total == 0 { 0.0 } else { kept as f64 / total as f64 },
+    }
+}
+
+/// Convert mined CFDs to editing rules for `task` (§V-A2): a CFD is
+/// convertible iff every LHS/pattern attribute has a reverse match in the
+/// input schema and the RHS is the task's `Y_m`. Constant codes transfer
+/// directly — relations share one value pool.
+pub fn cfds_to_rules(cfds: &[(Cfd, CfdStats)], task: &Task) -> Vec<EditingRule> {
+    let (_, ym) = task.target();
+    // Reverse match: master attr → input attrs.
+    let mut reverse: Vec<Vec<AttrId>> = vec![Vec::new(); task.master().num_attrs()];
+    for (a, am) in task.matching().pairs() {
+        reverse[am].push(a);
+    }
+    let mut rules = Vec::new();
+    'cfds: for (cfd, _) in cfds {
+        if cfd.rhs != ym {
+            continue;
+        }
+        let mut lhs = Vec::new();
+        for &am in &cfd.wildcards {
+            match reverse[am].first() {
+                Some(&a) => lhs.push((a, am)),
+                None => continue 'cfds, // unmatched master attribute
+            }
+        }
+        let mut pattern = Vec::new();
+        for &(am, code) in &cfd.constants {
+            match reverse[am].first() {
+                Some(&a) => pattern.push(er_rules::Condition::eq(a, code)),
+                None => continue 'cfds,
+            }
+        }
+        // Reject structures Definition 1 forbids (e.g. Y on the LHS after
+        // reverse matching, or duplicate input attributes).
+        let mut input_attrs: Vec<AttrId> =
+            lhs.iter().map(|&(a, _)| a).chain(pattern.iter().map(|c| c.attr)).collect();
+        input_attrs.sort_unstable();
+        let distinct = {
+            let mut v = input_attrs.clone();
+            v.dedup();
+            v.len() == input_attrs.len()
+        };
+        let y = task.target().0;
+        if !distinct || input_attrs.contains(&y) || lhs.is_empty() {
+            continue;
+        }
+        rules.push(EditingRule::new(lhs, task.target(), pattern));
+    }
+    rules
+}
+
+/// Convenience: mine CFDs on the task's master data and convert them, like
+/// the paper's CTANE baseline.
+pub fn ctane_baseline(task: &Task, config: CtaneConfig) -> (Vec<EditingRule>, CtaneResult) {
+    let (_, ym) = task.target();
+    let result = mine_cfds(task.master(), ym, config);
+    let rules = cfds_to_rules(&result.cfds, task);
+    (rules, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_datagen::{DatasetKind, ScenarioConfig};
+    use er_rules::apply_rules;
+    use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
+    use std::sync::Arc;
+
+    /// Master where A → C holds exactly, B → C does not, and
+    /// (B=b0) ∧ A → C trivially holds.
+    fn master() -> Relation {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new(
+            "m",
+            vec![
+                Attribute::categorical("A"),
+                Attribute::categorical("B"),
+                Attribute::categorical("C"),
+            ],
+        ));
+        let mut b = RelationBuilder::new(schema, pool);
+        let s = Value::str;
+        for (a, bb, c) in [
+            ("a0", "b0", "c0"),
+            ("a0", "b1", "c0"),
+            ("a1", "b0", "c1"),
+            ("a1", "b1", "c1"),
+            ("a2", "b0", "c0"),
+            ("a2", "b0", "c0"),
+        ] {
+            b.push_row(vec![s(a), s(bb), s(c)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn exact_fd_is_found() {
+        let m = master();
+        let result = mine_cfds(&m, 2, CtaneConfig::new(2));
+        let a_to_c = result
+            .cfds
+            .iter()
+            .find(|(cfd, _)| cfd.wildcards == vec![0] && cfd.constants.is_empty());
+        let (_, stats) = a_to_c.expect("A → C should be mined");
+        assert_eq!(stats.support, 6);
+        assert_eq!(stats.confidence, 1.0);
+    }
+
+    #[test]
+    fn invalid_fd_not_exact() {
+        let m = master();
+        let cfd = Cfd { wildcards: vec![1], constants: vec![], rhs: 2 };
+        let stats = evaluate_cfd(&m, &cfd);
+        assert!(stats.confidence < 1.0);
+    }
+
+    #[test]
+    fn constant_pattern_conditions_work() {
+        let m = master();
+        let b0 = m.pool().code_of(&Value::str("b0")).unwrap();
+        let cfd = Cfd { wildcards: vec![0], constants: vec![(1, b0)], rhs: 2 };
+        let stats = evaluate_cfd(&m, &cfd);
+        assert_eq!(stats.support, 4); // rows with B=b0
+        assert_eq!(stats.confidence, 1.0);
+    }
+
+    #[test]
+    fn support_counts_pattern_matches() {
+        let m = master();
+        let b1 = m.pool().code_of(&Value::str("b1")).unwrap();
+        let cfd = Cfd { wildcards: vec![0], constants: vec![(1, b1)], rhs: 2 };
+        assert_eq!(evaluate_cfd(&m, &cfd).support, 2);
+    }
+
+    #[test]
+    fn minimality_prevents_refining_valid_cfds() {
+        let m = master();
+        let result = mine_cfds(&m, 2, CtaneConfig::new(1));
+        // A → C is valid, so A,B → C must not be reported.
+        assert!(!result
+            .cfds
+            .iter()
+            .any(|(cfd, _)| cfd.wildcards == vec![0, 1] && cfd.constants.is_empty()));
+    }
+
+    #[test]
+    fn conversion_to_editing_rules() {
+        let s = DatasetKind::Location.build(ScenarioConfig {
+            input_size: 400,
+            master_size: 200,
+            seed: 11,
+            ..DatasetKind::Location.paper_config()
+        });
+        let (rules, result) = ctane_baseline(&s.task, CtaneConfig::new(5));
+        assert!(!result.cfds.is_empty());
+        assert!(!rules.is_empty(), "county→postcode should convert");
+        // All converted rules target (Y, Y_m).
+        for r in &rules {
+            assert_eq!(r.target(), s.task.target());
+        }
+        // And they repair reasonably (precision-wise; recall is allowed to
+        // be low, that is the paper's point).
+        let report = apply_rules(&s.task, &rules);
+        let prf = s.evaluate(&report);
+        assert!(prf.precision > 0.5, "precision {}", prf.precision);
+    }
+
+    #[test]
+    fn unmatched_master_attrs_block_conversion() {
+        let s = DatasetKind::Covid.build(ScenarioConfig {
+            input_size: 300,
+            master_size: 150,
+            seed: 11,
+            ..DatasetKind::Covid.paper_config()
+        });
+        // Build a CFD on released_date, which has no input match.
+        let rd = s.task.master().schema().attr_id("released_date").unwrap();
+        let (_, ym) = s.task.target();
+        let cfd = Cfd { wildcards: vec![rd], constants: vec![], rhs: ym };
+        let rules = cfds_to_rules(&[(cfd, CfdStats { support: 10, confidence: 1.0 })], &s.task);
+        assert!(rules.is_empty());
+    }
+
+    #[test]
+    fn top_values_orders_by_frequency() {
+        let m = master();
+        let top = top_values(&m, 1, 10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(m.pool().value(top[0]), Value::str("b0")); // 4 vs 2
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the CFD miner.
+
+use er_cfd::{evaluate_cfd, mine_cfds, Cfd, CtaneConfig};
+use er_table::{Attribute, Pool, Relation, RelationBuilder, Schema, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn relation(rows: &[(u8, u8, u8)]) -> Relation {
+    let pool = Arc::new(Pool::new());
+    let schema = Arc::new(Schema::new(
+        "m",
+        vec![
+            Attribute::categorical("A"),
+            Attribute::categorical("B"),
+            Attribute::categorical("C"),
+        ],
+    ));
+    let mut b = RelationBuilder::new(schema, pool);
+    for &(a, bb, c) in rows {
+        b.push_row(vec![
+            Value::str(format!("a{a}")),
+            Value::str(format!("b{bb}")),
+            Value::str(format!("c{c}")),
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Confidence is in [0,1]; support never exceeds the row count; adding
+    /// a constant condition never increases support.
+    #[test]
+    fn cfd_stats_bounds(rows in prop::collection::vec((0u8..4, 0u8..3, 0u8..3), 1..40)) {
+        let rel = relation(&rows);
+        let fd = Cfd { wildcards: vec![0], constants: vec![], rhs: 2 };
+        let stats = evaluate_cfd(&rel, &fd);
+        prop_assert!(stats.confidence >= 0.0 && stats.confidence <= 1.0);
+        prop_assert!(stats.support <= rel.num_rows());
+        prop_assert_eq!(stats.support, rel.num_rows()); // no constants, no NULLs
+
+        let b0 = rel.pool().code_of(&Value::str("b0"));
+        if let Some(b0) = b0 {
+            let cond = Cfd { wildcards: vec![0], constants: vec![(1, b0)], rhs: 2 };
+            let cstats = evaluate_cfd(&rel, &cond);
+            prop_assert!(cstats.support <= stats.support);
+        }
+    }
+
+    /// Every CFD the miner reports satisfies its own thresholds when
+    /// re-evaluated from scratch.
+    #[test]
+    fn mined_cfds_verify(rows in prop::collection::vec((0u8..4, 0u8..3, 0u8..3), 4..40)) {
+        let rel = relation(&rows);
+        let config = CtaneConfig::new(2);
+        let result = mine_cfds(&rel, 2, config);
+        for (cfd, stats) in &result.cfds {
+            let fresh = evaluate_cfd(&rel, cfd);
+            prop_assert_eq!(fresh.support, stats.support);
+            prop_assert!((fresh.confidence - stats.confidence).abs() < 1e-12);
+            prop_assert!(fresh.support >= 2);
+            prop_assert!(fresh.confidence >= config.min_confidence);
+            prop_assert!(!cfd.wildcards.is_empty());
+        }
+    }
+
+    /// Minimality: no reported CFD is subsumed by another reported CFD.
+    #[test]
+    fn mined_cfds_are_minimal(rows in prop::collection::vec((0u8..3, 0u8..3, 0u8..2), 4..40)) {
+        let rel = relation(&rows);
+        let result = mine_cfds(&rel, 2, CtaneConfig::new(2));
+        let subset = |small: &[usize], big: &[usize]| small.iter().all(|x| big.contains(x));
+        let subset_c = |small: &[(usize, u32)], big: &[(usize, u32)]| {
+            small.iter().all(|x| big.contains(x))
+        };
+        for (i, (a, _)) in result.cfds.iter().enumerate() {
+            for (j, (b, _)) in result.cfds.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let subsumes = subset(&a.wildcards, &b.wildcards)
+                    && subset_c(&a.constants, &b.constants)
+                    && (a.wildcards.len() < b.wildcards.len()
+                        || a.constants.len() < b.constants.len());
+                prop_assert!(!subsumes, "{a:?} subsumes {b:?}");
+            }
+        }
+    }
+}

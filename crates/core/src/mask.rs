@@ -1,0 +1,167 @@
+//! The rule mask (Algorithm 1).
+//!
+//! Given the current rule (state) and the set of rules already generated,
+//! the mask marks which actions remain legal:
+//!
+//! * **Local mask** (lines 3–11): for every attribute pair `(A, A_m)` already
+//!   in `LHS(φ)`, all LHS dimensions of attribute `A` are masked (an
+//!   attribute appears at most once in `X`); for every condition `(A, v)`
+//!   already in `t_p`, all condition dimensions of `A` are masked (one
+//!   condition per pattern attribute).
+//! * **Global mask** (lines 12–17): any action whose resulting rule was
+//!   already generated in this tree is masked, so the agent never wastes a
+//!   step re-discovering a rule.
+//! * The stop action (last dimension) is **never** masked.
+
+use crate::encoding::StateEncoder;
+use crate::tree::RuleTree;
+use er_rules::EditingRule;
+
+/// Compute the action mask for `rule` (Algorithm 1).
+///
+/// `tree` supplies the visited-rule set for the global mask; pass `None` to
+/// apply the local mask only (the ablation of §"global mask off").
+pub fn compute_mask(
+    encoder: &StateEncoder,
+    rule: &EditingRule,
+    tree: Option<&RuleTree>,
+) -> Vec<bool> {
+    let mut mask = vec![true; encoder.action_dim()];
+
+    // Local mask: attributes already used on the LHS.
+    for &(a, _) in rule.lhs() {
+        for dim in encoder.lhs_actions_of_attr(a) {
+            mask[dim] = false;
+        }
+    }
+    // Local mask: attributes already constrained in the pattern.
+    for cond in rule.pattern() {
+        for dim in encoder.condition_actions_of_attr(cond.attr) {
+            mask[dim] = false;
+        }
+    }
+
+    // Global mask: actions that would re-create an existing rule.
+    if let Some(tree) = tree {
+        let stop = encoder.stop_action();
+        for action in 0..encoder.action_dim() {
+            if action == stop || !mask[action] {
+                continue;
+            }
+            match encoder.apply(rule, action) {
+                Some(child) => {
+                    if tree.contains(&child) {
+                        mask[action] = false;
+                    }
+                }
+                // The refinement is structurally invalid (duplicate attr the
+                // local mask did not know about, or the target attribute).
+                None => mask[action] = false,
+            }
+        }
+    }
+
+    // The stop action is always available (Algorithm 1, line 1).
+    let stop = encoder.stop_action();
+    mask[stop] = true;
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RuleTree;
+    use er_datagen::figure1;
+    use er_rules::{ConditionSpaceConfig, Measures};
+
+    fn setup() -> (er_rules::Task, StateEncoder) {
+        let s = figure1();
+        let enc = StateEncoder::new(&s.task, ConditionSpaceConfig::default());
+        (s.task, enc)
+    }
+
+    #[test]
+    fn root_mask_allows_everything() {
+        let (task, enc) = setup();
+        let root = EditingRule::root(task.target());
+        let mask = compute_mask(&enc, &root, None);
+        assert!(mask.iter().all(|&m| m));
+    }
+
+    #[test]
+    fn stop_never_masked() {
+        let (task, enc) = setup();
+        let root = EditingRule::root(task.target());
+        // Even with every rule visited, stop stays on.
+        let tree = RuleTree::new(root.clone(), Measures::zero(), vec![]);
+        let mask = compute_mask(&enc, &root, Some(&tree));
+        assert!(mask[enc.stop_action()]);
+    }
+
+    #[test]
+    fn local_mask_blocks_used_lhs_attr() {
+        let (task, enc) = setup();
+        let (a, am) = task.candidate_lhs_pairs()[0];
+        let rule = EditingRule::root(task.target()).with_lhs_pair(a, am);
+        let mask = compute_mask(&enc, &rule, None);
+        for dim in enc.lhs_actions_of_attr(a) {
+            assert!(!mask[dim], "dim {dim} for used attr {a} must be masked");
+        }
+        // Conditions on that attribute remain allowed (X and X_p may overlap).
+        for dim in enc.condition_actions_of_attr(a) {
+            assert!(mask[dim]);
+        }
+    }
+
+    #[test]
+    fn local_mask_blocks_constrained_pattern_attr() {
+        let (task, enc) = setup();
+        let cond = enc.conditions()[0].clone();
+        let attr = cond.attr;
+        let rule = EditingRule::root(task.target()).with_condition(cond);
+        let mask = compute_mask(&enc, &rule, None);
+        for dim in enc.condition_actions_of_attr(attr) {
+            assert!(!mask[dim], "condition dim {dim} on attr {attr} must be masked");
+        }
+        // LHS dims of the same attribute stay allowed.
+        for dim in enc.lhs_actions_of_attr(attr) {
+            assert!(mask[dim]);
+        }
+    }
+
+    #[test]
+    fn global_mask_blocks_existing_rules() {
+        let (task, enc) = setup();
+        let root = EditingRule::root(task.target());
+        let mut tree = RuleTree::new(root.clone(), Measures::zero(), vec![]);
+        // Pretend the child via action 0 was already generated.
+        let child = enc.apply(&root, 0).unwrap();
+        tree.add_child(0, child, Measures::zero(), vec![]);
+        let mask = compute_mask(&enc, &root, Some(&tree));
+        assert!(!mask[0], "action 0 recreates an existing rule");
+        // A sibling action stays allowed.
+        assert!(mask[1]);
+    }
+
+    #[test]
+    fn masked_rule_with_everything_used_only_stops() {
+        let (task, enc) = setup();
+        // Build a rule using every LHS pair and one condition per attribute.
+        let mut rule = EditingRule::root(task.target());
+        for &(a, am) in task.candidate_lhs_pairs().iter() {
+            if !rule.lhs_contains_input(a) {
+                rule = rule.with_lhs_pair(a, am);
+            }
+        }
+        let mut used = std::collections::HashSet::new();
+        for cond in enc.conditions() {
+            if used.insert(cond.attr) {
+                rule = rule.with_condition(cond.clone());
+            }
+        }
+        let mask = compute_mask(&enc, &rule, None);
+        let allowed: Vec<usize> =
+            mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+        assert_eq!(allowed, vec![enc.stop_action()]);
+    }
+}

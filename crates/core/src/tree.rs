@@ -1,0 +1,213 @@
+//! The rule tree (Figure 3) with level-order traversal.
+//!
+//! Each node holds one rule, its measures, and its pattern cover (the input
+//! rows matching `t_p`), enabling subspace search when children are grown
+//! (Algorithm 4, lines 9–10). A FIFO queue of refinable nodes implements the
+//! level-order walk `getNextNode` uses after a stop action.
+
+use er_rules::{EditingRule, Measures};
+use er_table::RowId;
+use std::collections::{HashSet, VecDeque};
+
+/// Index of a node in the tree's arena.
+pub type NodeId = usize;
+
+/// One node of the rule tree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The rule this node represents.
+    pub rule: EditingRule,
+    /// Its measures (computed when the node was created).
+    pub measures: Measures,
+    /// Input rows matching the rule's pattern (subspace-search cover).
+    pub cover: Vec<RowId>,
+    /// Parent node (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Children, in creation order.
+    pub children: Vec<NodeId>,
+}
+
+/// An arena-allocated rule tree with a level-order frontier queue and a
+/// visited-rule set (the hash table of §III-B that prevents generating the
+/// same rule twice).
+#[derive(Debug, Clone)]
+pub struct RuleTree {
+    nodes: Vec<Node>,
+    queue: VecDeque<NodeId>,
+    /// Whether each node currently sits in the queue (enqueue is idempotent).
+    queued: Vec<bool>,
+    visited: HashSet<EditingRule>,
+    current: NodeId,
+}
+
+impl RuleTree {
+    /// A tree containing only the root rule.
+    pub fn new(root_rule: EditingRule, root_measures: Measures, root_cover: Vec<RowId>) -> Self {
+        let root = Node {
+            rule: root_rule.clone(),
+            measures: root_measures,
+            cover: root_cover,
+            parent: None,
+            children: Vec::new(),
+        };
+        let mut visited = HashSet::new();
+        visited.insert(root_rule);
+        RuleTree {
+            nodes: vec![root],
+            queue: VecDeque::new(),
+            queued: vec![false],
+            visited,
+            current: 0,
+        }
+    }
+
+    /// The node currently being refined.
+    pub fn current(&self) -> NodeId {
+        self.current
+    }
+
+    /// Move the cursor to `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn set_current(&mut self, id: NodeId) {
+        assert!(id < self.nodes.len());
+        self.current = id;
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Total number of nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Whether `rule` was already generated in this tree.
+    pub fn contains(&self, rule: &EditingRule) -> bool {
+        self.visited.contains(rule)
+    }
+
+    /// Add a child of `parent`. Returns its id. The rule is recorded in the
+    /// visited set.
+    pub fn add_child(
+        &mut self,
+        parent: NodeId,
+        rule: EditingRule,
+        measures: Measures,
+        cover: Vec<RowId>,
+    ) -> NodeId {
+        let id = self.nodes.len();
+        self.visited.insert(rule.clone());
+        self.nodes.push(Node { rule, measures, cover, parent: Some(parent), children: Vec::new() });
+        self.queued.push(false);
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Record a rule as generated without materializing a node — used for
+    /// below-threshold rules that must never be regenerated (global mask)
+    /// yet are not part of the discovered set.
+    pub fn mark_visited(&mut self, rule: EditingRule) {
+        self.visited.insert(rule);
+    }
+
+    /// Enqueue a node for later level-order refinement. Idempotent: a node
+    /// already waiting in the queue is not added twice.
+    pub fn enqueue(&mut self, id: NodeId) {
+        if !self.queued[id] {
+            self.queued[id] = true;
+            self.queue.push_back(id);
+        }
+    }
+
+    /// Pop the next node in level order (`getNextNode` of Algorithm 4).
+    pub fn next_node(&mut self) -> Option<NodeId> {
+        let id = self.queue.pop_front();
+        if let Some(id) = id {
+            self.queued[id] = false;
+        }
+        id
+    }
+
+    /// Number of queued (still refinable) nodes.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// All non-root rules with their measures — the discovered set `Σ`
+    /// returned after an episode.
+    pub fn discovered(&self) -> Vec<(EditingRule, Measures)> {
+        self.nodes[1..].iter().map(|n| (n.rule.clone(), n.measures)).collect()
+    }
+
+    /// Number of non-root nodes (the `|env.tree.leaves|` of Algorithm 3's
+    /// stopping condition: every discovered rule counts).
+    pub fn num_discovered(&self) -> usize {
+        self.nodes.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(i: usize) -> EditingRule {
+        EditingRule::new(vec![(i, i)], (9, 9), vec![])
+    }
+
+    fn m() -> Measures {
+        Measures::zero()
+    }
+
+    #[test]
+    fn root_only_tree() {
+        let t = RuleTree::new(EditingRule::root((9, 9)), m(), vec![0, 1]);
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.num_discovered(), 0);
+        assert!(t.contains(&EditingRule::root((9, 9))));
+    }
+
+    #[test]
+    fn add_children_links_parent() {
+        let mut t = RuleTree::new(EditingRule::root((9, 9)), m(), vec![]);
+        let a = t.add_child(0, rule(0), m(), vec![]);
+        let b = t.add_child(0, rule(1), m(), vec![]);
+        let c = t.add_child(a, rule(2), m(), vec![]);
+        assert_eq!(t.node(0).children, vec![a, b]);
+        assert_eq!(t.node(c).parent, Some(a));
+        assert_eq!(t.num_discovered(), 3);
+        assert!(t.contains(&rule(1)));
+        assert!(!t.contains(&rule(7)));
+    }
+
+    #[test]
+    fn queue_is_fifo() {
+        let mut t = RuleTree::new(EditingRule::root((9, 9)), m(), vec![]);
+        let a = t.add_child(0, rule(0), m(), vec![]);
+        let b = t.add_child(0, rule(1), m(), vec![]);
+        t.enqueue(a);
+        t.enqueue(b);
+        assert_eq!(t.queue_len(), 2);
+        assert_eq!(t.next_node(), Some(a));
+        assert_eq!(t.next_node(), Some(b));
+        assert_eq!(t.next_node(), None);
+    }
+
+    #[test]
+    fn discovered_excludes_root() {
+        let mut t = RuleTree::new(EditingRule::root((9, 9)), m(), vec![]);
+        t.add_child(0, rule(0), m(), vec![]);
+        let d = t.discovered();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, rule(0));
+    }
+}

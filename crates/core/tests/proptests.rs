@@ -1,0 +1,100 @@
+//! Property-based tests for RLMiner's encoding and masking layers.
+
+use er_datagen::{DatasetKind, ScenarioConfig};
+use er_rlminer::{compute_mask, StateEncoder};
+use er_rules::{ConditionSpaceConfig, EditingRule};
+use proptest::prelude::*;
+
+fn fixture() -> &'static (er_rules::Task, StateEncoder) {
+    use std::sync::OnceLock;
+    static FIX: OnceLock<(er_rules::Task, StateEncoder)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let s = DatasetKind::Covid.build(ScenarioConfig {
+            input_size: 200,
+            master_size: 120,
+            seed: 99,
+            ..DatasetKind::Covid.paper_config()
+        });
+        let enc = StateEncoder::new(&s.task, ConditionSpaceConfig::default());
+        (s.task.clone(), enc)
+    })
+}
+
+/// Build a random valid rule by applying a random action sequence from the
+/// root (skipping invalid/stop actions).
+fn arb_rule() -> impl Strategy<Value = EditingRule> {
+    let (task, enc) = fixture();
+    let dim = enc.action_dim();
+    prop::collection::vec(0..dim, 0..6).prop_map(move |actions| {
+        let mut rule = EditingRule::root(task.target());
+        for a in actions {
+            if a == enc.stop_action() {
+                continue;
+            }
+            if let Some(child) = enc.apply(&rule, a) {
+                rule = child;
+            }
+        }
+        rule
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// encode → one bit per LHS pair + per condition; decode-by-action is
+    /// consistent: every set bit corresponds to a masked (unavailable)
+    /// action under the local mask.
+    #[test]
+    fn encoding_bits_match_rule_structure(rule in arb_rule()) {
+        let (_, enc) = fixture();
+        let s = enc.encode(&rule);
+        let set_bits = s.iter().filter(|&&x| x == 1.0).count();
+        prop_assert_eq!(set_bits, rule.lhs_len() + rule.pattern_len());
+        let mask = compute_mask(enc, &rule, None);
+        for (i, &bit) in s.iter().enumerate() {
+            if bit == 1.0 {
+                prop_assert!(!mask[i], "dim {i} is in the rule but not locally masked");
+            }
+        }
+    }
+
+    /// The mask never blocks the stop action, and every allowed non-stop
+    /// action produces a strictly refined, valid rule.
+    #[test]
+    fn allowed_actions_produce_valid_children(rule in arb_rule()) {
+        let (_, enc) = fixture();
+        let mask = compute_mask(enc, &rule, None);
+        prop_assert!(mask[enc.stop_action()]);
+        for (a, &allowed) in mask.iter().enumerate() {
+            if !allowed || a == enc.stop_action() {
+                continue;
+            }
+            let child = enc.apply(&rule, a);
+            prop_assert!(child.is_some(), "allowed action {a} failed to apply");
+            let child = child.unwrap();
+            prop_assert_eq!(child.lhs_len() + child.pattern_len(),
+                            rule.lhs_len() + rule.pattern_len() + 1);
+            prop_assert!(er_rules::dominates(&rule, &child) || rule.lhs_len() + rule.pattern_len() == 0);
+        }
+    }
+
+    /// Masked actions on the same attribute: once an attribute is
+    /// constrained in the pattern, every condition dim of that attribute is
+    /// masked.
+    #[test]
+    fn pattern_attr_exclusivity(rule in arb_rule()) {
+        let (_, enc) = fixture();
+        let mask = compute_mask(enc, &rule, None);
+        for cond in rule.pattern() {
+            for dim in enc.condition_actions_of_attr(cond.attr) {
+                prop_assert!(!mask[dim]);
+            }
+        }
+        for &(a, _) in rule.lhs() {
+            for dim in enc.lhs_actions_of_attr(a) {
+                prop_assert!(!mask[dim]);
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # er-datagen — datasets, sampling, and error injection
+//!
+//! The paper evaluates on four datasets (Adult, Covid-19, Nursery, Location).
+//! Those CSVs are not redistributable, so this crate generates seeded
+//! synthetic stand-ins with the same schema shapes, domain sizes and — most
+//! importantly — the same *editing-rule structure*: each generator plants
+//! ground-truth dependencies of the form "`X` determines `Y` in the master
+//! data, conditioned on pattern attributes of the input data", which is
+//! exactly the rule family the miners must recover. Real CSVs can still be
+//! loaded via `er_table::csv` and wrapped into a [`Scenario`] by hand.
+//!
+//! * [`synth`] — vocabularies and seeded mapping tables shared by the
+//!   generators.
+//! * [`noise`] — BART-style cell error injection (typos, same-domain
+//!   substitutions, missing values) with per-cell ground truth.
+//! * [`sample`] — master/input index sampling with duplicate-rate control
+//!   (Fig. 7's `d%`).
+//! * [`datasets`] — the four scenario builders plus a tiny Figure-1 fixture.
+
+pub mod datasets;
+pub mod loader;
+pub mod noise;
+pub mod sample;
+pub mod scenario;
+pub mod synth;
+
+pub use datasets::{adult, covid, figure1, location, nursery, DatasetKind};
+pub use loader::{scenario_from_csv, scenario_from_relations, CsvScenarioOptions};
+pub use noise::{inject_errors, ErrorKind, InjectedError, NoiseConfig};
+pub use sample::{sample_indices, split_with_duplicate_rate};
+pub use scenario::{assemble, Scenario, ScenarioConfig, UniverseSpec};

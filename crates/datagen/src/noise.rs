@@ -1,0 +1,323 @@
+//! BART-style error injection.
+//!
+//! Following the error-generation methodology of Arocena et al. (BART,
+//! VLDB'15) used by the paper, errors are injected cell-by-cell at a
+//! configurable rate, drawing the error kind from a weighted mix of:
+//!
+//! * **Typo** — a small string edit (adjacent-character swap, character
+//!   replacement, or deletion), producing out-of-domain values;
+//! * **Substitute** — replacement with another value of the same attribute's
+//!   active domain, producing in-domain but wrong values;
+//! * **Missing** — the cell becomes NULL.
+//!
+//! Every injected error records the original value so evaluation has exact
+//! per-cell ground truth.
+
+use er_table::{Schema, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The class of an injected error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Small string edit.
+    Typo,
+    /// Same-domain substitution.
+    Substitute,
+    /// Value removed (NULL).
+    Missing,
+}
+
+/// Error-injection configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseConfig {
+    /// Per-cell probability of injecting an error.
+    pub rate: f64,
+    /// Relative weight of typos.
+    pub typo_weight: f64,
+    /// Relative weight of substitutions.
+    pub substitute_weight: f64,
+    /// Relative weight of missing values.
+    pub missing_weight: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig { rate: 0.1, typo_weight: 1.0, substitute_weight: 1.0, missing_weight: 1.0 }
+    }
+}
+
+impl NoiseConfig {
+    /// Uniform mix at the given rate.
+    pub fn rate(rate: f64) -> Self {
+        NoiseConfig { rate, ..Default::default() }
+    }
+}
+
+/// One injected error, with the value the cell held before.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedError {
+    /// Row index.
+    pub row: usize,
+    /// Attribute index.
+    pub attr: usize,
+    /// The error class applied.
+    pub kind: ErrorKind,
+    /// The original (clean) value.
+    pub original: Value,
+}
+
+/// Inject errors into `rows` (a value matrix aligned with `schema`) in
+/// place, returning the ground-truth log of every perturbed cell.
+///
+/// Cells that are already NULL are skipped (there is nothing to corrupt).
+/// A substitution never reproduces the original value; when an attribute's
+/// active domain has a single value, the substitution degrades to a typo.
+pub fn inject_errors(
+    rows: &mut [Vec<Value>],
+    schema: &Schema,
+    config: NoiseConfig,
+    rng: &mut StdRng,
+) -> Vec<InjectedError> {
+    assert!((0.0..=1.0).contains(&config.rate), "noise rate must be in [0,1]");
+    if rows.is_empty() || config.rate == 0.0 {
+        return Vec::new();
+    }
+    // Active domain per attribute, for substitutions.
+    let arity = schema.arity();
+    let mut domains: Vec<Vec<Value>> = vec![Vec::new(); arity];
+    for (a, domain) in domains.iter_mut().enumerate() {
+        let mut seen = HashSet::new();
+        for row in rows.iter() {
+            if !row[a].is_null() && seen.insert(row[a].clone()) {
+                domain.push(row[a].clone());
+            }
+        }
+    }
+
+    let total_weight = config.typo_weight + config.substitute_weight + config.missing_weight;
+    assert!(total_weight > 0.0, "at least one error kind must have weight");
+    let mut log = Vec::new();
+    for row_idx in 0..rows.len() {
+        for attr in 0..arity {
+            if rows[row_idx][attr].is_null() || !rng.gen_bool(config.rate) {
+                continue;
+            }
+            let original = rows[row_idx][attr].clone();
+            let mut kind = pick_kind(config, total_weight, rng);
+            if kind == ErrorKind::Substitute && domains[attr].len() < 2 {
+                kind = ErrorKind::Typo;
+            }
+            let corrupted = match kind {
+                ErrorKind::Missing => Value::Null,
+                ErrorKind::Substitute => substitute(&original, &domains[attr], rng),
+                ErrorKind::Typo => typo(&original, rng),
+            };
+            rows[row_idx][attr] = corrupted;
+            log.push(InjectedError { row: row_idx, attr, kind, original });
+        }
+    }
+    log
+}
+
+fn pick_kind(config: NoiseConfig, total: f64, rng: &mut StdRng) -> ErrorKind {
+    let x = rng.gen_range(0.0..total);
+    if x < config.typo_weight {
+        ErrorKind::Typo
+    } else if x < config.typo_weight + config.substitute_weight {
+        ErrorKind::Substitute
+    } else {
+        ErrorKind::Missing
+    }
+}
+
+fn substitute(original: &Value, domain: &[Value], rng: &mut StdRng) -> Value {
+    debug_assert!(domain.len() >= 2);
+    loop {
+        let candidate = domain.choose(rng).expect("non-empty domain");
+        if candidate != original {
+            return candidate.clone();
+        }
+    }
+}
+
+/// Apply a small edit. Strings get a character-level edit; numbers get an
+/// off-by-a-bit perturbation (a "fat-finger" digit error).
+fn typo(original: &Value, rng: &mut StdRng) -> Value {
+    match original {
+        Value::Str(s) => Value::Str(Arc::from(string_typo(s, rng).as_str())),
+        Value::Int(v) => {
+            let delta = *[1i64, -1, 10, -10].choose(rng).expect("non-empty");
+            Value::Int(v.wrapping_add(delta))
+        }
+        Value::Float(v) => Value::Float(v + if rng.gen_bool(0.5) { 1.0 } else { -1.0 }),
+        Value::Null => Value::Null,
+    }
+}
+
+fn string_typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return "?".to_string();
+    }
+    match rng.gen_range(0..3u8) {
+        // Swap two adjacent characters.
+        0 if chars.len() >= 2 => {
+            let i = rng.gen_range(0..chars.len() - 1);
+            let mut out = chars.clone();
+            out.swap(i, i + 1);
+            out.into_iter().collect()
+        }
+        // Replace one character.
+        1 => {
+            let i = rng.gen_range(0..chars.len());
+            let mut out = chars.clone();
+            let replacement = (b'a' + rng.gen_range(0..26u8)) as char;
+            out[i] = replacement;
+            out.into_iter().collect()
+        }
+        // Delete one character (or duplicate, for single-char strings).
+        _ => {
+            if chars.len() == 1 {
+                let c = chars[0];
+                format!("{c}{c}")
+            } else {
+                let i = rng.gen_range(0..chars.len());
+                let mut out = chars.clone();
+                out.remove(i);
+                out.into_iter().collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_table::Attribute;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::new("t", vec![Attribute::categorical("A"), Attribute::categorical("B")])
+    }
+
+    fn rows(n: usize) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| vec![Value::str(format!("alpha{}", i % 5)), Value::str(format!("beta{}", i % 3))])
+            .collect()
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let mut r = rows(100);
+        let before = r.clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        let log = inject_errors(&mut r, &schema(), NoiseConfig::rate(0.0), &mut rng);
+        assert!(log.is_empty());
+        assert_eq!(r, before);
+    }
+
+    #[test]
+    fn rate_roughly_respected() {
+        let mut r = rows(2000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let log = inject_errors(&mut r, &schema(), NoiseConfig::rate(0.1), &mut rng);
+        let cells = 2000 * 2;
+        let observed = log.len() as f64 / cells as f64;
+        assert!((observed - 0.1).abs() < 0.02, "observed rate {observed}");
+    }
+
+    #[test]
+    fn log_records_original_values() {
+        let mut r = rows(500);
+        let before = r.clone();
+        let mut rng = StdRng::seed_from_u64(3);
+        let log = inject_errors(&mut r, &schema(), NoiseConfig::rate(0.2), &mut rng);
+        assert!(!log.is_empty());
+        for e in &log {
+            assert_eq!(e.original, before[e.row][e.attr]);
+            // The cell changed (typo/substitute/missing all modify it).
+            assert_ne!(r[e.row][e.attr], e.original);
+        }
+    }
+
+    #[test]
+    fn substitutions_stay_in_domain() {
+        let mut r = rows(500);
+        let domain: HashSet<Value> = r.iter().map(|row| row[0].clone()).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = NoiseConfig {
+            rate: 0.3,
+            typo_weight: 0.0,
+            substitute_weight: 1.0,
+            missing_weight: 0.0,
+        };
+        let log = inject_errors(&mut r, &schema(), cfg, &mut rng);
+        for e in log.iter().filter(|e| e.attr == 0) {
+            assert_eq!(e.kind, ErrorKind::Substitute);
+            assert!(domain.contains(&r[e.row][0]), "{:?} left the domain", r[e.row][0]);
+        }
+    }
+
+    #[test]
+    fn missing_sets_null() {
+        let mut r = rows(200);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = NoiseConfig {
+            rate: 0.3,
+            typo_weight: 0.0,
+            substitute_weight: 0.0,
+            missing_weight: 1.0,
+        };
+        let log = inject_errors(&mut r, &schema(), cfg, &mut rng);
+        assert!(!log.is_empty());
+        for e in &log {
+            assert!(r[e.row][e.attr].is_null());
+        }
+    }
+
+    #[test]
+    fn null_cells_are_skipped() {
+        let mut r = vec![vec![Value::Null, Value::Null]; 50];
+        let mut rng = StdRng::seed_from_u64(6);
+        let log = inject_errors(&mut r, &schema(), NoiseConfig::rate(1.0), &mut rng);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut r = rows(300);
+            let mut rng = StdRng::seed_from_u64(9);
+            let log = inject_errors(&mut r, &schema(), NoiseConfig::rate(0.15), &mut rng);
+            (r, log.len())
+        };
+        let (r1, n1) = run();
+        let (r2, n2) = run();
+        assert_eq!(n1, n2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn integer_typos_perturb_numerically() {
+        let schema =
+            Schema::new("t", vec![Attribute::categorical("N")]);
+        let mut r: Vec<Vec<Value>> = (0..200).map(|i| vec![Value::int(i)]).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = NoiseConfig {
+            rate: 0.5,
+            typo_weight: 1.0,
+            substitute_weight: 0.0,
+            missing_weight: 0.0,
+        };
+        let log = inject_errors(&mut r, &schema, cfg, &mut rng);
+        for e in &log {
+            let orig = e.original.as_f64().unwrap();
+            let new = r[e.row][0].as_f64().unwrap();
+            assert!((orig - new).abs() <= 10.0);
+        }
+    }
+}

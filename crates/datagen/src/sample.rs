@@ -1,0 +1,113 @@
+//! Master/input sampling with duplicate-rate control.
+//!
+//! Figure 7 of the paper varies the *duplicate rate* `d%`: the fraction of
+//! input tuples whose entity also appears in the master data. Given a
+//! universe of entities where the first `master_size` rows form the master
+//! sample, [`split_with_duplicate_rate`] draws an input sample in which
+//! `⌈d · input_size⌉` rows are (re-)drawn from the master range and the rest
+//! from the remainder of the universe.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Sample `k` distinct indices from `0..n` (Fisher–Yates over a window).
+/// When `k >= n`, returns a shuffled `0..n`.
+pub fn sample_indices(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.truncate(k.min(n));
+    idx
+}
+
+/// Pick `input_size` universe indices such that a `duplicate_rate` fraction
+/// falls inside the master range `0..master_size` (with replacement across
+/// draws — an entity may legitimately register twice) and the remainder is
+/// drawn (with replacement) from `master_size..universe_size`.
+///
+/// # Panics
+/// Panics if `duplicate_rate ∉ [0,1]`, `master_size == 0` with a positive
+/// rate, or the non-master range is empty while the rate is below 1.
+pub fn split_with_duplicate_rate(
+    universe_size: usize,
+    master_size: usize,
+    input_size: usize,
+    duplicate_rate: f64,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&duplicate_rate), "duplicate rate must be in [0,1]");
+    assert!(master_size <= universe_size);
+    let dup = ((input_size as f64) * duplicate_rate).round() as usize;
+    let dup = dup.min(input_size);
+    let fresh = input_size - dup;
+    if dup > 0 {
+        assert!(master_size > 0, "cannot draw duplicates from an empty master");
+    }
+    if fresh > 0 {
+        assert!(universe_size > master_size, "no non-master entities to draw from");
+    }
+    let mut out = Vec::with_capacity(input_size);
+    for _ in 0..dup {
+        out.push(rng.gen_range(0..master_size));
+    }
+    for _ in 0..fresh {
+        out.push(rng.gen_range(master_size..universe_size));
+    }
+    out.shuffle(rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_indices(100, 30, &mut rng);
+        assert_eq!(s.len(), 30);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_caps_at_n() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = sample_indices(5, 50, &mut rng);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_rate_zero_avoids_master() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = split_with_duplicate_rate(1000, 200, 300, 0.0, &mut rng);
+        assert_eq!(s.len(), 300);
+        assert!(s.iter().all(|&i| i >= 200));
+    }
+
+    #[test]
+    fn duplicate_rate_one_stays_in_master() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = split_with_duplicate_rate(1000, 200, 300, 1.0, &mut rng);
+        assert!(s.iter().all(|&i| i < 200));
+    }
+
+    #[test]
+    fn duplicate_rate_half_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = split_with_duplicate_rate(10_000, 1000, 2000, 0.5, &mut rng);
+        let in_master = s.iter().filter(|&&i| i < 1000).count();
+        assert_eq!(in_master, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rate")]
+    fn invalid_rate_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        split_with_duplicate_rate(10, 5, 5, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,154 @@
+//! Seeded building blocks for the synthetic datasets.
+
+use er_table::Value;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A categorical vocabulary with a Zipf-like sampling skew (real attribute
+/// value frequencies are heavy-tailed, and support-based pruning behaves very
+/// differently on skewed vs. uniform domains).
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    values: Vec<Arc<str>>,
+    weights: WeightedIndex<f64>,
+}
+
+impl Vocab {
+    /// Vocabulary from explicit words, Zipf(1.0)-weighted in listing order.
+    pub fn new(words: &[&str]) -> Self {
+        Self::from_values(words.iter().map(|w| Arc::from(*w)).collect())
+    }
+
+    /// Vocabulary of `n` generated values `"{prefix}{i}"`.
+    pub fn generated(prefix: &str, n: usize) -> Self {
+        Self::from_values((0..n).map(|i| Arc::from(format!("{prefix}{i:03}").as_str())).collect())
+    }
+
+    fn from_values(values: Vec<Arc<str>>) -> Self {
+        assert!(!values.is_empty(), "vocabulary must be non-empty");
+        let weights =
+            WeightedIndex::new((1..=values.len()).map(|r| 1.0 / r as f64)).expect("valid weights");
+        Vocab { values, weights }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vocabulary is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sample a value index with the Zipf skew.
+    pub fn sample_index(&self, rng: &mut StdRng) -> usize {
+        self.weights.sample(rng)
+    }
+
+    /// Sample a value with the Zipf skew.
+    pub fn sample(&self, rng: &mut StdRng) -> Value {
+        Value::Str(Arc::clone(&self.values[self.sample_index(rng)]))
+    }
+
+    /// The value at `index`.
+    pub fn value(&self, index: usize) -> Value {
+        Value::Str(Arc::clone(&self.values[index]))
+    }
+}
+
+/// A deterministic mapping from determinant-value index tuples to a target
+/// value index — the planted "true dependency" a dataset hides for the
+/// miners to discover. Entries are created lazily with the dataset's RNG, so
+/// the same seed always plants the same world.
+#[derive(Debug, Default)]
+pub struct MappingTable {
+    map: HashMap<Vec<usize>, usize>,
+}
+
+impl MappingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Target index for `key`, drawing a fresh uniform target in
+    /// `0..target_card` the first time `key` is seen.
+    pub fn get(&mut self, key: &[usize], target_card: usize, rng: &mut StdRng) -> usize {
+        if let Some(&v) = self.map.get(key) {
+            return v;
+        }
+        let v = rng.gen_range(0..target_card);
+        self.map.insert(key.to_vec(), v);
+        v
+    }
+
+    /// Number of distinct keys materialized.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no key has been materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vocab_samples_within_range() {
+        let v = Vocab::generated("c", 10);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!(v.sample_index(&mut rng) < 10);
+        }
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn vocab_skew_prefers_early_values() {
+        let v = Vocab::generated("c", 20);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 20];
+        for _ in 0..10_000 {
+            counts[v.sample_index(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] * 2, "zipf skew expected: {counts:?}");
+    }
+
+    #[test]
+    fn vocab_values_are_distinct() {
+        let v = Vocab::generated("p", 5);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5 {
+            assert!(seen.insert(v.value(i).to_string()));
+        }
+    }
+
+    #[test]
+    fn mapping_table_is_deterministic_per_seed() {
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut t = MappingTable::new();
+            (0..50).map(|i| t.get(&[i % 7, i % 3], 5, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn mapping_table_is_functional() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = MappingTable::new();
+        let a = t.get(&[1, 2], 10, &mut rng);
+        let b = t.get(&[1, 2], 10, &mut rng);
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the dataset substrate.
+
+use er_datagen::{inject_errors, sample_indices, split_with_duplicate_rate, NoiseConfig};
+use er_table::{Attribute, Schema, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The injection log is a complete, exact undo script: applying the
+    /// originals restores the clean matrix.
+    #[test]
+    fn injection_log_is_an_undo_script(
+        seed in 0u64..500,
+        rate in 0.0f64..0.5,
+        n in 1usize..60,
+    ) {
+        let schema = Schema::new(
+            "t",
+            vec![Attribute::categorical("A"), Attribute::categorical("B")],
+        );
+        let clean: Vec<Vec<Value>> = (0..n)
+            .map(|i| vec![Value::str(format!("a{}", i % 7)), Value::int((i % 5) as i64)])
+            .collect();
+        let mut dirty = clean.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let log = inject_errors(&mut dirty, &schema, NoiseConfig::rate(rate), &mut rng);
+        for e in &log {
+            dirty[e.row][e.attr] = e.original.clone();
+        }
+        prop_assert_eq!(dirty, clean);
+    }
+
+    /// Each cell is perturbed at most once per pass.
+    #[test]
+    fn at_most_one_error_per_cell(seed in 0u64..500, rate in 0.0f64..1.0) {
+        let schema = Schema::new("t", vec![Attribute::categorical("A")]);
+        let mut rows: Vec<Vec<Value>> =
+            (0..50).map(|i| vec![Value::str(format!("v{}", i % 9))]).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let log = inject_errors(&mut rows, &schema, NoiseConfig::rate(rate), &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for e in &log {
+            prop_assert!(seen.insert((e.row, e.attr)));
+        }
+    }
+
+    /// sample_indices returns distinct, in-range indices of the right count.
+    #[test]
+    fn sample_indices_properties(seed in 0u64..500, n in 1usize..200, k in 0usize..250) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = sample_indices(n, k, &mut rng);
+        prop_assert_eq!(s.len(), k.min(n));
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), s.len());
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    /// split_with_duplicate_rate puts exactly the requested fraction inside
+    /// the master range.
+    #[test]
+    fn duplicate_rate_fraction_is_exact(
+        seed in 0u64..500,
+        master in 1usize..100,
+        extra in 1usize..100,
+        input in 1usize..200,
+        d in 0.0f64..1.0,
+    ) {
+        let universe = master + extra;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let picks = split_with_duplicate_rate(universe, master, input, d, &mut rng);
+        prop_assert_eq!(picks.len(), input);
+        let dup = picks.iter().filter(|&&i| i < master).count();
+        let expected = ((input as f64) * d).round() as usize;
+        prop_assert_eq!(dup, expected.min(input));
+        prop_assert!(picks.iter().all(|&i| i < universe));
+    }
+}

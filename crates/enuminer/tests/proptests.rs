@@ -1,0 +1,94 @@
+//! Property-based tests for EnuMiner on small random tasks.
+
+use er_enuminer::{mine, EnuMinerConfig};
+use er_rules::{dominates, Evaluator, SchemaMatch, Task};
+use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random 3-attribute task: input and master drawn from tiny domains so
+/// exhaustive mining stays instant.
+fn build_task(input_rows: &[(u8, u8, u8)], master_rows: &[(u8, u8, u8)]) -> Task {
+    let pool = Arc::new(Pool::new());
+    let schema = |name: &str| {
+        Arc::new(Schema::new(
+            name,
+            vec![
+                Attribute::categorical("A"),
+                Attribute::categorical("B"),
+                Attribute::categorical("Y"),
+            ],
+        ))
+    };
+    let mut bi = RelationBuilder::new(schema("in"), Arc::clone(&pool));
+    for &(a, b, y) in input_rows {
+        bi.push_row(vec![
+            Value::str(format!("a{a}")),
+            Value::str(format!("b{b}")),
+            Value::str(format!("y{y}")),
+        ])
+        .unwrap();
+    }
+    let mut bm = RelationBuilder::new(schema("m"), pool);
+    for &(a, b, y) in master_rows {
+        bm.push_row(vec![
+            Value::str(format!("a{a}")),
+            Value::str(format!("b{b}")),
+            Value::str(format!("y{y}")),
+        ])
+        .unwrap();
+    }
+    let matching = SchemaMatch::from_pairs(3, &[(0, 0), (1, 1), (2, 2)]);
+    Task::new(bi.finish(), bm.finish(), matching, (2, 2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural invariants of every mining result: support ≥ η_s, correct
+    /// measures on re-evaluation, non-redundant set, utility-sorted.
+    #[test]
+    fn mining_invariants(
+        input in prop::collection::vec((0u8..3, 0u8..3, 0u8..2), 5..40),
+        master in prop::collection::vec((0u8..3, 0u8..3, 0u8..2), 3..20),
+        eta in 1usize..4,
+    ) {
+        let task = build_task(&input, &master);
+        let result = mine(&task, EnuMinerConfig::new(eta));
+        let ev = Evaluator::new(&task);
+        for w in result.rules.windows(2) {
+            prop_assert!(w[0].1.utility >= w[1].1.utility);
+        }
+        for (rule, m) in &result.rules {
+            prop_assert!(m.support >= eta);
+            prop_assert!(rule.lhs_len() >= 1);
+            let fresh = ev.eval(rule, None);
+            prop_assert_eq!(fresh, *m, "measures must re-verify for {:?}", rule);
+        }
+        for (i, (a, _)) in result.rules.iter().enumerate() {
+            for (j, (b, _)) in result.rules.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(a, b));
+                }
+            }
+        }
+    }
+
+    /// A higher support threshold never yields a rule the lower threshold
+    /// run could not have considered (result sets are threshold-monotone in
+    /// the sense that every high-η rule is valid under low η too).
+    #[test]
+    fn threshold_monotonicity(
+        input in prop::collection::vec((0u8..3, 0u8..3, 0u8..2), 8..40),
+        master in prop::collection::vec((0u8..3, 0u8..3, 0u8..2), 4..20),
+    ) {
+        let task = build_task(&input, &master);
+        let high = mine(&task, EnuMinerConfig::new(4));
+        for (_, m) in &high.rules {
+            prop_assert!(m.support >= 4);
+        }
+        // Every rule valid at η=4 is also ≥ η=2 by definition.
+        let low = mine(&task, EnuMinerConfig::new(2));
+        prop_assert!(low.evaluated >= high.evaluated);
+    }
+}

@@ -1,0 +1,112 @@
+//! Adam optimizer (Kingma & Ba, 2015).
+
+use crate::nn::Mlp;
+
+/// Adam state and hyperparameters for one network.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the usual defaults (`β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Apply one Adam step using the gradients accumulated in `net`, then
+    /// leave the gradients untouched (callers usually `zero_grad` next).
+    pub fn step(&mut self, net: &mut Mlp) {
+        if self.m.is_empty() {
+            // Lazily size the moment buffers to the network.
+            net.visit_params(|_, p, _| {
+                self.m.push(vec![0.0; p.len()]);
+                self.v.push(vec![0.0; p.len()]);
+            });
+        }
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        net.visit_params(|idx, params, grads| {
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            for i in 0..params.len() {
+                let g = grads[i];
+                m[i] = b1 * m[i] + (1.0 - b1) * g;
+                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        });
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Mat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Adam must drive a tiny regression problem's loss down.
+    #[test]
+    fn optimizes_least_squares() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut net = Mlp::new(&[2, 16, 1], &mut rng);
+        let mut adam = Adam::new(1e-2);
+        // Target function: y = x0 - 2·x1.
+        let xs = Mat::from_vec(4, 2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let targets = [0.0f32, 1.0, -2.0, -1.0];
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..400 {
+            net.zero_grad();
+            let y = net.forward_train(&xs);
+            let mut grad = Mat::zeros(4, 1);
+            let mut loss = 0.0;
+            for i in 0..4 {
+                let d = y.get(i, 0) - targets[i];
+                loss += d * d;
+                grad.set(i, 0, 2.0 * d);
+            }
+            net.backward(&grad);
+            adam.step(&mut net);
+            first_loss.get_or_insert(loss);
+            last_loss = loss;
+        }
+        assert!(last_loss < first_loss.unwrap() * 0.05, "loss {last_loss}");
+        assert_eq!(adam.steps(), 400);
+    }
+
+    #[test]
+    fn zero_gradient_is_a_noop_direction() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Mlp::new(&[2, 4, 1], &mut rng);
+        let mut adam = Adam::new(1e-2);
+        let x = Mat::from_vec(1, 2, vec![0.3, 0.4]);
+        let before = net.forward(&x).get(0, 0);
+        net.zero_grad();
+        adam.step(&mut net); // all-zero grads
+        let after = net.forward(&x).get(0, 0);
+        assert!((before - after).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,207 @@
+//! Dense row-major `f32` matrices.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Mat { rows, cols, data }
+    }
+
+    /// A 1×n row vector view of a slice.
+    pub fn row_vector(v: &[f32]) -> Self {
+        Mat::from_vec(1, v.len(), v.to_vec())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue; // one-hot states make inputs very sparse
+                }
+                let lhs_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let rhs_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in lhs_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ · other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        let mut out = Mat::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.get(r, i);
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let rhs_row = &other.data[r * other.cols..(r + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
+        let mut out = Mat::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            for j in 0..other.rows {
+                let mut acc = 0.0;
+                let a_row = self.row(i);
+                let b_row = other.row(j);
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Add a row vector (broadcast over rows), in place.
+    pub fn add_row_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, b) in row.iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Apply ReLU in place.
+    pub fn relu_inplace(&mut self) {
+        for x in &mut self.data {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_vec(2, 2, vec![1.0, 0.5, -1.0, 2.0]);
+        let got = a.t_matmul(&b); // aᵀ(3×2) · b(2×2) = 3×2
+        // explicit aᵀ
+        let at = Mat::from_vec(3, 2, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(got, at.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_vec(4, 3, (0..12).map(|i| i as f32).collect());
+        let got = a.matmul_t(&b); // a(2×3) · bᵀ(3×4) = 2×4
+        let bt = Mat::from_vec(
+            3,
+            4,
+            vec![0.0, 3.0, 6.0, 9.0, 1.0, 4.0, 7.0, 10.0, 2.0, 5.0, 8.0, 11.0],
+        );
+        assert_eq!(got, a.matmul(&bt));
+    }
+
+    #[test]
+    fn bias_broadcasts_over_rows() {
+        let mut a = Mat::zeros(2, 3);
+        a.add_row_bias(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut a = Mat::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        a.relu_inplace();
+        assert_eq!(a.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,220 @@
+//! Rule-set analysis: coverage, overlap, and marginal contribution.
+//!
+//! The paper motivates top-K selection by noting that "an overly large rule
+//! set not only makes it difficult for users to focus on the valuable rules
+//! but also makes it more time-consuming to apply" (§II-C). This module
+//! quantifies that: which input tuples each rule can actually repair, how
+//! much the rules overlap, and what each rule adds at the margin — the
+//! numbers a practitioner looks at when deciding how many rules to keep.
+
+use crate::measures::Evaluator;
+use crate::rule::EditingRule;
+use crate::task::Task;
+use er_table::{RowId, NULL_CODE};
+
+/// Per-rule coverage report.
+#[derive(Debug, Clone)]
+pub struct RuleCoverage {
+    /// Index into the analyzed rule slice.
+    pub rule: usize,
+    /// Input rows the rule can repair (pattern matches ∧ master hit).
+    pub supported_rows: Vec<RowId>,
+    /// Rows supported by this rule and no earlier rule in the slice —
+    /// the rule's marginal contribution under the given ordering.
+    pub marginal_rows: usize,
+}
+
+/// Whole-set coverage analysis.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// Per-rule coverage, in input order.
+    pub rules: Vec<RuleCoverage>,
+    /// Rows supported by at least one rule.
+    pub covered: usize,
+    /// Input size.
+    pub total_rows: usize,
+    /// Cumulative coverage after each rule (the knee of this curve is the
+    /// natural K).
+    pub cumulative: Vec<usize>,
+}
+
+impl CoverageReport {
+    /// Fraction of input rows repairable by the set.
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.total_rows == 0 {
+            0.0
+        } else {
+            self.covered as f64 / self.total_rows as f64
+        }
+    }
+
+    /// The smallest prefix length reaching `fraction` of the full set's
+    /// coverage — a data-driven choice of K.
+    pub fn knee(&self, fraction: f64) -> usize {
+        let target = (self.covered as f64 * fraction).ceil() as usize;
+        self.cumulative.iter().position(|&c| c >= target).map(|i| i + 1).unwrap_or(self.rules.len())
+    }
+}
+
+/// Rows a rule can actually repair on `task`.
+fn supported_rows(ev: &Evaluator<'_>, rule: &EditingRule) -> Vec<RowId> {
+    let task = ev.task();
+    let input = task.input();
+    let x = rule.x();
+    let group = ev.group_index(&rule.xm());
+    let mut out = Vec::new();
+    let mut key = Vec::with_capacity(x.len());
+    'rows: for row in ev.cover(rule, None) {
+        key.clear();
+        for &a in &x {
+            let c = input.code(row, a);
+            if c == NULL_CODE {
+                continue 'rows;
+            }
+            key.push(c);
+        }
+        let dist = group.get(&key);
+        if dist.iter().any(|&(c, _)| c != NULL_CODE) {
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Analyze a rule set's coverage on `task` (rules are considered in the
+/// given order for marginal/cumulative numbers — pass them sorted by
+/// utility to see the top-K trade-off).
+pub fn coverage(task: &Task, rules: &[EditingRule]) -> CoverageReport {
+    let ev = Evaluator::new(task);
+    let n = task.input().num_rows();
+    let mut seen = vec![false; n];
+    let mut covered = 0usize;
+    let mut out = Vec::with_capacity(rules.len());
+    let mut cumulative = Vec::with_capacity(rules.len());
+    for (i, rule) in rules.iter().enumerate() {
+        let rows = supported_rows(&ev, rule);
+        let mut marginal = 0usize;
+        for &r in &rows {
+            if !seen[r] {
+                seen[r] = true;
+                covered += 1;
+                marginal += 1;
+            }
+        }
+        out.push(RuleCoverage { rule: i, supported_rows: rows, marginal_rows: marginal });
+        cumulative.push(covered);
+    }
+    CoverageReport { rules: out, covered, total_rows: n, cumulative }
+}
+
+/// Jaccard overlap of two rules' supported row sets.
+pub fn overlap(task: &Task, a: &EditingRule, b: &EditingRule) -> f64 {
+    let ev = Evaluator::new(task);
+    let ra = supported_rows(&ev, a);
+    let rb = supported_rows(&ev, b);
+    if ra.is_empty() && rb.is_empty() {
+        return 0.0;
+    }
+    let sa: std::collections::HashSet<_> = ra.iter().copied().collect();
+    let inter = rb.iter().filter(|r| sa.contains(r)).count();
+    let union = ra.len() + rb.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::SchemaMatch;
+    use crate::rule::Condition;
+    use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
+    use std::sync::Arc;
+
+    fn task() -> Task {
+        let pool = Arc::new(Pool::new());
+        let in_schema = Arc::new(Schema::new(
+            "in",
+            vec![Attribute::categorical("City"), Attribute::categorical("Case")],
+        ));
+        let m_schema = Arc::new(Schema::new(
+            "m",
+            vec![Attribute::categorical("City"), Attribute::categorical("Infection")],
+        ));
+        let s = Value::str;
+        let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+        for city in ["HZ", "HZ", "BJ", "SZ", "XX"] {
+            b.push_row(vec![s(city), Value::Null]).unwrap();
+        }
+        let input = b.finish();
+        let mut bm = RelationBuilder::new(m_schema, pool);
+        bm.push_row(vec![s("HZ"), s("p")]).unwrap();
+        bm.push_row(vec![s("BJ"), s("i")]).unwrap();
+        let master = bm.finish();
+        Task::new(input, master, SchemaMatch::from_pairs(2, &[(0, 0), (1, 1)]), (1, 1))
+    }
+
+    fn code(t: &Task, v: &str) -> er_table::Code {
+        t.input().pool().code_of(&Value::str(v)).unwrap()
+    }
+
+    #[test]
+    fn coverage_counts_supported_rows() {
+        let t = task();
+        let all = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        let report = coverage(&t, &[all]);
+        // HZ×2, BJ — SZ and XX are not in master.
+        assert_eq!(report.covered, 3);
+        assert_eq!(report.total_rows, 5);
+        assert!((report.coverage_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(report.rules[0].supported_rows, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn marginal_rows_respect_order() {
+        let t = task();
+        let hz_only = EditingRule::new(
+            vec![(0, 0)],
+            (1, 1),
+            vec![Condition::eq(0, code(&t, "HZ"))],
+        );
+        let all = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        let report = coverage(&t, &[hz_only.clone(), all.clone()]);
+        assert_eq!(report.rules[0].marginal_rows, 2); // HZ rows
+        assert_eq!(report.rules[1].marginal_rows, 1); // only BJ is new
+        assert_eq!(report.cumulative, vec![2, 3]);
+        // Reversed order flips the marginals.
+        let rev = coverage(&t, &[all, hz_only]);
+        assert_eq!(rev.rules[0].marginal_rows, 3);
+        assert_eq!(rev.rules[1].marginal_rows, 0);
+    }
+
+    #[test]
+    fn knee_finds_minimal_prefix() {
+        let t = task();
+        let hz_only =
+            EditingRule::new(vec![(0, 0)], (1, 1), vec![Condition::eq(0, code(&t, "HZ"))]);
+        let all = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        let report = coverage(&t, &[hz_only, all]);
+        assert_eq!(report.knee(0.6), 1); // 2 of 3 ≥ 60%
+        assert_eq!(report.knee(1.0), 2);
+    }
+
+    #[test]
+    fn overlap_is_jaccard() {
+        let t = task();
+        let hz_only =
+            EditingRule::new(vec![(0, 0)], (1, 1), vec![Condition::eq(0, code(&t, "HZ"))]);
+        let all = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        // HZ ⊂ all: |∩| = 2, |∪| = 3.
+        assert!((overlap(&t, &hz_only, &all) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((overlap(&t, &all, &all) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rule_set_covers_nothing() {
+        let t = task();
+        let report = coverage(&t, &[]);
+        assert_eq!(report.covered, 0);
+        assert_eq!(report.coverage_fraction(), 0.0);
+        assert_eq!(report.knee(0.5), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Pattern and rule domination (Definitions 2–4) and non-redundant top-K
+//! selection (Problem 1).
+//!
+//! Definition 3 in the paper writes `X_1 ⊂ X_2`; we read the subset relations
+//! inclusively and require the two rules to differ, i.e. `φ1 ⋖ φ2` iff
+//! `LHS(φ1) ⊆ LHS(φ2)`, `t_p1 ⊆ t_p2`, and `φ1 ≠ φ2`. This matches the
+//! paper's redundancy intuition ("the LHS in φ1 is a subset of the LHS in φ2
+//! and the pattern in φ1 is also a subset of the pattern in φ2") and keeps
+//! Lemma 1 (`φ1 ⋖ φ2 ⇒ S(φ1) ≥ S(φ2)`) valid: every extra LHS pair or
+//! pattern condition can only shrink the set of applicable tuples.
+
+use crate::measures::Measures;
+use crate::rule::{Condition, EditingRule};
+
+/// Pattern domination (Definition 2): every condition of `p1` appears in
+/// `p2` with the same attribute and predicate. Both slices must be in
+/// canonical (attribute-sorted) order, which [`EditingRule`] guarantees.
+pub fn pattern_dominates(p1: &[Condition], p2: &[Condition]) -> bool {
+    subset_sorted(p1, p2, |a, b| a.attr.cmp(&b.attr), |a, b| a == b)
+}
+
+/// Rule domination `φ1 ⋖ φ2` (Definition 3, inclusive reading — see module
+/// docs). Rules over different targets are never comparable.
+pub fn dominates(phi1: &EditingRule, phi2: &EditingRule) -> bool {
+    phi1 != phi2
+        && phi1.target() == phi2.target()
+        && subset_sorted(phi1.lhs(), phi2.lhs(), |a, b| a.cmp(b), |a, b| a == b)
+        && pattern_dominates(phi1.pattern(), phi2.pattern())
+}
+
+/// Merge-style subset check over two sorted sequences: every element of
+/// `small` must occur in `big` (compared by `eq` after aligning by `cmp`).
+fn subset_sorted<T>(
+    small: &[T],
+    big: &[T],
+    cmp: impl Fn(&T, &T) -> std::cmp::Ordering,
+    eq: impl Fn(&T, &T) -> bool,
+) -> bool {
+    let mut j = 0;
+    'outer: for item in small {
+        while j < big.len() {
+            match cmp(item, &big[j]) {
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if eq(item, &big[j]) {
+                        j += 1;
+                        continue 'outer;
+                    }
+                    return false;
+                }
+                std::cmp::Ordering::Less => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Select a non-redundant (Definition 4) set of at most `k` rules maximizing
+/// utility: rules are considered in descending utility order (ties broken
+/// toward more general rules, then deterministically by structure) and a rule
+/// is kept iff it neither dominates nor is dominated by an already-kept rule.
+pub fn select_top_k(
+    mut scored: Vec<(EditingRule, Measures)>,
+    k: usize,
+) -> Vec<(EditingRule, Measures)> {
+    scored.sort_by(|(ra, ma), (rb, mb)| {
+        mb.utility
+            .partial_cmp(&ma.utility)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (ra.lhs_len() + ra.pattern_len()).cmp(&(rb.lhs_len() + rb.pattern_len())))
+            .then_with(|| format!("{ra:?}").cmp(&format!("{rb:?}")))
+    });
+    let mut kept: Vec<(EditingRule, Measures)> = Vec::new();
+    for (rule, m) in scored {
+        if kept.len() >= k {
+            break;
+        }
+        let redundant =
+            kept.iter().any(|(kr, _)| dominates(kr, &rule) || dominates(&rule, kr));
+        if !redundant {
+            kept.push((rule, m));
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Condition;
+
+    fn m(u: f64, s: usize) -> Measures {
+        Measures { support: s, certainty: 1.0, quality: 1.0, utility: u, cover: s }
+    }
+
+    #[test]
+    fn lhs_subset_dominates() {
+        let phi1 = EditingRule::new(vec![(0, 0)], (5, 5), vec![]);
+        let phi2 = EditingRule::new(vec![(0, 0), (1, 1)], (5, 5), vec![]);
+        assert!(dominates(&phi1, &phi2));
+        assert!(!dominates(&phi2, &phi1));
+    }
+
+    #[test]
+    fn pattern_subset_dominates() {
+        let phi1 = EditingRule::new(vec![(0, 0)], (5, 5), vec![Condition::eq(1, 7)]);
+        let phi2 =
+            EditingRule::new(vec![(0, 0)], (5, 5), vec![Condition::eq(1, 7), Condition::eq(2, 9)]);
+        assert!(dominates(&phi1, &phi2));
+        assert!(!dominates(&phi2, &phi1));
+    }
+
+    #[test]
+    fn equal_rules_do_not_dominate() {
+        let phi = EditingRule::new(vec![(0, 0)], (5, 5), vec![]);
+        assert!(!dominates(&phi, &phi.clone()));
+    }
+
+    #[test]
+    fn different_pattern_values_incomparable() {
+        let phi1 = EditingRule::new(vec![(0, 0)], (5, 5), vec![Condition::eq(1, 7)]);
+        let phi2 = EditingRule::new(vec![(0, 0)], (5, 5), vec![Condition::eq(1, 8)]);
+        assert!(!dominates(&phi1, &phi2));
+        assert!(!dominates(&phi2, &phi1));
+    }
+
+    #[test]
+    fn different_master_attr_incomparable() {
+        let phi1 = EditingRule::new(vec![(0, 0)], (5, 5), vec![]);
+        let phi2 = EditingRule::new(vec![(0, 1), (1, 2)], (5, 5), vec![]);
+        assert!(!dominates(&phi1, &phi2));
+    }
+
+    #[test]
+    fn different_target_incomparable() {
+        let phi1 = EditingRule::new(vec![(0, 0)], (5, 5), vec![]);
+        let phi2 = EditingRule::new(vec![(0, 0), (1, 1)], (6, 6), vec![]);
+        assert!(!dominates(&phi1, &phi2));
+    }
+
+    #[test]
+    fn top_k_removes_redundancy() {
+        let general = EditingRule::new(vec![(0, 0)], (5, 5), vec![]);
+        let specific = EditingRule::new(vec![(0, 0), (1, 1)], (5, 5), vec![]);
+        let other = EditingRule::new(vec![(2, 2)], (5, 5), vec![]);
+        let out = select_top_k(
+            vec![(general.clone(), m(10.0, 100)), (specific, m(8.0, 50)), (other.clone(), m(6.0, 30))],
+            10,
+        );
+        let rules: Vec<_> = out.iter().map(|(r, _)| r.clone()).collect();
+        assert_eq!(rules, vec![general, other]);
+    }
+
+    #[test]
+    fn top_k_prefers_higher_utility_among_redundant() {
+        let general = EditingRule::new(vec![(0, 0)], (5, 5), vec![]);
+        let specific = EditingRule::new(vec![(0, 0), (1, 1)], (5, 5), vec![]);
+        // The specific rule has higher utility: it wins, the general one is
+        // dropped as redundant with it.
+        let out =
+            select_top_k(vec![(general, m(5.0, 100)), (specific.clone(), m(9.0, 50))], 10);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, specific);
+    }
+
+    #[test]
+    fn top_k_caps_at_k() {
+        let rules: Vec<_> = (0..5)
+            .map(|i| (EditingRule::new(vec![(i, i)], (9, 9), vec![]), m(i as f64, 10)))
+            .collect();
+        let out = select_top_k(rules, 3);
+        assert_eq!(out.len(), 3);
+        // Highest utilities kept.
+        assert!(out.iter().all(|(_, meas)| meas.utility >= 2.0));
+    }
+
+    #[test]
+    fn non_redundant_invariant_holds() {
+        let rules: Vec<_> = vec![
+            (EditingRule::new(vec![(0, 0)], (9, 9), vec![]), m(3.0, 10)),
+            (EditingRule::new(vec![(0, 0), (1, 1)], (9, 9), vec![]), m(2.0, 10)),
+            (EditingRule::new(vec![(1, 1)], (9, 9), vec![]), m(1.0, 10)),
+            (EditingRule::new(vec![(0, 0), (2, 2)], (9, 9), vec![Condition::eq(3, 1)]), m(4.0, 10)),
+        ];
+        let out = select_top_k(rules, 10);
+        for (i, (a, _)) in out.iter().enumerate() {
+            for (j, (b, _)) in out.iter().enumerate() {
+                if i != j {
+                    assert!(!dominates(a, b), "selected set contains domination");
+                }
+            }
+        }
+    }
+}

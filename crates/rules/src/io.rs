@@ -1,0 +1,298 @@
+//! Rule-set persistence.
+//!
+//! Discovered rules are meant to outlive the mining run: they get reviewed,
+//! versioned, and applied to future batches of input data. This module
+//! serializes rule sets to a self-describing JSON document that stores
+//! values *by content* (attribute names and rendered values), so a rule set
+//! saved against one pool can be loaded against another — or against a
+//! re-loaded dataset — as long as the schemas still match.
+
+use crate::measures::Measures;
+use crate::rule::{Condition, EditingRule, Pred};
+use crate::task::Task;
+use er_table::Value;
+use serde::{Deserialize, Serialize};
+
+/// A portable (pool-independent) rule representation.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PortableRule {
+    /// LHS pairs as `(input attribute name, master attribute name)`.
+    pub lhs: Vec<(String, String)>,
+    /// Target pair as `(Y name, Y_m name)`.
+    pub target: (String, String),
+    /// Pattern conditions with rendered values.
+    pub pattern: Vec<PortableCondition>,
+    /// Measures at save time (informational; re-evaluate after loading).
+    pub measures: Option<Measures>,
+}
+
+/// A portable pattern condition.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum PortableCondition {
+    /// `t[attr] = value` (value in rendered form).
+    Eq {
+        /// Input attribute name.
+        attr: String,
+        /// Rendered constant.
+        value: String,
+        /// Whether the constant was numeric (`Int`) in the pool.
+        numeric: bool,
+    },
+    /// `lo ≤ t[attr] < hi`.
+    Range {
+        /// Input attribute name.
+        attr: String,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound (`null`/∞ encoded as `f64::INFINITY`).
+        hi: f64,
+    },
+    /// `t[attr] ∈ values`.
+    OneOf {
+        /// Input attribute name.
+        attr: String,
+        /// Rendered members.
+        values: Vec<String>,
+        /// Whether members were numeric in the pool.
+        numeric: bool,
+    },
+}
+
+/// Convert a rule to its portable form using `task`'s schemas and pool.
+pub fn to_portable(rule: &EditingRule, task: &Task, measures: Option<Measures>) -> PortableRule {
+    let in_schema = task.input().schema();
+    let m_schema = task.master().schema();
+    let pool = task.input().pool();
+    let render = |code: er_table::Code| pool.value(code);
+    let lhs = rule
+        .lhs()
+        .iter()
+        .map(|&(a, am)| (in_schema.attr(a).name.clone(), m_schema.attr(am).name.clone()))
+        .collect();
+    let (y, ym) = rule.target();
+    let pattern = rule
+        .pattern()
+        .iter()
+        .map(|c| {
+            let attr = in_schema.attr(c.attr).name.clone();
+            match &c.pred {
+                Pred::Eq(code) => {
+                    let v = render(*code);
+                    PortableCondition::Eq {
+                        attr,
+                        numeric: matches!(v, Value::Int(_) | Value::Float(_)),
+                        value: v.render().into_owned(),
+                    }
+                }
+                Pred::Range { lo, hi } => PortableCondition::Range { attr, lo: *lo, hi: *hi },
+                Pred::OneOf(codes) => {
+                    let vals: Vec<Value> = codes.iter().map(|&c| render(c)).collect();
+                    PortableCondition::OneOf {
+                        attr,
+                        numeric: vals
+                            .first()
+                            .is_some_and(|v| matches!(v, Value::Int(_) | Value::Float(_))),
+                        values: vals.iter().map(|v| v.render().into_owned()).collect(),
+                    }
+                }
+            }
+        })
+        .collect();
+    PortableRule {
+        lhs,
+        target: (in_schema.attr(y).name.clone(), m_schema.attr(ym).name.clone()),
+        pattern,
+        measures,
+    }
+}
+
+/// Errors when resolving a portable rule against a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// An attribute name no longer exists in the schema.
+    UnknownAttribute(String),
+    /// The rule's target differs from the task's target.
+    TargetMismatch,
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
+            ResolveError::TargetMismatch => write!(f, "rule target differs from task target"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+fn parse_value(raw: &str, numeric: bool) -> Value {
+    if numeric {
+        if let Ok(v) = raw.parse::<i64>() {
+            return Value::Int(v);
+        }
+        if let Ok(v) = raw.parse::<f64>() {
+            return Value::Float(v);
+        }
+    }
+    Value::str(raw)
+}
+
+/// Resolve a portable rule against `task` (re-interning values in the
+/// task's pool).
+pub fn from_portable(portable: &PortableRule, task: &Task) -> Result<EditingRule, ResolveError> {
+    let in_schema = task.input().schema();
+    let m_schema = task.master().schema();
+    let pool = task.input().pool();
+    let in_attr = |name: &str| {
+        in_schema.attr_id(name).map_err(|_| ResolveError::UnknownAttribute(name.to_string()))
+    };
+    let m_attr = |name: &str| {
+        m_schema.attr_id(name).map_err(|_| ResolveError::UnknownAttribute(name.to_string()))
+    };
+    let (y_name, ym_name) = &portable.target;
+    let target = (in_attr(y_name)?, m_attr(ym_name)?);
+    if target != task.target() {
+        return Err(ResolveError::TargetMismatch);
+    }
+    let mut lhs = Vec::with_capacity(portable.lhs.len());
+    for (a, am) in &portable.lhs {
+        lhs.push((in_attr(a)?, m_attr(am)?));
+    }
+    let mut pattern = Vec::with_capacity(portable.pattern.len());
+    for cond in &portable.pattern {
+        pattern.push(match cond {
+            PortableCondition::Eq { attr, value, numeric } => Condition {
+                attr: in_attr(attr)?,
+                pred: Pred::Eq(pool.intern(parse_value(value, *numeric))),
+            },
+            PortableCondition::Range { attr, lo, hi } => Condition::range(in_attr(attr)?, *lo, *hi),
+            PortableCondition::OneOf { attr, values, numeric } => Condition {
+                attr: in_attr(attr)?,
+                pred: Pred::one_of(
+                    values.iter().map(|v| pool.intern(parse_value(v, *numeric))).collect(),
+                ),
+            },
+        });
+    }
+    Ok(EditingRule::new(lhs, target, pattern))
+}
+
+/// Serialize a scored rule set to pretty JSON.
+pub fn rules_to_json(rules: &[(EditingRule, Measures)], task: &Task) -> String {
+    let portable: Vec<PortableRule> =
+        rules.iter().map(|(r, m)| to_portable(r, task, Some(*m))).collect();
+    serde_json::to_string_pretty(&portable).expect("portable rules serialize")
+}
+
+/// Deserialize a rule set saved by [`rules_to_json`] against a task.
+pub fn rules_from_json(json: &str, task: &Task) -> Result<Vec<EditingRule>, Box<dyn std::error::Error>> {
+    let portable: Vec<PortableRule> = serde_json::from_str(json)?;
+    portable.iter().map(|p| from_portable(p, task).map_err(Into::into)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::SchemaMatch;
+    use er_table::{Attribute, Pool, RelationBuilder, Schema};
+    use std::sync::Arc;
+
+    fn task() -> Task {
+        let pool = Arc::new(Pool::new());
+        let in_schema = Arc::new(Schema::new(
+            "in",
+            vec![
+                Attribute::categorical("City"),
+                Attribute::continuous("Age"),
+                Attribute::categorical("Case"),
+            ],
+        ));
+        let m_schema = Arc::new(Schema::new(
+            "m",
+            vec![Attribute::categorical("City"), Attribute::categorical("Infection")],
+        ));
+        let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+        b.push_row(vec![Value::str("HZ"), Value::int(30), Value::str("c1")]).unwrap();
+        b.push_row(vec![Value::str("BJ"), Value::int(44), Value::str("c2")]).unwrap();
+        let input = b.finish();
+        let mut bm = RelationBuilder::new(m_schema, pool);
+        bm.push_row(vec![Value::str("HZ"), Value::str("c1")]).unwrap();
+        let master = bm.finish();
+        Task::new(input, master, SchemaMatch::from_pairs(3, &[(0, 0), (2, 1)]), (2, 1))
+    }
+
+    fn sample_rule(t: &Task) -> EditingRule {
+        let hz = t.input().pool().code_of(&Value::str("HZ")).unwrap();
+        EditingRule::new(
+            vec![(0, 0)],
+            (2, 1),
+            vec![Condition::eq(0, hz), Condition::range(1, 20.0, 40.0)],
+        )
+    }
+
+    #[test]
+    fn round_trip_same_task() {
+        let t = task();
+        let rule = sample_rule(&t);
+        let p = to_portable(&rule, &t, None);
+        let back = from_portable(&p, &t).unwrap();
+        assert_eq!(back, rule);
+    }
+
+    #[test]
+    fn round_trip_through_json_and_fresh_pool() {
+        let t1 = task();
+        let rule = sample_rule(&t1);
+        let ev = crate::measures::Evaluator::new(&t1);
+        let m = ev.eval(&rule, None);
+        let json = rules_to_json(&[(rule.clone(), m)], &t1);
+
+        // A fresh, structurally identical task with its own pool.
+        let t2 = task();
+        let loaded = rules_from_json(&json, &t2).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].lhs(), rule.lhs());
+        assert_eq!(loaded[0].pattern_len(), rule.pattern_len());
+        // Same measures on the identical data.
+        let ev2 = crate::measures::Evaluator::new(&t2);
+        assert_eq!(ev2.eval(&loaded[0], None), m);
+    }
+
+    #[test]
+    fn unknown_attribute_is_reported() {
+        let t = task();
+        let mut p = to_portable(&sample_rule(&t), &t, None);
+        p.lhs[0].0 = "Nope".to_string();
+        assert_eq!(
+            from_portable(&p, &t).unwrap_err(),
+            ResolveError::UnknownAttribute("Nope".to_string())
+        );
+    }
+
+    #[test]
+    fn target_mismatch_is_reported() {
+        let t = task();
+        let mut p = to_portable(&sample_rule(&t), &t, None);
+        p.target = ("City".to_string(), "City".to_string());
+        assert_eq!(from_portable(&p, &t).unwrap_err(), ResolveError::TargetMismatch);
+    }
+
+    #[test]
+    fn one_of_conditions_round_trip() {
+        let t = task();
+        let pool = t.input().pool();
+        let codes = vec![
+            pool.code_of(&Value::str("HZ")).unwrap(),
+            pool.code_of(&Value::str("BJ")).unwrap(),
+        ];
+        let rule = EditingRule::new(
+            vec![(0, 0)],
+            (2, 1),
+            vec![Condition { attr: 0, pred: Pred::one_of(codes) }],
+        );
+        let p = to_portable(&rule, &t, None);
+        let back = from_portable(&p, &t).unwrap();
+        assert_eq!(back, rule);
+    }
+}

@@ -1,0 +1,120 @@
+//! Schema matching `M` between the input schema `R` and master schema `R_m`.
+//!
+//! The paper assumes the match is given (§II-C): `M(A)` is the set of master
+//! attributes matched to input attribute `A` (possibly empty). This module
+//! provides the match container plus a name-based matcher convenient for the
+//! synthetic datasets, whose matched attributes share (normalized) names.
+
+use er_table::{AttrId, Schema};
+use serde::{Deserialize, Serialize};
+
+/// The schema match `M = {A : {A_m}}` (§II-C), stored per input attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaMatch {
+    /// `matched[a]` = master attributes matched to input attribute `a`.
+    matched: Vec<Vec<AttrId>>,
+}
+
+impl SchemaMatch {
+    /// Build from explicit per-input-attribute lists. `matched.len()` must be
+    /// the input schema's arity.
+    pub fn new(matched: Vec<Vec<AttrId>>) -> Self {
+        SchemaMatch { matched }
+    }
+
+    /// Build from `(input, master)` pairs, given the input arity.
+    pub fn from_pairs(input_arity: usize, pairs: &[(AttrId, AttrId)]) -> Self {
+        let mut matched = vec![Vec::new(); input_arity];
+        for &(a, am) in pairs {
+            if !matched[a].contains(&am) {
+                matched[a].push(am);
+            }
+        }
+        for v in &mut matched {
+            v.sort_unstable();
+        }
+        SchemaMatch { matched }
+    }
+
+    /// Match attributes by case-insensitive, separator-insensitive name
+    /// equality (`"area_code"` matches `"AreaCode"`).
+    pub fn by_name(input: &Schema, master: &Schema) -> Self {
+        let norm = |s: &str| -> String {
+            s.chars().filter(|c| c.is_alphanumeric()).flat_map(|c| c.to_lowercase()).collect()
+        };
+        let mut matched = vec![Vec::new(); input.arity()];
+        for (a, attr) in input.iter() {
+            let na = norm(&attr.name);
+            for (am, mattr) in master.iter() {
+                if norm(&mattr.name) == na {
+                    matched[a].push(am);
+                }
+            }
+        }
+        SchemaMatch { matched }
+    }
+
+    /// `M(a)` — master attributes matched to input attribute `a`.
+    pub fn of(&self, a: AttrId) -> &[AttrId] {
+        &self.matched[a]
+    }
+
+    /// Number of input attributes the match is defined over.
+    pub fn input_arity(&self) -> usize {
+        self.matched.len()
+    }
+
+    /// Total number of matched pairs `|M|` (drives the enumeration-space
+    /// bound `N_enum = 2^{|M|} · Π(|dom(A)|+1)` of §II-D).
+    pub fn num_pairs(&self) -> usize {
+        self.matched.iter().map(Vec::len).sum()
+    }
+
+    /// Iterate all `(input, master)` matched pairs in order.
+    pub fn pairs(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
+        self.matched.iter().enumerate().flat_map(|(a, ms)| ms.iter().map(move |&am| (a, am)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_table::Attribute;
+
+    #[test]
+    fn from_pairs_dedupes_and_sorts() {
+        let m = SchemaMatch::from_pairs(3, &[(0, 2), (0, 1), (0, 2), (2, 0)]);
+        assert_eq!(m.of(0), &[1, 2]);
+        assert_eq!(m.of(1), &[] as &[AttrId]);
+        assert_eq!(m.of(2), &[0]);
+        assert_eq!(m.num_pairs(), 3);
+        assert_eq!(m.input_arity(), 3);
+    }
+
+    #[test]
+    fn by_name_is_case_and_separator_insensitive() {
+        let input = Schema::new(
+            "in",
+            vec![
+                Attribute::categorical("area_code"),
+                Attribute::categorical("City"),
+                Attribute::categorical("Overseas"),
+            ],
+        );
+        let master = Schema::new(
+            "m",
+            vec![Attribute::categorical("AreaCode"), Attribute::categorical("city")],
+        );
+        let m = SchemaMatch::by_name(&input, &master);
+        assert_eq!(m.of(0), &[0]);
+        assert_eq!(m.of(1), &[1]);
+        assert_eq!(m.of(2), &[] as &[AttrId]);
+    }
+
+    #[test]
+    fn pairs_iterates_in_order() {
+        let m = SchemaMatch::from_pairs(2, &[(1, 0), (0, 1)]);
+        let pairs: Vec<_> = m.pairs().collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 0)]);
+    }
+}

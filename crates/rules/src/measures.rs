@@ -1,0 +1,405 @@
+//! Utility measures for editing rules (§II-B, Eqs. 1–5).
+//!
+//! For a rule `φ = ((X, X_m) → (Y, Y_m), t_p)` over input `D` and master
+//! `D_m`:
+//!
+//! * **Support** `S(φ) = Σ_t f_s(φ, t)` — how many input tuples can be
+//!   updated by some master tuple (Eq. 1).
+//! * **Certainty** `C(φ)` — average concentration of the candidate-fix
+//!   distribution over covered tuples (Eqs. 2–3); `C(φ) = 1` means every
+//!   covered tuple receives exactly one candidate fix, i.e. a *certain fix*.
+//! * **Quality** `Q(φ)` — whether the most frequent candidate equals the
+//!   labelled truth, averaged with `+1/−1` scoring (Eqs. 4–5).
+//! * **Utility** `U(φ) = (log S)² · (C + Q)` — the comprehensive measure
+//!   (Fig. 2; `log` is base-10 so utility saturates at realistic supports).
+//!
+//! The [`Evaluator`] owns the per-task acceleration structures: a
+//! [`GroupIndex`] on the master relation per distinct `X_m` list (built once,
+//! shared by every rule with that LHS), and pattern covers computed by
+//! *subspace search* — a child rule only rescans its parent's cover
+//! (Algorithm 4, lines 9–10).
+
+use crate::rule::EditingRule;
+use crate::task::Task;
+use er_table::{Code, GroupIndex, RowId, NULL_CODE};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The four measures of one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measures {
+    /// Support `S(φ)` (Eq. 1).
+    pub support: usize,
+    /// Certainty `C(φ) ∈ [0, 1]` (Eq. 3); 0 when support is 0.
+    pub certainty: f64,
+    /// Quality `Q(φ) ∈ [−1, 1]` (Eq. 5); 0 when support is 0.
+    pub quality: f64,
+    /// Utility `U(φ) = (log₁₀ S)² · (C + Q)`.
+    pub utility: f64,
+    /// Number of input tuples matching the pattern `t_p` (cover size; the
+    /// support counts only the covered tuples that also hit master).
+    pub cover: usize,
+}
+
+impl Measures {
+    /// The all-zero measures of an inapplicable rule.
+    pub fn zero() -> Self {
+        Measures { support: 0, certainty: 0.0, quality: 0.0, utility: 0.0, cover: 0 }
+    }
+}
+
+/// Measure evaluator with shared acceleration caches for one [`Task`].
+pub struct Evaluator<'a> {
+    task: &'a Task,
+    /// Master-side group indexes, keyed by the `X_m` attribute list.
+    group_indexes: Mutex<HashMap<Vec<usize>, Arc<GroupIndex>>>,
+    /// Measures cache keyed by rule (the paper's reward map `R_Σ` reuses
+    /// this through RLMiner; EnuMiner hits it when lattice paths converge).
+    measures_cache: Mutex<HashMap<EditingRule, Measures>>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator for `task`.
+    pub fn new(task: &'a Task) -> Self {
+        Evaluator {
+            task,
+            group_indexes: Mutex::new(HashMap::new()),
+            measures_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying task.
+    pub fn task(&self) -> &Task {
+        self.task
+    }
+
+    /// Number of distinct rules evaluated so far (cache size).
+    pub fn evaluated_rules(&self) -> usize {
+        self.measures_cache.lock().len()
+    }
+
+    /// The group index on `X_m` (aggregating `Y_m` counts), building and
+    /// caching it on first use.
+    pub fn group_index(&self, xm: &[usize]) -> Arc<GroupIndex> {
+        if let Some(g) = self.group_indexes.lock().get(xm) {
+            return Arc::clone(g);
+        }
+        let (_, ym) = self.task.target();
+        let built = Arc::new(GroupIndex::build(self.task.master(), xm, ym));
+        let mut lock = self.group_indexes.lock();
+        Arc::clone(lock.entry(xm.to_vec()).or_insert(built))
+    }
+
+    /// Rows of the input matching the rule's pattern, restricted to
+    /// `within` when given (subspace search over the parent's cover).
+    pub fn cover(&self, rule: &EditingRule, within: Option<&[RowId]>) -> Vec<RowId> {
+        let input = self.task.input();
+        let matches = |row: RowId| {
+            rule.pattern_matches(input, row, |attr, r| self.task.numeric(attr, r))
+        };
+        match within {
+            Some(rows) => rows.iter().copied().filter(|&r| matches(r)).collect(),
+            None => (0..input.num_rows()).filter(|&r| matches(r)).collect(),
+        }
+    }
+
+    /// Evaluate all measures of `rule`, using `parent_cover` to restrict the
+    /// pattern scan when given. Results are cached by rule, so re-evaluating
+    /// the same rule (e.g. across RL episodes) costs one hash lookup.
+    pub fn eval(&self, rule: &EditingRule, parent_cover: Option<&[RowId]>) -> Measures {
+        if let Some(m) = self.measures_cache.lock().get(rule) {
+            return *m;
+        }
+        let cover = self.cover(rule, parent_cover);
+        let m = self.eval_on_cover(rule, &cover);
+        self.measures_cache.lock().insert(rule.clone(), m);
+        m
+    }
+
+    /// Cached measures of `rule`, if it was evaluated before.
+    pub fn cached(&self, rule: &EditingRule) -> Option<Measures> {
+        self.measures_cache.lock().get(rule).copied()
+    }
+
+    /// Like [`Evaluator::eval_on_cover`], but consults and fills the
+    /// per-rule cache (the reward-reuse map `R_Σ` of Algorithm 2 is keyed
+    /// off this). Use the uncached variant in one-pass enumerations where
+    /// the caller already deduplicates rules.
+    pub fn eval_on_cover_cached(&self, rule: &EditingRule, cover: &[RowId]) -> Measures {
+        if let Some(m) = self.cached(rule) {
+            return m;
+        }
+        let m = self.eval_on_cover(rule, cover);
+        self.measures_cache.lock().insert(rule.clone(), m);
+        m
+    }
+
+    /// Evaluate measures given an already-computed pattern cover.
+    pub fn eval_on_cover(&self, rule: &EditingRule, cover: &[RowId]) -> Measures {
+        let input = self.task.input();
+        let x = rule.x();
+        let xm = rule.xm();
+        let group = self.group_index(&xm);
+
+        let mut support = 0usize;
+        let mut certainty_sum = 0.0f64;
+        let mut quality_sum = 0.0f64;
+        let mut key = Vec::with_capacity(x.len());
+
+        'rows: for &row in cover {
+            key.clear();
+            for &a in &x {
+                let c = input.code(row, a);
+                if c == NULL_CODE {
+                    continue 'rows; // NULL never matches a master value
+                }
+                key.push(c);
+            }
+            let dist = group.get(&key);
+            let (total, max_count, argmax) = summarize(dist);
+            if total == 0 {
+                continue; // no candidate fixes from master: f_s = 0
+            }
+            support += 1;
+            certainty_sum += max_count as f64 / total as f64;
+            let truth = self.task.label(row);
+            quality_sum += if truth != NULL_CODE && argmax == truth { 1.0 } else { -1.0 };
+        }
+
+        let (certainty, quality) = if support == 0 {
+            (0.0, 0.0)
+        } else {
+            (certainty_sum / support as f64, quality_sum / support as f64)
+        };
+        let utility = utility(support, certainty, quality);
+        Measures { support, certainty, quality, utility, cover: cover.len() }
+    }
+}
+
+/// Candidate distribution summary: `(Σ count, max count, argmax code)`,
+/// excluding NULL master targets (a NULL can never be a fix).
+/// `dist` is sorted by descending count with ties broken by code, so the
+/// argmax is deterministic.
+fn summarize(dist: &[(Code, u32)]) -> (u32, u32, Code) {
+    let mut total = 0u32;
+    let mut max_count = 0u32;
+    let mut argmax = NULL_CODE;
+    for &(code, count) in dist {
+        if code == NULL_CODE {
+            continue;
+        }
+        total += count;
+        if count > max_count || (count == max_count && code < argmax) {
+            max_count = count;
+            argmax = code;
+        }
+    }
+    (total, max_count, argmax)
+}
+
+/// The utility function `U(φ) = (log₁₀ S)² · (C + Q)` (§II-B4).
+///
+/// `log²` damps the marginal benefit of ever-larger support (Fig. 2b): a rule
+/// with support 1 has utility 0 (one matching tuple proves nothing), and
+/// beyond a few thousand tuples extra support barely moves the score.
+pub fn utility(support: usize, certainty: f64, quality: f64) -> f64 {
+    if support == 0 {
+        return 0.0;
+    }
+    let log_s = (support as f64).log10();
+    log_s * log_s * (certainty + quality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::SchemaMatch;
+    use crate::rule::Condition;
+    use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
+    use std::sync::Arc;
+
+    /// The paper's Figure 1 example, verbatim.
+    pub(crate) fn figure1_task() -> Task {
+        let pool = Arc::new(Pool::new());
+        let in_schema = Arc::new(Schema::new(
+            "registration",
+            vec![
+                Attribute::categorical("Name"),
+                Attribute::categorical("City"),
+                Attribute::categorical("ZIP"),
+                Attribute::categorical("AC"),
+                Attribute::categorical("Phone"),
+                Attribute::categorical("Sex"),
+                Attribute::categorical("Case"),
+                Attribute::categorical("Date"),
+                Attribute::categorical("Overseas"),
+            ],
+        ));
+        let m_schema = Arc::new(Schema::new(
+            "covid_records",
+            vec![
+                Attribute::categorical("FN"),
+                Attribute::categorical("LN"),
+                Attribute::categorical("City"),
+                Attribute::categorical("Zip"),
+                Attribute::categorical("AC"),
+                Attribute::categorical("Phone"),
+                Attribute::categorical("Sex"),
+                Attribute::categorical("Infection"),
+                Attribute::categorical("Date"),
+            ],
+        ));
+        let s = Value::str;
+        let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+        b.push_row(vec![s("Kevin"), s("HZ"), Value::Null, Value::Null, s("325-8455"), s("Male"), Value::Null, s("2021-12"), s("No")]).unwrap();
+        b.push_row(vec![s("Kyrie"), s("BJ"), s("10021"), s("010"), s("358-1553"), Value::Null, s("contact with imports"), s("2021-11"), s("No")]).unwrap();
+        b.push_row(vec![s("Robin"), s("HZ"), s("31200"), Value::Null, s("325-7538"), s("Male"), s("Others"), s("2021-12"), s("Yes")]).unwrap();
+        let input = b.finish();
+        let mut bm = RelationBuilder::new(m_schema, pool);
+        bm.push_row(vec![s("Kevin"), s("Lees"), s("SZ"), s("51800"), s("755"), s("625-0418"), s("Male"), s("contact with imports"), s("2021-10")]).unwrap();
+        bm.push_row(vec![s("Kyrie"), s("Wang"), s("BJ"), s("10021"), s("010"), s("358-1563"), s("Female"), s("contact with imports"), s("2021-11")]).unwrap();
+        bm.push_row(vec![s("Kevin"), s("Sun"), s("HZ"), s("31200"), s("571"), s("325-8465"), s("Male"), s("contact with patient"), s("2021-12")]).unwrap();
+        bm.push_row(vec![s("Susan"), s("Lu"), s("HZ"), s("31200"), s("571"), s("325-8931"), s("Female"), s("contact with patient"), s("2021-12")]).unwrap();
+        let master = bm.finish();
+        // Name↔FN, City↔City, ZIP↔Zip, AC↔AC, Phone↔Phone, Sex↔Sex,
+        // Case↔Infection, Date↔Date.
+        let matching = SchemaMatch::from_pairs(
+            9,
+            &[(0, 0), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8)],
+        );
+        // Target: (Case, Infection).
+        Task::new(input, master, matching, (6, 7))
+    }
+
+    fn code(task: &Task, v: &str) -> Code {
+        task.input().pool().code_of(&Value::str(v)).unwrap()
+    }
+
+    /// φ0 from Example 1: ((City,City),(Date,Date)) → (Case,Infection),
+    /// t_p[City,Date,Overseas] = (HZ, 2021-12, No).
+    fn phi0(task: &Task) -> EditingRule {
+        EditingRule::new(
+            vec![(1, 2), (7, 8)],
+            (6, 7),
+            vec![
+                Condition::eq(1, code(task, "HZ")),
+                Condition::eq(7, code(task, "2021-12")),
+                Condition::eq(8, code(task, "No")),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure1_phi0_support_and_certainty() {
+        let task = figure1_task();
+        let ev = Evaluator::new(&task);
+        let m = ev.eval(&phi0(&task), None);
+        // Only t1 matches the pattern (t2 is BJ/2021-11, t3 is Overseas=Yes);
+        // t1's (HZ, 2021-12) hits s3 and s4, both "contact with patient".
+        assert_eq!(m.cover, 1);
+        assert_eq!(m.support, 1);
+        assert!((m.certainty - 1.0).abs() < 1e-12);
+        // t1's Case is NULL in the input (= approximate labels), so the
+        // repair "contact with patient" is scored incorrect: Q = -1.
+        assert!((m.quality + 1.0).abs() < 1e-12);
+        // Support 1 ⇒ log10(1)² = 0 ⇒ utility 0.
+        assert_eq!(m.utility, 0.0);
+    }
+
+    #[test]
+    fn figure1_without_overseas_guard_covers_t3() {
+        let task = figure1_task();
+        let ev = Evaluator::new(&task);
+        let rule = EditingRule::new(
+            vec![(1, 2), (7, 8)],
+            (6, 7),
+            vec![Condition::eq(1, code(&task, "HZ")), Condition::eq(7, code(&task, "2021-12"))],
+        );
+        let m = ev.eval(&rule, None);
+        // Without the Overseas=No guard, t3 is also covered (incorrectly
+        // repairable — the master has no overseas cases).
+        assert_eq!(m.cover, 2);
+        assert_eq!(m.support, 2);
+    }
+
+    #[test]
+    fn empty_lhs_root_rule_covers_everything() {
+        let task = figure1_task();
+        let ev = Evaluator::new(&task);
+        let root = EditingRule::root((6, 7));
+        let m = ev.eval(&root, None);
+        assert_eq!(m.cover, 3);
+        assert_eq!(m.support, 3);
+        // Cand for every tuple = all 4 master Infection values:
+        // 2× "contact with imports", 2× "contact with patient" → f_c = 0.5.
+        assert!((m.certainty - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_lhs_values_never_match() {
+        let task = figure1_task();
+        let ev = Evaluator::new(&task);
+        // LHS on (ZIP, Zip): t1 has NULL ZIP ⇒ cannot be matched.
+        let rule = EditingRule::new(vec![(2, 3)], (6, 7), vec![]);
+        let m = ev.eval(&rule, None);
+        assert_eq!(m.cover, 3);
+        assert_eq!(m.support, 2); // t2 (10021→s2), t3 (31200→s3,s4)
+    }
+
+    #[test]
+    fn quality_rewards_correct_fixes() {
+        let task = figure1_task();
+        let ev = Evaluator::new(&task);
+        // ((Name,FN)) with no pattern: t2's Kyrie → s2 "contact with
+        // imports" = t2's own Case ⇒ correct. t1 Kevin → s1,s3 (split 1/1),
+        // argmax deterministic; t1's truth is NULL ⇒ incorrect. t3 Robin ∉
+        // master ⇒ not supported.
+        let rule = EditingRule::new(vec![(0, 0)], (6, 7), vec![]);
+        let m = ev.eval(&rule, None);
+        assert_eq!(m.support, 2);
+        assert!((m.quality - 0.0).abs() < 1e-12); // (+1 − 1) / 2
+    }
+
+    #[test]
+    fn utility_function_shape() {
+        assert_eq!(utility(0, 1.0, 1.0), 0.0);
+        assert_eq!(utility(1, 1.0, 1.0), 0.0);
+        let u100 = utility(100, 1.0, 1.0);
+        let u10000 = utility(10000, 1.0, 1.0);
+        assert!(u100 > 0.0);
+        assert!(u10000 > u100);
+        // Marginal gain shrinks: 100→10000 only quadruples (log² scaling).
+        assert!((u10000 / u100 - 4.0).abs() < 1e-9);
+        // Linear in certainty+quality.
+        assert!((utility(100, 0.5, 0.0) * 2.0 - utility(100, 1.0, 0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_returns_identical_results() {
+        let task = figure1_task();
+        let ev = Evaluator::new(&task);
+        let rule = phi0(&task);
+        let a = ev.eval(&rule, None);
+        let b = ev.eval(&rule, None);
+        assert_eq!(a, b);
+        assert_eq!(ev.evaluated_rules(), 1);
+    }
+
+    #[test]
+    fn subspace_search_matches_full_scan() {
+        let task = figure1_task();
+        let ev = Evaluator::new(&task);
+        let parent = EditingRule::new(
+            vec![(1, 2)],
+            (6, 7),
+            vec![Condition::eq(1, code(&task, "HZ"))],
+        );
+        let parent_cover = ev.cover(&parent, None);
+        let child = parent.with_condition(Condition::eq(7, code(&task, "2021-12")));
+        let full = ev.eval_on_cover(&child, &ev.cover(&child, None));
+        let sub = ev.eval_on_cover(&child, &ev.cover(&child, Some(&parent_cover)));
+        assert_eq!(full, sub);
+    }
+}

@@ -1,0 +1,234 @@
+//! Applying a set of editing rules to the input relation (§V-B2).
+//!
+//! Given a rule set `Σ`, each rule contributes a certainty score
+//! `σ_{v,φ} = count(v,φ) / Σ_{v'} count(v',φ)` to each candidate fix `v` of
+//! each input tuple it covers. The candidate with the maximum *sum* of
+//! certainty scores over all applicable rules is taken as the fix:
+//! `argmax_v Σ_φ σ_{v,φ}`.
+
+use crate::measures::Evaluator;
+use crate::rule::EditingRule;
+use crate::task::Task;
+use er_table::{Code, Relation, RowId, NULL_CODE};
+use std::collections::HashMap;
+
+/// Result of applying a rule set: one optional predicted fix per input row.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// Predicted `Y` code per input row (`None` = no rule applied).
+    pub predictions: Vec<Option<Code>>,
+    /// Accumulated certainty-score mass of the winning candidate per row.
+    pub scores: Vec<f64>,
+    /// Number of distinct candidate fixes that received votes per row
+    /// (1 = uncontested, >1 = the rules disagreed and the vote decided).
+    pub candidates: Vec<usize>,
+    /// Number of rules that were applicable to at least one tuple.
+    pub rules_applied: usize,
+}
+
+impl RepairReport {
+    /// Number of rows that received a prediction.
+    pub fn num_predictions(&self) -> usize {
+        self.predictions.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Write the predictions into (a copy of) the input relation's `Y`
+    /// column, returning the repaired relation.
+    pub fn apply(&self, task: &Task) -> Relation {
+        let mut repaired = task.input().clone();
+        let (y, _) = task.target();
+        for (row, pred) in self.predictions.iter().enumerate() {
+            if let Some(code) = pred {
+                repaired.set_code(row, y, *code);
+            }
+        }
+        repaired
+    }
+}
+
+/// Apply `rules` to `task`'s input via certainty-score voting.
+pub fn apply_rules(task: &Task, rules: &[EditingRule]) -> RepairReport {
+    let ev = Evaluator::new(task);
+    apply_rules_with(&ev, rules)
+}
+
+/// Like [`apply_rules`] but reusing an existing evaluator's master-side
+/// indexes (the miners already built them).
+pub fn apply_rules_with(ev: &Evaluator<'_>, rules: &[EditingRule]) -> RepairReport {
+    let task = ev.task();
+    let input = task.input();
+    let n = input.num_rows();
+    // votes[row]: candidate code → accumulated certainty score.
+    let mut votes: Vec<HashMap<Code, f64>> = vec![HashMap::new(); n];
+    let mut rules_applied = 0usize;
+
+    for rule in rules {
+        let x = rule.x();
+        let xm = rule.xm();
+        let group = ev.group_index(&xm);
+        let cover = ev.cover(rule, None);
+        let mut applied = false;
+        let mut key = Vec::with_capacity(x.len());
+        'rows: for row in cover {
+            key.clear();
+            for &a in &x {
+                let c = input.code(row, a);
+                if c == NULL_CODE {
+                    continue 'rows;
+                }
+                key.push(c);
+            }
+            let dist = group.get(&key);
+            let total: u32 = dist.iter().filter(|&&(c, _)| c != NULL_CODE).map(|&(_, n)| n).sum();
+            if total == 0 {
+                continue;
+            }
+            applied = true;
+            for &(code, count) in dist {
+                if code == NULL_CODE {
+                    continue;
+                }
+                *votes[row].entry(code).or_insert(0.0) += count as f64 / total as f64;
+            }
+        }
+        if applied {
+            rules_applied += 1;
+        }
+    }
+
+    let mut predictions = Vec::with_capacity(n);
+    let mut scores = Vec::with_capacity(n);
+    let mut candidates = Vec::with_capacity(n);
+    for vote in votes {
+        candidates.push(vote.len());
+        let winner = vote.into_iter().max_by(|(ca, sa), (cb, sb)| {
+            sa.partial_cmp(sb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // Deterministic tie-break: the smaller code wins.
+                .then_with(|| cb.cmp(ca))
+        });
+        match winner {
+            Some((code, score)) => {
+                predictions.push(Some(code));
+                scores.push(score);
+            }
+            None => {
+                predictions.push(None);
+                scores.push(0.0);
+            }
+        }
+    }
+    RepairReport { predictions, scores, candidates, rules_applied }
+}
+
+/// Rows whose prediction differs from their current `Y` value (cells an
+/// application of the report would actually change).
+pub fn changed_rows(task: &Task, report: &RepairReport) -> Vec<RowId> {
+    let (y, _) = task.target();
+    report
+        .predictions
+        .iter()
+        .enumerate()
+        .filter_map(|(row, pred)| match pred {
+            Some(code) if *code != task.input().code(row, y) => Some(row),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::SchemaMatch;
+    use crate::rule::Condition;
+    use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
+    use std::sync::Arc;
+
+    /// Input: (City, Case); master: (City, Infection). City determines
+    /// infection in master except for "BJ" which is split 2:1.
+    fn task() -> Task {
+        let pool = Arc::new(Pool::new());
+        let in_schema = Arc::new(Schema::new(
+            "in",
+            vec![Attribute::categorical("City"), Attribute::categorical("Case")],
+        ));
+        let m_schema = Arc::new(Schema::new(
+            "m",
+            vec![Attribute::categorical("City"), Attribute::categorical("Infection")],
+        ));
+        let s = Value::str;
+        let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+        b.push_row(vec![s("HZ"), Value::Null]).unwrap();
+        b.push_row(vec![s("BJ"), s("imports")]).unwrap();
+        b.push_row(vec![s("SZ"), s("patient")]).unwrap();
+        let input = b.finish();
+        let mut bm = RelationBuilder::new(m_schema, pool);
+        bm.push_row(vec![s("HZ"), s("patient")]).unwrap();
+        bm.push_row(vec![s("HZ"), s("patient")]).unwrap();
+        bm.push_row(vec![s("BJ"), s("imports")]).unwrap();
+        bm.push_row(vec![s("BJ"), s("imports")]).unwrap();
+        bm.push_row(vec![s("BJ"), s("patient")]).unwrap();
+        let master = bm.finish();
+        Task::new(input, master, SchemaMatch::from_pairs(2, &[(0, 0), (1, 1)]), (1, 1))
+    }
+
+    fn code(t: &Task, v: &str) -> Code {
+        t.input().pool().code_of(&Value::str(v)).unwrap()
+    }
+
+    #[test]
+    fn single_rule_votes() {
+        let t = task();
+        let rule = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        let report = apply_rules(&t, &[rule]);
+        assert_eq!(report.rules_applied, 1);
+        assert_eq!(report.predictions[0], Some(code(&t, "patient"))); // HZ certain
+        assert_eq!(report.predictions[1], Some(code(&t, "imports"))); // BJ majority
+        assert_eq!(report.predictions[2], None); // SZ not in master
+        assert_eq!(report.num_predictions(), 2);
+        assert!((report.scores[0] - 1.0).abs() < 1e-12);
+        assert!((report.scores[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.candidates[0], 1); // HZ: uncontested
+        assert_eq!(report.candidates[1], 2); // BJ: imports vs patient
+        assert_eq!(report.candidates[2], 0);
+    }
+
+    #[test]
+    fn votes_accumulate_across_rules() {
+        let t = task();
+        let base = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        // Same semantics restricted to BJ via a pattern — doubles BJ's votes.
+        let bj = EditingRule::new(vec![(0, 0)], (1, 1), vec![Condition::eq(0, code(&t, "BJ"))]);
+        let report = apply_rules(&t, &[base, bj]);
+        assert!((report.scores[1] - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.predictions[1], Some(code(&t, "imports")));
+    }
+
+    #[test]
+    fn apply_writes_y_column() {
+        let t = task();
+        let rule = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        let report = apply_rules(&t, &[rule]);
+        let repaired = report.apply(&t);
+        assert_eq!(repaired.value(0, 1), Value::str("patient"));
+        // Unpredicted rows keep their value.
+        assert_eq!(repaired.value(2, 1), Value::str("patient"));
+    }
+
+    #[test]
+    fn changed_rows_only_differing_cells() {
+        let t = task();
+        let rule = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        let report = apply_rules(&t, &[rule]);
+        // Row 0: NULL → patient (changed). Row 1: imports → imports (same).
+        assert_eq!(changed_rows(&t, &report), vec![0]);
+    }
+
+    #[test]
+    fn empty_rule_set_predicts_nothing() {
+        let t = task();
+        let report = apply_rules(&t, &[]);
+        assert_eq!(report.num_predictions(), 0);
+        assert_eq!(report.rules_applied, 0);
+    }
+}

@@ -1,0 +1,437 @@
+//! The editing rule `((X, X_m) → (Y, Y_m), t_p)` (Definition 1).
+
+use er_table::{AttrId, Code, Relation, RowId, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A pattern predicate on one input attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Pred {
+    /// Equality with a constant (dictionary code), `t[A] = a`.
+    Eq(Code),
+    /// Membership in a half-open numeric range `lo ≤ t[A] < hi`
+    /// (`hi = +∞` for the last bucket). Used for continuous attributes,
+    /// which the paper splits into `N_split` ranges (§IV-A).
+    Range {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound (`f64::INFINITY` for the top bucket).
+        hi: f64,
+    },
+    /// Membership in a sorted set of codes. Produced by the common-prefix
+    /// domain reduction of §IV-A: when `|dom(A)|` is too large to encode,
+    /// values are grouped by shared prefix and one condition covers the
+    /// whole group.
+    OneOf(std::sync::Arc<Vec<Code>>),
+}
+
+impl Pred {
+    /// Evaluate the predicate against a cell. `code` is the dictionary code;
+    /// `numeric` is the decoded numeric value when the attribute is
+    /// continuous (`None` / `NaN` for NULL or non-numeric cells).
+    #[inline]
+    pub fn matches(&self, code: Code, numeric: Option<f64>) -> bool {
+        match self {
+            Pred::Eq(c) => code == *c && code != er_table::NULL_CODE,
+            Pred::Range { lo, hi } => match numeric {
+                Some(v) => v >= *lo && v < *hi && !v.is_nan(),
+                None => false,
+            },
+            Pred::OneOf(codes) => {
+                code != er_table::NULL_CODE && codes.binary_search(&code).is_ok()
+            }
+        }
+    }
+
+    /// Membership predicate over a set of codes (sorted and deduped here).
+    pub fn one_of(mut codes: Vec<Code>) -> Self {
+        codes.sort_unstable();
+        codes.dedup();
+        Pred::OneOf(std::sync::Arc::new(codes))
+    }
+}
+
+// Pred contains f64 range bounds; rules are deduplicated via hash tables, so
+// we need Eq/Hash. Bounds come from deterministic bucketing, never from
+// arithmetic that could produce NaN, so bit-equality is the right notion.
+impl Eq for Pred {}
+
+impl std::hash::Hash for Pred {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Pred::Eq(c) => {
+                state.write_u8(0);
+                state.write_u32(*c);
+            }
+            Pred::Range { lo, hi } => {
+                state.write_u8(1);
+                state.write_u64(lo.to_bits());
+                state.write_u64(hi.to_bits());
+            }
+            Pred::OneOf(codes) => {
+                state.write_u8(2);
+                for c in codes.iter() {
+                    state.write_u32(*c);
+                }
+            }
+        }
+    }
+}
+
+/// One pattern condition: a predicate bound to an input attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Condition {
+    /// The input attribute `A ∈ R` the condition constrains.
+    pub attr: AttrId,
+    /// The predicate on `t[A]`.
+    pub pred: Pred,
+}
+
+impl Condition {
+    /// Equality condition `t_p[attr] = code`.
+    pub fn eq(attr: AttrId, code: Code) -> Self {
+        Condition { attr, pred: Pred::Eq(code) }
+    }
+
+    /// Range condition `lo ≤ t[attr] < hi`.
+    pub fn range(attr: AttrId, lo: f64, hi: f64) -> Self {
+        Condition { attr, pred: Pred::Range { lo, hi } }
+    }
+}
+
+/// An editing rule `((X, X_m) → (Y, Y_m), t_p)` (Definition 1).
+///
+/// * `lhs` — the aligned attribute lists `X ⊂ R`, `X_m ⊂ R_m` as pairs
+///   `(A, A_m)`, kept sorted by `(A, A_m)` so structurally equal rules
+///   compare and hash equal.
+/// * `target` — `(Y, Y_m)` with `Y ∈ R \ X`.
+/// * `pattern` — the pattern tuple `t_p` over `X_p ⊂ R \ {Y}`, at most one
+///   condition per attribute, kept sorted by attribute.
+///
+/// Semantics: a master tuple `t_m` can update an input tuple `t` by assigning
+/// `t_m[Y_m]` to `t[Y]` iff `t[X_p] ⊨ t_p` and `t[X] = t_m[X_m]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EditingRule {
+    lhs: Vec<(AttrId, AttrId)>,
+    target: (AttrId, AttrId),
+    pattern: Vec<Condition>,
+}
+
+impl EditingRule {
+    /// The root rule for a target pair: empty LHS, empty pattern.
+    pub fn root(target: (AttrId, AttrId)) -> Self {
+        EditingRule { lhs: Vec::new(), target, pattern: Vec::new() }
+    }
+
+    /// Build a rule, canonicalizing LHS and pattern order.
+    ///
+    /// # Panics
+    /// Panics if `Y` appears in `X` or in the pattern, if an LHS input
+    /// attribute repeats, or if a pattern attribute repeats — these violate
+    /// Definition 1 and always indicate a bug in the caller.
+    pub fn new(
+        lhs: Vec<(AttrId, AttrId)>,
+        target: (AttrId, AttrId),
+        pattern: Vec<Condition>,
+    ) -> Self {
+        let mut rule = EditingRule { lhs, target, pattern };
+        rule.canonicalize();
+        rule.validate();
+        rule
+    }
+
+    fn canonicalize(&mut self) {
+        self.lhs.sort_unstable();
+        self.pattern.sort_unstable_by_key(|c| c.attr);
+    }
+
+    fn validate(&self) {
+        let (y, _) = self.target;
+        for w in self.lhs.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "duplicate LHS input attribute {}", w[0].0);
+        }
+        for w in self.pattern.windows(2) {
+            assert_ne!(w[0].attr, w[1].attr, "duplicate pattern attribute {}", w[0].attr);
+        }
+        assert!(self.lhs.iter().all(|&(a, _)| a != y), "Y must not appear in X");
+        assert!(self.pattern.iter().all(|c| c.attr != y), "Y must not appear in the pattern");
+    }
+
+    /// The LHS attribute pairs `(A, A_m)`, sorted by `(A, A_m)`.
+    pub fn lhs(&self) -> &[(AttrId, AttrId)] {
+        &self.lhs
+    }
+
+    /// Input-side LHS attributes `X`.
+    pub fn x(&self) -> Vec<AttrId> {
+        self.lhs.iter().map(|&(a, _)| a).collect()
+    }
+
+    /// Master-side LHS attributes `X_m`, parallel to [`EditingRule::x`].
+    pub fn xm(&self) -> Vec<AttrId> {
+        self.lhs.iter().map(|&(_, am)| am).collect()
+    }
+
+    /// The target pair `(Y, Y_m)`.
+    pub fn target(&self) -> (AttrId, AttrId) {
+        self.target
+    }
+
+    /// The pattern conditions, sorted by attribute.
+    pub fn pattern(&self) -> &[Condition] {
+        &self.pattern
+    }
+
+    /// Attributes constrained by the pattern (`X_p`).
+    pub fn pattern_attrs(&self) -> Vec<AttrId> {
+        self.pattern.iter().map(|c| c.attr).collect()
+    }
+
+    /// Whether the LHS contains input attribute `a`.
+    pub fn lhs_contains_input(&self, a: AttrId) -> bool {
+        self.lhs.iter().any(|&(x, _)| x == a)
+    }
+
+    /// Whether the pattern constrains attribute `a`.
+    pub fn pattern_contains(&self, a: AttrId) -> bool {
+        self.pattern.iter().any(|c| c.attr == a)
+    }
+
+    /// `|X|` — number of LHS attribute pairs.
+    pub fn lhs_len(&self) -> usize {
+        self.lhs.len()
+    }
+
+    /// `|X_p|` — number of pattern conditions.
+    pub fn pattern_len(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// A new rule with `(a, a_m)` added to the LHS.
+    ///
+    /// # Panics
+    /// Panics (via [`EditingRule::new`]) if the result violates Definition 1.
+    pub fn with_lhs_pair(&self, a: AttrId, a_m: AttrId) -> Self {
+        let mut lhs = self.lhs.clone();
+        lhs.push((a, a_m));
+        EditingRule::new(lhs, self.target, self.pattern.clone())
+    }
+
+    /// A new rule with `cond` added to the pattern.
+    ///
+    /// # Panics
+    /// Panics (via [`EditingRule::new`]) if the result violates Definition 1.
+    pub fn with_condition(&self, cond: Condition) -> Self {
+        let mut pattern = self.pattern.clone();
+        pattern.push(cond);
+        EditingRule::new(self.lhs.clone(), self.target, pattern)
+    }
+
+    /// Whether input tuple `(rel, row)` matches the pattern `t_p`.
+    /// `numeric(attr, row)` supplies the decoded numeric value for
+    /// continuous attributes (see [`crate::Task::numeric`]).
+    pub fn pattern_matches(
+        &self,
+        rel: &Relation,
+        row: RowId,
+        numeric: impl Fn(AttrId, RowId) -> Option<f64>,
+    ) -> bool {
+        self.pattern
+            .iter()
+            .all(|c| c.pred.matches(rel.code(row, c.attr), numeric(c.attr, row)))
+    }
+
+    /// Render the rule in the paper's notation using attribute names from the
+    /// two schemas and values from the pool backing `input`.
+    pub fn display<'a>(&'a self, input: &'a Relation, master_schema: &'a Schema) -> RuleDisplay<'a> {
+        RuleDisplay { rule: self, input, master_schema }
+    }
+}
+
+/// Paper-notation pretty printer returned by [`EditingRule::display`].
+pub struct RuleDisplay<'a> {
+    rule: &'a EditingRule,
+    input: &'a Relation,
+    master_schema: &'a Schema,
+}
+
+impl fmt::Display for RuleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.rule;
+        let in_schema = self.input.schema();
+        write!(f, "((")?;
+        for (i, &(a, am)) in r.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({}, {})", in_schema.attr(a).name, self.master_schema.attr(am).name)?;
+        }
+        let (y, ym) = r.target;
+        write!(
+            f,
+            ") -> ({}, {}), t_p(",
+            in_schema.attr(y).name,
+            self.master_schema.attr(ym).name
+        )?;
+        for (i, c) in r.pattern.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let name = &in_schema.attr(c.attr).name;
+            match &c.pred {
+                Pred::Eq(code) => write!(f, "{}={}", name, self.input.pool().value(*code))?,
+                Pred::Range { lo, hi } if hi.is_infinite() => write!(f, "{name}∈[{lo},∞)")?,
+                Pred::Range { lo, hi } => write!(f, "{name}∈[{lo},{hi})")?,
+                Pred::OneOf(codes) => {
+                    // Equi-depth groups can hold dozens of values; show a
+                    // prefix and the cardinality.
+                    write!(f, "{name}∈{{")?;
+                    for (j, code) in codes.iter().take(3).enumerate() {
+                        if j > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{}", self.input.pool().value(*code))?;
+                    }
+                    if codes.len() > 3 {
+                        write!(f, ",… {} values", codes.len())?;
+                    }
+                    write!(f, "}}")?;
+                }
+            }
+        }
+        write!(f, "))")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_table::{Attribute, Pool, RelationBuilder, Value, NULL_CODE};
+    use std::sync::Arc;
+
+    #[test]
+    fn canonical_order_makes_rules_equal() {
+        let r1 = EditingRule::new(vec![(2, 3), (0, 1)], (5, 5), vec![Condition::eq(4, 7)]);
+        let r2 = EditingRule::new(vec![(0, 1), (2, 3)], (5, 5), vec![Condition::eq(4, 7)]);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.x(), vec![0, 2]);
+        assert_eq!(r1.xm(), vec![1, 3]);
+    }
+
+    #[test]
+    fn pattern_sorted_by_attr() {
+        let r = EditingRule::new(
+            vec![(0, 0)],
+            (3, 3),
+            vec![Condition::eq(2, 9), Condition::eq(1, 5)],
+        );
+        assert_eq!(r.pattern_attrs(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "Y must not appear in X")]
+    fn y_in_lhs_rejected() {
+        EditingRule::new(vec![(3, 0)], (3, 3), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "Y must not appear in the pattern")]
+    fn y_in_pattern_rejected() {
+        EditingRule::new(vec![], (3, 3), vec![Condition::eq(3, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate LHS input attribute")]
+    fn duplicate_lhs_input_attr_rejected() {
+        EditingRule::new(vec![(0, 1), (0, 2)], (3, 3), vec![]);
+    }
+
+    #[test]
+    fn refinement_builders() {
+        let root = EditingRule::root((4, 4));
+        let r = root.with_lhs_pair(0, 0).with_condition(Condition::eq(1, 3));
+        assert_eq!(r.lhs_len(), 1);
+        assert_eq!(r.pattern_len(), 1);
+        assert!(r.lhs_contains_input(0));
+        assert!(!r.lhs_contains_input(1));
+        assert!(r.pattern_contains(1));
+    }
+
+    #[test]
+    fn pred_eq_matching() {
+        let p = Pred::Eq(5);
+        assert!(p.matches(5, None));
+        assert!(!p.matches(6, None));
+        assert!(!Pred::Eq(NULL_CODE).matches(NULL_CODE, None));
+    }
+
+    #[test]
+    fn pred_range_matching() {
+        let p = Pred::Range { lo: 10.0, hi: 20.0 };
+        assert!(p.matches(0, Some(10.0)));
+        assert!(p.matches(0, Some(19.99)));
+        assert!(!p.matches(0, Some(20.0)));
+        assert!(!p.matches(0, Some(9.0)));
+        assert!(!p.matches(0, None));
+        assert!(!p.matches(0, Some(f64::NAN)));
+        let top = Pred::Range { lo: 20.0, hi: f64::INFINITY };
+        assert!(top.matches(0, Some(1e12)));
+    }
+
+    #[test]
+    fn pattern_matching_over_relation() {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(er_table::Schema::new(
+            "t",
+            vec![
+                Attribute::categorical("City"),
+                Attribute::continuous("Age"),
+                Attribute::categorical("Case"),
+            ],
+        ));
+        let mut b = RelationBuilder::new(schema, Arc::clone(&pool));
+        b.push_row(vec![Value::str("HZ"), Value::int(30), Value::str("x")]).unwrap();
+        b.push_row(vec![Value::str("BJ"), Value::int(50), Value::str("y")]).unwrap();
+        let rel = b.finish();
+        let hz = pool.code_of(&Value::str("HZ")).unwrap();
+        let rule = EditingRule::new(
+            vec![],
+            (2, 0),
+            vec![Condition::eq(0, hz), Condition::range(1, 25.0, 40.0)],
+        );
+        let numeric = |a: AttrId, row: RowId| rel.value(row, a).as_f64();
+        assert!(rule.pattern_matches(&rel, 0, numeric));
+        assert!(!rule.pattern_matches(&rel, 1, numeric));
+    }
+
+    #[test]
+    fn display_renders_paper_notation() {
+        let pool = Arc::new(Pool::new());
+        let in_schema = Arc::new(er_table::Schema::new(
+            "in",
+            vec![Attribute::categorical("City"), Attribute::categorical("Case")],
+        ));
+        let m_schema = er_table::Schema::new(
+            "m",
+            vec![Attribute::categorical("City"), Attribute::categorical("Infection")],
+        );
+        let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+        b.push_row(vec![Value::str("HZ"), Value::str("c")]).unwrap();
+        let rel = b.finish();
+        let hz = pool.code_of(&Value::str("HZ")).unwrap();
+        let rule = EditingRule::new(vec![(0, 0)], (1, 1), vec![Condition::eq(0, hz)]);
+        let s = format!("{}", rule.display(&rel, &m_schema));
+        assert_eq!(s, "(((City, City)) -> (Case, Infection), t_p(City=HZ))");
+    }
+
+    #[test]
+    fn hash_distinguishes_structure() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(EditingRule::new(vec![(0, 0)], (2, 2), vec![]));
+        set.insert(EditingRule::new(vec![(0, 1)], (2, 2), vec![]));
+        set.insert(EditingRule::new(vec![(0, 0)], (2, 2), vec![Condition::eq(1, 0)]));
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(&EditingRule::new(vec![(0, 0)], (2, 2), vec![])));
+    }
+}

@@ -1,0 +1,461 @@
+//! Mining tasks and the shared condition space.
+//!
+//! A [`Task`] bundles everything Problem 1 takes as input: the input relation
+//! `D`, the master relation `D_m`, the schema match `M`, the target pair
+//! `(Y, Y_m)`, and the (optional) labelled truths `D_l`. Both miners and the
+//! repair engine operate on a `Task`.
+//!
+//! [`ConditionSpace`] materializes the candidate pattern conditions for every
+//! input attribute — the `(A, v)` actions of the paper's MDP — applying the
+//! two domain-taming tricks of §IV-A: continuous attributes are split into
+//! `N_split` ranges, and over-large categorical domains are reduced to `K`
+//! common-prefix groups. EnuMiner and RLMiner share this space, so their
+//! search universes are identical and accuracy comparisons are apples to
+//! apples.
+
+use crate::matching::SchemaMatch;
+use crate::rule::{Condition, Pred};
+use er_table::{AttrId, Code, Relation, RowId};
+
+/// A single editing-rule mining task (the input of Problem 1).
+#[derive(Debug, Clone)]
+pub struct Task {
+    input: Relation,
+    master: Relation,
+    matching: SchemaMatch,
+    target: (AttrId, AttrId),
+    /// Ground-truth code of `Y` per input row (the labelled instance `D_l`,
+    /// row-aligned with `D`).
+    labels: Vec<Code>,
+    /// Cached numeric views of the input's continuous columns
+    /// (`NaN` = NULL / non-numeric).
+    numeric: Vec<Option<Vec<f64>>>,
+}
+
+impl Task {
+    /// Build a task. Per §II-B3, when no labelled data is available the input
+    /// data itself is taken as the (approximate) labelled instance — this
+    /// constructor does exactly that; use [`Task::with_labels`] to override.
+    pub fn new(
+        input: Relation,
+        master: Relation,
+        matching: SchemaMatch,
+        target: (AttrId, AttrId),
+    ) -> Self {
+        let y = target.0;
+        let labels = input.column(y).to_vec();
+        Self::with_labels(input, master, matching, target, labels)
+    }
+
+    /// Build a task with explicit ground-truth labels for `Y` (one code per
+    /// input row).
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != input.num_rows()`, if the input and master
+    /// relations do not share a pool, or if `Y`/`Y_m` are out of range.
+    pub fn with_labels(
+        input: Relation,
+        master: Relation,
+        matching: SchemaMatch,
+        target: (AttrId, AttrId),
+        labels: Vec<Code>,
+    ) -> Self {
+        assert_eq!(labels.len(), input.num_rows(), "labels must align with input rows");
+        assert!(
+            std::sync::Arc::ptr_eq(input.pool(), master.pool()),
+            "input and master must share a value pool"
+        );
+        assert!(target.0 < input.num_attrs(), "Y out of range");
+        assert!(target.1 < master.num_attrs(), "Y_m out of range");
+        assert_eq!(matching.input_arity(), input.num_attrs(), "match arity mismatch");
+        let numeric = (0..input.num_attrs())
+            .map(|a| {
+                if input.schema().attr(a).is_continuous() {
+                    Some(
+                        (0..input.num_rows())
+                            .map(|r| input.value(r, a).as_f64().unwrap_or(f64::NAN))
+                            .collect(),
+                    )
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Task { input, master, matching, target, labels, numeric }
+    }
+
+    /// The input relation `D`.
+    pub fn input(&self) -> &Relation {
+        &self.input
+    }
+
+    /// The master relation `D_m`.
+    pub fn master(&self) -> &Relation {
+        &self.master
+    }
+
+    /// The schema match `M`.
+    pub fn matching(&self) -> &SchemaMatch {
+        &self.matching
+    }
+
+    /// The target pair `(Y, Y_m)`.
+    pub fn target(&self) -> (AttrId, AttrId) {
+        self.target
+    }
+
+    /// Ground-truth code of `Y` for `row`.
+    pub fn label(&self, row: RowId) -> Code {
+        self.labels[row]
+    }
+
+    /// All ground-truth codes, row-aligned with the input.
+    pub fn labels(&self) -> &[Code] {
+        &self.labels
+    }
+
+    /// Numeric value of the input cell at (`attr`, `row`) if the attribute is
+    /// continuous and the cell is numeric.
+    #[inline]
+    pub fn numeric(&self, attr: AttrId, row: RowId) -> Option<f64> {
+        match &self.numeric[attr] {
+            Some(col) => {
+                let v = col[row];
+                if v.is_nan() {
+                    None
+                } else {
+                    Some(v)
+                }
+            }
+            None => None,
+        }
+    }
+
+    /// Candidate LHS attribute pairs `{(A, A_m) | A ∈ R \ {Y}, A_m ∈ M(A)}`
+    /// in deterministic order. (The per-rule exclusion `A ∉ X` is applied by
+    /// the miners.)
+    pub fn candidate_lhs_pairs(&self) -> Vec<(AttrId, AttrId)> {
+        let y = self.target.0;
+        self.matching.pairs().filter(|&(a, _)| a != y).collect()
+    }
+}
+
+/// Configuration for [`ConditionSpace`].
+#[derive(Debug, Clone, Copy)]
+pub struct ConditionSpaceConfig {
+    /// Number of ranges continuous attributes are split into (`N_split`).
+    pub n_split: usize,
+    /// Categorical domains larger than this are prefix-reduced.
+    pub max_domain: usize,
+    /// Target number of prefix groups (`K ≪ |dom(x_i)|`).
+    pub reduce_to: usize,
+    /// Skip categorical attributes whose active domain exceeds this fraction
+    /// of the rows — near-unique identifier columns (store numbers, names)
+    /// where every equality condition has support ≈ 1 and even prefix groups
+    /// carry no semantics. Set to `1.0` to disable.
+    pub identifier_fraction: f64,
+}
+
+impl Default for ConditionSpaceConfig {
+    fn default() -> Self {
+        ConditionSpaceConfig {
+            n_split: 5,
+            max_domain: 64,
+            reduce_to: 16,
+            identifier_fraction: 0.5,
+        }
+    }
+}
+
+/// The materialized pattern-condition space: for every input attribute
+/// `A ∈ R \ {Y}`, the candidate conditions `(A, v)` a miner may add to `t_p`.
+#[derive(Debug, Clone)]
+pub struct ConditionSpace {
+    /// `conditions[a]` = candidate conditions on input attribute `a`
+    /// (empty for `Y`).
+    conditions: Vec<Vec<Condition>>,
+}
+
+impl ConditionSpace {
+    /// Build the condition space for `task` under `config`.
+    ///
+    /// * Continuous attributes → `N_split` equal-width ranges over the
+    ///   observed `[min, max]` (last bucket open-ended).
+    /// * Categorical attributes with `|dom(A)| ≤ max_domain` → one `Eq`
+    ///   condition per active-domain value.
+    /// * Larger categorical domains → `reduce_to` common-prefix groups, each
+    ///   a `OneOf` condition.
+    pub fn build(task: &Task, config: ConditionSpaceConfig) -> Self {
+        let input = task.input();
+        let y = task.target().0;
+        let mut conditions = Vec::with_capacity(input.num_attrs());
+        for a in 0..input.num_attrs() {
+            if a == y {
+                conditions.push(Vec::new());
+                continue;
+            }
+            let attr = input.schema().attr(a);
+            let conds = if attr.is_continuous() {
+                continuous_conditions(input, a, config.n_split)
+            } else {
+                categorical_conditions(input, a, config)
+            };
+            conditions.push(conds);
+        }
+        ConditionSpace { conditions }
+    }
+
+    /// Candidate conditions on attribute `a`.
+    pub fn of(&self, a: AttrId) -> &[Condition] {
+        &self.conditions[a]
+    }
+
+    /// Number of attributes covered (input arity).
+    pub fn num_attrs(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// Total number of candidate conditions (the `dim(s_p)` of Eq. 8).
+    pub fn total_conditions(&self) -> usize {
+        self.conditions.iter().map(Vec::len).sum()
+    }
+
+    /// Iterate `(attr, condition index within attr, condition)`.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, usize, &Condition)> {
+        self.conditions
+            .iter()
+            .enumerate()
+            .flat_map(|(a, cs)| cs.iter().enumerate().map(move |(i, c)| (a, i, c)))
+    }
+}
+
+fn continuous_conditions(input: &Relation, attr: AttrId, n_split: usize) -> Vec<Condition> {
+    let Some((lo, hi)) = input.numeric_bounds(attr) else {
+        return Vec::new();
+    };
+    let n_split = n_split.max(1);
+    if lo == hi {
+        return vec![Condition::range(attr, lo, f64::INFINITY)];
+    }
+    let width = (hi - lo) / n_split as f64;
+    (0..n_split)
+        .map(|i| {
+            let b_lo = lo + width * i as f64;
+            let b_hi = if i + 1 == n_split { f64::INFINITY } else { lo + width * (i + 1) as f64 };
+            Condition::range(attr, b_lo, b_hi)
+        })
+        .collect()
+}
+
+fn categorical_conditions(
+    input: &Relation,
+    attr: AttrId,
+    config: ConditionSpaceConfig,
+) -> Vec<Condition> {
+    let domain = input.distinct_codes(attr);
+    let rows = input.num_rows().max(1);
+    if domain.len() as f64 > config.identifier_fraction * rows as f64 {
+        return Vec::new(); // near-unique identifier column
+    }
+    if domain.len() <= config.max_domain {
+        return domain.into_iter().map(|c| Condition::eq(attr, c)).collect();
+    }
+    prefix_groups(input, attr, &domain, config.reduce_to.max(1))
+        .into_iter()
+        .map(|group| Condition { attr, pred: Pred::one_of(group) })
+        .collect()
+}
+
+/// Reduce a large domain to at most `k` groups of values.
+///
+/// The paper reduces large domains by shared *prefix* (§IV-A). We generalize
+/// slightly: values are sorted lexicographically (so values sharing a prefix
+/// are adjacent) and cut into `k` contiguous buckets of roughly equal total
+/// row frequency. On prefix-structured domains (postcodes, phone numbers)
+/// this recovers prefix groups; on domains with one long shared prefix it
+/// still produces `k` selective, frequency-balanced conditions instead of a
+/// single vacuous group.
+fn prefix_groups(input: &Relation, attr: AttrId, domain: &[Code], k: usize) -> Vec<Vec<Code>> {
+    let pool = input.pool();
+    // Row frequency per domain code.
+    let mut freq: std::collections::HashMap<Code, usize> = Default::default();
+    for &c in input.column(attr) {
+        if c != er_table::NULL_CODE {
+            *freq.entry(c).or_insert(0) += 1;
+        }
+    }
+    let mut rendered: Vec<(String, Code)> =
+        domain.iter().map(|&c| (pool.value(c).render().into_owned(), c)).collect();
+    rendered.sort();
+    let total: usize = rendered.iter().map(|(_, c)| freq.get(c).copied().unwrap_or(0)).sum();
+    let per_bucket = (total as f64 / k as f64).max(1.0);
+
+    let mut groups: Vec<Vec<Code>> = Vec::with_capacity(k);
+    let mut bucket: Vec<Code> = Vec::new();
+    let mut mass = 0usize;
+    for (i, (_, code)) in rendered.iter().enumerate() {
+        bucket.push(*code);
+        mass += freq.get(code).copied().unwrap_or(0);
+        let remaining_values = rendered.len() - i - 1;
+        let remaining_buckets = k - groups.len();
+        // Close the bucket when it holds its share, but never leave more
+        // buckets to fill than values to fill them with.
+        if (mass as f64 >= per_bucket && groups.len() + 1 < k)
+            || remaining_values + 1 == remaining_buckets
+        {
+            groups.push(std::mem::take(&mut bucket));
+            mass = 0;
+        }
+    }
+    if !bucket.is_empty() {
+        groups.push(bucket);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
+    use std::sync::Arc;
+
+    fn small_task() -> Task {
+        let pool = Arc::new(Pool::new());
+        let in_schema = Arc::new(Schema::new(
+            "in",
+            vec![
+                Attribute::categorical("City"),
+                Attribute::continuous("Age"),
+                Attribute::categorical("Case"),
+            ],
+        ));
+        let m_schema = Arc::new(Schema::new(
+            "m",
+            vec![Attribute::categorical("City"), Attribute::categorical("Infection")],
+        ));
+        let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+        b.push_row(vec![Value::str("HZ"), Value::int(20), Value::str("c1")]).unwrap();
+        b.push_row(vec![Value::str("BJ"), Value::int(40), Value::str("c2")]).unwrap();
+        b.push_row(vec![Value::str("HZ"), Value::Null, Value::str("c1")]).unwrap();
+        b.push_row(vec![Value::str("BJ"), Value::int(25), Value::str("c2")]).unwrap();
+        b.push_row(vec![Value::str("HZ"), Value::int(33), Value::str("c1")]).unwrap();
+        b.push_row(vec![Value::str("BJ"), Value::int(21), Value::str("c2")]).unwrap();
+        let input = b.finish();
+        let mut bm = RelationBuilder::new(m_schema, pool);
+        bm.push_row(vec![Value::str("HZ"), Value::str("c1")]).unwrap();
+        let master = bm.finish();
+        let matching = SchemaMatch::from_pairs(3, &[(0, 0), (2, 1)]);
+        Task::new(input, master, matching, (2, 1))
+    }
+
+    #[test]
+    fn labels_default_to_input() {
+        let t = small_task();
+        assert_eq!(t.label(0), t.input().code(0, 2));
+        assert_eq!(t.labels().len(), 6);
+    }
+
+    #[test]
+    fn numeric_cache() {
+        let t = small_task();
+        assert_eq!(t.numeric(1, 0), Some(20.0));
+        assert_eq!(t.numeric(1, 2), None); // NULL
+        assert_eq!(t.numeric(0, 0), None); // categorical
+    }
+
+    #[test]
+    fn candidate_lhs_pairs_exclude_y() {
+        let t = small_task();
+        assert_eq!(t.candidate_lhs_pairs(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn condition_space_shapes() {
+        let t = small_task();
+        let cs = ConditionSpace::build(&t, ConditionSpaceConfig { n_split: 4, ..Default::default() });
+        // City: 2 Eq conditions; Age: 4 ranges; Case (=Y): none.
+        assert_eq!(cs.of(0).len(), 2);
+        assert_eq!(cs.of(1).len(), 4);
+        assert_eq!(cs.of(2).len(), 0);
+        assert_eq!(cs.total_conditions(), 6);
+    }
+
+    #[test]
+    fn continuous_buckets_cover_domain() {
+        let t = small_task();
+        let cs = ConditionSpace::build(&t, ConditionSpaceConfig { n_split: 4, ..Default::default() });
+        // Age 20 and 40 must each match exactly one bucket.
+        for (row, expected) in [(0usize, 20.0), (1, 40.0)] {
+            let hits = cs
+                .of(1)
+                .iter()
+                .filter(|c| c.pred.matches(t.input().code(row, 1), Some(expected)))
+                .count();
+            assert_eq!(hits, 1, "value {expected} should match exactly one bucket");
+        }
+    }
+
+    #[test]
+    fn prefix_reduction_kicks_in_for_large_domains() {
+        let pool = Arc::new(Pool::new());
+        let in_schema = Arc::new(Schema::new(
+            "in",
+            vec![Attribute::categorical("Code"), Attribute::categorical("Y")],
+        ));
+        let m_schema = Arc::new(Schema::new("m", vec![Attribute::categorical("Y")]));
+        let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+        for i in 0..300 {
+            b.push_row(vec![Value::str(format!("P{:03}", i % 100)), Value::str("y")]).unwrap();
+        }
+        let input = b.finish();
+        let mut bm = RelationBuilder::new(m_schema, pool);
+        bm.push_row(vec![Value::str("y")]).unwrap();
+        let master = bm.finish();
+        let task = Task::new(input, master, SchemaMatch::from_pairs(2, &[(1, 0)]), (1, 0));
+        let cfg = ConditionSpaceConfig {
+            n_split: 5,
+            max_domain: 16,
+            reduce_to: 12,
+            ..Default::default()
+        };
+        let cs = ConditionSpace::build(&task, cfg);
+        let conds = cs.of(0);
+        assert!(conds.len() <= 12, "got {} conditions", conds.len());
+        assert!(!conds.is_empty());
+        // Every domain value must be matched by exactly one group.
+        for code in task.input().distinct_codes(0) {
+            let hits = conds.iter().filter(|c| c.pred.matches(code, None)).count();
+            assert_eq!(hits, 1);
+        }
+    }
+
+    #[test]
+    fn identifier_columns_get_no_conditions() {
+        let pool = Arc::new(Pool::new());
+        let in_schema = Arc::new(Schema::new(
+            "in",
+            vec![Attribute::categorical("Id"), Attribute::categorical("Y")],
+        ));
+        let m_schema = Arc::new(Schema::new("m", vec![Attribute::categorical("Y")]));
+        let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+        for i in 0..100 {
+            b.push_row(vec![Value::str(format!("ID{i}")), Value::str("y")]).unwrap();
+        }
+        let input = b.finish();
+        let mut bm = RelationBuilder::new(m_schema, pool);
+        bm.push_row(vec![Value::str("y")]).unwrap();
+        let master = bm.finish();
+        let task = Task::new(input, master, SchemaMatch::from_pairs(2, &[(1, 0)]), (1, 0));
+        let cs = ConditionSpace::build(&task, ConditionSpaceConfig::default());
+        assert!(cs.of(0).is_empty(), "near-unique column must be skipped");
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must align")]
+    fn misaligned_labels_rejected() {
+        let t = small_task();
+        let input = t.input().clone();
+        let master = t.master().clone();
+        Task::with_labels(input, master, t.matching().clone(), (2, 1), vec![0]);
+    }
+}

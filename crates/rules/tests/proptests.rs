@@ -1,0 +1,143 @@
+//! Property-based tests for the rule domain model, run against randomly
+//! structured tasks (not just the fixed fixtures of the unit tests).
+
+use er_rules::{
+    dominates, evaluate_repairs, pattern_dominates, Condition, EditingRule, SchemaMatch, Task,
+};
+use er_table::{Attribute, Code, Pool, RelationBuilder, Schema, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn build_task(input_rows: &[(u8, u8, u8)], master_rows: &[(u8, u8, u8)]) -> Task {
+    let pool = Arc::new(Pool::new());
+    let schema = |name: &str| {
+        Arc::new(Schema::new(
+            name,
+            vec![
+                Attribute::categorical("A"),
+                Attribute::categorical("B"),
+                Attribute::categorical("Y"),
+            ],
+        ))
+    };
+    let mut bi = RelationBuilder::new(schema("in"), Arc::clone(&pool));
+    for &(a, b, y) in input_rows {
+        bi.push_row(vec![
+            Value::str(format!("a{a}")),
+            Value::str(format!("b{b}")),
+            Value::str(format!("y{y}")),
+        ])
+        .unwrap();
+    }
+    let mut bm = RelationBuilder::new(schema("m"), pool);
+    for &(a, b, y) in master_rows {
+        bm.push_row(vec![
+            Value::str(format!("a{a}")),
+            Value::str(format!("b{b}")),
+            Value::str(format!("y{y}")),
+        ])
+        .unwrap();
+    }
+    Task::new(
+        bi.finish(),
+        bm.finish(),
+        SchemaMatch::from_pairs(3, &[(0, 0), (1, 1), (2, 2)]),
+        (2, 2),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pattern domination is reflexive-free on distinct patterns, transitive
+    /// over nested prefixes, and monotone under extension.
+    #[test]
+    fn pattern_domination_laws(codes in prop::collection::vec(0u32..6, 1..4)) {
+        let base: Vec<Condition> =
+            codes.iter().enumerate().map(|(i, &c)| Condition::eq(i, c)).collect();
+        for cut in 0..base.len() {
+            let small = &base[..cut];
+            prop_assert!(pattern_dominates(small, &base));
+            if cut < base.len() {
+                // Strictly smaller never dominated by bigger.
+                prop_assert!(cut == base.len() || !pattern_dominates(&base, small) || small.len() == base.len());
+            }
+        }
+    }
+
+    /// Repair evaluation counts are internally consistent for arbitrary
+    /// prediction patterns.
+    #[test]
+    fn metric_counts_consistent(
+        truth in prop::collection::vec(0u32..4, 1..50),
+        flips in prop::collection::vec(any::<bool>(), 1..50),
+    ) {
+        let n = truth.len().min(flips.len());
+        let truth: Vec<Code> = truth[..n].to_vec();
+        let dirty: Vec<bool> = flips[..n].to_vec();
+        let preds: Vec<Option<Code>> = truth
+            .iter()
+            .zip(&dirty)
+            .map(|(&t, &d)| if d { Some(t) } else { None })
+            .collect();
+        let m = evaluate_repairs(&truth, &dirty, &preds);
+        prop_assert!(m.predicted <= m.evaluated);
+        prop_assert!(m.correct <= m.predicted);
+        prop_assert!(m.precision >= 0.0 && m.precision <= 1.0);
+        prop_assert!(m.recall >= 0.0 && m.recall <= 1.0);
+        prop_assert!(m.f1 >= 0.0 && m.f1 <= 1.0);
+        // Predicting exactly the truth on every dirty cell is perfect
+        // (up to the float error of summing per-class weights).
+        if m.evaluated > 0 {
+            prop_assert!((m.precision - 1.0).abs() < 1e-9, "precision {}", m.precision);
+            prop_assert!((m.recall - 1.0).abs() < 1e-9, "recall {}", m.recall);
+        }
+    }
+
+    /// select_top_k(·, K) output never grows when K shrinks, and the kept
+    /// rules of the smaller K are a prefix-compatible subset by utility.
+    #[test]
+    fn top_k_monotone_in_k(
+        input in prop::collection::vec((0u8..3, 0u8..3, 0u8..2), 5..30),
+        master in prop::collection::vec((0u8..3, 0u8..3, 0u8..2), 3..15),
+    ) {
+        let task = build_task(&input, &master);
+        let ev = er_rules::Evaluator::new(&task);
+        let candidates: Vec<(EditingRule, _)> = [
+            EditingRule::new(vec![(0, 0)], (2, 2), vec![]),
+            EditingRule::new(vec![(1, 1)], (2, 2), vec![]),
+            EditingRule::new(vec![(0, 0), (1, 1)], (2, 2), vec![]),
+        ]
+        .into_iter()
+        .map(|r| { let m = ev.eval(&r, None); (r, m) })
+        .collect();
+        let k3 = er_rules::select_top_k(candidates.clone(), 3);
+        let k1 = er_rules::select_top_k(candidates, 1);
+        prop_assert!(k1.len() <= 1);
+        prop_assert!(k1.len() <= k3.len());
+        if let (Some(a), Some(b)) = (k1.first(), k3.first()) {
+            prop_assert_eq!(&a.0, &b.0, "top-1 must agree with top of top-3");
+        }
+    }
+
+    /// Domination implies the support inequality of Lemma 1 on arbitrary
+    /// random tasks (not just the covid fixture).
+    #[test]
+    fn lemma1_on_random_tasks(
+        input in prop::collection::vec((0u8..3, 0u8..3, 0u8..2), 5..40),
+        master in prop::collection::vec((0u8..3, 0u8..3, 0u8..2), 3..20),
+        code in 0u8..3,
+    ) {
+        let task = build_task(&input, &master);
+        let ev = er_rules::Evaluator::new(&task);
+        let general = EditingRule::new(vec![(0, 0)], (2, 2), vec![]);
+        let pool = task.input().pool();
+        let Some(v) = pool.code_of(&Value::str(format!("b{code}"))) else { return Ok(()); };
+        let specific = general.with_condition(Condition::eq(1, v));
+        prop_assert!(dominates(&general, &specific));
+        let mg = ev.eval(&general, None);
+        let ms = ev.eval(&specific, None);
+        prop_assert!(mg.support >= ms.support);
+        prop_assert!(mg.cover >= ms.cover);
+    }
+}

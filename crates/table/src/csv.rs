@@ -1,0 +1,320 @@
+//! Dependency-free CSV reader/writer.
+//!
+//! Supports RFC-4180-style quoting (embedded commas, quotes, and newlines),
+//! a mandatory header row, and two loading modes:
+//!
+//! * [`read_str`] — every attribute is categorical; empty fields become NULL.
+//! * [`read_str_with_schema`] — the caller supplies a [`Schema`]; fields of
+//!   continuous attributes are parsed as integers/floats.
+//!
+//! The paper's real datasets (Adult, Covid-19, Nursery, Location) can be
+//! loaded through this module when their CSVs are on disk; the experiment
+//! harness falls back to the synthetic generators otherwise.
+
+use crate::error::{Error, Result};
+use crate::pool::Pool;
+use crate::relation::{Relation, RelationBuilder};
+use crate::schema::{Attribute, Schema};
+use crate::value::Value;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Parse CSV text into rows of raw string fields. The first record is the
+/// header. Empty input yields an error.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(Error::Csv {
+                            line,
+                            message: "quote inside unquoted field".to_string(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    // Swallow; the following '\n' ends the record.
+                }
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::Csv { line, message: "unterminated quoted field".to_string() });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any || records.is_empty() {
+        return Err(Error::Csv { line: 1, message: "empty csv input".to_string() });
+    }
+    Ok(records)
+}
+
+/// Read CSV text with an inferred all-categorical schema named `name`.
+/// Empty fields become NULL.
+pub fn read_str(name: &str, text: &str, pool: Arc<Pool>) -> Result<Relation> {
+    let records = parse_records(text)?;
+    let header = &records[0];
+    let schema = Arc::new(Schema::new(
+        name,
+        header.iter().map(|h| Attribute::categorical(h.trim())).collect(),
+    ));
+    build_rows(schema, &records[1..], pool)
+}
+
+/// Read CSV text against an explicit schema. The header must match the
+/// schema's attribute names in order. Continuous attributes are parsed
+/// numerically (integer first, then float).
+pub fn read_str_with_schema(text: &str, schema: Arc<Schema>, pool: Arc<Pool>) -> Result<Relation> {
+    let records = parse_records(text)?;
+    let header = &records[0];
+    if header.len() != schema.arity() {
+        return Err(Error::Csv {
+            line: 1,
+            message: format!(
+                "header has {} columns, schema expects {}",
+                header.len(),
+                schema.arity()
+            ),
+        });
+    }
+    for (i, h) in header.iter().enumerate() {
+        if h.trim() != schema.attr(i).name {
+            return Err(Error::Csv {
+                line: 1,
+                message: format!(
+                    "header column {} is {:?}, schema expects {:?}",
+                    i,
+                    h.trim(),
+                    schema.attr(i).name
+                ),
+            });
+        }
+    }
+    build_rows(schema, &records[1..], pool)
+}
+
+fn build_rows(schema: Arc<Schema>, records: &[Vec<String>], pool: Arc<Pool>) -> Result<Relation> {
+    let mut b = RelationBuilder::new(Arc::clone(&schema), pool);
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len() != schema.arity() {
+            return Err(Error::Csv {
+                line: i + 2,
+                message: format!("row has {} fields, expected {}", rec.len(), schema.arity()),
+            });
+        }
+        let mut row = Vec::with_capacity(rec.len());
+        for (attr, raw) in rec.iter().enumerate() {
+            row.push(parse_field(raw, schema.attr(attr).is_continuous()));
+        }
+        b.push_row(row).map_err(|e| Error::Csv { line: i + 2, message: e.to_string() })?;
+    }
+    Ok(b.finish())
+}
+
+fn parse_field(raw: &str, continuous: bool) -> Value {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Value::Null;
+    }
+    if continuous {
+        if let Ok(v) = raw.parse::<i64>() {
+            return Value::Int(v);
+        }
+        if let Ok(v) = raw.parse::<f64>() {
+            return Value::Float(v);
+        }
+        // Unparsable numeric cell: treat as missing rather than aborting the
+        // whole load — real-world CSVs are dirty, that is the point.
+        return Value::Null;
+    }
+    Value::str(raw)
+}
+
+/// Read a CSV file with an inferred all-categorical schema.
+pub fn read_path(path: impl AsRef<Path>, pool: Arc<Pool>) -> Result<Relation> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("relation");
+    read_str(name, &text, pool)
+}
+
+/// Serialize a relation back to CSV text (header + rows, NULL as empty).
+pub fn write_str(rel: &Relation) -> String {
+    let mut out = String::new();
+    let header: Vec<&str> = rel.schema().attributes().iter().map(|a| a.name.as_str()).collect();
+    write_record(&mut out, header.iter().copied());
+    for row in 0..rel.num_rows() {
+        let values: Vec<String> =
+            (0..rel.num_attrs()).map(|a| rel.value(row, a).render().into_owned()).collect();
+        write_record(&mut out, values.iter().map(String::as_str));
+    }
+    out
+}
+
+/// Write a relation to a CSV file.
+pub fn write_path(rel: &Relation, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, write_str(rel))?;
+    Ok(())
+}
+
+fn write_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if f.contains(',') || f.contains('"') || f.contains('\n') {
+            out.push('"');
+            out.push_str(&f.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(f);
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    #[test]
+    fn simple_read() {
+        let pool = Arc::new(Pool::new());
+        let r = read_str("t", "City,ZIP\nHZ,31200\nBJ,10021\n", pool).unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.schema().attr(0).name, "City");
+        assert_eq!(r.value(1, 1), Value::str("10021"));
+    }
+
+    #[test]
+    fn empty_fields_are_null() {
+        let pool = Arc::new(Pool::new());
+        let r = read_str("t", "A,B\nx,\n,y\n", pool).unwrap();
+        assert!(r.is_null(0, 1));
+        assert!(r.is_null(1, 0));
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let pool = Arc::new(Pool::new());
+        let r = read_str("t", "A,B\n\"a,b\",\"he said \"\"hi\"\"\"\n\"multi\nline\",z\n", pool)
+            .unwrap();
+        assert_eq!(r.value(0, 0), Value::str("a,b"));
+        assert_eq!(r.value(0, 1), Value::str("he said \"hi\""));
+        assert_eq!(r.value(1, 0), Value::str("multi\nline"));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let pool = Arc::new(Pool::new());
+        let r = read_str("t", "A,B\r\nx,y\r\n", pool).unwrap();
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.value(0, 1), Value::str("y"));
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let pool = Arc::new(Pool::new());
+        let r = read_str("t", "A\nx\ny", pool).unwrap();
+        assert_eq!(r.num_rows(), 2);
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let pool = Arc::new(Pool::new());
+        let err = read_str("t", "A,B\nx\n", pool).unwrap_err();
+        assert!(matches!(err, Error::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn schema_read_parses_numbers() {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new(
+            "t",
+            vec![Attribute::categorical("Name"), Attribute::continuous("Age")],
+        ));
+        let r =
+            read_str_with_schema("Name,Age\nkevin,30\nrobin,29.5\nnull-age,\nbad,xx\n", schema, pool)
+                .unwrap();
+        assert_eq!(r.value(0, 1), Value::int(30));
+        assert_eq!(r.value(1, 1), Value::float(29.5));
+        assert!(r.is_null(2, 1));
+        assert!(r.is_null(3, 1)); // unparsable numeric → NULL
+        assert_eq!(r.schema().attr(1).dtype, DataType::Continuous);
+    }
+
+    #[test]
+    fn schema_read_rejects_wrong_header() {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new("t", vec![Attribute::categorical("A")]));
+        assert!(read_str_with_schema("B\nx\n", schema, pool).is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let pool = Arc::new(Pool::new());
+        let text = "A,B\nx,\"a,b\"\n,plain\n";
+        let r = read_str("t", text, Arc::clone(&pool)).unwrap();
+        let out = write_str(&r);
+        let r2 = read_str("t", &out, pool).unwrap();
+        assert_eq!(r2.num_rows(), r.num_rows());
+        for row in 0..r.num_rows() {
+            for a in 0..r.num_attrs() {
+                assert_eq!(r.value(row, a), r2.value(row, a));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let pool = Arc::new(Pool::new());
+        assert!(read_str("t", "", pool).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let pool = Arc::new(Pool::new());
+        assert!(read_str("t", "A\n\"oops\n", pool).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type shared by the relational substrate.
+
+use std::fmt;
+
+/// Result alias for substrate operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by relation construction, CSV parsing, or lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A row had a different number of cells than the schema has attributes.
+    ArityMismatch {
+        /// Number of attributes declared by the schema.
+        expected: usize,
+        /// Number of cells actually supplied.
+        got: usize,
+    },
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// The offending row index.
+        row: usize,
+        /// Number of rows in the relation.
+        len: usize,
+    },
+    /// A value's type did not match the attribute's declared [`crate::DataType`].
+    TypeMismatch {
+        /// Attribute name.
+        attr: String,
+        /// Human-readable description of what was expected.
+        expected: &'static str,
+        /// Debug rendering of the offending value.
+        got: String,
+    },
+    /// CSV input was malformed.
+    Csv {
+        /// 1-based line number of the problem.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An I/O error, stringified (so the error stays `Clone + PartialEq`).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: schema has {expected} attributes, row has {got}")
+            }
+            Error::UnknownAttribute(name) => write!(f, "unknown attribute: {name:?}"),
+            Error::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds for relation with {len} rows")
+            }
+            Error::TypeMismatch { attr, expected, got } => {
+                write!(f, "type mismatch on attribute {attr:?}: expected {expected}, got {got}")
+            }
+            Error::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            Error::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}

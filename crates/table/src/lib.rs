@@ -1,0 +1,58 @@
+//! # er-table — relational substrate for editing-rule discovery
+//!
+//! This crate provides the in-memory relational layer every other crate in the
+//! workspace builds on:
+//!
+//! * [`Value`] — a typed cell value (`Null`, `Int`, `Float`, `Str`) with
+//!   bit-exact float hashing so every value can live in a dictionary.
+//! * [`Pool`] — a global, append-only value interner. All relations created
+//!   from the same pool share value codes, so cross-relation equality
+//!   (`t[X] = t_m[X_m]`, the heart of editing-rule semantics) is a cheap
+//!   `u32` comparison.
+//! * [`Schema`] / [`Attribute`] — named, typed attributes with a
+//!   `continuous` flag consumed by RLMiner's state encoder.
+//! * [`Relation`] — a dictionary-encoded columnar table with O(1) cell
+//!   access, row gather/sampling, and in-place cell updates (used by the
+//!   repair engine and the error injector).
+//! * [`index`] — hash indexes over attribute lists and stripped partition
+//!   (PLI) indexes used by the CFD miner.
+//! * [`csv`] — a dependency-free CSV reader/writer for loading the real
+//!   datasets when available.
+//!
+//! ```
+//! use er_table::{Pool, Schema, Attribute, RelationBuilder, Value};
+//! use std::sync::Arc;
+//!
+//! let pool = Arc::new(Pool::new());
+//! let schema = Arc::new(Schema::new(
+//!     "people",
+//!     vec![
+//!         Attribute::categorical("city"),
+//!         Attribute::categorical("zip"),
+//!     ],
+//! ));
+//! let mut b = RelationBuilder::new(schema, Arc::clone(&pool));
+//! b.push_row(vec![Value::str("HZ"), Value::str("31200")]).unwrap();
+//! b.push_row(vec![Value::str("BJ"), Value::Null]).unwrap();
+//! let rel = b.finish();
+//! assert_eq!(rel.num_rows(), 2);
+//! assert_eq!(rel.value(0, 0), Value::str("HZ"));
+//! assert!(rel.is_null(1, 1));
+//! ```
+
+pub mod csv;
+pub mod error;
+pub mod index;
+pub mod pool;
+pub mod relation;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use index::{GroupIndex, KeyIndex, Pli};
+pub use pool::{Code, Pool, NULL_CODE};
+pub use relation::{Relation, RelationBuilder, RowId};
+pub use schema::{AttrId, Attribute, DataType, Schema};
+pub use stats::ColumnStats;
+pub use value::Value;

@@ -1,0 +1,182 @@
+//! Global value interner.
+//!
+//! Every distinct [`Value`] that enters the system is assigned a dense `u32`
+//! [`Code`] by a [`Pool`]. Relations store codes, not values, which makes the
+//! inner loops of rule measure evaluation (billions of cell comparisons over a
+//! mining run) integer comparisons with no string traffic.
+//!
+//! One pool is shared by *both* the input and the master relation of a mining
+//! task, so `t[A] == t_m[A_m]` reduces to `code == code` even though the two
+//! cells live in different relations with different schemas. This mirrors how
+//! dictionary-encoded column stores share dictionaries across scans.
+//!
+//! NULL never enters the pool: it is represented by the reserved sentinel
+//! [`NULL_CODE`]. Editing-rule semantics never treat NULL as equal to anything
+//! (including another NULL) when matching LHS values, and keeping it out of
+//! the dictionary makes that invariant impossible to violate by accident.
+
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Dense dictionary code for an interned value.
+pub type Code = u32;
+
+/// Reserved code for NULL cells. Never allocated to a real value.
+pub const NULL_CODE: Code = u32::MAX;
+
+#[derive(Default)]
+struct PoolInner {
+    values: Vec<Value>,
+    map: HashMap<Value, Code>,
+}
+
+/// Append-only, thread-safe value interner.
+///
+/// Interning takes a write lock; lookups take a read lock. The mining hot
+/// paths never touch the pool at all — they operate on codes — so the lock is
+/// only contended during data loading.
+#[derive(Default)]
+pub struct Pool {
+    inner: RwLock<PoolInner>,
+}
+
+impl Pool {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `v`, returning its code. NULL maps to [`NULL_CODE`] without
+    /// touching the dictionary.
+    pub fn intern(&self, v: Value) -> Code {
+        if v.is_null() {
+            return NULL_CODE;
+        }
+        // Fast path: already interned.
+        if let Some(&c) = self.inner.read().map.get(&v) {
+            return c;
+        }
+        let mut inner = self.inner.write();
+        if let Some(&c) = inner.map.get(&v) {
+            return c;
+        }
+        let code = inner.values.len() as Code;
+        assert!(code < NULL_CODE, "value pool exhausted (2^32 - 1 distinct values)");
+        inner.values.push(v.clone());
+        inner.map.insert(v, code);
+        code
+    }
+
+    /// Look up the code of `v` without interning. NULL reports [`NULL_CODE`].
+    pub fn code_of(&self, v: &Value) -> Option<Code> {
+        if v.is_null() {
+            return Some(NULL_CODE);
+        }
+        self.inner.read().map.get(v).copied()
+    }
+
+    /// Decode a code back to its value. [`NULL_CODE`] decodes to
+    /// [`Value::Null`].
+    ///
+    /// # Panics
+    /// Panics if `code` was never allocated by this pool.
+    pub fn value(&self, code: Code) -> Value {
+        if code == NULL_CODE {
+            return Value::Null;
+        }
+        self.inner.read().values[code as usize].clone()
+    }
+
+    /// Number of distinct non-NULL values interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().values.len()
+    }
+
+    /// Whether the pool has interned any value yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let p = Pool::new();
+        let a = p.intern(Value::str("HZ"));
+        let b = p.intern(Value::str("HZ"));
+        assert_eq!(a, b);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn distinct_values_get_distinct_codes() {
+        let p = Pool::new();
+        let a = p.intern(Value::str("HZ"));
+        let b = p.intern(Value::str("BJ"));
+        let c = p.intern(Value::int(571));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn null_uses_sentinel_and_skips_dictionary() {
+        let p = Pool::new();
+        assert_eq!(p.intern(Value::Null), NULL_CODE);
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.value(NULL_CODE), Value::Null);
+        assert_eq!(p.code_of(&Value::Null), Some(NULL_CODE));
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = Pool::new();
+        for v in [Value::str("x"), Value::int(-9), Value::float(2.5)] {
+            let c = p.intern(v.clone());
+            assert_eq!(p.value(c), v);
+        }
+    }
+
+    #[test]
+    fn code_of_unknown_is_none() {
+        let p = Pool::new();
+        assert_eq!(p.code_of(&Value::str("missing")), None);
+    }
+
+    #[test]
+    fn int_and_string_spellings_differ() {
+        let p = Pool::new();
+        let as_int = p.intern(Value::int(571));
+        let as_str = p.intern(Value::str("571"));
+        assert_ne!(as_int, as_str);
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        use std::sync::Arc;
+        let p = Arc::new(Pool::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    (0..100).map(|i| p.intern(Value::int(i))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Code>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        assert_eq!(p.len(), 100);
+    }
+}

@@ -1,0 +1,154 @@
+//! Schemas and attributes.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Index of an attribute within its schema.
+pub type AttrId = usize;
+
+/// Physical/semantic type of an attribute.
+///
+/// `Categorical` and `Continuous` drive RLMiner's state encoding: categorical
+/// attributes contribute `|dom(A)|` (possibly prefix-reduced) dimensions,
+/// continuous ones contribute `N_split` range dimensions (paper §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Discrete values compared by equality (strings, codes, small ints).
+    Categorical,
+    /// Ordered numeric values, bucketed into ranges for pattern conditions.
+    Continuous,
+}
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, unique within its schema.
+    pub name: String,
+    /// Semantic type; see [`DataType`].
+    pub dtype: DataType,
+}
+
+impl Attribute {
+    /// A categorical (discrete) attribute.
+    pub fn categorical(name: impl Into<String>) -> Self {
+        Attribute { name: name.into(), dtype: DataType::Categorical }
+    }
+
+    /// A continuous (numeric, range-bucketed) attribute.
+    pub fn continuous(name: impl Into<String>) -> Self {
+        Attribute { name: name.into(), dtype: DataType::Continuous }
+    }
+
+    /// Whether the attribute is continuous.
+    pub fn is_continuous(&self) -> bool {
+        self.dtype == DataType::Continuous
+    }
+}
+
+/// An ordered list of attributes with a relation name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    name: String,
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Create a schema.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name — schemas are always authored by
+    /// code (generators, CSV headers), so a duplicate is a programming error.
+    pub fn new(name: impl Into<String>, attrs: Vec<Attribute>) -> Self {
+        let schema = Schema { name: name.into(), attrs };
+        for (i, a) in schema.attrs.iter().enumerate() {
+            for b in &schema.attrs[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate attribute name {:?}", a.name);
+            }
+        }
+        schema
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// All attributes, in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// The attribute at `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.attrs[id]
+    }
+
+    /// Resolve an attribute name to its id.
+    pub fn attr_id(&self, name: &str) -> Result<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| Error::UnknownAttribute(name.to_string()))
+    }
+
+    /// Iterate `(id, attribute)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attrs.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "reg",
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("ZIP"),
+                Attribute::continuous("Age"),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = schema();
+        assert_eq!(s.attr_id("City").unwrap(), 0);
+        assert_eq!(s.attr_id("Age").unwrap(), 2);
+        assert!(matches!(s.attr_id("Nope"), Err(Error::UnknownAttribute(_))));
+    }
+
+    #[test]
+    fn arity_and_access() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr(1).name, "ZIP");
+        assert!(s.attr(2).is_continuous());
+        assert!(!s.attr(0).is_continuous());
+        assert_eq!(s.name(), "reg");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_rejected() {
+        Schema::new("bad", vec![Attribute::categorical("A"), Attribute::categorical("A")]);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let s = schema();
+        let ids: Vec<_> = s.iter().map(|(i, a)| (i, a.name.clone())).collect();
+        assert_eq!(ids[0], (0, "City".to_string()));
+        assert_eq!(ids[2], (2, "Age".to_string()));
+    }
+}

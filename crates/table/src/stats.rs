@@ -1,0 +1,169 @@
+//! Column statistics.
+//!
+//! Lightweight per-column summaries used across the workspace: value
+//! frequency histograms (CTANE's constant-item selection, the condition
+//! space's equi-depth grouping), null fractions (identifier/quality
+//! heuristics), and distinct counts.
+
+use crate::pool::{Code, NULL_CODE};
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use std::collections::HashMap;
+
+/// Frequency histogram of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// `(code, count)` sorted by descending count, ties by ascending code.
+    pub frequencies: Vec<(Code, usize)>,
+    /// Number of NULL cells.
+    pub nulls: usize,
+    /// Number of rows.
+    pub rows: usize,
+}
+
+impl ColumnStats {
+    /// Compute the stats of `attr` in `rel`.
+    pub fn compute(rel: &Relation, attr: AttrId) -> Self {
+        let mut counts: HashMap<Code, usize> = HashMap::new();
+        let mut nulls = 0usize;
+        for &c in rel.column(attr) {
+            if c == NULL_CODE {
+                nulls += 1;
+            } else {
+                *counts.entry(c).or_insert(0) += 1;
+            }
+        }
+        let mut frequencies: Vec<(Code, usize)> = counts.into_iter().collect();
+        frequencies.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ColumnStats { frequencies, nulls, rows: rel.num_rows() }
+    }
+
+    /// Number of distinct non-NULL values.
+    pub fn distinct(&self) -> usize {
+        self.frequencies.len()
+    }
+
+    /// Fraction of NULL cells.
+    pub fn null_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.rows as f64
+        }
+    }
+
+    /// The `k` most frequent codes, descending.
+    pub fn top_k(&self, k: usize) -> Vec<Code> {
+        self.frequencies.iter().take(k).map(|&(c, _)| c).collect()
+    }
+
+    /// Frequency of one code (0 if absent).
+    pub fn frequency(&self, code: Code) -> usize {
+        self.frequencies.iter().find(|&&(c, _)| c == code).map(|&(_, n)| n).unwrap_or(0)
+    }
+
+    /// Whether the column looks like a row identifier: distinct values
+    /// exceed `fraction` of the (non-NULL) rows.
+    pub fn is_identifier_like(&self, fraction: f64) -> bool {
+        let non_null = self.rows.saturating_sub(self.nulls).max(1);
+        self.distinct() as f64 > fraction * non_null as f64
+    }
+
+    /// Shannon entropy of the value distribution (bits). High entropy with
+    /// many distinct values ⇒ poor pattern-condition candidate.
+    pub fn entropy(&self) -> f64 {
+        let total: usize = self.frequencies.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.frequencies
+            .iter()
+            .map(|&(_, n)| {
+                let p = n as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::schema::{Attribute, Schema};
+    use crate::value::Value;
+    use crate::Pool;
+    use std::sync::Arc;
+
+    fn rel() -> Relation {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new("t", vec![Attribute::categorical("A")]));
+        let mut b = RelationBuilder::new(schema, pool);
+        for v in ["x", "x", "x", "y", "y", "z"] {
+            b.push_row(vec![Value::str(v)]).unwrap();
+        }
+        b.push_row(vec![Value::Null]).unwrap();
+        b.push_row(vec![Value::Null]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn frequencies_sorted_desc() {
+        let r = rel();
+        let s = ColumnStats::compute(&r, 0);
+        assert_eq!(s.distinct(), 3);
+        assert_eq!(s.frequencies[0].1, 3); // x
+        assert_eq!(s.frequencies[1].1, 2); // y
+        assert_eq!(s.frequencies[2].1, 1); // z
+        assert_eq!(s.nulls, 2);
+        assert_eq!(s.rows, 8);
+    }
+
+    #[test]
+    fn null_fraction_and_top_k() {
+        let r = rel();
+        let s = ColumnStats::compute(&r, 0);
+        assert!((s.null_fraction() - 0.25).abs() < 1e-12);
+        let top = s.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(r.pool().value(top[0]), Value::str("x"));
+    }
+
+    #[test]
+    fn frequency_lookup() {
+        let r = rel();
+        let s = ColumnStats::compute(&r, 0);
+        let x = r.pool().code_of(&Value::str("x")).unwrap();
+        assert_eq!(s.frequency(x), 3);
+        assert_eq!(s.frequency(9999), 0);
+    }
+
+    #[test]
+    fn identifier_detection() {
+        let r = rel();
+        let s = ColumnStats::compute(&r, 0);
+        // 3 distinct over 6 non-null rows = 0.5.
+        assert!(s.is_identifier_like(0.4));
+        assert!(!s.is_identifier_like(0.6));
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        let r = rel();
+        let s = ColumnStats::compute(&r, 0);
+        // 3 values → entropy ≤ log2(3).
+        assert!(s.entropy() > 0.0);
+        assert!(s.entropy() <= 3f64.log2() + 1e-12);
+    }
+
+    #[test]
+    fn empty_column() {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new("t", vec![Attribute::categorical("A")]));
+        let r = Relation::empty(schema, pool);
+        let s = ColumnStats::compute(&r, 0);
+        assert_eq!(s.distinct(), 0);
+        assert_eq!(s.null_fraction(), 0.0);
+        assert_eq!(s.entropy(), 0.0);
+    }
+}

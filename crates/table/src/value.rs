@@ -1,0 +1,230 @@
+//! Typed cell values.
+//!
+//! [`Value`] is the user-facing representation of a single cell. Inside a
+//! [`crate::Relation`] cells are stored as dictionary codes (see
+//! [`crate::Pool`]); `Value` is what you get back out and what you put in.
+//!
+//! Floats are compared and hashed by their bit pattern so that `Value` can be
+//! used as a dictionary key. This means `NaN == NaN` at the dictionary level
+//! (both intern to the same code) and `-0.0 != 0.0`, which is exactly the
+//! behaviour we want for *dictionary identity*, as opposed to numeric
+//! comparison (use [`Value::as_f64`] for that).
+
+use std::borrow::Cow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A single cell value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL-style NULL / missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float, hashed/compared by bit pattern.
+    Float(f64),
+    /// Interned string. `Arc` keeps clones cheap: values circulate between
+    /// dictionaries, pattern tuples and repair candidates constantly.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for integer values.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Convenience constructor for float values.
+    pub fn float(v: f64) -> Self {
+        Value::Float(v)
+    }
+
+    /// Whether this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it has one. Integers widen to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render the value the way the CSV writer does: NULL becomes the empty
+    /// string, everything else its display form.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed(""),
+            Value::Str(s) => Cow::Borrowed(s),
+            Value::Int(v) => Cow::Owned(v.to_string()),
+            Value::Float(v) => Cow::Owned(format_float(*v)),
+        }
+    }
+}
+
+/// Format a float without trailing noise: integral floats print as `3`, not
+/// `3.0000000001`-style artifacts from repeated parse/print round-trips.
+fn format_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Int(v) => {
+                state.write_u8(1);
+                state.write_i64(*v);
+            }
+            Value::Float(v) => {
+                state.write_u8(2);
+                state.write_u64(v.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{}", format_float(*v)),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s.into())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_equality() {
+        assert_eq!(Value::Null, Value::Null);
+        assert!(Value::Null.is_null());
+        assert!(!Value::int(0).is_null());
+    }
+
+    #[test]
+    fn float_bit_equality() {
+        assert_eq!(Value::float(f64::NAN), Value::float(f64::NAN));
+        assert_ne!(Value::float(0.0), Value::float(-0.0));
+        assert_eq!(Value::float(1.5), Value::float(1.5));
+    }
+
+    #[test]
+    fn int_and_float_are_distinct() {
+        assert_ne!(Value::int(1), Value::float(1.0));
+        assert_ne!(hash_of(&Value::int(1)), hash_of(&Value::float(1.0)));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        let a = Value::str("HZ");
+        let b = Value::str("HZ");
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn as_f64_widens_ints() {
+        assert_eq!(Value::int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn render_forms() {
+        assert_eq!(Value::Null.render(), "");
+        assert_eq!(Value::int(-3).render(), "-3");
+        assert_eq!(Value::float(3.0).render(), "3");
+        assert_eq!(Value::float(3.25).render(), "3.25");
+        assert_eq!(Value::str("a b").render(), "a b");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::str("BJ").to_string(), "BJ");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(3i64), Value::int(3));
+        assert_eq!(Value::from(2.0f64), Value::float(2.0));
+        assert_eq!(Value::from("owned".to_string()), Value::str("owned"));
+    }
+}

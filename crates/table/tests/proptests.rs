@@ -1,0 +1,182 @@
+//! Property-based tests for the relational substrate.
+
+use er_table::{csv, Attribute, Pool, RelationBuilder, Schema, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Arbitrary cell values, biased toward collisions (shared pool codes).
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        2 => Just(Value::Null),
+        4 => (0i64..20).prop_map(Value::Int),
+        2 => (0u8..10).prop_map(|v| Value::Float(v as f64 / 2.0)),
+        6 => "[a-z]{0,6}".prop_map(Value::str),
+        // CSV-hostile strings: quotes, commas, newlines.
+        2 => prop::sample::select(vec!["a,b", "he said \"hi\"", "multi\nline", ""])
+            .prop_map(Value::str),
+    ]
+}
+
+fn arb_rows(cols: usize) -> impl Strategy<Value = Vec<Vec<Value>>> {
+    prop::collection::vec(prop::collection::vec(arb_value(), cols), 1..30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Interning is stable: the same value always gets the same code, and
+    /// decode(intern(v)) == v.
+    #[test]
+    fn pool_round_trip(values in prop::collection::vec(arb_value(), 1..100)) {
+        let pool = Pool::new();
+        let codes: Vec<_> = values.iter().map(|v| pool.intern(v.clone())).collect();
+        for (v, &c) in values.iter().zip(&codes) {
+            prop_assert_eq!(pool.intern(v.clone()), c);
+            prop_assert_eq!(pool.value(c), v.clone());
+        }
+        // Equal values share codes; distinct values don't.
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                prop_assert_eq!(codes[i] == codes[j], a == b, "{:?} vs {:?}", values[i], values[j]);
+            }
+        }
+    }
+
+    /// Relation cells decode to exactly what was inserted.
+    #[test]
+    fn relation_cells_round_trip(rows in arb_rows(3)) {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new(
+            "t",
+            vec![
+                Attribute::categorical("A"),
+                Attribute::categorical("B"),
+                Attribute::categorical("C"),
+            ],
+        ));
+        let mut b = RelationBuilder::new(schema, pool);
+        for row in &rows {
+            b.push_row(row.clone()).unwrap();
+        }
+        let rel = b.finish();
+        for (r, row) in rows.iter().enumerate() {
+            for (a, v) in row.iter().enumerate() {
+                prop_assert_eq!(rel.value(r, a), v.clone());
+            }
+        }
+    }
+
+    /// gather is a faithful projection of the chosen rows.
+    #[test]
+    fn gather_projects_rows(rows in arb_rows(2), picks in prop::collection::vec(0usize..29, 0..10)) {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new(
+            "t",
+            vec![Attribute::categorical("A"), Attribute::categorical("B")],
+        ));
+        let mut b = RelationBuilder::new(schema, pool);
+        for row in &rows {
+            b.push_row(row.clone()).unwrap();
+        }
+        let rel = b.finish();
+        let picks: Vec<usize> = picks.into_iter().filter(|&p| p < rel.num_rows()).collect();
+        let g = rel.gather(&picks);
+        prop_assert_eq!(g.num_rows(), picks.len());
+        for (i, &p) in picks.iter().enumerate() {
+            for a in 0..2 {
+                prop_assert_eq!(g.code(i, a), rel.code(p, a));
+            }
+        }
+    }
+
+    /// CSV write→read round-trips every relation, including quotes, commas
+    /// and newlines in values. (Numeric values come back as strings —
+    /// compare by rendering, which is what CSV can promise.)
+    #[test]
+    fn csv_round_trip(rows in arb_rows(3)) {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new(
+            "t",
+            vec![
+                Attribute::categorical("A"),
+                Attribute::categorical("B"),
+                Attribute::categorical("C"),
+            ],
+        ));
+        let mut b = RelationBuilder::new(schema, pool);
+        for row in &rows {
+            b.push_row(row.clone()).unwrap();
+        }
+        let rel = b.finish();
+        let text = csv::write_str(&rel);
+        let pool2 = Arc::new(Pool::new());
+        let back = csv::read_str("t", &text, pool2).unwrap();
+        prop_assert_eq!(back.num_rows(), rel.num_rows());
+        for r in 0..rel.num_rows() {
+            for a in 0..3 {
+                // NULL and "" both render as "", which CSV cannot tell apart.
+                let got = back.value(r, a).render().into_owned();
+                let want = rel.value(r, a).render().into_owned();
+                prop_assert_eq!(got, want, "cell ({}, {})", r, a);
+            }
+        }
+    }
+
+    /// KeyIndex::get returns exactly the rows whose key matches.
+    #[test]
+    fn key_index_is_exact(rows in arb_rows(2)) {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new(
+            "t",
+            vec![Attribute::categorical("A"), Attribute::categorical("B")],
+        ));
+        let mut b = RelationBuilder::new(schema, pool);
+        for row in &rows {
+            b.push_row(row.clone()).unwrap();
+        }
+        let rel = b.finish();
+        let idx = er_table::KeyIndex::build(&rel, &[0, 1]);
+        for r in 0..rel.num_rows() {
+            let c0 = rel.code(r, 0);
+            let c1 = rel.code(r, 1);
+            if c0 == er_table::NULL_CODE || c1 == er_table::NULL_CODE {
+                continue;
+            }
+            let hits = idx.get(&[c0, c1]);
+            prop_assert!(hits.contains(&r), "row {} missing from its own key", r);
+            for &h in hits {
+                prop_assert_eq!(rel.code(h, 0), c0);
+                prop_assert_eq!(rel.code(h, 1), c1);
+            }
+        }
+    }
+
+    /// PLI classes partition exactly the rows sharing a value, and
+    /// intersection equals building on the pair.
+    #[test]
+    fn pli_intersection_consistent(rows in arb_rows(2)) {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new(
+            "t",
+            vec![Attribute::categorical("A"), Attribute::categorical("B")],
+        ));
+        let mut b = RelationBuilder::new(schema, pool);
+        for row in &rows {
+            b.push_row(row.clone()).unwrap();
+        }
+        let rel = b.finish();
+        let pa = er_table::Pli::build(&rel, 0);
+        let pb = er_table::Pli::build(&rel, 1);
+        let pab = pa.intersect(&pb);
+        // Every class of the intersection agrees on both columns.
+        for class in pab.classes() {
+            let first = class[0];
+            for &r in class {
+                prop_assert_eq!(rel.code(r, 0), rel.code(first, 0));
+                prop_assert_eq!(rel.code(r, 1), rel.code(first, 1));
+            }
+        }
+        // error(π_AB) ≤ min(error(π_A), error(π_B)).
+        prop_assert!(pab.error() <= pa.error().min(pb.error()));
+    }
+}

@@ -1,0 +1,68 @@
+//! Adult scenario: all four miners head to head.
+//!
+//! Reproduces the flavor of Table III on a scaled-down Adult-like dataset:
+//! EnuMiner (exhaustive), EnuMinerH3 (depth-limited heuristic), RLMiner
+//! (the paper's contribution), and the CTANE CFD-transfer baseline.
+//!
+//! Run: `cargo run --release --example adult_benchmark`
+
+use erminer::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let kind = DatasetKind::Adult;
+    // 1/8 of the paper's 40k input keeps this example under a minute.
+    let scenario = kind.build(kind.small_config());
+    let task = &scenario.task;
+    println!(
+        "adult scenario: {} input x {} attrs, {} master x {} attrs, η_s = {}\n",
+        task.input().num_rows(),
+        task.input().num_attrs(),
+        task.master().num_rows(),
+        task.master().num_attrs(),
+        scenario.support_threshold
+    );
+
+    let mut rows: Vec<(String, usize, std::time::Duration, WeightedPrf)> = Vec::new();
+
+    // CTANE baseline.
+    let t = Instant::now();
+    let (ctane_rules, _) = ctane_baseline(task, CtaneConfig::new(scenario.support_threshold / 4));
+    let elapsed = t.elapsed();
+    let q = scenario.evaluate(&apply_rules(task, &ctane_rules));
+    rows.push(("CTANE".into(), ctane_rules.len(), elapsed, q));
+
+    // EnuMiner (full) and EnuMinerH3.
+    for (name, config) in [
+        ("EnuMiner", EnuMinerConfig::new(scenario.support_threshold)),
+        ("EnuMinerH3", EnuMinerConfig::h3(scenario.support_threshold)),
+    ] {
+        let result = erminer::enuminer::mine(task, config);
+        let q = scenario.evaluate(&apply_rules(task, &result.rules_only()));
+        println!("{name}: evaluated {} candidate rules", result.evaluated);
+        rows.push((name.into(), result.rules.len(), result.elapsed, q));
+    }
+
+    // RLMiner.
+    let t = Instant::now();
+    let mut config = RlMinerConfig::new(scenario.support_threshold);
+    config.train_steps = 5000;
+    let mut miner = RlMiner::new(task, config);
+    let stats = miner.train(task);
+    let rl = miner.mine(task);
+    let elapsed = t.elapsed();
+    println!(
+        "RLMiner: {} fresh rule evaluations during training, {} inference steps",
+        stats.fresh_evaluations, rl.steps
+    );
+    let q = scenario.evaluate(&apply_rules(task, &rl.rules_only()));
+    rows.push(("RLMiner".into(), rl.rules.len(), elapsed, q));
+
+    println!("\n{:<11} {:>6} {:>10} {:>7} {:>7} {:>7}", "method", "rules", "time", "P", "R", "F1");
+    for (name, n, time, q) in rows {
+        println!(
+            "{:<11} {:>6} {:>9.2?} {:>7.2} {:>7.2} {:>7.2}",
+            name, n, time, q.precision, q.recall, q.f1
+        );
+    }
+}

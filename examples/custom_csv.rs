@@ -1,0 +1,70 @@
+//! Bring your own data: build a mining task from CSV text.
+//!
+//! Shows the full plumbing a downstream user needs: a shared value pool, two
+//! relations loaded from CSV, a name-based schema match, a target attribute
+//! pair, and a miner. The same code works with `csv::read_path` on files.
+//!
+//! Run: `cargo run --release --example custom_csv`
+
+use erminer::prelude::*;
+use erminer::table::csv;
+use std::sync::Arc;
+
+const INPUT_CSV: &str = "\
+name,city,zip,area_code,plan
+alice,HZ,31200,,basic
+bob,BJ,10021,010,premium
+carol,HZ,31200,571,basic
+dave,HZ,,571,basic
+erin,SZ,51800,,premium
+frank,BJ,10021,010,
+grace,HZ,31200,,basic
+heidi,SZ,51800,755,premium
+";
+
+const MASTER_CSV: &str = "\
+city,zip,area_code,plan
+HZ,31200,571,basic
+BJ,10021,010,premium
+SZ,51800,755,premium
+HZ,31200,571,basic
+BJ,10021,010,premium
+";
+
+fn main() {
+    // One pool so dictionary codes compare across the two relations.
+    let pool = Arc::new(Pool::new());
+    let input = csv::read_str("customers", INPUT_CSV, Arc::clone(&pool)).expect("input csv");
+    let master = csv::read_str("registry", MASTER_CSV, Arc::clone(&pool)).expect("master csv");
+
+    // Match attributes by (normalized) name; repair `area_code`.
+    let matching = SchemaMatch::by_name(input.schema(), master.schema());
+    let y = input.schema().attr_id("area_code").expect("target in input");
+    let ym = master.schema().attr_id("area_code").expect("target in master");
+    let task = Task::new(input, master, matching, (y, ym));
+
+    // Mine with EnuMiner (tiny data — enumeration is instant).
+    let result = erminer::enuminer::mine(&task, EnuMinerConfig::new(2));
+    println!("discovered {} rules:", result.rules.len());
+    for (rule, m) in &result.rules {
+        println!(
+            "  U={:<5.2} S={} C={:.2}  {}",
+            m.utility,
+            m.support,
+            m.certainty,
+            rule.display(task.input(), task.master().schema())
+        );
+    }
+
+    // Apply and show the filled-in area codes.
+    let report = apply_rules(&task, &result.rules_only());
+    println!("\nrepairs:");
+    for row in 0..task.input().num_rows() {
+        if task.input().is_null(row, y) {
+            if let Some(code) = report.predictions[row] {
+                let name = task.input().value(row, 0);
+                println!("  {name}: area_code NULL -> {}", task.input().pool().value(code));
+            }
+        }
+    }
+}

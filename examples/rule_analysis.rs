@@ -1,0 +1,58 @@
+//! Rule-set analysis: how many rules do you actually need?
+//!
+//! The paper caps discovery at the top-K = 50 rules because oversized rule
+//! sets are hard to review and slow to apply (§II-C). This example mines a
+//! rule set, then uses `er_rules::analysis` to show the cumulative-coverage
+//! curve, each rule's marginal contribution, and pairwise overlap — the
+//! evidence for picking a smaller K.
+//!
+//! Run: `cargo run --release --example rule_analysis`
+
+use erminer::prelude::*;
+
+fn main() {
+    let kind = DatasetKind::Covid;
+    let scenario = kind.build(ScenarioConfig {
+        input_size: 1500,
+        master_size: 1100,
+        seed: 9,
+        ..kind.paper_config()
+    });
+    let task = &scenario.task;
+
+    let mined = erminer::enuminer::mine(task, EnuMinerConfig::new(scenario.support_threshold));
+    let rules = mined.rules_only();
+    println!("mined {} rules; analyzing coverage…\n", rules.len());
+
+    let report = coverage(task, &rules);
+    println!(
+        "the full set can repair {} of {} tuples ({:.0}%)",
+        report.covered,
+        report.total_rows,
+        report.coverage_fraction() * 100.0
+    );
+    println!("\n rank  support  marginal  cumulative");
+    for (i, rc) in report.rules.iter().take(12).enumerate() {
+        println!(
+            "  {:>3} {:>8} {:>9} {:>11}",
+            i + 1,
+            rc.supported_rows.len(),
+            rc.marginal_rows,
+            report.cumulative[i]
+        );
+    }
+    for frac in [0.8, 0.9, 0.95, 1.0] {
+        println!(
+            "K = {:>2} rules reach {:.0}% of the attainable coverage",
+            report.knee(frac),
+            frac * 100.0
+        );
+    }
+
+    if rules.len() >= 2 {
+        println!(
+            "\noverlap(rule #1, rule #2) = {:.2} (Jaccard on repairable tuples)",
+            erminer::rules::analysis::overlap(task, &rules[0], &rules[1])
+        );
+    }
+}

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Render results/*.json into the markdown blocks of EXPERIMENTS.md.
+
+Usage: python3 scripts/render_results.py [results_dir] [experiments_md]
+
+Replaces each `<!-- MEASURED:<id> -->` marker with a markdown table built
+from `results/<id>.json` (the marker is kept so the script is idempotent —
+everything between the marker and the next blank-line-delimited table it
+previously wrote is regenerated).
+"""
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def fmt(v):
+    if isinstance(v, float):
+        return f"{v:.3f}".rstrip("0").rstrip(".") if abs(v) < 1000 else f"{v:.1f}"
+    return str(v)
+
+
+def mean_std(d):
+    return f"{d['mean']:.2f} ± {d['std']:.2f}"
+
+
+def table(headers, rows):
+    out = ["| " + " | ".join(headers) + " |", "|" + "|".join(["---"] * len(headers)) + "|"]
+    for r in rows:
+        out.append("| " + " | ".join(r) + " |")
+    return "\n".join(out)
+
+
+def render(exp_id, data):
+    if exp_id == "table1":
+        return table(
+            ["dataset", "#A", "#A_m", "#input", "#master", "η_s", "dirty Y"],
+            [
+                [r["dataset"], str(r["input_attrs"]), str(r["master_attrs"]),
+                 str(r["input_rows"]), str(r["master_rows"]),
+                 str(r["support_threshold"]), str(r["dirty_y"])]
+                for r in data
+            ],
+        )
+    if exp_id == "table2":
+        return table(
+            ["dataset", "method", "rules", "LHS mean±std", "LHS max/min",
+             "pattern mean±std", "pattern max/min"],
+            [
+                [r["dataset"], r["method"], str(r["num_rules"]), mean_std(r["lhs"]),
+                 f"{r['lhs_max_min'][0]}/{r['lhs_max_min'][1]}", mean_std(r["pattern"]),
+                 f"{r['pattern_max_min'][0]}/{r['pattern_max_min'][1]}"]
+                for r in data
+            ],
+        )
+    if exp_id == "table3":
+        return table(
+            ["dataset", "method", "precision", "recall", "F1", "time (s)"],
+            [
+                [r["dataset"], r["method"], mean_std(r["precision"]),
+                 mean_std(r["recall"]), mean_std(r["f1"]), f"{r['seconds']:.2f}"]
+                for r in data
+            ],
+        )
+    if exp_id.startswith("fig") and exp_id not in ("fig12",):
+        return table(
+            ["x", "method", "F1", "precision", "recall", "time (s)", "rules evaluated"],
+            [
+                [fmt(r["x"]), r["method"], f"{r['f1']:.3f}", f"{r['precision']:.3f}",
+                 f"{r['recall']:.3f}", f"{r['seconds']:.2f}", str(r["evaluated"])]
+                for r in data
+            ],
+        )
+    if exp_id == "fig12":
+        return table(
+            ["dataset", "train steps", "train (s)", "ft steps", "ft (s)",
+             "inference steps", "inference (s)"],
+            [
+                [r["dataset"], str(r["train_steps"]), f"{r['train_seconds']:.1f}",
+                 str(r["finetune_steps"]), f"{r['finetune_seconds']:.1f}",
+                 str(r["inference_steps"]), f"{r['inference_seconds']:.3f}"]
+                for r in data
+            ],
+        )
+    if exp_id == "ablate":
+        return table(
+            ["variant", "F1", "rules", "training reward sum"],
+            [
+                [r["variant"], f"{r['f1']:.3f}", str(r["rules"]), f"{r['reward_sum']:.1f}"]
+                for r in data
+            ],
+        )
+    return "```json\n" + json.dumps(data, indent=1)[:2000] + "\n```"
+
+
+def main():
+    results = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    md_path = Path(sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md")
+    text = md_path.read_text()
+    for f in sorted(results.glob("*.json")):
+        exp_id = f.stem
+        marker = f"<!-- MEASURED:{exp_id} -->"
+        if marker not in text:
+            continue
+        body = "Measured:\n\n" + render(exp_id, json.loads(f.read_text()))
+        # Replace marker + any previously generated block (up to the next
+        # heading or end marker).
+        pattern = re.escape(marker) + r"(?:\nMeasured:\n\n(?:\|[^\n]*\n)+)?"
+        text = re.sub(pattern, marker + "\n" + body + "\n", text)
+        print(f"rendered {exp_id}")
+    md_path.write_text(text)
+
+
+if __name__ == "__main__":
+    main()

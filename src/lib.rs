@@ -1,0 +1,76 @@
+//! # erminer — discovering editing rules by deep reinforcement learning
+//!
+//! A complete Rust implementation of the ICDE 2023 paper *"Discovering
+//! Editing Rules by Deep Reinforcement Learning"*: editing rules (Fan et al.,
+//! VLDBJ 2012) repair a low-quality input relation using high-quality
+//! relational master data; this workspace discovers them automatically with
+//!
+//! * **RLMiner** ([`rlminer`]) — the paper's contribution: a masked DQN
+//!   agent grows a rule tree as a Markov Decision Process, guided by a
+//!   utility-shaped reward, avoiding the enumeration of the condition space;
+//! * **EnuMiner / EnuMinerH3** ([`enuminer`]) — the enumeration baseline
+//!   with support pruning and cover-based subspace search;
+//! * **CTANE** ([`cfd`]) — the CFD-transfer baseline mined on master data.
+//!
+//! Supporting layers: a dictionary-encoded relational substrate
+//! ([`table`]), the rule/measure/repair domain model ([`rules`]), a
+//! from-scratch deep-RL stack ([`rl`]), and synthetic dataset generators
+//! with BART-style error injection ([`datagen`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use erminer::prelude::*;
+//!
+//! // The paper's Figure 1: 3 self-reported registration tuples repaired
+//! // against 4 national COVID-19 records.
+//! let scenario = erminer::datagen::figure1();
+//!
+//! // Mine with the enumeration baseline (exact),
+//! let enu = erminer::enuminer::mine(&scenario.task, EnuMinerConfig::new(1));
+//! assert!(!enu.rules.is_empty());
+//!
+//! // ... and repair the input with the discovered rules.
+//! let report = apply_rules(&scenario.task, &enu.rules_only());
+//! let quality = scenario.evaluate(&report);
+//! assert!(quality.precision > 0.0);
+//! ```
+//!
+//! For RLMiner itself see [`rlminer::RlMiner`]; for the experiment harness
+//! regenerating every table and figure of the paper, see the `er-bench`
+//! crate (`cargo run -p er-bench --release --bin experiments -- all`).
+
+pub use er_cfd as cfd;
+pub use er_datagen as datagen;
+pub use er_enuminer as enuminer;
+pub use er_rl as rl;
+pub use er_rlminer as rlminer;
+pub use er_rules as rules;
+pub use er_table as table;
+
+/// The commonly-used types in one import.
+pub mod prelude {
+    pub use er_cfd::{ctane_baseline, CtaneConfig};
+    pub use er_datagen::{
+        scenario_from_csv, CsvScenarioOptions, DatasetKind, Scenario, ScenarioConfig,
+    };
+    pub use er_enuminer::EnuMinerConfig;
+    pub use er_rlminer::{RlMiner, RlMinerConfig};
+    pub use er_rules::{
+        apply_rules, chase, coverage, evaluate_repairs, rules_from_json, rules_to_json,
+        select_top_k, ChaseConfig, Condition, EditingRule, Evaluator, Measures, SchemaMatch,
+        TargetRules, Task, WeightedPrf,
+    };
+    pub use er_table::{
+        Attribute, ColumnStats, DataType, Pool, Relation, RelationBuilder, Schema, Value,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_work() {
+        let s = crate::datagen::figure1();
+        assert_eq!(s.task.input().num_rows(), 3);
+    }
+}

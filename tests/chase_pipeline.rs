@@ -1,0 +1,58 @@
+//! Integration: mine per-target rule sets, then chase to a fixpoint.
+
+use erminer::prelude::*;
+use erminer::rules::{chase, ChaseConfig, TargetRules};
+
+/// Mine rules for a target attribute of the Figure-1 scenario.
+fn mine_for(scenario: &Scenario, attr: &str) -> TargetRules {
+    let input = scenario.task.input();
+    let master = scenario.task.master();
+    let y = input.schema().attr_id(attr).unwrap();
+    let ym = master.schema().attr_id(attr).unwrap();
+    let task = Task::new(
+        input.clone(),
+        master.clone(),
+        scenario.task.matching().clone(),
+        (y, ym),
+    );
+    let mined = erminer::enuminer::mine(&task, EnuMinerConfig::new(1));
+    TargetRules { target: (y, ym), rules: mined.rules_only() }
+}
+
+#[test]
+fn figure1_chase_fills_zip_then_ac() {
+    let s = erminer::datagen::figure1();
+    let input = s.task.input().clone();
+    let master = s.task.master().clone();
+    let matching = s.task.matching().clone();
+    let targets = vec![mine_for(&s, "ZIP"), mine_for(&s, "AC")];
+
+    let result = chase(&input, &master, &matching, &targets, ChaseConfig::default());
+    let pool = input.pool();
+    let code = |v: &str| pool.code_of(&Value::str(v)).unwrap();
+    let zip = input.schema().attr_id("ZIP").unwrap();
+    let ac = input.schema().attr_id("AC").unwrap();
+
+    // Kevin (t1): ZIP was NULL; City=HZ ⇒ 31200, which then unlocks AC=571.
+    assert_eq!(result.repaired.code(0, zip), code("31200"));
+    assert_eq!(result.repaired.code(0, ac), code("571"));
+    // Robin (t3): ZIP=31200 present ⇒ AC=571 directly.
+    assert_eq!(result.repaired.code(2, ac), code("571"));
+    // Kyrie (t2): already has ZIP and AC; untouched.
+    assert_eq!(result.repaired.code(1, ac), code("010"));
+    // Fixpoint within the round budget.
+    assert!(result.rounds <= ChaseConfig::default().max_rounds);
+}
+
+#[test]
+fn chase_is_idempotent_on_repaired_data() {
+    let s = erminer::datagen::figure1();
+    let input = s.task.input().clone();
+    let master = s.task.master().clone();
+    let matching = s.task.matching().clone();
+    let targets = vec![mine_for(&s, "ZIP"), mine_for(&s, "AC")];
+    let first = chase(&input, &master, &matching, &targets, ChaseConfig::default());
+    let second =
+        chase(&first.repaired, &master, &matching, &targets, ChaseConfig::default());
+    assert!(second.fixes.is_empty(), "second chase must be a no-op");
+}

@@ -1,0 +1,143 @@
+//! End-to-end pipelines: generate → discover → repair → evaluate, across
+//! datasets and miners.
+
+use erminer::prelude::*;
+
+fn small(kind: DatasetKind, seed: u64) -> Scenario {
+    kind.build(ScenarioConfig {
+        input_size: 500,
+        master_size: 300,
+        seed,
+        ..kind.paper_config()
+    })
+}
+
+fn enu(scenario: &Scenario) -> er_enuminer::MineResult {
+    let mut config = EnuMinerConfig::new(scenario.support_threshold);
+    config.max_rules_evaluated = Some(120_000);
+    erminer::enuminer::mine(&scenario.task, config)
+}
+
+#[test]
+fn enuminer_repairs_every_dataset() {
+    for kind in DatasetKind::all() {
+        let s = small(kind, 21);
+        let result = enu(&s);
+        assert!(!result.rules.is_empty(), "{}: no rules", kind.name());
+        let prf = s.evaluate(&apply_rules(&s.task, &result.rules_only()));
+        assert!(prf.f1 > 0.25, "{}: f1 {}", kind.name(), prf.f1);
+        assert!(prf.precision > 0.3, "{}: precision {}", kind.name(), prf.precision);
+    }
+}
+
+#[test]
+fn ctane_has_lower_recall_than_enuminer() {
+    // The paper's core claim about the CFD baseline (Table III): CFDs mined
+    // only on master data (with exact confidence) miss input-side conditions
+    // and cover far fewer tuples. Run at the Covid dataset's natural scale,
+    // where the approximate planted dependency rejects the global FD.
+    let s = DatasetKind::Covid.build(ScenarioConfig {
+        seed: 22,
+        ..DatasetKind::Covid.paper_config()
+    });
+    let master_eta = ((s.support_threshold * s.task.master().num_rows())
+        / s.task.input().num_rows())
+    .max(3);
+    let (ctane_rules, _) = ctane_baseline(&s.task, CtaneConfig::new(master_eta));
+    let ctane_prf = s.evaluate(&apply_rules(&s.task, &ctane_rules));
+    let enu_prf = s.evaluate(&apply_rules(&s.task, &enu(&s).rules_only()));
+    assert!(
+        ctane_prf.recall < enu_prf.recall,
+        "CTANE recall {} should trail EnuMiner {}",
+        ctane_prf.recall,
+        enu_prf.recall
+    );
+}
+
+#[test]
+fn rlminer_end_to_end_on_covid() {
+    // Covid at its natural (paper) scale — below ~1500 input rows the
+    // support threshold interacts badly with the per-value pattern supports
+    // and every miner degrades.
+    let s = DatasetKind::Covid.build(ScenarioConfig {
+        seed: 23,
+        ..DatasetKind::Covid.paper_config()
+    });
+    let mut config = RlMinerConfig::new(s.support_threshold);
+    config.train_steps = 3000;
+    config.epsilon = (1.0, 0.08, 1800);
+    // Double-DQN markedly stabilizes learning on this task (see the
+    // ablation results); use it here to keep the test robust to seeds.
+    config.double_dqn = true;
+    let mut miner = RlMiner::new(&s.task, config);
+    let stats = miner.train(&s.task);
+    assert_eq!(stats.steps, 3000);
+    let result = miner.mine(&s.task);
+    assert!(!result.rules.is_empty());
+    let prf = s.evaluate(&apply_rules(&s.task, &result.rules_only()));
+    // Run-to-run variance on Covid is real (EXPERIMENTS.md); assert a
+    // floor that separates learning from noise, not the tuned best case.
+    assert!(prf.f1 > 0.3, "f1 {}", prf.f1);
+    // RLMiner must not have enumerated: fresh evaluations bounded by steps.
+    assert!(stats.fresh_evaluations <= stats.steps);
+}
+
+#[test]
+fn repaired_relation_changes_only_y() {
+    let s = small(DatasetKind::Location, 24);
+    let result = enu(&s);
+    let report = apply_rules(&s.task, &result.rules_only());
+    let repaired = report.apply(&s.task);
+    let input = s.task.input();
+    let (y, _) = s.task.target();
+    for row in 0..input.num_rows() {
+        for attr in 0..input.num_attrs() {
+            if attr != y {
+                assert_eq!(repaired.code(row, attr), input.code(row, attr));
+            }
+        }
+    }
+    // And some Y cells actually changed.
+    assert!(er_rules::changed_rows(&s.task, &report).len() > 10);
+}
+
+#[test]
+fn figure1_pipeline_repairs_kevin() {
+    let s = erminer::datagen::figure1();
+    let result = erminer::enuminer::mine(&s.task, EnuMinerConfig::new(1));
+    let report = apply_rules(&s.task, &result.rules_only());
+    // t1 (Kevin) has a missing Case; the pipeline must propose a fix and it
+    // must be the ground truth "contact with patient".
+    let truth = s.truth_y[0];
+    assert_eq!(report.predictions[0], Some(truth));
+}
+
+#[test]
+fn mining_respects_duplicate_rate_extremes() {
+    // duplicate_rate = 1.0: every input entity is in the master; repairs
+    // should be near-perfect with the planted FD.
+    let kind = DatasetKind::Location;
+    let hi = kind.build(ScenarioConfig {
+        input_size: 500,
+        master_size: 300,
+        duplicate_rate: Some(1.0),
+        seed: 25,
+        ..kind.paper_config()
+    });
+    let lo = kind.build(ScenarioConfig {
+        input_size: 500,
+        master_size: 300,
+        duplicate_rate: Some(0.1),
+        seed: 25,
+        ..kind.paper_config()
+    });
+    let hi_prf = hi.evaluate(&apply_rules(&hi.task, &enu(&hi).rules_only()));
+    let lo_prf = lo.evaluate(&apply_rules(&lo.task, &enu(&lo).rules_only()));
+    // More duplicates ⇒ at least as good F1 (Figure 7's monotone trend).
+    assert!(
+        hi_prf.f1 + 0.05 >= lo_prf.f1,
+        "hi {} vs lo {}",
+        hi_prf.f1,
+        lo_prf.f1
+    );
+}

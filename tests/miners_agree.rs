@@ -1,0 +1,90 @@
+//! Agreement between RLMiner and EnuMiner on exhaustively-checkable
+//! instances — the paper's headline claim is that the RL agent matches the
+//! enumeration's quality without paying its cost.
+
+use erminer::prelude::*;
+
+fn location(seed: u64) -> Scenario {
+    DatasetKind::Location.build(ScenarioConfig {
+        input_size: 800,
+        master_size: 500,
+        seed,
+        ..DatasetKind::Location.paper_config()
+    })
+}
+
+#[test]
+fn both_miners_find_the_planted_fd_on_location() {
+    let s = location(31);
+    let county = s.task.input().schema().attr_id("county").unwrap();
+
+    let enu = erminer::enuminer::mine(&s.task, EnuMinerConfig::new(s.support_threshold));
+    let enu_best = &enu.rules[0].0;
+    assert!(enu_best.x().contains(&county), "EnuMiner best: {enu_best:?}");
+
+    let mut config = RlMinerConfig::new(s.support_threshold);
+    config.train_steps = 4000;
+    config.epsilon = (1.0, 0.05, 2400);
+    let mut miner = RlMiner::new(&s.task, config);
+    miner.train(&s.task);
+    let rl = miner.mine(&s.task);
+    assert!(
+        rl.rules.iter().take(5).any(|(r, _)| r.x().contains(&county)),
+        "RLMiner top-5 should include a county rule: {:?}",
+        rl.rules.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn rlminer_top_utility_close_to_enuminer() {
+    let s = location(32);
+    let enu = erminer::enuminer::mine(&s.task, EnuMinerConfig::new(s.support_threshold));
+    let enu_top = enu.rules[0].1.utility;
+
+    let mut config = RlMinerConfig::new(s.support_threshold);
+    config.train_steps = 4000;
+    config.epsilon = (1.0, 0.05, 2400);
+    let mut miner = RlMiner::new(&s.task, config);
+    miner.train(&s.task);
+    let rl = miner.mine(&s.task);
+    let rl_top = rl.rules[0].1.utility;
+    assert!(
+        rl_top >= enu_top * 0.8,
+        "RLMiner top utility {rl_top} too far below EnuMiner's {enu_top}"
+    );
+}
+
+#[test]
+fn rlminer_is_far_cheaper_in_rule_evaluations() {
+    let s = location(33);
+    let enu = erminer::enuminer::mine(&s.task, EnuMinerConfig::new(s.support_threshold));
+
+    let mut config = RlMinerConfig::new(s.support_threshold);
+    config.train_steps = 4000;
+    let mut miner = RlMiner::new(&s.task, config);
+    let stats = miner.train(&s.task);
+    assert!(
+        stats.fresh_evaluations * 5 < enu.evaluated,
+        "RLMiner fresh {} vs EnuMiner {}",
+        stats.fresh_evaluations,
+        enu.evaluated
+    );
+}
+
+#[test]
+fn enuminer_h3_between_full_and_rl_in_coverage() {
+    let s = location(34);
+    let full = erminer::enuminer::mine(&s.task, EnuMinerConfig::new(s.support_threshold));
+    let h3 = erminer::enuminer::mine(&s.task, EnuMinerConfig::h3(s.support_threshold));
+    // H3 evaluates no more candidates than the exhaustive run, and its
+    // repair quality stays close (Figures 8–9).
+    assert!(h3.evaluated <= full.evaluated);
+    let full_prf = s.evaluate(&apply_rules(&s.task, &full.rules_only()));
+    let h3_prf = s.evaluate(&apply_rules(&s.task, &h3.rules_only()));
+    assert!(
+        (full_prf.f1 - h3_prf.f1).abs() < 0.1,
+        "full {} vs h3 {}",
+        full_prf.f1,
+        h3_prf.f1
+    );
+}

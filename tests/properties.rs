@@ -1,0 +1,154 @@
+//! Property-based cross-crate invariants (proptest).
+
+use erminer::prelude::*;
+use proptest::prelude::*;
+
+/// A fixed Covid fixture shared by the property tests (building it per case
+/// would dominate the runtime; the properties quantify over *rules*, not
+/// over datasets).
+fn fixture() -> &'static Scenario {
+    use std::sync::OnceLock;
+    static SCENARIO: OnceLock<Scenario> = OnceLock::new();
+    SCENARIO.get_or_init(|| {
+        DatasetKind::Covid.build(ScenarioConfig {
+            input_size: 300,
+            master_size: 200,
+            seed: 77,
+            ..DatasetKind::Covid.paper_config()
+        })
+    })
+}
+
+/// Strategy: a random valid rule for the fixture (random subset of LHS pairs
+/// plus up to two random pattern conditions).
+fn arb_rule() -> impl Strategy<Value = EditingRule> {
+    let s = fixture();
+    let pairs = s.task.candidate_lhs_pairs();
+    let space = er_rules::ConditionSpace::build(&s.task, er_rules::ConditionSpaceConfig::default());
+    let conditions: Vec<Condition> = space.iter().map(|(_, _, c)| c.clone()).collect();
+    let n_pairs = pairs.len();
+    let n_conds = conditions.len();
+    (proptest::bits::u32::masked((1 << n_pairs.min(20)) - 1), proptest::collection::vec(0..n_conds, 0..=2))
+        .prop_map(move |(mask, cond_ix)| {
+            let lhs: Vec<_> = pairs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &p)| p)
+                .collect();
+            let mut pattern: Vec<Condition> = Vec::new();
+            for i in cond_ix {
+                let c = conditions[i].clone();
+                if !pattern.iter().any(|p| p.attr == c.attr) && c.attr != fixture().task.target().0
+                {
+                    pattern.push(c);
+                }
+            }
+            EditingRule::new(lhs, fixture().task.target(), pattern)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 1: refinement never increases support, and certainty stays in
+    /// [0, 1] with support ≤ cover.
+    #[test]
+    fn lemma1_support_antimonotone(rule in arb_rule()) {
+        let s = fixture();
+        let ev = Evaluator::new(&s.task);
+        let m = ev.eval(&rule, None);
+        prop_assert!(m.certainty >= 0.0 && m.certainty <= 1.0);
+        prop_assert!(m.quality >= -1.0 && m.quality <= 1.0);
+        prop_assert!(m.support <= m.cover);
+
+        // Refine by any LHS pair not already used.
+        for &(a, am) in s.task.candidate_lhs_pairs().iter().take(3) {
+            if !rule.lhs_contains_input(a) {
+                let child = rule.with_lhs_pair(a, am);
+                let mc = ev.eval(&child, None);
+                prop_assert!(
+                    mc.support <= m.support,
+                    "S({:?})={} > S(parent)={}", child, mc.support, m.support
+                );
+                prop_assert!(er_rules::dominates(&rule, &child));
+            }
+        }
+    }
+
+    /// Subspace search equals full scan for any rule: evaluating on the
+    /// parent's cover gives identical measures.
+    #[test]
+    fn subspace_search_is_exact(rule in arb_rule()) {
+        let s = fixture();
+        let ev = Evaluator::new(&s.task);
+        let space = er_rules::ConditionSpace::build(
+            &s.task, er_rules::ConditionSpaceConfig::default());
+        let parent_cover = ev.cover(&rule, None);
+        // Add one condition on a free attribute, if any.
+        for attr in 0..space.num_attrs() {
+            if rule.pattern_contains(attr) {
+                continue;
+            }
+            if let Some(cond) = space.of(attr).first() {
+                let child = rule.with_condition(cond.clone());
+                let full = ev.eval_on_cover(&child, &ev.cover(&child, None));
+                let sub = ev.eval_on_cover(&child, &ev.cover(&child, Some(&parent_cover)));
+                prop_assert_eq!(full, sub);
+                break;
+            }
+        }
+    }
+
+    /// select_top_k always yields a non-redundant set of at most K rules.
+    #[test]
+    fn top_k_non_redundant(rules in proptest::collection::vec(arb_rule(), 1..20), k in 1usize..10) {
+        let s = fixture();
+        let ev = Evaluator::new(&s.task);
+        let scored: Vec<_> = rules.iter().map(|r| (r.clone(), ev.eval(r, None))).collect();
+        let kept = select_top_k(scored, k);
+        prop_assert!(kept.len() <= k);
+        for (i, (a, _)) in kept.iter().enumerate() {
+            for (j, (b, _)) in kept.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!er_rules::dominates(a, b));
+                }
+            }
+        }
+    }
+
+    /// Repair predictions are always values from the master's Y_m column,
+    /// never NULL, never invented.
+    #[test]
+    fn repairs_come_from_master_domain(rules in proptest::collection::vec(arb_rule(), 1..5)) {
+        let s = fixture();
+        let report = apply_rules(&s.task, &rules);
+        let (_, ym) = s.task.target();
+        let master_domain: std::collections::HashSet<_> =
+            s.task.master().distinct_codes(ym).into_iter().collect();
+        for pred in report.predictions.iter().flatten() {
+            prop_assert!(master_domain.contains(pred), "prediction {pred} not in master Y_m");
+        }
+    }
+
+    /// The measure evaluator's cache is transparent: evaluating twice gives
+    /// the same measures.
+    #[test]
+    fn evaluator_cache_transparent(rule in arb_rule()) {
+        let s = fixture();
+        let ev = Evaluator::new(&s.task);
+        let a = ev.eval(&rule, None);
+        let b = ev.eval(&rule, None);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Domination is a strict partial order on the sampled rules:
+    /// irreflexive and antisymmetric.
+    #[test]
+    fn domination_is_strict_partial_order(a in arb_rule(), b in arb_rule()) {
+        prop_assert!(!er_rules::dominates(&a, &a));
+        if er_rules::dominates(&a, &b) {
+            prop_assert!(!er_rules::dominates(&b, &a));
+        }
+    }
+}

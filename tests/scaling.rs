@@ -1,0 +1,92 @@
+//! Scaling mechanics behind Figures 8–9: EnuMiner's enumeration cost grows
+//! with the input domain; RLMiner's evaluation count is bounded by its step
+//! budget regardless of data size.
+
+use erminer::prelude::*;
+
+fn adult(input: usize, master: usize) -> Scenario {
+    DatasetKind::Adult.build(ScenarioConfig {
+        input_size: input,
+        master_size: master,
+        seed: 51,
+        ..DatasetKind::Adult.paper_config()
+    })
+}
+
+#[test]
+fn enuminer_cost_grows_with_input_size() {
+    let small = adult(600, 300);
+    let large = adult(1800, 300);
+    let mine = |s: &Scenario| {
+        let mut c = EnuMinerConfig::new(s.support_threshold);
+        c.max_rules_evaluated = Some(400_000);
+        erminer::enuminer::mine(&s.task, c)
+    };
+    let a = mine(&small);
+    let b = mine(&large);
+    // Bigger input ⇒ bigger domains ⇒ more candidate conditions. Unless
+    // both runs hit the budget, the larger instance evaluates more.
+    assert!(
+        b.evaluated > a.evaluated || b.evaluated == 400_000,
+        "small {} vs large {}",
+        a.evaluated,
+        b.evaluated
+    );
+    // And each evaluation is costlier: wall-clock must grow.
+    assert!(b.elapsed >= a.elapsed, "{:?} vs {:?}", a.elapsed, b.elapsed);
+}
+
+#[test]
+fn rlminer_cost_is_step_bounded_at_any_size() {
+    for (input, master) in [(600, 300), (1800, 300)] {
+        let s = adult(input, master);
+        let mut config = RlMinerConfig::new(s.support_threshold);
+        config.train_steps = 1000;
+        config.hidden = vec![64];
+        let mut miner = RlMiner::new(&s.task, config);
+        let stats = miner.train(&s.task);
+        assert!(
+            stats.fresh_evaluations <= 1000,
+            "input {input}: {} fresh evaluations",
+            stats.fresh_evaluations
+        );
+    }
+}
+
+#[test]
+fn h3_heuristic_caps_depth_but_keeps_quality_close() {
+    let s = adult(1000, 400);
+    let full = {
+        let mut c = EnuMinerConfig::new(s.support_threshold);
+        c.max_rules_evaluated = Some(300_000);
+        erminer::enuminer::mine(&s.task, c)
+    };
+    let h3 = erminer::enuminer::mine(&s.task, EnuMinerConfig::h3(s.support_threshold));
+    let f_full = s.evaluate(&apply_rules(&s.task, &full.rules_only())).f1;
+    let f_h3 = s.evaluate(&apply_rules(&s.task, &h3.rules_only())).f1;
+    assert!((f_full - f_h3).abs() < 0.15, "full {f_full} vs h3 {f_h3}");
+}
+
+#[test]
+fn master_size_affects_cost_less_than_input_size() {
+    // Fig. 9's observation: growing the master matters less for EnuMiner's
+    // cost than growing the input (conditions are enumerated from the
+    // *input* domain).
+    let base = adult(800, 200);
+    let big_master = adult(800, 600);
+    let big_input = adult(2400, 200);
+    let mine = |s: &Scenario| {
+        let mut c = EnuMinerConfig::new(s.support_threshold);
+        c.max_rules_evaluated = Some(400_000);
+        erminer::enuminer::mine(&s.task, c).evaluated
+    };
+    let e_base = mine(&base) as f64;
+    let e_master = mine(&big_master) as f64;
+    let e_input = mine(&big_input) as f64;
+    let master_growth = (e_master / e_base - 1.0).abs();
+    let input_growth = (e_input / e_base - 1.0).abs();
+    assert!(
+        input_growth >= master_growth * 0.8,
+        "input growth {input_growth} vs master growth {master_growth}"
+    );
+}
