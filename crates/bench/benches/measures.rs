@@ -1,6 +1,9 @@
 //! Micro-benchmarks for rule measure evaluation — the inner loop of every
 //! miner (Eqs. 1–5 and the subspace search of Algorithm 4).
 
+// Bench harness: a panic aborts the run loudly, which is what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use er_datagen::{DatasetKind, ScenarioConfig};
 use er_rules::{ConditionSpace, ConditionSpaceConfig, EditingRule, Evaluator};
@@ -21,7 +24,11 @@ fn bench_measures(c: &mut Criterion) {
     let rule1 = EditingRule::new(vec![pairs[0]], task.target(), vec![]);
     let rule2 = EditingRule::new(vec![pairs[0], pairs[1]], task.target(), vec![]);
     let space = ConditionSpace::build(task, ConditionSpaceConfig::default());
-    let cond = space.iter().next().map(|(_, _, c)| c.clone()).expect("condition");
+    let cond = space
+        .iter()
+        .next()
+        .map(|(_, _, c)| c.clone())
+        .expect("condition");
     let rule_p = rule1.with_condition(cond);
 
     c.bench_function("measures/eval_lhs1_5000rows", |b| {

@@ -3,6 +3,9 @@
 //! the wall-clock columns in Figures 6–9 (run `experiments` for the full
 //! sweeps).
 
+// Bench harness: a panic aborts the run loudly, which is what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use er_cfd::{ctane_baseline, CtaneConfig};
 use er_datagen::{DatasetKind, Scenario, ScenarioConfig};
@@ -31,13 +34,25 @@ fn bench_enuminer(c: &mut Criterion) {
     let cov = covid();
     let loc = location();
     c.bench_function("miners/enuminer_covid_600", |b| {
-        b.iter(|| black_box(er_enuminer::mine(&cov.task, EnuMinerConfig::new(cov.support_threshold)).evaluated))
+        b.iter(|| {
+            black_box(
+                er_enuminer::mine(&cov.task, EnuMinerConfig::new(cov.support_threshold)).evaluated,
+            )
+        })
     });
     c.bench_function("miners/enuminer_h3_covid_600", |b| {
-        b.iter(|| black_box(er_enuminer::mine(&cov.task, EnuMinerConfig::h3(cov.support_threshold)).evaluated))
+        b.iter(|| {
+            black_box(
+                er_enuminer::mine(&cov.task, EnuMinerConfig::h3(cov.support_threshold)).evaluated,
+            )
+        })
     });
     c.bench_function("miners/enuminer_location_600", |b| {
-        b.iter(|| black_box(er_enuminer::mine(&loc.task, EnuMinerConfig::new(loc.support_threshold)).evaluated))
+        b.iter(|| {
+            black_box(
+                er_enuminer::mine(&loc.task, EnuMinerConfig::new(loc.support_threshold)).evaluated,
+            )
+        })
     });
 }
 

@@ -2,6 +2,9 @@
 //! value-network forward/backward, DQN learn steps, state encoding, and
 //! mask computation.
 
+// Bench harness: a panic aborts the run loudly, which is what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use er_datagen::{DatasetKind, ScenarioConfig};
 use er_rl::{DqnAgent, DqnConfig, Mat, Mlp, Transition};
@@ -13,8 +16,14 @@ use rand::SeedableRng;
 fn bench_mlp(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let mut mlp = Mlp::new(&[256, 128, 128, 257], &mut rng);
-    let x = Mat::from_vec(32, 256, (0..32 * 256).map(|i| (i % 7) as f32 / 7.0).collect());
-    c.bench_function("rl/mlp_forward_batch32", |b| b.iter(|| black_box(mlp.forward(&x))));
+    let x = Mat::from_vec(
+        32,
+        256,
+        (0..32 * 256).map(|i| (i % 7) as f32 / 7.0).collect(),
+    );
+    c.bench_function("rl/mlp_forward_batch32", |b| {
+        b.iter(|| black_box(mlp.forward(&x)))
+    });
     c.bench_function("rl/mlp_forward_backward_batch32", |b| {
         b.iter(|| {
             mlp.zero_grad();
@@ -43,7 +52,9 @@ fn bench_dqn(c: &mut Criterion) {
     c.bench_function("rl/dqn_select_action", |b| {
         b.iter(|| black_box(agent.select_action(&state, &mask)))
     });
-    c.bench_function("rl/dqn_learn_step_batch32", |b| b.iter(|| black_box(agent.learn())));
+    c.bench_function("rl/dqn_learn_step_batch32", |b| {
+        b.iter(|| black_box(agent.learn()))
+    });
 }
 
 fn bench_rlminer_step(c: &mut Criterion) {

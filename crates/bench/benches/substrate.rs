@@ -1,6 +1,9 @@
 //! Micro-benchmarks for the relational substrate: interning, indexing,
 //! CSV parsing, row gathering, and error injection.
 
+// Bench harness: a panic aborts the run loudly, which is what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use er_datagen::{DatasetKind, ScenarioConfig};
 use er_table::{csv, GroupIndex, KeyIndex, Pli, Pool, Value};
@@ -62,7 +65,9 @@ fn bench_indexes(c: &mut Criterion) {
 fn bench_csv(c: &mut Criterion) {
     let s = scenario();
     let text = csv::write_str(s.task.input());
-    c.bench_function("csv/write_2000x7", |b| b.iter(|| black_box(csv::write_str(s.task.input()))));
+    c.bench_function("csv/write_2000x7", |b| {
+        b.iter(|| black_box(csv::write_str(s.task.input())))
+    });
     c.bench_function("csv/read_2000x7", |b| {
         b.iter(|| {
             let pool = Arc::new(Pool::new());
@@ -75,7 +80,9 @@ fn bench_gather(c: &mut Criterion) {
     let s = scenario();
     let input = s.task.input();
     let rows: Vec<usize> = (0..input.num_rows()).step_by(2).collect();
-    c.bench_function("relation/gather_half", |b| b.iter(|| black_box(input.gather(&rows))));
+    c.bench_function("relation/gather_half", |b| {
+        b.iter(|| black_box(input.gather(&rows)))
+    });
 }
 
 fn bench_noise(c: &mut Criterion) {
@@ -85,7 +92,11 @@ fn bench_noise(c: &mut Criterion) {
     use rand::SeedableRng;
     let schema = Schema::new(
         "t",
-        vec![Attribute::categorical("A"), Attribute::categorical("B"), Attribute::categorical("C")],
+        vec![
+            Attribute::categorical("A"),
+            Attribute::categorical("B"),
+            Attribute::categorical("C"),
+        ],
     );
     let rows: Vec<Vec<Value>> = (0..2000)
         .map(|i| {

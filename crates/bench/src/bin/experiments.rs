@@ -13,11 +13,17 @@ use er_bench::ExperimentConfig;
 
 const USAGE: &str = "\
 usage: experiments [--paper-scale|--quick] [--repeats N] [--train-steps N] <ids...>
+       experiments lint [--dataset NAME] [--seed N] [--json] <rules.json>
   ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate
   --paper-scale   run at the paper's dataset sizes (EnuMiner may take hours)
   --quick         smoke-test scale (shorter training, tighter budgets)
   --repeats N     repetitions for mean±std tables (default 3, paper 5)
-  --train-steps N RLMiner training steps (default 5000)";
+  --train-steps N RLMiner training steps (default 5000)
+lint: statically analyze a rule-set JSON file against a dataset scenario
+  --dataset NAME  figure1 (default), adult, covid, nursery, location
+  --seed N        scenario seed for the generated datasets (default 1)
+  --json          emit the machine-readable JSON report instead of text
+  exits 1 when the report contains errors, 2 on usage/IO problems";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,13 +31,27 @@ fn main() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
+    if args[0] == "lint" {
+        lint_main(&args[1..]);
+        return;
+    }
     let mut cfg = ExperimentConfig::default();
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--paper-scale" => cfg = ExperimentConfig { out_dir: cfg.out_dir.clone(), ..ExperimentConfig::paper() },
-            "--quick" => cfg = ExperimentConfig { out_dir: cfg.out_dir.clone(), ..ExperimentConfig::quick() },
+            "--paper-scale" => {
+                cfg = ExperimentConfig {
+                    out_dir: cfg.out_dir.clone(),
+                    ..ExperimentConfig::paper()
+                }
+            }
+            "--quick" => {
+                cfg = ExperimentConfig {
+                    out_dir: cfg.out_dir.clone(),
+                    ..ExperimentConfig::quick()
+                }
+            }
             "--repeats" => {
                 cfg.repeats = it
                     .next()
@@ -53,10 +73,13 @@ fn main() {
         }
     }
     if ids.iter().any(|i| i == "all") {
-        ids = ["table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablate"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        ids = [
+            "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "ablate",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     println!(
         "scale={:?} repeats={} train_steps={} enu_budget={:?}\n",
@@ -107,4 +130,78 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
     std::process::exit(2);
+}
+
+/// The `lint` subcommand: run er-lint over a rule-set JSON file against the
+/// named dataset scenario and render the report.
+fn lint_main(args: &[String]) {
+    let mut dataset = "figure1".to_string();
+    let mut seed = 1u64;
+    let mut json_out = false;
+    let mut file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dataset" => {
+                dataset = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--dataset needs a name"));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--json" => json_out = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            path if !path.starts_with('-') => file = Some(path.to_string()),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let Some(path) = file else {
+        die("lint needs a rules.json path")
+    };
+
+    let scenario = match dataset.as_str() {
+        "figure1" => er_datagen::figure1(),
+        name => {
+            let kind = er_datagen::DatasetKind::all()
+                .into_iter()
+                .find(|k| k.name() == name)
+                .unwrap_or_else(|| die(&format!("unknown dataset {name}")));
+            let config = er_datagen::ScenarioConfig {
+                seed,
+                ..kind.small_config()
+            };
+            kind.build(config)
+        }
+    };
+
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = match er_lint::lint_json(&json, &scenario.task) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if json_out {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.errors() > 0 {
+        std::process::exit(1);
+    }
 }

@@ -40,7 +40,13 @@ pub struct MethodOutcome {
 }
 
 fn shapes_of(rules: &[EditingRule]) -> Vec<RuleShape> {
-    rules.iter().map(|r| RuleShape { lhs: r.lhs_len(), pattern: r.pattern_len() }).collect()
+    rules
+        .iter()
+        .map(|r| RuleShape {
+            lhs: r.lhs_len(),
+            pattern: r.pattern_len(),
+        })
+        .collect()
 }
 
 fn finish(
@@ -123,8 +129,8 @@ pub fn ctane_method(scenario: &Scenario) -> MethodOutcome {
     // from the input-side η_s by the size ratio, with a floor.
     let master_rows = scenario.task.master().num_rows();
     let input_rows = scenario.task.input().num_rows().max(1);
-    let eta = ((scenario.support_threshold as f64 * master_rows as f64 / input_rows as f64)
-        .round() as usize)
+    let eta = ((scenario.support_threshold as f64 * master_rows as f64 / input_rows as f64).round()
+        as usize)
         .max(3);
     let t = Instant::now();
     // Exact CFDs (confidence 1.0), as the paper's CTANE mines. On data with

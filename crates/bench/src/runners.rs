@@ -168,7 +168,10 @@ pub struct Table3Row {
 
 /// Run Table III.
 pub fn table3(cfg: &ExperimentConfig) -> Vec<Table3Row> {
-    println!("== Table III: repair results (mean ± std over {} runs) ==", cfg.repeats);
+    println!(
+        "== Table III: repair results (mean ± std over {} runs) ==",
+        cfg.repeats
+    );
     println!(
         "{:<10} {:<11} {:>14} {:>14} {:>14} {:>9}",
         "dataset", "method", "precision", "recall", "f1", "time(s)"
@@ -238,7 +241,12 @@ pub struct SweepPoint {
 fn push_point(points: &mut Vec<SweepPoint>, x: f64, out: MethodOutcome) {
     println!(
         "  x={:<9} {:<11} F1={:.3} P={:.3} R={:.3} time={:>8.2}s evaluated={}",
-        x, out.method, out.prf.f1, out.prf.precision, out.prf.recall, out.total_seconds,
+        x,
+        out.method,
+        out.prf.f1,
+        out.prf.precision,
+        out.prf.recall,
+        out.total_seconds,
         out.evaluated
     );
     points.push(SweepPoint {
@@ -260,8 +268,16 @@ pub fn fig6(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
         let mut sc = cfg.scenario_config(DatasetKind::Adult, SEED_BASE);
         sc.noise.rate = noise;
         let s = DatasetKind::Adult.build(sc);
-        push_point(&mut points, noise, enuminer_method(&s, cfg.enu_budget, false));
-        push_point(&mut points, noise, rlminer_method(&s, cfg.train_steps, SEED_BASE));
+        push_point(
+            &mut points,
+            noise,
+            enuminer_method(&s, cfg.enu_budget, false),
+        );
+        push_point(
+            &mut points,
+            noise,
+            rlminer_method(&s, cfg.train_steps, SEED_BASE),
+        );
     }
     cfg.write_json("fig6", &points);
     points
@@ -286,7 +302,11 @@ pub fn fig7(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
         };
         let s = DatasetKind::Adult.build(sc);
         push_point(&mut points, d, enuminer_method(&s, cfg.enu_budget, false));
-        push_point(&mut points, d, rlminer_method(&s, cfg.train_steps, SEED_BASE));
+        push_point(
+            &mut points,
+            d,
+            rlminer_method(&s, cfg.train_steps, SEED_BASE),
+        );
     }
     cfg.write_json("fig7", &points);
     points
@@ -305,11 +325,26 @@ pub fn fig8(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
     };
     let mut points = Vec::new();
     for &n in &sizes {
-        let sc = ScenarioConfig { input_size: n, ..base };
+        let sc = ScenarioConfig {
+            input_size: n,
+            ..base
+        };
         let s = DatasetKind::Adult.build(sc);
-        push_point(&mut points, n as f64, enuminer_method(&s, cfg.enu_budget, false));
-        push_point(&mut points, n as f64, enuminer_method(&s, cfg.enu_budget, true));
-        push_point(&mut points, n as f64, rlminer_method(&s, cfg.train_steps, SEED_BASE));
+        push_point(
+            &mut points,
+            n as f64,
+            enuminer_method(&s, cfg.enu_budget, false),
+        );
+        push_point(
+            &mut points,
+            n as f64,
+            enuminer_method(&s, cfg.enu_budget, true),
+        );
+        push_point(
+            &mut points,
+            n as f64,
+            rlminer_method(&s, cfg.train_steps, SEED_BASE),
+        );
     }
     cfg.write_json("fig8", &points);
     points
@@ -328,11 +363,26 @@ pub fn fig9(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
     };
     let mut points = Vec::new();
     for &n in &sizes {
-        let sc = ScenarioConfig { master_size: n, ..base };
+        let sc = ScenarioConfig {
+            master_size: n,
+            ..base
+        };
         let s = DatasetKind::Adult.build(sc);
-        push_point(&mut points, n as f64, enuminer_method(&s, cfg.enu_budget, false));
-        push_point(&mut points, n as f64, enuminer_method(&s, cfg.enu_budget, true));
-        push_point(&mut points, n as f64, rlminer_method(&s, cfg.train_steps, SEED_BASE));
+        push_point(
+            &mut points,
+            n as f64,
+            enuminer_method(&s, cfg.enu_budget, false),
+        );
+        push_point(
+            &mut points,
+            n as f64,
+            enuminer_method(&s, cfg.enu_budget, true),
+        );
+        push_point(
+            &mut points,
+            n as f64,
+            rlminer_method(&s, cfg.train_steps, SEED_BASE),
+        );
     }
     cfg.write_json("fig9", &points);
     points
@@ -342,7 +392,11 @@ pub fn fig9(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
 /// agent trained on the first increment instead of retraining.
 fn incremental(cfg: &ExperimentConfig, grow_master: bool) -> Vec<SweepPoint> {
     let which = if grow_master { "master" } else { "input" };
-    println!("== Figure {}: incremental {} data (Adult) ==", if grow_master { 11 } else { 10 }, which);
+    println!(
+        "== Figure {}: incremental {} data (Adult) ==",
+        if grow_master { 11 } else { 10 },
+        which
+    );
     let base = cfg.scenario_config(DatasetKind::Adult, SEED_BASE);
     let full = DatasetKind::Adult.build(base);
     let (full_n, versions): (usize, Vec<usize>) = if grow_master {
@@ -373,8 +427,16 @@ fn incremental(cfg: &ExperimentConfig, grow_master: bool) -> Vec<SweepPoint> {
     let mut points = Vec::new();
     for &n in &versions[1..] {
         let s = version(n);
-        push_point(&mut points, n as f64, enuminer_method(&s, cfg.enu_budget, false));
-        push_point(&mut points, n as f64, rlminer_method(&s, cfg.train_steps, SEED_BASE));
+        push_point(
+            &mut points,
+            n as f64,
+            enuminer_method(&s, cfg.enu_budget, false),
+        );
+        push_point(
+            &mut points,
+            n as f64,
+            rlminer_method(&s, cfg.train_steps, SEED_BASE),
+        );
         // Keep the fine-tuned miner's threshold aligned with this version's.
         ft.set_support_threshold(s.support_threshold);
         push_point(&mut points, n as f64, rlminer_ft_method(&mut ft, &s));
@@ -476,17 +538,27 @@ pub struct AblationRow {
 pub fn ablate(cfg: &ExperimentConfig) -> Vec<AblationRow> {
     println!("== Ablation study (Covid) ==");
     let s = cfg.scenario(DatasetKind::Covid, SEED_BASE);
-    let variants: Vec<(&str, Box<dyn Fn(&mut RlMinerConfig)>)> = vec![
+    type Tweak = Box<dyn Fn(&mut RlMinerConfig)>;
+    let variants: Vec<(&str, Tweak)> = vec![
         ("full", Box::new(|_| {})),
         ("no-shaping", Box::new(|c| c.shaping = false)),
         ("no-global-mask", Box::new(|c| c.global_mask = false)),
         ("theta=0", Box::new(|c| c.theta = 0.0)),
         ("theta=0.1 (easy money)", Box::new(|c| c.theta = 0.1)),
-        ("no-reward-normalization", Box::new(|c| c.normalize_rewards = false)),
+        (
+            "no-reward-normalization",
+            Box::new(|c| c.normalize_rewards = false),
+        ),
         ("+double-dqn", Box::new(|c| c.double_dqn = true)),
-        ("+prioritized-replay", Box::new(|c| c.prioritized_replay = true)),
+        (
+            "+prioritized-replay",
+            Box::new(|c| c.prioritized_replay = true),
+        ),
     ];
-    println!("{:<26} {:>7} {:>7} {:>12}", "variant", "F1", "rules", "reward sum");
+    println!(
+        "{:<26} {:>7} {:>7} {:>12}",
+        "variant", "F1", "rules", "reward sum"
+    );
     let mut rows = Vec::new();
     for (name, tweak) in variants {
         let mut config = RlMinerConfig::new(s.support_threshold);

@@ -21,12 +21,18 @@ impl MeanStd {
 /// Mean and standard deviation of `values` (0 ± 0 for an empty slice).
 pub fn mean_std(values: &[f64]) -> MeanStd {
     if values.is_empty() {
-        return MeanStd { mean: 0.0, std: 0.0 };
+        return MeanStd {
+            mean: 0.0,
+            std: 0.0,
+        };
     }
     let n = values.len() as f64;
     let mean = values.iter().sum::<f64>() / n;
     let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-    MeanStd { mean, std: var.sqrt() }
+    MeanStd {
+        mean,
+        std: var.sqrt(),
+    }
 }
 
 #[cfg(test)]

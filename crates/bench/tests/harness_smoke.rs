@@ -1,6 +1,10 @@
 //! Smoke tests for the experiment harness: each runner executes end to end
 //! at a micro scale and produces structurally sound results.
 
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use er_bench::{ExperimentConfig, Scale};
 
 fn micro() -> ExperimentConfig {

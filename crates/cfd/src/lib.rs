@@ -160,12 +160,18 @@ pub fn mine_cfds(master: &Relation, rhs: AttrId, config: CtaneConfig) -> CtaneRe
     }
 
     found.sort_by(|(_, a), (_, b)| {
-        b.support
-            .cmp(&a.support)
-            .then(b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal))
+        b.support.cmp(&a.support).then(
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
     });
     found.truncate(config.k);
-    CtaneResult { cfds: found, evaluated, elapsed: start.elapsed() }
+    CtaneResult {
+        cfds: found,
+        evaluated,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// Sorted-slice subset test.
@@ -200,7 +206,11 @@ fn to_cfd(items: &[Item], rhs: AttrId) -> Cfd {
     }
     wildcards.sort_unstable();
     constants.sort_unstable();
-    Cfd { wildcards, constants, rhs }
+    Cfd {
+        wildcards,
+        constants,
+        rhs,
+    }
 }
 
 /// Most frequent non-NULL values of a column, descending.
@@ -213,11 +223,17 @@ pub fn evaluate_cfd(master: &Relation, cfd: &Cfd) -> CfdStats {
     let rows: Vec<RowId> = (0..master.num_rows())
         .filter(|&r| {
             cfd.constants.iter().all(|&(a, c)| master.code(r, a) == c)
-                && cfd.wildcards.iter().all(|&a| master.code(r, a) != NULL_CODE)
+                && cfd
+                    .wildcards
+                    .iter()
+                    .all(|&a| master.code(r, a) != NULL_CODE)
         })
         .collect();
     if rows.is_empty() {
-        return CfdStats { support: 0, confidence: 0.0 };
+        return CfdStats {
+            support: 0,
+            confidence: 0.0,
+        };
     }
     let group = GroupIndex::build_over(master, &cfd.wildcards, cfd.rhs, rows.iter().copied());
     // confidence = (Σ_group max-count) / total over distinct wildcard groups.
@@ -241,7 +257,11 @@ pub fn evaluate_cfd(master: &Relation, cfd: &Cfd) -> CfdStats {
     }
     CfdStats {
         support: rows.len(),
-        confidence: if total == 0 { 0.0 } else { kept as f64 / total as f64 },
+        confidence: if total == 0 {
+            0.0
+        } else {
+            kept as f64 / total as f64
+        },
     }
 }
 
@@ -277,8 +297,11 @@ pub fn cfds_to_rules(cfds: &[(Cfd, CfdStats)], task: &Task) -> Vec<EditingRule> 
         }
         // Reject structures Definition 1 forbids (e.g. Y on the LHS after
         // reverse matching, or duplicate input attributes).
-        let mut input_attrs: Vec<AttrId> =
-            lhs.iter().map(|&(a, _)| a).chain(pattern.iter().map(|c| c.attr)).collect();
+        let mut input_attrs: Vec<AttrId> = lhs
+            .iter()
+            .map(|&(a, _)| a)
+            .chain(pattern.iter().map(|c| c.attr))
+            .collect();
         input_attrs.sort_unstable();
         let distinct = {
             let mut v = input_attrs.clone();
@@ -354,7 +377,11 @@ mod tests {
     #[test]
     fn invalid_fd_not_exact() {
         let m = master();
-        let cfd = Cfd { wildcards: vec![1], constants: vec![], rhs: 2 };
+        let cfd = Cfd {
+            wildcards: vec![1],
+            constants: vec![],
+            rhs: 2,
+        };
         let stats = evaluate_cfd(&m, &cfd);
         assert!(stats.confidence < 1.0);
     }
@@ -363,7 +390,11 @@ mod tests {
     fn constant_pattern_conditions_work() {
         let m = master();
         let b0 = m.pool().code_of(&Value::str("b0")).unwrap();
-        let cfd = Cfd { wildcards: vec![0], constants: vec![(1, b0)], rhs: 2 };
+        let cfd = Cfd {
+            wildcards: vec![0],
+            constants: vec![(1, b0)],
+            rhs: 2,
+        };
         let stats = evaluate_cfd(&m, &cfd);
         assert_eq!(stats.support, 4); // rows with B=b0
         assert_eq!(stats.confidence, 1.0);
@@ -373,7 +404,11 @@ mod tests {
     fn support_counts_pattern_matches() {
         let m = master();
         let b1 = m.pool().code_of(&Value::str("b1")).unwrap();
-        let cfd = Cfd { wildcards: vec![0], constants: vec![(1, b1)], rhs: 2 };
+        let cfd = Cfd {
+            wildcards: vec![0],
+            constants: vec![(1, b1)],
+            rhs: 2,
+        };
         assert_eq!(evaluate_cfd(&m, &cfd).support, 2);
     }
 
@@ -421,8 +456,21 @@ mod tests {
         // Build a CFD on released_date, which has no input match.
         let rd = s.task.master().schema().attr_id("released_date").unwrap();
         let (_, ym) = s.task.target();
-        let cfd = Cfd { wildcards: vec![rd], constants: vec![], rhs: ym };
-        let rules = cfds_to_rules(&[(cfd, CfdStats { support: 10, confidence: 1.0 })], &s.task);
+        let cfd = Cfd {
+            wildcards: vec![rd],
+            constants: vec![],
+            rhs: ym,
+        };
+        let rules = cfds_to_rules(
+            &[(
+                cfd,
+                CfdStats {
+                    support: 10,
+                    confidence: 1.0,
+                },
+            )],
+            &s.task,
+        );
         assert!(rules.is_empty());
     }
 

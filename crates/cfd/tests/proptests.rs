@@ -1,5 +1,9 @@
 //! Property-based tests for the CFD miner.
 
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use er_cfd::{evaluate_cfd, mine_cfds, Cfd, CtaneConfig};
 use er_table::{Attribute, Pool, Relation, RelationBuilder, Schema, Value};
 use proptest::prelude::*;

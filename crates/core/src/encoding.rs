@@ -43,11 +43,20 @@ impl StateEncoder {
     pub fn new(task: &Task, space_config: ConditionSpaceConfig) -> Self {
         let space = ConditionSpace::build(task, space_config);
         let lhs_pairs = task.candidate_lhs_pairs();
-        let conditions: Vec<Condition> =
-            space.iter().map(|(_, _, c)| c.clone()).collect();
+        let conditions: Vec<Condition> = space.iter().map(|(_, _, c)| c.clone()).collect();
         let lhs_index = lhs_pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
-        let cond_index = conditions.iter().enumerate().map(|(i, c)| (c.clone(), i)).collect();
-        StateEncoder { lhs_pairs, conditions, lhs_index, cond_index, target: task.target() }
+        let cond_index = conditions
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), i))
+            .collect();
+        StateEncoder {
+            lhs_pairs,
+            conditions,
+            lhs_index,
+            cond_index,
+            target: task.target(),
+        }
     }
 
     /// `dim(s_l)` (Eq. 7).

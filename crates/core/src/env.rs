@@ -62,7 +62,10 @@ impl RewardConfig {
             let l = (input_rows.max(10) as f64).log10();
             l * l * 2.0
         };
-        RewardConfig { utility_scale: 1.0 / max_u, ..Self::new(support_threshold) }
+        RewardConfig {
+            utility_scale: 1.0 / max_u,
+            ..Self::new(support_threshold)
+        }
     }
 }
 
@@ -103,7 +106,11 @@ impl<'a> MinerEnv<'a> {
             encoder,
             reward,
             k,
-            tree: RuleTree::new(EditingRule::root(task.target()), Measures::zero(), Vec::new()),
+            tree: RuleTree::new(
+                EditingRule::root(task.target()),
+                Measures::zero(),
+                Vec::new(),
+            ),
             rewards: HashMap::new(),
             steps: 0,
             fresh_evaluations: 0,
@@ -139,7 +146,11 @@ impl<'a> MinerEnv<'a> {
     /// The current action mask (Algorithm 1), honoring the global-mask
     /// ablation switch.
     pub fn mask(&self) -> Vec<bool> {
-        let tree = if self.reward.global_mask { Some(&self.tree) } else { None };
+        let tree = if self.reward.global_mask {
+            Some(&self.tree)
+        } else {
+            None
+        };
         compute_mask(self.encoder, self.current_rule(), tree)
     }
 
@@ -156,7 +167,12 @@ impl<'a> MinerEnv<'a> {
                 }
                 None => true,
             };
-            return StepOutcome { reward: self.reward.theta, done };
+            #[cfg(feature = "debug-invariants")]
+            self.check_invariants();
+            return StepOutcome {
+                reward: self.reward.theta,
+                done,
+            };
         }
 
         let current_id = self.tree.current();
@@ -164,7 +180,10 @@ impl<'a> MinerEnv<'a> {
         let Some(child) = self.encoder.apply(&parent_rule, action) else {
             // The mask makes this unreachable for a well-behaved agent;
             // penalize defensively instead of panicking on exploration bugs.
-            return StepOutcome { reward: self.reward.low_support_penalty, done: false };
+            return StepOutcome {
+                reward: self.reward.low_support_penalty,
+                done: false,
+            };
         };
 
         // Measures via subspace search on the parent's cover (Alg. 4, l. 9–10).
@@ -223,7 +242,27 @@ impl<'a> MinerEnv<'a> {
         }
 
         let done = self.tree.num_discovered() >= self.k;
+        #[cfg(feature = "debug-invariants")]
+        self.check_invariants();
         StepOutcome { reward, done }
+    }
+
+    /// Check the invariants of every structure the environment owns: the
+    /// rule tree, the evaluator caches, and the freshly computed action mask
+    /// for the current state. Called after every [`MinerEnv::step`] when the
+    /// `debug-invariants` feature is on; also usable directly from tests.
+    ///
+    /// Panics on violation.
+    #[cfg(feature = "debug-invariants")]
+    pub fn check_invariants(&self) {
+        self.tree.check_invariants();
+        self.evaluator.check_invariants();
+        let tree = if self.reward.global_mask {
+            Some(&self.tree)
+        } else {
+            None
+        };
+        crate::mask::check_mask_invariants(self.encoder, self.current_rule(), tree, &self.mask());
     }
 
     fn rule_reward(&self, m: Measures) -> f64 {

@@ -44,19 +44,19 @@ pub fn compute_mask(
     // Global mask: actions that would re-create an existing rule.
     if let Some(tree) = tree {
         let stop = encoder.stop_action();
-        for action in 0..encoder.action_dim() {
-            if action == stop || !mask[action] {
+        for (action, slot) in mask.iter_mut().enumerate() {
+            if action == stop || !*slot {
                 continue;
             }
             match encoder.apply(rule, action) {
                 Some(child) => {
                     if tree.contains(&child) {
-                        mask[action] = false;
+                        *slot = false;
                     }
                 }
                 // The refinement is structurally invalid (duplicate attr the
                 // local mask did not know about, or the target attribute).
-                None => mask[action] = false,
+                None => *slot = false,
             }
         }
     }
@@ -65,6 +65,65 @@ pub fn compute_mask(
     let stop = encoder.stop_action();
     mask[stop] = true;
     mask
+}
+
+/// Invariants of a computed action mask, available under the
+/// `debug-invariants` feature.
+///
+/// * the mask has exactly `action_dim` entries and the stop action is on;
+/// * every LHS dimension of an attribute already in `X` and every condition
+///   dimension of an attribute already constrained in `t_p` is off (local
+///   mask, Algorithm 1 lines 3–11);
+/// * with a tree, every unmasked non-stop action applies to a rule *not* yet
+///   generated — a masked action is never re-selectable (global mask, lines
+///   12–17).
+///
+/// Panics on violation; meant for debug builds and tests.
+#[cfg(feature = "debug-invariants")]
+pub fn check_mask_invariants(
+    encoder: &StateEncoder,
+    rule: &EditingRule,
+    tree: Option<&RuleTree>,
+    mask: &[bool],
+) {
+    assert_eq!(
+        mask.len(),
+        encoder.action_dim(),
+        "mask: wrong action dimension"
+    );
+    let stop = encoder.stop_action();
+    assert!(mask[stop], "mask: stop action must never be masked");
+    for &(a, _) in rule.lhs() {
+        for dim in encoder.lhs_actions_of_attr(a) {
+            assert!(
+                !mask[dim],
+                "mask: LHS dim {dim} of used attribute {a} left unmasked"
+            );
+        }
+    }
+    for cond in rule.pattern() {
+        for dim in encoder.condition_actions_of_attr(cond.attr) {
+            assert!(
+                !mask[dim],
+                "mask: condition dim {dim} of constrained attribute {} left unmasked",
+                cond.attr
+            );
+        }
+    }
+    if let Some(tree) = tree {
+        for (action, &on) in mask.iter().enumerate() {
+            if action == stop || !on {
+                continue;
+            }
+            match encoder.apply(rule, action) {
+                Some(child) => assert!(
+                    !tree.contains(&child),
+                    "mask: action {action} re-creates an already generated rule"
+                ),
+                None => panic!("mask: structurally invalid action {action} left unmasked"),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +180,10 @@ mod tests {
         let rule = EditingRule::root(task.target()).with_condition(cond);
         let mask = compute_mask(&enc, &rule, None);
         for dim in enc.condition_actions_of_attr(attr) {
-            assert!(!mask[dim], "condition dim {dim} on attr {attr} must be masked");
+            assert!(
+                !mask[dim],
+                "condition dim {dim} on attr {attr} must be masked"
+            );
         }
         // LHS dims of the same attribute stay allowed.
         for dim in enc.lhs_actions_of_attr(attr) {
@@ -160,8 +222,12 @@ mod tests {
             }
         }
         let mask = compute_mask(&enc, &rule, None);
-        let allowed: Vec<usize> =
-            mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+        let allowed: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(allowed, vec![enc.stop_action()]);
     }
 }

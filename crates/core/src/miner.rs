@@ -189,7 +189,12 @@ impl RlMiner {
             prioritized_replay: config.prioritized_replay,
             seed: config.seed,
         };
-        RlMiner { encoder, agent: DqnAgent::new(dqn), config, seen_rules: Default::default() }
+        RlMiner {
+            encoder,
+            agent: DqnAgent::new(dqn),
+            config,
+            seen_rules: Default::default(),
+        }
     }
 
     /// The state encoder (dimension bookkeeping).
@@ -249,7 +254,11 @@ impl RlMiner {
                 let truncated = episode_steps >= self.config.max_episode_steps;
                 // Truncation is not termination: bootstrap from the next
                 // state as usual so the value function stays unbiased.
-                let next = if out.done { None } else { Some((env.state(), env.mask())) };
+                let next = if out.done {
+                    None
+                } else {
+                    Some((env.state(), env.mask()))
+                };
                 self.agent.observe(Transition {
                     state,
                     action,
@@ -349,7 +358,12 @@ impl RlMiner {
         let discovered: Vec<_> = scored.into_iter().collect();
         let num = discovered.len();
         let rules = select_top_k(discovered, self.config.k);
-        MineResult { rules, steps, discovered: num, elapsed: start.elapsed() }
+        MineResult {
+            rules,
+            steps,
+            discovered: num,
+            elapsed: start.elapsed(),
+        }
     }
 
     /// Train then mine, returning both stats (the common call pattern).
@@ -427,7 +441,11 @@ mod tests {
         miner.train(&s.task);
         let result = miner.mine(&s.task);
         for (rule, m) in &result.rules {
-            assert!(m.support >= s.support_threshold, "{rule:?} support {}", m.support);
+            assert!(
+                m.support >= s.support_threshold,
+                "{rule:?} support {}",
+                m.support
+            );
         }
     }
 

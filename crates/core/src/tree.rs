@@ -106,7 +106,13 @@ impl RuleTree {
     ) -> NodeId {
         let id = self.nodes.len();
         self.visited.insert(rule.clone());
-        self.nodes.push(Node { rule, measures, cover, parent: Some(parent), children: Vec::new() });
+        self.nodes.push(Node {
+            rule,
+            measures,
+            cover,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
         self.queued.push(false);
         self.nodes[parent].children.push(id);
         id
@@ -145,13 +151,100 @@ impl RuleTree {
     /// All non-root rules with their measures — the discovered set `Σ`
     /// returned after an episode.
     pub fn discovered(&self) -> Vec<(EditingRule, Measures)> {
-        self.nodes[1..].iter().map(|n| (n.rule.clone(), n.measures)).collect()
+        self.nodes[1..]
+            .iter()
+            .map(|n| (n.rule.clone(), n.measures))
+            .collect()
     }
 
     /// Number of non-root nodes (the `|env.tree.leaves|` of Algorithm 3's
     /// stopping condition: every discovered rule counts).
     pub fn num_discovered(&self) -> usize {
         self.nodes.len() - 1
+    }
+
+    /// Structural invariants, available under the `debug-invariants` feature.
+    ///
+    /// * the arena is acyclic: every non-root node's parent id is smaller
+    ///   than its own (nodes are only ever appended under existing parents);
+    /// * parent/child links are consistent both ways, children are recorded
+    ///   in strictly increasing creation order, and only the root lacks a
+    ///   parent;
+    /// * the cursor is in bounds and `queued` mirrors the queue exactly
+    ///   (same members, no duplicates);
+    /// * the visited set contains every materialized rule (the global mask
+    ///   can never readmit an existing node).
+    ///
+    /// Panics on violation; meant for debug builds and tests.
+    #[cfg(feature = "debug-invariants")]
+    pub fn check_invariants(&self) {
+        assert!(!self.nodes.is_empty(), "RuleTree: empty arena");
+        assert!(
+            self.current < self.nodes.len(),
+            "RuleTree: cursor out of bounds"
+        );
+        assert_eq!(
+            self.queued.len(),
+            self.nodes.len(),
+            "RuleTree: queued flags out of sync"
+        );
+        assert!(
+            self.nodes[0].parent.is_none(),
+            "RuleTree: root has a parent"
+        );
+        for (id, node) in self.nodes.iter().enumerate() {
+            if id > 0 {
+                let p = node
+                    .parent
+                    .unwrap_or_else(|| panic!("RuleTree: node {id} has no parent"));
+                assert!(
+                    p < id,
+                    "RuleTree: node {id} precedes its parent {p} (cycle)"
+                );
+                assert!(
+                    self.nodes[p].children.contains(&id),
+                    "RuleTree: parent {p} does not list child {id}"
+                );
+            }
+            for w in node.children.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "RuleTree: children of {id} not in creation order"
+                );
+            }
+            for &c in &node.children {
+                assert!(
+                    c < self.nodes.len(),
+                    "RuleTree: child {c} of {id} out of bounds"
+                );
+                assert!(
+                    c > id,
+                    "RuleTree: child {c} precedes its parent {id} (cycle)"
+                );
+                assert_eq!(
+                    self.nodes[c].parent,
+                    Some(id),
+                    "RuleTree: child {c} does not point back to {id}"
+                );
+            }
+            assert!(
+                self.visited.contains(&node.rule),
+                "RuleTree: node {id} rule missing from the visited set"
+            );
+        }
+        let mut in_queue = vec![false; self.nodes.len()];
+        for &id in &self.queue {
+            assert!(
+                id < self.nodes.len(),
+                "RuleTree: queued id {id} out of bounds"
+            );
+            assert!(!in_queue[id], "RuleTree: node {id} queued twice");
+            in_queue[id] = true;
+        }
+        assert_eq!(
+            in_queue, self.queued,
+            "RuleTree: queued flags disagree with the queue"
+        );
     }
 }
 

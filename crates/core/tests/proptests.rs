@@ -1,5 +1,9 @@
 //! Property-based tests for RLMiner's encoding and masking layers.
 
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use er_datagen::{DatasetKind, ScenarioConfig};
 use er_rlminer::{compute_mask, StateEncoder};
 use er_rules::{ConditionSpaceConfig, EditingRule};

@@ -39,7 +39,12 @@ pub enum DatasetKind {
 impl DatasetKind {
     /// All datasets in Table I order.
     pub fn all() -> [DatasetKind; 4] {
-        [DatasetKind::Adult, DatasetKind::Covid, DatasetKind::Nursery, DatasetKind::Location]
+        [
+            DatasetKind::Adult,
+            DatasetKind::Covid,
+            DatasetKind::Nursery,
+            DatasetKind::Location,
+        ]
     }
 
     /// Dataset name as used in the paper's tables.
@@ -125,17 +130,34 @@ fn universe_size(config: &ScenarioConfig) -> usize {
 pub fn adult(config: ScenarioConfig) -> Scenario {
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xAD01);
     let workclass = Vocab::new(&[
-        "Private", "Self-emp", "Self-emp-inc", "Federal-gov", "Local-gov", "State-gov",
-        "Without-pay", "Never-worked",
+        "Private",
+        "Self-emp",
+        "Self-emp-inc",
+        "Federal-gov",
+        "Local-gov",
+        "State-gov",
+        "Without-pay",
+        "Never-worked",
     ]);
     let education = Vocab::generated("edu", 16);
     let marital = Vocab::new(&[
-        "Married", "Never-married", "Divorced", "Separated", "Widowed", "Spouse-absent",
+        "Married",
+        "Never-married",
+        "Divorced",
+        "Separated",
+        "Widowed",
+        "Spouse-absent",
         "AF-spouse",
     ]);
     let occupation = Vocab::generated("occ", 14);
-    let relationship =
-        Vocab::new(&["Husband", "Wife", "Own-child", "Not-in-family", "Other-relative", "Unmarried"]);
+    let relationship = Vocab::new(&[
+        "Husband",
+        "Wife",
+        "Own-child",
+        "Not-in-family",
+        "Other-relative",
+        "Unmarried",
+    ]);
     let race = Vocab::new(&["White", "Black", "Asian", "Amer-Indian", "Other"]);
     let sex = Vocab::new(&["Male", "Female"]);
     let country = Vocab::generated("country", 30);
@@ -240,7 +262,11 @@ pub fn covid(config: ScenarioConfig) -> Scenario {
         let c = city.sample_index(&mut rng);
         let d = date.sample_index(&mut rng);
         // "released" dominates so the master filter has enough rows.
-        let st = if rng.gen_bool(0.62) { 0 } else { 1 + rng.gen_range(0..2usize) };
+        let st = if rng.gen_bool(0.62) {
+            0
+        } else {
+            1 + rng.gen_range(0..2usize)
+        };
         let mut ic = if st == 0 {
             released_map.get(&[c, d], case.len(), &mut rng)
         } else {
@@ -305,7 +331,13 @@ pub fn nursery(config: ScenarioConfig) -> Scenario {
     let finance = Vocab::new(&["convenient", "inconv", "stretched"]);
     let social = Vocab::new(&["nonprob", "slightly_prob", "problematic"]);
     let health = Vocab::new(&["recommended", "priority", "not_recom"]);
-    let class = Vocab::new(&["not_recom", "recommend", "very_recom", "priority", "spec_prior"]);
+    let class = Vocab::new(&[
+        "not_recom",
+        "recommend",
+        "very_recom",
+        "priority",
+        "spec_prior",
+    ]);
 
     let mut fin_map = MappingTable::new();
     let n = universe_size(&config);
@@ -444,6 +476,9 @@ pub fn location(config: ScenarioConfig) -> Scenario {
 /// The paper's Figure 1 running example as a tiny labelled [`Scenario`]
 /// (3 registration tuples, 4 national COVID-19 records). Useful for
 /// documentation, quickstarts, and as an exactly-checkable fixture.
+// Invariant: every row below is a literal matching the literal schema, so
+// `push_row` cannot fail.
+#[allow(clippy::unwrap_used)]
 pub fn figure1() -> Scenario {
     let pool = Arc::new(Pool::new());
     let in_schema = Arc::new(Schema::new(
@@ -476,15 +511,92 @@ pub fn figure1() -> Scenario {
     ));
     let s = Value::str;
     let mut b = RelationBuilder::new(Arc::clone(&in_schema), Arc::clone(&pool));
-    b.push_row(vec![s("Kevin"), s("HZ"), Value::Null, Value::Null, s("325-8455"), s("Male"), Value::Null, s("2021-12"), s("No")]).unwrap();
-    b.push_row(vec![s("Kyrie"), s("BJ"), s("10021"), s("010"), s("358-1553"), Value::Null, s("contact with imports"), s("2021-11"), s("No")]).unwrap();
-    b.push_row(vec![s("Robin"), s("HZ"), s("31200"), Value::Null, s("325-7538"), s("Male"), s("Others"), s("2021-12"), s("Yes")]).unwrap();
+    b.push_row(vec![
+        s("Kevin"),
+        s("HZ"),
+        Value::Null,
+        Value::Null,
+        s("325-8455"),
+        s("Male"),
+        Value::Null,
+        s("2021-12"),
+        s("No"),
+    ])
+    .unwrap();
+    b.push_row(vec![
+        s("Kyrie"),
+        s("BJ"),
+        s("10021"),
+        s("010"),
+        s("358-1553"),
+        Value::Null,
+        s("contact with imports"),
+        s("2021-11"),
+        s("No"),
+    ])
+    .unwrap();
+    b.push_row(vec![
+        s("Robin"),
+        s("HZ"),
+        s("31200"),
+        Value::Null,
+        s("325-7538"),
+        s("Male"),
+        s("Others"),
+        s("2021-12"),
+        s("Yes"),
+    ])
+    .unwrap();
     let input = b.finish();
     let mut bm = RelationBuilder::new(Arc::clone(&m_schema), Arc::clone(&pool));
-    bm.push_row(vec![s("Kevin"), s("Lees"), s("SZ"), s("51800"), s("755"), s("625-0418"), s("Male"), s("contact with imports"), s("2021-10")]).unwrap();
-    bm.push_row(vec![s("Kyrie"), s("Wang"), s("BJ"), s("10021"), s("010"), s("358-1563"), s("Female"), s("contact with imports"), s("2021-11")]).unwrap();
-    bm.push_row(vec![s("Kevin"), s("Sun"), s("HZ"), s("31200"), s("571"), s("325-8465"), s("Male"), s("contact with patient"), s("2021-12")]).unwrap();
-    bm.push_row(vec![s("Susan"), s("Lu"), s("HZ"), s("31200"), s("571"), s("325-8931"), s("Female"), s("contact with patient"), s("2021-12")]).unwrap();
+    bm.push_row(vec![
+        s("Kevin"),
+        s("Lees"),
+        s("SZ"),
+        s("51800"),
+        s("755"),
+        s("625-0418"),
+        s("Male"),
+        s("contact with imports"),
+        s("2021-10"),
+    ])
+    .unwrap();
+    bm.push_row(vec![
+        s("Kyrie"),
+        s("Wang"),
+        s("BJ"),
+        s("10021"),
+        s("010"),
+        s("358-1563"),
+        s("Female"),
+        s("contact with imports"),
+        s("2021-11"),
+    ])
+    .unwrap();
+    bm.push_row(vec![
+        s("Kevin"),
+        s("Sun"),
+        s("HZ"),
+        s("31200"),
+        s("571"),
+        s("325-8465"),
+        s("Male"),
+        s("contact with patient"),
+        s("2021-12"),
+    ])
+    .unwrap();
+    bm.push_row(vec![
+        s("Susan"),
+        s("Lu"),
+        s("HZ"),
+        s("31200"),
+        s("571"),
+        s("325-8931"),
+        s("Female"),
+        s("contact with patient"),
+        s("2021-12"),
+    ])
+    .unwrap();
     let master = bm.finish();
 
     let truth_y = vec![
@@ -534,7 +646,11 @@ mod tests {
             assert_eq!(s.task.input().num_rows(), 400, "{}", kind.name());
             assert_eq!(s.task.master().num_rows(), 200, "{}", kind.name());
             assert!(s.task.matching().num_pairs() > 0, "{}", kind.name());
-            assert!(s.num_dirty() > 0, "{} should have dirty Y cells", kind.name());
+            assert!(
+                s.num_dirty() > 0,
+                "{} should have dirty Y cells",
+                kind.name()
+            );
         }
     }
 
@@ -601,7 +717,12 @@ mod tests {
         let date = input.schema().attr_id("confirmed_date").unwrap();
         let state = input.schema().attr_id("state").unwrap();
         let mc = |n: &str| s.task.master().schema().attr_id(n).unwrap();
-        let released = s.task.input().pool().code_of(&Value::str("released")).unwrap();
+        let released = s
+            .task
+            .input()
+            .pool()
+            .code_of(&Value::str("released"))
+            .unwrap();
         let ev = Evaluator::new(&s.task);
         let guarded = EditingRule::new(
             vec![(city, mc("city")), (date, mc("confirmed_date"))],
@@ -648,7 +769,10 @@ mod tests {
         );
         let report = apply_rules(&s.task, &[phi0]);
         assert_eq!(report.predictions[0], Some(code("contact with patient")));
-        assert_eq!(report.predictions[2], None, "t3 must be protected by the Overseas guard");
+        assert_eq!(
+            report.predictions[2], None,
+            "t3 must be protected by the Overseas guard"
+        );
         let prf = s.evaluate(&report);
         assert_eq!(prf.precision, 1.0);
     }
@@ -659,6 +783,9 @@ mod tests {
         let input = s.task.input();
         let sn = input.schema().attr_id("store_number").unwrap();
         // 400 draws with replacement from ~750 entities: ~310 distinct.
-        assert!(input.domain_size(sn) > 250, "store_number should be near-unique");
+        assert!(
+            input.domain_size(sn) > 250,
+            "store_number should be near-unique"
+        );
     }
 }

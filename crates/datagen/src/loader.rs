@@ -71,8 +71,9 @@ pub fn scenario_from_relations(
     let rows = input.num_rows();
     let dirty_y: Vec<bool> = (0..rows).map(|r| input.is_null(r, y)).collect();
     let truth_y = input.column(y).to_vec();
-    let support_threshold =
-        options.support_threshold.unwrap_or(((rows as f64) * 0.025).round().max(5.0) as usize);
+    let support_threshold = options
+        .support_threshold
+        .unwrap_or(((rows as f64) * 0.025).round().max(5.0) as usize);
     let master_rows = master.num_rows();
     let task = Task::new(input, master, matching, (y, ym));
     Ok(Scenario {
@@ -167,8 +168,10 @@ SZ,51800,premium
         let input = csv::read_str("input", INPUT, Arc::clone(&pool)).unwrap();
         let master = csv::read_str("master", MASTER, pool).unwrap();
         let mut options = CsvScenarioOptions::new("toy", "plan", "plan");
-        options.match_pairs =
-            vec![("city".to_string(), "city".to_string()), ("plan".to_string(), "plan".to_string())];
+        options.match_pairs = vec![
+            ("city".to_string(), "city".to_string()),
+            ("plan".to_string(), "plan".to_string()),
+        ];
         let s = scenario_from_relations(input, master, &options).unwrap();
         assert_eq!(s.task.matching().num_pairs(), 2);
     }

@@ -46,14 +46,22 @@ pub struct NoiseConfig {
 
 impl Default for NoiseConfig {
     fn default() -> Self {
-        NoiseConfig { rate: 0.1, typo_weight: 1.0, substitute_weight: 1.0, missing_weight: 1.0 }
+        NoiseConfig {
+            rate: 0.1,
+            typo_weight: 1.0,
+            substitute_weight: 1.0,
+            missing_weight: 1.0,
+        }
     }
 }
 
 impl NoiseConfig {
     /// Uniform mix at the given rate.
     pub fn rate(rate: f64) -> Self {
-        NoiseConfig { rate, ..Default::default() }
+        NoiseConfig {
+            rate,
+            ..Default::default()
+        }
     }
 }
 
@@ -82,7 +90,10 @@ pub fn inject_errors(
     config: NoiseConfig,
     rng: &mut StdRng,
 ) -> Vec<InjectedError> {
-    assert!((0.0..=1.0).contains(&config.rate), "noise rate must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&config.rate),
+        "noise rate must be in [0,1]"
+    );
     if rows.is_empty() || config.rate == 0.0 {
         return Vec::new();
     }
@@ -99,14 +110,17 @@ pub fn inject_errors(
     }
 
     let total_weight = config.typo_weight + config.substitute_weight + config.missing_weight;
-    assert!(total_weight > 0.0, "at least one error kind must have weight");
+    assert!(
+        total_weight > 0.0,
+        "at least one error kind must have weight"
+    );
     let mut log = Vec::new();
-    for row_idx in 0..rows.len() {
+    for (row_idx, row) in rows.iter_mut().enumerate() {
         for attr in 0..arity {
-            if rows[row_idx][attr].is_null() || !rng.gen_bool(config.rate) {
+            if row[attr].is_null() || !rng.gen_bool(config.rate) {
                 continue;
             }
-            let original = rows[row_idx][attr].clone();
+            let original = row[attr].clone();
             let mut kind = pick_kind(config, total_weight, rng);
             if kind == ErrorKind::Substitute && domains[attr].len() < 2 {
                 kind = ErrorKind::Typo;
@@ -116,8 +130,13 @@ pub fn inject_errors(
                 ErrorKind::Substitute => substitute(&original, &domains[attr], rng),
                 ErrorKind::Typo => typo(&original, rng),
             };
-            rows[row_idx][attr] = corrupted;
-            log.push(InjectedError { row: row_idx, attr, kind, original });
+            row[attr] = corrupted;
+            log.push(InjectedError {
+                row: row_idx,
+                attr,
+                kind,
+                original,
+            });
         }
     }
     log
@@ -134,6 +153,9 @@ fn pick_kind(config: NoiseConfig, total: f64, rng: &mut StdRng) -> ErrorKind {
     }
 }
 
+// Invariant: callers pass a domain of at least 2 values, so `choose` on it
+// always yields Some.
+#[allow(clippy::expect_used)]
 fn substitute(original: &Value, domain: &[Value], rng: &mut StdRng) -> Value {
     debug_assert!(domain.len() >= 2);
     loop {
@@ -146,6 +168,8 @@ fn substitute(original: &Value, domain: &[Value], rng: &mut StdRng) -> Value {
 
 /// Apply a small edit. Strings get a character-level edit; numbers get an
 /// off-by-a-bit perturbation (a "fat-finger" digit error).
+// Invariant: `choose` runs on a non-empty literal array and cannot fail.
+#[allow(clippy::expect_used)]
 fn typo(original: &Value, rng: &mut StdRng) -> Value {
     match original {
         Value::Str(s) => Value::Str(Arc::from(string_typo(s, rng).as_str())),
@@ -164,18 +188,30 @@ fn string_typo(s: &str, rng: &mut StdRng) -> String {
         return "?".to_string();
     }
     match rng.gen_range(0..3u8) {
-        // Swap two adjacent characters.
-        0 if chars.len() >= 2 => {
-            let i = rng.gen_range(0..chars.len() - 1);
+        // Swap two adjacent distinct characters (swapping equal characters
+        // would leave the string unchanged and break the error log's
+        // guarantee that every recorded cell actually changed).
+        0 if chars.windows(2).any(|w| w[0] != w[1]) => {
             let mut out = chars.clone();
-            out.swap(i, i + 1);
+            loop {
+                let i = rng.gen_range(0..chars.len() - 1);
+                if out[i] != out[i + 1] {
+                    out.swap(i, i + 1);
+                    break;
+                }
+            }
             out.into_iter().collect()
         }
-        // Replace one character.
+        // Replace one character with a different one.
         1 => {
             let i = rng.gen_range(0..chars.len());
             let mut out = chars.clone();
-            let replacement = (b'a' + rng.gen_range(0..26u8)) as char;
+            let replacement = loop {
+                let c = (b'a' + rng.gen_range(0..26u8)) as char;
+                if c != out[i] {
+                    break c;
+                }
+            };
             out[i] = replacement;
             out.into_iter().collect()
         }
@@ -201,12 +237,20 @@ mod tests {
     use rand::SeedableRng;
 
     fn schema() -> Schema {
-        Schema::new("t", vec![Attribute::categorical("A"), Attribute::categorical("B")])
+        Schema::new(
+            "t",
+            vec![Attribute::categorical("A"), Attribute::categorical("B")],
+        )
     }
 
     fn rows(n: usize) -> Vec<Vec<Value>> {
         (0..n)
-            .map(|i| vec![Value::str(format!("alpha{}", i % 5)), Value::str(format!("beta{}", i % 3))])
+            .map(|i| {
+                vec![
+                    Value::str(format!("alpha{}", i % 5)),
+                    Value::str(format!("beta{}", i % 3)),
+                ]
+            })
             .collect()
     }
 
@@ -258,7 +302,11 @@ mod tests {
         let log = inject_errors(&mut r, &schema(), cfg, &mut rng);
         for e in log.iter().filter(|e| e.attr == 0) {
             assert_eq!(e.kind, ErrorKind::Substitute);
-            assert!(domain.contains(&r[e.row][0]), "{:?} left the domain", r[e.row][0]);
+            assert!(
+                domain.contains(&r[e.row][0]),
+                "{:?} left the domain",
+                r[e.row][0]
+            );
         }
     }
 
@@ -303,8 +351,7 @@ mod tests {
 
     #[test]
     fn integer_typos_perturb_numerically() {
-        let schema =
-            Schema::new("t", vec![Attribute::categorical("N")]);
+        let schema = Schema::new("t", vec![Attribute::categorical("N")]);
         let mut r: Vec<Vec<Value>> = (0..200).map(|i| vec![Value::int(i)]).collect();
         let mut rng = StdRng::seed_from_u64(11);
         let cfg = NoiseConfig {

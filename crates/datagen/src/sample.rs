@@ -35,16 +35,25 @@ pub fn split_with_duplicate_rate(
     duplicate_rate: f64,
     rng: &mut StdRng,
 ) -> Vec<usize> {
-    assert!((0.0..=1.0).contains(&duplicate_rate), "duplicate rate must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&duplicate_rate),
+        "duplicate rate must be in [0,1]"
+    );
     assert!(master_size <= universe_size);
     let dup = ((input_size as f64) * duplicate_rate).round() as usize;
     let dup = dup.min(input_size);
     let fresh = input_size - dup;
     if dup > 0 {
-        assert!(master_size > 0, "cannot draw duplicates from an empty master");
+        assert!(
+            master_size > 0,
+            "cannot draw duplicates from an empty master"
+        );
     }
     if fresh > 0 {
-        assert!(universe_size > master_size, "no non-master entities to draw from");
+        assert!(
+            universe_size > master_size,
+            "no non-master entities to draw from"
+        );
     }
     let mut out = Vec::with_capacity(input_size);
     for _ in 0..dup {

@@ -84,7 +84,10 @@ impl Scenario {
     /// Panics if `n` exceeds the current input size or is zero.
     pub fn with_input_prefix(&self, n: usize) -> Scenario {
         let rows = self.task.input().num_rows();
-        assert!(n > 0 && n <= rows, "prefix {n} out of range (input has {rows} rows)");
+        assert!(
+            n > 0 && n <= rows,
+            "prefix {n} out of range (input has {rows} rows)"
+        );
         let keep: Vec<usize> = (0..n).collect();
         let input = self.task.input().gather(&keep);
         let labels = self.task.labels()[..n].to_vec();
@@ -103,7 +106,10 @@ impl Scenario {
             support_threshold: ((self.support_threshold as f64 * n as f64 / rows as f64).round()
                 as usize)
                 .max(5),
-            config: ScenarioConfig { input_size: n, ..self.config },
+            config: ScenarioConfig {
+                input_size: n,
+                ..self.config
+            },
         }
     }
 
@@ -114,7 +120,10 @@ impl Scenario {
     /// Panics if `n` exceeds the current master size or is zero.
     pub fn with_master_prefix(&self, n: usize) -> Scenario {
         let rows = self.task.master().num_rows();
-        assert!(n > 0 && n <= rows, "prefix {n} out of range (master has {rows} rows)");
+        assert!(
+            n > 0 && n <= rows,
+            "prefix {n} out of range (master has {rows} rows)"
+        );
         let keep: Vec<usize> = (0..n).collect();
         let master = self.task.master().gather(&keep);
         let task = Task::with_labels(
@@ -130,12 +139,19 @@ impl Scenario {
             truth_y: self.truth_y.clone(),
             dirty_y: self.dirty_y.clone(),
             support_threshold: self.support_threshold,
-            config: ScenarioConfig { master_size: n, ..self.config },
+            config: ScenarioConfig {
+                master_size: n,
+                ..self.config
+            },
         }
     }
 }
 
 /// Everything a dataset generator must provide to [`assemble`].
+/// Row predicate deciding master-sample eligibility (see
+/// [`UniverseSpec::master_eligible`]).
+pub type RowFilter<'a> = Box<dyn Fn(&[Value]) -> bool + 'a>;
+
 pub struct UniverseSpec<'a> {
     /// Dataset name.
     pub name: &'a str,
@@ -154,7 +170,7 @@ pub struct UniverseSpec<'a> {
     pub y_universe: usize,
     /// Optional predicate restricting which universe rows may enter the
     /// master sample (e.g. Covid-19 keeps only `state = released`).
-    pub master_eligible: Option<Box<dyn Fn(&[Value]) -> bool + 'a>>,
+    pub master_eligible: Option<RowFilter<'a>>,
     /// Paper-default `(η_s, input size)` pair used to scale the support
     /// threshold to the configured input size.
     pub paper_support: (usize, usize),
@@ -166,6 +182,10 @@ pub struct UniverseSpec<'a> {
 /// is drawn (with the configured duplicate rate), projected to the input
 /// schema, and then corrupted by [`inject_errors`]; schema matching is by
 /// (normalized) attribute name.
+// Invariant: the expects below fire only on an internally inconsistent
+// UniverseSpec (rows not matching the universe schema, or Y missing from a
+// projection) — a bug in a dataset recipe, not a runtime condition.
+#[allow(clippy::expect_used)]
 pub fn assemble(spec: UniverseSpec<'_>, config: ScenarioConfig, rng: &mut StdRng) -> Scenario {
     let UniverseSpec {
         name,
@@ -214,7 +234,9 @@ pub fn assemble(spec: UniverseSpec<'_>, config: ScenarioConfig, rng: &mut StdRng
             d,
             rng,
         ),
-        None => (0..config.input_size).map(|_| rng.gen_range(0..universe.len())).collect(),
+        None => (0..config.input_size)
+            .map(|_| rng.gen_range(0..universe.len()))
+            .collect(),
     };
 
     // Clean input rows + ground truth, then corruption.
@@ -225,9 +247,17 @@ pub fn assemble(spec: UniverseSpec<'_>, config: ScenarioConfig, rng: &mut StdRng
         .expect("Y must be projected into the input schema");
     let mut input_rows: Vec<Vec<Value>> = indices
         .iter()
-        .map(|&i| input_attrs.iter().map(|&a| universe[i][a].clone()).collect())
+        .map(|&i| {
+            input_attrs
+                .iter()
+                .map(|&a| universe[i][a].clone())
+                .collect()
+        })
         .collect();
-    let truth_values: Vec<Value> = indices.iter().map(|&i| universe[i][y_universe].clone()).collect();
+    let truth_values: Vec<Value> = indices
+        .iter()
+        .map(|&i| universe[i][y_universe].clone())
+        .collect();
     let errors = inject_errors(&mut input_rows, &input_schema, config.noise, rng);
     let mut dirty_y = vec![false; input_rows.len()];
     for e in &errors {
@@ -249,13 +279,17 @@ pub fn assemble(spec: UniverseSpec<'_>, config: ScenarioConfig, rng: &mut StdRng
         .position(|&a| a == y_universe)
         .expect("Y must be projected into the master schema");
 
-    let labels = if config.labelled { truth_y.clone() } else { input.column(y_input).to_vec() };
+    let labels = if config.labelled {
+        truth_y.clone()
+    } else {
+        input.column(y_input).to_vec()
+    };
     let task = Task::with_labels(input, master, matching, (y_input, ym), labels);
 
     let (paper_eta, paper_input) = paper_support;
-    let support_threshold =
-        ((paper_eta as f64 * config.input_size as f64 / paper_input as f64).round() as usize)
-            .max(5);
+    let support_threshold = ((paper_eta as f64 * config.input_size as f64 / paper_input as f64)
+        .round() as usize)
+        .max(5);
 
     Scenario {
         name: name.to_string(),
@@ -268,7 +302,10 @@ pub fn assemble(spec: UniverseSpec<'_>, config: ScenarioConfig, rng: &mut StdRng
 }
 
 fn project_schema(universe: &Schema, attrs: &[usize], name: &str) -> Schema {
-    Schema::new(name, attrs.iter().map(|&a| universe.attr(a).clone()).collect())
+    Schema::new(
+        name,
+        attrs.iter().map(|&a| universe.attr(a).clone()).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -300,9 +337,7 @@ mod tests {
             input_attrs: vec![0, 1, 2],
             master_attrs: vec![0, 2],
             y_universe: 2,
-            master_eligible: Some(Box::new(|row: &[Value]| {
-                row[1] == Value::str("released")
-            })),
+            master_eligible: Some(Box::new(|row: &[Value]| row[1] == Value::str("released"))),
             paper_support: (100, 2500),
         }
     }
@@ -324,7 +359,10 @@ mod tests {
         // Master rows all satisfy the eligibility filter — and the master
         // schema (City, Case) doesn't include State, so check via universe
         // partitioning: support threshold scaled from (100, 2500).
-        assert_eq!(s.support_threshold, (100.0_f64 * 120.0 / 2500.0).round().max(5.0) as usize);
+        assert_eq!(
+            s.support_threshold,
+            (100.0_f64 * 120.0 / 2500.0).round().max(5.0) as usize
+        );
         // Some noise was injected somewhere.
         assert!(s.num_dirty() < 120);
     }
@@ -410,8 +448,11 @@ mod tests {
     #[should_panic(expected = "master-eligible")]
     fn insufficient_eligible_rows_panics() {
         let mut rng = StdRng::seed_from_u64(8);
-        let config =
-            ScenarioConfig { input_size: 10, master_size: 150, ..Default::default() };
+        let config = ScenarioConfig {
+            input_size: 10,
+            master_size: 150,
+            ..Default::default()
+        };
         assemble(toy_spec(), config, &mut rng);
     }
 }

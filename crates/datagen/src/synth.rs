@@ -24,9 +24,16 @@ impl Vocab {
 
     /// Vocabulary of `n` generated values `"{prefix}{i}"`.
     pub fn generated(prefix: &str, n: usize) -> Self {
-        Self::from_values((0..n).map(|i| Arc::from(format!("{prefix}{i:03}").as_str())).collect())
+        Self::from_values(
+            (0..n)
+                .map(|i| Arc::from(format!("{prefix}{i:03}").as_str()))
+                .collect(),
+        )
     }
 
+    // Invariant: the Zipf weights 1/r are finite and positive for any
+    // non-empty vocabulary, which `WeightedIndex::new` always accepts.
+    #[allow(clippy::expect_used)]
     fn from_values(values: Vec<Arc<str>>) -> Self {
         assert!(!values.is_empty(), "vocabulary must be non-empty");
         let weights =
@@ -137,7 +144,9 @@ mod tests {
         let build = || {
             let mut rng = StdRng::seed_from_u64(42);
             let mut t = MappingTable::new();
-            (0..50).map(|i| t.get(&[i % 7, i % 3], 5, &mut rng)).collect::<Vec<_>>()
+            (0..50)
+                .map(|i| t.get(&[i % 7, i % 3], 5, &mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(build(), build());
     }

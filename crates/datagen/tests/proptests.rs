@@ -1,5 +1,9 @@
 //! Property-based tests for the dataset substrate.
 
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use er_datagen::{inject_errors, sample_indices, split_with_duplicate_rate, NoiseConfig};
 use er_table::{Attribute, Schema, Value};
 use proptest::prelude::*;

@@ -64,7 +64,11 @@ impl EnuMinerConfig {
 
     /// The EnuMinerH3 heuristic: LHS and pattern lengths capped at 3.
     pub fn h3(support_threshold: usize) -> Self {
-        EnuMinerConfig { max_lhs: Some(3), max_pattern: Some(3), ..Self::new(support_threshold) }
+        EnuMinerConfig {
+            max_lhs: Some(3),
+            max_pattern: Some(3),
+            ..Self::new(support_threshold)
+        }
     }
 }
 
@@ -103,7 +107,10 @@ pub fn mine(task: &Task, config: EnuMinerConfig) -> MineResult {
     let root = EditingRule::root(task.target());
     let all_rows: Vec<RowId> = (0..task.input().num_rows()).collect();
     let mut queue: VecDeque<Node> = VecDeque::new();
-    queue.push_back(Node { rule: root.clone(), cover: all_rows });
+    queue.push_back(Node {
+        rule: root.clone(),
+        cover: all_rows,
+    });
 
     let mut visited: HashSet<EditingRule> = HashSet::new();
     visited.insert(root);
@@ -115,7 +122,7 @@ pub fn mine(task: &Task, config: EnuMinerConfig) -> MineResult {
         expanded += 1;
         // Children by LHS extension.
         let mut children: Vec<EditingRule> = Vec::new();
-        if config.max_lhs.map_or(true, |cap| node.rule.lhs_len() < cap) {
+        if config.max_lhs.is_none_or(|cap| node.rule.lhs_len() < cap) {
             for &(a, am) in &lhs_pairs {
                 if !node.rule.lhs_contains_input(a) {
                     children.push(node.rule.with_lhs_pair(a, am));
@@ -123,7 +130,10 @@ pub fn mine(task: &Task, config: EnuMinerConfig) -> MineResult {
             }
         }
         // Children by pattern extension.
-        if config.max_pattern.map_or(true, |cap| node.rule.pattern_len() < cap) {
+        if config
+            .max_pattern
+            .is_none_or(|cap| node.rule.pattern_len() < cap)
+        {
             for attr in 0..space.num_attrs() {
                 if node.rule.pattern_contains(attr) {
                     continue;
@@ -145,8 +155,9 @@ pub fn mine(task: &Task, config: EnuMinerConfig) -> MineResult {
             };
             let m = ev.eval_on_cover(&child, &cover);
             evaluated += 1;
-            let out_of_budget =
-                config.max_rules_evaluated.is_some_and(|cap| evaluated >= cap);
+            let out_of_budget = config
+                .max_rules_evaluated
+                .is_some_and(|cap| evaluated >= cap);
             if m.support >= config.support_threshold {
                 if child.lhs_len() >= 1 {
                     candidates.push((child.clone(), m));
@@ -162,8 +173,18 @@ pub fn mine(task: &Task, config: EnuMinerConfig) -> MineResult {
         }
     }
 
+    // Under `debug-invariants`, audit the evaluator's caches (group indexes
+    // and measure ranges) after the full enumeration.
+    #[cfg(feature = "debug-invariants")]
+    ev.check_invariants();
+
     let rules = select_top_k(candidates, config.k);
-    MineResult { rules, evaluated, expanded, elapsed: start.elapsed() }
+    MineResult {
+        rules,
+        evaluated,
+        expanded,
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -200,7 +221,10 @@ mod tests {
         let input = s.task.input();
         let county = input.schema().attr_id("county").unwrap();
         let best = &result.rules[0].0;
-        assert!(best.x().contains(&county), "best rule should use county: {best:?}");
+        assert!(
+            best.x().contains(&county),
+            "best rule should use county: {best:?}"
+        );
         let report = apply_rules(&s.task, &result.rules_only());
         let prf = s.evaluate(&report);
         // At this 400-row scale precision is noisier than the paper-scale

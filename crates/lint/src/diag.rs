@@ -1,0 +1,258 @@
+//! The diagnostic model: stable codes, severities, findings, and the report
+//! with its two renderings (rustc-style text and machine-readable JSON).
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// Stable diagnostic codes. Codes are append-only: a code never changes
+/// meaning across versions, so downstream tooling can match on the string
+/// form (`"ER001"`, ...) safely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DiagCode {
+    /// Dangling attribute reference: a rule names an attribute that does not
+    /// exist in the input or master schema.
+    Er001,
+    /// Unsatisfiable pattern: the pattern can never match any input tuple
+    /// (contradictory conditions, an empty range or value set, or a constant
+    /// outside the attribute's observed domain).
+    Er002,
+    /// Exact duplicate: the rule is structurally identical to an earlier
+    /// rule in the set.
+    Er003,
+    /// Dominated rule: an earlier or later rule dominates this one
+    /// (Definition 3), making it redundant (Definition 4).
+    Er004,
+    /// Repair conflict: two rules cover a common input tuple but prescribe
+    /// different target values, making the certainty-score vote order- or
+    /// tie-break-sensitive on those tuples.
+    Er005,
+    /// Ill-formed rule: a Definition 1 violation (target inside the LHS or
+    /// pattern, repeated attributes) or a target that differs from the
+    /// task's target. Such a rule cannot be resolved at all.
+    Er006,
+}
+
+impl DiagCode {
+    /// The stable string form, e.g. `"ER001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::Er001 => "ER001",
+            DiagCode::Er002 => "ER002",
+            DiagCode::Er003 => "ER003",
+            DiagCode::Er004 => "ER004",
+            DiagCode::Er005 => "ER005",
+            DiagCode::Er006 => "ER006",
+        }
+    }
+
+    /// Short human title of the diagnostic class.
+    pub fn title(self) -> &'static str {
+        match self {
+            DiagCode::Er001 => "dangling attribute reference",
+            DiagCode::Er002 => "unsatisfiable pattern",
+            DiagCode::Er003 => "exact duplicate rule",
+            DiagCode::Er004 => "dominated (redundant) rule",
+            DiagCode::Er005 => "repair conflict",
+            DiagCode::Er006 => "ill-formed rule",
+        }
+    }
+}
+
+impl std::fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for DiagCode {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The rule set is still usable, but this rule wastes work or makes
+    /// repairs harder to predict.
+    Warning,
+    /// The rule can never fire or cannot even be resolved against the task.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in both report formats.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for Severity {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+/// One linter finding, anchored to a rule index in the linted set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Stable diagnostic code.
+    pub code: DiagCode,
+    /// Severity of this particular finding (a code can surface at different
+    /// severities: e.g. ER002 is an error for a contradiction but a warning
+    /// for an out-of-domain constant, which only proves the rule dead on the
+    /// *observed* data).
+    pub severity: Severity,
+    /// Zero-based index of the offending rule in the linted set.
+    pub rule: usize,
+    /// The other rule involved, for pairwise diagnostics (ER003–ER005).
+    pub related: Option<usize>,
+    /// Human-readable rendering of the offending rule (the "span").
+    pub span: String,
+    /// What is wrong.
+    pub message: String,
+    /// Optional elaboration (the contradicting condition, the dominating
+    /// rule, an example conflicting tuple, ...).
+    pub note: Option<String>,
+}
+
+impl Serialize for Finding {
+    fn to_value(&self) -> Value {
+        let obj = vec![
+            ("code".to_string(), self.code.to_value()),
+            ("severity".to_string(), self.severity.to_value()),
+            ("rule".to_string(), Value::Int(self.rule as i64)),
+            (
+                "related".to_string(),
+                match self.related {
+                    Some(r) => Value::Int(r as i64),
+                    None => Value::Null,
+                },
+            ),
+            ("span".to_string(), Value::Str(self.span.clone())),
+            ("message".to_string(), Value::Str(self.message.clone())),
+            (
+                "note".to_string(),
+                match &self.note {
+                    Some(n) => Value::Str(n.clone()),
+                    None => Value::Null,
+                },
+            ),
+        ];
+        Value::Object(obj)
+    }
+}
+
+/// The result of linting a rule set.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Number of rules that were linted.
+    pub num_rules: usize,
+    /// All findings, sorted by (rule, code).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether the set produced no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// All findings with a given code.
+    pub fn with_code(&self, code: DiagCode) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.code == code).collect()
+    }
+
+    /// Canonical ordering: by rule index, then code, then related rule.
+    pub(crate) fn sort(&mut self) {
+        self.findings.sort_by_key(|f| (f.rule, f.code, f.related));
+    }
+
+    /// Render the report in a rustc-style text format:
+    ///
+    /// ```text
+    /// warning[ER004]: dominated (redundant) rule
+    ///   --> rule #2: ((City, City)) -> (Case, Infection), t_p(City="HZ")
+    ///   = note: dominated by rule #0
+    ///
+    /// rule set: 3 rules, 0 errors, 1 warning
+    /// ```
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}[{}]: {}", f.severity, f.code, f.message);
+            let _ = writeln!(out, "  --> rule #{}: {}", f.rule, f.span);
+            if let Some(note) = &f.note {
+                let _ = writeln!(out, "  = note: {note}");
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "rule set: {} rule{}, {} error{}, {} warning{}",
+            self.num_rules,
+            plural(self.num_rules),
+            self.errors(),
+            plural(self.errors()),
+            self.warnings(),
+            plural(self.warnings()),
+        );
+        out
+    }
+
+    /// Render the report as a machine-readable JSON document.
+    pub fn render_json(&self) -> String {
+        // Serializing a pure value tree (no maps, no user Display impls)
+        // cannot fail; the Result is an artifact of the serde_json signature.
+        #[allow(clippy::expect_used)]
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+impl Serialize for Report {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("num_rules".to_string(), Value::Int(self.num_rules as i64)),
+            ("errors".to_string(), Value::Int(self.errors() as i64)),
+            ("warnings".to_string(), Value::Int(self.warnings() as i64)),
+            (
+                "findings".to_string(),
+                Value::Array(self.findings.iter().map(Serialize::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}

@@ -1,0 +1,86 @@
+//! # er-lint — static analysis for editing rule sets
+//!
+//! Discovered rule sets get reviewed, versioned, merged, and re-applied to
+//! new batches of data; along the way they accumulate the same defects any
+//! other versioned artifact does — references to renamed attributes,
+//! patterns that can no longer match, duplicated and subsumed rules, and
+//! pairs of rules that pull a tuple's repair in different directions. This
+//! crate lints a rule set against a [`er_rules::Task`] *before* it is used
+//! for repair, reporting findings under stable diagnostic codes:
+//!
+//! | code  | finding                                   | severity        |
+//! |-------|-------------------------------------------|-----------------|
+//! | ER001 | dangling attribute reference              | error           |
+//! | ER002 | unsatisfiable pattern                     | error / warning |
+//! | ER003 | exact duplicate rule                      | warning         |
+//! | ER004 | dominated (redundant) rule (Definition 3) | warning         |
+//! | ER005 | repair conflict between two rules         | warning         |
+//! | ER006 | ill-formed rule (Definition 1 violation)  | error           |
+//!
+//! ER002 distinguishes *logical* unsatisfiability (contradictory conditions,
+//! empty ranges — errors on any data) from *observed* unsatisfiability
+//! (constants outside the attribute's active domain — warnings, since they
+//! only prove the rule dead on the dataset at hand).
+//!
+//! Reports render both as a rustc-style text diagnostic stream
+//! ([`Report::render_text`]) and as machine-readable JSON
+//! ([`Report::render_json`]).
+//!
+//! ```
+//! use er_lint::{lint_json, DiagCode};
+//! # let scenario_task = er_lint::doctest_task();
+//! let json = r#"[{"lhs": [["City", "City"]],
+//!                 "target": ["Case", "Infection"],
+//!                 "pattern": [{"Eq": {"attr": "Nope", "value": "x", "numeric": false}}],
+//!                 "measures": null}]"#;
+//! let report = lint_json(json, &scenario_task).unwrap();
+//! assert_eq!(report.findings[0].code, DiagCode::Er001);
+//! ```
+
+mod diag;
+mod lint;
+
+pub use diag::{DiagCode, Finding, Report, Severity};
+pub use lint::{lint_json, lint_portable, lint_resolved, render_portable};
+
+/// A tiny fixed task for the crate's doctests; not part of the public API
+/// contract.
+#[doc(hidden)]
+pub fn doctest_task() -> er_rules::Task {
+    use er_rules::SchemaMatch;
+    use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
+    use std::sync::Arc;
+    let pool = Arc::new(Pool::new());
+    let in_schema = Arc::new(Schema::new(
+        "in",
+        vec![
+            Attribute::categorical("City"),
+            Attribute::categorical("Case"),
+        ],
+    ));
+    let m_schema = Arc::new(Schema::new(
+        "m",
+        vec![
+            Attribute::categorical("City"),
+            Attribute::categorical("Infection"),
+        ],
+    ));
+    let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+    for (city, case) in [("HZ", "flu"), ("BJ", "cold")] {
+        b.push_row(vec![Value::str(city), Value::str(case)])
+            .unwrap_or_else(|_| unreachable!());
+    }
+    let input = b.finish();
+    let mut bm = RelationBuilder::new(m_schema, pool);
+    for (city, inf) in [("HZ", "flu"), ("BJ", "cold")] {
+        bm.push_row(vec![Value::str(city), Value::str(inf)])
+            .unwrap_or_else(|_| unreachable!());
+    }
+    let master = bm.finish();
+    er_rules::Task::new(
+        input,
+        master,
+        SchemaMatch::from_pairs(2, &[(0, 0), (1, 1)]),
+        (1, 1),
+    )
+}

@@ -1,0 +1,611 @@
+//! The three-stage rule-set linter.
+//!
+//! Stage 1 checks each portable rule structurally against the task's
+//! schemas and observed domains (ER001, ER002, ER006). Stage 2 resolves the
+//! structurally valid rules. Stage 3 runs the pairwise set-level passes on
+//! the resolved rules: exact duplicates (ER003), domination (ER004), and
+//! repair conflicts (ER005).
+
+use crate::diag::{DiagCode, Finding, Report, Severity};
+use er_rules::io::{PortableCondition, PortableRule};
+use er_rules::{dominates, from_portable, EditingRule, Evaluator, Task};
+use er_table::{AttrId, Code, Value, NULL_CODE};
+use std::collections::HashMap;
+
+/// Lint a JSON rule file (the format written by [`er_rules::rules_to_json`])
+/// against a task. Returns `Err` when the document is not even parseable as
+/// a rule set.
+pub fn lint_json(json: &str, task: &Task) -> Result<Report, String> {
+    let portable: Vec<PortableRule> =
+        serde_json::from_str(json).map_err(|e| format!("not a rule-set document: {e}"))?;
+    Ok(lint_portable(&portable, task))
+}
+
+/// Lint a portable rule set against a task. Runs every pass; rules that
+/// fail structural validation (ER001/ER006) are excluded from the pairwise
+/// passes because they cannot be resolved.
+pub fn lint_portable(rules: &[PortableRule], task: &Task) -> Report {
+    let mut findings = Vec::new();
+    let mut resolved: Vec<Option<EditingRule>> = Vec::with_capacity(rules.len());
+    let mut spans: Vec<String> = Vec::with_capacity(rules.len());
+    for (i, rule) in rules.iter().enumerate() {
+        let span = render_portable(rule);
+        let fatal = structural_pass(i, rule, &span, task, &mut findings);
+        resolved.push(if fatal {
+            None
+        } else {
+            // The structural pass proved every name resolves, the target
+            // matches, and Definition 1 holds, so resolution succeeds.
+            from_portable(rule, task).ok()
+        });
+        spans.push(span);
+    }
+    pairwise_pass(&resolved, &spans, task, &mut findings);
+    let mut report = Report {
+        num_rules: rules.len(),
+        findings,
+    };
+    report.sort();
+    report
+}
+
+/// Lint an already-resolved rule set (e.g. a miner's in-memory output).
+/// Structural validity is guaranteed by [`EditingRule`]'s constructor, so
+/// only the pairwise passes (ER003–ER005) apply.
+pub fn lint_resolved(rules: &[EditingRule], task: &Task) -> Report {
+    let spans: Vec<String> = rules
+        .iter()
+        .map(|r| r.display(task.input(), task.master().schema()).to_string())
+        .collect();
+    let resolved: Vec<Option<EditingRule>> = rules.iter().cloned().map(Some).collect();
+    let mut findings = Vec::new();
+    pairwise_pass(&resolved, &spans, task, &mut findings);
+    let mut report = Report {
+        num_rules: rules.len(),
+        findings,
+    };
+    report.sort();
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: structural checks on one portable rule
+// ---------------------------------------------------------------------------
+
+/// Run ER001/ER002/ER006 on one rule. Returns `true` when the rule is
+/// *fatally* broken — resolving it would fail or violate Definition 1 — so
+/// the pairwise passes must skip it.
+fn structural_pass(
+    idx: usize,
+    rule: &PortableRule,
+    span: &str,
+    task: &Task,
+    findings: &mut Vec<Finding>,
+) -> bool {
+    let input = task.input();
+    let in_schema = input.schema();
+    let m_schema = task.master().schema();
+    let mut fatal = false;
+    let mut push = |code, severity, message: String, note: Option<String>| {
+        findings.push(Finding {
+            code,
+            severity,
+            rule: idx,
+            related: None,
+            span: span.to_string(),
+            message,
+            note,
+        });
+    };
+
+    // --- ER001: dangling attribute references -----------------------------
+    let mut check_input_attr = |name: &str, role: &str, fatal: &mut bool| -> Option<AttrId> {
+        match in_schema.attr_id(name) {
+            Ok(a) => Some(a),
+            Err(_) => {
+                *fatal = true;
+                push(
+                    DiagCode::Er001,
+                    Severity::Error,
+                    format!("unknown input attribute `{name}` in the {role}"),
+                    Some(format!(
+                        "input schema `{}` has attributes: {}",
+                        in_schema.name(),
+                        attr_names(in_schema)
+                    )),
+                );
+                None
+            }
+        }
+    };
+    for (a, _) in &rule.lhs {
+        check_input_attr(a, "LHS", &mut fatal);
+    }
+    let target_in = check_input_attr(&rule.target.0, "target", &mut fatal);
+    let pattern_in: Vec<Option<AttrId>> = rule
+        .pattern
+        .iter()
+        .map(|c| check_input_attr(condition_attr(c), "pattern", &mut fatal))
+        .collect();
+    let mut check_master_attr = |name: &str, role: &str, fatal: &mut bool| -> Option<AttrId> {
+        match m_schema.attr_id(name) {
+            Ok(a) => Some(a),
+            Err(_) => {
+                *fatal = true;
+                push(
+                    DiagCode::Er001,
+                    Severity::Error,
+                    format!("unknown master attribute `{name}` in the {role}"),
+                    Some(format!(
+                        "master schema `{}` has attributes: {}",
+                        m_schema.name(),
+                        attr_names(m_schema)
+                    )),
+                );
+                None
+            }
+        }
+    };
+    for (_, am) in &rule.lhs {
+        check_master_attr(am, "LHS", &mut fatal);
+    }
+    let target_m = check_master_attr(&rule.target.1, "target", &mut fatal);
+
+    // --- ER006: Definition 1 violations and target mismatch ---------------
+    let y_name = &rule.target.0;
+    if rule.lhs.iter().any(|(a, _)| a == y_name) {
+        fatal = true;
+        push(
+            DiagCode::Er006,
+            Severity::Error,
+            format!("target attribute `{y_name}` appears in the LHS"),
+            Some("Definition 1 requires Y ∈ R \\ X".to_string()),
+        );
+    }
+    if rule.pattern.iter().any(|c| condition_attr(c) == y_name) {
+        fatal = true;
+        push(
+            DiagCode::Er006,
+            Severity::Error,
+            format!("target attribute `{y_name}` is constrained by the pattern"),
+            Some("Definition 1 requires X_p ⊂ R \\ {Y}".to_string()),
+        );
+    }
+    let mut seen_lhs: Vec<&str> = Vec::new();
+    for (a, _) in &rule.lhs {
+        if seen_lhs.contains(&a.as_str()) {
+            fatal = true;
+            push(
+                DiagCode::Er006,
+                Severity::Error,
+                format!("input attribute `{a}` appears more than once in the LHS"),
+                None,
+            );
+        } else {
+            seen_lhs.push(a);
+        }
+    }
+    if let (Some(y), Some(ym)) = (target_in, target_m) {
+        if (y, ym) != task.target() {
+            fatal = true;
+            let (ty, tym) = task.target();
+            push(
+                DiagCode::Er006,
+                Severity::Error,
+                format!(
+                    "rule target ({}, {}) does not match the task target ({}, {})",
+                    rule.target.0,
+                    rule.target.1,
+                    in_schema.attr(ty).name,
+                    m_schema.attr(tym).name
+                ),
+                None,
+            );
+        }
+    }
+
+    // --- ER002: unsatisfiable patterns ------------------------------------
+    // Per-condition emptiness and observed-domain checks.
+    for (c, resolved_attr) in rule.pattern.iter().zip(&pattern_in) {
+        match c {
+            PortableCondition::Range { attr, lo, hi } => {
+                if lo >= hi {
+                    push(
+                        DiagCode::Er002,
+                        Severity::Error,
+                        format!("empty range [{lo}, {hi}) on `{attr}` can never match"),
+                        None,
+                    );
+                } else if let Some(a) = resolved_attr {
+                    match input.numeric_bounds(*a) {
+                        Some((min, max)) if *lo > max || *hi <= min => {
+                            push(
+                                DiagCode::Er002,
+                                Severity::Warning,
+                                format!(
+                                    "range [{lo}, {hi}) on `{attr}` lies outside the \
+                                     observed values"
+                                ),
+                                Some(format!("observed `{attr}` values span [{min}, {max}]")),
+                            );
+                        }
+                        None => {
+                            push(
+                                DiagCode::Er002,
+                                Severity::Warning,
+                                format!(
+                                    "`{attr}` has no numeric values, so the range \
+                                     condition can never match"
+                                ),
+                                None,
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            PortableCondition::Eq {
+                attr,
+                value,
+                numeric,
+            } => {
+                if let Some(a) = resolved_attr {
+                    if !value_observed(task, *a, value, *numeric) {
+                        push(
+                            DiagCode::Er002,
+                            Severity::Warning,
+                            format!(
+                                "constant {value:?} never occurs in input column `{attr}`, \
+                                 so the rule can never fire on this dataset"
+                            ),
+                            None,
+                        );
+                    }
+                }
+            }
+            PortableCondition::OneOf {
+                attr,
+                values,
+                numeric,
+            } => {
+                if values.is_empty() {
+                    push(
+                        DiagCode::Er002,
+                        Severity::Error,
+                        format!("empty value set on `{attr}` can never match"),
+                        None,
+                    );
+                } else if let Some(a) = resolved_attr {
+                    if values
+                        .iter()
+                        .all(|v| !value_observed(task, *a, v, *numeric))
+                    {
+                        push(
+                            DiagCode::Er002,
+                            Severity::Warning,
+                            format!(
+                                "none of the {} values on `{attr}` occur in the input, \
+                                 so the rule can never fire on this dataset",
+                                values.len()
+                            ),
+                            None,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Multiple conditions on one attribute: contradictory pairs are ER002
+    // errors; even a satisfiable multiple violates Definition 1's "at most
+    // one condition per attribute" (ER006). Either way resolution would
+    // panic, so the rule is fatal.
+    let mut by_attr: HashMap<&str, Vec<&PortableCondition>> = HashMap::new();
+    for c in &rule.pattern {
+        by_attr.entry(condition_attr(c)).or_default().push(c);
+    }
+    let mut multi: Vec<(&str, Vec<&PortableCondition>)> =
+        by_attr.into_iter().filter(|(_, cs)| cs.len() > 1).collect();
+    multi.sort_by_key(|(a, _)| *a);
+    for (attr, conds) in multi {
+        fatal = true;
+        let mut contradiction = None;
+        'pairs: for (i, c1) in conds.iter().enumerate() {
+            for c2 in &conds[i + 1..] {
+                if conditions_disjoint(c1, c2) {
+                    contradiction = Some((*c1, *c2));
+                    break 'pairs;
+                }
+            }
+        }
+        match contradiction {
+            Some((c1, c2)) => push(
+                DiagCode::Er002,
+                Severity::Error,
+                format!("contradictory conditions on `{attr}` can never hold together"),
+                Some(format!(
+                    "`{}` contradicts `{}`",
+                    render_condition(c1),
+                    render_condition(c2)
+                )),
+            ),
+            None => push(
+                DiagCode::Er006,
+                Severity::Error,
+                format!("pattern constrains `{attr}` more than once"),
+                Some("Definition 1 allows at most one condition per attribute".to_string()),
+            ),
+        }
+    }
+    fatal
+}
+
+/// Whether two conditions on the same attribute exclude each other.
+fn conditions_disjoint(c1: &PortableCondition, c2: &PortableCondition) -> bool {
+    use PortableCondition::{Eq, OneOf, Range};
+    let vals = |c: &PortableCondition| -> Option<(Vec<String>, bool)> {
+        match c {
+            Eq { value, numeric, .. } => Some((vec![value.clone()], *numeric)),
+            OneOf {
+                values, numeric, ..
+            } => Some((values.clone(), *numeric)),
+            Range { .. } => None,
+        }
+    };
+    match (vals(c1), vals(c2)) {
+        (Some((v1, _)), Some((v2, _))) => v1.iter().all(|v| !v2.contains(v)),
+        (None, None) => {
+            let (Range { lo: l1, hi: h1, .. }, Range { lo: l2, hi: h2, .. }) = (c1, c2) else {
+                return false;
+            };
+            l1.max(*l2) >= h1.min(*h2)
+        }
+        // Eq/OneOf vs Range: a numeric range only matches cells with a
+        // numeric value, so a non-numeric constant can never satisfy it, and
+        // a numeric constant must fall inside [lo, hi).
+        (Some((vs, numeric)), None) => range_excludes_values(c2, &vs, numeric),
+        (None, Some((vs, numeric))) => range_excludes_values(c1, &vs, numeric),
+    }
+}
+
+/// Whether a [`PortableCondition::Range`] excludes every listed constant.
+fn range_excludes_values(range: &PortableCondition, values: &[String], numeric: bool) -> bool {
+    let PortableCondition::Range { lo, hi, .. } = range else {
+        return false;
+    };
+    if !numeric {
+        return true;
+    }
+    values.iter().all(|v| match v.parse::<f64>() {
+        Ok(x) => x < *lo || x >= *hi,
+        Err(_) => true,
+    })
+}
+
+/// Whether `raw` (re-interned the way [`er_rules::from_portable`] does)
+/// occurs in input column `attr`.
+fn value_observed(task: &Task, attr: AttrId, raw: &str, numeric: bool) -> bool {
+    let value = parse_value(raw, numeric);
+    let Some(code) = task.input().pool().code_of(&value) else {
+        return false;
+    };
+    task.input().column(attr).contains(&code)
+}
+
+/// Mirror of the io module's value parsing: numeric constants re-intern as
+/// `Int`/`Float`, everything else as a string.
+fn parse_value(raw: &str, numeric: bool) -> Value {
+    if numeric {
+        if let Ok(v) = raw.parse::<i64>() {
+            return Value::Int(v);
+        }
+        if let Ok(v) = raw.parse::<f64>() {
+            return Value::Float(v);
+        }
+    }
+    Value::str(raw)
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3: pairwise set-level passes
+// ---------------------------------------------------------------------------
+
+/// ER003 (exact duplicates), ER004 (domination), ER005 (repair conflicts)
+/// over the resolvable subset of the rule set.
+fn pairwise_pass(
+    resolved: &[Option<EditingRule>],
+    spans: &[String],
+    task: &Task,
+    findings: &mut Vec<Finding>,
+) {
+    let rules: Vec<(usize, &EditingRule)> = resolved
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.as_ref().map(|r| (i, r)))
+        .collect();
+    if rules.len() < 2 {
+        return;
+    }
+
+    // ER003: exact structural duplicates (canonical ordering makes
+    // EditingRule equality reliable).
+    let mut first_seen: HashMap<&EditingRule, usize> = HashMap::new();
+    for &(i, rule) in &rules {
+        match first_seen.get(rule) {
+            Some(&j) => findings.push(Finding {
+                code: DiagCode::Er003,
+                severity: Severity::Warning,
+                rule: i,
+                related: Some(j),
+                span: spans[i].clone(),
+                message: format!("exact duplicate of rule #{j}"),
+                note: None,
+            }),
+            None => {
+                first_seen.insert(rule, i);
+            }
+        }
+    }
+
+    // ER004: a rule dominated by another rule is redundant (Definition 4);
+    // the dominating rule applies to every tuple this one applies to and
+    // covers at least as many (Lemma 1).
+    for &(j, rj) in &rules {
+        if let Some(&(i, _)) = rules.iter().find(|&&(_, ri)| dominates(ri, rj)) {
+            findings.push(Finding {
+                code: DiagCode::Er004,
+                severity: Severity::Warning,
+                rule: j,
+                related: Some(i),
+                span: spans[j].clone(),
+                message: format!("dominated by rule #{i}, making it redundant"),
+                note: Some(format!(
+                    "rule #{i} ({}) has a subset of this rule's LHS and pattern, so it \
+                     applies everywhere this rule does",
+                    spans[i]
+                )),
+            });
+        }
+    }
+
+    // ER005: repair conflicts. Two rules may both cover an input tuple yet
+    // prescribe different target values (their LHS key the master data
+    // differently); on such tuples the certainty-score vote depends on
+    // scores and tie-breaks rather than on agreement.
+    let ev = Evaluator::new(task);
+    let covers: Vec<Vec<er_table::RowId>> = rules.iter().map(|&(_, r)| ev.cover(r, None)).collect();
+    for (a, &(i, ri)) in rules.iter().enumerate() {
+        for (b, &(j, rj)) in rules.iter().enumerate().skip(a + 1) {
+            if ri == rj {
+                continue; // already reported as ER003
+            }
+            let shared: Vec<er_table::RowId> = {
+                let in_b: std::collections::HashSet<_> = covers[b].iter().copied().collect();
+                covers[a]
+                    .iter()
+                    .copied()
+                    .filter(|r| in_b.contains(r))
+                    .collect()
+            };
+            if shared.is_empty() {
+                continue;
+            }
+            let mut conflicts = 0usize;
+            let mut example = None;
+            for &row in &shared {
+                let (Some(fi), Some(fj)) =
+                    (prescribed_fix(&ev, ri, row), prescribed_fix(&ev, rj, row))
+                else {
+                    continue;
+                };
+                if fi != fj {
+                    conflicts += 1;
+                    if example.is_none() {
+                        let pool = task.input().pool();
+                        example = Some(format!(
+                            "e.g. input row {row}: rule #{i} prescribes {}, \
+                             rule #{j} prescribes {}",
+                            pool.value(fi),
+                            pool.value(fj)
+                        ));
+                    }
+                }
+            }
+            if conflicts > 0 {
+                findings.push(Finding {
+                    code: DiagCode::Er005,
+                    severity: Severity::Warning,
+                    rule: j,
+                    related: Some(i),
+                    span: spans[j].clone(),
+                    message: format!(
+                        "prescribes a different repair than rule #{i} on {conflicts} of \
+                         {} shared tuple{}",
+                        shared.len(),
+                        if shared.len() == 1 { "" } else { "s" }
+                    ),
+                    note: example,
+                });
+            }
+        }
+    }
+}
+
+/// The target value a rule prescribes for an input row: the modal master
+/// `Y_m` value among master tuples matching the row's LHS key (ties broken
+/// by dictionary code so the answer is deterministic). `None` when the key
+/// contains NULL or no master tuple matches.
+fn prescribed_fix(ev: &Evaluator<'_>, rule: &EditingRule, row: er_table::RowId) -> Option<Code> {
+    let input = ev.task().input();
+    let x = rule.x();
+    let mut key = Vec::with_capacity(x.len());
+    for &a in &x {
+        let c = input.code(row, a);
+        if c == NULL_CODE {
+            return None;
+        }
+        key.push(c);
+    }
+    let group = ev.group_index(&rule.xm());
+    group
+        .get(&key)
+        .iter()
+        .filter(|e| e.0 != NULL_CODE)
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|e| e.0)
+}
+
+// ---------------------------------------------------------------------------
+// Rendering helpers
+// ---------------------------------------------------------------------------
+
+fn attr_names(schema: &er_table::Schema) -> String {
+    schema
+        .attributes()
+        .iter()
+        .map(|a| format!("`{}`", a.name))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn condition_attr(c: &PortableCondition) -> &str {
+    match c {
+        PortableCondition::Eq { attr, .. }
+        | PortableCondition::Range { attr, .. }
+        | PortableCondition::OneOf { attr, .. } => attr,
+    }
+}
+
+fn render_condition(c: &PortableCondition) -> String {
+    match c {
+        PortableCondition::Eq { attr, value, .. } => format!("{attr}={value}"),
+        PortableCondition::Range { attr, lo, hi } if hi.is_infinite() => {
+            format!("{attr}∈[{lo},∞)")
+        }
+        PortableCondition::Range { attr, lo, hi } => format!("{attr}∈[{lo},{hi})"),
+        PortableCondition::OneOf { attr, values, .. } => {
+            format!("{attr}∈{{{}}}", values.join(","))
+        }
+    }
+}
+
+/// Render a portable rule in the paper's notation (mirrors
+/// [`er_rules::rule::RuleDisplay`], but works without resolving).
+pub fn render_portable(rule: &PortableRule) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("((");
+    for (i, (a, am)) in rule.lhs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "({a}, {am})");
+    }
+    let _ = write!(out, ") -> ({}, {}), t_p(", rule.target.0, rule.target.1);
+    for (i, c) in rule.pattern.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&render_condition(c));
+    }
+    out.push_str("))");
+    out
+}

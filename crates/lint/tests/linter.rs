@@ -1,0 +1,405 @@
+//! Fixture tests: every diagnostic class fires on a crafted rule set, and a
+//! clean rule set produces zero findings.
+
+// Test code: a panic is the failure report (the workspace wall only guards
+// library code, but fixture helpers here sit outside any #[test] fn).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use er_lint::{lint_json, lint_portable, lint_resolved, DiagCode, Severity};
+use er_rules::io::{PortableCondition, PortableRule};
+use er_rules::{dominates, rules_to_json, Condition, EditingRule, Evaluator, SchemaMatch, Task};
+use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
+use std::sync::Arc;
+
+/// Input `R(City, Phone, Age, Case)` with two patients; master
+/// `R_m(City, Phone, Infection)` supplied per test. Target `(Case, Infection)`.
+fn task(master_rows: &[(&str, &str, &str)]) -> Task {
+    let pool = Arc::new(Pool::new());
+    let in_schema = Arc::new(Schema::new(
+        "patients",
+        vec![
+            Attribute::categorical("City"),
+            Attribute::categorical("Phone"),
+            Attribute::continuous("Age"),
+            Attribute::categorical("Case"),
+        ],
+    ));
+    let m_schema = Arc::new(Schema::new(
+        "registry",
+        vec![
+            Attribute::categorical("City"),
+            Attribute::categorical("Phone"),
+            Attribute::categorical("Infection"),
+        ],
+    ));
+    let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+    for (city, phone, age, case) in [("HZ", "139", 30, "unknown"), ("BJ", "150", 50, "unknown")] {
+        b.push_row(vec![
+            Value::str(city),
+            Value::str(phone),
+            Value::int(age),
+            Value::str(case),
+        ])
+        .unwrap();
+    }
+    let input = b.finish();
+    let mut bm = RelationBuilder::new(m_schema, pool);
+    for (city, phone, infection) in master_rows {
+        bm.push_row(vec![
+            Value::str(*city),
+            Value::str(*phone),
+            Value::str(*infection),
+        ])
+        .unwrap();
+    }
+    let master = bm.finish();
+    Task::new(
+        input,
+        master,
+        SchemaMatch::from_pairs(4, &[(0, 0), (1, 1), (3, 2)]),
+        (3, 2),
+    )
+}
+
+/// Master data on which the City rule and the Phone rule agree everywhere.
+fn clean_task() -> Task {
+    task(&[("HZ", "139", "flu"), ("BJ", "150", "cold")])
+}
+
+/// Master data on which City=HZ votes "cold" (2 of 3) while Phone=139 votes
+/// "flu" — a repair conflict on input row 0.
+fn conflicted_task() -> Task {
+    task(&[
+        ("HZ", "139", "flu"),
+        ("HZ", "888", "cold"),
+        ("HZ", "889", "cold"),
+    ])
+}
+
+fn city_rule() -> EditingRule {
+    EditingRule::new(vec![(0, 0)], (3, 2), vec![])
+}
+
+fn phone_rule() -> EditingRule {
+    EditingRule::new(vec![(1, 1)], (3, 2), vec![])
+}
+
+fn portable(rule: &EditingRule, t: &Task) -> PortableRule {
+    er_rules::to_portable(rule, t, None)
+}
+
+#[test]
+fn clean_set_has_zero_findings() {
+    let t = clean_task();
+    let rules = vec![city_rule(), phone_rule()];
+    let report = lint_resolved(&rules, &t);
+    assert!(
+        report.is_clean(),
+        "unexpected findings:\n{}",
+        report.render_text()
+    );
+    assert_eq!(report.errors(), 0);
+    assert_eq!(report.warnings(), 0);
+    assert!(report
+        .render_text()
+        .contains("2 rules, 0 errors, 0 warnings"));
+}
+
+#[test]
+fn clean_json_round_trip_is_clean() {
+    let t = clean_task();
+    let ev = Evaluator::new(&t);
+    let scored: Vec<_> = [city_rule(), phone_rule()]
+        .into_iter()
+        .map(|r| (r.clone(), ev.eval(&r, None)))
+        .collect();
+    let json = rules_to_json(&scored, &t);
+    let report = lint_json(&json, &t).unwrap();
+    assert!(
+        report.is_clean(),
+        "unexpected findings:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn flags_all_five_classes_on_crafted_fixture() {
+    let t = conflicted_task();
+    let city = portable(&city_rule(), &t);
+    // Dominated: same LHS as the city rule plus an extra pattern condition.
+    let dominated = portable(
+        &EditingRule::new(vec![(0, 0)], (3, 2), vec![Condition::range(2, 20.0, 60.0)]),
+        &t,
+    );
+    let mut dangling = portable(&city_rule(), &t);
+    dangling.pattern = vec![PortableCondition::Eq {
+        attr: "Zip".to_string(),
+        value: "310000".to_string(),
+        numeric: false,
+    }];
+    let mut contradictory = portable(&city_rule(), &t);
+    contradictory.pattern = vec![
+        PortableCondition::Eq {
+            attr: "City".to_string(),
+            value: "HZ".to_string(),
+            numeric: false,
+        },
+        PortableCondition::Eq {
+            attr: "City".to_string(),
+            value: "BJ".to_string(),
+            numeric: false,
+        },
+    ];
+    let rules = vec![
+        city.clone(),                // #0 — fine
+        city,                        // #1 — ER003 duplicate of #0
+        dominated,                   // #2 — ER004 dominated by #0
+        portable(&phone_rule(), &t), // #3 — ER005 conflicts with #0
+        dangling,                    // #4 — ER001 unknown attribute
+        contradictory,               // #5 — ER002 contradictory conditions
+    ];
+    let report = lint_portable(&rules, &t);
+    let text = report.render_text();
+
+    let dup = report.with_code(DiagCode::Er003);
+    assert_eq!(dup.len(), 1, "{text}");
+    assert_eq!((dup[0].rule, dup[0].related), (1, Some(0)));
+
+    let dom: Vec<_> = report.with_code(DiagCode::Er004);
+    assert!(
+        dom.iter().any(|f| f.rule == 2 && f.related == Some(0)),
+        "{text}"
+    );
+
+    let conflict = report.with_code(DiagCode::Er005);
+    assert!(
+        conflict.iter().any(|f| {
+            (f.rule == 3 && f.related == Some(0)) || (f.rule == 0 && f.related == Some(3))
+        }),
+        "{text}"
+    );
+
+    let dangling = report.with_code(DiagCode::Er001);
+    assert_eq!(dangling.len(), 1, "{text}");
+    assert_eq!(dangling[0].rule, 4);
+    assert_eq!(dangling[0].severity, Severity::Error);
+    assert!(dangling[0].message.contains("Zip"));
+
+    let unsat = report.with_code(DiagCode::Er002);
+    assert!(
+        unsat
+            .iter()
+            .any(|f| f.rule == 5 && f.severity == Severity::Error),
+        "{text}"
+    );
+
+    assert!(report.errors() >= 2);
+    assert!(report.warnings() >= 3);
+}
+
+#[test]
+fn conflict_is_invisible_to_domination() {
+    // Domination only compares structure; these two rules are structurally
+    // incomparable yet prescribe different repairs for the same tuple. Only
+    // the ER005 pass sees that.
+    let t = conflicted_task();
+    let (a, b) = (city_rule(), phone_rule());
+    assert!(!dominates(&a, &b));
+    assert!(!dominates(&b, &a));
+    let report = lint_resolved(&[a, b], &t);
+    let conflicts = report.with_code(DiagCode::Er005);
+    assert_eq!(conflicts.len(), 1, "{}", report.render_text());
+    assert_eq!(conflicts[0].rule, 1);
+    assert_eq!(conflicts[0].related, Some(0));
+    let note = conflicts[0].note.as_deref().unwrap();
+    assert!(note.contains("cold") && note.contains("flu"), "{note}");
+}
+
+#[test]
+fn unsatisfiable_pattern_variants() {
+    let t = clean_task();
+    let base = portable(&city_rule(), &t);
+    let with_pattern = |pattern: Vec<PortableCondition>| {
+        let mut r = base.clone();
+        r.pattern = pattern;
+        r
+    };
+    let rules = vec![
+        // #0: empty numeric range — logically unsatisfiable.
+        with_pattern(vec![PortableCondition::Range {
+            attr: "Age".into(),
+            lo: 50.0,
+            hi: 50.0,
+        }]),
+        // #1: constant outside the observed City domain.
+        with_pattern(vec![PortableCondition::Eq {
+            attr: "City".into(),
+            value: "SH".into(),
+            numeric: false,
+        }]),
+        // #2: range far outside the observed Age values.
+        with_pattern(vec![PortableCondition::Range {
+            attr: "Age".into(),
+            lo: 200.0,
+            hi: 300.0,
+        }]),
+        // #3: empty value set.
+        with_pattern(vec![PortableCondition::OneOf {
+            attr: "City".into(),
+            values: vec![],
+            numeric: false,
+        }]),
+        // #4: no listed value observed.
+        with_pattern(vec![PortableCondition::OneOf {
+            attr: "City".into(),
+            values: vec!["SH".into(), "SZ".into()],
+            numeric: false,
+        }]),
+        // #5: numeric constant excluded by a range on the same attribute.
+        with_pattern(vec![
+            PortableCondition::Range {
+                attr: "Age".into(),
+                lo: 20.0,
+                hi: 40.0,
+            },
+            PortableCondition::Eq {
+                attr: "Age".into(),
+                value: "50".into(),
+                numeric: true,
+            },
+        ]),
+    ];
+    let report = lint_portable(&rules, &t);
+    let text = report.render_text();
+    let expect = [
+        (0, Severity::Error),
+        (1, Severity::Warning),
+        (2, Severity::Warning),
+        (3, Severity::Error),
+        (4, Severity::Warning),
+        (5, Severity::Error),
+    ];
+    for (rule, severity) in expect {
+        assert!(
+            report
+                .with_code(DiagCode::Er002)
+                .iter()
+                .any(|f| f.rule == rule && f.severity == severity),
+            "rule #{rule} missing expected ER002 {severity}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn ill_formed_rules_are_er006() {
+    let t = clean_task();
+    let base = portable(&city_rule(), &t);
+    // Target appears in the LHS.
+    let mut target_in_lhs = base.clone();
+    target_in_lhs.lhs = vec![("Case".into(), "Infection".into())];
+    // Rule target differs from the task target.
+    let mut wrong_target = base.clone();
+    wrong_target.target = ("City".into(), "City".into());
+    // Same input attribute twice in the LHS.
+    let mut dup_lhs = base.clone();
+    dup_lhs.lhs = vec![
+        ("City".into(), "City".into()),
+        ("City".into(), "Phone".into()),
+    ];
+    // Two satisfiable conditions on one attribute (Definition 1 allows one).
+    let mut dup_pattern = base.clone();
+    dup_pattern.pattern = vec![
+        PortableCondition::Eq {
+            attr: "City".into(),
+            value: "HZ".into(),
+            numeric: false,
+        },
+        PortableCondition::Eq {
+            attr: "City".into(),
+            value: "HZ".into(),
+            numeric: false,
+        },
+    ];
+    let rules = vec![target_in_lhs, wrong_target, dup_lhs, dup_pattern];
+    let report = lint_portable(&rules, &t);
+    let text = report.render_text();
+    for rule in 0..4 {
+        assert!(
+            report
+                .with_code(DiagCode::Er006)
+                .iter()
+                .any(|f| f.rule == rule && f.severity == Severity::Error),
+            "rule #{rule} missing expected ER006:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn text_report_is_rustc_style() {
+    let t = conflicted_task();
+    let mut dangling = portable(&city_rule(), &t);
+    dangling.pattern = vec![PortableCondition::Eq {
+        attr: "Zip".into(),
+        value: "x".into(),
+        numeric: false,
+    }];
+    let report = lint_portable(&[dangling], &t);
+    let text = report.render_text();
+    assert!(
+        text.contains("error[ER001]: unknown input attribute `Zip`"),
+        "{text}"
+    );
+    assert!(text.contains("--> rule #0:"), "{text}");
+    assert!(
+        text.contains("= note: input schema `patients` has attributes:"),
+        "{text}"
+    );
+    assert!(
+        text.ends_with("rule set: 1 rule, 1 error, 0 warnings\n"),
+        "{text}"
+    );
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let t = conflicted_task();
+    let report = lint_resolved(&[city_rule(), phone_rule()], &t);
+    let json = report.render_json();
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let obj = value.as_object().unwrap();
+    let get = |key: &str| &obj.iter().find(|(k, _)| k == key).unwrap().1;
+    assert_eq!(*get("num_rules"), serde_json::Value::Int(2));
+    assert_eq!(*get("errors"), serde_json::Value::Int(0));
+    assert_eq!(*get("warnings"), serde_json::Value::Int(1));
+    let findings = get("findings").as_array().unwrap();
+    assert_eq!(findings.len(), 1);
+    let finding = findings[0].as_object().unwrap();
+    let field = |key: &str| &finding.iter().find(|(k, _)| k == key).unwrap().1;
+    assert_eq!(*field("code"), serde_json::Value::Str("ER005".to_string()));
+    assert_eq!(
+        *field("severity"),
+        serde_json::Value::Str("warning".to_string())
+    );
+    assert_eq!(*field("rule"), serde_json::Value::Int(1));
+    assert_eq!(*field("related"), serde_json::Value::Int(0));
+}
+
+#[test]
+fn garbage_json_is_rejected() {
+    let t = clean_task();
+    assert!(lint_json("{not json", &t).is_err());
+    assert!(lint_json(r#"{"lhs": 3}"#, &t).is_err());
+}
+
+#[test]
+fn dangling_rules_are_excluded_from_pairwise_passes() {
+    // A rule that cannot resolve must not panic or pollute the duplicate /
+    // domination passes.
+    let t = clean_task();
+    let mut dangling = portable(&city_rule(), &t);
+    dangling.lhs = vec![("Nope".into(), "City".into())];
+    let rules = vec![dangling.clone(), dangling];
+    let report = lint_portable(&rules, &t);
+    assert_eq!(report.with_code(DiagCode::Er001).len(), 2);
+    assert!(report.with_code(DiagCode::Er003).is_empty());
+}

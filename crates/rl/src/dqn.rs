@@ -140,7 +140,16 @@ impl DqnAgent {
         } else {
             Replay::Uniform(ReplayBuffer::new(config.replay_capacity))
         };
-        DqnAgent { config, online, target, adam, replay, rng, env_steps: 0, learn_steps: 0 }
+        DqnAgent {
+            config,
+            online,
+            target,
+            adam,
+            replay,
+            rng,
+            env_steps: 0,
+            learn_steps: 0,
+        }
     }
 
     /// Current exploration rate (linear anneal by environment steps).
@@ -167,8 +176,12 @@ impl DqnAgent {
         self.env_steps += 1;
         let eps = self.epsilon();
         if self.rng.gen_range(0.0..1.0) < eps {
-            let allowed: Vec<usize> =
-                mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+            let allowed: Vec<usize> = mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(i, _)| i)
+                .collect();
             assert!(!allowed.is_empty(), "no allowed action");
             allowed[self.rng.gen_range(0..allowed.len())]
         } else {
@@ -182,6 +195,9 @@ impl DqnAgent {
     /// Panics if no action is allowed.
     pub fn greedy_action(&self, state: &[f32], mask: &[bool]) -> usize {
         let q = self.q_values(state);
+        // Invariant: the environment's mask always leaves the stop action
+        // allowed (Algorithm 1, line 1), so an argmax exists.
+        #[allow(clippy::expect_used)]
         masked_argmax(&q, mask).expect("no allowed action")
     }
 
@@ -263,7 +279,11 @@ impl DqnAgent {
             let diff = q.get(i, t.action) - targets[i];
             td_errors.push(diff);
             let w = weights[i];
-            loss += w * if diff.abs() <= 1.0 { 0.5 * diff * diff } else { diff.abs() - 0.5 };
+            loss += w * if diff.abs() <= 1.0 {
+                0.5 * diff * diff
+            } else {
+                diff.abs() - 0.5
+            };
             grad.set(i, t.action, w * diff.clamp(-1.0, 1.0) / bs as f32);
         }
         self.online.backward(&grad);
@@ -275,7 +295,10 @@ impl DqnAgent {
         }
 
         self.learn_steps += 1;
-        if self.learn_steps % self.config.target_sync_every == 0 {
+        if self
+            .learn_steps
+            .is_multiple_of(self.config.target_sync_every)
+        {
             self.target.copy_params_from(&self.online);
         }
         Some(loss / bs as f32)
@@ -327,7 +350,7 @@ pub fn masked_argmax(q: &[f32], mask: &[bool]) -> Option<usize> {
     debug_assert_eq!(q.len(), mask.len());
     let mut best: Option<(usize, f32)> = None;
     for (i, (&v, &m)) in q.iter().zip(mask).enumerate() {
-        if m && best.map_or(true, |(_, bv)| v > bv) {
+        if m && best.is_none_or(|(_, bv)| v > bv) {
             best = Some((i, v));
         }
     }
@@ -410,7 +433,11 @@ mod tests {
                     state: encode(s),
                     action: a,
                     reward,
-                    next: if done { None } else { Some((encode(ns), mask.clone())) },
+                    next: if done {
+                        None
+                    } else {
+                        Some((encode(ns), mask.clone()))
+                    },
                 });
                 agent.learn();
                 if done {
@@ -421,7 +448,11 @@ mod tests {
         }
         agent.freeze_exploration();
         for s in 0..n - 1 {
-            assert_eq!(agent.greedy_action(&encode(s), &mask), 1, "state {s} should go right");
+            assert_eq!(
+                agent.greedy_action(&encode(s), &mask),
+                1,
+                "state {s} should go right"
+            );
         }
     }
 
@@ -453,7 +484,11 @@ mod tests {
                     state: encode(s),
                     action: a,
                     reward,
-                    next: if done { None } else { Some((encode(ns), mask.clone())) },
+                    next: if done {
+                        None
+                    } else {
+                        Some((encode(ns), mask.clone()))
+                    },
                 });
                 agent.learn();
                 if done {
@@ -464,7 +499,11 @@ mod tests {
         }
         agent.freeze_exploration();
         for s in 0..n - 1 {
-            assert_eq!(agent.greedy_action(&encode(s), &mask), 1, "state {s} should go right");
+            assert_eq!(
+                agent.greedy_action(&encode(s), &mask),
+                1,
+                "state {s} should go right"
+            );
         }
     }
 

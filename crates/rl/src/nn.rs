@@ -94,10 +94,18 @@ impl Mlp {
     /// # Panics
     /// Panics if fewer than two dims are given.
     pub fn new(dims: &[usize], rng: &mut StdRng) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
-        let layers =
-            dims.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
-        Mlp { layers, cache: Vec::new() }
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp {
+            layers,
+            cache: Vec::new(),
+        }
     }
 
     /// Input dimension.
@@ -107,6 +115,8 @@ impl Mlp {
 
     /// Output dimension.
     pub fn out_dim(&self) -> usize {
+        // Invariant: `Mlp::new` rejects empty layer stacks.
+        #[allow(clippy::expect_used)]
         self.layers.last().expect("non-empty").w.rows()
     }
 
@@ -144,7 +154,11 @@ impl Mlp {
     /// # Panics
     /// Panics if `forward_train` has not been called.
     pub fn backward(&mut self, grad_out: &Mat) {
-        assert_eq!(self.cache.len(), self.layers.len(), "call forward_train first");
+        assert_eq!(
+            self.cache.len(),
+            self.layers.len(),
+            "call forward_train first"
+        );
         let mut grad = grad_out.clone();
         for i in (0..self.layers.len()).rev() {
             let x = &self.cache[i];
@@ -243,8 +257,11 @@ mod tests {
         // Analytic gradients: dL/dy = 2y.
         mlp.zero_grad();
         let y = mlp.forward_train(&x);
-        let grad_out =
-            Mat::from_vec(y.rows(), y.cols(), y.data().iter().map(|v| 2.0 * v).collect());
+        let grad_out = Mat::from_vec(
+            y.rows(),
+            y.cols(),
+            y.data().iter().map(|v| 2.0 * v).collect(),
+        );
         mlp.backward(&grad_out);
 
         // Collect analytic grads, then perturb each weight of layer 0.
@@ -309,7 +326,9 @@ mod tests {
         let build = || {
             let mut rng = StdRng::seed_from_u64(6);
             let mlp = Mlp::new(&[4, 8, 2], &mut rng);
-            mlp.forward(&Mat::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0])).data().to_vec()
+            mlp.forward(&Mat::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]))
+                .data()
+                .to_vec()
         };
         assert_eq!(build(), build());
     }

@@ -21,7 +21,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with the usual defaults (`β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Apply one Adam step using the gradients accumulated in `net`, then
@@ -83,8 +91,8 @@ mod tests {
             let y = net.forward_train(&xs);
             let mut grad = Mat::zeros(4, 1);
             let mut loss = 0.0;
-            for i in 0..4 {
-                let d = y.get(i, 0) - targets[i];
+            for (i, &target) in targets.iter().enumerate() {
+                let d = y.get(i, 0) - target;
                 loss += d * d;
                 grad.set(i, 0, 2.0 * d);
             }

@@ -24,7 +24,10 @@ struct SumTree {
 
 impl SumTree {
     fn new(capacity: usize) -> Self {
-        SumTree { tree: vec![0.0; 2 * capacity - 1], capacity }
+        SumTree {
+            tree: vec![0.0; 2 * capacity - 1],
+            capacity,
+        }
     }
 
     fn total(&self) -> f64 {
@@ -191,8 +194,11 @@ mod tests {
         assert_eq!(rb.len(), 3);
         // Contents are {3, 4, 2} (ring), all reachable via sampling.
         let mut rng = StdRng::seed_from_u64(1);
-        let seen: std::collections::HashSet<i32> =
-            rb.sample(200, &mut rng).into_iter().map(|(i, _)| *rb.get(i)).collect();
+        let seen: std::collections::HashSet<i32> = rb
+            .sample(200, &mut rng)
+            .into_iter()
+            .map(|(i, _)| *rb.get(i))
+            .collect();
         assert!(seen.contains(&2) && seen.contains(&3) && seen.contains(&4));
     }
 

@@ -18,7 +18,11 @@ impl<T> ReplayBuffer<T> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay capacity must be positive");
-        ReplayBuffer { buf: Vec::with_capacity(capacity.min(4096)), capacity, next: 0 }
+        ReplayBuffer {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            next: 0,
+        }
     }
 
     /// Number of stored items.
@@ -44,7 +48,9 @@ impl<T> ReplayBuffer<T> {
     /// Sample `n` items uniformly with replacement.
     pub fn sample<'a>(&'a self, n: usize, rng: &mut StdRng) -> Vec<&'a T> {
         assert!(!self.buf.is_empty(), "cannot sample from an empty buffer");
-        (0..n).map(|_| &self.buf[rng.gen_range(0..self.buf.len())]).collect()
+        (0..n)
+            .map(|_| &self.buf[rng.gen_range(0..self.buf.len())])
+            .collect()
     }
 }
 

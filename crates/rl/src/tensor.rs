@@ -11,7 +11,11 @@ pub struct Mat {
 impl Mat {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -164,7 +168,7 @@ mod tests {
         let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let b = Mat::from_vec(2, 2, vec![1.0, 0.5, -1.0, 2.0]);
         let got = a.t_matmul(&b); // aᵀ(3×2) · b(2×2) = 3×2
-        // explicit aᵀ
+                                  // explicit aᵀ
         let at = Mat::from_vec(3, 2, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
         assert_eq!(got, at.matmul(&b));
     }

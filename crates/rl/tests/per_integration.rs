@@ -1,6 +1,10 @@
 //! Integration: DQN with prioritized replay still solves the corridor, and
 //! does not regress vs uniform replay.
 
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use er_rl::{DqnAgent, DqnConfig, Transition};
 
 fn corridor(config: DqnConfig) -> bool {
@@ -22,7 +26,11 @@ fn corridor(config: DqnConfig) -> bool {
                 state: encode(s),
                 action: a,
                 reward: if done { 1.0 } else { -0.01 },
-                next: if done { None } else { Some((encode(ns), mask.clone())) },
+                next: if done {
+                    None
+                } else {
+                    Some((encode(ns), mask.clone()))
+                },
             });
             agent.learn();
             if done {
@@ -65,7 +73,12 @@ fn per_is_deterministic_under_seed() {
             let s = vec![(i % 5) as f32 / 5.0, 0.0, 0.0, 0.5, 1.0];
             let a = agent.select_action(&s, &mask);
             actions.push(a);
-            agent.observe(Transition { state: s, action: a, reward: a as f32, next: None });
+            agent.observe(Transition {
+                state: s,
+                action: a,
+                reward: a as f32,
+                next: None,
+            });
             agent.learn();
         }
         actions

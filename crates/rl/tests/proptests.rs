@@ -1,5 +1,9 @@
 //! Property-based tests for the RL substrate.
 
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use er_rl::{Mat, Mlp};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

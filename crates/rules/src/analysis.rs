@@ -52,7 +52,11 @@ impl CoverageReport {
     /// coverage — a data-driven choice of K.
     pub fn knee(&self, fraction: f64) -> usize {
         let target = (self.covered as f64 * fraction).ceil() as usize;
-        self.cumulative.iter().position(|&c| c >= target).map(|i| i + 1).unwrap_or(self.rules.len())
+        self.cumulative
+            .iter()
+            .position(|&c| c >= target)
+            .map(|i| i + 1)
+            .unwrap_or(self.rules.len())
     }
 }
 
@@ -101,10 +105,19 @@ pub fn coverage(task: &Task, rules: &[EditingRule]) -> CoverageReport {
                 marginal += 1;
             }
         }
-        out.push(RuleCoverage { rule: i, supported_rows: rows, marginal_rows: marginal });
+        out.push(RuleCoverage {
+            rule: i,
+            supported_rows: rows,
+            marginal_rows: marginal,
+        });
         cumulative.push(covered);
     }
-    CoverageReport { rules: out, covered, total_rows: n, cumulative }
+    CoverageReport {
+        rules: out,
+        covered,
+        total_rows: n,
+        cumulative,
+    }
 }
 
 /// Jaccard overlap of two rules' supported row sets.
@@ -133,11 +146,17 @@ mod tests {
         let pool = Arc::new(Pool::new());
         let in_schema = Arc::new(Schema::new(
             "in",
-            vec![Attribute::categorical("City"), Attribute::categorical("Case")],
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Case"),
+            ],
         ));
         let m_schema = Arc::new(Schema::new(
             "m",
-            vec![Attribute::categorical("City"), Attribute::categorical("Infection")],
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Infection"),
+            ],
         ));
         let s = Value::str;
         let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
@@ -149,7 +168,12 @@ mod tests {
         bm.push_row(vec![s("HZ"), s("p")]).unwrap();
         bm.push_row(vec![s("BJ"), s("i")]).unwrap();
         let master = bm.finish();
-        Task::new(input, master, SchemaMatch::from_pairs(2, &[(0, 0), (1, 1)]), (1, 1))
+        Task::new(
+            input,
+            master,
+            SchemaMatch::from_pairs(2, &[(0, 0), (1, 1)]),
+            (1, 1),
+        )
     }
 
     fn code(t: &Task, v: &str) -> er_table::Code {
@@ -171,11 +195,8 @@ mod tests {
     #[test]
     fn marginal_rows_respect_order() {
         let t = task();
-        let hz_only = EditingRule::new(
-            vec![(0, 0)],
-            (1, 1),
-            vec![Condition::eq(0, code(&t, "HZ"))],
-        );
+        let hz_only =
+            EditingRule::new(vec![(0, 0)], (1, 1), vec![Condition::eq(0, code(&t, "HZ"))]);
         let all = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
         let report = coverage(&t, &[hz_only.clone(), all.clone()]);
         assert_eq!(report.rules[0].marginal_rows, 2); // HZ rows
@@ -185,6 +206,24 @@ mod tests {
         let rev = coverage(&t, &[all, hz_only]);
         assert_eq!(rev.rules[0].marginal_rows, 3);
         assert_eq!(rev.rules[1].marginal_rows, 0);
+    }
+
+    #[test]
+    fn duplicate_rules_do_not_double_count_marginals() {
+        // Tied (here: identical) rules must not inflate coverage: the first
+        // occurrence claims all its rows, every later duplicate is pure
+        // overlap with marginal 0, and `covered` counts distinct rows once.
+        let t = task();
+        let all = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        let report = coverage(&t, &[all.clone(), all]);
+        assert_eq!(report.rules[0].marginal_rows, 3);
+        assert_eq!(report.rules[1].marginal_rows, 0);
+        assert_eq!(
+            report.rules[1].supported_rows,
+            report.rules[0].supported_rows
+        );
+        assert_eq!(report.cumulative, vec![3, 3]);
+        assert_eq!(report.covered, 3);
     }
 
     #[test]

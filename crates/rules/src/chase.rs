@@ -43,7 +43,11 @@ pub struct ChaseConfig {
 
 impl Default for ChaseConfig {
     fn default() -> Self {
-        ChaseConfig { max_rounds: 5, min_score: 0.9, overwrite: true }
+        ChaseConfig {
+            max_rounds: 5,
+            min_score: 0.9,
+            overwrite: true,
+        }
     }
 }
 
@@ -106,11 +110,12 @@ pub fn chase(
         let mut changed = false;
         for t in targets {
             let (y, _) = t.target;
-            let task =
-                Task::new(current.clone(), master.clone(), matching.clone(), t.target);
+            let task = Task::new(current.clone(), master.clone(), matching.clone(), t.target);
             let report = apply_rules(&task, &t.rules);
             for row in 0..current.num_rows() {
-                let Some(code) = report.predictions[row] else { continue };
+                let Some(code) = report.predictions[row] else {
+                    continue;
+                };
                 if frozen.contains(&(row, y)) || report.scores[row] < config.min_score {
                     continue;
                 }
@@ -141,7 +146,12 @@ pub fn chase(
             break;
         }
     }
-    ChaseResult { repaired: current, rounds, fixes, contested }
+    ChaseResult {
+        repaired: current,
+        rounds,
+        fixes,
+        contested,
+    }
 }
 
 #[cfg(test)]
@@ -205,7 +215,13 @@ mod tests {
     #[test]
     fn chase_cascades_fixes_across_targets() {
         let (input, master, matching) = setup();
-        let result = chase(&input, &master, &matching, &targets(&input), ChaseConfig::default());
+        let result = chase(
+            &input,
+            &master,
+            &matching,
+            &targets(&input),
+            ChaseConfig::default(),
+        );
         let pool = input.pool();
         let code = |v: &str| pool.code_of(&Value::str(v)).unwrap();
         // Row 0: ZIP filled from City, then AC filled from the new ZIP.
@@ -217,8 +233,16 @@ mod tests {
         assert_eq!(result.repaired.code(2, 2), code("755"));
         // The AC fix for row 0 must be a later-or-equal round than its ZIP
         // fix (per-round target order already allows same-round cascade).
-        let zip_fix = result.fixes.iter().find(|f| f.row == 0 && f.attr == 1).unwrap();
-        let ac_fix = result.fixes.iter().find(|f| f.row == 0 && f.attr == 2).unwrap();
+        let zip_fix = result
+            .fixes
+            .iter()
+            .find(|f| f.row == 0 && f.attr == 1)
+            .unwrap();
+        let ac_fix = result
+            .fixes
+            .iter()
+            .find(|f| f.row == 0 && f.attr == 2)
+            .unwrap();
         assert!(ac_fix.round >= zip_fix.round);
         assert_eq!(result.fixes.len(), 3);
     }
@@ -226,11 +250,22 @@ mod tests {
     #[test]
     fn chase_reaches_fixpoint() {
         let (input, master, matching) = setup();
-        let result = chase(&input, &master, &matching, &targets(&input), ChaseConfig::default());
+        let result = chase(
+            &input,
+            &master,
+            &matching,
+            &targets(&input),
+            ChaseConfig::default(),
+        );
         assert!(result.rounds <= 3, "rounds {}", result.rounds);
         // Re-running on the repaired relation changes nothing.
-        let again =
-            chase(&result.repaired, &master, &matching, &targets(&input), ChaseConfig::default());
+        let again = chase(
+            &result.repaired,
+            &master,
+            &matching,
+            &targets(&input),
+            ChaseConfig::default(),
+        );
         assert!(again.fixes.is_empty());
     }
 
@@ -239,20 +274,37 @@ mod tests {
         let (mut input, master, matching) = setup();
         // Plant a wrong (non-NULL) AC for row 2.
         input.set(2, 2, Value::str("999")).unwrap();
-        let config = ChaseConfig { overwrite: false, ..Default::default() };
+        let config = ChaseConfig {
+            overwrite: false,
+            ..Default::default()
+        };
         let result = chase(&input, &master, &matching, &targets(&input), config);
         let pool = input.pool();
-        assert_eq!(result.repaired.code(2, 2), pool.code_of(&Value::str("999")).unwrap());
+        assert_eq!(
+            result.repaired.code(2, 2),
+            pool.code_of(&Value::str("999")).unwrap()
+        );
         // With overwrite on, the cell is corrected.
-        let corrected =
-            chase(&input, &master, &matching, &targets(&input), ChaseConfig::default());
-        assert_eq!(corrected.repaired.code(2, 2), pool.code_of(&Value::str("755")).unwrap());
+        let corrected = chase(
+            &input,
+            &master,
+            &matching,
+            &targets(&input),
+            ChaseConfig::default(),
+        );
+        assert_eq!(
+            corrected.repaired.code(2, 2),
+            pool.code_of(&Value::str("755")).unwrap()
+        );
     }
 
     #[test]
     fn min_score_blocks_uncertain_fixes() {
         let (input, master, matching) = setup();
-        let config = ChaseConfig { min_score: 10.0, ..Default::default() };
+        let config = ChaseConfig {
+            min_score: 10.0,
+            ..Default::default()
+        };
         let result = chase(&input, &master, &matching, &targets(&input), config);
         assert!(result.fixes.is_empty());
         assert_eq!(result.rounds, 1);
@@ -261,7 +313,13 @@ mod tests {
     #[test]
     fn committed_cells_are_frozen() {
         let (input, master, matching) = setup();
-        let result = chase(&input, &master, &matching, &targets(&input), ChaseConfig::default());
+        let result = chase(
+            &input,
+            &master,
+            &matching,
+            &targets(&input),
+            ChaseConfig::default(),
+        );
         // No cell is fixed twice.
         let mut seen = std::collections::HashSet::new();
         for f in &result.fixes {

@@ -76,8 +76,9 @@ pub fn select_top_k(
         if kept.len() >= k {
             break;
         }
-        let redundant =
-            kept.iter().any(|(kr, _)| dominates(kr, &rule) || dominates(&rule, kr));
+        let redundant = kept
+            .iter()
+            .any(|(kr, _)| dominates(kr, &rule) || dominates(&rule, kr));
         if !redundant {
             kept.push((rule, m));
         }
@@ -91,7 +92,13 @@ mod tests {
     use crate::rule::Condition;
 
     fn m(u: f64, s: usize) -> Measures {
-        Measures { support: s, certainty: 1.0, quality: 1.0, utility: u, cover: s }
+        Measures {
+            support: s,
+            certainty: 1.0,
+            quality: 1.0,
+            utility: u,
+            cover: s,
+        }
     }
 
     #[test]
@@ -105,8 +112,11 @@ mod tests {
     #[test]
     fn pattern_subset_dominates() {
         let phi1 = EditingRule::new(vec![(0, 0)], (5, 5), vec![Condition::eq(1, 7)]);
-        let phi2 =
-            EditingRule::new(vec![(0, 0)], (5, 5), vec![Condition::eq(1, 7), Condition::eq(2, 9)]);
+        let phi2 = EditingRule::new(
+            vec![(0, 0)],
+            (5, 5),
+            vec![Condition::eq(1, 7), Condition::eq(2, 9)],
+        );
         assert!(dominates(&phi1, &phi2));
         assert!(!dominates(&phi2, &phi1));
     }
@@ -145,7 +155,11 @@ mod tests {
         let specific = EditingRule::new(vec![(0, 0), (1, 1)], (5, 5), vec![]);
         let other = EditingRule::new(vec![(2, 2)], (5, 5), vec![]);
         let out = select_top_k(
-            vec![(general.clone(), m(10.0, 100)), (specific, m(8.0, 50)), (other.clone(), m(6.0, 30))],
+            vec![
+                (general.clone(), m(10.0, 100)),
+                (specific, m(8.0, 50)),
+                (other.clone(), m(6.0, 30)),
+            ],
             10,
         );
         let rules: Vec<_> = out.iter().map(|(r, _)| r.clone()).collect();
@@ -158,8 +172,10 @@ mod tests {
         let specific = EditingRule::new(vec![(0, 0), (1, 1)], (5, 5), vec![]);
         // The specific rule has higher utility: it wins, the general one is
         // dropped as redundant with it.
-        let out =
-            select_top_k(vec![(general, m(5.0, 100)), (specific.clone(), m(9.0, 50))], 10);
+        let out = select_top_k(
+            vec![(general, m(5.0, 100)), (specific.clone(), m(9.0, 50))],
+            10,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, specific);
     }
@@ -167,7 +183,12 @@ mod tests {
     #[test]
     fn top_k_caps_at_k() {
         let rules: Vec<_> = (0..5)
-            .map(|i| (EditingRule::new(vec![(i, i)], (9, 9), vec![]), m(i as f64, 10)))
+            .map(|i| {
+                (
+                    EditingRule::new(vec![(i, i)], (9, 9), vec![]),
+                    m(i as f64, 10),
+                )
+            })
             .collect();
         let out = select_top_k(rules, 3);
         assert_eq!(out.len(), 3);
@@ -176,12 +197,62 @@ mod tests {
     }
 
     #[test]
+    fn rule_never_dominates_itself() {
+        // ⋖ is irreflexive by the φ1 ≠ φ2 clause — even comparing the very
+        // same instance, not just an equal clone.
+        let phi = EditingRule::new(vec![(0, 0)], (5, 5), vec![Condition::eq(1, 7)]);
+        assert!(!dominates(&phi, &phi));
+    }
+
+    #[test]
+    fn empty_rule_set_selects_nothing() {
+        let out = select_top_k(Vec::new(), 10);
+        assert!(out.is_empty());
+        // k = 0 on a non-empty set is equally valid and selects nothing.
+        let one = vec![(EditingRule::new(vec![(0, 0)], (5, 5), vec![]), m(1.0, 10))];
+        assert!(select_top_k(one, 0).is_empty());
+    }
+
+    #[test]
+    fn single_attribute_schema_collapses_to_one_rule() {
+        // With a single matchable attribute every candidate shares the one
+        // LHS pair, and the only legal refinements are pattern constants on
+        // that same attribute (the target attribute may not carry a pattern
+        // condition). The bare rule dominates every constant-narrowed
+        // variant, the variants are pairwise incomparable, and top-K keeps
+        // just the bare rule.
+        let bare = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        let narrowed_a = EditingRule::new(vec![(0, 0)], (1, 1), vec![Condition::eq(0, 3)]);
+        let narrowed_b = EditingRule::new(vec![(0, 0)], (1, 1), vec![Condition::eq(0, 4)]);
+        assert!(dominates(&bare, &narrowed_a));
+        assert!(dominates(&bare, &narrowed_b));
+        assert!(!dominates(&narrowed_a, &narrowed_b));
+        assert!(!dominates(&narrowed_b, &narrowed_a));
+        let out = select_top_k(
+            vec![
+                (bare.clone(), m(5.0, 40)),
+                (narrowed_a, m(3.0, 20)),
+                (narrowed_b, m(1.0, 10)),
+            ],
+            10,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, bare);
+    }
+
+    #[test]
     fn non_redundant_invariant_holds() {
         let rules: Vec<_> = vec![
             (EditingRule::new(vec![(0, 0)], (9, 9), vec![]), m(3.0, 10)),
-            (EditingRule::new(vec![(0, 0), (1, 1)], (9, 9), vec![]), m(2.0, 10)),
+            (
+                EditingRule::new(vec![(0, 0), (1, 1)], (9, 9), vec![]),
+                m(2.0, 10),
+            ),
             (EditingRule::new(vec![(1, 1)], (9, 9), vec![]), m(1.0, 10)),
-            (EditingRule::new(vec![(0, 0), (2, 2)], (9, 9), vec![Condition::eq(3, 1)]), m(4.0, 10)),
+            (
+                EditingRule::new(vec![(0, 0), (2, 2)], (9, 9), vec![Condition::eq(3, 1)]),
+                m(4.0, 10),
+            ),
         ];
         let out = select_top_k(rules, 10);
         for (i, (a, _)) in out.iter().enumerate() {

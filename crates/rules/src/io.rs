@@ -67,7 +67,12 @@ pub fn to_portable(rule: &EditingRule, task: &Task, measures: Option<Measures>) 
     let lhs = rule
         .lhs()
         .iter()
-        .map(|&(a, am)| (in_schema.attr(a).name.clone(), m_schema.attr(am).name.clone()))
+        .map(|&(a, am)| {
+            (
+                in_schema.attr(a).name.clone(),
+                m_schema.attr(am).name.clone(),
+            )
+        })
         .collect();
     let (y, ym) = rule.target();
     let pattern = rule
@@ -84,7 +89,11 @@ pub fn to_portable(rule: &EditingRule, task: &Task, measures: Option<Measures>) 
                         value: v.render().into_owned(),
                     }
                 }
-                Pred::Range { lo, hi } => PortableCondition::Range { attr, lo: *lo, hi: *hi },
+                Pred::Range { lo, hi } => PortableCondition::Range {
+                    attr,
+                    lo: *lo,
+                    hi: *hi,
+                },
                 Pred::OneOf(codes) => {
                     let vals: Vec<Value> = codes.iter().map(|&c| render(c)).collect();
                     PortableCondition::OneOf {
@@ -100,7 +109,10 @@ pub fn to_portable(rule: &EditingRule, task: &Task, measures: Option<Measures>) 
         .collect();
     PortableRule {
         lhs,
-        target: (in_schema.attr(y).name.clone(), m_schema.attr(ym).name.clone()),
+        target: (
+            in_schema.attr(y).name.clone(),
+            m_schema.attr(ym).name.clone(),
+        ),
         pattern,
         measures,
     }
@@ -145,10 +157,14 @@ pub fn from_portable(portable: &PortableRule, task: &Task) -> Result<EditingRule
     let m_schema = task.master().schema();
     let pool = task.input().pool();
     let in_attr = |name: &str| {
-        in_schema.attr_id(name).map_err(|_| ResolveError::UnknownAttribute(name.to_string()))
+        in_schema
+            .attr_id(name)
+            .map_err(|_| ResolveError::UnknownAttribute(name.to_string()))
     };
     let m_attr = |name: &str| {
-        m_schema.attr_id(name).map_err(|_| ResolveError::UnknownAttribute(name.to_string()))
+        m_schema
+            .attr_id(name)
+            .map_err(|_| ResolveError::UnknownAttribute(name.to_string()))
     };
     let (y_name, ym_name) = &portable.target;
     let target = (in_attr(y_name)?, m_attr(ym_name)?);
@@ -162,15 +178,26 @@ pub fn from_portable(portable: &PortableRule, task: &Task) -> Result<EditingRule
     let mut pattern = Vec::with_capacity(portable.pattern.len());
     for cond in &portable.pattern {
         pattern.push(match cond {
-            PortableCondition::Eq { attr, value, numeric } => Condition {
+            PortableCondition::Eq {
+                attr,
+                value,
+                numeric,
+            } => Condition {
                 attr: in_attr(attr)?,
                 pred: Pred::Eq(pool.intern(parse_value(value, *numeric))),
             },
             PortableCondition::Range { attr, lo, hi } => Condition::range(in_attr(attr)?, *lo, *hi),
-            PortableCondition::OneOf { attr, values, numeric } => Condition {
+            PortableCondition::OneOf {
+                attr,
+                values,
+                numeric,
+            } => Condition {
                 attr: in_attr(attr)?,
                 pred: Pred::one_of(
-                    values.iter().map(|v| pool.intern(parse_value(v, *numeric))).collect(),
+                    values
+                        .iter()
+                        .map(|v| pool.intern(parse_value(v, *numeric)))
+                        .collect(),
                 ),
             },
         });
@@ -180,15 +207,26 @@ pub fn from_portable(portable: &PortableRule, task: &Task) -> Result<EditingRule
 
 /// Serialize a scored rule set to pretty JSON.
 pub fn rules_to_json(rules: &[(EditingRule, Measures)], task: &Task) -> String {
-    let portable: Vec<PortableRule> =
-        rules.iter().map(|(r, m)| to_portable(r, task, Some(*m))).collect();
+    let portable: Vec<PortableRule> = rules
+        .iter()
+        .map(|(r, m)| to_portable(r, task, Some(*m)))
+        .collect();
+    // Invariant: PortableRule is a pure data tree (strings, numbers, options)
+    // whose serialization is infallible by construction.
+    #[allow(clippy::expect_used)]
     serde_json::to_string_pretty(&portable).expect("portable rules serialize")
 }
 
 /// Deserialize a rule set saved by [`rules_to_json`] against a task.
-pub fn rules_from_json(json: &str, task: &Task) -> Result<Vec<EditingRule>, Box<dyn std::error::Error>> {
+pub fn rules_from_json(
+    json: &str,
+    task: &Task,
+) -> Result<Vec<EditingRule>, Box<dyn std::error::Error>> {
     let portable: Vec<PortableRule> = serde_json::from_str(json)?;
-    portable.iter().map(|p| from_portable(p, task).map_err(Into::into)).collect()
+    portable
+        .iter()
+        .map(|p| from_portable(p, task).map_err(Into::into))
+        .collect()
 }
 
 #[cfg(test)]
@@ -210,16 +248,27 @@ mod tests {
         ));
         let m_schema = Arc::new(Schema::new(
             "m",
-            vec![Attribute::categorical("City"), Attribute::categorical("Infection")],
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Infection"),
+            ],
         ));
         let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
-        b.push_row(vec![Value::str("HZ"), Value::int(30), Value::str("c1")]).unwrap();
-        b.push_row(vec![Value::str("BJ"), Value::int(44), Value::str("c2")]).unwrap();
+        b.push_row(vec![Value::str("HZ"), Value::int(30), Value::str("c1")])
+            .unwrap();
+        b.push_row(vec![Value::str("BJ"), Value::int(44), Value::str("c2")])
+            .unwrap();
         let input = b.finish();
         let mut bm = RelationBuilder::new(m_schema, pool);
-        bm.push_row(vec![Value::str("HZ"), Value::str("c1")]).unwrap();
+        bm.push_row(vec![Value::str("HZ"), Value::str("c1")])
+            .unwrap();
         let master = bm.finish();
-        Task::new(input, master, SchemaMatch::from_pairs(3, &[(0, 0), (2, 1)]), (2, 1))
+        Task::new(
+            input,
+            master,
+            SchemaMatch::from_pairs(3, &[(0, 0), (2, 1)]),
+            (2, 1),
+        )
     }
 
     fn sample_rule(t: &Task) -> EditingRule {
@@ -275,7 +324,10 @@ mod tests {
         let t = task();
         let mut p = to_portable(&sample_rule(&t), &t, None);
         p.target = ("City".to_string(), "City".to_string());
-        assert_eq!(from_portable(&p, &t).unwrap_err(), ResolveError::TargetMismatch);
+        assert_eq!(
+            from_portable(&p, &t).unwrap_err(),
+            ResolveError::TargetMismatch
+        );
     }
 
     #[test]
@@ -289,7 +341,10 @@ mod tests {
         let rule = EditingRule::new(
             vec![(0, 0)],
             (2, 1),
-            vec![Condition { attr: 0, pred: Pred::one_of(codes) }],
+            vec![Condition {
+                attr: 0,
+                pred: Pred::one_of(codes),
+            }],
         );
         let p = to_portable(&rule, &t, None);
         let back = from_portable(&p, &t).unwrap();

@@ -40,7 +40,10 @@ impl SchemaMatch {
     /// equality (`"area_code"` matches `"AreaCode"`).
     pub fn by_name(input: &Schema, master: &Schema) -> Self {
         let norm = |s: &str| -> String {
-            s.chars().filter(|c| c.is_alphanumeric()).flat_map(|c| c.to_lowercase()).collect()
+            s.chars()
+                .filter(|c| c.is_alphanumeric())
+                .flat_map(|c| c.to_lowercase())
+                .collect()
         };
         let mut matched = vec![Vec::new(); input.arity()];
         for (a, attr) in input.iter() {
@@ -72,7 +75,10 @@ impl SchemaMatch {
 
     /// Iterate all `(input, master)` matched pairs in order.
     pub fn pairs(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
-        self.matched.iter().enumerate().flat_map(|(a, ms)| ms.iter().map(move |&am| (a, am)))
+        self.matched
+            .iter()
+            .enumerate()
+            .flat_map(|(a, ms)| ms.iter().map(move |&am| (a, am)))
     }
 }
 
@@ -103,7 +109,10 @@ mod tests {
         );
         let master = Schema::new(
             "m",
-            vec![Attribute::categorical("AreaCode"), Attribute::categorical("city")],
+            vec![
+                Attribute::categorical("AreaCode"),
+                Attribute::categorical("city"),
+            ],
         );
         let m = SchemaMatch::by_name(&input, &master);
         assert_eq!(m.of(0), &[0]);

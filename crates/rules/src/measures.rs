@@ -46,7 +46,13 @@ pub struct Measures {
 impl Measures {
     /// The all-zero measures of an inapplicable rule.
     pub fn zero() -> Self {
-        Measures { support: 0, certainty: 0.0, quality: 0.0, utility: 0.0, cover: 0 }
+        Measures {
+            support: 0,
+            certainty: 0.0,
+            quality: 0.0,
+            utility: 0.0,
+            cover: 0,
+        }
     }
 }
 
@@ -96,9 +102,8 @@ impl<'a> Evaluator<'a> {
     /// `within` when given (subspace search over the parent's cover).
     pub fn cover(&self, rule: &EditingRule, within: Option<&[RowId]>) -> Vec<RowId> {
         let input = self.task.input();
-        let matches = |row: RowId| {
-            rule.pattern_matches(input, row, |attr, r| self.task.numeric(attr, r))
-        };
+        let matches =
+            |row: RowId| rule.pattern_matches(input, row, |attr, r| self.task.numeric(attr, r));
         match within {
             Some(rows) => rows.iter().copied().filter(|&r| matches(r)).collect(),
             None => (0..input.num_rows()).filter(|&r| matches(r)).collect(),
@@ -165,7 +170,11 @@ impl<'a> Evaluator<'a> {
             support += 1;
             certainty_sum += max_count as f64 / total as f64;
             let truth = self.task.label(row);
-            quality_sum += if truth != NULL_CODE && argmax == truth { 1.0 } else { -1.0 };
+            quality_sum += if truth != NULL_CODE && argmax == truth {
+                1.0
+            } else {
+                -1.0
+            };
         }
 
         let (certainty, quality) = if support == 0 {
@@ -174,7 +183,49 @@ impl<'a> Evaluator<'a> {
             (certainty_sum / support as f64, quality_sum / support as f64)
         };
         let utility = utility(support, certainty, quality);
-        Measures { support, certainty, quality, utility, cover: cover.len() }
+        Measures {
+            support,
+            certainty,
+            quality,
+            utility,
+            cover: cover.len(),
+        }
+    }
+
+    /// Invariants over the evaluator's caches, available under the
+    /// `debug-invariants` feature:
+    ///
+    /// * every cached [`GroupIndex`] satisfies its own structural invariants;
+    /// * every cached [`Measures`] is within range — `support ≤ cover`,
+    ///   `cover ≤ |D|`, `C ∈ [0, 1]`, `Q ∈ [−1, 1]`, and support 0 implies
+    ///   all-zero derived measures.
+    ///
+    /// Panics on violation; meant for debug builds and tests.
+    #[cfg(feature = "debug-invariants")]
+    pub fn check_invariants(&self) {
+        for g in self.group_indexes.lock().values() {
+            g.check_invariants();
+        }
+        let num_rows = self.task.input().num_rows();
+        for (rule, m) in self.measures_cache.lock().iter() {
+            let r = rule.display(self.task.input(), self.task.master().schema());
+            assert!(m.support <= m.cover, "Evaluator: support > cover for {r}");
+            assert!(m.cover <= num_rows, "Evaluator: cover > |D| for {r}");
+            assert!(
+                (0.0..=1.0).contains(&m.certainty),
+                "Evaluator: certainty out of [0,1] for {r}"
+            );
+            assert!(
+                (-1.0..=1.0).contains(&m.quality),
+                "Evaluator: quality out of [-1,1] for {r}"
+            );
+            if m.support == 0 {
+                assert!(
+                    m.certainty == 0.0 && m.quality == 0.0 && m.utility == 0.0,
+                    "Evaluator: zero-support rule with non-zero measures: {r}"
+                );
+            }
+        }
     }
 }
 
@@ -253,21 +304,107 @@ mod tests {
         ));
         let s = Value::str;
         let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
-        b.push_row(vec![s("Kevin"), s("HZ"), Value::Null, Value::Null, s("325-8455"), s("Male"), Value::Null, s("2021-12"), s("No")]).unwrap();
-        b.push_row(vec![s("Kyrie"), s("BJ"), s("10021"), s("010"), s("358-1553"), Value::Null, s("contact with imports"), s("2021-11"), s("No")]).unwrap();
-        b.push_row(vec![s("Robin"), s("HZ"), s("31200"), Value::Null, s("325-7538"), s("Male"), s("Others"), s("2021-12"), s("Yes")]).unwrap();
+        b.push_row(vec![
+            s("Kevin"),
+            s("HZ"),
+            Value::Null,
+            Value::Null,
+            s("325-8455"),
+            s("Male"),
+            Value::Null,
+            s("2021-12"),
+            s("No"),
+        ])
+        .unwrap();
+        b.push_row(vec![
+            s("Kyrie"),
+            s("BJ"),
+            s("10021"),
+            s("010"),
+            s("358-1553"),
+            Value::Null,
+            s("contact with imports"),
+            s("2021-11"),
+            s("No"),
+        ])
+        .unwrap();
+        b.push_row(vec![
+            s("Robin"),
+            s("HZ"),
+            s("31200"),
+            Value::Null,
+            s("325-7538"),
+            s("Male"),
+            s("Others"),
+            s("2021-12"),
+            s("Yes"),
+        ])
+        .unwrap();
         let input = b.finish();
         let mut bm = RelationBuilder::new(m_schema, pool);
-        bm.push_row(vec![s("Kevin"), s("Lees"), s("SZ"), s("51800"), s("755"), s("625-0418"), s("Male"), s("contact with imports"), s("2021-10")]).unwrap();
-        bm.push_row(vec![s("Kyrie"), s("Wang"), s("BJ"), s("10021"), s("010"), s("358-1563"), s("Female"), s("contact with imports"), s("2021-11")]).unwrap();
-        bm.push_row(vec![s("Kevin"), s("Sun"), s("HZ"), s("31200"), s("571"), s("325-8465"), s("Male"), s("contact with patient"), s("2021-12")]).unwrap();
-        bm.push_row(vec![s("Susan"), s("Lu"), s("HZ"), s("31200"), s("571"), s("325-8931"), s("Female"), s("contact with patient"), s("2021-12")]).unwrap();
+        bm.push_row(vec![
+            s("Kevin"),
+            s("Lees"),
+            s("SZ"),
+            s("51800"),
+            s("755"),
+            s("625-0418"),
+            s("Male"),
+            s("contact with imports"),
+            s("2021-10"),
+        ])
+        .unwrap();
+        bm.push_row(vec![
+            s("Kyrie"),
+            s("Wang"),
+            s("BJ"),
+            s("10021"),
+            s("010"),
+            s("358-1563"),
+            s("Female"),
+            s("contact with imports"),
+            s("2021-11"),
+        ])
+        .unwrap();
+        bm.push_row(vec![
+            s("Kevin"),
+            s("Sun"),
+            s("HZ"),
+            s("31200"),
+            s("571"),
+            s("325-8465"),
+            s("Male"),
+            s("contact with patient"),
+            s("2021-12"),
+        ])
+        .unwrap();
+        bm.push_row(vec![
+            s("Susan"),
+            s("Lu"),
+            s("HZ"),
+            s("31200"),
+            s("571"),
+            s("325-8931"),
+            s("Female"),
+            s("contact with patient"),
+            s("2021-12"),
+        ])
+        .unwrap();
         let master = bm.finish();
         // Name↔FN, City↔City, ZIP↔Zip, AC↔AC, Phone↔Phone, Sex↔Sex,
         // Case↔Infection, Date↔Date.
         let matching = SchemaMatch::from_pairs(
             9,
-            &[(0, 0), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8)],
+            &[
+                (0, 0),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+            ],
         );
         // Target: (Case, Infection).
         Task::new(input, master, matching, (6, 7))
@@ -315,7 +452,10 @@ mod tests {
         let rule = EditingRule::new(
             vec![(1, 2), (7, 8)],
             (6, 7),
-            vec![Condition::eq(1, code(&task, "HZ")), Condition::eq(7, code(&task, "2021-12"))],
+            vec![
+                Condition::eq(1, code(&task, "HZ")),
+                Condition::eq(7, code(&task, "2021-12")),
+            ],
         );
         let m = ev.eval(&rule, None);
         // Without the Overseas=No guard, t3 is also covered (incorrectly

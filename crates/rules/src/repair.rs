@@ -79,7 +79,11 @@ pub fn apply_rules_with(ev: &Evaluator<'_>, rules: &[EditingRule]) -> RepairRepo
                 key.push(c);
             }
             let dist = group.get(&key);
-            let total: u32 = dist.iter().filter(|&&(c, _)| c != NULL_CODE).map(|&(_, n)| n).sum();
+            let total: u32 = dist
+                .iter()
+                .filter(|&&(c, _)| c != NULL_CODE)
+                .map(|&(_, n)| n)
+                .sum();
             if total == 0 {
                 continue;
             }
@@ -118,7 +122,12 @@ pub fn apply_rules_with(ev: &Evaluator<'_>, rules: &[EditingRule]) -> RepairRepo
             }
         }
     }
-    RepairReport { predictions, scores, candidates, rules_applied }
+    RepairReport {
+        predictions,
+        scores,
+        candidates,
+        rules_applied,
+    }
 }
 
 /// Rows whose prediction differs from their current `Y` value (cells an
@@ -150,11 +159,17 @@ mod tests {
         let pool = Arc::new(Pool::new());
         let in_schema = Arc::new(Schema::new(
             "in",
-            vec![Attribute::categorical("City"), Attribute::categorical("Case")],
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Case"),
+            ],
         ));
         let m_schema = Arc::new(Schema::new(
             "m",
-            vec![Attribute::categorical("City"), Attribute::categorical("Infection")],
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Infection"),
+            ],
         ));
         let s = Value::str;
         let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
@@ -169,7 +184,12 @@ mod tests {
         bm.push_row(vec![s("BJ"), s("imports")]).unwrap();
         bm.push_row(vec![s("BJ"), s("patient")]).unwrap();
         let master = bm.finish();
-        Task::new(input, master, SchemaMatch::from_pairs(2, &[(0, 0), (1, 1)]), (1, 1))
+        Task::new(
+            input,
+            master,
+            SchemaMatch::from_pairs(2, &[(0, 0), (1, 1)]),
+            (1, 1),
+        )
     }
 
     fn code(t: &Task, v: &str) -> Code {

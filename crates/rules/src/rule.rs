@@ -37,9 +37,7 @@ impl Pred {
                 Some(v) => v >= *lo && v < *hi && !v.is_nan(),
                 None => false,
             },
-            Pred::OneOf(codes) => {
-                code != er_table::NULL_CODE && codes.binary_search(&code).is_ok()
-            }
+            Pred::OneOf(codes) => code != er_table::NULL_CODE && codes.binary_search(&code).is_ok(),
         }
     }
 
@@ -90,12 +88,18 @@ pub struct Condition {
 impl Condition {
     /// Equality condition `t_p[attr] = code`.
     pub fn eq(attr: AttrId, code: Code) -> Self {
-        Condition { attr, pred: Pred::Eq(code) }
+        Condition {
+            attr,
+            pred: Pred::Eq(code),
+        }
     }
 
     /// Range condition `lo ≤ t[attr] < hi`.
     pub fn range(attr: AttrId, lo: f64, hi: f64) -> Self {
-        Condition { attr, pred: Pred::Range { lo, hi } }
+        Condition {
+            attr,
+            pred: Pred::Range { lo, hi },
+        }
     }
 }
 
@@ -120,7 +124,11 @@ pub struct EditingRule {
 impl EditingRule {
     /// The root rule for a target pair: empty LHS, empty pattern.
     pub fn root(target: (AttrId, AttrId)) -> Self {
-        EditingRule { lhs: Vec::new(), target, pattern: Vec::new() }
+        EditingRule {
+            lhs: Vec::new(),
+            target,
+            pattern: Vec::new(),
+        }
     }
 
     /// Build a rule, canonicalizing LHS and pattern order.
@@ -134,7 +142,11 @@ impl EditingRule {
         target: (AttrId, AttrId),
         pattern: Vec<Condition>,
     ) -> Self {
-        let mut rule = EditingRule { lhs, target, pattern };
+        let mut rule = EditingRule {
+            lhs,
+            target,
+            pattern,
+        };
         rule.canonicalize();
         rule.validate();
         rule
@@ -151,10 +163,20 @@ impl EditingRule {
             assert_ne!(w[0].0, w[1].0, "duplicate LHS input attribute {}", w[0].0);
         }
         for w in self.pattern.windows(2) {
-            assert_ne!(w[0].attr, w[1].attr, "duplicate pattern attribute {}", w[0].attr);
+            assert_ne!(
+                w[0].attr, w[1].attr,
+                "duplicate pattern attribute {}",
+                w[0].attr
+            );
         }
-        assert!(self.lhs.iter().all(|&(a, _)| a != y), "Y must not appear in X");
-        assert!(self.pattern.iter().all(|c| c.attr != y), "Y must not appear in the pattern");
+        assert!(
+            self.lhs.iter().all(|&(a, _)| a != y),
+            "Y must not appear in X"
+        );
+        assert!(
+            self.pattern.iter().all(|c| c.attr != y),
+            "Y must not appear in the pattern"
+        );
     }
 
     /// The LHS attribute pairs `(A, A_m)`, sorted by `(A, A_m)`.
@@ -243,8 +265,16 @@ impl EditingRule {
 
     /// Render the rule in the paper's notation using attribute names from the
     /// two schemas and values from the pool backing `input`.
-    pub fn display<'a>(&'a self, input: &'a Relation, master_schema: &'a Schema) -> RuleDisplay<'a> {
-        RuleDisplay { rule: self, input, master_schema }
+    pub fn display<'a>(
+        &'a self,
+        input: &'a Relation,
+        master_schema: &'a Schema,
+    ) -> RuleDisplay<'a> {
+        RuleDisplay {
+            rule: self,
+            input,
+            master_schema,
+        }
     }
 }
 
@@ -264,7 +294,12 @@ impl fmt::Display for RuleDisplay<'_> {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "({}, {})", in_schema.attr(a).name, self.master_schema.attr(am).name)?;
+            write!(
+                f,
+                "({}, {})",
+                in_schema.attr(a).name,
+                self.master_schema.attr(am).name
+            )?;
         }
         let (y, ym) = r.target;
         write!(
@@ -374,7 +409,10 @@ mod tests {
         assert!(!p.matches(0, Some(9.0)));
         assert!(!p.matches(0, None));
         assert!(!p.matches(0, Some(f64::NAN)));
-        let top = Pred::Range { lo: 20.0, hi: f64::INFINITY };
+        let top = Pred::Range {
+            lo: 20.0,
+            hi: f64::INFINITY,
+        };
         assert!(top.matches(0, Some(1e12)));
     }
 
@@ -390,8 +428,10 @@ mod tests {
             ],
         ));
         let mut b = RelationBuilder::new(schema, Arc::clone(&pool));
-        b.push_row(vec![Value::str("HZ"), Value::int(30), Value::str("x")]).unwrap();
-        b.push_row(vec![Value::str("BJ"), Value::int(50), Value::str("y")]).unwrap();
+        b.push_row(vec![Value::str("HZ"), Value::int(30), Value::str("x")])
+            .unwrap();
+        b.push_row(vec![Value::str("BJ"), Value::int(50), Value::str("y")])
+            .unwrap();
         let rel = b.finish();
         let hz = pool.code_of(&Value::str("HZ")).unwrap();
         let rule = EditingRule::new(
@@ -409,11 +449,17 @@ mod tests {
         let pool = Arc::new(Pool::new());
         let in_schema = Arc::new(er_table::Schema::new(
             "in",
-            vec![Attribute::categorical("City"), Attribute::categorical("Case")],
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Case"),
+            ],
         ));
         let m_schema = er_table::Schema::new(
             "m",
-            vec![Attribute::categorical("City"), Attribute::categorical("Infection")],
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Infection"),
+            ],
         );
         let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
         b.push_row(vec![Value::str("HZ"), Value::str("c")]).unwrap();
@@ -430,7 +476,11 @@ mod tests {
         let mut set = HashSet::new();
         set.insert(EditingRule::new(vec![(0, 0)], (2, 2), vec![]));
         set.insert(EditingRule::new(vec![(0, 1)], (2, 2), vec![]));
-        set.insert(EditingRule::new(vec![(0, 0)], (2, 2), vec![Condition::eq(1, 0)]));
+        set.insert(EditingRule::new(
+            vec![(0, 0)],
+            (2, 2),
+            vec![Condition::eq(1, 0)],
+        ));
         assert_eq!(set.len(), 3);
         assert!(set.contains(&EditingRule::new(vec![(0, 0)], (2, 2), vec![])));
     }

@@ -60,14 +60,22 @@ impl Task {
         target: (AttrId, AttrId),
         labels: Vec<Code>,
     ) -> Self {
-        assert_eq!(labels.len(), input.num_rows(), "labels must align with input rows");
+        assert_eq!(
+            labels.len(),
+            input.num_rows(),
+            "labels must align with input rows"
+        );
         assert!(
             std::sync::Arc::ptr_eq(input.pool(), master.pool()),
             "input and master must share a value pool"
         );
         assert!(target.0 < input.num_attrs(), "Y out of range");
         assert!(target.1 < master.num_attrs(), "Y_m out of range");
-        assert_eq!(matching.input_arity(), input.num_attrs(), "match arity mismatch");
+        assert_eq!(
+            matching.input_arity(),
+            input.num_attrs(),
+            "match arity mismatch"
+        );
         let numeric = (0..input.num_attrs())
             .map(|a| {
                 if input.schema().attr(a).is_continuous() {
@@ -81,7 +89,14 @@ impl Task {
                 }
             })
             .collect();
-        Task { input, master, matching, target, labels, numeric }
+        Task {
+            input,
+            master,
+            matching,
+            target,
+            labels,
+            numeric,
+        }
     }
 
     /// The input relation `D`.
@@ -241,7 +256,11 @@ fn continuous_conditions(input: &Relation, attr: AttrId, n_split: usize) -> Vec<
     (0..n_split)
         .map(|i| {
             let b_lo = lo + width * i as f64;
-            let b_hi = if i + 1 == n_split { f64::INFINITY } else { lo + width * (i + 1) as f64 };
+            let b_hi = if i + 1 == n_split {
+                f64::INFINITY
+            } else {
+                lo + width * (i + 1) as f64
+            };
             Condition::range(attr, b_lo, b_hi)
         })
         .collect()
@@ -262,7 +281,10 @@ fn categorical_conditions(
     }
     prefix_groups(input, attr, &domain, config.reduce_to.max(1))
         .into_iter()
-        .map(|group| Condition { attr, pred: Pred::one_of(group) })
+        .map(|group| Condition {
+            attr,
+            pred: Pred::one_of(group),
+        })
         .collect()
 }
 
@@ -284,10 +306,15 @@ fn prefix_groups(input: &Relation, attr: AttrId, domain: &[Code], k: usize) -> V
             *freq.entry(c).or_insert(0) += 1;
         }
     }
-    let mut rendered: Vec<(String, Code)> =
-        domain.iter().map(|&c| (pool.value(c).render().into_owned(), c)).collect();
+    let mut rendered: Vec<(String, Code)> = domain
+        .iter()
+        .map(|&c| (pool.value(c).render().into_owned(), c))
+        .collect();
     rendered.sort();
-    let total: usize = rendered.iter().map(|(_, c)| freq.get(c).copied().unwrap_or(0)).sum();
+    let total: usize = rendered
+        .iter()
+        .map(|(_, c)| freq.get(c).copied().unwrap_or(0))
+        .sum();
     let per_bucket = (total as f64 / k as f64).max(1.0);
 
     let mut groups: Vec<Vec<Code>> = Vec::with_capacity(k);
@@ -331,18 +358,28 @@ mod tests {
         ));
         let m_schema = Arc::new(Schema::new(
             "m",
-            vec![Attribute::categorical("City"), Attribute::categorical("Infection")],
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Infection"),
+            ],
         ));
         let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
-        b.push_row(vec![Value::str("HZ"), Value::int(20), Value::str("c1")]).unwrap();
-        b.push_row(vec![Value::str("BJ"), Value::int(40), Value::str("c2")]).unwrap();
-        b.push_row(vec![Value::str("HZ"), Value::Null, Value::str("c1")]).unwrap();
-        b.push_row(vec![Value::str("BJ"), Value::int(25), Value::str("c2")]).unwrap();
-        b.push_row(vec![Value::str("HZ"), Value::int(33), Value::str("c1")]).unwrap();
-        b.push_row(vec![Value::str("BJ"), Value::int(21), Value::str("c2")]).unwrap();
+        b.push_row(vec![Value::str("HZ"), Value::int(20), Value::str("c1")])
+            .unwrap();
+        b.push_row(vec![Value::str("BJ"), Value::int(40), Value::str("c2")])
+            .unwrap();
+        b.push_row(vec![Value::str("HZ"), Value::Null, Value::str("c1")])
+            .unwrap();
+        b.push_row(vec![Value::str("BJ"), Value::int(25), Value::str("c2")])
+            .unwrap();
+        b.push_row(vec![Value::str("HZ"), Value::int(33), Value::str("c1")])
+            .unwrap();
+        b.push_row(vec![Value::str("BJ"), Value::int(21), Value::str("c2")])
+            .unwrap();
         let input = b.finish();
         let mut bm = RelationBuilder::new(m_schema, pool);
-        bm.push_row(vec![Value::str("HZ"), Value::str("c1")]).unwrap();
+        bm.push_row(vec![Value::str("HZ"), Value::str("c1")])
+            .unwrap();
         let master = bm.finish();
         let matching = SchemaMatch::from_pairs(3, &[(0, 0), (2, 1)]);
         Task::new(input, master, matching, (2, 1))
@@ -372,7 +409,13 @@ mod tests {
     #[test]
     fn condition_space_shapes() {
         let t = small_task();
-        let cs = ConditionSpace::build(&t, ConditionSpaceConfig { n_split: 4, ..Default::default() });
+        let cs = ConditionSpace::build(
+            &t,
+            ConditionSpaceConfig {
+                n_split: 4,
+                ..Default::default()
+            },
+        );
         // City: 2 Eq conditions; Age: 4 ranges; Case (=Y): none.
         assert_eq!(cs.of(0).len(), 2);
         assert_eq!(cs.of(1).len(), 4);
@@ -383,7 +426,13 @@ mod tests {
     #[test]
     fn continuous_buckets_cover_domain() {
         let t = small_task();
-        let cs = ConditionSpace::build(&t, ConditionSpaceConfig { n_split: 4, ..Default::default() });
+        let cs = ConditionSpace::build(
+            &t,
+            ConditionSpaceConfig {
+                n_split: 4,
+                ..Default::default()
+            },
+        );
         // Age 20 and 40 must each match exactly one bucket.
         for (row, expected) in [(0usize, 20.0), (1, 40.0)] {
             let hits = cs
@@ -405,7 +454,11 @@ mod tests {
         let m_schema = Arc::new(Schema::new("m", vec![Attribute::categorical("Y")]));
         let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
         for i in 0..300 {
-            b.push_row(vec![Value::str(format!("P{:03}", i % 100)), Value::str("y")]).unwrap();
+            b.push_row(vec![
+                Value::str(format!("P{:03}", i % 100)),
+                Value::str("y"),
+            ])
+            .unwrap();
         }
         let input = b.finish();
         let mut bm = RelationBuilder::new(m_schema, pool);
@@ -439,7 +492,8 @@ mod tests {
         let m_schema = Arc::new(Schema::new("m", vec![Attribute::categorical("Y")]));
         let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
         for i in 0..100 {
-            b.push_row(vec![Value::str(format!("ID{i}")), Value::str("y")]).unwrap();
+            b.push_row(vec![Value::str(format!("ID{i}")), Value::str("y")])
+                .unwrap();
         }
         let input = b.finish();
         let mut bm = RelationBuilder::new(m_schema, pool);

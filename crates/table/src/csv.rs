@@ -75,14 +75,20 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
         }
     }
     if in_quotes {
-        return Err(Error::Csv { line, message: "unterminated quoted field".to_string() });
+        return Err(Error::Csv {
+            line,
+            message: "unterminated quoted field".to_string(),
+        });
     }
     if !field.is_empty() || !record.is_empty() {
         record.push(field);
         records.push(record);
     }
     if !any || records.is_empty() {
-        return Err(Error::Csv { line: 1, message: "empty csv input".to_string() });
+        return Err(Error::Csv {
+            line: 1,
+            message: "empty csv input".to_string(),
+        });
     }
     Ok(records)
 }
@@ -94,7 +100,10 @@ pub fn read_str(name: &str, text: &str, pool: Arc<Pool>) -> Result<Relation> {
     let header = &records[0];
     let schema = Arc::new(Schema::new(
         name,
-        header.iter().map(|h| Attribute::categorical(h.trim())).collect(),
+        header
+            .iter()
+            .map(|h| Attribute::categorical(h.trim()))
+            .collect(),
     ));
     build_rows(schema, &records[1..], pool)
 }
@@ -144,7 +153,10 @@ fn build_rows(schema: Arc<Schema>, records: &[Vec<String>], pool: Arc<Pool>) -> 
         for (attr, raw) in rec.iter().enumerate() {
             row.push(parse_field(raw, schema.attr(attr).is_continuous()));
         }
-        b.push_row(row).map_err(|e| Error::Csv { line: i + 2, message: e.to_string() })?;
+        b.push_row(row).map_err(|e| Error::Csv {
+            line: i + 2,
+            message: e.to_string(),
+        })?;
     }
     Ok(b.finish())
 }
@@ -172,18 +184,27 @@ fn parse_field(raw: &str, continuous: bool) -> Value {
 pub fn read_path(path: impl AsRef<Path>, pool: Arc<Pool>) -> Result<Relation> {
     let path = path.as_ref();
     let text = std::fs::read_to_string(path)?;
-    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("relation");
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("relation");
     read_str(name, &text, pool)
 }
 
 /// Serialize a relation back to CSV text (header + rows, NULL as empty).
 pub fn write_str(rel: &Relation) -> String {
     let mut out = String::new();
-    let header: Vec<&str> = rel.schema().attributes().iter().map(|a| a.name.as_str()).collect();
+    let header: Vec<&str> = rel
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
     write_record(&mut out, header.iter().copied());
     for row in 0..rel.num_rows() {
-        let values: Vec<String> =
-            (0..rel.num_attrs()).map(|a| rel.value(row, a).render().into_owned()).collect();
+        let values: Vec<String> = (0..rel.num_attrs())
+            .map(|a| rel.value(row, a).render().into_owned())
+            .collect();
         write_record(&mut out, values.iter().map(String::as_str));
     }
     out
@@ -238,8 +259,12 @@ mod tests {
     #[test]
     fn quoted_fields() {
         let pool = Arc::new(Pool::new());
-        let r = read_str("t", "A,B\n\"a,b\",\"he said \"\"hi\"\"\"\n\"multi\nline\",z\n", pool)
-            .unwrap();
+        let r = read_str(
+            "t",
+            "A,B\n\"a,b\",\"he said \"\"hi\"\"\"\n\"multi\nline\",z\n",
+            pool,
+        )
+        .unwrap();
         assert_eq!(r.value(0, 0), Value::str("a,b"));
         assert_eq!(r.value(0, 1), Value::str("he said \"hi\""));
         assert_eq!(r.value(1, 0), Value::str("multi\nline"));
@@ -274,9 +299,12 @@ mod tests {
             "t",
             vec![Attribute::categorical("Name"), Attribute::continuous("Age")],
         ));
-        let r =
-            read_str_with_schema("Name,Age\nkevin,30\nrobin,29.5\nnull-age,\nbad,xx\n", schema, pool)
-                .unwrap();
+        let r = read_str_with_schema(
+            "Name,Age\nkevin,30\nrobin,29.5\nnull-age,\nbad,xx\n",
+            schema,
+            pool,
+        )
+        .unwrap();
         assert_eq!(r.value(0, 1), Value::int(30));
         assert_eq!(r.value(1, 1), Value::float(29.5));
         assert!(r.is_null(2, 1));

@@ -48,14 +48,24 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: schema has {expected} attributes, row has {got}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} attributes, row has {got}"
+                )
             }
             Error::UnknownAttribute(name) => write!(f, "unknown attribute: {name:?}"),
             Error::RowOutOfBounds { row, len } => {
                 write!(f, "row {row} out of bounds for relation with {len} rows")
             }
-            Error::TypeMismatch { attr, expected, got } => {
-                write!(f, "type mismatch on attribute {attr:?}: expected {expected}, got {got}")
+            Error::TypeMismatch {
+                attr,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch on attribute {attr:?}: expected {expected}, got {got}"
+                )
             }
             Error::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
             Error::Io(msg) => write!(f, "io error: {msg}"),

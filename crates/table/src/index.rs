@@ -50,7 +50,10 @@ impl KeyIndex {
             }
             map.entry(key).or_default().push(row);
         }
-        KeyIndex { attrs: attrs.to_vec(), map }
+        KeyIndex {
+            attrs: attrs.to_vec(),
+            map,
+        }
     }
 
     /// The key attributes this index was built on.
@@ -66,7 +69,12 @@ impl KeyIndex {
     /// Probe with the key extracted from `(probe_rel, row)` over
     /// `probe_attrs` (which must parallel the index's key attributes). Returns
     /// `None` if any probe cell is NULL.
-    pub fn probe(&self, probe_rel: &Relation, row: RowId, probe_attrs: &[AttrId]) -> Option<&[RowId]> {
+    pub fn probe(
+        &self,
+        probe_rel: &Relation,
+        row: RowId,
+        probe_attrs: &[AttrId],
+    ) -> Option<&[RowId]> {
         debug_assert_eq!(probe_attrs.len(), self.attrs.len());
         let mut key = Vec::with_capacity(probe_attrs.len());
         for &a in probe_attrs {
@@ -87,6 +95,34 @@ impl KeyIndex {
     /// Iterate `(key, rows)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&Vec<Code>, &Vec<RowId>)> {
         self.map.iter()
+    }
+
+    /// Structural invariants, available under the `debug-invariants` feature.
+    ///
+    /// * every key has the arity of `attrs` and contains no NULL code;
+    /// * every key maps to a non-empty row list;
+    /// * each row id is `< num_rows` and appears under exactly one key (the
+    ///   buckets form a disjoint cover of the indexed, NULL-free rows).
+    ///
+    /// Panics on violation; meant for debug builds and tests.
+    #[cfg(feature = "debug-invariants")]
+    pub fn check_invariants(&self, num_rows: usize) {
+        let mut seen = std::collections::HashSet::new();
+        for (key, rows) in &self.map {
+            assert_eq!(key.len(), self.attrs.len(), "KeyIndex: key arity mismatch");
+            assert!(
+                !key.contains(&NULL_CODE),
+                "KeyIndex: NULL code inside a key"
+            );
+            assert!(!rows.is_empty(), "KeyIndex: empty bucket for key {key:?}");
+            for &r in rows {
+                assert!(
+                    r < num_rows,
+                    "KeyIndex: row id {r} out of bounds ({num_rows} rows)"
+                );
+                assert!(seen.insert(r), "KeyIndex: row {r} appears under two keys");
+            }
+        }
     }
 }
 
@@ -125,7 +161,11 @@ impl GroupIndex {
                 }
                 key.push(c);
             }
-            *counts.entry(key).or_default().entry(rel.code(row, target)).or_insert(0) += 1;
+            *counts
+                .entry(key)
+                .or_default()
+                .entry(rel.code(row, target))
+                .or_insert(0) += 1;
         }
         let map = counts
             .into_iter()
@@ -148,6 +188,41 @@ impl GroupIndex {
     /// Number of distinct keys.
     pub fn num_keys(&self) -> usize {
         self.map.len()
+    }
+
+    /// Structural invariants, available under the `debug-invariants` feature.
+    ///
+    /// * no key contains a NULL code (NULL-keyed rows are skipped at build);
+    /// * every distribution is non-empty with strictly positive counts;
+    /// * distributions are sorted by descending count, ties by ascending code
+    ///   (the determinism contract [`GroupIndex::get`] documents);
+    /// * no code repeats within one distribution.
+    ///
+    /// Panics on violation; meant for debug builds and tests.
+    #[cfg(feature = "debug-invariants")]
+    pub fn check_invariants(&self) {
+        for (key, dist) in &self.map {
+            assert!(
+                !key.contains(&NULL_CODE),
+                "GroupIndex: NULL code inside a key"
+            );
+            assert!(
+                !dist.is_empty(),
+                "GroupIndex: empty distribution for key {key:?}"
+            );
+            for w in dist.windows(2) {
+                assert!(
+                    w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                    "GroupIndex: distribution not sorted (desc count, asc code): {dist:?}"
+                );
+            }
+            for &(_, n) in dist {
+                assert!(
+                    n > 0,
+                    "GroupIndex: zero count in distribution for key {key:?}"
+                );
+            }
+        }
     }
 }
 
@@ -239,6 +314,11 @@ impl Pli {
                 class_of[r] = cid;
             }
         }
+        #[cfg(feature = "debug-invariants")]
+        {
+            self.check_invariants();
+            target.check_invariants();
+        }
         for class in &self.classes {
             let first = class_of[class[0]];
             for &r in &class[1..] {
@@ -255,6 +335,42 @@ impl Pli {
             }
         }
         true
+    }
+
+    /// Structural invariants, available under the `debug-invariants` feature.
+    ///
+    /// * every class has at least 2 rows (singletons are stripped);
+    /// * classes are strictly sorted internally and ordered by first element;
+    /// * every row id is `< num_rows`;
+    /// * classes are pairwise disjoint — together with the stripped
+    ///   singletons they form a disjoint cover of the row ids.
+    ///
+    /// Panics on violation; meant for debug builds and tests.
+    #[cfg(feature = "debug-invariants")]
+    pub fn check_invariants(&self) {
+        let mut seen = std::collections::HashSet::new();
+        let mut prev_first: Option<RowId> = None;
+        for class in &self.classes {
+            assert!(
+                class.len() >= 2,
+                "Pli: singleton class survived stripping: {class:?}"
+            );
+            for w in class.windows(2) {
+                assert!(w[0] < w[1], "Pli: class not strictly sorted: {class:?}");
+            }
+            if let Some(p) = prev_first {
+                assert!(p < class[0], "Pli: classes not ordered by first element");
+            }
+            prev_first = Some(class[0]);
+            for &r in class {
+                assert!(
+                    r < self.num_rows,
+                    "Pli: row id {r} out of bounds ({} rows)",
+                    self.num_rows
+                );
+                assert!(seen.insert(r), "Pli: row {r} appears in two classes");
+            }
+        }
     }
 }
 
@@ -278,7 +394,13 @@ mod tests {
         ));
         let mut b = crate::relation::RelationBuilder::new(schema, pool);
         for (a, bb, c) in rows {
-            let to_v = |s: &str| if s.is_empty() { Value::Null } else { Value::str(s.to_string()) };
+            let to_v = |s: &str| {
+                if s.is_empty() {
+                    Value::Null
+                } else {
+                    Value::str(s.to_string())
+                }
+            };
             b.push_row(vec![to_v(a), to_v(bb), to_v(c)]).unwrap();
         }
         b.finish()
@@ -321,7 +443,12 @@ mod tests {
 
     #[test]
     fn group_index_counts_targets() {
-        let r = rel(&[("x", "1", "p"), ("x", "1", "p"), ("x", "1", "q"), ("y", "2", "p")]);
+        let r = rel(&[
+            ("x", "1", "p"),
+            ("x", "1", "p"),
+            ("x", "1", "q"),
+            ("y", "2", "p"),
+        ]);
         let g = GroupIndex::build(&r, &[0], 2);
         let key = vec![r.code(0, 0)];
         let dist = g.get(&key);

@@ -62,7 +62,10 @@ impl Pool {
             return c;
         }
         let code = inner.values.len() as Code;
-        assert!(code < NULL_CODE, "value pool exhausted (2^32 - 1 distinct values)");
+        assert!(
+            code < NULL_CODE,
+            "value pool exhausted (2^32 - 1 distinct values)"
+        );
         inner.values.push(v.clone());
         inner.map.insert(v, code);
         code
@@ -169,7 +172,9 @@ mod tests {
             .map(|_| {
                 let p = Arc::clone(&p);
                 std::thread::spawn(move || {
-                    (0..100).map(|i| p.intern(Value::int(i))).collect::<Vec<_>>()
+                    (0..100)
+                        .map(|i| p.intern(Value::int(i)))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();

@@ -27,7 +27,12 @@ impl Relation {
     /// An empty relation over `schema` using `pool` for encoding.
     pub fn empty(schema: Arc<Schema>, pool: Arc<Pool>) -> Self {
         let columns = vec![Vec::new(); schema.arity()];
-        Relation { schema, pool, columns, num_rows: 0 }
+        Relation {
+            schema,
+            pool,
+            columns,
+            num_rows: 0,
+        }
     }
 
     /// The relation's schema.
@@ -90,7 +95,10 @@ impl Relation {
     /// Used by the repair engine and the error injector.
     pub fn set(&mut self, row: RowId, attr: AttrId, value: Value) -> Result<()> {
         if row >= self.num_rows {
-            return Err(Error::RowOutOfBounds { row, len: self.num_rows });
+            return Err(Error::RowOutOfBounds {
+                row,
+                len: self.num_rows,
+            });
         }
         self.check_type(attr, &value)?;
         let code = self.pool.intern(value);
@@ -113,8 +121,14 @@ impl Relation {
     /// Panics if the schemas or pools differ (the codes would be
     /// meaningless otherwise).
     pub fn append(&mut self, other: &Relation) {
-        assert!(Arc::ptr_eq(&self.schema, &other.schema), "append requires the same schema");
-        assert!(Arc::ptr_eq(&self.pool, &other.pool), "append requires the same pool");
+        assert!(
+            Arc::ptr_eq(&self.schema, &other.schema),
+            "append requires the same schema"
+        );
+        assert!(
+            Arc::ptr_eq(&self.pool, &other.pool),
+            "append requires the same pool"
+        );
         for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
             dst.extend_from_slice(src);
         }
@@ -132,7 +146,12 @@ impl Relation {
             attrs.iter().map(|&a| self.schema.attr(a).clone()).collect(),
         ));
         let columns = attrs.iter().map(|&a| self.columns[a].clone()).collect();
-        Relation { schema, pool: Arc::clone(&self.pool), columns, num_rows: self.num_rows }
+        Relation {
+            schema,
+            pool: Arc::clone(&self.pool),
+            columns,
+            num_rows: self.num_rows,
+        }
     }
 
     /// Build a new relation from a subset (or re-ordering, or multiset) of
@@ -154,8 +173,11 @@ impl Relation {
     /// Sorted distinct non-NULL codes appearing in `attr`'s column — the
     /// active domain `dom(A)` of the attribute in this relation.
     pub fn distinct_codes(&self, attr: AttrId) -> Vec<Code> {
-        let mut codes: Vec<Code> =
-            self.columns[attr].iter().copied().filter(|&c| c != NULL_CODE).collect();
+        let mut codes: Vec<Code> = self.columns[attr]
+            .iter()
+            .copied()
+            .filter(|&c| c != NULL_CODE)
+            .collect();
         codes.sort_unstable();
         codes.dedup();
         codes
@@ -183,7 +205,10 @@ impl Relation {
 
     /// Number of NULL cells in `attr`'s column.
     pub fn null_count(&self, attr: AttrId) -> usize {
-        self.columns[attr].iter().filter(|&&c| c == NULL_CODE).count()
+        self.columns[attr]
+            .iter()
+            .filter(|&&c| c == NULL_CODE)
+            .count()
     }
 
     fn check_type(&self, attr: AttrId, value: &Value) -> Result<()> {
@@ -200,7 +225,10 @@ impl Relation {
 
     fn push_row_internal(&mut self, row: Vec<Value>) -> Result<()> {
         if row.len() != self.schema.arity() {
-            return Err(Error::ArityMismatch { expected: self.schema.arity(), got: row.len() });
+            return Err(Error::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
         }
         for (attr, value) in row.iter().enumerate() {
             self.check_type(attr, value)?;
@@ -226,7 +254,9 @@ pub struct RelationBuilder {
 impl RelationBuilder {
     /// Start building a relation over `schema`, encoding through `pool`.
     pub fn new(schema: Arc<Schema>, pool: Arc<Pool>) -> Self {
-        RelationBuilder { rel: Relation::empty(schema, pool) }
+        RelationBuilder {
+            rel: Relation::empty(schema, pool),
+        }
     }
 
     /// Append one row of values.
@@ -240,7 +270,11 @@ impl RelationBuilder {
     /// # Panics
     /// Panics if the arity differs from the schema's.
     pub fn push_codes(&mut self, row: &[Code]) {
-        assert_eq!(row.len(), self.rel.schema.arity(), "code row arity mismatch");
+        assert_eq!(
+            row.len(),
+            self.rel.schema.arity(),
+            "code row arity mismatch"
+        );
         for (attr, &code) in row.iter().enumerate() {
             self.rel.columns[attr].push(code);
         }
@@ -279,9 +313,12 @@ mod tests {
             ],
         ));
         let mut b = RelationBuilder::new(schema, pool);
-        b.push_row(vec![Value::str("HZ"), Value::str("31200"), Value::int(30)]).unwrap();
-        b.push_row(vec![Value::str("BJ"), Value::str("10021"), Value::int(41)]).unwrap();
-        b.push_row(vec![Value::str("HZ"), Value::Null, Value::float(29.5)]).unwrap();
+        b.push_row(vec![Value::str("HZ"), Value::str("31200"), Value::int(30)])
+            .unwrap();
+        b.push_row(vec![Value::str("BJ"), Value::str("10021"), Value::int(41)])
+            .unwrap();
+        b.push_row(vec![Value::str("HZ"), Value::Null, Value::float(29.5)])
+            .unwrap();
         b.finish()
     }
 
@@ -300,7 +337,10 @@ mod tests {
         assert_eq!(r.value(1, 1), Value::str("10021"));
         assert_eq!(r.value(2, 2), Value::float(29.5));
         assert!(r.is_null(2, 1));
-        assert_eq!(r.row_values(1), vec![Value::str("BJ"), Value::str("10021"), Value::int(41)]);
+        assert_eq!(
+            r.row_values(1),
+            vec![Value::str("BJ"), Value::str("10021"), Value::int(41)]
+        );
     }
 
     #[test]
@@ -316,7 +356,13 @@ mod tests {
         let schema = Arc::new(Schema::new("t", vec![Attribute::categorical("A")]));
         let mut b = RelationBuilder::new(schema, pool);
         let err = b.push_row(vec![Value::int(1), Value::int(2)]).unwrap_err();
-        assert!(matches!(err, Error::ArityMismatch { expected: 1, got: 2 }));
+        assert!(matches!(
+            err,
+            Error::ArityMismatch {
+                expected: 1,
+                got: 2
+            }
+        ));
     }
 
     #[test]

@@ -31,12 +31,18 @@ pub struct Attribute {
 impl Attribute {
     /// A categorical (discrete) attribute.
     pub fn categorical(name: impl Into<String>) -> Self {
-        Attribute { name: name.into(), dtype: DataType::Categorical }
+        Attribute {
+            name: name.into(),
+            dtype: DataType::Categorical,
+        }
     }
 
     /// A continuous (numeric, range-bucketed) attribute.
     pub fn continuous(name: impl Into<String>) -> Self {
-        Attribute { name: name.into(), dtype: DataType::Continuous }
+        Attribute {
+            name: name.into(),
+            dtype: DataType::Continuous,
+        }
     }
 
     /// Whether the attribute is continuous.
@@ -59,7 +65,10 @@ impl Schema {
     /// Panics if two attributes share a name — schemas are always authored by
     /// code (generators, CSV headers), so a duplicate is a programming error.
     pub fn new(name: impl Into<String>, attrs: Vec<Attribute>) -> Self {
-        let schema = Schema { name: name.into(), attrs };
+        let schema = Schema {
+            name: name.into(),
+            attrs,
+        };
         for (i, a) in schema.attrs.iter().enumerate() {
             for b in &schema.attrs[i + 1..] {
                 assert_ne!(a.name, b.name, "duplicate attribute name {:?}", a.name);
@@ -141,7 +150,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate attribute")]
     fn duplicate_names_rejected() {
-        Schema::new("bad", vec![Attribute::categorical("A"), Attribute::categorical("A")]);
+        Schema::new(
+            "bad",
+            vec![Attribute::categorical("A"), Attribute::categorical("A")],
+        );
     }
 
     #[test]

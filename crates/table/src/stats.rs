@@ -35,7 +35,11 @@ impl ColumnStats {
         }
         let mut frequencies: Vec<(Code, usize)> = counts.into_iter().collect();
         frequencies.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        ColumnStats { frequencies, nulls, rows: rel.num_rows() }
+        ColumnStats {
+            frequencies,
+            nulls,
+            rows: rel.num_rows(),
+        }
     }
 
     /// Number of distinct non-NULL values.
@@ -59,7 +63,11 @@ impl ColumnStats {
 
     /// Frequency of one code (0 if absent).
     pub fn frequency(&self, code: Code) -> usize {
-        self.frequencies.iter().find(|&&(c, _)| c == code).map(|&(_, n)| n).unwrap_or(0)
+        self.frequencies
+            .iter()
+            .find(|&&(c, _)| c == code)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
     }
 
     /// Whether the column looks like a row identifier: distinct values

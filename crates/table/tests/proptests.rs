@@ -1,5 +1,9 @@
 //! Property-based tests for the relational substrate.
 
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use er_table::{csv, Attribute, Pool, RelationBuilder, Schema, Value};
 use proptest::prelude::*;
 use std::sync::Arc;

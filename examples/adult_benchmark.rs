@@ -6,6 +6,9 @@
 //!
 //! Run: `cargo run --release --example adult_benchmark`
 
+// Example code: panicking on bad setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use erminer::prelude::*;
 use std::time::Instant;
 
@@ -58,7 +61,10 @@ fn main() {
     let q = scenario.evaluate(&apply_rules(task, &rl.rules_only()));
     rows.push(("RLMiner".into(), rl.rules.len(), elapsed, q));
 
-    println!("\n{:<11} {:>6} {:>10} {:>7} {:>7} {:>7}", "method", "rules", "time", "P", "R", "F1");
+    println!(
+        "\n{:<11} {:>6} {:>10} {:>7} {:>7} {:>7}",
+        "method", "rules", "time", "P", "R", "F1"
+    );
     for (name, n, time, q) in rows {
         println!(
             "{:<11} {:>6} {:>9.2?} {:>7.2} {:>7.2} {:>7.2}",

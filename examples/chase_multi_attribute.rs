@@ -8,6 +8,9 @@
 //!
 //! Run: `cargo run --release --example chase_multi_attribute`
 
+// Example code: panicking on bad setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use erminer::prelude::*;
 use erminer::rules::{chase, ChaseConfig, TargetRules};
 
@@ -35,7 +38,10 @@ fn main() {
                 rule.display(&input, master.schema())
             );
         }
-        targets.push(TargetRules { target: (y, ym), rules: mined.rules_only() });
+        targets.push(TargetRules {
+            target: (y, ym),
+            rules: mined.rules_only(),
+        });
     }
 
     // Chase to the fixpoint.

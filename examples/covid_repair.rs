@@ -7,6 +7,9 @@
 //!
 //! Run: `cargo run --release --example covid_repair`
 
+// Example code: panicking on bad setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use erminer::prelude::*;
 
 fn main() {

@@ -6,6 +6,9 @@
 //!
 //! Run: `cargo run --release --example custom_csv`
 
+// Example code: panicking on bad setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use erminer::prelude::*;
 use erminer::table::csv;
 use std::sync::Arc;
@@ -39,8 +42,14 @@ fn main() {
 
     // Match attributes by (normalized) name; repair `area_code`.
     let matching = SchemaMatch::by_name(input.schema(), master.schema());
-    let y = input.schema().attr_id("area_code").expect("target in input");
-    let ym = master.schema().attr_id("area_code").expect("target in master");
+    let y = input
+        .schema()
+        .attr_id("area_code")
+        .expect("target in input");
+    let ym = master
+        .schema()
+        .attr_id("area_code")
+        .expect("target in master");
     let task = Task::new(input, master, matching, (y, ym));
 
     // Mine with EnuMiner (tiny data — enumeration is instant).
@@ -63,7 +72,10 @@ fn main() {
         if task.input().is_null(row, y) {
             if let Some(code) = report.predictions[row] {
                 let name = task.input().value(row, 0);
-                println!("  {name}: area_code NULL -> {}", task.input().pool().value(code));
+                println!(
+                    "  {name}: area_code NULL -> {}",
+                    task.input().pool().value(code)
+                );
             }
         }
     }

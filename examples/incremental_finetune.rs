@@ -8,6 +8,9 @@
 //!
 //! Run: `cargo run --release --example incremental_finetune`
 
+// Example code: panicking on bad setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use erminer::prelude::*;
 
 fn main() {

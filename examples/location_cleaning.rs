@@ -7,6 +7,9 @@
 //!
 //! Run: `cargo run --release --example location_cleaning`
 
+// Example code: panicking on bad setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use erminer::prelude::*;
 
 fn main() {
@@ -70,7 +73,9 @@ fn main() {
     for row in 0..task.input().num_rows() {
         if task.input().is_null(row, y) {
             if let Some(code) = report.predictions[row] {
-                let county = task.input().value(row, task.input().schema().attr_id("county").unwrap());
+                let county = task
+                    .input()
+                    .value(row, task.input().schema().attr_id("county").unwrap());
                 println!(
                     "  store row {row} (county {county}): postcode NULL -> {}",
                     task.input().pool().value(code)

@@ -7,6 +7,9 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
+// Example code: panicking on bad setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use erminer::prelude::*;
 
 fn main() {
@@ -23,7 +26,10 @@ fn main() {
 
     // --- EnuMiner: exhaustive enumeration (exact top-K by utility). ---
     let enu = erminer::enuminer::mine(task, EnuMinerConfig::new(1));
-    println!("EnuMiner evaluated {} candidate rules; top rules:", enu.evaluated);
+    println!(
+        "EnuMiner evaluated {} candidate rules; top rules:",
+        enu.evaluated
+    );
     for (rule, m) in enu.rules.iter().take(3) {
         println!(
             "  U={:<6.2} S={:<2} C={:.2} Q={:+.2}  {}",
@@ -47,7 +53,10 @@ fn main() {
         "\nRLMiner trained {} steps ({} episodes, {} fresh rule evaluations);",
         stats.steps, stats.episodes, stats.fresh_evaluations
     );
-    println!("inference took {} steps and discovered {} rules; top rules:", result.steps, result.discovered);
+    println!(
+        "inference took {} steps and discovered {} rules; top rules:",
+        result.steps, result.discovered
+    );
     for (rule, m) in result.rules.iter().take(3) {
         println!(
             "  U={:<6.2} S={:<2} C={:.2} Q={:+.2}  {}",

@@ -8,6 +8,9 @@
 //!
 //! Run: `cargo run --release --example rule_analysis`
 
+// Example code: panicking on bad setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use erminer::prelude::*;
 
 fn main() {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The local mirror of CI: formatting, the clippy lint wall, the full test
+# suite (with and without the miner invariant audits), and er-lint over the
+# committed example rule set. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo test --workspace --features debug-invariants -q"
+cargo test --workspace --features debug-invariants -q
+
+echo "==> experiments lint examples/figure1_rules.json"
+cargo run -p er-bench --bin experiments -- lint examples/figure1_rules.json
+
+echo "All checks passed."

@@ -1,0 +1,272 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides just the API surface this workspace's benches use: [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a plain
+//! wall-clock loop with mean/min reporting — no warm-up modelling, outlier
+//! analysis, plots, or HTML reports.
+//!
+//! When the harness binary is run without `--bench` (e.g. `cargo test` runs
+//! harness=false bench targets once), each benchmark executes a single
+//! iteration so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim times the whole
+/// setup+routine batch regardless of the variant; the variant only exists for
+/// API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    /// None → run routines exactly once (test mode); Some → time for roughly
+    /// this long.
+    budget: Option<Duration>,
+    /// Filled in by `iter`/`iter_batched` for the caller to report.
+    result: Option<Sample>,
+}
+
+struct Sample {
+    iters: u64,
+    total: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record timing.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        match self.budget {
+            None => {
+                black_box(routine());
+                self.result = Some(Sample {
+                    iters: 1,
+                    total: Duration::ZERO,
+                    min: Duration::ZERO,
+                });
+            }
+            Some(budget) => {
+                let mut iters = 0u64;
+                let mut total = Duration::ZERO;
+                let mut min = Duration::MAX;
+                // Warm-up: one untimed call.
+                black_box(routine());
+                while total < budget {
+                    let t0 = Instant::now();
+                    black_box(routine());
+                    let dt = t0.elapsed();
+                    total += dt;
+                    min = min.min(dt);
+                    iters += 1;
+                    if iters >= 1_000_000 {
+                        break;
+                    }
+                }
+                self.result = Some(Sample { iters, total, min });
+            }
+        }
+    }
+
+    /// Run `routine` on fresh values from `setup`; only the routine is timed.
+    pub fn iter_batched<S, I, R, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        match self.budget {
+            None => {
+                black_box(routine(setup()));
+                self.result = Some(Sample {
+                    iters: 1,
+                    total: Duration::ZERO,
+                    min: Duration::ZERO,
+                });
+            }
+            Some(budget) => {
+                let mut iters = 0u64;
+                let mut total = Duration::ZERO;
+                let mut min = Duration::MAX;
+                black_box(routine(setup()));
+                while total < budget {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    black_box(routine(input));
+                    let dt = t0.elapsed();
+                    total += dt;
+                    min = min.min(dt);
+                    iters += 1;
+                    if iters >= 1_000_000 {
+                        break;
+                    }
+                }
+                self.result = Some(Sample { iters, total, min });
+            }
+        }
+    }
+}
+
+/// Top-level benchmark registry/configuration.
+pub struct Criterion {
+    measurement: Duration,
+    bench_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` to harness=false targets;
+        // `cargo test` passes `--test-threads` style flags or nothing.
+        let mut bench_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--bench" {
+                bench_mode = true;
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            measurement: Duration::from_secs(3),
+            bench_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim has no sample-count model.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is a single untimed call.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            budget: self.bench_mode.then_some(self.measurement),
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(s) if self.bench_mode && s.iters > 0 => {
+                let mean = s.total / u32::try_from(s.iters).unwrap_or(u32::MAX).max(1);
+                println!(
+                    "{id:<40} {iters:>8} iters   mean {mean:>12?}   min {min:>12?}",
+                    iters = s.iters,
+                    min = s.min
+                );
+            }
+            Some(_) => println!("{id:<40} ok (1 iter, test mode)"),
+            None => println!("{id:<40} skipped (no routine)"),
+        }
+        self
+    }
+
+    /// Called by `criterion_main!`; nothing to flush in the shim.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Define a benchmark group. Supports both the simple form
+/// `criterion_group!(benches, f, g)` and the configured form
+/// `criterion_group! { name = benches; config = ...; targets = f, g }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the `main` for a harness=false bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            measurement: Duration::from_secs(1),
+            bench_mode: false,
+            filter: None,
+        };
+        let mut calls = 0;
+        c.bench_function("shim/once", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn iter_batched_times_routine() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            bench_mode: true,
+            filter: None,
+        };
+        let mut routine_calls = 0u64;
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || 21u64,
+                |x| {
+                    routine_calls += 1;
+                    x * 2
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        // warm-up call + at least one timed call
+        assert!(routine_calls >= 2);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            measurement: Duration::from_secs(1),
+            bench_mode: false,
+            filter: Some("other".into()),
+        };
+        let mut calls = 0;
+        c.bench_function("shim/filtered", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+    }
+}

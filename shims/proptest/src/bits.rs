@@ -1,0 +1,39 @@
+//! Bit-set strategies (`proptest::bits::u32::masked`).
+
+/// `u32` bit-set strategies.
+pub mod u32 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding random subsets of the bits set in a mask.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Masked(u32);
+
+    impl Strategy for Masked {
+        type Value = u32;
+
+        fn generate(&self, rng: &mut TestRng) -> u32 {
+            (rng.next_u64() as u32) & self.0
+        }
+    }
+
+    /// Random subsets of `mask`'s set bits.
+    pub fn masked(mask: u32) -> Masked {
+        Masked(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn masked_stays_inside_mask() {
+        let mut rng = TestRng::for_test("bits::masked");
+        let s = super::u32::masked(0b1010_1100);
+        for _ in 0..200 {
+            assert_eq!(s.generate(&mut rng) & !0b1010_1100, 0);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `proptest` to this shim. It keeps the same authoring surface the repo's
+//! property tests use — `proptest! { #![proptest_config(...)] #[test] fn
+//! f(x in strategy) {...} }`, `prop_assert!`/`prop_assert_eq!`, range and
+//! tuple strategies, `prop::collection::vec`, `prop::sample::select`,
+//! `prop_oneof!`, `Just`, `any::<T>()`, `bits::u32::masked`, simple regex
+//! string strategies, and `.prop_map` — but swaps the engine for a plain
+//! deterministic loop: each test derives a fixed RNG seed from its module
+//! path and name, generates `cases` inputs, and runs the body. There is no
+//! shrinking; failures print the case number and every generated input
+//! (which regenerate identically on the next run).
+
+pub mod bits;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Everything a property-test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Module-path alias so `prop::collection::vec` etc. resolve.
+    pub mod prop {
+        pub use crate::bits;
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public surface.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                let __inputs = ::std::format!(
+                    concat!($(stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                // Bodies may `return Ok(())` early (real proptest bodies are
+                // `Result`-typed), so run them through a Result closure.
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(__reject)) => {
+                        ::std::eprintln!(
+                            "proptest shim: `{}` rejected case {}/{}: {:?}\ninputs:\n{}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __reject,
+                            __inputs,
+                        );
+                        ::std::panic!("property rejected: {:?}", __reject);
+                    }
+                    ::std::result::Result::Err(__panic) => {
+                        ::std::eprintln!(
+                            "proptest shim: `{}` failed at case {}/{} with inputs:\n{}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __inputs,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a property body (no early-return machinery in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+/// Weighted or unweighted union of strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as f64, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1.0f64, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,236 @@
+//! Deserialization from the [`Value`] tree.
+
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Deserialization failure: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// An "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// A missing-field error for struct `ty`.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error(format!("missing field `{field}` of `{ty}`"))
+    }
+
+    /// An unknown-variant error for enum `ty`.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error(format!("unknown variant `{variant}` of `{ty}`"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Reconstruct `Self` from a document [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse `v` into `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let out = match v {
+                    Value::Int(i) => <$t>::try_from(*i).ok(),
+                    Value::UInt(u) => <$t>::try_from(*u).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| Error::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            // Inverse of the non-finite → null encoding in `ser`.
+            Value::Null => Ok(f64::INFINITY),
+            other => Err(Error::expected("f64", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-character string", v)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Arc::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Rc::new)
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:literal))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+                if items.len() != $len {
+                    return Err(Error(format!(
+                        "expected array of length {}, found length {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_de_tuple! {
+    (A: 0 ; 1)
+    (A: 0, B: 1 ; 2)
+    (A: 0, B: 1, C: 2 ; 3)
+    (A: 0, B: 1, C: 2, D: 3 ; 4)
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let fields = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+        fields
+            .iter()
+            .map(|(k, fv)| Ok((k.clone(), V::from_value(fv)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let fields = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+        fields
+            .iter()
+            .map(|(k, fv)| Ok((k.clone(), V::from_value(fv)?)))
+            .collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Serialize;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(i64::from_value(&(-9i64).to_value()).unwrap(), -9);
+        assert_eq!(f64::from_value(&2.5f64.to_value()).unwrap(), 2.5);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert!(bool::from_value(&true.to_value()).unwrap());
+    }
+
+    #[test]
+    fn infinity_round_trips_via_null() {
+        let v = f64::INFINITY.to_value();
+        assert_eq!(v, Value::Null);
+        assert_eq!(f64::from_value(&v).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn option_and_containers_round_trip() {
+        let x: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&x.to_value()).unwrap(), None);
+        let v = vec![(1usize, "a".to_string()), (2, "b".to_string())];
+        assert_eq!(
+            Vec::<(usize, String)>::from_value(&v.to_value()).unwrap(),
+            v
+        );
+        let a = Arc::new(vec![3u32, 4]);
+        assert_eq!(Arc::<Vec<u32>>::from_value(&a.to_value()).unwrap(), a);
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u8::from_value(&Value::Str("x".into())).is_err());
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(String::from_value(&Value::Int(1)).is_err());
+        assert!(Vec::<u8>::from_value(&Value::Null).is_err());
+    }
+}

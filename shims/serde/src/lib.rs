@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `serde` (and `serde_derive` / `serde_json`) to these shims. Instead of
+//! reproducing serde's visitor architecture, this shim serializes through an
+//! owned JSON-like [`value::Value`] tree:
+//!
+//! * [`Serialize`] renders `self` into a [`value::Value`];
+//! * [`Deserialize`] reconstructs `Self` from a [`value::Value`];
+//! * `serde_json` (the sibling shim) renders that tree to/from JSON text.
+//!
+//! The derive macros in `serde_derive` generate externally-tagged encodings
+//! matching real serde's defaults (struct → object, unit variant → string,
+//! newtype variant → `{"Name": value}`, struct variant → `{"Name": {...}}`),
+//! so documents written by this shim look like documents written by the real
+//! stack. Non-finite floats serialize to `null` and deserialize back as
+//! `f64::INFINITY`, which is the contract `er-rules::io` documents for the
+//! open-ended range bound.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Error};
+pub use ser::Serialize;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,479 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (value-tree based, see the `serde` shim) for the item shapes this
+//! workspace actually uses: structs with named fields, tuple structs, and
+//! enums with unit / tuple / struct variants — no generics, no lifetimes.
+//! The only field attribute honored is `#[serde(skip)]` (omit on serialize,
+//! `Default::default()` on deserialize). Anything outside that surface is a
+//! compile error naming what is missing, so a future PR extends the shim
+//! instead of silently mis-serializing.
+//!
+//! Implemented with hand-rolled token parsing because `syn`/`quote` are not
+//! available offline. Codegen builds a source string and re-parses it, which
+//! keeps the emission logic readable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: `None` name for tuple fields.
+struct Field {
+    name: Option<String>,
+    skip: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+/// The shape of a struct body or enum variant payload.
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+/// Parsed derive input.
+struct Input {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error tokens")
+}
+
+/// Derive the shim `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .expect("generated Serialize parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive the shim `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .expect("generated Deserialize parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Consume leading attributes; report whether any was `#[serde(skip)]`.
+fn eat_attrs(
+    tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Result<bool, String> {
+    let mut skip = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let Some(TokenTree::Group(g)) = tokens.next() else {
+                    return Err("expected [...] after #".to_string());
+                };
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        let Some(TokenTree::Group(args)) = inner.get(1) else {
+                            return Err("unsupported bare #[serde] attribute".to_string());
+                        };
+                        let args = args.stream().to_string();
+                        if args.trim() == "skip" {
+                            skip = true;
+                        } else {
+                            return Err(format!(
+                                "serde shim derive: unsupported attribute #[serde({args})] — only #[serde(skip)] is implemented"
+                            ));
+                        }
+                    }
+                }
+            }
+            _ => return Ok(skip),
+        }
+    }
+}
+
+/// Skip `pub` / `pub(...)` visibility tokens.
+fn eat_vis(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+    eat_attrs(&mut tokens)?;
+    eat_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported — add a manual impl or extend the shim"
+        ));
+    }
+    let body = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Shape::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Shape::Tuple(parse_tuple_fields(g.stream())?))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Shape::Unit),
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => {
+            return Err(format!(
+                "serde shim derive: unsupported item kind `{other}`"
+            ))
+        }
+    };
+    Ok(Input { name, body })
+}
+
+/// Parse `name: Type, ...` — types are skipped token-wise (commas inside
+/// `<...>` are nested via angle-depth tracking; parens/brackets arrive as
+/// whole groups).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return Ok(fields);
+        }
+        let skip = eat_attrs(&mut tokens)?;
+        eat_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&mut tokens);
+        fields.push(Field {
+            name: Some(name),
+            skip,
+        });
+    }
+}
+
+/// Skip one type, stopping before a top-level `,` (consumed) or end of stream.
+fn skip_type(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0usize;
+    for tok in tokens.by_ref() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+/// Parse tuple-struct / tuple-variant fields: only count and skip flags
+/// matter.
+fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return Ok(fields);
+        }
+        let skip = eat_attrs(&mut tokens)?;
+        eat_vis(&mut tokens);
+        skip_type(&mut tokens);
+        fields.push(Field { name: None, skip });
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return Ok(variants);
+        }
+        eat_attrs(&mut tokens)?;
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream())?;
+                tokens.next();
+                Shape::Tuple(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push(Variant { name, shape });
+                return Ok(variants);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde shim derive: explicit discriminant on variant `{name}` is not supported"
+                ));
+            }
+            other => {
+                return Err(format!(
+                    "expected `,` after variant `{name}`, found {other:?}"
+                ))
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Shape::Unit) => "::serde::value::Value::Null".to_string(),
+        Body::Struct(Shape::Named(fields)) => ser_named("self.", name, fields),
+        Body::Struct(Shape::Tuple(fields)) => {
+            let parts: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.skip)
+                .map(|(i, _)| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            ser_sequence(&parts)
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::value::Value::Str({vname:?}.to_string()),"
+                        ),
+                        Shape::Tuple(fields) => {
+                            let binds: Vec<String> =
+                                (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                            let parts: Vec<String> = binds
+                                .iter()
+                                .zip(fields)
+                                .filter(|(_, f)| !f.skip)
+                                .map(|(b, _)| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::value::Value::Object(vec![({vname:?}.to_string(), {})]),",
+                                binds.join(", "),
+                                ser_sequence(&parts)
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> = fields
+                                .iter()
+                                .map(|f| f.name.clone().expect("named field"))
+                                .collect();
+                            let inner = ser_named("", name, fields);
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::value::Value::Object(vec![({vname:?}.to_string(), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Serialize a list of already-rendered element expressions: one element
+/// stays bare (serde's newtype convention), several become an array.
+fn ser_sequence(parts: &[String]) -> String {
+    match parts {
+        [] => "::serde::value::Value::Array(vec![])".to_string(),
+        [single] => single.clone(),
+        many => format!("::serde::value::Value::Array(vec![{}])", many.join(", ")),
+    }
+}
+
+/// Serialize named fields into an object literal. `prefix` is `self.` for
+/// structs and empty for matched enum bindings.
+fn ser_named(prefix: &str, _ty: &str, fields: &[Field]) -> String {
+    let pushes: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            let fname = f.name.as_ref().expect("named field");
+            format!("({fname:?}.to_string(), ::serde::Serialize::to_value(&{prefix}{fname}))")
+        })
+        .collect();
+    format!("::serde::value::Value::Object(vec![{}])", pushes.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Shape::Unit) => format!("Ok({name})"),
+        Body::Struct(Shape::Named(fields)) => {
+            format!("Ok({name} {{ {} }})", de_named_fields("__v", name, fields))
+        }
+        Body::Struct(Shape::Tuple(fields)) => de_tuple(name, name, fields, "__v"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("{vname:?} => return Ok({name}::{vname}),\n"));
+                    }
+                    Shape::Tuple(fields) => {
+                        let expr = de_tuple(name, &format!("{name}::{vname}"), fields, "__payload");
+                        tagged_arms.push_str(&format!("{vname:?} => return {expr},\n"));
+                    }
+                    Shape::Named(fields) => {
+                        let inner = de_named_fields("__payload", name, fields);
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => return Ok({name}::{vname} {{ {inner} }}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::value::Value::Str(__s) = __v {{\n\
+                     match __s.as_str() {{\n{unit_arms}\
+                         __other => return Err(::serde::de::Error::unknown_variant({name:?}, __other)),\n\
+                     }}\n\
+                 }}\n\
+                 let __fields = __v.as_object().ok_or_else(|| ::serde::de::Error::expected(\"enum tag\", __v))?;\n\
+                 if __fields.len() != 1 {{\n\
+                     return Err(::serde::de::Error::expected(\"single-key enum object\", __v));\n\
+                 }}\n\
+                 let (__tag, __payload) = (&__fields[0].0, &__fields[0].1);\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                     __other => Err(::serde::de::Error::unknown_variant({name:?}, __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::value::Value) -> ::core::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Field initializers for a named-field struct or variant read from `src`.
+fn de_named_fields(src: &str, ty: &str, fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = f.name.as_ref().expect("named field");
+            if f.skip {
+                format!("{fname}: ::core::default::Default::default()")
+            } else {
+                format!(
+                    "{fname}: ::serde::Deserialize::from_value({src}.get({fname:?})\
+                     .ok_or_else(|| ::serde::de::Error::missing_field({ty:?}, {fname:?}))?)?"
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Build `Ok(Ctor(...))` reading tuple fields from value expression `src`.
+fn de_tuple(_ty: &str, ctor: &str, fields: &[Field], src: &str) -> String {
+    let live: Vec<usize> = fields
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.skip)
+        .map(|(i, _)| i)
+        .collect();
+    match live.len() {
+        0 => format!("Ok({ctor}())"),
+        1 => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        "::core::default::Default::default()".to_string()
+                    } else {
+                        format!("::serde::Deserialize::from_value({src})?")
+                    }
+                })
+                .collect();
+            format!("Ok({ctor}({}))", inits.join(", "))
+        }
+        n => {
+            let mut out = format!(
+                "{{ let __items = {src}.as_array().ok_or_else(|| ::serde::de::Error::expected(\"array\", {src}))?;\n\
+                 if __items.len() != {n} {{ return Err(::serde::de::Error::expected(\"array of {n} elements\", {src})); }}\n"
+            );
+            let mut live_idx = 0usize;
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        "::core::default::Default::default()".to_string()
+                    } else {
+                        let expr =
+                            format!("::serde::Deserialize::from_value(&__items[{live_idx}])?");
+                        live_idx += 1;
+                        expr
+                    }
+                })
+                .collect();
+            out.push_str(&format!("Ok({ctor}({})) }}", inits.join(", ")));
+            out
+        }
+    }
+}

@@ -1,5 +1,9 @@
 //! Integration: mine per-target rule sets, then chase to a fixpoint.
 
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use erminer::prelude::*;
 use erminer::rules::{chase, ChaseConfig, TargetRules};
 
@@ -16,7 +20,10 @@ fn mine_for(scenario: &Scenario, attr: &str) -> TargetRules {
         (y, ym),
     );
     let mined = erminer::enuminer::mine(&task, EnuMinerConfig::new(1));
-    TargetRules { target: (y, ym), rules: mined.rules_only() }
+    TargetRules {
+        target: (y, ym),
+        rules: mined.rules_only(),
+    }
 }
 
 #[test]
@@ -52,7 +59,12 @@ fn chase_is_idempotent_on_repaired_data() {
     let matching = s.task.matching().clone();
     let targets = vec![mine_for(&s, "ZIP"), mine_for(&s, "AC")];
     let first = chase(&input, &master, &matching, &targets, ChaseConfig::default());
-    let second =
-        chase(&first.repaired, &master, &matching, &targets, ChaseConfig::default());
+    let second = chase(
+        &first.repaired,
+        &master,
+        &matching,
+        &targets,
+        ChaseConfig::default(),
+    );
     assert!(second.fixes.is_empty(), "second chase must be a no-op");
 }

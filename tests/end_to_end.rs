@@ -1,6 +1,10 @@
 //! End-to-end pipelines: generate → discover → repair → evaluate, across
 //! datasets and miners.
 
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use erminer::prelude::*;
 
 fn small(kind: DatasetKind, seed: u64) -> Scenario {
@@ -26,7 +30,12 @@ fn enuminer_repairs_every_dataset() {
         assert!(!result.rules.is_empty(), "{}: no rules", kind.name());
         let prf = s.evaluate(&apply_rules(&s.task, &result.rules_only()));
         assert!(prf.f1 > 0.25, "{}: f1 {}", kind.name(), prf.f1);
-        assert!(prf.precision > 0.3, "{}: precision {}", kind.name(), prf.precision);
+        assert!(
+            prf.precision > 0.3,
+            "{}: precision {}",
+            kind.name(),
+            prf.precision
+        );
     }
 }
 
@@ -40,9 +49,8 @@ fn ctane_has_lower_recall_than_enuminer() {
         seed: 22,
         ..DatasetKind::Covid.paper_config()
     });
-    let master_eta = ((s.support_threshold * s.task.master().num_rows())
-        / s.task.input().num_rows())
-    .max(3);
+    let master_eta =
+        ((s.support_threshold * s.task.master().num_rows()) / s.task.input().num_rows()).max(3);
     let (ctane_rules, _) = ctane_baseline(&s.task, CtaneConfig::new(master_eta));
     let ctane_prf = s.evaluate(&apply_rules(&s.task, &ctane_rules));
     let enu_prf = s.evaluate(&apply_rules(&s.task, &enu(&s).rules_only()));

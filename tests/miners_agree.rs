@@ -2,6 +2,10 @@
 //! instances — the paper's headline claim is that the RL agent matches the
 //! enumeration's quality without paying its cost.
 
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use erminer::prelude::*;
 
 fn location(seed: u64) -> Scenario {
@@ -20,7 +24,10 @@ fn both_miners_find_the_planted_fd_on_location() {
 
     let enu = erminer::enuminer::mine(&s.task, EnuMinerConfig::new(s.support_threshold));
     let enu_best = &enu.rules[0].0;
-    assert!(enu_best.x().contains(&county), "EnuMiner best: {enu_best:?}");
+    assert!(
+        enu_best.x().contains(&county),
+        "EnuMiner best: {enu_best:?}"
+    );
 
     let mut config = RlMinerConfig::new(s.support_threshold);
     config.train_steps = 4000;
@@ -29,7 +36,10 @@ fn both_miners_find_the_planted_fd_on_location() {
     miner.train(&s.task);
     let rl = miner.mine(&s.task);
     assert!(
-        rl.rules.iter().take(5).any(|(r, _)| r.x().contains(&county)),
+        rl.rules
+            .iter()
+            .take(5)
+            .any(|(r, _)| r.x().contains(&county)),
         "RLMiner top-5 should include a county rule: {:?}",
         rl.rules.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>()
     );

@@ -1,5 +1,9 @@
 //! Property-based cross-crate invariants (proptest).
 
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use erminer::prelude::*;
 use proptest::prelude::*;
 
@@ -28,7 +32,10 @@ fn arb_rule() -> impl Strategy<Value = EditingRule> {
     let conditions: Vec<Condition> = space.iter().map(|(_, _, c)| c.clone()).collect();
     let n_pairs = pairs.len();
     let n_conds = conditions.len();
-    (proptest::bits::u32::masked((1 << n_pairs.min(20)) - 1), proptest::collection::vec(0..n_conds, 0..=2))
+    (
+        proptest::bits::u32::masked((1 << n_pairs.min(20)) - 1),
+        proptest::collection::vec(0..n_conds, 0..=2),
+    )
         .prop_map(move |(mask, cond_ix)| {
             let lhs: Vec<_> = pairs
                 .iter()

@@ -2,6 +2,10 @@
 //! with the input domain; RLMiner's evaluation count is bounded by its step
 //! budget regardless of data size.
 
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use erminer::prelude::*;
 
 fn adult(input: usize, master: usize) -> Scenario {
