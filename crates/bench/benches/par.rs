@@ -1,0 +1,51 @@
+//! Thread-scaling benchmarks: the same EnuMiner run at 1/2/4/8 worker
+//! threads on the Fig. 9 scale (Adult, varying-master-size experiment).
+//! Mining output is identical at every thread count — only wall-clock
+//! should move. On a single-core host the points collapse onto the
+//! sequential time (plus a small pool overhead); run on a multi-core
+//! machine, or via `BENCH=1 scripts/check.sh`, for real speedup curves.
+
+// Bench harness: a panic aborts the run loudly, which is what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_datagen::{DatasetKind, Scenario, ScenarioConfig};
+use er_enuminer::EnuMinerConfig;
+
+/// Adult at the scale Fig. 9 sweeps (small-scale master-size midpoint).
+fn adult() -> Scenario {
+    let paper = DatasetKind::Adult.paper_config();
+    DatasetKind::Adult.build(ScenarioConfig {
+        input_size: (paper.input_size / 16).max(500),
+        master_size: (paper.master_size / 16).max(250),
+        seed: 8,
+        ..paper
+    })
+}
+
+fn bench_par_speedup(c: &mut Criterion) {
+    let s = adult();
+    let mut group = c.benchmark_group("par_speedup");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("enuminer_adult", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut config = EnuMinerConfig::new(s.support_threshold);
+                    config.max_rules_evaluated = Some(200_000);
+                    config.threads = threads;
+                    black_box(er_enuminer::mine(&s.task, config).evaluated)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_par_speedup
+}
+criterion_main!(benches);

@@ -12,13 +12,15 @@
 use er_bench::ExperimentConfig;
 
 const USAGE: &str = "\
-usage: experiments [--paper-scale|--quick] [--repeats N] [--train-steps N] <ids...>
+usage: experiments [--paper-scale|--quick] [--repeats N] [--train-steps N] [--threads N] <ids...>
        experiments lint [--dataset NAME] [--seed N] [--json] <rules.json>
-  ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate
+  ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate par_sweep
   --paper-scale   run at the paper's dataset sizes (EnuMiner may take hours)
   --quick         smoke-test scale (shorter training, tighter budgets)
   --repeats N     repetitions for mean±std tables (default 3, paper 5)
   --train-steps N RLMiner training steps (default 5000)
+  --threads N     miner worker threads (default 0 = ER_THREADS env or 1);
+                  results are identical at any thread count
 lint: statically analyze a rule-set JSON file against a dataset scenario
   --dataset NAME  figure1 (default), adult, covid, nursery, location
   --seed N        scenario seed for the generated datasets (default 1)
@@ -63,6 +65,12 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--train-steps needs a number"));
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a number"));
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -120,6 +128,9 @@ fn main() {
             }
             "ablate" => {
                 er_bench::ablate(&cfg);
+            }
+            "par_sweep" => {
+                er_bench::par_sweep(&cfg);
             }
             other => die(&format!("unknown experiment id {other}")),
         }

@@ -56,6 +56,9 @@ pub struct ExperimentConfig {
     pub train_steps: usize,
     /// Safety valve on EnuMiner candidate evaluations (None = exhaustive).
     pub enu_budget: Option<usize>,
+    /// Worker threads for the miners (`0` = auto: `ER_THREADS` or
+    /// sequential). Mining results are identical at any thread count.
+    pub threads: usize,
     /// Where JSON results are written.
     pub out_dir: std::path::PathBuf,
 }
@@ -67,6 +70,7 @@ impl Default for ExperimentConfig {
             repeats: 3,
             train_steps: 5000,
             enu_budget: Some(1_000_000),
+            threads: 0,
             out_dir: std::path::PathBuf::from("results"),
         }
     }

@@ -70,14 +70,21 @@ fn finish(
     }
 }
 
-/// Run EnuMiner (or EnuMinerH3 with `h3 = true`) on a scenario.
-pub fn enuminer_method(scenario: &Scenario, budget: Option<usize>, h3: bool) -> MethodOutcome {
+/// Run EnuMiner (or EnuMinerH3 with `h3 = true`) on a scenario with the
+/// given worker-thread count (`0` = auto).
+pub fn enuminer_method(
+    scenario: &Scenario,
+    budget: Option<usize>,
+    h3: bool,
+    threads: usize,
+) -> MethodOutcome {
     let mut config = if h3 {
         EnuMinerConfig::h3(scenario.support_threshold)
     } else {
         EnuMinerConfig::new(scenario.support_threshold)
     };
     config.max_rules_evaluated = budget;
+    config.threads = threads;
     let result = er_enuminer::mine(&scenario.task, config);
     finish(
         if h3 { "EnuMinerH3" } else { "EnuMiner" },
@@ -89,12 +96,19 @@ pub fn enuminer_method(scenario: &Scenario, budget: Option<usize>, h3: bool) -> 
     )
 }
 
-/// Train RLMiner from scratch and mine.
-pub fn rlminer_method(scenario: &Scenario, train_steps: usize, seed: u64) -> MethodOutcome {
+/// Train RLMiner from scratch and mine, with the given worker-thread count
+/// (`0` = auto).
+pub fn rlminer_method(
+    scenario: &Scenario,
+    train_steps: usize,
+    seed: u64,
+    threads: usize,
+) -> MethodOutcome {
     let mut config = RlMinerConfig::new(scenario.support_threshold);
     config.train_steps = train_steps;
     config.epsilon.2 = (train_steps * 3) / 5;
     config.seed = seed;
+    config.threads = threads;
     let mut miner = RlMiner::new(&scenario.task, config);
     let stats = miner.train(&scenario.task);
     let result = miner.mine(&scenario.task);
@@ -159,7 +173,7 @@ mod tests {
     #[test]
     fn enuminer_outcome_is_consistent() {
         let s = tiny();
-        let out = enuminer_method(&s, Some(20_000), false);
+        let out = enuminer_method(&s, Some(20_000), false, 0);
         assert_eq!(out.method, "EnuMiner");
         assert_eq!(out.shapes.len(), out.shapes.len());
         assert!(out.evaluated > 0);
@@ -169,7 +183,7 @@ mod tests {
     #[test]
     fn h3_flag_changes_name_and_caps_depth() {
         let s = tiny();
-        let out = enuminer_method(&s, Some(20_000), true);
+        let out = enuminer_method(&s, Some(20_000), true, 0);
         assert_eq!(out.method, "EnuMinerH3");
         assert!(out.shapes.iter().all(|sh| sh.lhs <= 3 && sh.pattern <= 3));
     }
@@ -185,7 +199,7 @@ mod tests {
     #[test]
     fn rlminer_outcome() {
         let s = tiny();
-        let out = rlminer_method(&s, 400, 3);
+        let out = rlminer_method(&s, 400, 3, 0);
         assert_eq!(out.method, "RLMiner");
         assert!(out.train_seconds > 0.0);
         assert!(out.evaluated <= 400);

@@ -112,8 +112,8 @@ fn shape_stats(dataset: &str, out: &MethodOutcome) -> Table2Row {
 fn run_three_methods(cfg: &ExperimentConfig, s: &Scenario, seed: u64) -> Vec<MethodOutcome> {
     vec![
         ctane_method(s),
-        enuminer_method(s, cfg.enu_budget, false),
-        rlminer_method(s, cfg.train_steps, seed),
+        enuminer_method(s, cfg.enu_budget, false, cfg.threads),
+        rlminer_method(s, cfg.train_steps, seed, cfg.threads),
     ]
 }
 
@@ -271,12 +271,12 @@ pub fn fig6(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
         push_point(
             &mut points,
             noise,
-            enuminer_method(&s, cfg.enu_budget, false),
+            enuminer_method(&s, cfg.enu_budget, false, cfg.threads),
         );
         push_point(
             &mut points,
             noise,
-            rlminer_method(&s, cfg.train_steps, SEED_BASE),
+            rlminer_method(&s, cfg.train_steps, SEED_BASE, cfg.threads),
         );
     }
     cfg.write_json("fig6", &points);
@@ -301,11 +301,15 @@ pub fn fig7(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
             ..base
         };
         let s = DatasetKind::Adult.build(sc);
-        push_point(&mut points, d, enuminer_method(&s, cfg.enu_budget, false));
         push_point(
             &mut points,
             d,
-            rlminer_method(&s, cfg.train_steps, SEED_BASE),
+            enuminer_method(&s, cfg.enu_budget, false, cfg.threads),
+        );
+        push_point(
+            &mut points,
+            d,
+            rlminer_method(&s, cfg.train_steps, SEED_BASE, cfg.threads),
         );
     }
     cfg.write_json("fig7", &points);
@@ -333,17 +337,17 @@ pub fn fig8(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
         push_point(
             &mut points,
             n as f64,
-            enuminer_method(&s, cfg.enu_budget, false),
+            enuminer_method(&s, cfg.enu_budget, false, cfg.threads),
         );
         push_point(
             &mut points,
             n as f64,
-            enuminer_method(&s, cfg.enu_budget, true),
+            enuminer_method(&s, cfg.enu_budget, true, cfg.threads),
         );
         push_point(
             &mut points,
             n as f64,
-            rlminer_method(&s, cfg.train_steps, SEED_BASE),
+            rlminer_method(&s, cfg.train_steps, SEED_BASE, cfg.threads),
         );
     }
     cfg.write_json("fig8", &points);
@@ -371,17 +375,17 @@ pub fn fig9(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
         push_point(
             &mut points,
             n as f64,
-            enuminer_method(&s, cfg.enu_budget, false),
+            enuminer_method(&s, cfg.enu_budget, false, cfg.threads),
         );
         push_point(
             &mut points,
             n as f64,
-            enuminer_method(&s, cfg.enu_budget, true),
+            enuminer_method(&s, cfg.enu_budget, true, cfg.threads),
         );
         push_point(
             &mut points,
             n as f64,
-            rlminer_method(&s, cfg.train_steps, SEED_BASE),
+            rlminer_method(&s, cfg.train_steps, SEED_BASE, cfg.threads),
         );
     }
     cfg.write_json("fig9", &points);
@@ -421,6 +425,7 @@ fn incremental(cfg: &ExperimentConfig, grow_master: bool) -> Vec<SweepPoint> {
     config.train_steps = cfg.train_steps;
     config.finetune_steps = cfg.train_steps / 3;
     config.seed = SEED_BASE;
+    config.threads = cfg.threads;
     let mut ft = RlMiner::new(&first.task, config);
     ft.train(&first.task);
 
@@ -430,12 +435,12 @@ fn incremental(cfg: &ExperimentConfig, grow_master: bool) -> Vec<SweepPoint> {
         push_point(
             &mut points,
             n as f64,
-            enuminer_method(&s, cfg.enu_budget, false),
+            enuminer_method(&s, cfg.enu_budget, false, cfg.threads),
         );
         push_point(
             &mut points,
             n as f64,
-            rlminer_method(&s, cfg.train_steps, SEED_BASE),
+            rlminer_method(&s, cfg.train_steps, SEED_BASE, cfg.threads),
         );
         // Keep the fine-tuned miner's threshold aligned with this version's.
         ft.set_support_threshold(s.support_threshold);
@@ -491,6 +496,7 @@ pub fn fig12(cfg: &ExperimentConfig) -> Vec<Fig12Row> {
         config.train_steps = cfg.train_steps;
         config.finetune_steps = cfg.train_steps / 3;
         config.seed = SEED_BASE;
+        config.threads = cfg.threads;
         let mut miner = RlMiner::new(&s.task, config);
         let t = miner.train(&s.task);
         let ft = miner.fine_tune(&s.task);
@@ -565,6 +571,7 @@ pub fn ablate(cfg: &ExperimentConfig) -> Vec<AblationRow> {
         config.train_steps = cfg.train_steps;
         config.epsilon.2 = (cfg.train_steps * 3) / 5;
         config.seed = SEED_BASE;
+        config.threads = cfg.threads;
         tweak(&mut config);
         let mut miner = RlMiner::new(&s.task, config);
         let stats = miner.train(&s.task);
@@ -584,4 +591,95 @@ pub fn ablate(cfg: &ExperimentConfig) -> Vec<AblationRow> {
     }
     cfg.write_json("ablate", &rows);
     rows
+}
+
+/// One point of the thread-scaling sweep.
+#[derive(Debug, Serialize)]
+pub struct ParSweepPoint {
+    /// Worker threads EnuMiner fanned out over.
+    pub threads: usize,
+    /// Mining wall-clock seconds (best of `repeats` runs).
+    pub seconds: f64,
+    /// Speedup vs the 1-thread run.
+    pub speedup: f64,
+    /// Distinct rules evaluated (identical across thread counts).
+    pub evaluated: usize,
+    /// Rules returned (identical across thread counts).
+    pub rules: usize,
+}
+
+/// Thread-scaling sweep artifact (`results/par_sweep.json`).
+#[derive(Debug, Serialize)]
+pub struct ParSweep {
+    /// Hardware parallelism of the host that produced the numbers — on a
+    /// 1-core host the sweep proves determinism but cannot show speedup.
+    pub host_parallelism: usize,
+    /// Whether every thread count produced the identical rule list,
+    /// measures, and counters.
+    pub deterministic: bool,
+    /// One point per thread count.
+    pub points: Vec<ParSweepPoint>,
+}
+
+/// Thread sweep: run EnuMiner on the Fig. 9 workload (Adult, full master)
+/// at 1/2/4/8 threads, assert the results are identical, and record the
+/// wall-clock scaling as a tracked artifact.
+pub fn par_sweep(cfg: &ExperimentConfig) -> ParSweep {
+    println!("== Thread sweep: EnuMiner on the Fig. 9 workload (Adult) ==");
+    let s = cfg.scenario(DatasetKind::Adult, SEED_BASE);
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut config = er_enuminer::EnuMinerConfig::new(s.support_threshold);
+    config.max_rules_evaluated = cfg.enu_budget;
+
+    let mut points: Vec<ParSweepPoint> = Vec::new();
+    let mut baseline: Option<er_enuminer::MineResult> = None;
+    let mut deterministic = true;
+    for &threads in &[1usize, 2, 4, 8] {
+        config.threads = threads;
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..cfg.repeats.max(1) {
+            let result = er_enuminer::mine(&s.task, config);
+            best = best.min(result.elapsed.as_secs_f64());
+            last = Some(result);
+        }
+        // `last` is always Some: the repeat loop runs at least once.
+        let Some(result) = last else { continue };
+        match &baseline {
+            None => baseline = Some(result.clone()),
+            Some(base) => {
+                let same = base.rules == result.rules
+                    && base.evaluated == result.evaluated
+                    && base.expanded == result.expanded;
+                if !same {
+                    deterministic = false;
+                    eprintln!("warn: {threads}-thread run diverged from the 1-thread run");
+                }
+            }
+        }
+        let base_s = points.first().map_or(best, |p| p.seconds);
+        let point = ParSweepPoint {
+            threads,
+            seconds: best,
+            speedup: if best > 0.0 { base_s / best } else { 1.0 },
+            evaluated: result.evaluated,
+            rules: result.rules.len(),
+        };
+        println!(
+            "  threads={:<2} time={:>8.3}s speedup={:>5.2}x evaluated={} rules={}",
+            point.threads, point.seconds, point.speedup, point.evaluated, point.rules
+        );
+        points.push(point);
+    }
+    let sweep = ParSweep {
+        host_parallelism,
+        deterministic,
+        points,
+    };
+    println!(
+        "  host parallelism: {} — speedups only materialize with ≥ that many cores",
+        sweep.host_parallelism
+    );
+    cfg.write_json("par_sweep", &sweep);
+    sweep
 }

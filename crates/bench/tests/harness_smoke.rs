@@ -13,6 +13,7 @@ fn micro() -> ExperimentConfig {
         repeats: 1,
         train_steps: 300,
         enu_budget: Some(5_000),
+        threads: 0,
         out_dir: std::env::temp_dir().join("erminer_bench_smoke"),
     }
 }

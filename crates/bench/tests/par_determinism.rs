@@ -1,0 +1,114 @@
+//! Thread-count invariance: mining the same task at 1, 2, and 8 worker
+//! threads must produce byte-identical results — the same rules in the same
+//! order with the same measures, and the same work counters. Parallelism is
+//! a wall-clock optimisation only; it must never change what is mined.
+
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use er_datagen::{DatasetKind, Scenario, ScenarioConfig};
+use er_enuminer::EnuMinerConfig;
+use er_rlminer::{RlMiner, RlMinerConfig};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn covid() -> Scenario {
+    DatasetKind::Covid.build(ScenarioConfig {
+        input_size: 400,
+        master_size: 200,
+        seed: 11,
+        ..DatasetKind::Covid.paper_config()
+    })
+}
+
+#[test]
+fn enuminer_output_is_thread_count_invariant() {
+    let s = covid();
+    let runs: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let mut config = EnuMinerConfig::new(s.support_threshold);
+            config.threads = threads;
+            er_enuminer::mine(&s.task, config)
+        })
+        .collect();
+    let base = &runs[0];
+    assert!(!base.rules.is_empty(), "fixture must discover rules");
+    for (run, threads) in runs.iter().zip(THREAD_COUNTS).skip(1) {
+        assert_eq!(
+            run.rules, base.rules,
+            "rule list diverged at {threads} threads"
+        );
+        assert_eq!(
+            run.evaluated, base.evaluated,
+            "evaluated counter diverged at {threads} threads"
+        );
+        assert_eq!(
+            run.expanded, base.expanded,
+            "expanded counter diverged at {threads} threads"
+        );
+    }
+}
+
+/// Budget truncation cuts the run mid-level; the cut point (and therefore
+/// every counter) must land on the same candidate at any thread count.
+#[test]
+fn enuminer_budget_truncation_is_thread_count_invariant() {
+    let s = covid();
+    let runs: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let mut config = EnuMinerConfig::new(s.support_threshold);
+            config.max_rules_evaluated = Some(50);
+            config.threads = threads;
+            er_enuminer::mine(&s.task, config)
+        })
+        .collect();
+    let base = &runs[0];
+    assert!(base.evaluated <= 50);
+    for (run, threads) in runs.iter().zip(THREAD_COUNTS).skip(1) {
+        assert_eq!(
+            (&run.rules, run.evaluated, run.expanded),
+            (&base.rules, base.evaluated, base.expanded),
+            "budget-truncated run diverged at {threads} threads"
+        );
+    }
+}
+
+/// The RLMiner path: training (mask refresh via the evaluator pool) and the
+/// greedy re-evaluation sweep in `mine` both fan out; with a fixed seed the
+/// whole train-then-mine pipeline must be identical at any thread count.
+#[test]
+fn rlminer_output_is_thread_count_invariant() {
+    let s = covid();
+    let runs: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let mut config = RlMinerConfig::new(s.support_threshold);
+            config.train_steps = 300;
+            config.hidden = vec![32];
+            config.seed = 7;
+            config.threads = threads;
+            let mut miner = RlMiner::new(&s.task, config);
+            let stats = miner.train(&s.task);
+            (stats.fresh_evaluations, miner.mine(&s.task))
+        })
+        .collect();
+    let (base_fresh, base) = &runs[0];
+    assert!(!base.rules.is_empty(), "fixture must discover rules");
+    for ((fresh, run), threads) in runs.iter().zip(THREAD_COUNTS).skip(1) {
+        assert_eq!(
+            run.rules, base.rules,
+            "rule list diverged at {threads} threads"
+        );
+        assert_eq!(
+            fresh, base_fresh,
+            "fresh-evaluation counter diverged at {threads} threads"
+        );
+        assert_eq!(
+            run.discovered, base.discovered,
+            "discovered counter diverged at {threads} threads"
+        );
+    }
+}

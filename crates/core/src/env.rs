@@ -8,7 +8,7 @@
 //! Algorithm 2 calls out explicitly.
 
 use crate::encoding::StateEncoder;
-use crate::mask::compute_mask;
+use crate::mask::compute_mask_par;
 use crate::tree::RuleTree;
 use er_rules::{EditingRule, Evaluator, Measures, Task};
 use std::collections::HashMap;
@@ -97,9 +97,23 @@ pub struct MinerEnv<'a> {
 }
 
 impl<'a> MinerEnv<'a> {
-    /// Build the environment (the `BuildEnv` of Algorithm 3, line 1).
+    /// Build the environment (the `BuildEnv` of Algorithm 3, line 1) with
+    /// auto-resolved threading (`ER_THREADS` or sequential).
     pub fn new(task: &'a Task, encoder: &'a StateEncoder, reward: RewardConfig, k: usize) -> Self {
-        let evaluator = Evaluator::new(task);
+        Self::with_threads(task, encoder, reward, k, 0)
+    }
+
+    /// Build the environment with an explicit worker-thread count for cover
+    /// scans and global-mask refreshes (`0` = auto). The environment's
+    /// trajectory is identical at any thread count.
+    pub fn with_threads(
+        task: &'a Task,
+        encoder: &'a StateEncoder,
+        reward: RewardConfig,
+        k: usize,
+        threads: usize,
+    ) -> Self {
+        let evaluator = Evaluator::with_threads(task, threads);
         let mut env = MinerEnv {
             task,
             evaluator,
@@ -144,14 +158,20 @@ impl<'a> MinerEnv<'a> {
     }
 
     /// The current action mask (Algorithm 1), honoring the global-mask
-    /// ablation switch.
+    /// ablation switch. Large action spaces refresh the global mask on the
+    /// evaluator's worker pool.
     pub fn mask(&self) -> Vec<bool> {
         let tree = if self.reward.global_mask {
             Some(&self.tree)
         } else {
             None
         };
-        compute_mask(self.encoder, self.current_rule(), tree)
+        compute_mask_par(
+            self.encoder,
+            self.current_rule(),
+            tree,
+            &self.evaluator.pool(),
+        )
     }
 
     /// Apply action `a_t` (Algorithm 4 + Algorithm 2). Returns the reward

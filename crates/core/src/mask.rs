@@ -15,9 +15,15 @@
 
 use crate::encoding::StateEncoder;
 use crate::tree::RuleTree;
+use er_par::WorkerPool;
 use er_rules::EditingRule;
 
-/// Compute the action mask for `rule` (Algorithm 1).
+/// Minimum action dimension before the global-mask pass of
+/// [`compute_mask_par`] fans out over the worker pool — below this the loop
+/// is cheaper than the thread handoff.
+const PAR_MASK_MIN_ACTIONS: usize = 512;
+
+/// Compute the action mask for `rule` (Algorithm 1), sequentially.
 ///
 /// `tree` supplies the visited-rule set for the global mask; pass `None` to
 /// apply the local mask only (the ablation of §"global mask off").
@@ -25,6 +31,21 @@ pub fn compute_mask(
     encoder: &StateEncoder,
     rule: &EditingRule,
     tree: Option<&RuleTree>,
+) -> Vec<bool> {
+    compute_mask_par(encoder, rule, tree, &WorkerPool::sequential())
+}
+
+/// Compute the action mask for `rule` (Algorithm 1), fanning the global-mask
+/// refinement checks out over `pool` when the action space is large.
+///
+/// Each action's verdict (`apply` + visited lookup) is independent of every
+/// other action's, so the parallel mask is identical to the sequential one
+/// at any thread count.
+pub fn compute_mask_par(
+    encoder: &StateEncoder,
+    rule: &EditingRule,
+    tree: Option<&RuleTree>,
+    pool: &WorkerPool,
 ) -> Vec<bool> {
     let mut mask = vec![true; encoder.action_dim()];
 
@@ -41,22 +62,35 @@ pub fn compute_mask(
         }
     }
 
-    // Global mask: actions that would re-create an existing rule.
+    // Global mask: actions that would re-create an existing rule. A slot
+    // stays on iff the local mask allows it AND the refinement is
+    // structurally valid AND the resulting rule was not generated before.
     if let Some(tree) = tree {
         let stop = encoder.stop_action();
-        for (action, slot) in mask.iter_mut().enumerate() {
-            if action == stop || !*slot {
-                continue;
+        let global_allows = |action: usize, local: bool| -> bool {
+            if action == stop || !local {
+                return local;
             }
             match encoder.apply(rule, action) {
-                Some(child) => {
-                    if tree.contains(&child) {
-                        *slot = false;
-                    }
-                }
+                Some(child) => !tree.contains(&child),
                 // The refinement is structurally invalid (duplicate attr the
                 // local mask did not know about, or the target attribute).
-                None => *slot = false,
+                None => false,
+            }
+        };
+        if pool.threads() > 1 && mask.len() >= PAR_MASK_MIN_ACTIONS {
+            let local = mask;
+            mask = pool
+                .ranges(local.len(), |r| {
+                    r.map(|action| global_allows(action, local[action]))
+                        .collect::<Vec<bool>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+        } else {
+            for (action, slot) in mask.iter_mut().enumerate() {
+                *slot = global_allows(action, *slot);
             }
         }
     }

@@ -64,6 +64,10 @@ pub struct RlMinerConfig {
     pub prioritized_replay: bool,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for cover scans, mask refreshes, and harvest
+    /// re-evaluation (`0` = auto: `ER_THREADS` or sequential). Mining output
+    /// is identical at any thread count.
+    pub threads: usize,
 }
 
 impl RlMinerConfig {
@@ -93,6 +97,7 @@ impl RlMinerConfig {
             double_dqn: false,
             prioritized_replay: false,
             seed: 7,
+            threads: 0,
         }
     }
 
@@ -229,11 +234,12 @@ impl RlMiner {
     /// The training loop of Algorithm 3, for an explicit step budget.
     pub fn train_for(&mut self, task: &Task, steps: usize) -> TrainStats {
         let start = Instant::now();
-        let mut env = MinerEnv::new(
+        let mut env = MinerEnv::with_threads(
             task,
             &self.encoder,
             self.config.reward_config(task.input().num_rows()),
             self.config.k,
+            self.config.threads,
         );
         let mut n = 0usize;
         let mut episodes = 0usize;
@@ -317,11 +323,12 @@ impl RlMiner {
     /// nodes").
     pub fn mine(&self, task: &Task) -> MineResult {
         let start = Instant::now();
-        let mut env = MinerEnv::new(
+        let mut env = MinerEnv::with_threads(
             task,
             &self.encoder,
             self.config.reward_config(task.input().num_rows()),
             self.config.k,
+            self.config.threads,
         );
         let mut steps = 0usize;
         while steps < self.config.max_inference_steps {
@@ -346,11 +353,19 @@ impl RlMiner {
                 scored.insert(rule, m);
             }
         }
-        for rule in self.seen_rules.keys() {
-            if scored.contains_key(rule) {
-                continue;
-            }
-            let m = env.evaluator().eval(rule, None);
+        // Re-evaluate the training-tree harvest in parallel: each rule's
+        // measures are independent, and `scored` is keyed by rule, so the
+        // merged map is identical at any thread count.
+        let pending: Vec<&EditingRule> = self
+            .seen_rules
+            .keys()
+            .filter(|rule| !scored.contains_key(*rule))
+            .collect();
+        let evaluator = env.evaluator();
+        let measures = evaluator
+            .pool()
+            .map(&pending, |rule| evaluator.eval(rule, None));
+        for (rule, m) in pending.into_iter().zip(measures) {
             if m.support >= self.config.support_threshold {
                 scored.insert(rule.clone(), m);
             }

@@ -19,12 +19,23 @@
 //!
 //! The depth-limited heuristic **EnuMinerH3** (§V-D2) is the same miner with
 //! `max_lhs = max_pattern = 3`.
+//!
+//! ## Parallel expansion
+//!
+//! The lattice is expanded level-synchronously: child *generation* (which
+//! mutates the visited set and the evaluation budget) stays sequential in
+//! lattice order, while child *evaluation* — the cover rescan plus the
+//! measure pass, which dominates the run — fans out over an [`er_par`]
+//! worker pool and is merged back in generation order. Because generation
+//! order, the visited set, the budget cut-off, and every counter are
+//! computed exactly as in the sequential walk, the [`MineResult`] is
+//! byte-identical at any thread count.
 
 use er_rules::{
     select_top_k, ConditionSpace, ConditionSpaceConfig, EditingRule, Evaluator, Measures, Task,
 };
 use er_table::RowId;
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 /// EnuMiner configuration.
@@ -46,6 +57,9 @@ pub struct EnuMinerConfig {
     pub certainty_stop: f64,
     /// Pattern-condition space construction (shared with RLMiner).
     pub condition_space: ConditionSpaceConfig,
+    /// Worker threads for child evaluation (`0` = auto: `ER_THREADS` or
+    /// sequential). The mined result is identical at any thread count.
+    pub threads: usize,
 }
 
 impl EnuMinerConfig {
@@ -59,6 +73,7 @@ impl EnuMinerConfig {
             max_rules_evaluated: None,
             certainty_stop: 0.95,
             condition_space: ConditionSpaceConfig::default(),
+            threads: 0,
         }
     }
 
@@ -97,80 +112,122 @@ struct Node {
     cover: Vec<RowId>,
 }
 
+/// A generated-but-not-yet-evaluated child: the index of its parent in the
+/// current frontier plus the refined rule.
+struct Pending {
+    parent: usize,
+    child: EditingRule,
+}
+
 /// Run EnuMiner on `task` under `config`.
+///
+/// The frontier is expanded one lattice level at a time. Generation (visited
+/// dedup, budget accounting) is sequential in the exact order of the
+/// original FIFO walk; evaluation of the level's pending children fans out
+/// over the worker pool and is merged in generation order, so counters,
+/// candidate order, and the final rule list match the 1-thread run exactly.
 pub fn mine(task: &Task, config: EnuMinerConfig) -> MineResult {
     let start = Instant::now();
-    let ev = Evaluator::new(task);
+    let ev = Evaluator::with_threads(task, config.threads);
+    let pool = ev.pool();
     let space = ConditionSpace::build(task, config.condition_space);
     let lhs_pairs = task.candidate_lhs_pairs();
 
     let root = EditingRule::root(task.target());
     let all_rows: Vec<RowId> = (0..task.input().num_rows()).collect();
-    let mut queue: VecDeque<Node> = VecDeque::new();
-    queue.push_back(Node {
+    let mut frontier: Vec<Node> = vec![Node {
         rule: root.clone(),
         cover: all_rows,
-    });
+    }];
 
     let mut visited: HashSet<EditingRule> = HashSet::new();
     visited.insert(root);
     let mut candidates: Vec<(EditingRule, Measures)> = Vec::new();
     let mut evaluated = 0usize;
     let mut expanded = 0usize;
+    let mut out_of_budget = false;
 
-    'outer: while let Some(node) = queue.pop_front() {
-        expanded += 1;
-        // Children by LHS extension.
-        let mut children: Vec<EditingRule> = Vec::new();
-        if config.max_lhs.is_none_or(|cap| node.rule.lhs_len() < cap) {
-            for &(a, am) in &lhs_pairs {
-                if !node.rule.lhs_contains_input(a) {
-                    children.push(node.rule.with_lhs_pair(a, am));
+    while !frontier.is_empty() && !out_of_budget {
+        // Generation pass (sequential, lattice order): collect this level's
+        // fresh children, stopping at the evaluation budget. A node counts
+        // as expanded as soon as any of its children may be evaluated —
+        // matching the sequential walk, which pops it before its first eval.
+        let mut pending: Vec<Pending> = Vec::new();
+        'nodes: for (parent, node) in frontier.iter().enumerate() {
+            expanded += 1;
+            // Children by LHS extension.
+            let mut children: Vec<EditingRule> = Vec::new();
+            if config.max_lhs.is_none_or(|cap| node.rule.lhs_len() < cap) {
+                for &(a, am) in &lhs_pairs {
+                    if !node.rule.lhs_contains_input(a) {
+                        children.push(node.rule.with_lhs_pair(a, am));
+                    }
                 }
             }
-        }
-        // Children by pattern extension.
-        if config
-            .max_pattern
-            .is_none_or(|cap| node.rule.pattern_len() < cap)
-        {
-            for attr in 0..space.num_attrs() {
-                if node.rule.pattern_contains(attr) {
+            // Children by pattern extension.
+            if config
+                .max_pattern
+                .is_none_or(|cap| node.rule.pattern_len() < cap)
+            {
+                for attr in 0..space.num_attrs() {
+                    if node.rule.pattern_contains(attr) {
+                        continue;
+                    }
+                    for cond in space.of(attr) {
+                        children.push(node.rule.with_condition(cond.clone()));
+                    }
+                }
+            }
+
+            for child in children {
+                if !visited.insert(child.clone()) {
                     continue;
                 }
-                for cond in space.of(attr) {
-                    children.push(node.rule.with_condition(cond.clone()));
+                pending.push(Pending { parent, child });
+                if config
+                    .max_rules_evaluated
+                    .is_some_and(|cap| evaluated + pending.len() >= cap)
+                {
+                    out_of_budget = true;
+                    break 'nodes;
                 }
             }
         }
 
-        for child in children {
-            if !visited.insert(child.clone()) {
-                continue;
-            }
-            let cover = if child.pattern_len() == node.rule.pattern_len() {
+        // Evaluation pass (parallel): cover rescan + measure computation
+        // per pending child. Covers are path-independent (they depend only
+        // on the child's own pattern), so any parent's cover restricts the
+        // scan to the same result the full-table scan would give.
+        let results: Vec<(Measures, Vec<RowId>)> = pool.map(&pending, |p| {
+            let node = &frontier[p.parent];
+            let cover = if p.child.pattern_len() == node.rule.pattern_len() {
                 node.cover.clone() // LHS extension: the pattern is unchanged.
             } else {
-                ev.cover(&child, Some(&node.cover))
+                ev.cover(&p.child, Some(&node.cover))
             };
-            let m = ev.eval_on_cover(&child, &cover);
+            let m = ev.eval_on_cover(&p.child, &cover);
+            (m, cover)
+        });
+
+        // Merge pass (sequential, generation order): counters, candidate
+        // pushes, and the next frontier replay the sequential walk exactly.
+        let mut next: Vec<Node> = Vec::new();
+        for (p, (m, cover)) in pending.into_iter().zip(results) {
             evaluated += 1;
-            let out_of_budget = config
-                .max_rules_evaluated
-                .is_some_and(|cap| evaluated >= cap);
             if m.support >= config.support_threshold {
-                if child.lhs_len() >= 1 {
-                    candidates.push((child.clone(), m));
+                if p.child.lhs_len() >= 1 {
+                    candidates.push((p.child.clone(), m));
                 }
                 // Refine further only while fixes are not yet certain.
                 if m.certainty < config.certainty_stop {
-                    queue.push_back(Node { rule: child, cover });
+                    next.push(Node {
+                        rule: p.child,
+                        cover,
+                    });
                 }
             } // else: Lemma 1 — the whole subtree is below threshold.
-            if out_of_budget {
-                break 'outer;
-            }
         }
+        frontier = next;
     }
 
     // Under `debug-invariants`, audit the evaluator's caches (group indexes

@@ -15,7 +15,8 @@
 //! terminating and mirrors the "certain fix" contract.
 
 use crate::matching::SchemaMatch;
-use crate::repair::apply_rules;
+use crate::measures::Evaluator;
+use crate::repair::apply_rules_with;
 use crate::rule::EditingRule;
 use crate::task::Task;
 use er_table::{AttrId, Code, Relation, RowId, NULL_CODE};
@@ -39,6 +40,11 @@ pub struct ChaseConfig {
     /// Whether non-NULL cells may be overwritten (corrections) or only
     /// NULL cells filled.
     pub overwrite: bool,
+    /// Worker threads for the per-round repair passes (`0` = auto:
+    /// `ER_THREADS` or sequential). Every rule's votes are collected in
+    /// parallel and its cover scan is chunked across input tuples; the
+    /// committed fixes are identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for ChaseConfig {
@@ -47,6 +53,7 @@ impl Default for ChaseConfig {
             max_rounds: 5,
             min_score: 0.9,
             overwrite: true,
+            threads: 0,
         }
     }
 }
@@ -111,7 +118,8 @@ pub fn chase(
         for t in targets {
             let (y, _) = t.target;
             let task = Task::new(current.clone(), master.clone(), matching.clone(), t.target);
-            let report = apply_rules(&task, &t.rules);
+            let ev = Evaluator::with_threads(&task, config.threads);
+            let report = apply_rules_with(&ev, &t.rules);
             for row in 0..current.num_rows() {
                 let Some(code) = report.predictions[row] else {
                     continue;

@@ -21,11 +21,10 @@
 
 use crate::rule::EditingRule;
 use crate::task::Task;
+use er_par::{ShardedMap, WorkerPool};
 use er_table::{Code, GroupIndex, RowId, NULL_CODE};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The four measures of one rule.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,23 +55,47 @@ impl Measures {
     }
 }
 
+/// Minimum number of rows a pattern scan must touch before [`Evaluator::cover`]
+/// fans out over the worker pool — below this the scan is cheaper than the
+/// thread handoff.
+const PAR_COVER_MIN_ROWS: usize = 2048;
+
 /// Measure evaluator with shared acceleration caches for one [`Task`].
+///
+/// The evaluator is `Sync`: the miners share one instance across worker
+/// threads. Both caches are N-way sharded (see [`ShardedMap`]) so concurrent
+/// fills on different rules/attr-sets do not serialize on a global lock, and
+/// each group index is wrapped in a [`OnceLock`] so under contention at most
+/// one thread pays the build cost per `X_m` list.
 pub struct Evaluator<'a> {
     task: &'a Task,
-    /// Master-side group indexes, keyed by the `X_m` attribute list.
-    group_indexes: Mutex<HashMap<Vec<usize>, Arc<GroupIndex>>>,
+    /// Master-side group indexes, keyed by the `X_m` attribute list. The
+    /// `OnceLock` level gives build-once semantics: the map entry is created
+    /// cheaply under the shard lock, the expensive `GroupIndex::build` runs
+    /// outside any lock in exactly one thread (`OnceLock::get_or_init`).
+    group_indexes: ShardedMap<Vec<usize>, Arc<OnceLock<Arc<GroupIndex>>>>,
     /// Measures cache keyed by rule (the paper's reward map `R_Σ` reuses
     /// this through RLMiner; EnuMiner hits it when lattice paths converge).
-    measures_cache: Mutex<HashMap<EditingRule, Measures>>,
+    measures_cache: ShardedMap<EditingRule, Measures>,
+    /// Pool for chunked full-table pattern scans in [`Evaluator::cover`].
+    par: WorkerPool,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Create an evaluator for `task`.
+    /// Create an evaluator for `task` with auto-resolved threading
+    /// (`ER_THREADS` or sequential; see [`er_par::resolve_threads`]).
     pub fn new(task: &'a Task) -> Self {
+        Self::with_threads(task, 0)
+    }
+
+    /// Create an evaluator for `task` scanning covers with up to `threads`
+    /// threads (`0` = auto-resolve).
+    pub fn with_threads(task: &'a Task, threads: usize) -> Self {
         Evaluator {
             task,
-            group_indexes: Mutex::new(HashMap::new()),
-            measures_cache: Mutex::new(HashMap::new()),
+            group_indexes: ShardedMap::new(),
+            measures_cache: ShardedMap::new(),
+            par: WorkerPool::new(threads),
         }
     }
 
@@ -81,29 +104,59 @@ impl<'a> Evaluator<'a> {
         self.task
     }
 
-    /// Number of distinct rules evaluated so far (cache size).
+    /// The worker pool cover scans fan out over (shared so the miners can
+    /// reuse the same thread budget for their own fan-outs).
+    pub fn pool(&self) -> WorkerPool {
+        self.par
+    }
+
+    /// Number of distinct rules evaluated so far (cache size, summed over
+    /// shards).
     pub fn evaluated_rules(&self) -> usize {
-        self.measures_cache.lock().len()
+        self.measures_cache.len()
     }
 
     /// The group index on `X_m` (aggregating `Y_m` counts), building and
-    /// caching it on first use.
+    /// caching it on first use. Under contention, at most one thread builds
+    /// the index for a given `X_m`; the rest block on the `OnceLock` and
+    /// share the result.
     pub fn group_index(&self, xm: &[usize]) -> Arc<GroupIndex> {
-        if let Some(g) = self.group_indexes.lock().get(xm) {
-            return Arc::clone(g);
-        }
-        let (_, ym) = self.task.target();
-        let built = Arc::new(GroupIndex::build(self.task.master(), xm, ym));
-        let mut lock = self.group_indexes.lock();
-        Arc::clone(lock.entry(xm.to_vec()).or_insert(built))
+        let cell = self.group_indexes.get(xm).unwrap_or_else(|| {
+            self.group_indexes
+                .get_or_insert_with(&xm.to_vec(), Arc::default)
+        });
+        Arc::clone(cell.get_or_init(|| {
+            let (_, ym) = self.task.target();
+            Arc::new(GroupIndex::build(self.task.master(), xm, ym))
+        }))
     }
 
     /// Rows of the input matching the rule's pattern, restricted to
     /// `within` when given (subspace search over the parent's cover).
+    ///
+    /// Large scans are chunked over contiguous row ranges and run on the
+    /// worker pool; the per-chunk hit lists are concatenated in range order,
+    /// so the result is identical to the sequential scan at any thread count.
     pub fn cover(&self, rule: &EditingRule, within: Option<&[RowId]>) -> Vec<RowId> {
         let input = self.task.input();
         let matches =
             |row: RowId| rule.pattern_matches(input, row, |attr, r| self.task.numeric(attr, r));
+        let scan_len = within.map_or(input.num_rows(), <[RowId]>::len);
+        if self.par.threads() > 1 && scan_len >= PAR_COVER_MIN_ROWS {
+            let parts: Vec<Vec<RowId>> = match within {
+                Some(rows) => self.par.ranges(rows.len(), |r| {
+                    rows[r]
+                        .iter()
+                        .copied()
+                        .filter(|&row| matches(row))
+                        .collect()
+                }),
+                None => self.par.ranges(input.num_rows(), |r| {
+                    r.filter(|&row| matches(row)).collect()
+                }),
+            };
+            return parts.into_iter().flatten().collect();
+        }
         match within {
             Some(rows) => rows.iter().copied().filter(|&r| matches(r)).collect(),
             None => (0..input.num_rows()).filter(|&r| matches(r)).collect(),
@@ -114,18 +167,18 @@ impl<'a> Evaluator<'a> {
     /// pattern scan when given. Results are cached by rule, so re-evaluating
     /// the same rule (e.g. across RL episodes) costs one hash lookup.
     pub fn eval(&self, rule: &EditingRule, parent_cover: Option<&[RowId]>) -> Measures {
-        if let Some(m) = self.measures_cache.lock().get(rule) {
-            return *m;
+        if let Some(m) = self.measures_cache.get(rule) {
+            return m;
         }
         let cover = self.cover(rule, parent_cover);
         let m = self.eval_on_cover(rule, &cover);
-        self.measures_cache.lock().insert(rule.clone(), m);
+        self.measures_cache.insert(rule.clone(), m);
         m
     }
 
     /// Cached measures of `rule`, if it was evaluated before.
     pub fn cached(&self, rule: &EditingRule) -> Option<Measures> {
-        self.measures_cache.lock().get(rule).copied()
+        self.measures_cache.get(rule)
     }
 
     /// Like [`Evaluator::eval_on_cover`], but consults and fills the
@@ -137,7 +190,7 @@ impl<'a> Evaluator<'a> {
             return m;
         }
         let m = self.eval_on_cover(rule, cover);
-        self.measures_cache.lock().insert(rule.clone(), m);
+        self.measures_cache.insert(rule.clone(), m);
         m
     }
 
@@ -198,34 +251,65 @@ impl<'a> Evaluator<'a> {
     /// * every cached [`GroupIndex`] satisfies its own structural invariants;
     /// * every cached [`Measures`] is within range — `support ≤ cover`,
     ///   `cover ≤ |D|`, `C ∈ [0, 1]`, `Q ∈ [−1, 1]`, and support 0 implies
-    ///   all-zero derived measures.
+    ///   all-zero derived measures;
+    /// * sharding is sound — every cached key is stored in exactly the shard
+    ///   its hash selects, no key appears in two shards, and the shard sum
+    ///   matches [`Evaluator::evaluated_rules`].
     ///
     /// Panics on violation; meant for debug builds and tests.
     #[cfg(feature = "debug-invariants")]
     pub fn check_invariants(&self) {
-        for g in self.group_indexes.lock().values() {
-            g.check_invariants();
-        }
-        let num_rows = self.task.input().num_rows();
-        for (rule, m) in self.measures_cache.lock().iter() {
-            let r = rule.display(self.task.input(), self.task.master().schema());
-            assert!(m.support <= m.cover, "Evaluator: support > cover for {r}");
-            assert!(m.cover <= num_rows, "Evaluator: cover > |D| for {r}");
-            assert!(
-                (0.0..=1.0).contains(&m.certainty),
-                "Evaluator: certainty out of [0,1] for {r}"
-            );
-            assert!(
-                (-1.0..=1.0).contains(&m.quality),
-                "Evaluator: quality out of [-1,1] for {r}"
-            );
-            if m.support == 0 {
-                assert!(
-                    m.certainty == 0.0 && m.quality == 0.0 && m.utility == 0.0,
-                    "Evaluator: zero-support rule with non-zero measures: {r}"
+        self.group_indexes.for_each_shard(|shard_idx, shard| {
+            for (xm, cell) in shard {
+                assert_eq!(
+                    self.group_indexes.shard_index(xm),
+                    shard_idx,
+                    "Evaluator: group index {xm:?} stored in the wrong shard"
                 );
+                if let Some(g) = cell.get() {
+                    g.check_invariants();
+                }
             }
-        }
+        });
+        let num_rows = self.task.input().num_rows();
+        let mut seen: std::collections::HashSet<EditingRule> = std::collections::HashSet::new();
+        let mut total = 0usize;
+        self.measures_cache.for_each_shard(|shard_idx, shard| {
+            for (rule, m) in shard {
+                let r = rule.display(self.task.input(), self.task.master().schema());
+                assert_eq!(
+                    self.measures_cache.shard_index(rule),
+                    shard_idx,
+                    "Evaluator: {r} cached in the wrong shard"
+                );
+                assert!(
+                    seen.insert(rule.clone()),
+                    "Evaluator: {r} cached in two shards"
+                );
+                total += 1;
+                assert!(m.support <= m.cover, "Evaluator: support > cover for {r}");
+                assert!(m.cover <= num_rows, "Evaluator: cover > |D| for {r}");
+                assert!(
+                    (0.0..=1.0).contains(&m.certainty),
+                    "Evaluator: certainty out of [0,1] for {r}"
+                );
+                assert!(
+                    (-1.0..=1.0).contains(&m.quality),
+                    "Evaluator: quality out of [-1,1] for {r}"
+                );
+                if m.support == 0 {
+                    assert!(
+                        m.certainty == 0.0 && m.quality == 0.0 && m.utility == 0.0,
+                        "Evaluator: zero-support rule with non-zero measures: {r}"
+                    );
+                }
+            }
+        });
+        assert_eq!(
+            total,
+            self.evaluated_rules(),
+            "Evaluator: shard sum disagrees with evaluated_rules()"
+        );
     }
 }
 

@@ -54,20 +54,24 @@ pub fn apply_rules(task: &Task, rules: &[EditingRule]) -> RepairReport {
 
 /// Like [`apply_rules`] but reusing an existing evaluator's master-side
 /// indexes (the miners already built them).
+///
+/// Vote collection fans out over the evaluator's worker pool — one task per
+/// rule, each returning its `(row, candidate, score)` contributions — and
+/// the contributions are folded into the vote table sequentially in rule
+/// order, so every floating-point sum is accumulated in exactly the order
+/// of the sequential loop and the report is identical at any thread count.
 pub fn apply_rules_with(ev: &Evaluator<'_>, rules: &[EditingRule]) -> RepairReport {
     let task = ev.task();
     let input = task.input();
     let n = input.num_rows();
-    // votes[row]: candidate code → accumulated certainty score.
-    let mut votes: Vec<HashMap<Code, f64>> = vec![HashMap::new(); n];
-    let mut rules_applied = 0usize;
 
-    for rule in rules {
+    // Per-rule vote contributions, computed in parallel.
+    let contributions: Vec<Vec<(RowId, Code, f64)>> = ev.pool().map(rules, |rule| {
         let x = rule.x();
         let xm = rule.xm();
         let group = ev.group_index(&xm);
         let cover = ev.cover(rule, None);
-        let mut applied = false;
+        let mut out = Vec::new();
         let mut key = Vec::with_capacity(x.len());
         'rows: for row in cover {
             key.clear();
@@ -87,16 +91,26 @@ pub fn apply_rules_with(ev: &Evaluator<'_>, rules: &[EditingRule]) -> RepairRepo
             if total == 0 {
                 continue;
             }
-            applied = true;
             for &(code, count) in dist {
                 if code == NULL_CODE {
                     continue;
                 }
-                *votes[row].entry(code).or_insert(0.0) += count as f64 / total as f64;
+                out.push((row, code, count as f64 / total as f64));
             }
         }
-        if applied {
+        out
+    });
+
+    // Ordered fold: votes[row]: candidate code → accumulated certainty
+    // score, summed in rule order. A rule applied iff it contributed.
+    let mut votes: Vec<HashMap<Code, f64>> = vec![HashMap::new(); n];
+    let mut rules_applied = 0usize;
+    for contribution in contributions {
+        if !contribution.is_empty() {
             rules_applied += 1;
+        }
+        for (row, code, delta) in contribution {
+            *votes[row].entry(code).or_insert(0.0) += delta;
         }
     }
 
@@ -105,6 +119,8 @@ pub fn apply_rules_with(ev: &Evaluator<'_>, rules: &[EditingRule]) -> RepairRepo
     let mut candidates = Vec::with_capacity(n);
     for vote in votes {
         candidates.push(vote.len());
+        // The winner is unique regardless of hash-map iteration order: max
+        // by score, ties broken by code.
         let winner = vote.into_iter().max_by(|(ca, sa), (cb, sb)| {
             sa.partial_cmp(sb)
                 .unwrap_or(std::cmp::Ordering::Equal)

@@ -49,6 +49,12 @@ impl Pool {
 
     /// Intern `v`, returning its code. NULL maps to [`NULL_CODE`] without
     /// touching the dictionary.
+    ///
+    /// Safe under concurrency: after the read-locked fast path misses, the
+    /// presence check is repeated under the *write* lock before allocating.
+    /// Two threads racing to intern the same new value both observe the
+    /// same code — without the re-check, the loser of the race would
+    /// allocate a second code for the value and split the dictionary.
     pub fn intern(&self, v: Value) -> Code {
         if v.is_null() {
             return NULL_CODE;
@@ -58,6 +64,8 @@ impl Pool {
             return c;
         }
         let mut inner = self.inner.write();
+        // Re-check under the write lock: another thread may have interned
+        // `v` between our read miss and this write acquisition.
         if let Some(&c) = inner.map.get(&v) {
             return c;
         }
@@ -183,5 +191,79 @@ mod tests {
             assert_eq!(w[0], w[1]);
         }
         assert_eq!(p.len(), 100);
+    }
+
+    /// The check-then-act race on a brand-new value: many threads released
+    /// simultaneously to intern the *same* fresh value must converge on one
+    /// code per value — the write-locked re-check is what prevents double
+    /// allocation.
+    #[test]
+    fn same_new_value_race_allocates_one_code() {
+        use std::sync::{Arc, Barrier};
+        const THREADS: usize = 8;
+        const VALUES: i64 = 200;
+        let p = Arc::new(Pool::new());
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    // Line every thread up so each fresh value is interned
+                    // by as many racers as the scheduler allows.
+                    barrier.wait();
+                    (0..VALUES)
+                        .map(|i| p.intern(Value::int(i)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Code>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every thread observed the same code for every value...
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        // ...exactly one code per distinct value was allocated, densely...
+        assert_eq!(p.len(), VALUES as usize);
+        let mut codes = results[0].clone();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), VALUES as usize);
+        assert!(codes.iter().all(|&c| (c as usize) < VALUES as usize));
+        // ...and every code decodes back to its value.
+        for (i, &c) in results[0].iter().enumerate() {
+            assert_eq!(p.value(c), Value::int(i as i64));
+        }
+    }
+
+    /// Concurrent readers (`code_of`, `value`, `len`) racing writers must
+    /// always observe a consistent dictionary (codes only ever grow, and a
+    /// visible code always decodes).
+    #[test]
+    fn readers_race_writers_consistently() {
+        use std::sync::Arc;
+        let p = Arc::new(Pool::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    for i in 0..200i64 {
+                        p.intern(Value::int(i + t * 200));
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    for i in 0..200i64 {
+                        if let Some(c) = p.code_of(&Value::int(i)) {
+                            assert_eq!(p.value(c), Value::int(i));
+                        }
+                        assert!(p.len() <= 800);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.len(), 800);
     }
 }

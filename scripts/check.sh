@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # The local mirror of CI: formatting, the clippy lint wall, the full test
-# suite (with and without the miner invariant audits), and er-lint over the
-# committed example rule set. Run from anywhere inside the repo.
+# suite (sequential, with miner invariant audits, and with ER_THREADS=4
+# worker pools), and er-lint over the committed example rule set. Run from
+# anywhere inside the repo.
+#
+# BENCH=1 additionally runs the thread-scaling sweep and refreshes
+# results/par_sweep.json (release build; a few extra minutes).
 set -euo pipefail
 cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
 
@@ -17,7 +21,15 @@ cargo test --workspace -q
 echo "==> cargo test --workspace --features debug-invariants -q"
 cargo test --workspace --features debug-invariants -q
 
+echo "==> ER_THREADS=4 cargo test --workspace -q"
+ER_THREADS=4 cargo test --workspace -q
+
 echo "==> experiments lint examples/figure1_rules.json"
 cargo run -p er-bench --bin experiments -- lint examples/figure1_rules.json
+
+if [[ "${BENCH:-0}" == "1" ]]; then
+    echo "==> experiments par_sweep (refreshing results/par_sweep.json)"
+    cargo run -p er-bench --release --bin experiments -- par_sweep
+fi
 
 echo "All checks passed."
