@@ -13,8 +13,8 @@ use er_bench::ExperimentConfig;
 
 const USAGE: &str = "\
 usage: experiments [--paper-scale|--quick] [--repeats N] [--train-steps N] [--threads N] <ids...>
-       experiments lint [--dataset NAME] [--seed N] [--json] <rules.json>
-  ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate par_sweep
+       experiments lint [--dataset NAME] [--seed N] [--json] [--fix [--out PATH]] <rules.json>
+  ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate par_sweep serve_bench
   --paper-scale   run at the paper's dataset sizes (EnuMiner may take hours)
   --quick         smoke-test scale (shorter training, tighter budgets)
   --repeats N     repetitions for mean±std tables (default 3, paper 5)
@@ -25,6 +25,9 @@ lint: statically analyze a rule-set JSON file against a dataset scenario
   --dataset NAME  figure1 (default), adult, covid, nursery, location
   --seed N        scenario seed for the generated datasets (default 1)
   --json          emit the machine-readable JSON report instead of text
+  --fix           remove rules flagged ER003/ER004 (mechanically safe) and
+                  write the cleaned rule set to --out (default: stdout)
+  --out PATH      where --fix writes the cleaned JSON
   exits 1 when the report contains errors, 2 on usage/IO problems";
 
 fn main() {
@@ -132,6 +135,9 @@ fn main() {
             "par_sweep" => {
                 er_bench::par_sweep(&cfg);
             }
+            "serve_bench" => {
+                er_bench::serve_bench(&cfg);
+            }
             other => die(&format!("unknown experiment id {other}")),
         }
         println!("[{} finished in {:.1?}]\n", id, start.elapsed());
@@ -149,6 +155,8 @@ fn lint_main(args: &[String]) {
     let mut dataset = "figure1".to_string();
     let mut seed = 1u64;
     let mut json_out = false;
+    let mut fix = false;
+    let mut out: Option<String> = None;
     let mut file: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -166,6 +174,14 @@ fn lint_main(args: &[String]) {
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
             "--json" => json_out = true,
+            "--fix" => fix = true,
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--out needs a path")),
+                );
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -200,14 +216,40 @@ fn lint_main(args: &[String]) {
             std::process::exit(2);
         }
     };
-    let report = match er_lint::lint_json(&json, &scenario.task) {
+    let rules: Vec<er_rules::PortableRule> = match serde_json::from_str(&json) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("error: {path}: {e}");
+            eprintln!("error: {path}: not a rule-set document: {e}");
             std::process::exit(2);
         }
     };
-    if json_out {
+    let report = er_lint::lint_portable(&rules, &scenario.task);
+    if fix {
+        let outcome = er_lint::apply_fixes(&rules, &report);
+        let cleaned = match serde_json::to_string_pretty(&outcome.kept) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot serialize the cleaned rule set: {e}");
+                std::process::exit(2);
+            }
+        };
+        eprintln!(
+            "fix: removed {} of {} rules (ER003/ER004), kept {}",
+            outcome.removed.len(),
+            rules.len(),
+            outcome.kept.len()
+        );
+        match &out {
+            Some(dest) => {
+                if let Err(e) = std::fs::write(dest, cleaned + "\n") {
+                    eprintln!("error: cannot write {dest}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("fix: wrote {dest}");
+            }
+            None => println!("{cleaned}"),
+        }
+    } else if json_out {
         println!("{}", report.render_json());
     } else {
         print!("{}", report.render_text());

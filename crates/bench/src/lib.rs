@@ -27,10 +27,12 @@
 
 pub mod methods;
 pub mod runners;
+pub mod serve_bench;
 pub mod stats;
 
 pub use methods::{ctane_method, enuminer_method, rlminer_method, MethodOutcome};
 pub use runners::*;
+pub use serve_bench::{serve_bench, ServeBench};
 pub use stats::{mean_std, MeanStd};
 
 use er_datagen::{DatasetKind, Scenario, ScenarioConfig};

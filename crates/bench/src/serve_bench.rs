@@ -1,0 +1,238 @@
+//! `serve_bench` — throughput and latency of the er-serve socket mode.
+//!
+//! Starts an in-process [`TcpServer`] over a Covid scenario with a small
+//! hand-built rule set (serving cost is dominated by the vote loop, not by
+//! where the rules came from), then drives it with several concurrent
+//! clients replaying the scenario's input rows in fixed-size batches.
+//! Reports wall-clock throughput plus client-side and server-side p50/p99
+//! latency, and writes `results/serve_bench.json`.
+
+use crate::ExperimentConfig;
+use er_datagen::DatasetKind;
+use er_rules::EditingRule;
+use er_serve::{RepairEngine, ServeConfig, Server, TcpServer};
+use er_table::Value;
+use serde::Serialize;
+use serde_json::Value as Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Result of one serve benchmark run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBench {
+    /// Dataset the server was loaded with.
+    pub dataset: String,
+    /// Loaded rule count.
+    pub rules: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sent.
+    pub requests_per_client: usize,
+    /// Rows per repair request.
+    pub rows_per_batch: usize,
+    /// Total rows pushed through the server.
+    pub total_rows: usize,
+    /// Wall-clock duration of the client phase, seconds.
+    pub wall_seconds: f64,
+    /// Rows repaired per second (aggregate).
+    pub rows_per_second: f64,
+    /// Requests answered per second (aggregate).
+    pub requests_per_second: f64,
+    /// Client-observed median round-trip, microseconds.
+    pub client_p50_us: u64,
+    /// Client-observed 99th-percentile round-trip, microseconds.
+    pub client_p99_us: u64,
+    /// Server-side median repair latency, microseconds.
+    pub server_p50_us: u64,
+    /// Server-side 99th-percentile repair latency, microseconds.
+    pub server_p99_us: u64,
+    /// Total cells the served repairs would change.
+    pub repaired_cells: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn cell_to_json(value: &Value) -> Json {
+    match value {
+        Value::Null => Json::Null,
+        Value::Int(i) => Json::Int(*i),
+        Value::Float(f) => Json::Float(*f),
+        Value::Str(s) => Json::Str(s.to_string()),
+    }
+}
+
+/// Benchmark the serve path; see the module docs.
+pub fn serve_bench(cfg: &ExperimentConfig) -> ServeBench {
+    println!("== serve_bench: er-serve socket mode over the Covid scenario ==");
+    let s = cfg.scenario(DatasetKind::Covid, 1);
+    let task = &s.task;
+    let target = task.target();
+
+    // Single-attribute rules over every matched LHS pair, plus adjacent
+    // two-attribute rules for index diversity.
+    let pairs = task.candidate_lhs_pairs();
+    let mut rules: Vec<EditingRule> = pairs
+        .iter()
+        .map(|&p| EditingRule::new(vec![p], target, vec![]))
+        .collect();
+    for window in pairs.windows(2) {
+        rules.push(EditingRule::new(window.to_vec(), target, vec![]));
+    }
+    rules.truncate(12);
+
+    let engine = match RepairEngine::new(task, rules, cfg.threads) {
+        Ok(e) => e,
+        Err(e) => {
+            // The scenario and rules are constructed above; this is a bug,
+            // not an environment failure — surface it loudly.
+            panic!("serve_bench: engine construction failed: {e}");
+        }
+    };
+    let num_rules = engine.num_rules();
+
+    let clients = 4usize;
+    let rows_per_batch = 64usize;
+    let config = ServeConfig {
+        queue_capacity: 256,
+        workers: clients,
+        ..ServeConfig::default()
+    };
+    let server = Arc::new(Server::new(engine, config));
+    let tcp = match TcpServer::bind(Arc::clone(&server), "127.0.0.1:0") {
+        Ok(t) => t,
+        Err(e) => panic!("serve_bench: cannot bind a loopback socket: {e}"),
+    };
+    let addr = tcp.local_addr();
+
+    // Pre-render the request lines once; every client replays the same
+    // stream of batches.
+    let input = task.input();
+    let requests: Vec<(String, usize)> = (0..input.num_rows())
+        .collect::<Vec<_>>()
+        .chunks(rows_per_batch)
+        .map(|chunk| {
+            let rows: Vec<Json> = chunk
+                .iter()
+                .map(|&row| Json::Array(input.row_values(row).iter().map(cell_to_json).collect()))
+                .collect();
+            let line = serde_json::to_string(&Json::Object(vec![
+                ("op".to_string(), Json::Str("repair".into())),
+                ("rows".to_string(), Json::Array(rows)),
+            ]))
+            .unwrap_or_default();
+            (line, chunk.len())
+        })
+        .collect();
+    let passes = 3usize.max(cfg.repeats);
+    let requests_per_client = requests.len() * passes;
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let requests = requests.clone();
+            std::thread::spawn(move || -> (Vec<u64>, usize) {
+                let mut latencies = Vec::with_capacity(requests.len() * passes);
+                let mut rows_sent = 0usize;
+                let Ok(stream) = TcpStream::connect(addr) else {
+                    return (latencies, rows_sent);
+                };
+                let _ = stream.set_nodelay(true);
+                let Ok(read_half) = stream.try_clone() else {
+                    return (latencies, rows_sent);
+                };
+                let mut reader = BufReader::new(read_half);
+                let mut writer = stream;
+                let mut line = String::new();
+                for _ in 0..passes {
+                    for (request, rows) in &requests {
+                        let sent = Instant::now();
+                        if writeln!(writer, "{request}").is_err() {
+                            return (latencies, rows_sent);
+                        }
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(n) if n > 0 => {
+                                latencies.push(
+                                    u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX),
+                                );
+                                rows_sent += rows;
+                            }
+                            _ => return (latencies, rows_sent),
+                        }
+                    }
+                }
+                (latencies, rows_sent)
+            })
+        })
+        .collect();
+    let mut client_latencies: Vec<u64> = Vec::new();
+    let mut total_rows = 0usize;
+    for handle in handles {
+        if let Ok((mut lat, rows)) = handle.join() {
+            client_latencies.append(&mut lat);
+            total_rows += rows;
+        }
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    // Drain through the protocol so the bench exercises the full lifecycle.
+    if let Ok(stream) = TcpStream::connect(addr) {
+        if let Ok(read_half) = stream.try_clone() {
+            let mut reader = BufReader::new(read_half);
+            let mut writer = stream;
+            let mut line = String::new();
+            if writeln!(writer, "{{\"op\":\"shutdown\"}}").is_ok() {
+                let _ = reader.read_line(&mut line);
+            }
+        }
+    }
+    tcp.shutdown();
+    tcp.join();
+
+    client_latencies.sort_unstable();
+    let snapshot = server.snapshot();
+    let total_requests = client_latencies.len();
+    let result = ServeBench {
+        dataset: s.name.clone(),
+        rules: num_rules,
+        clients,
+        requests_per_client,
+        rows_per_batch,
+        total_rows,
+        wall_seconds,
+        rows_per_second: total_rows as f64 / wall_seconds.max(1e-9),
+        requests_per_second: total_requests as f64 / wall_seconds.max(1e-9),
+        client_p50_us: percentile(&client_latencies, 0.50),
+        client_p99_us: percentile(&client_latencies, 0.99),
+        server_p50_us: snapshot.p50_us,
+        server_p99_us: snapshot.p99_us,
+        repaired_cells: snapshot.repaired_cells,
+    };
+    println!(
+        "  {} clients × {} requests × {} rows: {:.2}s, {:.0} rows/s, {:.0} req/s",
+        result.clients,
+        result.requests_per_client,
+        result.rows_per_batch,
+        result.wall_seconds,
+        result.rows_per_second,
+        result.requests_per_second
+    );
+    println!(
+        "  latency: client p50={}us p99={}us, server p50={}us p99={}us, fixed cells={}",
+        result.client_p50_us,
+        result.client_p99_us,
+        result.server_p50_us,
+        result.server_p99_us,
+        result.repaired_cells
+    );
+    cfg.write_json("serve_bench", &result);
+    result
+}

@@ -57,6 +57,16 @@ pub fn scenario_from_relations(
     master: Relation,
     options: &CsvScenarioOptions,
 ) -> er_table::Result<Scenario> {
+    // Task::new treats a pool mismatch as a caller bug and panics; here the
+    // relations come from external files, so report it as a typed error.
+    if !Arc::ptr_eq(input.pool(), master.pool()) {
+        return Err(er_table::Error::Csv {
+            line: 1,
+            message: "input and master relations must share one value pool \
+                      (load both through the same Pool)"
+                .to_string(),
+        });
+    }
     let y = input.schema().attr_id(&options.target_input)?;
     let ym = master.schema().attr_id(&options.target_master)?;
     let matching = if options.match_pairs.is_empty() {
@@ -174,6 +184,27 @@ SZ,51800,premium
         ];
         let s = scenario_from_relations(input, master, &options).unwrap();
         assert_eq!(s.task.matching().num_pairs(), 2);
+    }
+
+    #[test]
+    fn separate_pools_are_a_typed_error() {
+        let input = csv::read_str("input", INPUT, Arc::new(Pool::new())).unwrap();
+        let master = csv::read_str("master", MASTER, Arc::new(Pool::new())).unwrap();
+        let r = scenario_from_relations(
+            input,
+            master,
+            &CsvScenarioOptions::new("toy", "plan", "plan"),
+        );
+        assert!(matches!(r, Err(er_table::Error::Csv { .. })));
+    }
+
+    #[test]
+    fn malformed_csv_headers_are_typed_errors() {
+        // Duplicate header columns used to panic inside schema construction;
+        // serve mode feeds this path untrusted input, so it must be an Err.
+        let pool = Arc::new(Pool::new());
+        let r = csv::read_str("input", "city,city,plan\nHZ,HZ,basic\n", pool);
+        assert!(matches!(r, Err(er_table::Error::Csv { line: 1, .. })));
     }
 
     #[test]

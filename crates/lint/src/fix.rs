@@ -1,0 +1,150 @@
+//! Mechanical fixes: removing rules the linter proves redundant.
+//!
+//! Two diagnostic codes are *mechanically* fixable — removing the flagged
+//! rule provably never changes repair behaviour:
+//!
+//! * **ER003** (exact duplicate): the linter keeps the first occurrence
+//!   unflagged and flags every later copy, so removing all flagged rules
+//!   keeps exactly one of each duplicate group.
+//! * **ER004** (dominated): a flagged rule is strictly dominated by another
+//!   rule. Domination is a strict partial order (irreflexive, transitive),
+//!   so the maximal rules of the set are never flagged and every removed
+//!   rule keeps a dominator among the survivors — even when its recorded
+//!   `related` dominator is itself removed, transitivity supplies a kept
+//!   one.
+//!
+//! Everything else (dangling references, unsatisfiable patterns, repair
+//! conflicts) needs a human decision and is left alone.
+
+use crate::diag::{DiagCode, Report};
+use er_rules::PortableRule;
+
+/// The result of applying the mechanical fixes.
+#[derive(Debug, Clone)]
+pub struct FixOutcome {
+    /// The surviving rules, in their original order.
+    pub kept: Vec<PortableRule>,
+    /// Zero-based indices (into the original set) of the removed rules,
+    /// ascending.
+    pub removed: Vec<usize>,
+}
+
+/// Indices of rules a fix pass would remove: every rule flagged ER003 or
+/// ER004, ascending and deduplicated.
+pub fn removable(report: &Report) -> Vec<usize> {
+    let mut indices: Vec<usize> = report
+        .findings
+        .iter()
+        .filter(|f| matches!(f.code, DiagCode::Er003 | DiagCode::Er004))
+        .map(|f| f.rule)
+        .collect();
+    indices.sort_unstable();
+    indices.dedup();
+    indices
+}
+
+/// Apply the mechanical fixes for `report` to `rules` (the same set the
+/// report was produced from).
+pub fn apply_fixes(rules: &[PortableRule], report: &Report) -> FixOutcome {
+    let removed = removable(report);
+    let kept = rules
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| removed.binary_search(i).is_err())
+        .map(|(_, r)| r.clone())
+        .collect();
+    FixOutcome { kept, removed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::lint_portable;
+    use er_rules::{to_portable, EditingRule};
+
+    fn portable(rules: &[EditingRule]) -> Vec<PortableRule> {
+        let task = crate::doctest_task();
+        rules.iter().map(|r| to_portable(r, &task, None)).collect()
+    }
+
+    #[test]
+    fn duplicates_keep_their_first_occurrence() {
+        let task = crate::doctest_task();
+        let rule = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        let rules = portable(&[rule.clone(), rule.clone(), rule]);
+        let report = lint_portable(&rules, &task);
+        let outcome = apply_fixes(&rules, &report);
+        assert_eq!(outcome.removed, vec![1, 2]);
+        assert_eq!(outcome.kept.len(), 1);
+    }
+
+    #[test]
+    fn dominated_rules_are_removed_and_dominators_kept() {
+        let task = crate::doctest_task();
+        // (City) → Case dominates (City, Case) → Case-style wider LHS? The
+        // doctest task has 2 attrs; use a pattern to create domination:
+        // the unconditional rule dominates the pattern-restricted one.
+        let base = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        let narrow = EditingRule::new(
+            vec![(0, 0)],
+            (1, 1),
+            vec![er_rules::Condition::eq(
+                0,
+                task.input().pool().intern(er_table::Value::str("HZ")),
+            )],
+        );
+        let rules = portable(&[base, narrow]);
+        let report = lint_portable(&rules, &task);
+        let outcome = apply_fixes(&rules, &report);
+        assert_eq!(outcome.removed, vec![1]);
+        assert_eq!(outcome.kept.len(), 1);
+    }
+
+    #[test]
+    fn clean_sets_are_untouched() {
+        let task = crate::doctest_task();
+        let rules = portable(&[EditingRule::new(vec![(0, 0)], (1, 1), vec![])]);
+        let report = lint_portable(&rules, &task);
+        let outcome = apply_fixes(&rules, &report);
+        assert!(outcome.removed.is_empty());
+        assert_eq!(outcome.kept.len(), 1);
+    }
+
+    #[test]
+    fn fixed_sets_relint_clean_of_er003_and_er004() {
+        let task = crate::doctest_task();
+        let base = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        let narrow = EditingRule::new(
+            vec![(0, 0)],
+            (1, 1),
+            vec![er_rules::Condition::eq(
+                0,
+                task.input().pool().intern(er_table::Value::str("HZ")),
+            )],
+        );
+        let rules = portable(&[base.clone(), base.clone(), narrow, base]);
+        let report = lint_portable(&rules, &task);
+        let outcome = apply_fixes(&rules, &report);
+        let again = lint_portable(&outcome.kept, &task);
+        assert!(
+            again
+                .findings
+                .iter()
+                .all(|f| !matches!(f.code, DiagCode::Er003 | DiagCode::Er004)),
+            "{again:?}"
+        );
+    }
+
+    #[test]
+    fn non_mechanical_findings_are_left_alone() {
+        let task = crate::doctest_task();
+        // A dangling attribute (ER001) must not be auto-removed.
+        let mut rules = portable(&[EditingRule::new(vec![(0, 0)], (1, 1), vec![])]);
+        rules[0].lhs[0].0 = "Nope".to_string();
+        let report = lint_portable(&rules, &task);
+        assert!(report.errors() > 0);
+        let outcome = apply_fixes(&rules, &report);
+        assert!(outcome.removed.is_empty());
+        assert_eq!(outcome.kept.len(), 1);
+    }
+}

@@ -26,6 +26,12 @@
 //! ([`Report::render_text`]) and as machine-readable JSON
 //! ([`Report::render_json`]).
 //!
+//! ER003 and ER004 are *mechanically fixable*: [`apply_fixes`] removes
+//! every flagged rule and provably never changes repair behaviour (the
+//! linter keeps the first occurrence of each duplicate group, and
+//! domination's transitivity guarantees every removed rule keeps a
+//! dominator among the survivors).
+//!
 //! ```
 //! use er_lint::{lint_json, DiagCode};
 //! # let scenario_task = er_lint::doctest_task();
@@ -38,9 +44,11 @@
 //! ```
 
 mod diag;
+mod fix;
 mod lint;
 
 pub use diag::{DiagCode, Finding, Report, Severity};
+pub use fix::{apply_fixes, removable, FixOutcome};
 pub use lint::{lint_json, lint_portable, lint_resolved, render_portable};
 
 /// A tiny fixed task for the crate's doctests; not part of the public API

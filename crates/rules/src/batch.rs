@@ -1,0 +1,427 @@
+//! Task-free batch repair for long-lived serving.
+//!
+//! [`crate::apply_rules`] is built for one-shot mining runs: it borrows a
+//! [`crate::Task`] that owns both relations, and its [`crate::Evaluator`]
+//! builds the master-side group indexes lazily per call site. A serving
+//! process inverts that shape — the master relation and rule set are loaded
+//! once and live for the lifetime of the process, while input batches
+//! stream in and out. [`BatchRepairer`] holds exactly the long-lived half:
+//! the master relation, the resolved rules, and one pre-built
+//! [`GroupIndex`] per distinct `X_m` list (warmed at construction, shared
+//! by every request), so a `repair_batch` call touches only the incoming
+//! rows.
+//!
+//! The voting semantics are identical to [`crate::apply_rules_with`]: the
+//! per-rule `(row, candidate, score)` contributions are collected in
+//! parallel over the worker pool and folded sequentially in rule order, so
+//! the report for a given batch is byte-identical to the one-shot path at
+//! any thread count.
+
+use crate::repair::{fold_votes, RepairReport};
+use crate::rule::EditingRule;
+use er_par::WorkerPool;
+use er_table::{AttrId, Code, GroupIndex, Relation, RowId, NULL_CODE};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Rules per worker-pool fan-out between deadline checks: small enough that
+/// an expired deadline is noticed promptly, large enough that the handoff
+/// overhead stays negligible.
+const RULE_CHUNK: usize = 8;
+
+/// Errors from building a [`BatchRepairer`] or repairing a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// A rule's target differs from the repairer's target pair.
+    MixedTargets {
+        /// Index of the offending rule.
+        rule: usize,
+    },
+    /// The target's master attribute is out of range for the master schema.
+    TargetOutOfRange,
+    /// The batch relation does not share the repairer's value pool, so its
+    /// dictionary codes would be meaningless against the master indexes.
+    PoolMismatch,
+    /// The batch relation's arity is too small to contain the target `Y` or
+    /// a rule's LHS/pattern attribute.
+    BatchArity {
+        /// Required minimum arity.
+        needed: usize,
+        /// The batch's actual arity.
+        got: usize,
+    },
+    /// The per-request deadline expired before the repair finished.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::MixedTargets { rule } => {
+                write!(f, "rule #{rule} has a different target than the repairer")
+            }
+            BatchError::TargetOutOfRange => write!(f, "target Y_m out of range for the master"),
+            BatchError::PoolMismatch => {
+                write!(f, "batch does not share the repairer's value pool")
+            }
+            BatchError::BatchArity { needed, got } => {
+                write!(f, "batch has {got} attributes, rules reference {needed}")
+            }
+            BatchError::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// A warmed, long-lived repair engine: master relation + rule set + one
+/// pre-built group index per distinct `X_m`, amortized across every
+/// [`BatchRepairer::repair_batch`] call.
+pub struct BatchRepairer {
+    master: Relation,
+    target: (AttrId, AttrId),
+    rules: Vec<EditingRule>,
+    /// Pre-built master-side indexes keyed by the `X_m` attribute list.
+    indexes: HashMap<Vec<AttrId>, Arc<GroupIndex>>,
+    /// Minimum input arity any rule (or the target) references.
+    min_arity: usize,
+    pool: WorkerPool,
+}
+
+impl std::fmt::Debug for BatchRepairer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchRepairer")
+            .field("master_rows", &self.master.num_rows())
+            .field("target", &self.target)
+            .field("rules", &self.rules.len())
+            .field("indexes", &self.indexes.len())
+            .finish()
+    }
+}
+
+impl BatchRepairer {
+    /// Build a repairer for `rules` over `master`, targeting the input/master
+    /// attribute pair `target`. Every distinct `X_m` group index is built
+    /// here — the serve-mode "warm indexes once" step — fanning out over up
+    /// to `threads` workers (`0` = auto: `ER_THREADS` or sequential).
+    pub fn new(
+        master: Relation,
+        target: (AttrId, AttrId),
+        rules: Vec<EditingRule>,
+        threads: usize,
+    ) -> Result<Self, BatchError> {
+        if target.1 >= master.num_attrs() {
+            return Err(BatchError::TargetOutOfRange);
+        }
+        let mut min_arity = target.0 + 1;
+        for (i, rule) in rules.iter().enumerate() {
+            if rule.target() != target {
+                return Err(BatchError::MixedTargets { rule: i });
+            }
+            let rule_max = rule
+                .x()
+                .iter()
+                .chain(rule.pattern_attrs().iter())
+                .max()
+                .map_or(0, |&a| a + 1);
+            min_arity = min_arity.max(rule_max);
+        }
+        let pool = WorkerPool::new(threads);
+        let mut xms: Vec<Vec<AttrId>> = rules.iter().map(|r| r.xm()).collect();
+        xms.sort();
+        xms.dedup();
+        let built: Vec<Arc<GroupIndex>> = pool.map(&xms, |xm| {
+            Arc::new(GroupIndex::build(&master, xm, target.1))
+        });
+        let indexes = xms.into_iter().zip(built).collect();
+        Ok(BatchRepairer {
+            master,
+            target,
+            rules,
+            indexes,
+            min_arity,
+            pool,
+        })
+    }
+
+    /// The master relation the repairer serves from.
+    pub fn master(&self) -> &Relation {
+        &self.master
+    }
+
+    /// The loaded rules.
+    pub fn rules(&self) -> &[EditingRule] {
+        &self.rules
+    }
+
+    /// The `(Y, Y_m)` target pair.
+    pub fn target(&self) -> (AttrId, AttrId) {
+        self.target
+    }
+
+    /// Number of pre-built group indexes (distinct `X_m` lists).
+    pub fn num_indexes(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Repair one batch of input rows. The report is identical to
+    /// [`crate::apply_rules`] on a task built from the same batch and master.
+    pub fn repair_batch(&self, batch: &Relation) -> Result<RepairReport, BatchError> {
+        self.repair(batch, None)
+    }
+
+    /// Like [`BatchRepairer::repair_batch`] with a hard deadline: the rule
+    /// fan-out is chunked and the clock is checked between chunks, so an
+    /// overloaded server abandons a request within one chunk's work rather
+    /// than finishing an arbitrarily large rule set.
+    pub fn repair_batch_deadline(
+        &self,
+        batch: &Relation,
+        deadline: Instant,
+    ) -> Result<RepairReport, BatchError> {
+        self.repair(batch, Some(deadline))
+    }
+
+    fn repair(
+        &self,
+        batch: &Relation,
+        deadline: Option<Instant>,
+    ) -> Result<RepairReport, BatchError> {
+        if !Arc::ptr_eq(batch.pool(), self.master.pool()) {
+            return Err(BatchError::PoolMismatch);
+        }
+        if batch.num_attrs() < self.min_arity {
+            return Err(BatchError::BatchArity {
+                needed: self.min_arity,
+                got: batch.num_attrs(),
+            });
+        }
+        let mut contributions: Vec<Vec<(RowId, Code, f64)>> = Vec::with_capacity(self.rules.len());
+        for chunk in self.rules.chunks(RULE_CHUNK) {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(BatchError::DeadlineExceeded);
+            }
+            contributions.extend(self.pool.map(chunk, |rule| self.contribution(rule, batch)));
+        }
+        let report = fold_votes(batch.num_rows(), contributions);
+        #[cfg(feature = "debug-invariants")]
+        self.audit_report(&report);
+        Ok(report)
+    }
+
+    /// One rule's `(row, candidate, certainty)` votes over the batch —
+    /// the same contributions [`crate::apply_rules_with`] collects, with the
+    /// pattern cover computed inline (batches are small; the subspace-search
+    /// machinery of the mining path would cost more than it saves).
+    fn contribution(&self, rule: &EditingRule, batch: &Relation) -> Vec<(RowId, Code, f64)> {
+        let numeric = |attr: AttrId, row: RowId| {
+            if batch.schema().attr(attr).is_continuous() {
+                batch.value(row, attr).as_f64()
+            } else {
+                None
+            }
+        };
+        let x = rule.x();
+        // Invariant: `new` built an index for every rule's X_m list.
+        #[allow(clippy::unwrap_used)]
+        let group = self.indexes.get(&rule.xm()).unwrap();
+        let mut out = Vec::new();
+        let mut key = Vec::with_capacity(x.len());
+        'rows: for row in 0..batch.num_rows() {
+            if !rule.pattern_matches(batch, row, numeric) {
+                continue;
+            }
+            key.clear();
+            for &a in &x {
+                let c = batch.code(row, a);
+                if c == NULL_CODE {
+                    continue 'rows;
+                }
+                key.push(c);
+            }
+            let dist = group.get(&key);
+            let total: u32 = dist
+                .iter()
+                .filter(|&&(c, _)| c != NULL_CODE)
+                .map(|&(_, n)| n)
+                .sum();
+            if total == 0 {
+                continue;
+            }
+            for &(code, count) in dist {
+                if code == NULL_CODE {
+                    continue;
+                }
+                out.push((row, code, count as f64 / total as f64));
+            }
+        }
+        out
+    }
+
+    /// Certain-fix audit: every prediction must copy a value actually
+    /// present in the master's `Y_m` column — the repair engine only ever
+    /// transfers master data, never invents values.
+    #[cfg(feature = "debug-invariants")]
+    fn audit_report(&self, report: &RepairReport) {
+        let valid: std::collections::HashSet<Code> = self
+            .master
+            .column(self.target.1)
+            .iter()
+            .copied()
+            .filter(|&c| c != NULL_CODE)
+            .collect();
+        for (row, pred) in report.predictions.iter().enumerate() {
+            if let Some(code) = pred {
+                assert!(
+                    valid.contains(code),
+                    "BatchRepairer: prediction for row {row} is not a master Y_m value"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::SchemaMatch;
+    use crate::repair::apply_rules;
+    use crate::rule::Condition;
+    use crate::task::Task;
+    use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
+
+    fn fixture() -> (Relation, Relation) {
+        let pool = Arc::new(Pool::new());
+        let in_schema = Arc::new(Schema::new(
+            "in",
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Case"),
+            ],
+        ));
+        let m_schema = Arc::new(Schema::new(
+            "m",
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Infection"),
+            ],
+        ));
+        let s = Value::str;
+        let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+        b.push_row(vec![s("HZ"), Value::Null]).unwrap();
+        b.push_row(vec![s("BJ"), s("imports")]).unwrap();
+        b.push_row(vec![s("SZ"), s("patient")]).unwrap();
+        let input = b.finish();
+        let mut bm = RelationBuilder::new(m_schema, pool);
+        bm.push_row(vec![s("HZ"), s("patient")]).unwrap();
+        bm.push_row(vec![s("HZ"), s("patient")]).unwrap();
+        bm.push_row(vec![s("BJ"), s("imports")]).unwrap();
+        bm.push_row(vec![s("BJ"), s("imports")]).unwrap();
+        bm.push_row(vec![s("BJ"), s("patient")]).unwrap();
+        let master = bm.finish();
+        (input, master)
+    }
+
+    fn rules(input: &Relation) -> Vec<EditingRule> {
+        let bj = input.pool().code_of(&Value::str("BJ")).unwrap();
+        vec![
+            EditingRule::new(vec![(0, 0)], (1, 1), vec![]),
+            EditingRule::new(vec![(0, 0)], (1, 1), vec![Condition::eq(0, bj)]),
+        ]
+    }
+
+    #[test]
+    fn matches_one_shot_apply_rules() {
+        let (input, master) = fixture();
+        let rules = rules(&input);
+        let repairer = BatchRepairer::new(master.clone(), (1, 1), rules.clone(), 0).unwrap();
+        let report = repairer.repair_batch(&input).unwrap();
+
+        let task = Task::new(
+            input,
+            master,
+            SchemaMatch::from_pairs(2, &[(0, 0), (1, 1)]),
+            (1, 1),
+        );
+        let oneshot = apply_rules(&task, &rules);
+        assert_eq!(report.predictions, oneshot.predictions);
+        assert_eq!(report.scores, oneshot.scores);
+        assert_eq!(report.candidates, oneshot.candidates);
+        assert_eq!(report.rules_applied, oneshot.rules_applied);
+    }
+
+    #[test]
+    fn indexes_warm_once_and_are_shared() {
+        let (input, master) = fixture();
+        let repairer = BatchRepairer::new(master, (1, 1), rules(&input), 0).unwrap();
+        // Both rules share X_m = [0] — one index serves them both.
+        assert_eq!(repairer.num_indexes(), 1);
+    }
+
+    #[test]
+    fn repeated_batches_reuse_the_warm_state() {
+        let (input, master) = fixture();
+        let repairer = BatchRepairer::new(master, (1, 1), rules(&input), 0).unwrap();
+        let first = repairer.repair_batch(&input).unwrap();
+        let gathered = input.gather(&[2, 0]);
+        let second = repairer.repair_batch(&gathered).unwrap();
+        assert_eq!(second.predictions[1], first.predictions[0]);
+        assert_eq!(second.predictions[0], first.predictions[2]);
+    }
+
+    #[test]
+    fn mixed_targets_rejected() {
+        let (input, master) = fixture();
+        let mut rs = rules(&input);
+        rs.push(EditingRule::new(vec![(1, 1)], (0, 0), vec![]));
+        assert_eq!(
+            BatchRepairer::new(master, (1, 1), rs, 0).unwrap_err(),
+            BatchError::MixedTargets { rule: 2 }
+        );
+    }
+
+    #[test]
+    fn foreign_pool_rejected() {
+        let (input, master) = fixture();
+        let repairer = BatchRepairer::new(master, (1, 1), rules(&input), 0).unwrap();
+        let foreign = Relation::empty(Arc::clone(input.schema()), Arc::new(Pool::new()));
+        assert_eq!(
+            repairer.repair_batch(&foreign).unwrap_err(),
+            BatchError::PoolMismatch
+        );
+    }
+
+    #[test]
+    fn narrow_batch_rejected() {
+        let (input, master) = fixture();
+        let repairer = BatchRepairer::new(master.clone(), (1, 1), rules(&input), 0).unwrap();
+        let narrow = input.project("slim", &[0]);
+        assert_eq!(
+            repairer.repair_batch(&narrow).unwrap_err(),
+            BatchError::BatchArity { needed: 2, got: 1 }
+        );
+    }
+
+    #[test]
+    fn expired_deadline_is_reported() {
+        let (input, master) = fixture();
+        let repairer = BatchRepairer::new(master, (1, 1), rules(&input), 0).unwrap();
+        let expired = Instant::now() - std::time::Duration::from_millis(1);
+        assert_eq!(
+            repairer.repair_batch_deadline(&input, expired).unwrap_err(),
+            BatchError::DeadlineExceeded
+        );
+        // A generous deadline succeeds.
+        let generous = Instant::now() + std::time::Duration::from_secs(60);
+        assert!(repairer.repair_batch_deadline(&input, generous).is_ok());
+    }
+
+    #[test]
+    fn empty_rule_set_predicts_nothing() {
+        let (input, master) = fixture();
+        let repairer = BatchRepairer::new(master, (1, 1), Vec::new(), 0).unwrap();
+        let report = repairer.repair_batch(&input).unwrap();
+        assert_eq!(report.num_predictions(), 0);
+    }
+}

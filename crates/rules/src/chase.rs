@@ -112,6 +112,27 @@ pub fn chase(
     let mut frozen: std::collections::HashSet<(RowId, AttrId)> = Default::default();
     let mut rounds = 0usize;
 
+    // Chase audit: per-target master Y_m domains (certain fixes may only
+    // copy these), plus the frozen count after the previous round — every
+    // continuing round must strictly shrink the set of unfixed dirty cells,
+    // i.e. strictly grow the frozen set, or the chase could loop.
+    #[cfg(feature = "debug-invariants")]
+    let master_domains: std::collections::HashMap<AttrId, std::collections::HashSet<Code>> =
+        targets
+            .iter()
+            .map(|t| {
+                let dom = master
+                    .column(t.target.1)
+                    .iter()
+                    .copied()
+                    .filter(|&c| c != NULL_CODE)
+                    .collect();
+                (t.target.0, dom)
+            })
+            .collect();
+    #[cfg(feature = "debug-invariants")]
+    let mut prev_frozen = 0usize;
+
     while rounds < config.max_rounds {
         rounds += 1;
         let mut changed = false;
@@ -148,6 +169,22 @@ pub fn chase(
                     score: report.scores[row],
                 });
                 changed = true;
+            }
+        }
+        #[cfg(feature = "debug-invariants")]
+        if changed {
+            assert!(
+                frozen.len() > prev_frozen,
+                "chase: round {rounds} reported progress without shrinking the dirty-cell count"
+            );
+            prev_frozen = frozen.len();
+            for f in &fixes {
+                assert!(
+                    master_domains
+                        .get(&f.attr)
+                        .is_some_and(|dom| dom.contains(&f.to)),
+                    "chase: fix {f:?} writes a value absent from the master Y_m column"
+                );
             }
         }
         if !changed {

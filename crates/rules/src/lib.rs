@@ -17,9 +17,13 @@
 //!   top-K selection (Def. 4, Problem 1).
 //! * [`repair`] — applying a rule set: certainty-score voting across rules
 //!   (§V-B2) and producing cell-level predictions.
+//! * [`batch`] — the long-lived serving entry: a [`BatchRepairer`] warms the
+//!   master-side indexes once and repairs streamed input batches with the
+//!   exact voting semantics of [`repair`].
 //! * [`metrics`] — weighted precision / recall / F-measure (§V-A2).
 
 pub mod analysis;
+pub mod batch;
 pub mod chase;
 pub mod domination;
 pub mod io;
@@ -31,6 +35,7 @@ pub mod rule;
 pub mod task;
 
 pub use analysis::{coverage, overlap, CoverageReport, RuleCoverage};
+pub use batch::{BatchError, BatchRepairer};
 pub use chase::{chase, ChaseConfig, ChaseResult, Fix, TargetRules};
 pub use domination::{dominates, pattern_dominates, select_top_k};
 pub use io::{from_portable, rules_from_json, rules_to_json, to_portable, PortableRule};

@@ -101,8 +101,38 @@ pub fn apply_rules_with(ev: &Evaluator<'_>, rules: &[EditingRule]) -> RepairRepo
         out
     });
 
-    // Ordered fold: votes[row]: candidate code → accumulated certainty
-    // score, summed in rule order. A rule applied iff it contributed.
+    let report = fold_votes(n, contributions);
+    #[cfg(feature = "debug-invariants")]
+    {
+        // Certain-fix audit: every repaired cell copies a value present in
+        // the master's Y_m column — the engine transfers master data, it
+        // never invents values.
+        let (_, ym) = task.target();
+        let valid: std::collections::HashSet<Code> = task
+            .master()
+            .column(ym)
+            .iter()
+            .copied()
+            .filter(|&c| c != NULL_CODE)
+            .collect();
+        for (row, pred) in report.predictions.iter().enumerate() {
+            if let Some(code) = pred {
+                assert!(
+                    valid.contains(code),
+                    "repair: prediction for row {row} is not a master Y_m value"
+                );
+            }
+        }
+    }
+    report
+}
+
+/// Ordered fold of per-rule vote contributions into a [`RepairReport`]:
+/// `votes[row]: candidate code → accumulated certainty score`, summed in
+/// rule order so floating-point accumulation matches the sequential loop at
+/// any thread count. A rule applied iff it contributed. Shared by the
+/// one-shot path above and [`crate::BatchRepairer`].
+pub(crate) fn fold_votes(n: usize, contributions: Vec<Vec<(RowId, Code, f64)>>) -> RepairReport {
     let mut votes: Vec<HashMap<Code, f64>> = vec![HashMap::new(); n];
     let mut rules_applied = 0usize;
     for contribution in contributions {

@@ -1,0 +1,297 @@
+//! The warmed repair engine behind every front-end.
+//!
+//! [`RepairEngine`] binds the long-lived state together: the input schema
+//! (incoming rows must match its attribute order), the shared value pool,
+//! and an [`er_rules::BatchRepairer`] whose master-side group indexes were
+//! built once at load time. A `repair` call materializes the incoming rows
+//! as a throwaway [`Relation`] over the *shared* pool — unseen values are
+//! interned as fresh codes that by construction match nothing in the master
+//! indexes, which is exactly the right semantics for foreign data — and
+//! runs the certainty-score vote of §V-B2 against the warm indexes.
+
+use er_rules::{rules_from_json, BatchError, BatchRepairer, EditingRule, Task};
+use er_table::{Pool, Relation, Schema, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One cell a repair would change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairedCell {
+    /// Row index within the request batch.
+    pub row: usize,
+    /// Target attribute name (the engine's `Y`).
+    pub attr: String,
+    /// The repaired value, rendered the way the CSV writer renders it.
+    pub value: String,
+    /// Accumulated certainty score of the winning candidate.
+    pub score: f64,
+}
+
+/// The result of repairing one batch.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// Number of rows in the batch.
+    pub rows: usize,
+    /// Cells whose predicted value differs from the value sent (predictions
+    /// that merely confirm the current value are not repairs).
+    pub cells: Vec<RepairedCell>,
+}
+
+impl RepairOutcome {
+    /// Number of cells a repair would change.
+    pub fn fixed(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// Errors from building or running a [`RepairEngine`].
+#[derive(Debug)]
+pub enum EngineError {
+    /// The rule set failed to parse or resolve against the task.
+    Rules(String),
+    /// A batch-level failure from the underlying repairer.
+    Batch(BatchError),
+    /// One request row could not be mapped onto the input schema.
+    Row {
+        /// Index of the offending row within the batch.
+        row: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Rules(msg) => write!(f, "rule set rejected: {msg}"),
+            EngineError::Batch(e) => write!(f, "batch repair failed: {e}"),
+            EngineError::Row { row, message } => write!(f, "row {row}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A loaded, warmed repair engine: input schema + shared pool + batch
+/// repairer with pre-built master indexes.
+pub struct RepairEngine {
+    schema: Arc<Schema>,
+    pool: Arc<Pool>,
+    repairer: BatchRepairer,
+}
+
+impl std::fmt::Debug for RepairEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RepairEngine")
+            .field("schema", &self.schema.name())
+            .field("repairer", &self.repairer)
+            .finish()
+    }
+}
+
+impl RepairEngine {
+    /// Build an engine from already-resolved rules. The task supplies the
+    /// input schema, the shared pool, the master relation and the target.
+    pub fn new(task: &Task, rules: Vec<EditingRule>, threads: usize) -> Result<Self, EngineError> {
+        let repairer = BatchRepairer::new(task.master().clone(), task.target(), rules, threads)
+            .map_err(EngineError::Batch)?;
+        Ok(RepairEngine {
+            schema: Arc::clone(task.input().schema()),
+            pool: Arc::clone(task.input().pool()),
+            repairer,
+        })
+    }
+
+    /// Build an engine from a rule-set JSON document (the format
+    /// [`er_rules::rules_to_json`] writes and the miners emit).
+    pub fn from_json(task: &Task, rules_json: &str, threads: usize) -> Result<Self, EngineError> {
+        let rules =
+            rules_from_json(rules_json, task).map_err(|e| EngineError::Rules(e.to_string()))?;
+        Self::new(task, rules, threads)
+    }
+
+    /// Number of loaded rules.
+    pub fn num_rules(&self) -> usize {
+        self.repairer.rules().len()
+    }
+
+    /// Number of pre-built master-side group indexes.
+    pub fn num_indexes(&self) -> usize {
+        self.repairer.num_indexes()
+    }
+
+    /// The input schema incoming rows must follow.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Name of the target attribute `Y` repairs are written to.
+    pub fn target_attr(&self) -> &str {
+        &self.schema.attr(self.repairer.target().0).name
+    }
+
+    /// Repair one batch of rows (input-schema attribute order). With a
+    /// deadline, the vote is abandoned between rule chunks once the clock
+    /// expires.
+    pub fn repair(
+        &self,
+        rows: &[Vec<Value>],
+        deadline: Option<Instant>,
+    ) -> Result<RepairOutcome, EngineError> {
+        let mut batch = Relation::empty(Arc::clone(&self.schema), Arc::clone(&self.pool));
+        for (i, row) in rows.iter().enumerate() {
+            batch.push_row(row.clone()).map_err(|e| EngineError::Row {
+                row: i,
+                message: e.to_string(),
+            })?;
+        }
+        let report = match deadline {
+            Some(d) => self.repairer.repair_batch_deadline(&batch, d),
+            None => self.repairer.repair_batch(&batch),
+        }
+        .map_err(EngineError::Batch)?;
+        let (y, _) = self.repairer.target();
+        let attr = self.schema.attr(y).name.clone();
+        let mut cells = Vec::new();
+        for (row, pred) in report.predictions.iter().enumerate() {
+            let Some(code) = pred else {
+                continue;
+            };
+            if *code == batch.code(row, y) {
+                continue;
+            }
+            cells.push(RepairedCell {
+                row,
+                attr: attr.clone(),
+                value: self.pool.value(*code).render().into_owned(),
+                score: report.scores[row],
+            });
+        }
+        Ok(RepairOutcome {
+            rows: rows.len(),
+            cells,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_rules::SchemaMatch;
+    use er_table::{Attribute, Pool, RelationBuilder};
+
+    pub(crate) fn covid_task() -> Task {
+        let pool = Arc::new(Pool::new());
+        let in_schema = Arc::new(Schema::new(
+            "in",
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Case"),
+            ],
+        ));
+        let m_schema = Arc::new(Schema::new(
+            "m",
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Infection"),
+            ],
+        ));
+        let s = Value::str;
+        let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+        b.push_row(vec![s("HZ"), Value::Null]).unwrap();
+        let input = b.finish();
+        let mut bm = RelationBuilder::new(m_schema, pool);
+        bm.push_row(vec![s("HZ"), s("patient")]).unwrap();
+        bm.push_row(vec![s("BJ"), s("imports")]).unwrap();
+        bm.push_row(vec![s("BJ"), s("imports")]).unwrap();
+        bm.push_row(vec![s("BJ"), s("patient")]).unwrap();
+        let master = bm.finish();
+        Task::new(
+            input,
+            master,
+            SchemaMatch::from_pairs(2, &[(0, 0), (1, 1)]),
+            (1, 1),
+        )
+    }
+
+    fn engine() -> RepairEngine {
+        let task = covid_task();
+        let rules = vec![EditingRule::new(vec![(0, 0)], (1, 1), vec![])];
+        RepairEngine::new(&task, rules, 0).unwrap()
+    }
+
+    #[test]
+    fn repairs_a_batch_of_external_rows() {
+        let e = engine();
+        let rows = vec![
+            vec![Value::str("HZ"), Value::Null],
+            vec![Value::str("BJ"), Value::Null],
+            vec![Value::str("Nowhere"), Value::Null],
+        ];
+        let out = e.repair(&rows, None).unwrap();
+        assert_eq!(out.rows, 3);
+        assert_eq!(out.fixed(), 2);
+        assert_eq!(out.cells[0].row, 0);
+        assert_eq!(out.cells[0].value, "patient");
+        assert_eq!(out.cells[1].row, 1);
+        assert_eq!(out.cells[1].value, "imports");
+        assert_eq!(out.cells[0].attr, "Case");
+    }
+
+    #[test]
+    fn confirming_predictions_are_not_fixes() {
+        let e = engine();
+        let rows = vec![vec![Value::str("HZ"), Value::str("patient")]];
+        let out = e.repair(&rows, None).unwrap();
+        assert_eq!(out.fixed(), 0);
+    }
+
+    #[test]
+    fn wrong_arity_rows_are_row_errors() {
+        let e = engine();
+        let rows = vec![vec![Value::str("HZ"), Value::Null], vec![Value::str("BJ")]];
+        let err = e.repair(&rows, None).unwrap_err();
+        match err {
+            EngineError::Row { row, .. } => assert_eq!(row, 1),
+            other => panic!("expected a row error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unseen_values_intern_without_matching_anything() {
+        let e = engine();
+        let before = e.pool.len();
+        let rows = vec![vec![Value::str("Atlantis"), Value::Null]];
+        let out = e.repair(&rows, None).unwrap();
+        assert_eq!(out.fixed(), 0);
+        assert!(e.pool.len() > before, "foreign value should intern");
+    }
+
+    #[test]
+    fn expired_deadline_is_a_batch_error() {
+        let e = engine();
+        let rows = vec![vec![Value::str("HZ"), Value::Null]];
+        let expired = Instant::now() - std::time::Duration::from_millis(1);
+        let err = e.repair(&rows, Some(expired)).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Batch(BatchError::DeadlineExceeded)
+        ));
+    }
+
+    #[test]
+    fn from_json_round_trips_the_miner_format() {
+        let task = covid_task();
+        let rules = [EditingRule::new(vec![(0, 0)], (1, 1), vec![])];
+        let json = er_rules::rules_to_json(
+            &rules
+                .iter()
+                .map(|r| (r.clone(), er_rules::Measures::zero()))
+                .collect::<Vec<_>>(),
+            &task,
+        );
+        let e = RepairEngine::from_json(&task, &json, 0).unwrap();
+        assert_eq!(e.num_rules(), 1);
+        assert_eq!(e.target_attr(), "Case");
+    }
+}

@@ -1,0 +1,56 @@
+//! # er-serve — a long-lived repair service
+//!
+//! The mining pipeline ends with a rule set; this crate is the deployment
+//! half: a server that loads the rule set and the master relation once,
+//! warms the master-side group indexes (one per distinct `X_m` list, via
+//! [`er_rules::BatchRepairer`]), and then repairs streamed input batches
+//! until it is told to shut down.
+//!
+//! The transport is deliberately std-only: newline-delimited JSON, one
+//! request per line, one response line per request, in order. The same
+//! [`Server`] core serves two front-ends:
+//!
+//! * **pipe mode** ([`serve_pipe`]) — stdin/stdout, for shell pipelines and
+//!   supervisors that speak over a pipe pair;
+//! * **socket mode** ([`TcpServer`]) — a `std::net::TcpListener` with a
+//!   bounded accept queue and a fixed worker pool, each connection speaking
+//!   the same line protocol.
+//!
+//! Operational behaviour is explicit rather than implicit:
+//!
+//! * **backpressure** — at most `queue_capacity` repair requests are in
+//!   flight; excess requests are answered immediately with
+//!   `{"ok":false,"error":"overloaded","retry":true}` instead of queueing
+//!   without bound.
+//! * **deadlines** — an optional per-request deadline aborts a repair
+//!   between rule chunks ([`er_rules::BatchError::DeadlineExceeded`]).
+//! * **graceful drain** — the `shutdown` op (or [`Server::begin_drain`])
+//!   stops the accept loop and lets every request whose line has been fully
+//!   read finish and receive its response before connections close. The
+//!   workspace forbids `unsafe`, so there is no signal handler; supervisors
+//!   should close stdin (pipe mode) or send `{"op":"shutdown"}`.
+//! * **metrics** — request/repair/error counters and p50/p99 latency over a
+//!   sliding window, served by the `stats` op and an optional periodic
+//!   stderr log line.
+
+pub mod engine;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod tcp;
+
+pub use engine::{EngineError, RepairEngine, RepairOutcome, RepairedCell};
+pub use metrics::{Metrics, Snapshot};
+pub use proto::{parse_request, Request};
+pub use server::{serve_pipe, Reloader, ServeConfig, Server};
+pub use tcp::TcpServer;
+
+/// Lock a std mutex, recovering the data from a poisoned lock: the guarded
+/// state here (latency ring, connection queue/registry) stays consistent
+/// under every partial update, so a panicking holder never leaves it
+/// corrupt.
+pub(crate) fn lock<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}

@@ -1,0 +1,240 @@
+//! Serving metrics: counters plus a sliding latency window.
+//!
+//! Counters are lock-free atomics; repair latencies go into a fixed-size
+//! ring (the last [`WINDOW`] requests) from which the `stats` op computes
+//! p50/p99. Everything is monotonic except the queue-depth gauge, which the
+//! server samples at snapshot time.
+
+use crate::lock;
+use serde_json::Value as Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Latency window size: large enough for stable tail percentiles, small
+/// enough that a snapshot's sort is negligible.
+const WINDOW: usize = 4096;
+
+/// Ring buffer of the most recent repair latencies, in microseconds.
+struct Reservoir {
+    buf: Vec<u64>,
+    next: usize,
+}
+
+impl Reservoir {
+    fn push(&mut self, micros: u64) {
+        if self.buf.len() < WINDOW {
+            self.buf.push(micros);
+        } else {
+            self.buf[self.next] = micros;
+        }
+        self.next = (self.next + 1) % WINDOW;
+    }
+}
+
+/// Shared serving metrics. One instance per [`crate::Server`], updated from
+/// every front-end thread.
+pub struct Metrics {
+    requests: AtomicU64,
+    repairs: AtomicU64,
+    repaired_cells: AtomicU64,
+    errors: AtomicU64,
+    overloaded: AtomicU64,
+    latencies: Mutex<Reservoir>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> Self {
+        Metrics {
+            requests: AtomicU64::new(0),
+            repairs: AtomicU64::new(0),
+            repaired_cells: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            latencies: Mutex::new(Reservoir {
+                buf: Vec::new(),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Count one incoming request; returns the new total (used for the
+    /// periodic log line).
+    pub fn record_request(&self) -> u64 {
+        self.requests.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Count one completed repair with its latency and changed-cell count.
+    pub fn record_repair(&self, elapsed: Duration, fixed: usize) {
+        self.repairs.fetch_add(1, Ordering::Relaxed);
+        self.repaired_cells
+            .fetch_add(fixed as u64, Ordering::Relaxed);
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        lock(&self.latencies).push(micros);
+    }
+
+    /// Count one request answered with an error response.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request refused with the backpressure response.
+    pub fn record_overloaded(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for reporting (counters are read
+    /// individually; exactness across counters is not required).
+    pub fn snapshot(&self, queue_depth: usize) -> Snapshot {
+        let (p50_us, p99_us) = {
+            let reservoir = lock(&self.latencies);
+            let mut sorted = reservoir.buf.clone();
+            drop(reservoir);
+            sorted.sort_unstable();
+            (percentile(&sorted, 0.50), percentile(&sorted, 0.99))
+        };
+        Snapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+            repaired_cells: self.repaired_cells.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            queue_depth,
+            p50_us,
+            p99_us,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted window; 0 when empty.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One point-in-time view of the metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Total requests received (all ops, including rejected ones).
+    pub requests: u64,
+    /// Completed repair requests.
+    pub repairs: u64,
+    /// Total cells those repairs would change.
+    pub repaired_cells: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Requests refused with the backpressure response.
+    pub overloaded: u64,
+    /// Repair requests in flight when the snapshot was taken.
+    pub queue_depth: usize,
+    /// Median repair latency over the window, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile repair latency over the window, microseconds.
+    pub p99_us: u64,
+}
+
+impl Snapshot {
+    /// JSON object for the `stats` response.
+    pub fn to_value(&self) -> Json {
+        Json::Object(vec![
+            ("requests".to_string(), Json::UInt(self.requests)),
+            ("repairs".to_string(), Json::UInt(self.repairs)),
+            (
+                "repaired_cells".to_string(),
+                Json::UInt(self.repaired_cells),
+            ),
+            ("errors".to_string(), Json::UInt(self.errors)),
+            ("overloaded".to_string(), Json::UInt(self.overloaded)),
+            (
+                "queue_depth".to_string(),
+                Json::UInt(self.queue_depth as u64),
+            ),
+            ("p50_us".to_string(), Json::UInt(self.p50_us)),
+            ("p99_us".to_string(), Json::UInt(self.p99_us)),
+        ])
+    }
+
+    /// One human-readable line for the periodic stderr log.
+    pub fn log_line(&self) -> String {
+        format!(
+            "serve: requests={} repairs={} fixed={} errors={} overloaded={} queue={} p50={}us p99={}us",
+            self.requests,
+            self.repairs,
+            self.repaired_cells,
+            self.errors,
+            self.overloaded,
+            self.queue_depth,
+            self.p50_us,
+            self.p99_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.record_request();
+        m.record_request();
+        m.record_repair(Duration::from_micros(100), 3);
+        m.record_error();
+        m.record_overloaded();
+        let s = m.snapshot(1);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.repairs, 1);
+        assert_eq!(s.repaired_cells, 3);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.overloaded, 1);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.p50_us, 100);
+    }
+
+    #[test]
+    fn percentiles_over_the_window() {
+        let m = Metrics::new();
+        for us in 1..=100u64 {
+            m.record_repair(Duration::from_micros(us), 0);
+        }
+        let s = m.snapshot(0);
+        assert_eq!(s.p50_us, 51); // nearest-rank on 1..=100
+        assert_eq!(s.p99_us, 99);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let m = Metrics::new();
+        for _ in 0..(WINDOW + 500) {
+            m.record_repair(Duration::from_micros(7), 0);
+        }
+        assert_eq!(lock(&m.latencies).buf.len(), WINDOW);
+        assert_eq!(m.snapshot(0).p99_us, 7);
+    }
+
+    #[test]
+    fn empty_window_reports_zero() {
+        let s = Metrics::new().snapshot(0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.p99_us, 0);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let s = Metrics::new().snapshot(0);
+        let line = serde_json::to_string(&s.to_value()).unwrap();
+        assert!(line.contains("\"requests\""));
+        assert!(!s.log_line().is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! The wire protocol: newline-delimited JSON.
+//!
+//! One request object per line, one response object per line, in request
+//! order. The grammar (§10 of DESIGN.md):
+//!
+//! ```text
+//! request  := {"op":"ping"}
+//!           | {"op":"stats"}
+//!           | {"op":"reload"}
+//!           | {"op":"shutdown"}
+//!           | {"op":"repair","rows":[row...]}
+//! row      := [cell...]             // one cell per input-schema attribute
+//! cell     := null | string | number
+//! response := {"ok":true,"op":...,...} | {"ok":false,"error":string,...}
+//! ```
+//!
+//! Every parse failure is answered with an error response on the same
+//! connection — a malformed line never tears the session down.
+
+use crate::engine::RepairOutcome;
+use crate::metrics::Snapshot;
+use er_table::Value as Cell;
+use serde_json::Value as Json;
+
+/// A decoded request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Metrics snapshot.
+    Stats,
+    /// Rebuild the engine from its configured source (rules file).
+    Reload,
+    /// Begin a graceful drain and close the session.
+    Shutdown,
+    /// Repair a batch of rows laid out in input-schema attribute order.
+    Repair {
+        /// The rows; each inner vector is one tuple.
+        rows: Vec<Vec<Cell>>,
+    },
+}
+
+/// Parse one request line. `max_rows` bounds the batch size a single
+/// `repair` request may carry.
+pub fn parse_request(line: &str, max_rows: usize) -> Result<Request, String> {
+    let value: Json = serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing \"op\" field".to_string())?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "reload" => Ok(Request::Reload),
+        "shutdown" => Ok(Request::Shutdown),
+        "repair" => {
+            let rows = value
+                .get("rows")
+                .and_then(Json::as_array)
+                .ok_or_else(|| "repair needs a \"rows\" array".to_string())?;
+            if rows.len() > max_rows {
+                return Err(format!(
+                    "batch of {} rows exceeds the {max_rows}-row limit",
+                    rows.len()
+                ));
+            }
+            let mut out = Vec::with_capacity(rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                let cells = row
+                    .as_array()
+                    .ok_or_else(|| format!("row {i} is not an array"))?;
+                let mut tuple = Vec::with_capacity(cells.len());
+                for (j, cell) in cells.iter().enumerate() {
+                    tuple.push(
+                        decode_cell(cell)
+                            .map_err(|kind| format!("row {i} column {j}: {kind} cell"))?,
+                    );
+                }
+                out.push(tuple);
+            }
+            Ok(Request::Repair { rows: out })
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Map one JSON scalar to a table cell. Booleans and nested containers have
+/// no dictionary representation and are rejected.
+fn decode_cell(value: &Json) -> Result<Cell, &'static str> {
+    match value {
+        Json::Null => Ok(Cell::Null),
+        Json::Str(s) => Ok(Cell::str(s.as_str())),
+        Json::Int(i) => Ok(Cell::int(*i)),
+        Json::UInt(u) => i64::try_from(*u)
+            .map(Cell::int)
+            .map_err(|_| "oversized integer"),
+        Json::Float(f) => Ok(Cell::float(*f)),
+        Json::Bool(_) => Err("unsupported boolean"),
+        Json::Array(_) => Err("unsupported array"),
+        Json::Object(_) => Err("unsupported object"),
+    }
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Render a response value as one compact line. Responses are built from
+/// finite scalars only, so serialization cannot fail; the fallback keeps
+/// the protocol well-formed even if that ever changes.
+fn render(value: &Json) -> String {
+    serde_json::to_string(value)
+        .unwrap_or_else(|_| "{\"ok\":false,\"error\":\"response serialization failed\"}".into())
+}
+
+/// `ping` response.
+pub fn ok_ping() -> String {
+    render(&obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("ping".into())),
+    ]))
+}
+
+/// `shutdown` acknowledgement (sent before the drain closes the session).
+pub fn ok_shutdown() -> String {
+    render(&obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("shutdown".into())),
+    ]))
+}
+
+/// `reload` acknowledgement with the reloaded rule count.
+pub fn ok_reload(num_rules: usize) -> String {
+    render(&obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("reload".into())),
+        ("rules", Json::Int(num_rules as i64)),
+    ]))
+}
+
+/// `stats` response wrapping a metrics snapshot.
+pub fn ok_stats(snapshot: &Snapshot) -> String {
+    render(&obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("stats".into())),
+        ("stats", snapshot.to_value()),
+    ]))
+}
+
+/// `repair` response: the number of cells a repair would change and each
+/// changed cell as `{"row":i,"attr":name,"value":rendered,"score":s}`.
+pub fn ok_repair(outcome: &RepairOutcome) -> String {
+    let cells: Vec<Json> = outcome
+        .cells
+        .iter()
+        .map(|c| {
+            obj(vec![
+                ("row", Json::Int(c.row as i64)),
+                ("attr", Json::Str(c.attr.clone())),
+                ("value", Json::Str(c.value.clone())),
+                ("score", Json::Float(c.score)),
+            ])
+        })
+        .collect();
+    render(&obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("repair".into())),
+        ("rows", Json::Int(outcome.rows as i64)),
+        ("fixed", Json::Int(outcome.fixed() as i64)),
+        ("cells", Json::Array(cells)),
+    ]))
+}
+
+/// Generic error response.
+pub fn error(message: &str) -> String {
+    render(&obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ]))
+}
+
+/// Backpressure response: the in-flight queue is full; the client should
+/// retry after a backoff.
+pub fn overloaded() -> String {
+    render(&obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("overloaded".into())),
+        ("retry", Json::Bool(true)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_ops() {
+        assert_eq!(parse_request("{\"op\":\"ping\"}", 10), Ok(Request::Ping));
+        assert_eq!(parse_request("{\"op\":\"stats\"}", 10), Ok(Request::Stats));
+        assert_eq!(
+            parse_request("{\"op\":\"reload\"}", 10),
+            Ok(Request::Reload)
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"shutdown\"}", 10),
+            Ok(Request::Shutdown)
+        );
+    }
+
+    #[test]
+    fn parses_repair_rows() {
+        let req = parse_request(
+            "{\"op\":\"repair\",\"rows\":[[\"HZ\",null],[\"BJ\",\"imports\"]]}",
+            10,
+        )
+        .unwrap();
+        let Request::Repair { rows } = req else {
+            panic!("not a repair request");
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Cell::str("HZ"), Cell::Null]);
+        assert_eq!(rows[1], vec![Cell::str("BJ"), Cell::str("imports")]);
+    }
+
+    #[test]
+    fn numbers_decode_to_typed_cells() {
+        let req = parse_request("{\"op\":\"repair\",\"rows\":[[3,2.5]]}", 10).unwrap();
+        let Request::Repair { rows } = req else {
+            panic!("not a repair request");
+        };
+        assert_eq!(rows[0], vec![Cell::int(3), Cell::float(2.5)]);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(parse_request("{\"op\":", 10).is_err());
+        assert!(parse_request("not json at all", 10).is_err());
+    }
+
+    #[test]
+    fn unknown_and_missing_ops_are_errors() {
+        let err = parse_request("{\"op\":\"frobnicate\"}", 10).unwrap_err();
+        assert!(err.contains("unknown op"), "{err}");
+        let err = parse_request("{\"rows\":[]}", 10).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected() {
+        let err = parse_request("{\"op\":\"repair\",\"rows\":[[1],[2],[3]]}", 2).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_cells_are_rejected_with_position() {
+        let err = parse_request("{\"op\":\"repair\",\"rows\":[[\"x\",true]]}", 10).unwrap_err();
+        assert!(err.contains("row 0 column 1"), "{err}");
+    }
+
+    #[test]
+    fn responses_are_single_lines() {
+        for resp in [
+            ok_ping(),
+            ok_shutdown(),
+            ok_reload(3),
+            error("x"),
+            overloaded(),
+        ] {
+            assert!(!resp.contains('\n'), "{resp}");
+            let parsed: Json = serde_json::from_str(&resp).unwrap();
+            assert!(parsed.get("ok").is_some());
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! The transport-agnostic server core and the pipe front-end.
+//!
+//! [`Server`] owns the engine, the configuration, the metrics, and the two
+//! pieces of cross-cutting serving state: the in-flight counter that
+//! implements backpressure and the draining flag that implements graceful
+//! shutdown. Front-ends (the pipe loop here, the TCP listener in
+//! [`crate::tcp`]) read lines, call [`Server::handle_line`], and write the
+//! response line back; everything protocol-level lives in one place.
+
+use crate::engine::RepairEngine;
+use crate::metrics::{Metrics, Snapshot};
+use crate::proto::{self, Request};
+use er_table::Value;
+use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Serving configuration, shared by pipe and socket mode.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Optional per-request repair deadline. `None` = unbounded.
+    pub deadline: Option<Duration>,
+    /// Maximum repair requests in flight (and, in socket mode, maximum
+    /// accepted connections waiting for a worker). Excess requests receive
+    /// the `overloaded` backpressure response immediately.
+    pub queue_capacity: usize,
+    /// Maximum request line length in bytes; longer lines are consumed and
+    /// answered with an error without being buffered.
+    pub max_line_bytes: usize,
+    /// Maximum rows one `repair` request may carry.
+    pub max_batch_rows: usize,
+    /// Connection-handling worker threads in socket mode.
+    pub workers: usize,
+    /// Emit the metrics log line to stderr every N requests (0 = never).
+    pub log_every: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            deadline: None,
+            queue_capacity: 64,
+            max_line_bytes: 1 << 20,
+            max_batch_rows: 4096,
+            workers: 4,
+            log_every: 0,
+        }
+    }
+}
+
+/// Rebuilds the engine for the `reload` op (e.g. re-reading the rules file).
+pub type Reloader = Box<dyn Fn() -> Result<RepairEngine, String> + Send + Sync>;
+
+/// The long-lived server core.
+pub struct Server {
+    engine: parking_lot::RwLock<RepairEngine>,
+    reloader: Option<Reloader>,
+    config: ServeConfig,
+    metrics: Metrics,
+    in_flight: AtomicUsize,
+    draining: AtomicBool,
+}
+
+impl Server {
+    /// Wrap a loaded engine with a serving configuration.
+    pub fn new(engine: RepairEngine, config: ServeConfig) -> Self {
+        Server {
+            engine: parking_lot::RwLock::new(engine),
+            reloader: None,
+            config,
+            metrics: Metrics::new(),
+            in_flight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Configure the `reload` op.
+    pub fn with_reloader(mut self, reloader: Reloader) -> Self {
+        self.reloader = Some(reloader);
+        self
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The serving metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Metrics snapshot including the current queue depth.
+    pub fn snapshot(&self) -> Snapshot {
+        self.metrics
+            .snapshot(self.in_flight.load(Ordering::Relaxed))
+    }
+
+    /// Whether a graceful drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begin a graceful drain: front-ends stop accepting new work, finish
+    /// the requests they have fully read, and close.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Handle one request line. Returns the response line (without the
+    /// trailing newline) and whether the session should close after sending
+    /// it.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        let seen = self.metrics.record_request();
+        if self.config.log_every > 0 && seen.is_multiple_of(self.config.log_every) {
+            eprintln!("{}", self.snapshot().log_line());
+        }
+        match proto::parse_request(line, self.config.max_batch_rows) {
+            Err(message) => {
+                self.metrics.record_error();
+                (proto::error(&message), false)
+            }
+            Ok(Request::Ping) => (proto::ok_ping(), false),
+            Ok(Request::Stats) => (proto::ok_stats(&self.snapshot()), false),
+            Ok(Request::Shutdown) => {
+                self.begin_drain();
+                (proto::ok_shutdown(), true)
+            }
+            Ok(Request::Reload) => match &self.reloader {
+                None => {
+                    self.metrics.record_error();
+                    (
+                        proto::error("reload is not configured for this server"),
+                        false,
+                    )
+                }
+                Some(reload) => match reload() {
+                    Ok(engine) => {
+                        let rules = engine.num_rules();
+                        *self.engine.write() = engine;
+                        (proto::ok_reload(rules), false)
+                    }
+                    Err(message) => {
+                        self.metrics.record_error();
+                        (proto::error(&format!("reload failed: {message}")), false)
+                    }
+                },
+            },
+            Ok(Request::Repair { rows }) => self.handle_repair(&rows),
+        }
+    }
+
+    fn handle_repair(&self, rows: &[Vec<Value>]) -> (String, bool) {
+        // Admission control: claim an in-flight slot or push back.
+        let depth = self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if depth >= self.config.queue_capacity {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.metrics.record_overloaded();
+            return (proto::overloaded(), false);
+        }
+        let started = Instant::now();
+        let deadline = self.config.deadline.map(|d| started + d);
+        let result = self.engine.read().repair(rows, deadline);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        match result {
+            Ok(outcome) => {
+                self.metrics
+                    .record_repair(started.elapsed(), outcome.fixed());
+                (proto::ok_repair(&outcome), false)
+            }
+            Err(e) => {
+                self.metrics.record_error();
+                (proto::error(&e.to_string()), false)
+            }
+        }
+    }
+}
+
+/// One bounded line read.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum LineRead {
+    /// A complete line (newline stripped, lossy UTF-8).
+    Line(String),
+    /// The line exceeded the limit; it was consumed without being buffered.
+    TooLong,
+    /// End of stream.
+    Eof,
+}
+
+/// Read one `\n`-terminated line, buffering at most `max` bytes. Oversized
+/// lines are drained to their newline so the session can continue — a
+/// misbehaving client costs bounded memory, not the connection.
+pub(crate) fn read_bounded_line(reader: &mut impl BufRead, max: usize) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: a trailing unterminated line still counts as a line.
+            return Ok(if overflow {
+                LineRead::TooLong
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !overflow && buf.len() + pos <= max {
+                    buf.extend_from_slice(&chunk[..pos]);
+                } else {
+                    overflow = true;
+                }
+                reader.consume(pos + 1);
+                return Ok(if overflow {
+                    LineRead::TooLong
+                } else {
+                    LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+                });
+            }
+            None => {
+                let len = chunk.len();
+                if !overflow {
+                    if buf.len() + len <= max {
+                        buf.extend_from_slice(chunk);
+                    } else {
+                        overflow = true;
+                        buf.clear();
+                    }
+                }
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+/// Pipe mode: serve the line protocol over any reader/writer pair (stdin
+/// and stdout in the CLI). Returns when the reader hits EOF or a `shutdown`
+/// op is processed; either way every fully-read request has been answered.
+pub fn serve_pipe<R: BufRead, W: Write>(
+    server: &Server,
+    reader: &mut R,
+    writer: &mut W,
+) -> io::Result<()> {
+    loop {
+        match read_bounded_line(reader, server.config().max_line_bytes)? {
+            LineRead::Eof => break,
+            LineRead::TooLong => {
+                server.metrics().record_error();
+                writeln!(
+                    writer,
+                    "{}",
+                    proto::error(&format!(
+                        "line exceeds {} bytes",
+                        server.config().max_line_bytes
+                    ))
+                )?;
+                writer.flush()?;
+            }
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (response, stop) = server.handle_line(&line);
+                writeln!(writer, "{response}")?;
+                writer.flush()?;
+                if stop {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn bounded_reader_splits_lines() {
+        let mut r = Cursor::new(b"one\ntwo\nthree".to_vec());
+        assert_eq!(
+            read_bounded_line(&mut r, 100).unwrap(),
+            LineRead::Line("one".into())
+        );
+        assert_eq!(
+            read_bounded_line(&mut r, 100).unwrap(),
+            LineRead::Line("two".into())
+        );
+        // Unterminated trailing line still arrives.
+        assert_eq!(
+            read_bounded_line(&mut r, 100).unwrap(),
+            LineRead::Line("three".into())
+        );
+        assert_eq!(read_bounded_line(&mut r, 100).unwrap(), LineRead::Eof);
+    }
+
+    #[test]
+    fn bounded_reader_rejects_and_skips_long_lines() {
+        let mut data = vec![b'x'; 50];
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        let mut r = Cursor::new(data);
+        assert_eq!(read_bounded_line(&mut r, 10).unwrap(), LineRead::TooLong);
+        // The oversized line was consumed; the session continues.
+        assert_eq!(
+            read_bounded_line(&mut r, 10).unwrap(),
+            LineRead::Line("ok".into())
+        );
+    }
+
+    #[test]
+    fn bounded_reader_is_lossy_on_invalid_utf8() {
+        let mut r = Cursor::new(b"M\xFCnchen\n".to_vec());
+        assert_eq!(
+            read_bounded_line(&mut r, 100).unwrap(),
+            LineRead::Line("M\u{FFFD}nchen".into())
+        );
+    }
+
+    #[test]
+    fn exact_limit_is_allowed() {
+        let mut r = Cursor::new(b"12345\n".to_vec());
+        assert_eq!(
+            read_bounded_line(&mut r, 5).unwrap(),
+            LineRead::Line("12345".into())
+        );
+        let mut r = Cursor::new(b"123456\n".to_vec());
+        assert_eq!(read_bounded_line(&mut r, 5).unwrap(), LineRead::TooLong);
+    }
+}

@@ -1,0 +1,225 @@
+//! Socket mode: a bounded accept/worker model over `std::net`.
+//!
+//! One accept thread polls a non-blocking listener and pushes accepted
+//! connections onto a bounded queue; `workers` threads pop connections and
+//! speak the line protocol until the peer disconnects (connections are
+//! sticky — a worker serves one connection to completion, so per-connection
+//! responses stay in request order).
+//!
+//! Backpressure is applied at two doors: a connection arriving while the
+//! queue is full is answered with the `overloaded` response and closed, and
+//! a `repair` request arriving while `queue_capacity` repairs are in flight
+//! gets the same response from [`Server::handle_line`].
+//!
+//! The drain protocol (the workspace forbids `unsafe`, so there is no
+//! signal handler — drains start from a `shutdown` op or
+//! [`TcpServer::shutdown`]):
+//!
+//! 1. the draining flag flips; the accept thread stops accepting,
+//! 2. the accept thread shuts down the read half of every live connection,
+//!    unblocking workers parked in `read`,
+//! 3. workers finish the request they have fully read (its response is
+//!    always written) and close; queued-but-unserved connections are
+//!    closed without service.
+
+use crate::server::{read_bounded_line, LineRead, Server};
+use crate::{lock, proto};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Accept-loop poll interval while idle (the listener is non-blocking so
+/// the loop can observe the draining flag promptly).
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+struct Shared {
+    server: Arc<Server>,
+    /// Accepted connections waiting for a worker.
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    /// Read-half handles of connections currently being served, for drain
+    /// interrupts.
+    live: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+/// A running TCP front-end.
+pub struct TcpServer {
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl TcpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start the accept thread plus
+    /// `config.workers` connection workers.
+    pub fn bind(server: Arc<Server>, addr: impl ToSocketAddrs) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            server: Arc::clone(&server),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            live: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let workers = (0..server.config().workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(TcpServer {
+            addr,
+            accept: Some(accept),
+            workers,
+            shared,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful drain from outside the protocol.
+    pub fn shutdown(&self) {
+        self.shared.server.begin_drain();
+        self.shared.available.notify_all();
+    }
+
+    /// Wait for the drain to complete and every thread to exit.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.server.is_draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let mut queue = lock(&shared.queue);
+                if queue.len() >= shared.server.config().queue_capacity {
+                    drop(queue);
+                    refuse(stream, shared.server.as_ref());
+                } else {
+                    queue.push_back(stream);
+                    drop(queue);
+                    shared.available.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => break,
+        }
+    }
+    // Drain: wake parked workers and unblock the ones mid-read so they can
+    // observe the flag. Requests already read still get their responses.
+    shared.available.notify_all();
+    for stream in lock(&shared.live).values() {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+}
+
+/// Answer an over-capacity connection with the backpressure response.
+fn refuse(stream: TcpStream, server: &Server) {
+    server.metrics().record_overloaded();
+    let mut stream = stream;
+    let _ = writeln!(stream, "{}", proto::overloaded());
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.server.is_draining() {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        let Some(stream) = stream else {
+            break;
+        };
+        if shared.server.is_draining() {
+            // Accepted but never served: close without service (no request
+            // line was read from it, so nothing was promised).
+            continue;
+        }
+        handle_conn(shared, stream);
+    }
+}
+
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    let server = shared.server.as_ref();
+    // Register a second handle for drain interrupts.
+    let token = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        lock(&shared.live).insert(token, clone);
+    }
+    let reader = match stream.try_clone() {
+        Ok(read_half) => read_half,
+        Err(_) => {
+            lock(&shared.live).remove(&token);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(reader);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if server.is_draining() {
+            break;
+        }
+        match read_bounded_line(&mut reader, server.config().max_line_bytes) {
+            Ok(LineRead::Eof) | Err(_) => break,
+            Ok(LineRead::TooLong) => {
+                server.metrics().record_error();
+                let message = format!("line exceeds {} bytes", server.config().max_line_bytes);
+                if writeln!(writer, "{}", proto::error(&message)).is_err()
+                    || writer.flush().is_err()
+                {
+                    break;
+                }
+            }
+            Ok(LineRead::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (response, stop) = server.handle_line(&line);
+                if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+                    break;
+                }
+                if stop {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = writer.flush();
+    lock(&shared.live).remove(&token);
+}

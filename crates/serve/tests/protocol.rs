@@ -1,0 +1,242 @@
+//! Pipe-mode protocol tests: every abuse a client can commit over the line
+//! protocol is answered with an error response on the same session, and
+//! well-formed traffic round-trips.
+
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use er_rules::{EditingRule, SchemaMatch, Task};
+use er_serve::{serve_pipe, RepairEngine, ServeConfig, Server};
+use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
+use serde_json::Value as Json;
+use std::io::Cursor;
+use std::sync::Arc;
+
+fn covid_task() -> Task {
+    let pool = Arc::new(Pool::new());
+    let in_schema = Arc::new(Schema::new(
+        "in",
+        vec![
+            Attribute::categorical("City"),
+            Attribute::categorical("Case"),
+        ],
+    ));
+    let m_schema = Arc::new(Schema::new(
+        "m",
+        vec![
+            Attribute::categorical("City"),
+            Attribute::categorical("Infection"),
+        ],
+    ));
+    let s = Value::str;
+    let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+    b.push_row(vec![s("HZ"), Value::Null]).unwrap();
+    let input = b.finish();
+    let mut bm = RelationBuilder::new(m_schema, pool);
+    bm.push_row(vec![s("HZ"), s("patient")]).unwrap();
+    bm.push_row(vec![s("BJ"), s("imports")]).unwrap();
+    bm.push_row(vec![s("BJ"), s("imports")]).unwrap();
+    bm.push_row(vec![s("BJ"), s("patient")]).unwrap();
+    let master = bm.finish();
+    Task::new(
+        input,
+        master,
+        SchemaMatch::from_pairs(2, &[(0, 0), (1, 1)]),
+        (1, 1),
+    )
+}
+
+fn server(config: ServeConfig) -> Server {
+    let task = covid_task();
+    let rules = vec![EditingRule::new(vec![(0, 0)], (1, 1), vec![])];
+    Server::new(RepairEngine::new(&task, rules, 0).unwrap(), config)
+}
+
+/// Run a scripted session through the pipe front-end and return the parsed
+/// response objects, one per request line.
+fn session(server: &Server, script: &str) -> Vec<Json> {
+    let mut reader = Cursor::new(script.as_bytes().to_vec());
+    let mut out: Vec<u8> = Vec::new();
+    serve_pipe(server, &mut reader, &mut out).unwrap();
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect()
+}
+
+fn ok(v: &Json) -> bool {
+    matches!(v.get("ok"), Some(Json::Bool(true)))
+}
+
+fn error_of(v: &Json) -> &str {
+    v.get("error").and_then(Json::as_str).unwrap_or("")
+}
+
+/// Numeric field accessor tolerant of the parser's Int/UInt split.
+fn num(v: &Json, key: &str) -> i64 {
+    match v.get(key) {
+        Some(Json::Int(i)) => *i,
+        Some(Json::UInt(u)) => *u as i64,
+        other => panic!("field {key} is not a number: {other:?}"),
+    }
+}
+
+#[test]
+fn ping_repair_shutdown_round_trip() {
+    let s = server(ServeConfig::default());
+    let responses = session(
+        &s,
+        "{\"op\":\"ping\"}\n\
+         {\"op\":\"repair\",\"rows\":[[\"HZ\",null],[\"BJ\",null],[\"??\",null]]}\n\
+         {\"op\":\"shutdown\"}\n",
+    );
+    assert_eq!(responses.len(), 3);
+    assert!(responses.iter().all(ok));
+    let repair = &responses[1];
+    assert_eq!(repair.get("fixed"), Some(&Json::Int(2)));
+    let cells = repair.get("cells").and_then(Json::as_array).unwrap();
+    assert_eq!(cells[0].get("attr").and_then(Json::as_str), Some("Case"));
+    assert_eq!(
+        cells[0].get("value").and_then(Json::as_str),
+        Some("patient")
+    );
+    assert_eq!(
+        cells[1].get("value").and_then(Json::as_str),
+        Some("imports")
+    );
+    assert!(s.is_draining(), "shutdown op must start the drain");
+}
+
+#[test]
+fn malformed_json_keeps_the_session_alive() {
+    let s = server(ServeConfig::default());
+    let responses = session(
+        &s,
+        "this is not json\n\
+         {\"op\":\n\
+         {\"op\":\"ping\"}\n",
+    );
+    assert_eq!(responses.len(), 3);
+    assert!(!ok(&responses[0]));
+    assert!(!ok(&responses[1]));
+    assert!(ok(&responses[2]), "session must survive malformed lines");
+}
+
+#[test]
+fn unknown_op_is_reported() {
+    let s = server(ServeConfig::default());
+    let responses = session(&s, "{\"op\":\"frobnicate\"}\n");
+    assert!(!ok(&responses[0]));
+    assert!(error_of(&responses[0]).contains("unknown op"));
+}
+
+#[test]
+fn over_long_line_is_rejected_but_consumed() {
+    let s = server(ServeConfig {
+        max_line_bytes: 64,
+        ..ServeConfig::default()
+    });
+    let long = format!(
+        "{{\"op\":\"repair\",\"rows\":[[\"{}\",null]]}}",
+        "x".repeat(200)
+    );
+    let responses = session(&s, &format!("{long}\n{{\"op\":\"ping\"}}\n"));
+    assert_eq!(responses.len(), 2);
+    assert!(!ok(&responses[0]));
+    assert!(error_of(&responses[0]).contains("exceeds"));
+    assert!(
+        ok(&responses[1]),
+        "the oversized line must be skipped, not fatal"
+    );
+}
+
+#[test]
+fn missing_and_extra_columns_are_row_errors() {
+    let s = server(ServeConfig::default());
+    let responses = session(
+        &s,
+        "{\"op\":\"repair\",\"rows\":[[\"HZ\"]]}\n\
+         {\"op\":\"repair\",\"rows\":[[\"HZ\",null,\"extra\"]]}\n\
+         {\"op\":\"repair\",\"rows\":[[\"HZ\",null],[\"BJ\"]]}\n",
+    );
+    assert!(responses.iter().all(|r| !ok(r)));
+    assert!(error_of(&responses[2]).contains("row 1"), "{responses:?}");
+}
+
+#[test]
+fn unsupported_cell_types_are_rejected() {
+    let s = server(ServeConfig::default());
+    let responses = session(&s, "{\"op\":\"repair\",\"rows\":[[\"HZ\",true]]}\n");
+    assert!(!ok(&responses[0]));
+    assert!(error_of(&responses[0]).contains("row 0 column 1"));
+}
+
+#[test]
+fn oversized_batches_hit_the_row_limit() {
+    let s = server(ServeConfig {
+        max_batch_rows: 2,
+        ..ServeConfig::default()
+    });
+    let responses = session(
+        &s,
+        "{\"op\":\"repair\",\"rows\":[[\"HZ\",null],[\"BJ\",null],[\"SZ\",null]]}\n",
+    );
+    assert!(!ok(&responses[0]));
+    assert!(error_of(&responses[0]).contains("exceeds"));
+}
+
+#[test]
+fn stats_reflect_traffic() {
+    let s = server(ServeConfig::default());
+    let responses = session(
+        &s,
+        "{\"op\":\"repair\",\"rows\":[[\"HZ\",null]]}\n\
+         nonsense\n\
+         {\"op\":\"stats\"}\n",
+    );
+    let stats = responses[2].get("stats").unwrap();
+    assert_eq!(num(stats, "requests"), 3);
+    assert_eq!(num(stats, "repairs"), 1);
+    assert_eq!(num(stats, "repaired_cells"), 1);
+    assert_eq!(num(stats, "errors"), 1);
+    assert_eq!(num(stats, "queue_depth"), 0);
+}
+
+#[test]
+fn reload_without_a_reloader_is_an_error() {
+    let s = server(ServeConfig::default());
+    let responses = session(&s, "{\"op\":\"reload\"}\n");
+    assert!(!ok(&responses[0]));
+    assert!(error_of(&responses[0]).contains("not configured"));
+}
+
+#[test]
+fn reload_swaps_the_engine() {
+    let task = covid_task();
+    let rules = vec![EditingRule::new(vec![(0, 0)], (1, 1), vec![])];
+    let engine = RepairEngine::new(&task, rules, 0).unwrap();
+    let reload_task = covid_task();
+    let s = Server::new(engine, ServeConfig::default()).with_reloader(Box::new(move || {
+        RepairEngine::new(&reload_task, Vec::new(), 0).map_err(|e| e.to_string())
+    }));
+    let responses = session(
+        &s,
+        "{\"op\":\"reload\"}\n{\"op\":\"repair\",\"rows\":[[\"HZ\",null]]}\n",
+    );
+    assert!(ok(&responses[0]));
+    assert_eq!(responses[0].get("rules"), Some(&Json::Int(0)));
+    // The empty reloaded rule set fixes nothing.
+    assert_eq!(responses[1].get("fixed"), Some(&Json::Int(0)));
+}
+
+#[test]
+fn eof_ends_the_session_after_answering_everything() {
+    let s = server(ServeConfig::default());
+    // No shutdown op, no trailing newline: EOF drains cleanly and the last
+    // request is still answered.
+    let responses = session(&s, "{\"op\":\"ping\"}\n{\"op\":\"ping\"}");
+    assert_eq!(responses.len(), 2);
+    assert!(responses.iter().all(ok));
+}

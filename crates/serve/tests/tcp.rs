@@ -1,0 +1,233 @@
+//! Socket-mode tests: concurrent clients receive exactly the answers the
+//! single-threaded repair path computes, backpressure refuses excess
+//! connections, and the drain answers every request it has read.
+
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use er_rules::{apply_rules, EditingRule, SchemaMatch, Task};
+use er_serve::{RepairEngine, ServeConfig, Server, TcpServer};
+use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
+use serde_json::Value as Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Cities 0..6 map to one area code each in the master, except city "C5"
+/// which is split 3:1 — the vote must resolve it the same way everywhere.
+fn fixture() -> (Task, Vec<Vec<Value>>) {
+    let pool = Arc::new(Pool::new());
+    let schema = |name: &str| {
+        Arc::new(Schema::new(
+            name,
+            vec![Attribute::categorical("City"), Attribute::categorical("AC")],
+        ))
+    };
+    let mut bm = RelationBuilder::new(schema("m"), Arc::clone(&pool));
+    for city in 0..6 {
+        for _ in 0..3 {
+            bm.push_row(vec![
+                Value::str(format!("C{city}")),
+                Value::str(format!("ac{city}")),
+            ])
+            .unwrap();
+        }
+    }
+    bm.push_row(vec![Value::str("C5"), Value::str("ac0")])
+        .unwrap();
+    let master = bm.finish();
+
+    let batch: Vec<Vec<Value>> = (0..8)
+        .map(|i| vec![Value::str(format!("C{}", i % 7)), Value::Null])
+        .collect();
+    let mut bi = RelationBuilder::new(schema("in"), pool);
+    for row in &batch {
+        bi.push_row(row.clone()).unwrap();
+    }
+    let input = bi.finish();
+    let task = Task::new(
+        input,
+        master,
+        SchemaMatch::from_pairs(2, &[(0, 0), (1, 1)]),
+        (1, 1),
+    );
+    (task, batch)
+}
+
+fn rules() -> Vec<EditingRule> {
+    vec![EditingRule::new(vec![(0, 0)], (1, 1), vec![])]
+}
+
+fn start(config: ServeConfig) -> (Arc<Server>, TcpServer, Vec<Vec<Value>>, String) {
+    let (task, batch) = fixture();
+    // The reference answer comes from the one-shot single-threaded path.
+    let reference = apply_rules(&task, &rules());
+    let pool = task.input().pool();
+    let expected_cells: Vec<Json> = reference
+        .predictions
+        .iter()
+        .enumerate()
+        .filter_map(|(row, pred)| {
+            pred.filter(|&code| code != task.input().code(row, 1))
+                .map(|code| {
+                    Json::Object(vec![
+                        ("row".to_string(), Json::Int(row as i64)),
+                        ("attr".to_string(), Json::Str("AC".into())),
+                        (
+                            "value".to_string(),
+                            Json::Str(pool.value(code).render().into_owned()),
+                        ),
+                        ("score".to_string(), Json::Float(reference.scores[row])),
+                    ])
+                })
+        })
+        .collect();
+    let expected = serde_json::to_string(&Json::Array(expected_cells)).unwrap();
+
+    let engine = RepairEngine::new(&task, rules(), 0).unwrap();
+    let server = Arc::new(Server::new(engine, config));
+    let tcp = TcpServer::bind(Arc::clone(&server), "127.0.0.1:0").unwrap();
+    (server, tcp, batch, expected)
+}
+
+fn batch_request(batch: &[Vec<Value>]) -> String {
+    let rows: Vec<Json> = batch
+        .iter()
+        .map(|row| {
+            Json::Array(
+                row.iter()
+                    .map(|v| match v {
+                        Value::Null => Json::Null,
+                        other => Json::Str(other.render().into_owned()),
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    serde_json::to_string(&Json::Object(vec![
+        ("op".to_string(), Json::Str("repair".into())),
+        ("rows".to_string(), Json::Array(rows)),
+    ]))
+    .unwrap()
+}
+
+#[test]
+fn concurrent_clients_match_the_single_threaded_repair() {
+    let (_server, tcp, batch, expected) = start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    let addr = tcp.local_addr();
+    let request = batch_request(&batch);
+
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let request = request.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                for _ in 0..5 {
+                    writeln!(writer, "{request}").unwrap();
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    let response: Json = serde_json::from_str(&line).unwrap();
+                    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{line}");
+                    let cells = response.get("cells").unwrap();
+                    assert_eq!(
+                        serde_json::to_string(cells).unwrap(),
+                        expected,
+                        "served cells must match the one-shot apply_rules answer"
+                    );
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    // Drain via the protocol and wait for every thread.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writeln!(writer, "{{\"op\":\"shutdown\"}}").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response: Json = serde_json::from_str(&line).unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+    tcp.join();
+}
+
+#[test]
+fn shutdown_answers_before_closing_and_join_returns() {
+    let (server, tcp, batch, _) = start(ServeConfig::default());
+    let addr = tcp.local_addr();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    // A real request first, then shutdown on the same connection.
+    writeln!(writer, "{}", batch_request(&batch)).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":true"), "{line}");
+    writeln!(writer, "{{\"op\":\"shutdown\"}}").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("\"shutdown\""),
+        "the shutdown op must be acknowledged before the close: {line}"
+    );
+    tcp.join();
+    assert!(server.is_draining());
+    // The connection is closed after the drain: the next read returns EOF.
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+}
+
+#[test]
+fn external_shutdown_unblocks_idle_connections() {
+    let (_server, tcp, _batch, _) = start(ServeConfig::default());
+    let addr = tcp.local_addr();
+    // An idle client parks a worker in read; shutdown() must unblock it.
+    let idle = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(idle.try_clone().unwrap());
+    // Give the worker a moment to pick the connection up.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    tcp.shutdown();
+    tcp.join();
+    let mut line = String::new();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "idle conn closed");
+}
+
+#[test]
+fn full_accept_queue_is_refused_with_backpressure() {
+    // One worker and a tiny queue: with the worker parked on an idle
+    // connection and the queue full, the next connection is refused.
+    let (server, tcp, _batch, _) = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    });
+    let addr = tcp.local_addr();
+    let _busy = TcpStream::connect(addr).unwrap(); // picked up by the worker
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let _queued = TcpStream::connect(addr).unwrap(); // fills the queue
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let refused = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(refused);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response: Json = serde_json::from_str(&line).unwrap();
+    assert_eq!(
+        response.get("error").and_then(Json::as_str),
+        Some("overloaded")
+    );
+    assert_eq!(response.get("retry"), Some(&Json::Bool(true)));
+    assert!(server.snapshot().overloaded >= 1);
+    tcp.shutdown();
+    tcp.join();
+}

@@ -93,11 +93,35 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
     Ok(records)
 }
 
+/// Validate an inferred header before handing it to [`Schema::new`] (which
+/// treats duplicates as caller bugs and panics): untrusted CSV input must
+/// surface schema-inference failures as typed errors instead.
+fn check_header(header: &[String]) -> Result<()> {
+    for (i, h) in header.iter().enumerate() {
+        let name = h.trim();
+        if name.is_empty() {
+            return Err(Error::Csv {
+                line: 1,
+                message: format!("header column {} has an empty name", i + 1),
+            });
+        }
+        if header[..i].iter().any(|prev| prev.trim() == name) {
+            return Err(Error::Csv {
+                line: 1,
+                message: format!("duplicate header column {name:?}"),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Read CSV text with an inferred all-categorical schema named `name`.
-/// Empty fields become NULL.
+/// Empty fields become NULL. Malformed headers (duplicate or empty column
+/// names) are reported as [`Error::Csv`] rather than panicking.
 pub fn read_str(name: &str, text: &str, pool: Arc<Pool>) -> Result<Relation> {
     let records = parse_records(text)?;
     let header = &records[0];
+    check_header(header)?;
     let schema = Arc::new(Schema::new(
         name,
         header
@@ -180,10 +204,14 @@ fn parse_field(raw: &str, continuous: bool) -> Value {
     Value::str(raw)
 }
 
-/// Read a CSV file with an inferred all-categorical schema.
+/// Read a CSV file with an inferred all-categorical schema. Bytes that are
+/// not valid UTF-8 are decoded lossily (invalid sequences become U+FFFD)
+/// instead of failing the load — real-world exports mix encodings, and a
+/// replacement character in one cell beats rejecting the whole file.
 pub fn read_path(path: impl AsRef<Path>, pool: Arc<Pool>) -> Result<Relation> {
     let path = path.as_ref();
-    let text = std::fs::read_to_string(path)?;
+    let bytes = std::fs::read(path)?;
+    let text = String::from_utf8_lossy(&bytes);
     let name = path
         .file_stem()
         .and_then(|s| s.to_str())
@@ -344,5 +372,36 @@ mod tests {
     fn unterminated_quote_rejected() {
         let pool = Arc::new(Pool::new());
         assert!(read_str("t", "A\n\"oops\n", pool).is_err());
+    }
+
+    #[test]
+    fn duplicate_header_is_a_typed_error() {
+        let pool = Arc::new(Pool::new());
+        let err = read_str("t", "City,ZIP,City\nHZ,31200,HZ\n", pool).unwrap_err();
+        match err {
+            Error::Csv { line: 1, message } => assert!(message.contains("duplicate")),
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_header_name_is_a_typed_error() {
+        let pool = Arc::new(Pool::new());
+        let err = read_str("t", "City,,ZIP\nHZ,x,31200\n", pool).unwrap_err();
+        assert!(matches!(err, Error::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn non_utf8_file_loads_lossily() {
+        let dir = std::env::temp_dir().join(format!("er_csv_lossy_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("latin1.csv");
+        // "City\nMünchen\n" in Latin-1: 0xFC is not valid UTF-8.
+        std::fs::write(&path, b"City\nM\xFCnchen\n").unwrap();
+        let pool = Arc::new(Pool::new());
+        let r = read_path(&path, pool).unwrap();
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.value(0, 0), Value::str("M\u{FFFD}nchen"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

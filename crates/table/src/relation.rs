@@ -223,6 +223,15 @@ impl Relation {
         Ok(())
     }
 
+    /// Append one row of values to the relation, interning them through the
+    /// shared pool — the serve-mode path for folding externally supplied
+    /// rows into an existing dictionary-encoded relation without a rebuild.
+    /// Validates arity and continuous-attribute typing like
+    /// [`RelationBuilder::push_row`].
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        self.push_row_internal(row)
+    }
+
     fn push_row_internal(&mut self, row: Vec<Value>) -> Result<()> {
         if row.len() != self.schema.arity() {
             return Err(Error::ArityMismatch {
@@ -411,6 +420,26 @@ mod tests {
         assert_eq!(lo, 29.5);
         assert_eq!(hi, 41.0);
         assert_eq!(r.numeric_bounds(0), None); // strings
+    }
+
+    #[test]
+    fn push_row_appends_without_rebuild() {
+        let mut r = fixture();
+        let schema = Arc::clone(r.schema());
+        let pool = Arc::clone(r.pool());
+        r.push_row(vec![Value::str("SZ"), Value::str("51800"), Value::int(50)])
+            .unwrap();
+        assert_eq!(r.num_rows(), 4);
+        assert_eq!(r.value(3, 0), Value::str("SZ"));
+        // Schema and pool objects are untouched (no rebuild).
+        assert!(Arc::ptr_eq(r.schema(), &schema));
+        assert!(Arc::ptr_eq(r.pool(), &pool));
+        // Validation still applies.
+        assert!(r.push_row(vec![Value::str("only-one")]).is_err());
+        assert!(r
+            .push_row(vec![Value::str("SZ"), Value::Null, Value::str("notnum")])
+            .is_err());
+        assert_eq!(r.num_rows(), 4);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # The local mirror of CI: formatting, the clippy lint wall, the full test
 # suite (sequential, with miner invariant audits, and with ER_THREADS=4
-# worker pools), and er-lint over the committed example rule set. Run from
-# anywhere inside the repo.
+# worker pools), er-lint over the committed example rule set, and an
+# er-serve pipe-mode smoke (ping + one repair batch over stdin/stdout).
+# Run from anywhere inside the repo.
 #
 # BENCH=1 additionally runs the thread-scaling sweep and refreshes
 # results/par_sweep.json (release build; a few extra minutes).
@@ -26,6 +27,16 @@ ER_THREADS=4 cargo test --workspace -q
 
 echo "==> experiments lint examples/figure1_rules.json"
 cargo run -p er-bench --bin experiments -- lint examples/figure1_rules.json
+
+echo "==> er-serve pipe-mode smoke"
+smoke=$(printf '%s\n' \
+    '{"op":"ping"}' \
+    '{"op":"repair","rows":[["Kevin","HZ",null,null,"325-8455","Male",null,"2021-12","No"]]}' \
+    | cargo run -q --bin er-serve -- --rules examples/figure1_rules.json)
+echo "$smoke"
+[[ "$(echo "$smoke" | sed -n 1p)" == *'"ok":true'* ]]
+[[ "$(echo "$smoke" | sed -n 2p)" == *'"fixed":1'* ]]
+[[ "$(echo "$smoke" | sed -n 2p)" == *'contact with patient'* ]]
 
 if [[ "${BENCH:-0}" == "1" ]]; then
     echo "==> experiments par_sweep (refreshing results/par_sweep.json)"
