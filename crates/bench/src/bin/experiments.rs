@@ -14,7 +14,7 @@ use er_bench::ExperimentConfig;
 const USAGE: &str = "\
 usage: experiments [--paper-scale|--quick] [--repeats N] [--train-steps N] [--threads N] <ids...>
        experiments lint [--dataset NAME] [--seed N] [--json] [--fix [--out PATH]] <rules.json>
-  ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate par_sweep serve_bench
+  ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate par_sweep serve_bench incr_bench
   --paper-scale   run at the paper's dataset sizes (EnuMiner may take hours)
   --quick         smoke-test scale (shorter training, tighter budgets)
   --repeats N     repetitions for mean±std tables (default 3, paper 5)
@@ -137,6 +137,9 @@ fn main() {
             }
             "serve_bench" => {
                 er_bench::serve_bench(&cfg);
+            }
+            "incr_bench" => {
+                er_bench::incr_bench(&cfg);
             }
             other => die(&format!("unknown experiment id {other}")),
         }

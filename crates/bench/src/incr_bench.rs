@@ -1,0 +1,228 @@
+//! `incr_bench` — incremental master maintenance vs. full rebuild.
+//!
+//! The paper's incremental-master experiment (Fig. 11, §V-D3) grows the
+//! master relation and fine-tunes the agent instead of retraining; the
+//! serving-side analogue implemented by `er-incr` grows the master *in
+//! place*, delta-updating the warmed indexes instead of rebuilding them.
+//! This runner measures that trade directly on the Covid scenario:
+//!
+//! 1. split the master into a base prefix and an append delta,
+//! 2. time [`IncrEngine::append_rows`] of the delta against a warm engine
+//!    vs. a from-scratch [`BatchRepairer::new`] over the grown master,
+//! 3. prove both ends serve the *identical* repair report,
+//! 4. show the ER007 staleness lint firing on the grown engine, then
+//!    clearing after an RLMiner-ft fine-tune + [`IncrEngine::refresh_rules`].
+//!
+//! Writes `results/incr_bench.json`.
+
+use crate::ExperimentConfig;
+use er_datagen::DatasetKind;
+use er_incr::IncrEngine;
+use er_rlminer::{RlMiner, RlMinerConfig};
+use er_rules::{BatchRepairer, EditingRule, RepairReport};
+use er_table::Value;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Result of one incremental-maintenance benchmark run.
+#[derive(Debug, Clone, Serialize)]
+pub struct IncrBench {
+    /// Dataset the engine was loaded with.
+    pub dataset: String,
+    /// Rules in the warm engine during the timing phase.
+    pub rules: usize,
+    /// Warm indexes delta-updated per append.
+    pub indexes: usize,
+    /// Master rows before the append.
+    pub base_master_rows: usize,
+    /// Rows appended per timed iteration.
+    pub appended_rows: usize,
+    /// Timed iterations per side.
+    pub repeats: usize,
+    /// Mean time to delta-update the warm engine, microseconds.
+    pub incremental_mean_us: f64,
+    /// Mean time to rebuild the repairer over the grown master, microseconds.
+    pub rebuild_mean_us: f64,
+    /// `rebuild_mean_us / incremental_mean_us` — how much the delta path wins.
+    pub speedup: f64,
+    /// Whether the appended engine and a fresh rebuild produced the exact
+    /// same repair report over the scenario input.
+    pub reports_identical: bool,
+    /// Engine staleness (generations) right after the append.
+    pub staleness_after_append: u64,
+    /// Whether ER007 fired on the grown-but-unrefreshed rule set.
+    pub er007_fired: bool,
+    /// Whether ER007 went quiet after fine-tuning + refreshing the rules.
+    pub er007_clear_after_refresh: bool,
+    /// RLMiner-ft fine-tuning steps over the grown scenario.
+    pub finetune_steps: usize,
+    /// RLMiner-ft fine-tuning seconds.
+    pub finetune_seconds: f64,
+    /// Rules installed by the post-fine-tune refresh.
+    pub refreshed_rules: usize,
+}
+
+fn reports_equal(a: &RepairReport, b: &RepairReport) -> bool {
+    a.predictions == b.predictions
+        && a.scores == b.scores
+        && a.candidates == b.candidates
+        && a.rules_applied == b.rules_applied
+}
+
+/// Benchmark incremental maintenance; see the module docs.
+pub fn incr_bench(cfg: &ExperimentConfig) -> IncrBench {
+    println!("== incr_bench: er-incr append vs. full rebuild (Covid) ==");
+    let s = cfg.scenario(DatasetKind::Covid, 1);
+    let target = s.task.target();
+    let full_master = s.task.master();
+    let full_rows = full_master.num_rows();
+    // Appends arrive in batches that are small relative to the master —
+    // that is the regime delta maintenance exists for. A ~1/16 delta keeps
+    // the comparison honest while still being large enough to time.
+    let base_rows = full_rows - (full_rows / 16).max(16).min(full_rows / 2);
+    let base = s.with_master_prefix(base_rows);
+    let delta: Vec<Vec<Value>> = (base_rows..full_rows)
+        .map(|row| full_master.row_values(row))
+        .collect();
+
+    // The same hand-built rule shape as serve_bench: timing is about index
+    // maintenance, not where the rules came from.
+    let pairs = base.task.candidate_lhs_pairs();
+    let mut rules: Vec<EditingRule> = pairs
+        .iter()
+        .map(|&p| EditingRule::new(vec![p], target, vec![]))
+        .collect();
+    for window in pairs.windows(2) {
+        rules.push(EditingRule::new(window.to_vec(), target, vec![]));
+    }
+    rules.truncate(12);
+
+    let build_engine = || match IncrEngine::new(
+        base.task.master().clone(),
+        target,
+        rules.clone(),
+        cfg.threads,
+    ) {
+        Ok(e) => e,
+        // The scenario and rules are constructed above; failing to warm the
+        // engine is a bug, not an environment problem.
+        Err(e) => panic!("incr_bench: engine construction failed: {e}"),
+    };
+
+    let repeats = (cfg.repeats * 16).max(48);
+    let mut incremental_us = Vec::with_capacity(repeats);
+    let mut rebuild_us = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        // Delta path: the engine is warmed over the base outside the timer;
+        // only the append (validate + push + per-index delta update) counts.
+        let mut engine = build_engine();
+        let started = Instant::now();
+        if let Err(e) = engine.append_rows(&delta) {
+            panic!("incr_bench: append failed: {e}");
+        }
+        incremental_us.push(started.elapsed().as_secs_f64() * 1e6);
+
+        // Rebuild path: the grown master clone is prepared outside the
+        // timer; only the from-scratch index warm-up counts.
+        let grown = engine.master().clone();
+        let started = Instant::now();
+        match BatchRepairer::new(grown, target, rules.clone(), cfg.threads) {
+            Ok(r) => std::hint::black_box(&r.num_indexes()),
+            Err(e) => panic!("incr_bench: rebuild failed: {e}"),
+        };
+        rebuild_us.push(started.elapsed().as_secs_f64() * 1e6);
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let incremental_mean_us = mean(&incremental_us);
+    let rebuild_mean_us = mean(&rebuild_us);
+
+    // Equivalence: the appended engine and a fresh rebuild over the grown
+    // master must serve the exact same repair report.
+    let mut engine = build_engine();
+    if let Err(e) = engine.append_rows(&delta) {
+        panic!("incr_bench: append failed: {e}");
+    }
+    let rebuilt =
+        match BatchRepairer::new(engine.master().clone(), target, rules.clone(), cfg.threads) {
+            Ok(r) => r,
+            Err(e) => panic!("incr_bench: rebuild failed: {e}"),
+        };
+    let input = s.task.input();
+    let reports_identical = match (engine.repair_batch(input), rebuilt.repair_batch(input)) {
+        (Ok(a), Ok(b)) => reports_equal(&a, &b),
+        _ => false,
+    };
+    let staleness_after_append = engine.staleness();
+    let er007_fired =
+        er_lint::check_staleness(engine.rules_generation(), engine.master()).is_some();
+
+    // RLMiner-ft over the grown master (the paper's Fig. 11 move), then
+    // refresh the engine's rule set so ER007 goes quiet.
+    let mut config = RlMinerConfig::new(base.support_threshold);
+    config.train_steps = (cfg.train_steps / 5).max(200);
+    config.finetune_steps = (config.train_steps / 3).max(100);
+    config.seed = 11;
+    config.threads = cfg.threads;
+    let finetune_steps = config.finetune_steps;
+    let mut miner = RlMiner::new(&base.task, config);
+    miner.train(&base.task);
+    miner.set_support_threshold(s.support_threshold);
+    let ft = miner.fine_tune(&s.task);
+    let mined = miner.mine(&s.task).rules_only();
+    let refreshed: Vec<EditingRule> = if mined.is_empty() {
+        rules.clone()
+    } else {
+        mined
+    };
+    let refreshed_rules = refreshed.len();
+    if let Err(e) = engine.refresh_rules(refreshed) {
+        panic!("incr_bench: rule refresh failed: {e}");
+    }
+    let er007_clear_after_refresh = engine.staleness() == 0
+        && er_lint::check_staleness(engine.rules_generation(), engine.master()).is_none();
+
+    let result = IncrBench {
+        dataset: s.name.clone(),
+        rules: rules.len(),
+        indexes: build_engine().num_indexes(),
+        base_master_rows: base_rows,
+        appended_rows: delta.len(),
+        repeats,
+        incremental_mean_us,
+        rebuild_mean_us,
+        speedup: rebuild_mean_us / incremental_mean_us.max(1e-9),
+        reports_identical,
+        staleness_after_append,
+        er007_fired,
+        er007_clear_after_refresh,
+        finetune_steps,
+        finetune_seconds: ft.elapsed.as_secs_f64(),
+        refreshed_rules,
+    };
+    println!(
+        "  master {} -> {} rows ({} appended), {} rules, {} warm indexes",
+        result.base_master_rows,
+        result.base_master_rows + result.appended_rows,
+        result.appended_rows,
+        result.rules,
+        result.indexes
+    );
+    println!(
+        "  append {:.0}us vs rebuild {:.0}us over {} repeats: {:.1}x speedup, reports identical: {}",
+        result.incremental_mean_us,
+        result.rebuild_mean_us,
+        result.repeats,
+        result.speedup,
+        result.reports_identical
+    );
+    println!(
+        "  staleness after append: {} (ER007 fired: {}); after RLMiner-ft refresh ({} rules, {:.2}s): clear={}",
+        result.staleness_after_append,
+        result.er007_fired,
+        result.refreshed_rules,
+        result.finetune_seconds,
+        result.er007_clear_after_refresh
+    );
+    cfg.write_json("incr_bench", &result);
+    result
+}

@@ -25,11 +25,13 @@
 //! restores everything. The *relative* behaviour of the miners (who wins,
 //! where the crossovers are) is preserved at both scales.
 
+pub mod incr_bench;
 pub mod methods;
 pub mod runners;
 pub mod serve_bench;
 pub mod stats;
 
+pub use incr_bench::{incr_bench, IncrBench};
 pub use methods::{ctane_method, enuminer_method, rlminer_method, MethodOutcome};
 pub use runners::*;
 pub use serve_bench::{serve_bench, ServeBench};

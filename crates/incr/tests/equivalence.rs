@@ -1,0 +1,152 @@
+//! The rebuild-equivalence suite: incremental maintenance must be
+//! indistinguishable from rebuilding from scratch.
+//!
+//! Two layers are checked over a generated Covid scenario:
+//!
+//! * **index level** — `apply_append` on `KeyIndex`/`GroupIndex`/`Pli`
+//!   produces state equal to a fresh build over the grown relation;
+//! * **engine level** — an [`IncrEngine`] that absorbed appends produces
+//!   repair reports (predictions, scores, candidates, rules applied)
+//!   identical to a fresh [`BatchRepairer`] built over the grown master,
+//!   at worker-thread counts 1, 2 and 8 (mirroring the workspace's
+//!   par-determinism invariant).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use er_datagen::{covid, NoiseConfig, Scenario, ScenarioConfig};
+use er_incr::IncrEngine;
+use er_rules::{BatchRepairer, EditingRule, RepairReport};
+use er_table::{GroupIndex, KeyIndex, Pli, Relation, Value};
+
+const BASE_ROWS: usize = 120;
+
+fn scenario() -> Scenario {
+    covid(ScenarioConfig {
+        input_size: 120,
+        master_size: 200,
+        noise: NoiseConfig::rate(0.2),
+        duplicate_rate: None,
+        seed: 11,
+        labelled: false,
+    })
+}
+
+/// The scenario shrunk to its first `BASE_ROWS` master rows, plus the rows
+/// that were cut off (the "appended later" delta, in master schema order).
+fn base_and_delta() -> (Scenario, Vec<Vec<Value>>) {
+    let full = scenario();
+    let base = full.with_master_prefix(BASE_ROWS);
+    let master = full.task.master();
+    let delta: Vec<Vec<Value>> = (BASE_ROWS..master.num_rows())
+        .map(|r| master.row_values(r))
+        .collect();
+    (base, delta)
+}
+
+fn rules_for(s: &Scenario) -> Vec<EditingRule> {
+    let target = s.task.target();
+    let pairs = s.task.candidate_lhs_pairs();
+    let mut rules: Vec<EditingRule> = pairs
+        .iter()
+        .map(|&p| EditingRule::new(vec![p], target, vec![]))
+        .collect();
+    for window in pairs.windows(2) {
+        rules.push(EditingRule::new(window.to_vec(), target, vec![]));
+    }
+    rules.truncate(8);
+    rules
+}
+
+fn grown_master(base: &Scenario, delta: &[Vec<Value>]) -> Relation {
+    let mut grown = base.task.master().clone();
+    grown.push_rows(delta).unwrap();
+    grown
+}
+
+fn assert_reports_equal(a: &RepairReport, b: &RepairReport, context: &str) {
+    assert_eq!(a.predictions, b.predictions, "{context}: predictions");
+    assert_eq!(a.scores, b.scores, "{context}: scores");
+    assert_eq!(a.candidates, b.candidates, "{context}: candidates");
+    assert_eq!(a.rules_applied, b.rules_applied, "{context}: rules applied");
+}
+
+#[test]
+fn indexes_after_append_equal_fresh_builds() {
+    let (base, delta) = base_and_delta();
+    let rel = base.task.master().clone();
+    let grown = grown_master(&base, &delta);
+    let target_m = base.task.target().1;
+
+    for attrs in [vec![0usize], vec![1], vec![0, 1], vec![1, 2]] {
+        let mut key = KeyIndex::build(&rel, &attrs);
+        let mut group = GroupIndex::build(&rel, &attrs, target_m);
+        key.apply_append(&grown, BASE_ROWS).unwrap();
+        group.apply_append(&grown, BASE_ROWS).unwrap();
+        assert_eq!(key, KeyIndex::build(&grown, &attrs), "KeyIndex {attrs:?}");
+        assert_eq!(
+            group,
+            GroupIndex::build(&grown, &attrs, target_m),
+            "GroupIndex {attrs:?}"
+        );
+    }
+    for attr in 0..rel.num_attrs() {
+        let mut pli = Pli::build(&rel, attr);
+        pli.apply_append(&grown, BASE_ROWS).unwrap();
+        assert_eq!(pli, Pli::build(&grown, attr), "Pli attr {attr}");
+    }
+}
+
+#[test]
+fn engine_after_append_equals_rebuilt_engine_at_1_2_8_threads() {
+    let (base, delta) = base_and_delta();
+    let rules = rules_for(&base);
+    let target = base.task.target();
+    let input = base.task.input();
+    let grown = grown_master(&base, &delta);
+    // Split the delta so the engine absorbs several successive appends, not
+    // one lucky batch.
+    let (first, second) = delta.split_at(delta.len() / 2);
+
+    let mut reports: Vec<RepairReport> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut incremental =
+            IncrEngine::new(base.task.master().clone(), target, rules.clone(), threads).unwrap();
+        incremental.append_rows(first).unwrap();
+        incremental.append_rows(second).unwrap();
+        assert_eq!(incremental.master().num_rows(), grown.num_rows());
+        assert_eq!(incremental.counters().incremental_updates, 2);
+
+        let rebuilt = BatchRepairer::new(grown.clone(), target, rules.clone(), threads).unwrap();
+        let a = incremental.repair_batch(input).unwrap();
+        let b = rebuilt.repair_batch(input).unwrap();
+        assert_reports_equal(&a, &b, &format!("threads={threads}"));
+        reports.push(a);
+    }
+    // And thread count itself must not change the answer.
+    for r in &reports[1..] {
+        assert_reports_equal(r, &reports[0], "across thread counts");
+    }
+}
+
+#[test]
+fn appends_genuinely_change_the_vote() {
+    // Guard against a vacuous suite: the grown master must alter at least
+    // one prediction, otherwise the equivalence above proves nothing.
+    let (base, delta) = base_and_delta();
+    let rules = rules_for(&base);
+    let target = base.task.target();
+    let input = base.task.input();
+
+    let before = BatchRepairer::new(base.task.master().clone(), target, rules.clone(), 1)
+        .unwrap()
+        .repair_batch(input)
+        .unwrap();
+    let mut engine = IncrEngine::new(base.task.master().clone(), target, rules, 1).unwrap();
+    engine.append_rows(&delta).unwrap();
+    let after = engine.repair_batch(input).unwrap();
+    assert_ne!(
+        (&before.predictions, &before.scores),
+        (&after.predictions, &after.scores),
+        "the delta should shift at least one prediction or score"
+    );
+}

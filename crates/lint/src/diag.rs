@@ -30,6 +30,11 @@ pub enum DiagCode {
     /// pattern, repeated attributes) or a target that differs from the
     /// task's target. Such a rule cannot be resolved at all.
     Er006,
+    /// Stale rule set: the master relation has grown past the generation the
+    /// rules were mined (or last refreshed) at, so support/confidence
+    /// measures and fill-rate statistics no longer reflect the data the
+    /// rules will repair against.
+    Er007,
 }
 
 impl DiagCode {
@@ -42,6 +47,7 @@ impl DiagCode {
             DiagCode::Er004 => "ER004",
             DiagCode::Er005 => "ER005",
             DiagCode::Er006 => "ER006",
+            DiagCode::Er007 => "ER007",
         }
     }
 
@@ -54,6 +60,7 @@ impl DiagCode {
             DiagCode::Er004 => "dominated (redundant) rule",
             DiagCode::Er005 => "repair conflict",
             DiagCode::Er006 => "ill-formed rule",
+            DiagCode::Er007 => "stale rule set",
         }
     }
 }

@@ -16,11 +16,18 @@
 //! | ER004 | dominated (redundant) rule (Definition 3) | warning         |
 //! | ER005 | repair conflict between two rules         | warning         |
 //! | ER006 | ill-formed rule (Definition 1 violation)  | error           |
+//! | ER007 | stale rule set vs. master generation      | warning         |
 //!
 //! ER002 distinguishes *logical* unsatisfiability (contradictory conditions,
 //! empty ranges — errors on any data) from *observed* unsatisfiability
 //! (constants outside the attribute's active domain — warnings, since they
 //! only prove the rule dead on the dataset at hand).
+//!
+//! ER007 is the one *set-level* pass: [`check_staleness`] compares the
+//! generation a rule set was mined at against the master relation's current
+//! [`generation`](er_table::Relation::generation) and warns when the master
+//! has grown past it (appends via `er-incr` bump the generation once per
+//! row, so the gap is the number of unseen master rows).
 //!
 //! Reports render both as a rustc-style text diagnostic stream
 //! ([`Report::render_text`]) and as machine-readable JSON
@@ -49,7 +56,7 @@ mod lint;
 
 pub use diag::{DiagCode, Finding, Report, Severity};
 pub use fix::{apply_fixes, removable, FixOutcome};
-pub use lint::{lint_json, lint_portable, lint_resolved, render_portable};
+pub use lint::{check_staleness, lint_json, lint_portable, lint_resolved, render_portable};
 
 /// A tiny fixed task for the crate's doctests; not part of the public API
 /// contract.

@@ -9,7 +9,7 @@
 use crate::diag::{DiagCode, Finding, Report, Severity};
 use er_rules::io::{PortableCondition, PortableRule};
 use er_rules::{dominates, from_portable, EditingRule, Evaluator, Task};
-use er_table::{AttrId, Code, Value, NULL_CODE};
+use er_table::{AttrId, Code, Relation, Value, NULL_CODE};
 use std::collections::HashMap;
 
 /// Lint a JSON rule file (the format written by [`er_rules::rules_to_json`])
@@ -66,6 +66,37 @@ pub fn lint_resolved(rules: &[EditingRule], task: &Task) -> Report {
     };
     report.sort();
     report
+}
+
+/// ER007: check a rule set's mining generation against the master relation
+/// it is about to repair against. Returns a warning finding when the master
+/// has grown past `rules_generation` — the rules still apply (appends never
+/// invalidate resolved attribute ids), but their support/confidence measures
+/// were computed over a smaller master and may no longer rank candidates the
+/// same way. Unlike the per-rule passes this is a *set-level* staleness
+/// check, so the finding is anchored to the whole set (`rule: 0`, span
+/// `<rule set>`).
+pub fn check_staleness(rules_generation: u64, master: &Relation) -> Option<Finding> {
+    let current = master.generation();
+    if current <= rules_generation {
+        return None;
+    }
+    Some(Finding {
+        code: DiagCode::Er007,
+        severity: Severity::Warning,
+        rule: 0,
+        related: None,
+        span: "<rule set>".to_string(),
+        message: format!(
+            "rule set is stale: mined at master generation {rules_generation}, \
+             but the master is now at generation {current}"
+        ),
+        note: Some(format!(
+            "{} row(s) were appended since mining; re-mine or fine-tune \
+             (RLMiner-ft) and refresh the rule set",
+            current - rules_generation
+        )),
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -403,3 +403,38 @@ fn dangling_rules_are_excluded_from_pairwise_passes() {
     assert_eq!(report.with_code(DiagCode::Er001).len(), 2);
     assert!(report.with_code(DiagCode::Er003).is_empty());
 }
+
+#[test]
+fn staleness_warns_only_after_the_master_grows() {
+    let t = clean_task();
+    let mut master = t.master().clone();
+    let mined_at = master.generation();
+
+    // Fresh rules over an unchanged master: clean.
+    assert!(er_lint::check_staleness(mined_at, &master).is_none());
+    // A generation *ahead* of the master (e.g. rules refreshed, relation
+    // reloaded) is not stale either.
+    assert!(er_lint::check_staleness(mined_at + 5, &master).is_none());
+
+    master
+        .push_row(vec![Value::str("SZ"), Value::str("188"), Value::str("flu")])
+        .unwrap();
+    master
+        .push_row(vec![Value::str("SZ"), Value::str("189"), Value::str("flu")])
+        .unwrap();
+    let finding = er_lint::check_staleness(mined_at, &master).expect("stale set is flagged");
+    assert_eq!(finding.code, DiagCode::Er007);
+    assert_eq!(finding.code.as_str(), "ER007");
+    assert_eq!(finding.severity, Severity::Warning);
+    assert_eq!(finding.span, "<rule set>");
+    assert!(
+        finding.message.contains(&format!("generation {mined_at}")),
+        "{}",
+        finding.message
+    );
+    assert!(
+        finding.note.as_deref().unwrap_or("").contains("2 row(s)"),
+        "{:?}",
+        finding.note
+    );
+}

@@ -20,7 +20,7 @@
 use crate::repair::{fold_votes, RepairReport};
 use crate::rule::EditingRule;
 use er_par::WorkerPool;
-use er_table::{AttrId, Code, GroupIndex, Relation, RowId, NULL_CODE};
+use er_table::{AttrId, Code, GroupIndex, Relation, RowId, Value, NULL_CODE};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -53,6 +53,14 @@ pub enum BatchError {
     },
     /// The per-request deadline expired before the repair finished.
     DeadlineExceeded,
+    /// An appended master row failed validation (arity or type); nothing
+    /// was committed.
+    AppendRow {
+        /// Index of the offending row within the append batch.
+        row: usize,
+        /// What was wrong with it.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for BatchError {
@@ -69,6 +77,9 @@ impl std::fmt::Display for BatchError {
                 write!(f, "batch has {got} attributes, rules reference {needed}")
             }
             BatchError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            BatchError::AppendRow { row, message } => {
+                write!(f, "append rejected at row {row}: {message}")
+            }
         }
     }
 }
@@ -165,6 +176,47 @@ impl BatchRepairer {
         self.indexes.len()
     }
 
+    /// Append rows (master-schema attribute order) to the master relation
+    /// and delta-update every warmed group index in place — the incremental
+    /// alternative to rebuilding the repairer when master data grows.
+    ///
+    /// Validation is all-or-nothing: every row is checked against the master
+    /// schema before any is committed, so a failed append leaves the master
+    /// and the indexes untouched. Returns the number of rows appended. The
+    /// resulting indexes are identical to the ones a fresh
+    /// [`BatchRepairer::new`] over the grown master would build (the
+    /// `er-incr` equivalence suite enforces this at several thread counts).
+    pub fn append_master(&mut self, rows: &[Vec<Value>]) -> Result<usize, BatchError> {
+        for (i, row) in rows.iter().enumerate() {
+            self.master
+                .validate_row(row)
+                .map_err(|e| BatchError::AppendRow {
+                    row: i,
+                    message: e.to_string(),
+                })?;
+        }
+        let from_row = self
+            .master
+            .push_rows(rows)
+            .map_err(|e| BatchError::AppendRow {
+                row: 0,
+                message: e.to_string(),
+            })?;
+        // Sequential delta updates: each index's apply_append is itself
+        // deterministic, and the repair fan-out stays the only threaded part.
+        for index in self.indexes.values_mut() {
+            // Clone-on-write if a reader still holds an Arc from a previous
+            // engine snapshot; the serving layer holds a write lock here.
+            Arc::make_mut(index)
+                .apply_append(&self.master, from_row)
+                .map_err(|e| BatchError::AppendRow {
+                    row: 0,
+                    message: e.to_string(),
+                })?;
+        }
+        Ok(rows.len())
+    }
+
     /// Repair one batch of input rows. The report is identical to
     /// [`crate::apply_rules`] on a task built from the same batch and master.
     pub fn repair_batch(&self, batch: &Relation) -> Result<RepairReport, BatchError> {
@@ -226,6 +278,10 @@ impl BatchRepairer {
         // Invariant: `new` built an index for every rule's X_m list.
         #[allow(clippy::unwrap_used)]
         let group = self.indexes.get(&rule.xm()).unwrap();
+        // Catch silent stale reads: `append_master` must have delta-updated
+        // every index to the master's current generation.
+        #[cfg(feature = "debug-invariants")]
+        group.assert_fresh(&self.master);
         let mut out = Vec::new();
         let mut key = Vec::with_capacity(x.len());
         'rows: for row in 0..batch.num_rows() {
@@ -415,6 +471,51 @@ mod tests {
         // A generous deadline succeeds.
         let generous = Instant::now() + std::time::Duration::from_secs(60);
         assert!(repairer.repair_batch_deadline(&input, generous).is_ok());
+    }
+
+    #[test]
+    fn append_master_matches_rebuilt_repairer() {
+        let (input, master) = fixture();
+        let rules = rules(&input);
+        let mut incremental = BatchRepairer::new(master.clone(), (1, 1), rules.clone(), 0).unwrap();
+        let s = Value::str;
+        // Flip HZ's majority to "imports" and introduce a brand-new city.
+        let extra = vec![
+            vec![s("HZ"), s("imports")],
+            vec![s("HZ"), s("imports")],
+            vec![s("HZ"), s("imports")],
+            vec![s("SZ"), s("no symptoms")],
+        ];
+        assert_eq!(incremental.append_master(&extra).unwrap(), 4);
+
+        let mut grown = master;
+        grown.push_rows(&extra).unwrap();
+        let rebuilt = BatchRepairer::new(grown, (1, 1), rules, 0).unwrap();
+
+        let a = incremental.repair_batch(&input).unwrap();
+        let b = rebuilt.repair_batch(&input).unwrap();
+        assert_eq!(a.predictions, b.predictions);
+        assert_eq!(a.scores, b.scores);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.rules_applied, b.rules_applied);
+        // The append genuinely changed the vote: SZ now has master support.
+        assert!(a.predictions[2].is_some());
+    }
+
+    #[test]
+    fn append_master_is_atomic_on_bad_rows() {
+        let (input, master) = fixture();
+        let mut repairer = BatchRepairer::new(master, (1, 1), rules(&input), 0).unwrap();
+        let before = repairer.master().num_rows();
+        let s = Value::str;
+        let bad = vec![vec![s("HZ"), s("patient")], vec![s("only-one-cell")]];
+        match repairer.append_master(&bad).unwrap_err() {
+            BatchError::AppendRow { row, .. } => assert_eq!(row, 1),
+            other => panic!("expected AppendRow, got {other:?}"),
+        }
+        assert_eq!(repairer.master().num_rows(), before);
+        // The warm state still serves correctly after the rejected append.
+        assert!(repairer.repair_batch(&input).is_ok());
     }
 
     #[test]

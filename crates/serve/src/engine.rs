@@ -2,14 +2,18 @@
 //!
 //! [`RepairEngine`] binds the long-lived state together: the input schema
 //! (incoming rows must match its attribute order), the shared value pool,
-//! and an [`er_rules::BatchRepairer`] whose master-side group indexes were
+//! and an [`er_incr::IncrEngine`] whose master-side group indexes were
 //! built once at load time. A `repair` call materializes the incoming rows
 //! as a throwaway [`Relation`] over the *shared* pool — unseen values are
 //! interned as fresh codes that by construction match nothing in the master
 //! indexes, which is exactly the right semantics for foreign data — and
-//! runs the certainty-score vote of §V-B2 against the warm indexes.
+//! runs the certainty-score vote of §V-B2 against the warm indexes. An
+//! `append` call grows the master in place: the warmed indexes are
+//! delta-updated rather than rebuilt, and the engine's generation counter
+//! advances so `stats` (and the ER007 lint) can report rule staleness.
 
-use er_rules::{rules_from_json, BatchError, BatchRepairer, EditingRule, Task};
+use er_incr::{AppendOutcome, IncrCounters, IncrEngine};
+use er_rules::{rules_from_json, BatchError, EditingRule, Task};
 use er_table::{Pool, Relation, Schema, Value};
 use std::sync::Arc;
 use std::time::Instant;
@@ -77,14 +81,14 @@ impl std::error::Error for EngineError {}
 pub struct RepairEngine {
     schema: Arc<Schema>,
     pool: Arc<Pool>,
-    repairer: BatchRepairer,
+    engine: IncrEngine,
 }
 
 impl std::fmt::Debug for RepairEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RepairEngine")
             .field("schema", &self.schema.name())
-            .field("repairer", &self.repairer)
+            .field("engine", &self.engine)
             .finish()
     }
 }
@@ -93,12 +97,12 @@ impl RepairEngine {
     /// Build an engine from already-resolved rules. The task supplies the
     /// input schema, the shared pool, the master relation and the target.
     pub fn new(task: &Task, rules: Vec<EditingRule>, threads: usize) -> Result<Self, EngineError> {
-        let repairer = BatchRepairer::new(task.master().clone(), task.target(), rules, threads)
+        let engine = IncrEngine::new(task.master().clone(), task.target(), rules, threads)
             .map_err(EngineError::Batch)?;
         Ok(RepairEngine {
             schema: Arc::clone(task.input().schema()),
             pool: Arc::clone(task.input().pool()),
-            repairer,
+            engine,
         })
     }
 
@@ -112,12 +116,12 @@ impl RepairEngine {
 
     /// Number of loaded rules.
     pub fn num_rules(&self) -> usize {
-        self.repairer.rules().len()
+        self.engine.num_rules()
     }
 
     /// Number of pre-built master-side group indexes.
     pub fn num_indexes(&self) -> usize {
-        self.repairer.num_indexes()
+        self.engine.num_indexes()
     }
 
     /// The input schema incoming rows must follow.
@@ -127,7 +131,33 @@ impl RepairEngine {
 
     /// Name of the target attribute `Y` repairs are written to.
     pub fn target_attr(&self) -> &str {
-        &self.schema.attr(self.repairer.target().0).name
+        &self.schema.attr(self.engine.target().0).name
+    }
+
+    /// Current master generation (rows the master has grown by since it was
+    /// first built).
+    pub fn generation(&self) -> u64 {
+        self.engine.generation()
+    }
+
+    /// How many rows the master has grown since the rule set was installed.
+    pub fn staleness(&self) -> u64 {
+        self.engine.staleness()
+    }
+
+    /// Lifetime incremental-vs-rebuild counters of the underlying engine.
+    pub fn counters(&self) -> IncrCounters {
+        self.engine.counters()
+    }
+
+    /// Append rows (master-schema attribute order) to the master, updating
+    /// the warmed indexes in place. All-or-nothing: a bad row rejects the
+    /// whole batch and leaves the engine unchanged.
+    pub fn append(&mut self, rows: &[Vec<Value>]) -> Result<AppendOutcome, EngineError> {
+        self.engine.append_rows(rows).map_err(|e| match e {
+            BatchError::AppendRow { row, message } => EngineError::Row { row, message },
+            other => EngineError::Batch(other),
+        })
     }
 
     /// Repair one batch of rows (input-schema attribute order). With a
@@ -146,11 +176,11 @@ impl RepairEngine {
             })?;
         }
         let report = match deadline {
-            Some(d) => self.repairer.repair_batch_deadline(&batch, d),
-            None => self.repairer.repair_batch(&batch),
+            Some(d) => self.engine.repair_batch_deadline(&batch, d),
+            None => self.engine.repair_batch(&batch),
         }
         .map_err(EngineError::Batch)?;
-        let (y, _) = self.repairer.target();
+        let (y, _) = self.engine.target();
         let attr = self.schema.attr(y).name.clone();
         let mut cells = Vec::new();
         for (row, pred) in report.predictions.iter().enumerate() {
@@ -277,6 +307,44 @@ mod tests {
             err,
             EngineError::Batch(BatchError::DeadlineExceeded)
         ));
+    }
+
+    #[test]
+    fn append_updates_the_served_vote() {
+        let mut e = engine();
+        let rows = vec![vec![Value::str("SZ"), Value::Null]];
+        assert_eq!(e.repair(&rows, None).unwrap().fixed(), 0);
+        let g0 = e.generation();
+        let out = e
+            .append(&[
+                vec![Value::str("SZ"), Value::str("no symptoms")],
+                vec![Value::str("SZ"), Value::str("no symptoms")],
+            ])
+            .unwrap();
+        assert_eq!(out.appended, 2);
+        assert_eq!(out.generation, g0 + 2);
+        assert_eq!(e.staleness(), 2);
+        assert_eq!(e.counters().incremental_updates, 1);
+        let fixed = e.repair(&rows, None).unwrap();
+        assert_eq!(fixed.fixed(), 1);
+        assert_eq!(fixed.cells[0].value, "no symptoms");
+    }
+
+    #[test]
+    fn append_rejects_bad_rows_atomically() {
+        let mut e = engine();
+        let g0 = e.generation();
+        let err = e
+            .append(&[
+                vec![Value::str("SZ"), Value::str("no symptoms")],
+                vec![Value::str("too-short")],
+            ])
+            .unwrap_err();
+        match err {
+            EngineError::Row { row, .. } => assert_eq!(row, 1),
+            other => panic!("expected a row error, got {other:?}"),
+        }
+        assert_eq!(e.generation(), g0);
     }
 
     #[test]

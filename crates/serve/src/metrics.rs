@@ -40,6 +40,11 @@ pub struct Metrics {
     repaired_cells: AtomicU64,
     errors: AtomicU64,
     overloaded: AtomicU64,
+    reloads: AtomicU64,
+    appends: AtomicU64,
+    /// Gauge, not a counter: the engine's master generation, stored after
+    /// every engine-mutating op so `stats` can report it lock-free.
+    engine_generation: AtomicU64,
     latencies: Mutex<Reservoir>,
 }
 
@@ -58,6 +63,9 @@ impl Metrics {
             repaired_cells: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            engine_generation: AtomicU64::new(0),
             latencies: Mutex::new(Reservoir {
                 buf: Vec::new(),
                 next: 0,
@@ -90,6 +98,21 @@ impl Metrics {
         self.overloaded.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one successful engine reload.
+    pub fn record_reload(&self) {
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one successful master append.
+    pub fn record_append(&self) {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Update the engine-generation gauge (after load, reload, or append).
+    pub fn set_engine_generation(&self, generation: u64) {
+        self.engine_generation.store(generation, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot for reporting (counters are read
     /// individually; exactness across counters is not required).
     pub fn snapshot(&self, queue_depth: usize) -> Snapshot {
@@ -106,6 +129,9 @@ impl Metrics {
             repaired_cells: self.repaired_cells.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             overloaded: self.overloaded.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            engine_generation: self.engine_generation.load(Ordering::Relaxed),
             queue_depth,
             p50_us,
             p99_us,
@@ -135,6 +161,12 @@ pub struct Snapshot {
     pub errors: u64,
     /// Requests refused with the backpressure response.
     pub overloaded: u64,
+    /// Successful engine reloads.
+    pub reloads: u64,
+    /// Successful master appends.
+    pub appends: u64,
+    /// The engine's master generation at the last engine-mutating op.
+    pub engine_generation: u64,
     /// Repair requests in flight when the snapshot was taken.
     pub queue_depth: usize,
     /// Median repair latency over the window, microseconds.
@@ -155,6 +187,12 @@ impl Snapshot {
             ),
             ("errors".to_string(), Json::UInt(self.errors)),
             ("overloaded".to_string(), Json::UInt(self.overloaded)),
+            ("reloads".to_string(), Json::UInt(self.reloads)),
+            ("appends".to_string(), Json::UInt(self.appends)),
+            (
+                "engine_generation".to_string(),
+                Json::UInt(self.engine_generation),
+            ),
             (
                 "queue_depth".to_string(),
                 Json::UInt(self.queue_depth as u64),
@@ -167,12 +205,15 @@ impl Snapshot {
     /// One human-readable line for the periodic stderr log.
     pub fn log_line(&self) -> String {
         format!(
-            "serve: requests={} repairs={} fixed={} errors={} overloaded={} queue={} p50={}us p99={}us",
+            "serve: requests={} repairs={} fixed={} errors={} overloaded={} reloads={} appends={} gen={} queue={} p50={}us p99={}us",
             self.requests,
             self.repairs,
             self.repaired_cells,
             self.errors,
             self.overloaded,
+            self.reloads,
+            self.appends,
+            self.engine_generation,
             self.queue_depth,
             self.p50_us,
             self.p99_us
@@ -200,6 +241,25 @@ mod tests {
         assert_eq!(s.overloaded, 1);
         assert_eq!(s.queue_depth, 1);
         assert_eq!(s.p50_us, 100);
+    }
+
+    #[test]
+    fn maintenance_counters_and_generation_gauge() {
+        let m = Metrics::new();
+        m.record_reload();
+        m.record_append();
+        m.record_append();
+        m.set_engine_generation(42);
+        let s = m.snapshot(0);
+        assert_eq!(s.reloads, 1);
+        assert_eq!(s.appends, 2);
+        assert_eq!(s.engine_generation, 42);
+        // The gauge tracks the latest value, it does not accumulate.
+        m.set_engine_generation(7);
+        assert_eq!(m.snapshot(0).engine_generation, 7);
+        let line = serde_json::to_string(&s.to_value()).unwrap();
+        assert!(line.contains("\"appends\""));
+        assert!(line.contains("\"engine_generation\""));
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //!           | {"op":"stats"}
 //!           | {"op":"reload"}
 //!           | {"op":"shutdown"}
-//!           | {"op":"repair","rows":[row...]}
-//! row      := [cell...]             // one cell per input-schema attribute
+//!           | {"op":"repair","rows":[row...]}   // input-schema order
+//!           | {"op":"append","rows":[row...]}   // master-schema order
+//! row      := [cell...]             // one cell per schema attribute
 //! cell     := null | string | number
 //! response := {"ok":true,"op":...,...} | {"ok":false,"error":string,...}
 //! ```
@@ -38,6 +39,12 @@ pub enum Request {
         /// The rows; each inner vector is one tuple.
         rows: Vec<Vec<Cell>>,
     },
+    /// Append rows (master-schema attribute order) to the master relation,
+    /// delta-updating the warmed indexes in place.
+    Append {
+        /// The rows; each inner vector is one master tuple.
+        rows: Vec<Vec<Cell>>,
+    },
 }
 
 /// Parse one request line. `max_rows` bounds the batch size a single
@@ -53,35 +60,42 @@ pub fn parse_request(line: &str, max_rows: usize) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "reload" => Ok(Request::Reload),
         "shutdown" => Ok(Request::Shutdown),
-        "repair" => {
-            let rows = value
-                .get("rows")
-                .and_then(Json::as_array)
-                .ok_or_else(|| "repair needs a \"rows\" array".to_string())?;
-            if rows.len() > max_rows {
-                return Err(format!(
-                    "batch of {} rows exceeds the {max_rows}-row limit",
-                    rows.len()
-                ));
-            }
-            let mut out = Vec::with_capacity(rows.len());
-            for (i, row) in rows.iter().enumerate() {
-                let cells = row
-                    .as_array()
-                    .ok_or_else(|| format!("row {i} is not an array"))?;
-                let mut tuple = Vec::with_capacity(cells.len());
-                for (j, cell) in cells.iter().enumerate() {
-                    tuple.push(
-                        decode_cell(cell)
-                            .map_err(|kind| format!("row {i} column {j}: {kind} cell"))?,
-                    );
-                }
-                out.push(tuple);
-            }
-            Ok(Request::Repair { rows: out })
-        }
+        "repair" => Ok(Request::Repair {
+            rows: parse_rows(&value, "repair", max_rows)?,
+        }),
+        "append" => Ok(Request::Append {
+            rows: parse_rows(&value, "append", max_rows)?,
+        }),
         other => Err(format!("unknown op {other:?}")),
     }
+}
+
+/// Decode the `"rows"` array shared by the `repair` and `append` ops.
+fn parse_rows(value: &Json, op: &str, max_rows: usize) -> Result<Vec<Vec<Cell>>, String> {
+    let rows = value
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{op} needs a \"rows\" array"))?;
+    if rows.len() > max_rows {
+        return Err(format!(
+            "batch of {} rows exceeds the {max_rows}-row limit",
+            rows.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row
+            .as_array()
+            .ok_or_else(|| format!("row {i} is not an array"))?;
+        let mut tuple = Vec::with_capacity(cells.len());
+        for (j, cell) in cells.iter().enumerate() {
+            tuple.push(
+                decode_cell(cell).map_err(|kind| format!("row {i} column {j}: {kind} cell"))?,
+            );
+        }
+        out.push(tuple);
+    }
+    Ok(out)
 }
 
 /// Map one JSON scalar to a table cell. Booleans and nested containers have
@@ -176,6 +190,18 @@ pub fn ok_repair(outcome: &RepairOutcome) -> String {
     ]))
 }
 
+/// `append` acknowledgement: rows appended, the master's new row count,
+/// and its new generation.
+pub fn ok_append(outcome: &er_incr::AppendOutcome) -> String {
+    render(&obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("append".into())),
+        ("appended", Json::Int(outcome.appended as i64)),
+        ("master_rows", Json::Int(outcome.master_rows as i64)),
+        ("generation", Json::UInt(outcome.generation)),
+    ]))
+}
+
 /// Generic error response.
 pub fn error(message: &str) -> String {
     render(&obj(vec![
@@ -225,6 +251,38 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0], vec![Cell::str("HZ"), Cell::Null]);
         assert_eq!(rows[1], vec![Cell::str("BJ"), Cell::str("imports")]);
+    }
+
+    #[test]
+    fn parses_append_rows() {
+        let req = parse_request(
+            "{\"op\":\"append\",\"rows\":[[\"SZ\",\"no symptoms\"]]}",
+            10,
+        )
+        .unwrap();
+        let Request::Append { rows } = req else {
+            panic!("not an append request");
+        };
+        assert_eq!(rows, vec![vec![Cell::str("SZ"), Cell::str("no symptoms")]]);
+        // The same row-array rules apply as for repair.
+        let err = parse_request("{\"op\":\"append\",\"rows\":[[1],[2],[3]]}", 2).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+        let err = parse_request("{\"op\":\"append\"}", 10).unwrap_err();
+        assert!(err.contains("append needs"), "{err}");
+    }
+
+    #[test]
+    fn append_response_shape() {
+        let resp = ok_append(&er_incr::AppendOutcome {
+            appended: 2,
+            master_rows: 6,
+            generation: 9,
+            indexes_updated: 1,
+        });
+        let parsed: Json = serde_json::from_str(&resp).unwrap();
+        assert_eq!(parsed.get("appended"), Some(&Json::Int(2)));
+        assert_eq!(parsed.get("master_rows"), Some(&Json::Int(6)));
+        assert_eq!(parsed.get("generation"), Some(&Json::Int(9)));
     }
 
     #[test]

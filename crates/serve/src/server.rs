@@ -64,11 +64,13 @@ pub struct Server {
 impl Server {
     /// Wrap a loaded engine with a serving configuration.
     pub fn new(engine: RepairEngine, config: ServeConfig) -> Self {
+        let metrics = Metrics::new();
+        metrics.set_engine_generation(engine.generation());
         Server {
             engine: parking_lot::RwLock::new(engine),
             reloader: None,
             config,
-            metrics: Metrics::new(),
+            metrics,
             in_flight: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
         }
@@ -137,7 +139,9 @@ impl Server {
                 Some(reload) => match reload() {
                     Ok(engine) => {
                         let rules = engine.num_rules();
+                        self.metrics.set_engine_generation(engine.generation());
                         *self.engine.write() = engine;
+                        self.metrics.record_reload();
                         (proto::ok_reload(rules), false)
                     }
                     Err(message) => {
@@ -147,6 +151,24 @@ impl Server {
                 },
             },
             Ok(Request::Repair { rows }) => self.handle_repair(&rows),
+            Ok(Request::Append { rows }) => self.handle_append(&rows),
+        }
+    }
+
+    fn handle_append(&self, rows: &[Vec<Value>]) -> (String, bool) {
+        // Appends take the engine write lock: in-flight repairs finish
+        // first, and every later repair sees the delta-updated indexes.
+        let result = self.engine.write().append(rows);
+        match result {
+            Ok(outcome) => {
+                self.metrics.record_append();
+                self.metrics.set_engine_generation(outcome.generation);
+                (proto::ok_append(&outcome), false)
+            }
+            Err(e) => {
+                self.metrics.record_error();
+                (proto::error(&e.to_string()), false)
+            }
         }
     }
 

@@ -205,6 +205,84 @@ fn stats_reflect_traffic() {
 }
 
 #[test]
+fn append_round_trip_changes_later_repairs() {
+    let s = server(ServeConfig::default());
+    let responses = session(
+        &s,
+        "{\"op\":\"repair\",\"rows\":[[\"SZ\",null]]}\n\
+         {\"op\":\"append\",\"rows\":[[\"SZ\",\"no symptoms\"],[\"SZ\",\"no symptoms\"]]}\n\
+         {\"op\":\"repair\",\"rows\":[[\"SZ\",null]]}\n\
+         {\"op\":\"stats\"}\n",
+    );
+    assert_eq!(responses.len(), 4);
+    // Before the append SZ has no master support.
+    assert_eq!(responses[0].get("fixed"), Some(&Json::Int(0)));
+    let append = &responses[1];
+    assert!(ok(append), "{append:?}");
+    assert_eq!(num(append, "appended"), 2);
+    assert_eq!(num(append, "master_rows"), 6);
+    assert_eq!(num(append, "generation"), 6);
+    // After the append the same request is repaired from the grown master.
+    assert_eq!(responses[2].get("fixed"), Some(&Json::Int(1)));
+    let cells = responses[2].get("cells").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        cells[0].get("value").and_then(Json::as_str),
+        Some("no symptoms")
+    );
+    let stats = responses[3].get("stats").unwrap();
+    assert_eq!(num(stats, "appends"), 1);
+    assert_eq!(num(stats, "reloads"), 0);
+    assert_eq!(num(stats, "engine_generation"), 6);
+}
+
+#[test]
+fn append_rejects_bad_rows_and_counts_an_error() {
+    let s = server(ServeConfig::default());
+    let responses = session(
+        &s,
+        "{\"op\":\"append\",\"rows\":[[\"SZ\",\"ok\"],[\"short\"]]}\n\
+         {\"op\":\"stats\"}\n",
+    );
+    assert!(!ok(&responses[0]));
+    assert!(error_of(&responses[0]).contains("row 1"), "{responses:?}");
+    let stats = responses[1].get("stats").unwrap();
+    assert_eq!(num(stats, "appends"), 0);
+    assert_eq!(num(stats, "errors"), 1);
+    // The engine stays at its load-time generation (4 master rows).
+    assert_eq!(num(stats, "engine_generation"), 4);
+}
+
+#[test]
+fn append_honours_the_batch_row_limit() {
+    let s = server(ServeConfig {
+        max_batch_rows: 1,
+        ..ServeConfig::default()
+    });
+    let responses = session(
+        &s,
+        "{\"op\":\"append\",\"rows\":[[\"a\",\"b\"],[\"c\",\"d\"]]}\n",
+    );
+    assert!(!ok(&responses[0]));
+    assert!(error_of(&responses[0]).contains("exceeds"));
+}
+
+#[test]
+fn reload_updates_the_maintenance_counters() {
+    let task = covid_task();
+    let rules = vec![EditingRule::new(vec![(0, 0)], (1, 1), vec![])];
+    let engine = RepairEngine::new(&task, rules, 0).unwrap();
+    let reload_task = covid_task();
+    let s = Server::new(engine, ServeConfig::default()).with_reloader(Box::new(move || {
+        RepairEngine::new(&reload_task, Vec::new(), 0).map_err(|e| e.to_string())
+    }));
+    let responses = session(&s, "{\"op\":\"reload\"}\n{\"op\":\"stats\"}\n");
+    assert!(ok(&responses[0]));
+    let stats = responses[1].get("stats").unwrap();
+    assert_eq!(num(stats, "reloads"), 1);
+    assert_eq!(num(stats, "engine_generation"), 4);
+}
+
+#[test]
 fn reload_without_a_reloader_is_an_error() {
     let s = server(ServeConfig::default());
     let responses = session(&s, "{\"op\":\"reload\"}\n");

@@ -33,6 +33,9 @@ pub enum Error {
         /// Debug rendering of the offending value.
         got: String,
     },
+    /// An incremental `apply_append` was requested on a structure that
+    /// cannot accept it (e.g. a derived PLI that retains no groups).
+    NotAppendable(String),
     /// CSV input was malformed.
     Csv {
         /// 1-based line number of the problem.
@@ -67,6 +70,7 @@ impl fmt::Display for Error {
                     "type mismatch on attribute {attr:?}: expected {expected}, got {got}"
                 )
             }
+            Error::NotAppendable(msg) => write!(f, "not appendable: {msg}"),
             Error::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
             Error::Io(msg) => write!(f, "io error: {msg}"),
         }

@@ -10,7 +10,18 @@
 //! * [`Pli`] — stripped partition (position list index) used by the CTANE
 //!   CFD miner: equivalence classes of rows under one or more attributes,
 //!   singleton classes removed.
+//!
+//! All three indexes are **append-aware**: they record the relation's
+//! [`Relation::generation`] (and row count) at build time, and
+//! `apply_append(rel, from_row)` folds newly appended rows in without a
+//! rebuild, producing state identical to a fresh build over the grown
+//! relation (the `er-incr` crate's equivalence suite enforces this at
+//! several thread counts). Under the `debug-invariants` feature,
+//! `assert_fresh(rel)` panics when an index is probed against a relation
+//! that has grown past the index's recorded generation — the silent
+//! stale-read bug `push_row` made possible.
 
+use crate::error::{Error, Result};
 use crate::pool::{Code, NULL_CODE};
 use crate::relation::{Relation, RowId};
 use crate::schema::AttrId;
@@ -20,10 +31,14 @@ use std::collections::HashMap;
 ///
 /// Rows where any key attribute is NULL are excluded: editing-rule semantics
 /// never match through NULLs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KeyIndex {
     attrs: Vec<AttrId>,
     map: HashMap<Vec<Code>, Vec<RowId>>,
+    /// Relation rows covered (the exclusive upper bound of indexed row ids).
+    rows: usize,
+    /// [`Relation::generation`] at build / last `apply_append`.
+    generation: u64,
 }
 
 impl KeyIndex {
@@ -53,7 +68,58 @@ impl KeyIndex {
         KeyIndex {
             attrs: attrs.to_vec(),
             map,
+            rows: rel.num_rows(),
+            generation: rel.generation(),
         }
+    }
+
+    /// Fold rows `from_row..rel.num_rows()` into the index in place — the
+    /// delta-maintenance path for appended master data. `from_row` must be
+    /// the relation's row count when the index was last built or updated
+    /// (i.e. the value [`Relation::push_rows`] returns); the result is then
+    /// identical to a fresh [`KeyIndex::build`] over the grown relation.
+    pub fn apply_append(&mut self, rel: &Relation, from_row: RowId) -> Result<()> {
+        if from_row != self.rows || from_row > rel.num_rows() {
+            return Err(Error::RowOutOfBounds {
+                row: from_row,
+                len: self.rows,
+            });
+        }
+        'rows: for row in from_row..rel.num_rows() {
+            let mut key = Vec::with_capacity(self.attrs.len());
+            for &a in &self.attrs {
+                let c = rel.code(row, a);
+                if c == NULL_CODE {
+                    continue 'rows;
+                }
+                key.push(c);
+            }
+            self.map.entry(key).or_default().push(row);
+        }
+        self.rows = rel.num_rows();
+        self.generation = rel.generation();
+        Ok(())
+    }
+
+    /// The [`Relation::generation`] this index was built or last
+    /// delta-updated at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Panic if `rel` has grown past the generation this index was built or
+    /// updated at — a probe now would silently miss the appended rows.
+    /// Available under the `debug-invariants` feature; call it at probe
+    /// sites that own both the index and the relation.
+    #[cfg(feature = "debug-invariants")]
+    pub fn assert_fresh(&self, rel: &Relation) {
+        assert_eq!(
+            self.generation,
+            rel.generation(),
+            "KeyIndex: stale index (built at generation {}, relation is at {})",
+            self.generation,
+            rel.generation()
+        );
     }
 
     /// The key attributes this index was built on.
@@ -126,6 +192,13 @@ impl KeyIndex {
     }
 }
 
+/// Deterministic distribution order: highest count first, ties by code.
+/// Shared by [`GroupIndex::build_over`] and [`GroupIndex::apply_append`] so
+/// the incremental path re-sorts with exactly the rebuild comparator.
+fn sort_distribution(pairs: &mut [(Code, u32)]) {
+    pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+}
+
 /// Composite-key index aggregating a target attribute's value counts.
 ///
 /// `get(key)` returns, for master tuples `t_m` with `t_m[X_m] = key`, the
@@ -133,9 +206,15 @@ impl KeyIndex {
 /// distribution `Cand(t, φ)` of the paper's certainty measure. NULL target
 /// values are counted under [`NULL_CODE`]; callers decide how to treat them
 /// (the measure layer excludes them from candidate fixes).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupIndex {
+    key_attrs: Vec<AttrId>,
+    target: AttrId,
     map: HashMap<Vec<Code>, Vec<(Code, u32)>>,
+    /// Relation rows covered (the exclusive upper bound of aggregated rows).
+    rows: usize,
+    /// [`Relation::generation`] at build / last `apply_append`.
+    generation: u64,
 }
 
 impl GroupIndex {
@@ -171,12 +250,80 @@ impl GroupIndex {
             .into_iter()
             .map(|(k, vs)| {
                 let mut pairs: Vec<(Code, u32)> = vs.into_iter().collect();
-                // Deterministic order: highest count first, ties by code.
-                pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                sort_distribution(&mut pairs);
                 (k, pairs)
             })
             .collect();
-        GroupIndex { map }
+        GroupIndex {
+            key_attrs: key_attrs.to_vec(),
+            target,
+            map,
+            rows: rel.num_rows(),
+            generation: rel.generation(),
+        }
+    }
+
+    /// Fold rows `from_row..rel.num_rows()` into the aggregated counts in
+    /// place. `from_row` must be the relation's row count when the index was
+    /// last built or updated; the result — including each distribution's
+    /// deterministic (descending count, ascending code) order — is then
+    /// identical to a fresh [`GroupIndex::build`] over the grown relation.
+    /// Only distributions an appended row actually touches are re-sorted.
+    pub fn apply_append(&mut self, rel: &Relation, from_row: RowId) -> Result<()> {
+        if from_row != self.rows || from_row > rel.num_rows() {
+            return Err(Error::RowOutOfBounds {
+                row: from_row,
+                len: self.rows,
+            });
+        }
+        let mut dirty: Vec<Vec<Code>> = Vec::new();
+        'rows: for row in from_row..rel.num_rows() {
+            let mut key = Vec::with_capacity(self.key_attrs.len());
+            for &a in &self.key_attrs {
+                let c = rel.code(row, a);
+                if c == NULL_CODE {
+                    continue 'rows;
+                }
+                key.push(c);
+            }
+            let code = rel.code(row, self.target);
+            let dist = self.map.entry(key.clone()).or_default();
+            match dist.iter_mut().find(|(c, _)| *c == code) {
+                Some(entry) => entry.1 += 1,
+                None => dist.push((code, 1)),
+            }
+            if !dirty.contains(&key) {
+                dirty.push(key);
+            }
+        }
+        for key in dirty {
+            // The entry was created or touched just above.
+            if let Some(dist) = self.map.get_mut(&key) {
+                sort_distribution(dist);
+            }
+        }
+        self.rows = rel.num_rows();
+        self.generation = rel.generation();
+        Ok(())
+    }
+
+    /// The [`Relation::generation`] this index was built or last
+    /// delta-updated at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Panic if `rel` has grown past the generation this index was built or
+    /// updated at (see [`KeyIndex::assert_fresh`]).
+    #[cfg(feature = "debug-invariants")]
+    pub fn assert_fresh(&self, rel: &Relation) {
+        assert_eq!(
+            self.generation,
+            rel.generation(),
+            "GroupIndex: stale index (built at generation {}, relation is at {})",
+            self.generation,
+            rel.generation()
+        );
     }
 
     /// Candidate-fix distribution for `key`: `(target code, count)` sorted by
@@ -231,11 +378,30 @@ impl GroupIndex {
 /// The rows of a relation are grouped into equivalence classes by the values
 /// of an attribute set; classes of size 1 are stripped. CTANE uses PLI
 /// refinement to check FD/CFD validity levelwise.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Pli {
     classes: Vec<Vec<RowId>>,
     num_rows: usize,
+    /// Retained per-code groups (singletons included) for single-attribute
+    /// PLIs — the state `apply_append` needs to re-derive the stripped
+    /// classes without a full scan. `None` for derived PLIs
+    /// ([`Pli::from_classes`], [`Pli::intersect`]), which are not appendable.
+    groups: Option<(AttrId, HashMap<Code, Vec<RowId>>)>,
+    /// [`Relation::generation`] at build / last `apply_append` (0 for
+    /// derived PLIs).
+    generation: u64,
 }
+
+/// Equality compares the partition itself — the stripped classes and the row
+/// count — so a derived PLI equals a built one when they describe the same
+/// partition, regardless of retained append state.
+impl PartialEq for Pli {
+    fn eq(&self, other: &Self) -> bool {
+        self.classes == other.classes && self.num_rows == other.num_rows
+    }
+}
+
+impl Eq for Pli {}
 
 impl Pli {
     /// Build the PLI of a single attribute. NULL forms its own class (NULL is
@@ -246,7 +412,10 @@ impl Pli {
         for row in 0..rel.num_rows() {
             groups.entry(rel.code(row, attr)).or_default().push(row);
         }
-        Self::from_classes(groups.into_values().collect(), rel.num_rows())
+        let mut pli = Self::from_classes(groups.values().cloned().collect(), rel.num_rows());
+        pli.groups = Some((attr, groups));
+        pli.generation = rel.generation();
+        pli
     }
 
     /// Build from explicit equivalence classes (singletons are stripped and
@@ -257,7 +426,63 @@ impl Pli {
             c.sort_unstable();
         }
         classes.sort_unstable_by(|a, b| a[0].cmp(&b[0]));
-        Pli { classes, num_rows }
+        Pli {
+            classes,
+            num_rows,
+            groups: None,
+            generation: 0,
+        }
+    }
+
+    /// Fold rows `from_row..rel.num_rows()` into the partition in place.
+    /// Only available on single-attribute PLIs built with [`Pli::build`]
+    /// (derived PLIs do not retain the per-code groups required); `from_row`
+    /// must be the relation's row count when the PLI was last built or
+    /// updated. The resulting stripped classes are identical to a fresh
+    /// [`Pli::build`] over the grown relation.
+    pub fn apply_append(&mut self, rel: &Relation, from_row: RowId) -> Result<()> {
+        let Some((attr, groups)) = &mut self.groups else {
+            return Err(Error::NotAppendable(
+                "derived Pli (from_classes/intersect) retains no groups".into(),
+            ));
+        };
+        if from_row != self.num_rows || from_row > rel.num_rows() {
+            return Err(Error::RowOutOfBounds {
+                row: from_row,
+                len: self.num_rows,
+            });
+        }
+        for row in from_row..rel.num_rows() {
+            groups.entry(rel.code(row, *attr)).or_default().push(row);
+        }
+        // Re-derive the stripped classes from the (already sorted — rows are
+        // appended in increasing order) groups, exactly as `build` does.
+        let mut classes: Vec<Vec<RowId>> =
+            groups.values().filter(|c| c.len() > 1).cloned().collect();
+        classes.sort_unstable_by(|a, b| a[0].cmp(&b[0]));
+        self.classes = classes;
+        self.num_rows = rel.num_rows();
+        self.generation = rel.generation();
+        Ok(())
+    }
+
+    /// The [`Relation::generation`] this PLI was built or last delta-updated
+    /// at (0 for derived PLIs).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Panic if `rel` has grown past the generation this PLI was built or
+    /// updated at (see [`KeyIndex::assert_fresh`]).
+    #[cfg(feature = "debug-invariants")]
+    pub fn assert_fresh(&self, rel: &Relation) {
+        assert_eq!(
+            self.generation,
+            rel.generation(),
+            "Pli: stale partition (built at generation {}, relation is at {})",
+            self.generation,
+            rel.generation()
+        );
     }
 
     /// The stripped equivalence classes.
@@ -508,5 +733,106 @@ mod tests {
         let pa = Pli::build(&r, 0);
         let pc = Pli::build(&r, 2);
         assert!(!pa.refines(&pa.intersect(&pc)));
+    }
+
+    /// Push `extra` onto `r` (empty strings are NULLs) and return the row
+    /// count before the append — the `from_row` an incremental update needs.
+    fn grow(r: &mut Relation, extra: &[(&str, &str, &str)]) -> RowId {
+        let from_row = r.num_rows();
+        for (a, b, c) in extra {
+            let to_v = |s: &str| {
+                if s.is_empty() {
+                    Value::Null
+                } else {
+                    Value::str(s.to_string())
+                }
+            };
+            r.push_row(vec![to_v(a), to_v(b), to_v(c)]).unwrap();
+        }
+        from_row
+    }
+
+    #[test]
+    fn key_index_append_equals_rebuild() {
+        let mut r = rel(&[("x", "1", "p"), ("y", "2", "q")]);
+        let mut idx = KeyIndex::build(&r, &[0, 1]);
+        // New key, existing key, and a NULL-key row that must be skipped.
+        let from = grow(&mut r, &[("x", "1", "r"), ("z", "9", "s"), ("x", "", "t")]);
+        idx.apply_append(&r, from).unwrap();
+        assert_eq!(idx, KeyIndex::build(&r, &[0, 1]));
+        assert_eq!(idx.generation(), r.generation());
+    }
+
+    #[test]
+    fn group_index_append_equals_rebuild_including_resort() {
+        let mut r = rel(&[("x", "1", "p"), ("x", "1", "q"), ("x", "1", "q")]);
+        let mut g = GroupIndex::build(&r, &[0], 2);
+        // Two more "p"s flip the distribution's order: p overtakes q.
+        let from = grow(&mut r, &[("x", "1", "p"), ("x", "1", "p"), ("y", "2", "")]);
+        g.apply_append(&r, from).unwrap();
+        assert_eq!(g, GroupIndex::build(&r, &[0], 2));
+        let dist = g.get(&[r.code(0, 0)]);
+        assert_eq!(dist[0], (r.code(0, 2), 3)); // p first after the re-sort
+        assert_eq!(g.generation(), r.generation());
+    }
+
+    #[test]
+    fn pli_append_equals_rebuild_and_promotes_singletons() {
+        let mut r = rel(&[("x", "1", "p"), ("y", "2", "q")]);
+        let mut p = Pli::build(&r, 0);
+        assert!(p.classes().is_empty()); // both rows are singletons
+                                         // "y" gains a partner: its stripped singleton must become a class.
+        let from = grow(&mut r, &[("y", "3", "r"), ("z", "4", "s")]);
+        p.apply_append(&r, from).unwrap();
+        assert_eq!(p, Pli::build(&r, 0));
+        assert_eq!(p.classes(), &[vec![1, 2]]);
+        assert_eq!(p.generation(), r.generation());
+    }
+
+    #[test]
+    fn apply_append_rejects_wrong_from_row() {
+        let mut r = rel(&[("x", "1", "p"), ("y", "2", "q")]);
+        let mut idx = KeyIndex::build(&r, &[0]);
+        let _ = grow(&mut r, &[("z", "3", "r")]);
+        // Claiming the wrong append boundary would corrupt the index.
+        assert!(idx.apply_append(&r, 0).is_err());
+        assert!(idx.apply_append(&r, 3).is_err());
+        assert!(idx.apply_append(&r, 2).is_ok());
+    }
+
+    #[test]
+    fn derived_pli_is_not_appendable() {
+        let mut r = rel(&[("x", "1", "p"), ("x", "1", "q")]);
+        let mut derived = Pli::build(&r, 0).intersect(&Pli::build(&r, 1));
+        let from = grow(&mut r, &[("x", "1", "r")]);
+        assert!(matches!(
+            derived.apply_append(&r, from),
+            Err(Error::NotAppendable(_))
+        ));
+    }
+
+    #[test]
+    fn empty_append_is_a_no_op() {
+        let r = rel(&[("x", "1", "p"), ("x", "1", "q")]);
+        let mut idx = KeyIndex::build(&r, &[0]);
+        let mut g = GroupIndex::build(&r, &[0], 2);
+        let mut p = Pli::build(&r, 0);
+        let n = r.num_rows();
+        idx.apply_append(&r, n).unwrap();
+        g.apply_append(&r, n).unwrap();
+        p.apply_append(&r, n).unwrap();
+        assert_eq!(idx, KeyIndex::build(&r, &[0]));
+        assert_eq!(g, GroupIndex::build(&r, &[0], 2));
+        assert_eq!(p, Pli::build(&r, 0));
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    #[should_panic(expected = "stale index")]
+    fn stale_index_probe_panics_under_debug_invariants() {
+        let mut r = rel(&[("x", "1", "p")]);
+        let idx = KeyIndex::build(&r, &[0]);
+        let _ = grow(&mut r, &[("y", "2", "q")]);
+        idx.assert_fresh(&r);
     }
 }

@@ -21,6 +21,15 @@ pub struct Relation {
     pool: Arc<Pool>,
     columns: Vec<Vec<Code>>,
     num_rows: usize,
+    /// Monotonically increasing growth counter: bumped once per appended row
+    /// ([`Relation::push_row`], [`Relation::append`],
+    /// [`RelationBuilder::push_codes`]). Indexes record the generation they
+    /// were built or delta-updated at, so a stale index — one probed after
+    /// the relation grew underneath it — is detectable (and, under the
+    /// `debug-invariants` feature, a panic). In-place cell overwrites
+    /// ([`Relation::set`]) do not bump it: the counter tracks *growth*, the
+    /// master-data append path of §V-D3, not repairs.
+    generation: u64,
 }
 
 impl Relation {
@@ -32,6 +41,7 @@ impl Relation {
             pool,
             columns,
             num_rows: 0,
+            generation: 0,
         }
     }
 
@@ -58,6 +68,13 @@ impl Relation {
     /// Whether the relation has no rows.
     pub fn is_empty(&self) -> bool {
         self.num_rows == 0
+    }
+
+    /// The growth generation: how many rows have been appended since the
+    /// relation was created. Monotonically increasing; never reset.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Dictionary code of the cell at (`row`, `attr`).
@@ -133,6 +150,7 @@ impl Relation {
             dst.extend_from_slice(src);
         }
         self.num_rows += other.num_rows;
+        self.generation += other.num_rows as u64;
     }
 
     /// Project onto a subset of attributes, producing a relation over a new
@@ -151,6 +169,7 @@ impl Relation {
             pool: Arc::clone(&self.pool),
             columns,
             num_rows: self.num_rows,
+            generation: 0,
         }
     }
 
@@ -167,6 +186,7 @@ impl Relation {
             pool: Arc::clone(&self.pool),
             columns,
             num_rows: rows.len(),
+            generation: 0,
         }
     }
 
@@ -223,16 +243,11 @@ impl Relation {
         Ok(())
     }
 
-    /// Append one row of values to the relation, interning them through the
-    /// shared pool — the serve-mode path for folding externally supplied
-    /// rows into an existing dictionary-encoded relation without a rebuild.
-    /// Validates arity and continuous-attribute typing like
-    /// [`RelationBuilder::push_row`].
-    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
-        self.push_row_internal(row)
-    }
-
-    fn push_row_internal(&mut self, row: Vec<Value>) -> Result<()> {
+    /// Validate one row against the schema without committing it: arity and
+    /// continuous-attribute typing, exactly the checks [`Relation::push_row`]
+    /// performs before interning anything. Lets callers validate a whole
+    /// batch up front so a mid-batch failure cannot leave a partial append.
+    pub fn validate_row(&self, row: &[Value]) -> Result<()> {
         if row.len() != self.schema.arity() {
             return Err(Error::ArityMismatch {
                 expected: self.schema.arity(),
@@ -242,11 +257,48 @@ impl Relation {
         for (attr, value) in row.iter().enumerate() {
             self.check_type(attr, value)?;
         }
+        Ok(())
+    }
+
+    /// Append one row of values to the relation, interning them through the
+    /// shared pool — the serve-mode path for folding externally supplied
+    /// rows into an existing dictionary-encoded relation without a rebuild.
+    /// Validates arity and continuous-attribute typing like
+    /// [`RelationBuilder::push_row`]; a failed validation leaves the
+    /// relation (rows, columns, generation) untouched.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        self.push_row_internal(row)
+    }
+
+    /// Append a batch of rows atomically: every row is validated before any
+    /// row is committed, so an error (reported for the first offending row)
+    /// leaves the relation unmodified. Returns the [`RowId`] of the first
+    /// appended row — the `from_row` the index delta-update paths
+    /// ([`crate::KeyIndex::apply_append`] and friends) take.
+    pub fn push_rows(&mut self, rows: &[Vec<Value>]) -> Result<RowId> {
+        for row in rows {
+            self.validate_row(row)?;
+        }
+        let from_row = self.num_rows;
+        for row in rows {
+            for (attr, value) in row.iter().enumerate() {
+                let code = self.pool.intern(value.clone());
+                self.columns[attr].push(code);
+            }
+            self.num_rows += 1;
+            self.generation += 1;
+        }
+        Ok(from_row)
+    }
+
+    fn push_row_internal(&mut self, row: Vec<Value>) -> Result<()> {
+        self.validate_row(&row)?;
         for (attr, value) in row.into_iter().enumerate() {
             let code = self.pool.intern(value);
             self.columns[attr].push(code);
         }
         self.num_rows += 1;
+        self.generation += 1;
         Ok(())
     }
 }
@@ -288,6 +340,7 @@ impl RelationBuilder {
             self.rel.columns[attr].push(code);
         }
         self.rel.num_rows += 1;
+        self.rel.generation += 1;
     }
 
     /// Number of rows pushed so far.
@@ -440,6 +493,97 @@ mod tests {
             .push_row(vec![Value::str("SZ"), Value::Null, Value::str("notnum")])
             .is_err());
         assert_eq!(r.num_rows(), 4);
+    }
+
+    #[test]
+    fn generation_counts_appended_rows() {
+        let mut r = fixture();
+        assert_eq!(r.generation(), 3); // the builder pushed 3 rows
+        r.push_row(vec![Value::str("SZ"), Value::Null, Value::int(7)])
+            .unwrap();
+        assert_eq!(r.generation(), 4);
+        // Failed pushes leave the generation untouched.
+        assert!(r.push_row(vec![Value::str("only-one")]).is_err());
+        assert_eq!(r.generation(), 4);
+        // In-place overwrites are not growth: the counter tracks appends.
+        r.set(0, 0, Value::str("BJ")).unwrap();
+        assert_eq!(r.generation(), 4);
+        // Derived relations start their own history.
+        assert_eq!(r.gather(&[0, 1]).generation(), 0);
+        assert_eq!(r.project("p", &[0]).generation(), 0);
+        // Clones carry the counter with them.
+        assert_eq!(r.clone().generation(), 4);
+    }
+
+    #[test]
+    fn push_rows_is_atomic_across_the_batch() {
+        let mut r = fixture();
+        let gen = r.generation();
+        // Row 1 of the batch has a type error: nothing commits, not even the
+        // valid row 0.
+        let err = r
+            .push_rows(&[
+                vec![Value::str("SZ"), Value::str("51800"), Value::int(50)],
+                vec![Value::str("GZ"), Value::Null, Value::str("notnum")],
+            ])
+            .unwrap_err();
+        assert!(matches!(err, Error::TypeMismatch { .. }));
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.generation(), gen);
+        // Arity errors are equally atomic.
+        assert!(r
+            .push_rows(&[vec![Value::Null, Value::Null, Value::Null], vec![]])
+            .is_err());
+        assert_eq!(r.num_rows(), 3);
+        // A valid batch commits every row and returns the first new row id.
+        let from = r
+            .push_rows(&[
+                vec![Value::str("SZ"), Value::str("51800"), Value::int(50)],
+                vec![Value::Null, Value::Null, Value::Null],
+            ])
+            .unwrap();
+        assert_eq!(from, 3);
+        assert_eq!(r.num_rows(), 5);
+        assert_eq!(r.generation(), gen + 2);
+        assert!(r.is_null(4, 0) && r.is_null(4, 1) && r.is_null(4, 2));
+    }
+
+    #[test]
+    fn push_row_interns_new_codes_mid_append() {
+        let mut r = fixture();
+        let before = r.pool().len();
+        // A value never seen by the pool gets a fresh code...
+        r.push_row(vec![Value::str("Atlantis"), Value::Null, Value::Null])
+            .unwrap();
+        assert!(r.pool().len() > before);
+        // ...while already-interned values reuse their code exactly.
+        r.push_row(vec![Value::str("HZ"), Value::str("31200"), Value::Null])
+            .unwrap();
+        assert_eq!(r.code(4, 0), r.code(0, 0));
+        assert_eq!(r.code(4, 1), r.code(0, 1));
+    }
+
+    #[test]
+    fn push_codes_bumps_generation() {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new("t", vec![Attribute::categorical("A")]));
+        let code = pool.intern(Value::str("x"));
+        let mut b = RelationBuilder::new(schema, pool);
+        b.push_codes(&[code]);
+        b.push_codes(&[NULL_CODE]);
+        let r = b.finish();
+        assert_eq!(r.generation(), 2);
+        assert!(r.is_null(1, 0));
+        assert_eq!(r.value(0, 0), Value::str("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "code row arity mismatch")]
+    fn push_codes_rejects_wrong_arity_before_committing() {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new("t", vec![Attribute::categorical("A")]));
+        let mut b = RelationBuilder::new(schema, pool);
+        b.push_codes(&[1, 2]);
     }
 
     #[test]

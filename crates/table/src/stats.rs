@@ -5,6 +5,7 @@
 //! space's equi-depth grouping), null fractions (identifier/quality
 //! heuristics), and distinct counts.
 
+use crate::error::{Error, Result};
 use crate::pool::{Code, NULL_CODE};
 use crate::relation::Relation;
 use crate::schema::AttrId;
@@ -40,6 +41,35 @@ impl ColumnStats {
             nulls,
             rows: rel.num_rows(),
         }
+    }
+
+    /// Fold rows `from_row..rel.num_rows()` of `attr` into the histogram in
+    /// place — the append-aware path for grown master data. `from_row` must
+    /// be the row count the stats were computed (or last updated) over; the
+    /// result — including the descending-count, ascending-code order — is
+    /// then equal to a fresh [`ColumnStats::compute`] over the grown
+    /// relation.
+    pub fn update_rows(&mut self, rel: &Relation, attr: AttrId, from_row: usize) -> Result<()> {
+        if from_row != self.rows || from_row > rel.num_rows() {
+            return Err(Error::RowOutOfBounds {
+                row: from_row,
+                len: self.rows,
+            });
+        }
+        for &c in &rel.column(attr)[from_row..] {
+            if c == NULL_CODE {
+                self.nulls += 1;
+            } else {
+                match self.frequencies.iter_mut().find(|(code, _)| *code == c) {
+                    Some(entry) => entry.1 += 1,
+                    None => self.frequencies.push((c, 1)),
+                }
+            }
+        }
+        self.frequencies
+            .sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        self.rows = rel.num_rows();
+        Ok(())
     }
 
     /// Number of distinct non-NULL values.
@@ -162,6 +192,36 @@ mod tests {
         // 3 values → entropy ≤ log2(3).
         assert!(s.entropy() > 0.0);
         assert!(s.entropy() <= 3f64.log2() + 1e-12);
+    }
+
+    #[test]
+    fn update_rows_equals_compute_from_scratch() {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new("t", vec![Attribute::categorical("A")]));
+        let mut b = RelationBuilder::new(schema, pool);
+        for v in ["x", "x", "y"] {
+            b.push_row(vec![Value::str(v)]).unwrap();
+        }
+        let mut r = b.finish();
+        let mut s = ColumnStats::compute(&r, 0);
+        let from = r.num_rows();
+        // Appends grow an existing code past the leader, introduce a new
+        // code, and add a NULL — exercising every update path.
+        for v in [
+            Value::str("y"),
+            Value::str("y"),
+            Value::str("w"),
+            Value::Null,
+        ] {
+            r.push_row(vec![v]).unwrap();
+        }
+        s.update_rows(&r, 0, from).unwrap();
+        let fresh = ColumnStats::compute(&r, 0);
+        assert_eq!(s.frequencies, fresh.frequencies);
+        assert_eq!(s.nulls, fresh.nulls);
+        assert_eq!(s.rows, fresh.rows);
+        // And the wrong boundary is rejected.
+        assert!(s.update_rows(&r, 0, 0).is_err());
     }
 
     #[test]

@@ -25,6 +25,9 @@ cargo test --workspace --features debug-invariants -q
 echo "==> ER_THREADS=4 cargo test --workspace -q"
 ER_THREADS=4 cargo test --workspace -q
 
+echo "==> ER_THREADS=4 cargo test -p er-incr -q (append/rebuild equivalence)"
+ER_THREADS=4 cargo test -p er-incr -q
+
 echo "==> experiments lint examples/figure1_rules.json"
 cargo run -p er-bench --bin experiments -- lint examples/figure1_rules.json
 
@@ -32,11 +35,16 @@ echo "==> er-serve pipe-mode smoke"
 smoke=$(printf '%s\n' \
     '{"op":"ping"}' \
     '{"op":"repair","rows":[["Kevin","HZ",null,null,"325-8455","Male",null,"2021-12","No"]]}' \
+    '{"op":"append","rows":[["Lena","Wu","SZ","51800","0755","555-0101","Female","no symptoms","2021-10"]]}' \
+    '{"op":"stats"}' \
     | cargo run -q --bin er-serve -- --rules examples/figure1_rules.json)
 echo "$smoke"
 [[ "$(echo "$smoke" | sed -n 1p)" == *'"ok":true'* ]]
 [[ "$(echo "$smoke" | sed -n 2p)" == *'"fixed":1'* ]]
 [[ "$(echo "$smoke" | sed -n 2p)" == *'contact with patient'* ]]
+[[ "$(echo "$smoke" | sed -n 3p)" == *'"appended":1'* ]]
+[[ "$(echo "$smoke" | sed -n 4p)" == *'"appends":1'* ]]
+[[ "$(echo "$smoke" | sed -n 4p)" == *'"engine_generation":5'* ]]
 
 if [[ "${BENCH:-0}" == "1" ]]; then
     echo "==> experiments par_sweep (refreshing results/par_sweep.json)"

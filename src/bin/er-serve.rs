@@ -33,6 +33,9 @@ tuning:
 protocol (one JSON object per line):
   {\"op\":\"ping\"} | {\"op\":\"stats\"} | {\"op\":\"reload\"} | {\"op\":\"shutdown\"}
   {\"op\":\"repair\",\"rows\":[[cell,...],...]}   cells in input-schema order
+  {\"op\":\"append\",\"rows\":[[cell,...],...]}   cells in master-schema order;
+                     grows the master in place, delta-updating the warm
+                     indexes (stats reports appends + engine_generation)
 shutdown: send {\"op\":\"shutdown\"} or close stdin (pipe mode); every fully
 read request is answered before the service exits";
 

@@ -43,6 +43,7 @@
 pub use er_cfd as cfd;
 pub use er_datagen as datagen;
 pub use er_enuminer as enuminer;
+pub use er_incr as incr;
 pub use er_rl as rl;
 pub use er_rlminer as rlminer;
 pub use er_rules as rules;
@@ -55,6 +56,7 @@ pub mod prelude {
         scenario_from_csv, CsvScenarioOptions, DatasetKind, Scenario, ScenarioConfig,
     };
     pub use er_enuminer::EnuMinerConfig;
+    pub use er_incr::{AppendOutcome, IncrCounters, IncrEngine};
     pub use er_rlminer::{RlMiner, RlMinerConfig};
     pub use er_rules::{
         apply_rules, chase, coverage, evaluate_repairs, rules_from_json, rules_to_json,
