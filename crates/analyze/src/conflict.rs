@@ -1,0 +1,206 @@
+//! Conflict pass: rule pairs whose repairs contradict, with master-tuple
+//! witnesses.
+//!
+//! Two rules for the same target can both fire on one input tuple and
+//! prescribe *different* certain fixes. The lint layer's ER005 already warns
+//! about any such disagreement on the observed input; this pass proves the
+//! stronger, load-blocking property (ER009): when one rule's LHS evidence is
+//! a strict subset of the other's — the exact same `(A, A_m)` pairs plus
+//! more — the narrower rule's prescription is derived from strictly more
+//! evidence, so a disagreement is not a tie-break nuance but a contradiction
+//! in the rule set itself. The certificate is machine-checkable: a concrete
+//! master tuple pinning the superset rule's key such that both modal
+//! prescriptions exist, both keys are NULL-free, every pattern condition on
+//! a pinned attribute holds, and the prescribed values differ.
+
+use er_par::WorkerPool;
+use er_rules::{EditingRule, Pred, TargetRules};
+use er_table::{AttrId, Code, GroupIndex, Relation, NULL_CODE};
+use std::collections::HashMap;
+
+/// One proven conflict between two comparable rules.
+#[derive(Debug, Clone)]
+pub struct ConflictWitness {
+    /// The superset rule (more LHS evidence) — the ER009 finding anchors
+    /// here.
+    pub rule: usize,
+    /// The subset rule it contradicts.
+    pub related: usize,
+    /// Master row pinning the superset rule's key (the witness tuple).
+    pub master_row: usize,
+    /// The witness tuple's rendered values, master attribute order.
+    pub master_tuple: Vec<String>,
+    /// What the superset rule prescribes on tuples matching the witness.
+    pub narrow_value: String,
+    /// What the subset rule prescribes on those same tuples.
+    pub broad_value: String,
+    /// How many master rows witness the conflict (the reported row is the
+    /// first).
+    pub conflicting_rows: usize,
+}
+
+/// Run the conflict pass over every target group. `display` maps a rule's
+/// position in the concatenated `targets` order to its reported index.
+pub(crate) fn conflict_pass(
+    master: &Relation,
+    targets: &[TargetRules],
+    pool: &WorkerPool,
+    display: &dyn Fn(usize) -> usize,
+) -> Vec<ConflictWitness> {
+    let mut witnesses = Vec::new();
+    let mut g = 0usize;
+    for t in targets {
+        let rules: Vec<(usize, &EditingRule)> = t
+            .rules
+            .iter()
+            .map(|r| {
+                let idx = display(g);
+                g += 1;
+                (idx, r)
+            })
+            .collect();
+        // Candidate pairs: strict LHS subset + jointly satisfiable patterns
+        // on free attributes.
+        type IndexedRule<'a> = (usize, &'a EditingRule);
+        let mut pairs: Vec<(IndexedRule<'_>, IndexedRule<'_>)> = Vec::new();
+        for &(i, ri) in &rules {
+            for &(j, rj) in &rules {
+                if strict_subset(ri, rj) && free_patterns_compatible(master, ri, rj) {
+                    pairs.push(((i, ri), (j, rj)));
+                }
+            }
+        }
+        if pairs.is_empty() {
+            continue;
+        }
+        // One warmed group index per distinct X_m, shared by every pair.
+        let mut indexes: HashMap<Vec<AttrId>, GroupIndex> = HashMap::new();
+        for &(_, r) in &rules {
+            indexes
+                .entry(r.xm())
+                .or_insert_with(|| GroupIndex::build(master, &r.xm(), t.target.1));
+        }
+        let found = pool.map(&pairs, |&((i, ri), (j, rj))| {
+            scan_pair(master, ri, rj, &indexes).map(|(row, narrow, broad, count)| ConflictWitness {
+                rule: j,
+                related: i,
+                master_row: row,
+                master_tuple: (0..master.schema().arity())
+                    .map(|a| master.value(row, a).to_string())
+                    .collect(),
+                narrow_value: master.pool().value(narrow).to_string(),
+                broad_value: master.pool().value(broad).to_string(),
+                conflicting_rows: count,
+            })
+        });
+        witnesses.extend(found.into_iter().flatten());
+    }
+    witnesses
+}
+
+/// Whether `a`'s LHS is a strict subset of `b`'s, as exact `(A, A_m)` pairs.
+fn strict_subset(a: &EditingRule, b: &EditingRule) -> bool {
+    a.lhs_len() < b.lhs_len() && a.lhs().iter().all(|p| b.lhs().contains(p))
+}
+
+/// Whether the two patterns can hold simultaneously on the attributes *not*
+/// pinned by `b`'s LHS (pinned attributes are checked per master row).
+fn free_patterns_compatible(master: &Relation, a: &EditingRule, b: &EditingRule) -> bool {
+    for ca in a.pattern() {
+        if b.lhs_contains_input(ca.attr) {
+            continue;
+        }
+        for cb in b.pattern() {
+            if cb.attr == ca.attr && !preds_overlap(master, &ca.pred, &cb.pred) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether some cell value satisfies both predicates.
+fn preds_overlap(master: &Relation, p: &Pred, q: &Pred) -> bool {
+    let numeric = |c: Code| master.pool().value(c).as_f64();
+    let in_range = |c: Code, lo: f64, hi: f64| numeric(c).is_some_and(|v| v >= lo && v < hi);
+    match (p, q) {
+        (Pred::Eq(a), Pred::Eq(b)) => a == b,
+        (Pred::Eq(a), Pred::OneOf(bs)) | (Pred::OneOf(bs), Pred::Eq(a)) => {
+            bs.binary_search(a).is_ok()
+        }
+        (Pred::OneOf(xs), Pred::OneOf(ys)) => xs.iter().any(|c| ys.binary_search(c).is_ok()),
+        (Pred::Eq(a), Pred::Range { lo, hi }) | (Pred::Range { lo, hi }, Pred::Eq(a)) => {
+            in_range(*a, *lo, *hi)
+        }
+        (Pred::OneOf(xs), Pred::Range { lo, hi }) | (Pred::Range { lo, hi }, Pred::OneOf(xs)) => {
+            xs.iter().any(|&c| in_range(c, *lo, *hi))
+        }
+        (Pred::Range { lo: l1, hi: h1 }, Pred::Range { lo: l2, hi: h2 }) => {
+            l1.max(*l2) < h1.min(*h2)
+        }
+    }
+}
+
+/// Scan the master for rows where the pair's prescriptions contradict.
+/// Returns the first witness `(row, narrow, broad, total_conflicting_rows)`.
+fn scan_pair(
+    master: &Relation,
+    sub: &EditingRule,
+    sup: &EditingRule,
+    indexes: &HashMap<Vec<AttrId>, GroupIndex>,
+) -> Option<(usize, Code, Code, usize)> {
+    let idx_sub = &indexes[&sub.xm()];
+    let idx_sup = &indexes[&sup.xm()];
+    let mut first: Option<(usize, Code, Code)> = None;
+    let mut count = 0usize;
+    'rows: for row in 0..master.num_rows() {
+        let mut key_sup = Vec::with_capacity(sup.lhs_len());
+        for &(_, am) in sup.lhs() {
+            let c = master.code(row, am);
+            if c == NULL_CODE {
+                continue 'rows;
+            }
+            key_sup.push(c);
+        }
+        // Pattern conditions on attributes pinned by the superset LHS must
+        // hold for the pinned value, else no input tuple matching this
+        // master row fires both rules.
+        for cond in sub.pattern().iter().chain(sup.pattern()) {
+            let Some(&(_, am)) = sup.lhs().iter().find(|&&(a, _)| a == cond.attr) else {
+                continue;
+            };
+            let c = master.code(row, am);
+            if !cond.pred.matches(c, master.pool().value(c).as_f64()) {
+                continue 'rows;
+            }
+        }
+        let key_sub: Vec<Code> = sub
+            .lhs()
+            .iter()
+            .map(|&(_, am)| master.code(row, am))
+            .collect();
+        let (Some(narrow), Some(broad)) =
+            (modal(idx_sup.get(&key_sup)), modal(idx_sub.get(&key_sub)))
+        else {
+            continue;
+        };
+        if narrow != broad {
+            count += 1;
+            if first.is_none() {
+                first = Some((row, narrow, broad));
+            }
+        }
+    }
+    first.map(|(row, narrow, broad)| (row, narrow, broad, count))
+}
+
+/// The modal non-NULL `Y_m` value of a key group (ties broken towards the
+/// smaller code — the same deterministic tie-break the repair vote and the
+/// ER005 lint use).
+fn modal(entries: &[(Code, u32)]) -> Option<Code> {
+    entries
+        .iter()
+        .filter(|e| e.0 != NULL_CODE)
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|e| e.0)
+}

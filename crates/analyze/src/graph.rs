@@ -1,0 +1,330 @@
+//! Termination pass: weak acyclicity of the attribute dependency graph.
+//!
+//! The chase (er-rules) re-runs every target's rules round after round
+//! because a committed fix can unlock further rules — filling `ZIP` enables
+//! a `ZIP → AC` rule. Whether that cascade provably bottoms out is a purely
+//! static property of the rule set: build the directed graph whose nodes are
+//! *input* attributes and whose edges run from every attribute a rule reads
+//! (its LHS `X` and pattern `X_p`) to the attribute it writes (its target
+//! `Y`). If that graph is acyclic — the editing-rule analogue of weak
+//! acyclicity for tgds — then a fix can only propagate along a dependency
+//! chain, chains are at most `depth` edges long, and every chain is fully
+//! discharged within `depth + 1` rounds (each round commits at least the
+//! next link of every live chain; committed cells are frozen). A cycle
+//! refutes the certificate, and the smallest inducing rule of each edge on
+//! the cycle is reported as the witness.
+
+use er_rules::TargetRules;
+use er_table::AttrId;
+use std::collections::BTreeMap;
+
+/// The outcome of the termination pass.
+#[derive(Debug, Clone)]
+pub struct TerminationCertificate {
+    /// Whether the dependency graph is acyclic (weak acyclicity holds).
+    pub certified: bool,
+    /// Number of input attributes involved in some dependency edge.
+    pub attrs: usize,
+    /// Number of distinct dependency edges.
+    pub edges: usize,
+    /// Longest read→write dependency chain, in edges (0 when uncertified).
+    pub depth: usize,
+    /// When certified: the chase reaches its fixpoint within this many
+    /// rounds (`depth + 1`), so `ChaseConfig::uncapped()` is sound.
+    pub rounds_bound: Option<usize>,
+    /// Topological order of the involved attributes (names), ties broken by
+    /// attribute id — the order fixes may cascade in.
+    pub order: Vec<String>,
+    /// The refuting cycle, when one exists.
+    pub cycle: Option<CycleWitness>,
+}
+
+/// A dependency cycle: `attrs[k]` is written by `rules[k-1]` and read by
+/// `rules[k]`, and the last rule writes `attrs[0]` again.
+#[derive(Debug, Clone)]
+pub struct CycleWitness {
+    /// Attribute names along the cycle (the first is re-entered after the
+    /// last).
+    pub attrs: Vec<String>,
+    /// `rules[k]` is the smallest-index rule inducing the edge
+    /// `attrs[k] → attrs[(k + 1) % len]`.
+    pub rules: Vec<usize>,
+}
+
+impl CycleWitness {
+    /// `City → ZIP → City` rendering of the attribute chain.
+    pub fn chain(&self) -> String {
+        let mut parts = self.attrs.clone();
+        if let Some(first) = self.attrs.first() {
+            parts.push(first.clone());
+        }
+        parts.join(" → ")
+    }
+}
+
+/// Run the termination pass. `display` maps a rule's position in the
+/// concatenated `targets` order to the index reported in witnesses.
+pub(crate) fn termination_pass(
+    input_schema: &er_table::Schema,
+    targets: &[TargetRules],
+    display: &dyn Fn(usize) -> usize,
+) -> TerminationCertificate {
+    // (from, to) → smallest inducing rule (display index). BTreeMap keeps
+    // every downstream traversal deterministic.
+    let mut edges: BTreeMap<(AttrId, AttrId), usize> = BTreeMap::new();
+    let mut g = 0usize;
+    for t in targets {
+        let to = t.target.0;
+        for rule in &t.rules {
+            let idx = display(g);
+            g += 1;
+            for from in rule.x().into_iter().chain(rule.pattern_attrs()) {
+                let entry = edges.entry((from, to)).or_insert(idx);
+                *entry = (*entry).min(idx);
+            }
+        }
+    }
+    let mut nodes: Vec<AttrId> = edges
+        .keys()
+        .flat_map(|&(a, b)| [a, b])
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    nodes.sort_unstable();
+    let succ = |n: AttrId| -> Vec<(AttrId, usize)> {
+        edges
+            .range((n, AttrId::MIN)..=(n, AttrId::MAX))
+            .map(|(&(_, to), &rule)| (to, rule))
+            .collect()
+    };
+
+    // Kahn's algorithm, smallest attribute id first, with a longest-path DP.
+    let mut indeg: BTreeMap<AttrId, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+    for &(_, to) in edges.keys() {
+        if let Some(d) = indeg.get_mut(&to) {
+            *d += 1;
+        }
+    }
+    let mut ready: std::collections::BTreeSet<AttrId> = indeg
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    let mut dist: BTreeMap<AttrId, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(&n) = ready.iter().next() {
+        ready.remove(&n);
+        order.push(n);
+        for (to, _) in succ(n) {
+            let next = dist[&n] + 1;
+            if let Some(d) = dist.get_mut(&to) {
+                *d = (*d).max(next);
+            }
+            if let Some(deg) = indeg.get_mut(&to) {
+                *deg -= 1;
+                if *deg == 0 {
+                    ready.insert(to);
+                }
+            }
+        }
+    }
+
+    let name = |a: AttrId| input_schema.attr(a).name.clone();
+    if order.len() == nodes.len() {
+        let depth = dist.values().copied().max().unwrap_or(0);
+        return TerminationCertificate {
+            certified: true,
+            attrs: nodes.len(),
+            edges: edges.len(),
+            depth,
+            rounds_bound: Some(depth + 1),
+            order: order.into_iter().map(name).collect(),
+            cycle: None,
+        };
+    }
+
+    // A cycle exists among the leftover nodes. Colored DFS, smallest-first,
+    // restricted to the leftover set, extracts one deterministically.
+    let leftover: std::collections::BTreeSet<AttrId> = nodes
+        .iter()
+        .copied()
+        .filter(|n| !order.contains(n))
+        .collect();
+    let mut on_stack: Vec<AttrId> = Vec::new();
+    let mut done: std::collections::BTreeSet<AttrId> = Default::default();
+    let mut cycle_attrs: Vec<AttrId> = Vec::new();
+    fn dfs(
+        n: AttrId,
+        succ: &dyn Fn(AttrId) -> Vec<(AttrId, usize)>,
+        leftover: &std::collections::BTreeSet<AttrId>,
+        on_stack: &mut Vec<AttrId>,
+        done: &mut std::collections::BTreeSet<AttrId>,
+        cycle: &mut Vec<AttrId>,
+    ) -> bool {
+        on_stack.push(n);
+        for (to, _) in succ(n) {
+            if !leftover.contains(&to) || done.contains(&to) {
+                continue;
+            }
+            if let Some(pos) = on_stack.iter().position(|&s| s == to) {
+                cycle.extend_from_slice(&on_stack[pos..]);
+                return true;
+            }
+            if dfs(to, succ, leftover, on_stack, done, cycle) {
+                return true;
+            }
+        }
+        on_stack.pop();
+        done.insert(n);
+        false
+    }
+    for &start in &leftover {
+        if done.contains(&start) {
+            continue;
+        }
+        on_stack.clear();
+        if dfs(
+            start,
+            &succ,
+            &leftover,
+            &mut on_stack,
+            &mut done,
+            &mut cycle_attrs,
+        ) {
+            break;
+        }
+    }
+    let len = cycle_attrs.len();
+    let rules = (0..len)
+        .map(|k| edges[&(cycle_attrs[k], cycle_attrs[(k + 1) % len])])
+        .collect();
+    TerminationCertificate {
+        certified: false,
+        attrs: nodes.len(),
+        edges: edges.len(),
+        depth: 0,
+        rounds_bound: None,
+        order: Vec::new(),
+        cycle: Some(CycleWitness {
+            attrs: cycle_attrs.into_iter().map(name).collect(),
+            rules,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_rules::EditingRule;
+    use er_table::{Attribute, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "in",
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("ZIP"),
+                Attribute::categorical("AC"),
+            ],
+        )
+    }
+
+    fn identity(g: usize) -> usize {
+        g
+    }
+
+    #[test]
+    fn acyclic_chain_is_certified_with_depth() {
+        // City → ZIP, ZIP → AC: depth 2, fixpoint within 3 rounds.
+        let targets = vec![
+            TargetRules {
+                target: (1, 1),
+                rules: vec![EditingRule::new(vec![(0, 0)], (1, 1), vec![])],
+            },
+            TargetRules {
+                target: (2, 2),
+                rules: vec![EditingRule::new(vec![(1, 1)], (2, 2), vec![])],
+            },
+        ];
+        let cert = termination_pass(&schema(), &targets, &identity);
+        assert!(cert.certified);
+        assert_eq!(cert.depth, 2);
+        assert_eq!(cert.rounds_bound, Some(3));
+        assert_eq!(cert.order, vec!["City", "ZIP", "AC"]);
+        assert!(cert.cycle.is_none());
+    }
+
+    #[test]
+    fn cycle_is_refuted_with_rule_witness() {
+        // ZIP → AC and AC → ZIP.
+        let targets = vec![
+            TargetRules {
+                target: (2, 2),
+                rules: vec![EditingRule::new(vec![(1, 1)], (2, 2), vec![])],
+            },
+            TargetRules {
+                target: (1, 1),
+                rules: vec![EditingRule::new(vec![(2, 2)], (1, 1), vec![])],
+            },
+        ];
+        let cert = termination_pass(&schema(), &targets, &identity);
+        assert!(!cert.certified);
+        assert!(cert.rounds_bound.is_none());
+        let cycle = cert.cycle.expect("cycle witness");
+        assert_eq!(cycle.attrs.len(), 2);
+        assert_eq!(cycle.rules.len(), 2);
+        // Both rules participate, each inducing one edge.
+        let mut rules = cycle.rules.clone();
+        rules.sort_unstable();
+        assert_eq!(rules, vec![0, 1]);
+        assert!(cycle.chain() == "ZIP → AC → ZIP" || cycle.chain() == "AC → ZIP → AC");
+    }
+
+    #[test]
+    fn pattern_reads_count_as_dependencies() {
+        // AC's rule *reads* ZIP only through its pattern; ZIP's rule writes
+        // ZIP from AC — still a cycle.
+        let targets = vec![
+            TargetRules {
+                target: (2, 2),
+                rules: vec![EditingRule::new(
+                    vec![(0, 0)],
+                    (2, 2),
+                    vec![er_rules::Condition::eq(1, 7)],
+                )],
+            },
+            TargetRules {
+                target: (1, 1),
+                rules: vec![EditingRule::new(vec![(2, 2)], (1, 1), vec![])],
+            },
+        ];
+        let cert = termination_pass(&schema(), &targets, &identity);
+        assert!(!cert.certified, "pattern read must close the cycle");
+    }
+
+    #[test]
+    fn display_mapping_renumbers_witnesses() {
+        let targets = vec![
+            TargetRules {
+                target: (2, 2),
+                rules: vec![EditingRule::new(vec![(1, 1)], (2, 2), vec![])],
+            },
+            TargetRules {
+                target: (1, 1),
+                rules: vec![EditingRule::new(vec![(2, 2)], (1, 1), vec![])],
+            },
+        ];
+        let cert = termination_pass(&schema(), &targets, &|g| g + 10);
+        let mut rules = cert.cycle.expect("cycle").rules;
+        rules.sort_unstable();
+        assert_eq!(rules, vec![10, 11]);
+    }
+
+    #[test]
+    fn empty_rule_set_is_trivially_certified() {
+        let cert = termination_pass(&schema(), &[], &identity);
+        assert!(cert.certified);
+        assert_eq!(cert.attrs, 0);
+        assert_eq!(cert.rounds_bound, Some(1));
+    }
+}

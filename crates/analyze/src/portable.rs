@@ -1,0 +1,129 @@
+//! Analyzing portable (JSON) rule sets.
+//!
+//! Saved rule files are *multi-target*: one document can mix `City → ZIP`
+//! and `ZIP → City` rules — exactly the mixes the termination pass exists to
+//! catch. This module groups a portable document by resolved target pair,
+//! resolves each group against a per-target view of the task, and runs the
+//! analysis with rule indexes reported in *file order* (witnesses point at
+//! the rules the user can see).
+
+use crate::{analyze_with_display, AnalysisReport, AnalyzeConfig};
+use er_rules::io::{PortableCondition, PortableRule};
+use er_rules::{from_portable, TargetRules, Task};
+use er_table::AttrId;
+use std::collections::HashMap;
+
+/// Analyze a portable rule set against `task`'s relations. Unlike the lint
+/// layer, a rule that cannot be resolved at all is a hard `Err` (run
+/// `experiments lint` first for per-rule diagnostics).
+pub fn analyze_portable(
+    rules: &[PortableRule],
+    task: &Task,
+    config: &AnalyzeConfig,
+) -> Result<AnalysisReport, String> {
+    let in_schema = task.input().schema();
+    let m_schema = task.master().schema();
+    let mut order: Vec<(AttrId, AttrId)> = Vec::new();
+    let mut groups: HashMap<(AttrId, AttrId), Vec<(usize, er_rules::EditingRule)>> = HashMap::new();
+    let mut sub_tasks: HashMap<(AttrId, AttrId), Task> = HashMap::new();
+    for (idx, p) in rules.iter().enumerate() {
+        precheck(idx, p)?;
+        let y = in_schema
+            .attr_id(&p.target.0)
+            .map_err(|_| format!("rule #{idx}: unknown input attribute `{}`", p.target.0))?;
+        let ym = m_schema
+            .attr_id(&p.target.1)
+            .map_err(|_| format!("rule #{idx}: unknown master attribute `{}`", p.target.1))?;
+        let sub = sub_tasks.entry((y, ym)).or_insert_with(|| {
+            Task::new(
+                task.input().clone(),
+                task.master().clone(),
+                task.matching().clone(),
+                (y, ym),
+            )
+        });
+        let rule = from_portable(p, sub).map_err(|e| format!("rule #{idx}: {e}"))?;
+        groups
+            .entry((y, ym))
+            .or_insert_with(|| {
+                order.push((y, ym));
+                Vec::new()
+            })
+            .push((idx, rule));
+    }
+    let mut display_map: Vec<usize> = Vec::with_capacity(rules.len());
+    let targets: Vec<TargetRules> = order
+        .iter()
+        .map(|t| TargetRules {
+            target: *t,
+            rules: groups
+                .remove(t)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|(idx, r)| {
+                    display_map.push(idx);
+                    r
+                })
+                .collect(),
+        })
+        .collect();
+    Ok(analyze_with_display(
+        in_schema,
+        task.master(),
+        &targets,
+        config,
+        Some(&display_map),
+    ))
+}
+
+/// Analyze a JSON rule document (the format written by
+/// [`er_rules::rules_to_json`]).
+pub fn analyze_json(
+    json: &str,
+    task: &Task,
+    config: &AnalyzeConfig,
+) -> Result<AnalysisReport, String> {
+    let portable: Vec<PortableRule> =
+        serde_json::from_str(json).map_err(|e| format!("not a rule-set document: {e}"))?;
+    analyze_portable(&portable, task, config)
+}
+
+/// Definition 1 sanity so resolving cannot panic: these are the same fatal
+/// shapes the lint layer reports as ER006.
+fn precheck(idx: usize, p: &PortableRule) -> Result<(), String> {
+    let ill = |what: &str| {
+        Err(format!(
+            "rule #{idx} is ill-formed ({what}); run `experiments lint`"
+        ))
+    };
+    let y = &p.target.0;
+    if p.lhs.iter().any(|(a, _)| a == y) {
+        return ill("target attribute appears in the LHS");
+    }
+    let cond_attr = |c: &PortableCondition| -> String {
+        match c {
+            PortableCondition::Eq { attr, .. }
+            | PortableCondition::Range { attr, .. }
+            | PortableCondition::OneOf { attr, .. } => attr.clone(),
+        }
+    };
+    if p.pattern.iter().any(|c| &cond_attr(c) == y) {
+        return ill("target attribute is constrained by the pattern");
+    }
+    let mut seen: Vec<&str> = Vec::new();
+    for (a, _) in &p.lhs {
+        if seen.contains(&a.as_str()) {
+            return ill("an input attribute repeats in the LHS");
+        }
+        seen.push(a);
+    }
+    let mut seen_p: Vec<String> = Vec::new();
+    for c in &p.pattern {
+        let a = cond_attr(c);
+        if seen_p.contains(&a) {
+            return ill("the pattern constrains an attribute more than once");
+        }
+        seen_p.push(a);
+    }
+    Ok(())
+}

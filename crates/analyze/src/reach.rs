@@ -1,0 +1,239 @@
+//! Reachability pass: rules that cannot fire against the current master.
+//!
+//! An editing rule only fires when its LHS key matches some master tuple and
+//! the matched tuple has a non-NULL target value to copy. Both are
+//! properties of the *current* master domains, summarized per column by
+//! [`er_table::ColumnStats`]. [`MasterProfile`] keeps those summaries
+//! generation-aware: `er-incr` appends fold in via
+//! [`er_table::ColumnStats::update_rows`] instead of a recompute, so the
+//! pass composes with a growing master — appends can both create and clear
+//! ER010 findings, and the analysis report records the generation it was
+//! computed at.
+
+use er_par::WorkerPool;
+use er_rules::{EditingRule, Pred, TargetRules};
+use er_table::{AttrId, ColumnStats, Relation, Schema};
+
+/// Per-column [`ColumnStats`] of a master relation, stamped with the row
+/// count and generation they were computed over.
+#[derive(Debug, Clone)]
+pub struct MasterProfile {
+    rows: usize,
+    generation: u64,
+    stats: Vec<ColumnStats>,
+}
+
+impl MasterProfile {
+    /// Profile every column of `master`.
+    pub fn new(master: &Relation) -> Self {
+        MasterProfile {
+            rows: master.num_rows(),
+            generation: master.generation(),
+            stats: (0..master.schema().arity())
+                .map(|a| ColumnStats::compute(master, a))
+                .collect(),
+        }
+    }
+
+    /// Fold rows appended since this profile was computed into every
+    /// column's stats — equal to a fresh [`MasterProfile::new`] over the
+    /// grown relation, at append cost.
+    pub fn refresh(&mut self, master: &Relation) -> er_table::Result<()> {
+        for (a, stats) in self.stats.iter_mut().enumerate() {
+            stats.update_rows(master, a, self.rows)?;
+        }
+        self.rows = master.num_rows();
+        self.generation = master.generation();
+        Ok(())
+    }
+
+    /// Row count the profile covers.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Master generation the profile covers.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Stats of one master column.
+    pub fn stats(&self, attr: AttrId) -> &ColumnStats {
+        &self.stats[attr]
+    }
+}
+
+/// One rule the pass proved dead against the profiled master.
+#[derive(Debug, Clone)]
+pub struct UnreachableRule {
+    /// The dead rule's reported index.
+    pub rule: usize,
+    /// Why it can never fire.
+    pub reason: String,
+}
+
+/// Run the reachability pass. `display` maps concatenated rule positions to
+/// reported indexes.
+pub(crate) fn reachability_pass(
+    input_schema: &Schema,
+    master: &Relation,
+    profile: &MasterProfile,
+    targets: &[TargetRules],
+    pool: &WorkerPool,
+    display: &dyn Fn(usize) -> usize,
+) -> Vec<UnreachableRule> {
+    let mut rules: Vec<(usize, AttrId, &EditingRule)> = Vec::new();
+    let mut g = 0usize;
+    for t in targets {
+        for r in &t.rules {
+            rules.push((display(g), t.target.1, r));
+            g += 1;
+        }
+    }
+    pool.map(&rules, |&(idx, ym, rule)| {
+        dead_reason(input_schema, master, profile, ym, rule)
+            .map(|reason| UnreachableRule { rule: idx, reason })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// The first proof that `rule` cannot fire, if any. Checks, in order: LHS
+/// master columns with no values to match, a target column with no values
+/// to copy, and pattern conditions on LHS attributes that exclude every
+/// value the paired master column holds (for `(A, A_m)` in the LHS, a firing
+/// requires `t[A] = t_m[A_m]`, so `t[A]` is confined to `A_m`'s domain).
+fn dead_reason(
+    input_schema: &Schema,
+    master: &Relation,
+    profile: &MasterProfile,
+    ym: AttrId,
+    rule: &EditingRule,
+) -> Option<String> {
+    let m_schema = master.schema();
+    for &(_, am) in rule.lhs() {
+        if profile.stats(am).distinct() == 0 {
+            return Some(format!(
+                "LHS master column `{}` has no non-NULL values, so the lookup \
+                 t[X] = t_m[X_m] can never match",
+                m_schema.attr(am).name
+            ));
+        }
+    }
+    if profile.stats(ym).distinct() == 0 {
+        return Some(format!(
+            "master target column `{}` has no non-NULL values, so there is \
+             nothing to copy",
+            m_schema.attr(ym).name
+        ));
+    }
+    for cond in rule.pattern() {
+        let Some(&(_, am)) = rule.lhs().iter().find(|&&(a, _)| a == cond.attr) else {
+            continue;
+        };
+        let stats = profile.stats(am);
+        let supported = stats
+            .frequencies
+            .iter()
+            .any(|&(c, _)| cond.pred.matches(c, master.pool().value(c).as_f64()));
+        if !supported {
+            let pred = match &cond.pred {
+                Pred::Eq(c) => format!("= {}", master.pool().value(*c)),
+                Pred::Range { lo, hi } if hi.is_infinite() => format!("∈ [{lo}, ∞)"),
+                Pred::Range { lo, hi } => format!("∈ [{lo}, {hi})"),
+                Pred::OneOf(codes) => format!("∈ {{{} values}}", codes.len()),
+            };
+            return Some(format!(
+                "pattern condition on LHS attribute (`{a}` {pred}) excludes every \
+                 value master column `{am}` holds (generation {gen})",
+                a = input_schema.attr(cond.attr).name,
+                pred = pred,
+                am = m_schema.attr(am).name,
+                gen = profile.generation()
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_table::{Attribute, Pool, RelationBuilder, Value};
+    use std::sync::Arc;
+
+    fn master(rows: &[(&str, Option<&str>)]) -> Relation {
+        let pool = Arc::new(Pool::new());
+        let schema = Arc::new(Schema::new(
+            "m",
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Infection"),
+            ],
+        ));
+        let mut b = RelationBuilder::new(schema, pool);
+        for &(city, inf) in rows {
+            b.push_row(vec![
+                Value::str(city),
+                inf.map(Value::str).unwrap_or(Value::Null),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn refresh_equals_fresh_profile() {
+        let mut m = master(&[("HZ", Some("flu")), ("BJ", None)]);
+        let mut p = MasterProfile::new(&m);
+        m.push_row(vec![Value::str("SZ"), Value::str("cold")])
+            .unwrap();
+        m.push_row(vec![Value::str("HZ"), Value::Null]).unwrap();
+        p.refresh(&m).unwrap();
+        let fresh = MasterProfile::new(&m);
+        assert_eq!(p.rows(), fresh.rows());
+        assert_eq!(p.generation(), fresh.generation());
+        for a in 0..2 {
+            assert_eq!(p.stats(a).frequencies, fresh.stats(a).frequencies);
+            assert_eq!(p.stats(a).nulls, fresh.stats(a).nulls);
+        }
+    }
+
+    #[test]
+    fn all_null_target_column_is_dead() {
+        let m = master(&[("HZ", None), ("BJ", None)]);
+        let profile = MasterProfile::new(&m);
+        let rule = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        let reason = dead_reason(m.schema(), &m, &profile, 1, &rule).expect("dead");
+        assert!(reason.contains("nothing to copy"), "{reason}");
+    }
+
+    #[test]
+    fn lhs_pinned_pattern_outside_master_domain_is_dead_until_appended() {
+        let mut m = master(&[("HZ", Some("flu"))]);
+        let profile = MasterProfile::new(&m);
+        let paris = m.pool().intern(Value::str("PARIS"));
+        let rule = EditingRule::new(
+            vec![(0, 0)],
+            (1, 1),
+            vec![er_rules::Condition::eq(0, paris)],
+        );
+        let reason = dead_reason(m.schema(), &m, &profile, 1, &rule).expect("dead");
+        assert!(reason.contains("excludes every value"), "{reason}");
+        // Appending a PARIS master row revives the rule (generation-aware).
+        m.push_row(vec![Value::str("PARIS"), Value::str("cold")])
+            .unwrap();
+        let mut grown = profile.clone();
+        grown.refresh(&m).unwrap();
+        assert!(dead_reason(m.schema(), &m, &grown, 1, &rule).is_none());
+    }
+
+    #[test]
+    fn live_rule_has_no_reason() {
+        let m = master(&[("HZ", Some("flu"))]);
+        let profile = MasterProfile::new(&m);
+        let rule = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        assert!(dead_reason(m.schema(), &m, &profile, 1, &rule).is_none());
+    }
+}

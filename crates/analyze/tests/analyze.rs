@@ -1,0 +1,309 @@
+//! End-to-end analyzer tests over a hand-built Figure-1-style scenario.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use er_analyze::{analyze, analyze_json, cap_finding, AnalyzeConfig};
+use er_lint::{DiagCode, Severity};
+use er_rules::{chase, ChaseConfig, EditingRule, SchemaMatch, TargetRules, Task};
+use er_table::{Attribute, Pool, Relation, RelationBuilder, Schema, Value};
+use std::sync::Arc;
+
+/// Input (Name, City, ZIP, AC, Phone, Sex, Case, Date, Overseas) and master
+/// (FN, LN, City, ZIP, AC, Phone, Sex, Case, Date) — the paper's Figure 1.
+fn figure1() -> (Arc<Schema>, Relation) {
+    let pool = Arc::new(Pool::new());
+    let in_schema = Arc::new(Schema::new(
+        "input",
+        [
+            "Name", "City", "ZIP", "AC", "Phone", "Sex", "Case", "Date", "Overseas",
+        ]
+        .into_iter()
+        .map(Attribute::categorical)
+        .collect(),
+    ));
+    let m_schema = Arc::new(Schema::new(
+        "master",
+        [
+            "FN", "LN", "City", "ZIP", "AC", "Phone", "Sex", "Case", "Date",
+        ]
+        .into_iter()
+        .map(Attribute::categorical)
+        .collect(),
+    ));
+    let mut b = RelationBuilder::new(m_schema, pool);
+    for row in [
+        [
+            "Kevin",
+            "Lees",
+            "SZ",
+            "51800",
+            "755",
+            "625-0418",
+            "Male",
+            "contact with imports",
+            "2021-10",
+        ],
+        [
+            "Kyrie",
+            "Wang",
+            "BJ",
+            "10021",
+            "010",
+            "358-1563",
+            "Female",
+            "contact with imports",
+            "2021-11",
+        ],
+        [
+            "Kevin",
+            "Sun",
+            "HZ",
+            "31200",
+            "571",
+            "325-8465",
+            "Male",
+            "contact with patient",
+            "2021-12",
+        ],
+        [
+            "Susan",
+            "Lu",
+            "HZ",
+            "31200",
+            "571",
+            "325-8931",
+            "Female",
+            "contact with patient",
+            "2021-12",
+        ],
+    ] {
+        b.push_row(row.into_iter().map(Value::str).collect())
+            .unwrap();
+    }
+    (in_schema, b.finish())
+}
+
+#[test]
+fn incomparable_single_attribute_rules_are_clean() {
+    let (in_schema, master) = figure1();
+    // The four Figure-1 rules: City/Date/ZIP/AC each key Case alone.
+    let targets = vec![TargetRules {
+        target: (6, 7),
+        rules: vec![
+            EditingRule::new(vec![(1, 2)], (6, 7), vec![]),
+            EditingRule::new(vec![(7, 8)], (6, 7), vec![]),
+            EditingRule::new(vec![(2, 3)], (6, 7), vec![]),
+            EditingRule::new(vec![(3, 4)], (6, 7), vec![]),
+        ],
+    }];
+    let report = analyze(&in_schema, &master, &targets, &AnalyzeConfig::default());
+    assert!(report.termination.certified);
+    assert!(report.conflicts.is_empty());
+    assert!(report.unreachable.is_empty());
+    assert!(report.gate_clean());
+    assert_eq!(report.errors(), 0);
+}
+
+#[test]
+fn comparable_pair_with_contradicting_prescriptions_is_er009() {
+    let (in_schema, master) = figure1();
+    // Name→Case vs (Name, City)→Case: for FN=Kevin the broad rule's modal is
+    // "contact with imports" (tie of 1–1, smaller code wins), but pinning
+    // City=HZ flips it to "contact with patient" — a contradiction witnessed
+    // by master row 2 (Kevin Sun, HZ).
+    let targets = vec![TargetRules {
+        target: (6, 7),
+        rules: vec![
+            EditingRule::new(vec![(0, 0)], (6, 7), vec![]),
+            EditingRule::new(vec![(0, 0), (1, 2)], (6, 7), vec![]),
+        ],
+    }];
+    let report = analyze(&in_schema, &master, &targets, &AnalyzeConfig::default());
+    assert!(report.termination.certified);
+    assert_eq!(report.conflicts.len(), 1);
+    let w = &report.conflicts[0];
+    assert_eq!((w.rule, w.related), (1, 0));
+    assert_eq!(w.master_row, 2);
+    assert_eq!(w.narrow_value, "contact with patient");
+    assert_eq!(w.broad_value, "contact with imports");
+    assert_eq!(w.conflicting_rows, 1);
+    assert_eq!(w.master_tuple[0], "Kevin");
+    assert_eq!(w.master_tuple[2], "HZ");
+    assert!(!report.gate_clean());
+    let finding = &report.findings[0];
+    assert_eq!(finding.code, DiagCode::Er009);
+    assert_eq!(finding.severity, Severity::Error);
+    assert_eq!(finding.rule, 1);
+    assert_eq!(finding.related, Some(0));
+    assert!(finding.note.as_ref().unwrap().contains("master row 2"));
+}
+
+#[test]
+fn cyclic_targets_lose_the_termination_certificate() {
+    let (in_schema, master) = figure1();
+    // ZIP keys AC and AC keys ZIP: the dependency graph is a 2-cycle.
+    let targets = vec![
+        TargetRules {
+            target: (3, 4),
+            rules: vec![EditingRule::new(vec![(2, 3)], (3, 4), vec![])],
+        },
+        TargetRules {
+            target: (2, 3),
+            rules: vec![EditingRule::new(vec![(3, 4)], (2, 3), vec![])],
+        },
+    ];
+    let report = analyze(&in_schema, &master, &targets, &AnalyzeConfig::default());
+    assert!(!report.termination.certified);
+    let cycle = report.termination.cycle.as_ref().expect("cycle witness");
+    assert_eq!(cycle.attrs.len(), 2);
+    assert!(!report.gate_clean());
+    let er008: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.code == DiagCode::Er008)
+        .collect();
+    assert_eq!(er008.len(), 1);
+    assert_eq!(er008[0].severity, Severity::Error);
+    assert!(er008[0].message.contains("cyclic"));
+}
+
+#[test]
+fn certified_sets_may_chase_uncapped() {
+    let (in_schema, master) = figure1();
+    // City → ZIP → AC chain: certified with depth 2, bound 3.
+    let targets = vec![
+        TargetRules {
+            target: (2, 3),
+            rules: vec![EditingRule::new(vec![(1, 2)], (2, 3), vec![])],
+        },
+        TargetRules {
+            target: (3, 4),
+            rules: vec![EditingRule::new(vec![(2, 3)], (3, 4), vec![])],
+        },
+    ];
+    let report = analyze(&in_schema, &master, &targets, &AnalyzeConfig::default());
+    assert!(report.termination.certified);
+    assert_eq!(report.termination.rounds_bound, Some(3));
+    // Run the certified set uncapped over an input with a NULL cascade.
+    let mut b = RelationBuilder::new(Arc::clone(&in_schema), Arc::clone(master.pool()));
+    b.push_row(
+        [
+            Value::str("Ann"),
+            Value::str("HZ"),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ]
+        .to_vec(),
+    )
+    .unwrap();
+    let input = b.finish();
+    let matching =
+        SchemaMatch::from_pairs(9, &[(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8)]);
+    let result = chase(
+        &input,
+        &master,
+        &matching,
+        &targets,
+        ChaseConfig::uncapped(),
+    );
+    assert!(result.converged);
+    assert!(result.rounds <= report.termination.rounds_bound.unwrap() + 1);
+    let code = |v: &str| master.pool().code_of(&Value::str(v)).unwrap();
+    assert_eq!(result.repaired.code(0, 2), code("31200"));
+    assert_eq!(result.repaired.code(0, 3), code("571"));
+    // And a capped run that converges yields no ER008 runtime finding.
+    assert!(cap_finding(&result, &ChaseConfig::uncapped()).is_none());
+    let capped = chase(
+        &input,
+        &master,
+        &matching,
+        &targets,
+        ChaseConfig {
+            max_rounds: 1,
+            ..Default::default()
+        },
+    );
+    let finding = cap_finding(
+        &capped,
+        &ChaseConfig {
+            max_rounds: 1,
+            ..Default::default()
+        },
+    )
+    .expect("cap hit reported");
+    assert_eq!(finding.code, DiagCode::Er008);
+    assert_eq!(finding.severity, Severity::Warning);
+}
+
+#[test]
+fn renders_text_and_json_with_certificates() {
+    let (in_schema, master) = figure1();
+    let targets = vec![TargetRules {
+        target: (6, 7),
+        rules: vec![
+            EditingRule::new(vec![(0, 0)], (6, 7), vec![]),
+            EditingRule::new(vec![(0, 0), (1, 2)], (6, 7), vec![]),
+        ],
+    }];
+    let report = analyze(&in_schema, &master, &targets, &AnalyzeConfig::default());
+    let text = report.render_text();
+    assert!(text.contains("termination: CERTIFIED"), "{text}");
+    assert!(text.contains("conflicts: 1 contradicting pair"), "{text}");
+    assert!(text.contains("error[ER009]"), "{text}");
+    let json = report.render_json();
+    assert!(json.contains("\"certified\": true"), "{json}");
+    assert!(json.contains("\"master_row\": 2"), "{json}");
+    assert!(json.contains("ER009"), "{json}");
+}
+
+#[test]
+fn portable_documents_report_file_order_indexes() {
+    let (in_schema, master) = figure1();
+    let mut b = RelationBuilder::new(Arc::clone(&in_schema), Arc::clone(master.pool()));
+    b.push_row(vec![Value::Null; 9]).unwrap();
+    let input = b.finish();
+    let matching = SchemaMatch::from_pairs(9, &[(1, 2), (2, 3), (3, 4)]);
+    let task = Task::new(input, master.clone(), matching, (6, 7));
+    // File order interleaves the target groups: grouping concatenates them
+    // as [#0, #3, #1, #2], so witness indexes must be mapped back.
+    let json = r#"[
+        {"lhs": [["City", "City"]], "target": ["Case", "Case"], "pattern": [], "measures": null},
+        {"lhs": [["ZIP", "ZIP"]], "target": ["AC", "AC"], "pattern": [], "measures": null},
+        {"lhs": [["AC", "AC"]], "target": ["ZIP", "ZIP"], "pattern": [], "measures": null},
+        {"lhs": [["Date", "Date"]], "target": ["Case", "Case"], "pattern": [], "measures": null}
+    ]"#;
+    let report = analyze_json(json, &task, &AnalyzeConfig::default()).unwrap();
+    assert_eq!(report.num_rules, 4);
+    assert_eq!(report.num_targets, 3);
+    assert!(!report.termination.certified);
+    let cycle = report.termination.cycle.as_ref().expect("cycle");
+    // The cycle runs through rules #1 (ZIP→AC) and #2 (AC→ZIP) in *file*
+    // order, even though grouping reordered them internally.
+    let mut rules = cycle.rules.clone();
+    rules.sort_unstable();
+    assert_eq!(rules, vec![1, 2]);
+}
+
+#[test]
+fn ill_formed_portable_rules_are_hard_errors() {
+    let (in_schema, master) = figure1();
+    let mut b = RelationBuilder::new(Arc::clone(&in_schema), Arc::clone(master.pool()));
+    b.push_row(vec![Value::Null; 9]).unwrap();
+    let input = b.finish();
+    let task = Task::new(input, master, SchemaMatch::from_pairs(9, &[(1, 2)]), (6, 7));
+    let json = r#"[
+        {"lhs": [["Case", "City"]], "target": ["Case", "Case"], "pattern": [], "measures": null}
+    ]"#;
+    let err = analyze_json(json, &task, &AnalyzeConfig::default()).unwrap_err();
+    assert!(err.contains("ill-formed"), "{err}");
+    let bad_attr = r#"[
+        {"lhs": [["Nope", "City"]], "target": ["Case", "Case"], "pattern": [], "measures": null}
+    ]"#;
+    let err = analyze_json(bad_attr, &task, &AnalyzeConfig::default()).unwrap_err();
+    assert!(err.contains("rule #0"), "{err}");
+}

@@ -14,6 +14,7 @@ use er_bench::ExperimentConfig;
 const USAGE: &str = "\
 usage: experiments [--paper-scale|--quick] [--repeats N] [--train-steps N] [--threads N] <ids...>
        experiments lint [--dataset NAME] [--seed N] [--json] [--fix [--out PATH]] <rules.json>
+       experiments analyze [--dataset NAME] [--seed N] [--threads N] [--json] [--out PATH] <rules.json>
   ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate par_sweep serve_bench incr_bench
   --paper-scale   run at the paper's dataset sizes (EnuMiner may take hours)
   --quick         smoke-test scale (shorter training, tighter budgets)
@@ -28,6 +29,12 @@ lint: statically analyze a rule-set JSON file against a dataset scenario
   --fix           remove rules flagged ER003/ER004 (mechanically safe) and
                   write the cleaned rule set to --out (default: stdout)
   --out PATH      where --fix writes the cleaned JSON
+analyze: whole-rule-set static analysis (er-analyze) against a scenario:
+  chase-termination certificate (ER008), conflicting repairs with master
+  witnesses (ER009), dead rules vs. the master domains (ER010)
+  --dataset/--seed as for lint; --threads N for the analysis fan-out
+  --json          print the JSON report instead of text
+  --out PATH      also save the JSON report (default: results/analyze.json)
   exits 1 when the report contains errors, 2 on usage/IO problems";
 
 fn main() {
@@ -38,6 +45,10 @@ fn main() {
     }
     if args[0] == "lint" {
         lint_main(&args[1..]);
+        return;
+    }
+    if args[0] == "analyze" {
+        analyze_main(&args[1..]);
         return;
     }
     let mut cfg = ExperimentConfig::default();
@@ -152,6 +163,110 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Build the named dataset scenario shared by the `lint` and `analyze`
+/// subcommands.
+fn load_scenario(dataset: &str, seed: u64) -> er_datagen::Scenario {
+    match dataset {
+        "figure1" => er_datagen::figure1(),
+        name => {
+            let kind = er_datagen::DatasetKind::all()
+                .into_iter()
+                .find(|k| k.name() == name)
+                .unwrap_or_else(|| die(&format!("unknown dataset {name}")));
+            let config = er_datagen::ScenarioConfig {
+                seed,
+                ..kind.small_config()
+            };
+            kind.build(config)
+        }
+    }
+}
+
+/// The `analyze` subcommand: run the er-analyze passes over a rule-set JSON
+/// file against the named dataset scenario, print the certificates, and
+/// save the JSON report.
+fn analyze_main(args: &[String]) {
+    let mut dataset = "figure1".to_string();
+    let mut seed = 1u64;
+    let mut threads = 0usize;
+    let mut json_out = false;
+    let mut out = "results/analyze.json".to_string();
+    let mut file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dataset" => {
+                dataset = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--dataset needs a name"));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a number"));
+            }
+            "--json" => json_out = true,
+            "--out" => {
+                out = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            path if !path.starts_with('-') => file = Some(path.to_string()),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let Some(path) = file else {
+        die("analyze needs a rules.json path")
+    };
+    let scenario = load_scenario(&dataset, seed);
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = er_analyze::AnalyzeConfig::with_threads(threads);
+    let report = match er_analyze::analyze_json(&json, &scenario.task, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rendered_json = report.render_json();
+    if json_out {
+        println!("{rendered_json}");
+    } else {
+        print!("{}", report.render_text());
+    }
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match std::fs::write(&out, rendered_json + "\n") {
+        Ok(()) => eprintln!("analyze: saved {out}"),
+        Err(e) => eprintln!("warning: cannot write {out}: {e}"),
+    }
+    if report.errors() > 0 {
+        std::process::exit(1);
+    }
+}
+
 /// The `lint` subcommand: run er-lint over a rule-set JSON file against the
 /// named dataset scenario and render the report.
 fn lint_main(args: &[String]) {
@@ -197,20 +312,7 @@ fn lint_main(args: &[String]) {
         die("lint needs a rules.json path")
     };
 
-    let scenario = match dataset.as_str() {
-        "figure1" => er_datagen::figure1(),
-        name => {
-            let kind = er_datagen::DatasetKind::all()
-                .into_iter()
-                .find(|k| k.name() == name)
-                .unwrap_or_else(|| die(&format!("unknown dataset {name}")));
-            let config = er_datagen::ScenarioConfig {
-                seed,
-                ..kind.small_config()
-            };
-            kind.build(config)
-        }
-    };
+    let scenario = load_scenario(&dataset, seed);
 
     let json = match std::fs::read_to_string(&path) {
         Ok(s) => s,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # er-bench — the experiment harness
 //!
 //! One runner per table/figure of the paper's evaluation (§V). Each runner

@@ -7,9 +7,11 @@
 // any #[test] fn, so the clippy.toml test exemption does not reach them.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+use er_analyze::AnalyzeConfig;
 use er_datagen::{DatasetKind, Scenario, ScenarioConfig};
 use er_enuminer::EnuMinerConfig;
 use er_rlminer::{RlMiner, RlMinerConfig};
+use er_rules::{EditingRule, TargetRules};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -72,6 +74,68 @@ fn enuminer_budget_truncation_is_thread_count_invariant() {
             (&run.rules, run.evaluated, run.expanded),
             (&base.rules, base.evaluated, base.expanded),
             "budget-truncated run diverged at {threads} threads"
+        );
+    }
+}
+
+/// The analyzer's conflict and reachability passes fan out over the worker
+/// pool; the rendered report — witnesses, findings, and all — must be
+/// byte-identical at any thread count.
+#[test]
+fn analyzer_report_is_thread_count_invariant() {
+    let s = er_datagen::figure1();
+    // Figure-1 attribute ids: input Name=0 City=1 ZIP=2 AC=3, Case=6;
+    // master FN=0 City=2 ZIP=3 AC=4, Case=7. A mix rich enough to light up
+    // every pass: comparable pairs (conflicts), a City → ZIP → AC chain
+    // (termination order), and several candidate pairs for the fan-out.
+    let targets = vec![
+        TargetRules {
+            target: (6, 7),
+            rules: vec![
+                EditingRule::new(vec![(0, 0)], (6, 7), vec![]),
+                EditingRule::new(vec![(0, 0), (1, 2)], (6, 7), vec![]),
+                EditingRule::new(vec![(1, 2)], (6, 7), vec![]),
+                EditingRule::new(vec![(1, 2), (2, 3)], (6, 7), vec![]),
+            ],
+        },
+        TargetRules {
+            target: (2, 3),
+            rules: vec![EditingRule::new(vec![(1, 2)], (2, 3), vec![])],
+        },
+        TargetRules {
+            target: (3, 4),
+            rules: vec![EditingRule::new(vec![(2, 3)], (3, 4), vec![])],
+        },
+    ];
+    let input_schema = s.task.input().schema();
+    let master = s.task.master();
+    let reports: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            er_analyze::analyze(
+                input_schema,
+                master,
+                &targets,
+                &AnalyzeConfig::with_threads(threads),
+            )
+        })
+        .collect();
+    let base = &reports[0];
+    assert!(
+        !base.conflicts.is_empty(),
+        "fixture must exercise the conflict fan-out"
+    );
+    assert!(base.termination.certified);
+    for (report, threads) in reports.iter().zip(THREAD_COUNTS).skip(1) {
+        assert_eq!(
+            report.render_json(),
+            base.render_json(),
+            "analysis JSON diverged at {threads} threads"
+        );
+        assert_eq!(
+            report.render_text(),
+            base.render_text(),
+            "analysis text diverged at {threads} threads"
         );
     }
 }

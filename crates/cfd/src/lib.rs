@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # er-cfd — CTANE-style CFD discovery on master data (the paper's CTANE
 //! baseline, §V-A2)
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # er-rlminer — RLMiner: editing rule discovery by deep reinforcement
 //! learning (the paper's contribution, §III–§IV)
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # er-datagen — datasets, sampling, and error injection
 //!
 //! The paper evaluates on four datasets (Adult, Covid-19, Nursery, Location).

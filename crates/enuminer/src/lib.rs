@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # er-enuminer — enumeration-based editing rule discovery (§II-D)
 //!
 //! `EnuMiner` follows classical levelwise rule mining (CTANE-style): starting

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Delta maintenance for growing master data.
 //!
 //! The paper's RLMiner-ft (§V-D3) exists because master relations grow

@@ -35,6 +35,25 @@ pub enum DiagCode {
     /// measures and fill-rate statistics no longer reflect the data the
     /// rules will repair against.
     Er007,
+    /// Non-terminating dependency cycle: the rule set's attribute-level
+    /// read/write dependency graph is cyclic, so no weak-acyclicity
+    /// termination certificate exists and the chase's round cap is the only
+    /// thing bounding it. Emitted as an Error by the static pass (with the
+    /// offending rule chain as witness) and as a Warning at runtime when a
+    /// chase actually hits the cap without reaching a fixpoint.
+    Er008,
+    /// Conflicting repairs: two rules with comparable evidence (one rule's
+    /// LHS is a strict subset of the other's) prescribe *different* certain
+    /// fixes for the same target attribute on overlapping pattern regions,
+    /// witnessed by a concrete master tuple. Loading such a set would make
+    /// repairs depend on vote tie-breaks instead of agreement.
+    Er009,
+    /// Unreachable rule: the rule can never fire against the *current*
+    /// master data — an LHS master column or the target column is entirely
+    /// NULL, or a pattern condition on an LHS attribute excludes every value
+    /// the matching master column holds. Generation-aware: appends can both
+    /// create and clear this finding.
+    Er010,
 }
 
 impl DiagCode {
@@ -48,6 +67,9 @@ impl DiagCode {
             DiagCode::Er005 => "ER005",
             DiagCode::Er006 => "ER006",
             DiagCode::Er007 => "ER007",
+            DiagCode::Er008 => "ER008",
+            DiagCode::Er009 => "ER009",
+            DiagCode::Er010 => "ER010",
         }
     }
 
@@ -61,6 +83,9 @@ impl DiagCode {
             DiagCode::Er005 => "repair conflict",
             DiagCode::Er006 => "ill-formed rule",
             DiagCode::Er007 => "stale rule set",
+            DiagCode::Er008 => "non-terminating dependency cycle",
+            DiagCode::Er009 => "conflicting repairs",
+            DiagCode::Er010 => "unreachable rule",
         }
     }
 }

@@ -136,6 +136,43 @@ mod tests {
     }
 
     #[test]
+    fn fixing_is_idempotent_byte_for_byte() {
+        // Applying the fixes twice must be byte-identical to applying them
+        // once: the first pass already removed every ER003/ER004 rule, so
+        // the second pass is a no-op on the serialized document — the
+        // invariant `lint --fix` relies on when run repeatedly in a
+        // pipeline.
+        let task = crate::doctest_task();
+        let base = EditingRule::new(vec![(0, 0)], (1, 1), vec![]);
+        let narrow = EditingRule::new(
+            vec![(0, 0)],
+            (1, 1),
+            vec![er_rules::Condition::eq(
+                0,
+                task.input().pool().intern(er_table::Value::str("HZ")),
+            )],
+        );
+        let rules = portable(&[base.clone(), narrow.clone(), base.clone(), base, narrow]);
+        let report = lint_portable(&rules, &task);
+        let once = apply_fixes(&rules, &report);
+        assert!(!once.removed.is_empty(), "fixture must exercise removal");
+        let report_again = lint_portable(&once.kept, &task);
+        let twice = apply_fixes(&once.kept, &report_again);
+        assert!(twice.removed.is_empty());
+        let once_json = serde_json::to_string_pretty(&once.kept).unwrap();
+        let twice_json = serde_json::to_string_pretty(&twice.kept).unwrap();
+        assert_eq!(once_json, twice_json);
+        // And the post-fix set is ER003/ER004-clean.
+        assert!(
+            report_again
+                .findings
+                .iter()
+                .all(|f| !matches!(f.code, DiagCode::Er003 | DiagCode::Er004)),
+            "{report_again:?}"
+        );
+    }
+
+    #[test]
     fn non_mechanical_findings_are_left_alone() {
         let task = crate::doctest_task();
         // A dangling attribute (ER001) must not be auto-removed.

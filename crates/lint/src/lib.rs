@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # er-lint — static analysis for editing rule sets
 //!
 //! Discovered rule sets get reviewed, versioned, merged, and re-applied to
@@ -17,6 +18,9 @@
 //! | ER005 | repair conflict between two rules         | warning         |
 //! | ER006 | ill-formed rule (Definition 1 violation)  | error           |
 //! | ER007 | stale rule set vs. master generation      | warning         |
+//! | ER008 | non-terminating dependency cycle          | error / warning |
+//! | ER009 | conflicting repairs (master witness)      | error           |
+//! | ER010 | unreachable rule vs. current master       | warning         |
 //!
 //! ER002 distinguishes *logical* unsatisfiability (contradictory conditions,
 //! empty ranges — errors on any data) from *observed* unsatisfiability
@@ -28,6 +32,15 @@
 //! [`generation`](er_table::Relation::generation) and warns when the master
 //! has grown past it (appends via `er-incr` bump the generation once per
 //! row, so the gap is the number of unseen master rows).
+//!
+//! ER008–ER010 are produced by the whole-set static analyzer in the
+//! `er-analyze` crate (which depends on this crate for the diagnostic
+//! model): ER008 certifies — or refutes, with a rule-chain witness — chase
+//! termination via weak acyclicity of the attribute dependency graph; ER009
+//! reports rule pairs whose prescriptions contradict on a concrete master
+//! tuple; ER010 reports rules that cannot fire against the current master
+//! domains ([`er_table::ColumnStats`]). `er-serve` refuses to load or grow
+//! into a rule set with ER008/ER009 errors.
 //!
 //! Reports render both as a rustc-style text diagnostic stream
 //! ([`Report::render_text`]) and as machine-readable JSON

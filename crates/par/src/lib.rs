@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # er-par — the workspace concurrency layer
 //!
 //! Rule-measure evaluation dominates every scalability figure of the paper

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # er-rl — a minimal deep-RL substrate
 //!
 //! The Rust deep-RL ecosystem is thin, and RLMiner needs only a small, fully

@@ -58,6 +58,20 @@ impl Default for ChaseConfig {
     }
 }
 
+impl ChaseConfig {
+    /// A configuration with no round cap. Only sound for rule sets whose
+    /// termination has been certified (weak acyclicity of the attribute
+    /// dependency graph — see `er-analyze`); the chase still terminates
+    /// structurally because committed cells are frozen, but without a
+    /// certificate the cap is the honest guard.
+    pub fn uncapped() -> Self {
+        ChaseConfig {
+            max_rounds: usize::MAX,
+            ..Default::default()
+        }
+    }
+}
+
 /// One committed fix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fix {
@@ -87,6 +101,11 @@ pub struct ChaseResult {
     /// Rows where rules disagreed (more than one candidate received votes)
     /// at the moment their fix was committed.
     pub contested: usize,
+    /// Whether the chase reached a fixpoint (a round committed no fix).
+    /// `false` means [`ChaseConfig::max_rounds`] cut it off while fixes were
+    /// still landing — the result is sound but possibly incomplete, and the
+    /// ER008 runtime diagnostic (`er_analyze::cap_finding`) reports it.
+    pub converged: bool,
 }
 
 /// Run the chase.
@@ -133,6 +152,7 @@ pub fn chase(
     #[cfg(feature = "debug-invariants")]
     let mut prev_frozen = 0usize;
 
+    let mut converged = false;
     while rounds < config.max_rounds {
         rounds += 1;
         let mut changed = false;
@@ -188,14 +208,25 @@ pub fn chase(
             }
         }
         if !changed {
+            converged = true;
             break;
         }
+    }
+    #[cfg(feature = "debug-invariants")]
+    if !converged {
+        eprintln!(
+            "chase: round cap {} hit without reaching a fixpoint ({} fixes committed); \
+             certify termination with er-analyze or raise max_rounds",
+            config.max_rounds,
+            fixes.len()
+        );
     }
     ChaseResult {
         repaired: current,
         rounds,
         fixes,
         contested,
+        converged,
     }
 }
 
@@ -353,6 +384,56 @@ mod tests {
         let result = chase(&input, &master, &matching, &targets(&input), config);
         assert!(result.fixes.is_empty());
         assert_eq!(result.rounds, 1);
+    }
+
+    #[test]
+    fn fixpoint_runs_report_convergence() {
+        let (input, master, matching) = setup();
+        let result = chase(
+            &input,
+            &master,
+            &matching,
+            &targets(&input),
+            ChaseConfig::default(),
+        );
+        assert!(result.converged);
+        // An uncapped run on a certified-terminating set converges too.
+        let uncapped = chase(
+            &input,
+            &master,
+            &matching,
+            &targets(&input),
+            ChaseConfig::uncapped(),
+        );
+        assert!(uncapped.converged);
+        assert_eq!(uncapped.fixes.len(), result.fixes.len());
+    }
+
+    #[test]
+    fn round_cap_hit_is_recorded() {
+        let (input, master, matching) = setup();
+        // One round is not enough to prove a fixpoint here: round 1 commits
+        // the cascade's first wave, so the chase is cut off mid-flight.
+        let config = ChaseConfig {
+            max_rounds: 1,
+            ..Default::default()
+        };
+        let result = chase(&input, &master, &matching, &targets(&input), config);
+        assert!(!result.converged);
+        assert_eq!(result.rounds, 1);
+        // A zero-round "chase" trivially proves nothing.
+        let none = chase(
+            &input,
+            &master,
+            &matching,
+            &targets(&input),
+            ChaseConfig {
+                max_rounds: 0,
+                ..Default::default()
+            },
+        );
+        assert!(!none.converged);
+        assert!(none.fixes.is_empty());
     }
 
     #[test]

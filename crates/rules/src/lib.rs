@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # er-rules — editing rules, their measures, and the repair engine
 //!
 //! This crate is the domain model of the paper *"Discovering Editing Rules by

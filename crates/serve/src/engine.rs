@@ -12,8 +12,9 @@
 //! delta-updated rather than rebuilt, and the engine's generation counter
 //! advances so `stats` (and the ER007 lint) can report rule staleness.
 
+use er_analyze::{analyze, analyze_json, AnalysisReport, AnalyzeConfig};
 use er_incr::{AppendOutcome, IncrCounters, IncrEngine};
-use er_rules::{rules_from_json, BatchError, EditingRule, Task};
+use er_rules::{rules_from_json, BatchError, EditingRule, TargetRules, Task};
 use er_table::{Pool, Relation, Schema, Value};
 use std::sync::Arc;
 use std::time::Instant;
@@ -62,6 +63,9 @@ pub enum EngineError {
         /// What was wrong with it.
         message: String,
     },
+    /// The rule set failed the static-analysis gate (ER008 cycle or ER009
+    /// conflict); the full report carries the certificates and witnesses.
+    Analysis(Box<AnalysisReport>),
 }
 
 impl std::fmt::Display for EngineError {
@@ -70,6 +74,12 @@ impl std::fmt::Display for EngineError {
             EngineError::Rules(msg) => write!(f, "rule set rejected: {msg}"),
             EngineError::Batch(e) => write!(f, "batch repair failed: {e}"),
             EngineError::Row { row, message } => write!(f, "row {row}: {message}"),
+            EngineError::Analysis(report) => write!(
+                f,
+                "rule set rejected by static analysis: {} error{}",
+                report.errors(),
+                if report.errors() == 1 { "" } else { "s" },
+            ),
         }
     }
 }
@@ -114,6 +124,24 @@ impl RepairEngine {
         Self::new(task, rules, threads)
     }
 
+    /// [`RepairEngine::from_json`] behind the static-analysis gate: the
+    /// document is analyzed *before* single-target resolution (so a
+    /// multi-target document with an ER008 cycle is diagnosed as such, not
+    /// as a target mismatch), and a set with analysis errors is rejected
+    /// with [`EngineError::Analysis`] carrying the full report.
+    pub fn from_json_gated(
+        task: &Task,
+        rules_json: &str,
+        threads: usize,
+    ) -> Result<Self, EngineError> {
+        let report = analyze_json(rules_json, task, &AnalyzeConfig::with_threads(threads))
+            .map_err(EngineError::Rules)?;
+        if !report.gate_clean() {
+            return Err(EngineError::Analysis(Box::new(report)));
+        }
+        Self::from_json(task, rules_json, threads)
+    }
+
     /// Number of loaded rules.
     pub fn num_rules(&self) -> usize {
         self.engine.num_rules()
@@ -127,6 +155,28 @@ impl RepairEngine {
     /// The input schema incoming rows must follow.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
+    }
+
+    /// The master relation the warmed indexes cover.
+    pub fn master(&self) -> &Relation {
+        self.engine.master()
+    }
+
+    /// Statically analyze the loaded rule set against the engine's current
+    /// master (termination, conflicts, reachability — see `er-analyze`).
+    pub fn analyze(&self) -> AnalysisReport {
+        self.analyze_with_master(self.master())
+    }
+
+    /// [`RepairEngine::analyze`] against an explicit master relation — used
+    /// by the serve `append` gate to analyze a preview of the grown master
+    /// before committing the rows.
+    pub fn analyze_with_master(&self, master: &Relation) -> AnalysisReport {
+        let targets = [TargetRules {
+            target: self.engine.target(),
+            rules: self.engine.rules().to_vec(),
+        }];
+        analyze(&self.schema, master, &targets, &AnalyzeConfig::default())
     }
 
     /// Name of the target attribute `Y` repairs are written to.

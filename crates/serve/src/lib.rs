@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # er-serve — a long-lived repair service
 //!
 //! The mining pipeline ends with a rule set; this crate is the deployment
@@ -32,6 +33,12 @@
 //! * **metrics** — request/repair/error counters and p50/p99 latency over a
 //!   sliding window, served by the `stats` op and an optional periodic
 //!   stderr log line.
+//! * **analysis gate** — by default, `reload` and `append` are gated on a
+//!   clean static analysis of the resulting rule-set/master combination
+//!   (`er-analyze`: no ER008 dependency cycle, no ER009 conflicting
+//!   repairs). A gated rejection answers with the analysis findings and
+//!   leaves the live engine untouched; disable with
+//!   [`ServeConfig::analysis_gate`] (CLI: `--no-analysis-gate`).
 
 pub mod engine;
 pub mod metrics;
@@ -42,7 +49,7 @@ pub mod tcp;
 pub use engine::{EngineError, RepairEngine, RepairOutcome, RepairedCell};
 pub use metrics::{Metrics, Snapshot};
 pub use proto::{parse_request, Request};
-pub use server::{serve_pipe, Reloader, ServeConfig, Server};
+pub use server::{serve_pipe, ReloadError, Reloader, ServeConfig, Server};
 pub use tcp::TcpServer;
 
 /// Lock a std mutex, recovering the data from a poisoned lock: the guarded

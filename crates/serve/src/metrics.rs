@@ -42,6 +42,7 @@ pub struct Metrics {
     overloaded: AtomicU64,
     reloads: AtomicU64,
     appends: AtomicU64,
+    rejected: AtomicU64,
     /// Gauge, not a counter: the engine's master generation, stored after
     /// every engine-mutating op so `stats` can report it lock-free.
     engine_generation: AtomicU64,
@@ -65,6 +66,7 @@ impl Metrics {
             overloaded: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
             appends: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             engine_generation: AtomicU64::new(0),
             latencies: Mutex::new(Reservoir {
                 buf: Vec::new(),
@@ -108,6 +110,11 @@ impl Metrics {
         self.appends.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one reload or append refused by the static-analysis gate.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Update the engine-generation gauge (after load, reload, or append).
     pub fn set_engine_generation(&self, generation: u64) {
         self.engine_generation.store(generation, Ordering::Relaxed);
@@ -131,6 +138,7 @@ impl Metrics {
             overloaded: self.overloaded.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
             appends: self.appends.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
             engine_generation: self.engine_generation.load(Ordering::Relaxed),
             queue_depth,
             p50_us,
@@ -165,6 +173,8 @@ pub struct Snapshot {
     pub reloads: u64,
     /// Successful master appends.
     pub appends: u64,
+    /// Reloads and appends refused by the static-analysis gate.
+    pub rejected: u64,
     /// The engine's master generation at the last engine-mutating op.
     pub engine_generation: u64,
     /// Repair requests in flight when the snapshot was taken.
@@ -189,6 +199,7 @@ impl Snapshot {
             ("overloaded".to_string(), Json::UInt(self.overloaded)),
             ("reloads".to_string(), Json::UInt(self.reloads)),
             ("appends".to_string(), Json::UInt(self.appends)),
+            ("rejected".to_string(), Json::UInt(self.rejected)),
             (
                 "engine_generation".to_string(),
                 Json::UInt(self.engine_generation),
@@ -205,7 +216,7 @@ impl Snapshot {
     /// One human-readable line for the periodic stderr log.
     pub fn log_line(&self) -> String {
         format!(
-            "serve: requests={} repairs={} fixed={} errors={} overloaded={} reloads={} appends={} gen={} queue={} p50={}us p99={}us",
+            "serve: requests={} repairs={} fixed={} errors={} overloaded={} reloads={} appends={} rejected={} gen={} queue={} p50={}us p99={}us",
             self.requests,
             self.repairs,
             self.repaired_cells,
@@ -213,6 +224,7 @@ impl Snapshot {
             self.overloaded,
             self.reloads,
             self.appends,
+            self.rejected,
             self.engine_generation,
             self.queue_depth,
             self.p50_us,
@@ -249,10 +261,12 @@ mod tests {
         m.record_reload();
         m.record_append();
         m.record_append();
+        m.record_rejected();
         m.set_engine_generation(42);
         let s = m.snapshot(0);
         assert_eq!(s.reloads, 1);
         assert_eq!(s.appends, 2);
+        assert_eq!(s.rejected, 1);
         assert_eq!(s.engine_generation, 42);
         // The gauge tracks the latest value, it does not accumulate.
         m.set_engine_generation(7);

@@ -202,6 +202,33 @@ pub fn ok_append(outcome: &er_incr::AppendOutcome) -> String {
     ]))
 }
 
+/// Static-analysis gate rejection: the op (`reload` or `append`) was
+/// refused because the resulting rule-set/master combination fails the
+/// analysis gate (ER008 cycle or ER009 conflict). The response carries the
+/// analysis findings so the client can see *why* — the certificates and
+/// witnesses — without a second round trip; the live engine is untouched.
+pub fn analysis_rejected(op: &str, report: &er_analyze::AnalysisReport) -> String {
+    use serde::Serialize as _;
+    let findings: Vec<Json> = report.findings.iter().map(|f| f.to_value()).collect();
+    render(&obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::Str(format!(
+                "{op} rejected by static analysis: {} error{}",
+                report.errors(),
+                if report.errors() == 1 { "" } else { "s" },
+            )),
+        ),
+        ("op", Json::Str(op.to_string())),
+        ("rejected", Json::Bool(true)),
+        ("errors", Json::Int(report.errors() as i64)),
+        ("warnings", Json::Int(report.warnings() as i64)),
+        ("certified", Json::Bool(report.termination.certified)),
+        ("findings", Json::Array(findings)),
+    ]))
+}
+
 /// Generic error response.
 pub fn error(message: &str) -> String {
     render(&obj(vec![

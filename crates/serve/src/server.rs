@@ -33,6 +33,10 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Emit the metrics log line to stderr every N requests (0 = never).
     pub log_every: u64,
+    /// Gate `reload` and `append` on a clean static analysis (no ER008
+    /// cycle, no ER009 conflict): a dirty reload never swaps the live
+    /// engine, a dirty append never commits its rows.
+    pub analysis_gate: bool,
 }
 
 impl Default for ServeConfig {
@@ -44,12 +48,24 @@ impl Default for ServeConfig {
             max_batch_rows: 4096,
             workers: 4,
             log_every: 0,
+            analysis_gate: true,
         }
     }
 }
 
+/// Why a `reload` did not swap the engine.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// Rebuilding the engine failed outright (unreadable rules file,
+    /// unresolvable rules, ...).
+    Failed(String),
+    /// The candidate rule set failed the static-analysis gate; the engine
+    /// was never built or never offered for the swap.
+    Analysis(Box<er_analyze::AnalysisReport>),
+}
+
 /// Rebuilds the engine for the `reload` op (e.g. re-reading the rules file).
-pub type Reloader = Box<dyn Fn() -> Result<RepairEngine, String> + Send + Sync>;
+pub type Reloader = Box<dyn Fn() -> Result<RepairEngine, ReloadError> + Send + Sync>;
 
 /// The long-lived server core.
 pub struct Server {
@@ -138,13 +154,24 @@ impl Server {
                 }
                 Some(reload) => match reload() {
                     Ok(engine) => {
+                        if self.config.analysis_gate {
+                            let report = engine.analyze();
+                            if !report.gate_clean() {
+                                self.metrics.record_rejected();
+                                return (proto::analysis_rejected("reload", &report), false);
+                            }
+                        }
                         let rules = engine.num_rules();
                         self.metrics.set_engine_generation(engine.generation());
                         *self.engine.write() = engine;
                         self.metrics.record_reload();
                         (proto::ok_reload(rules), false)
                     }
-                    Err(message) => {
+                    Err(ReloadError::Analysis(report)) => {
+                        self.metrics.record_rejected();
+                        (proto::analysis_rejected("reload", &report), false)
+                    }
+                    Err(ReloadError::Failed(message)) => {
                         self.metrics.record_error();
                         (proto::error(&format!("reload failed: {message}")), false)
                     }
@@ -158,7 +185,25 @@ impl Server {
     fn handle_append(&self, rows: &[Vec<Value>]) -> (String, bool) {
         // Appends take the engine write lock: in-flight repairs finish
         // first, and every later repair sees the delta-updated indexes.
-        let result = self.engine.write().append(rows);
+        // The analysis gate previews the grown master under the *same*
+        // lock, so no other append can slip between the check and the
+        // commit.
+        let mut engine = self.engine.write();
+        if self.config.analysis_gate {
+            let mut preview = engine.master().clone();
+            // A row the preview cannot take will fail the real append with
+            // its proper row error; only a clean preview is analyzed.
+            if rows.iter().all(|row| preview.push_row(row.clone()).is_ok()) {
+                let report = engine.analyze_with_master(&preview);
+                if !report.gate_clean() {
+                    drop(engine);
+                    self.metrics.record_rejected();
+                    return (proto::analysis_rejected("append", &report), false);
+                }
+            }
+        }
+        let result = engine.append(rows);
+        drop(engine);
         match result {
             Ok(outcome) => {
                 self.metrics.record_append();

@@ -7,7 +7,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use er_rules::{EditingRule, SchemaMatch, Task};
-use er_serve::{serve_pipe, RepairEngine, ServeConfig, Server};
+use er_serve::{serve_pipe, ReloadError, RepairEngine, ServeConfig, Server};
 use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
 use serde_json::Value as Json;
 use std::io::Cursor;
@@ -46,6 +46,53 @@ fn covid_task() -> Task {
         (1, 1),
     )
 }
+
+/// A three-attribute task (input City/ZIP/Case, master City/ZIP/Infection)
+/// for the analysis-gate tests: wide enough that a strict-subset rule pair
+/// can contradict on a master tuple. `rows` are the master tuples.
+fn covid3_task(rows: &[(&str, &str, &str)]) -> Task {
+    let pool = Arc::new(Pool::new());
+    let in_schema = Arc::new(Schema::new(
+        "in",
+        vec![
+            Attribute::categorical("City"),
+            Attribute::categorical("ZIP"),
+            Attribute::categorical("Case"),
+        ],
+    ));
+    let m_schema = Arc::new(Schema::new(
+        "m",
+        vec![
+            Attribute::categorical("City"),
+            Attribute::categorical("ZIP"),
+            Attribute::categorical("Infection"),
+        ],
+    ));
+    let s = Value::str;
+    let mut b = RelationBuilder::new(in_schema, Arc::clone(&pool));
+    b.push_row(vec![s("HZ"), Value::Null, Value::Null]).unwrap();
+    let input = b.finish();
+    let mut bm = RelationBuilder::new(m_schema, pool);
+    for &(city, zip, inf) in rows {
+        bm.push_row(vec![s(city), s(zip), s(inf)]).unwrap();
+    }
+    let master = bm.finish();
+    Task::new(
+        input,
+        master,
+        SchemaMatch::from_pairs(3, &[(0, 0), (1, 1), (2, 2)]),
+        (2, 2),
+    )
+}
+
+/// City → Case alone is clean; adding (City, ZIP) → Case over this master
+/// makes a proven ER009 conflict: for City=HZ the broad modal is "flu"
+/// (2–1) but pinning ZIP=31200 prescribes "patient".
+const CONFLICT_MASTER: &[(&str, &str, &str)] = &[
+    ("HZ", "31200", "patient"),
+    ("HZ", "99999", "flu"),
+    ("HZ", "99999", "flu"),
+];
 
 fn server(config: ServeConfig) -> Server {
     let task = covid_task();
@@ -273,7 +320,8 @@ fn reload_updates_the_maintenance_counters() {
     let engine = RepairEngine::new(&task, rules, 0).unwrap();
     let reload_task = covid_task();
     let s = Server::new(engine, ServeConfig::default()).with_reloader(Box::new(move || {
-        RepairEngine::new(&reload_task, Vec::new(), 0).map_err(|e| e.to_string())
+        RepairEngine::new(&reload_task, Vec::new(), 0)
+            .map_err(|e| ReloadError::Failed(e.to_string()))
     }));
     let responses = session(&s, "{\"op\":\"reload\"}\n{\"op\":\"stats\"}\n");
     assert!(ok(&responses[0]));
@@ -297,7 +345,8 @@ fn reload_swaps_the_engine() {
     let engine = RepairEngine::new(&task, rules, 0).unwrap();
     let reload_task = covid_task();
     let s = Server::new(engine, ServeConfig::default()).with_reloader(Box::new(move || {
-        RepairEngine::new(&reload_task, Vec::new(), 0).map_err(|e| e.to_string())
+        RepairEngine::new(&reload_task, Vec::new(), 0)
+            .map_err(|e| ReloadError::Failed(e.to_string()))
     }));
     let responses = session(
         &s,
@@ -317,4 +366,154 @@ fn eof_ends_the_session_after_answering_everything() {
     let responses = session(&s, "{\"op\":\"ping\"}\n{\"op\":\"ping\"}");
     assert_eq!(responses.len(), 2);
     assert!(responses.iter().all(ok));
+}
+
+#[test]
+fn conflicting_reload_is_rejected_and_the_old_engine_keeps_serving() {
+    // The live engine holds the clean single rule City → Case; the reloader
+    // offers a set whose strict-subset pair contradicts on a master tuple.
+    let task = covid3_task(CONFLICT_MASTER);
+    let rules = vec![EditingRule::new(vec![(0, 0)], (2, 2), vec![])];
+    let engine = RepairEngine::new(&task, rules, 0).unwrap();
+    let reload_task = covid3_task(CONFLICT_MASTER);
+    let s = Server::new(engine, ServeConfig::default()).with_reloader(Box::new(move || {
+        let rules = vec![
+            EditingRule::new(vec![(0, 0)], (2, 2), vec![]),
+            EditingRule::new(vec![(0, 0), (1, 1)], (2, 2), vec![]),
+        ];
+        RepairEngine::new(&reload_task, rules, 0).map_err(|e| ReloadError::Failed(e.to_string()))
+    }));
+    let responses = session(
+        &s,
+        "{\"op\":\"reload\"}\n\
+         {\"op\":\"repair\",\"rows\":[[\"HZ\",null,null]]}\n\
+         {\"op\":\"stats\"}\n",
+    );
+    let reject = &responses[0];
+    assert!(!ok(reject), "{reject:?}");
+    assert!(error_of(reject).contains("static analysis"), "{reject:?}");
+    assert_eq!(reject.get("rejected"), Some(&Json::Bool(true)));
+    assert_eq!(num(reject, "errors"), 1);
+    let findings = reject.get("findings").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        findings[0].get("code").and_then(Json::as_str),
+        Some("ER009"),
+        "{findings:?}"
+    );
+    // The previous engine still serves: HZ repairs to the broad modal "flu".
+    let repair = &responses[1];
+    assert!(ok(repair), "{repair:?}");
+    assert_eq!(repair.get("fixed"), Some(&Json::Int(1)));
+    let cells = repair.get("cells").and_then(Json::as_array).unwrap();
+    assert_eq!(cells[0].get("value").and_then(Json::as_str), Some("flu"));
+    let stats = responses[2].get("stats").unwrap();
+    assert_eq!(num(stats, "rejected"), 1);
+    assert_eq!(num(stats, "reloads"), 0);
+}
+
+#[test]
+fn conflict_inducing_append_is_rejected_without_committing() {
+    // Both rules are clean over the starting master (every HZ key agrees on
+    // "patient"); the appended rows would flip the narrow (City, ZIP) modal
+    // to "flu" while leaving the broad City modal at "patient".
+    let task = covid3_task(&[("HZ", "1", "patient"), ("HZ", "2", "patient")]);
+    let rules = vec![
+        EditingRule::new(vec![(0, 0)], (2, 2), vec![]),
+        EditingRule::new(vec![(0, 0), (1, 1)], (2, 2), vec![]),
+    ];
+    let s = Server::new(
+        RepairEngine::new(&task, rules, 0).unwrap(),
+        ServeConfig::default(),
+    );
+    let responses = session(
+        &s,
+        "{\"op\":\"append\",\"rows\":[[\"HZ\",\"2\",\"flu\"],[\"HZ\",\"2\",\"flu\"]]}\n\
+         {\"op\":\"stats\"}\n\
+         {\"op\":\"repair\",\"rows\":[[\"HZ\",null,null]]}\n",
+    );
+    let reject = &responses[0];
+    assert!(!ok(reject), "{reject:?}");
+    assert_eq!(reject.get("rejected"), Some(&Json::Bool(true)));
+    assert_eq!(reject.get("op").and_then(Json::as_str), Some("append"));
+    let stats = responses[1].get("stats").unwrap();
+    // Nothing was committed: no append counted, generation still load-time.
+    assert_eq!(num(stats, "appends"), 0);
+    assert_eq!(num(stats, "rejected"), 1);
+    assert_eq!(num(stats, "engine_generation"), 2);
+    // And the engine still serves from the unmodified master.
+    let repair = &responses[2];
+    assert!(ok(repair), "{repair:?}");
+    let cells = repair.get("cells").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        cells[0].get("value").and_then(Json::as_str),
+        Some("patient")
+    );
+}
+
+#[test]
+fn cyclic_rule_file_is_rejected_by_the_gated_loader() {
+    // A multi-target document with a City ↔ ZIP dependency cycle: the gated
+    // loader diagnoses ER008 before single-target resolution can even
+    // complain about the mixed targets.
+    let task = covid3_task(CONFLICT_MASTER);
+    let json = r#"[
+        {"lhs": [["City", "City"]], "target": ["ZIP", "ZIP"], "pattern": [], "measures": null},
+        {"lhs": [["ZIP", "ZIP"]], "target": ["City", "City"], "pattern": [], "measures": null}
+    ]"#;
+    let err = RepairEngine::from_json_gated(&task, json, 0).unwrap_err();
+    let er_serve::EngineError::Analysis(report) = err else {
+        panic!("expected an analysis rejection, got {err}");
+    };
+    assert!(!report.termination.certified);
+    assert!(report.termination.cycle.is_some());
+
+    // Over the reload path the rejection is a typed protocol response and
+    // the live engine survives.
+    let rules = vec![EditingRule::new(vec![(0, 0)], (2, 2), vec![])];
+    let engine = RepairEngine::new(&task, rules, 0).unwrap();
+    let reload_task = covid3_task(CONFLICT_MASTER);
+    let json_owned = json.to_string();
+    let s = Server::new(engine, ServeConfig::default()).with_reloader(Box::new(move || {
+        RepairEngine::from_json_gated(&reload_task, &json_owned, 0).map_err(|e| match e {
+            er_serve::EngineError::Analysis(report) => ReloadError::Analysis(report),
+            other => ReloadError::Failed(other.to_string()),
+        })
+    }));
+    let responses = session(
+        &s,
+        "{\"op\":\"reload\"}\n{\"op\":\"repair\",\"rows\":[[\"HZ\",null,null]]}\n",
+    );
+    let reject = &responses[0];
+    assert!(!ok(reject), "{reject:?}");
+    assert_eq!(reject.get("rejected"), Some(&Json::Bool(true)));
+    assert_eq!(reject.get("certified"), Some(&Json::Bool(false)));
+    let findings = reject.get("findings").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        findings[0].get("code").and_then(Json::as_str),
+        Some("ER008"),
+        "{findings:?}"
+    );
+    assert!(ok(&responses[1]), "{responses:?}");
+}
+
+#[test]
+fn disabling_the_gate_lets_a_conflicting_append_through() {
+    let task = covid3_task(&[("HZ", "1", "patient"), ("HZ", "2", "patient")]);
+    let rules = vec![
+        EditingRule::new(vec![(0, 0)], (2, 2), vec![]),
+        EditingRule::new(vec![(0, 0), (1, 1)], (2, 2), vec![]),
+    ];
+    let s = Server::new(
+        RepairEngine::new(&task, rules, 0).unwrap(),
+        ServeConfig {
+            analysis_gate: false,
+            ..ServeConfig::default()
+        },
+    );
+    let responses = session(
+        &s,
+        "{\"op\":\"append\",\"rows\":[[\"HZ\",\"2\",\"flu\"],[\"HZ\",\"2\",\"flu\"]]}\n",
+    );
+    assert!(ok(&responses[0]), "{responses:?}");
+    assert_eq!(num(&responses[0], "appended"), 2);
 }

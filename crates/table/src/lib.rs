@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # er-table — relational substrate for editing-rule discovery
 //!
 //! This crate provides the in-memory relational layer every other crate in the

@@ -10,6 +10,14 @@
 set -euo pipefail
 cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
 
+echo "==> unsafe_code forbid audit (every workspace crate)"
+for f in src/lib.rs crates/*/src/lib.rs; do
+    if ! head -1 "$f" | grep -q '#!\[forbid(unsafe_code)\]'; then
+        echo "error: $f does not start with #![forbid(unsafe_code)]"
+        exit 1
+    fi
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -30,6 +38,21 @@ ER_THREADS=4 cargo test -p er-incr -q
 
 echo "==> experiments lint examples/figure1_rules.json"
 cargo run -p er-bench --bin experiments -- lint examples/figure1_rules.json
+
+echo "==> experiments analyze examples/figure1_rules.json (certified, exit 0)"
+cargo run -p er-bench --bin experiments -- analyze examples/figure1_rules.json
+
+echo "==> experiments analyze examples/cyclic_rules.json (ER008, exit 1)"
+rc=0
+cargo run -p er-bench --bin experiments -- analyze examples/cyclic_rules.json \
+    --out results/analyze-cyclic.json || rc=$?
+[[ "$rc" == 1 ]]
+
+echo "==> experiments analyze examples/conflicting_rules.json (ER009, exit 1)"
+rc=0
+cargo run -p er-bench --bin experiments -- analyze examples/conflicting_rules.json \
+    --out results/analyze-conflicting.json || rc=$?
+[[ "$rc" == 1 ]]
 
 echo "==> er-serve pipe-mode smoke"
 smoke=$(printf '%s\n' \

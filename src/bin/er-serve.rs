@@ -5,7 +5,9 @@
 //! JSON repair protocol over stdin/stdout (default) or a TCP socket
 //! (`--tcp ADDR`). See DESIGN.md §10 for the protocol grammar.
 
-use er_serve::{serve_pipe, RepairEngine, ServeConfig, Server, TcpServer};
+use er_serve::{
+    serve_pipe, EngineError, ReloadError, RepairEngine, ServeConfig, Server, TcpServer,
+};
 use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
 use std::time::Duration;
@@ -30,6 +32,9 @@ tuning:
   --max-line-bytes N max request line length (default 1048576)
   --workers N        TCP connection workers (default 4)
   --log-every N      stderr metrics line every N requests (default 0 = off)
+  --no-analysis-gate load, reload and append without the er-analyze gate
+                     (default: rule sets with an ER008 dependency cycle or
+                     an ER009 conflict are refused; stats counts rejected)
 protocol (one JSON object per line):
   {\"op\":\"ping\"} | {\"op\":\"stats\"} | {\"op\":\"reload\"} | {\"op\":\"shutdown\"}
   {\"op\":\"repair\",\"rows\":[[cell,...],...]}   cells in input-schema order
@@ -85,6 +90,7 @@ fn parse_args() -> Args {
             }
             "--workers" => args.config.workers = need_num(&mut it, "--workers"),
             "--log-every" => args.config.log_every = need_num(&mut it, "--log-every"),
+            "--no-analysis-gate" => args.config.analysis_gate = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -158,8 +164,18 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let engine = match RepairEngine::from_json(&task, &json, args.threads) {
+    let load = if args.config.analysis_gate {
+        RepairEngine::from_json_gated(&task, &json, args.threads)
+    } else {
+        RepairEngine::from_json(&task, &json, args.threads)
+    };
+    let engine = match load {
         Ok(e) => e,
+        Err(EngineError::Analysis(report)) => {
+            eprintln!("error: rule set rejected by static analysis");
+            eprint!("{}", report.render_text());
+            std::process::exit(1);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -174,9 +190,19 @@ fn main() {
     );
     let reload_task = task.clone();
     let threads = args.threads;
+    let gated = args.config.analysis_gate;
     let server = Server::new(engine, args.config.clone()).with_reloader(Box::new(move || {
-        let json = std::fs::read_to_string(&rules_path).map_err(|e| e.to_string())?;
-        RepairEngine::from_json(&reload_task, &json, threads).map_err(|e| e.to_string())
+        let json =
+            std::fs::read_to_string(&rules_path).map_err(|e| ReloadError::Failed(e.to_string()))?;
+        let load = if gated {
+            RepairEngine::from_json_gated(&reload_task, &json, threads)
+        } else {
+            RepairEngine::from_json(&reload_task, &json, threads)
+        };
+        load.map_err(|e| match e {
+            EngineError::Analysis(report) => ReloadError::Analysis(report),
+            other => ReloadError::Failed(other.to_string()),
+        })
     }));
 
     match &args.tcp {

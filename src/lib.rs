@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # erminer — discovering editing rules by deep reinforcement learning
 //!
 //! A complete Rust implementation of the ICDE 2023 paper *"Discovering
