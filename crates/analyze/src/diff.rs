@@ -1,0 +1,913 @@
+//! Edit-scope diff pass: what a rule-set *change* does to repair verdicts.
+//!
+//! The other passes judge one rule set; this one treats a pair of versions
+//! `(old, new)` as the unit of analysis and computes the change's **edit
+//! scope** against the live master: the set of master-derived LHS code
+//! signatures whose repair verdict (the certainty-score vote's prescribed
+//! value, or no-fix) differs between the versions.
+//!
+//! The scope is derived symbolically rather than by replaying both versions
+//! over concrete input data:
+//!
+//! 1. **Delta.** The versions are compared structurally (multiset of
+//!    canonicalized rules). Only rules whose multiplicity differs — the
+//!    *changed* rules — can move any vote; identical versions certify as
+//!    equivalent without touching the master.
+//! 2. **Pruning.** Changed rules that are statically dead against the
+//!    master's per-column [`er_table::ColumnStats`] (the ER010 argument: an
+//!    all-NULL LHS/target column, or an LHS-pinned pattern outside the
+//!    master domain) are dropped — they cannot fire in either version.
+//! 3. **Signatures.** A repair verdict for a tuple depends only on the
+//!    tuple's projection onto the attributes the target group's rules read
+//!    (LHS and pattern attributes). The rows *the master can produce* —
+//!    `t[A] = t_m[M(A)]` through the schema match, NULL where unmatched —
+//!    therefore collapse into finitely many signatures, one group per
+//!    distinct projection. Each group keeps its first master row as witness.
+//! 4. **Verdicts.** Only signatures where some changed rule can fire are
+//!    candidates (everywhere else the versions' vote tables are identical
+//!    by construction). For each candidate the vote of §V-B2 is folded in
+//!    rule order under both versions; a differing winner (or a prescription
+//!    appearing/disappearing) is one [`VerdictChange`] — ER011, Info.
+//!
+//! When the caller declares an [`EditScope`] — the region where verdicts are
+//! *allowed* to change — every change outside it is a behavior-preservation
+//! violation, ER012 (Error): the model-editing discipline of scoped edits
+//! (edit success inside the scope, behavior preservation outside).
+//!
+//! An empty diff yields an **equivalence certificate**: the two versions are
+//! repair-identical on every row the master can produce. Rows no master
+//! tuple induces (foreign key combinations, non-NULL values on unmatched
+//! attributes) are outside the certified universe.
+//!
+//! Candidate signatures fan out over [`er_par::WorkerPool::map`]; votes fold
+//! sequentially per signature, so the report is byte-identical at any
+//! thread count.
+
+use crate::reach::{self, MasterProfile};
+use crate::AnalyzeConfig;
+use er_lint::{DiagCode, Finding, Severity};
+use er_par::WorkerPool;
+use er_rules::io::PortableRule;
+use er_rules::{from_portable, EditingRule, SchemaMatch, TargetRules, Task};
+use er_table::{AttrId, Code, GroupIndex, Relation, Schema, NULL_CODE};
+use serde::Serialize;
+use serde_json::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A caller-declared edit scope: the region of signature space where the
+/// change is *expected* to alter verdicts. A signature is in scope iff it
+/// matches at least one pattern; each pattern is a conjunction of
+/// `(input attribute name, rendered value)` equalities.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EditScope {
+    /// The alternative patterns (disjunction of conjunctions).
+    pub patterns: Vec<Vec<(String, String)>>,
+}
+
+impl EditScope {
+    /// A scope with no patterns (matches nothing — every change violates it).
+    pub fn new(patterns: Vec<Vec<(String, String)>>) -> Self {
+        EditScope { patterns }
+    }
+
+    /// Whether a rendered signature lies inside the scope.
+    pub fn contains(&self, signature: &[(String, String)]) -> bool {
+        self.patterns.iter().any(|pat| {
+            pat.iter()
+                .all(|(a, v)| signature.iter().any(|(sa, sv)| sa == a && sv == v))
+        })
+    }
+
+    /// Parse a scope from JSON: an array of objects (or one object), each
+    /// object one conjunction, e.g. `[{"City":"HZ"},{"Date":"2021-12"}]`.
+    pub fn from_json_value(value: &Value) -> Result<Self, String> {
+        let objects: Vec<&Value> = match value {
+            Value::Array(items) => items.iter().collect(),
+            Value::Object(_) => vec![value],
+            _ => return Err("scope must be an object or an array of objects".to_string()),
+        };
+        let mut patterns = Vec::with_capacity(objects.len());
+        for obj in objects {
+            let Value::Object(fields) = obj else {
+                return Err("each scope pattern must be an object".to_string());
+            };
+            let mut pat = Vec::with_capacity(fields.len());
+            for (attr, v) in fields {
+                let rendered = match v {
+                    Value::Str(s) => s.clone(),
+                    Value::Int(i) => i.to_string(),
+                    Value::UInt(u) => u.to_string(),
+                    _ => {
+                        return Err(format!(
+                            "scope value for {attr:?} must be a string or integer"
+                        ))
+                    }
+                };
+                pat.push((attr.clone(), rendered));
+            }
+            patterns.push(pat);
+        }
+        Ok(EditScope { patterns })
+    }
+
+    /// Parse a scope from JSON text (see [`EditScope::from_json_value`]).
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let value: Value =
+            serde_json::from_str(json).map_err(|e| format!("malformed scope JSON: {e}"))?;
+        Self::from_json_value(&value)
+    }
+}
+
+/// One master-derived signature whose repair verdict differs between the
+/// two versions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerdictChange {
+    /// The target attribute `Y` whose verdict changed.
+    pub target: String,
+    /// The signature: the non-NULL pinned values, as
+    /// `(input attribute name, rendered value)` sorted by attribute.
+    pub signature: Vec<(String, String)>,
+    /// The witness: the first master row inducing this signature.
+    pub master_row: usize,
+    /// The witness row, rendered cell by cell.
+    pub master_tuple: Vec<String>,
+    /// How many master rows induce this signature.
+    pub rows: usize,
+    /// The old version's prescription (`None` = no rule fires).
+    pub old: Option<String>,
+    /// The new version's prescription (`None` = no rule fires).
+    pub new: Option<String>,
+    /// Whether the change lies inside the declared edit scope (`true` when
+    /// no scope was declared).
+    pub in_scope: bool,
+}
+
+impl VerdictChange {
+    /// `City=SZ, ZIP=51800, ...` — the signature in display form.
+    pub fn signature_display(&self) -> String {
+        self.signature
+            .iter()
+            .map(|(a, v)| format!("{a}={v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// The outcome of diffing two rule-set versions against a master.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Rules in the old version.
+    pub old_rules: usize,
+    /// Rules in the new version.
+    pub new_rules: usize,
+    /// Rules present in both versions (multiset intersection).
+    pub shared: usize,
+    /// Rules only the new version has.
+    pub added: usize,
+    /// Rules only the old version has.
+    pub removed: usize,
+    /// Changed rules skipped because they are statically dead against the
+    /// master column stats (they cannot fire in either version).
+    pub pruned: usize,
+    /// Master rows the diff ran against.
+    pub master_rows: usize,
+    /// Master generation the diff ran against.
+    pub generation: u64,
+    /// Distinct master-derived signatures across all diffed target groups.
+    pub signatures: usize,
+    /// Signatures where a changed rule could fire (verdicts recomputed).
+    pub candidates: usize,
+    /// Whether the caller declared an edit scope.
+    pub scope_declared: bool,
+    /// Every verdict-changed signature, in master-row order per target.
+    pub changes: Vec<VerdictChange>,
+    /// ER011 per change, ER012 per out-of-scope change; `rule` indexes into
+    /// [`DiffReport::changes`].
+    pub findings: Vec<Finding>,
+}
+
+impl DiffReport {
+    /// Whether the diff is empty: the versions are repair-identical on every
+    /// row the master can produce.
+    pub fn equivalent(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of error-severity findings (ER012 violations).
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of info-severity findings (ER011 verdict changes).
+    pub fn infos(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Info)
+            .count()
+    }
+
+    /// Whether a promotion gate should accept the change: no
+    /// behavior-preservation violation (verdict changes inside the declared
+    /// scope — or with no scope declared — are informational).
+    pub fn gate_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// The equivalence certificate, when the diff is empty.
+    pub fn certificate(&self) -> Option<String> {
+        if !self.equivalent() {
+            return None;
+        }
+        Some(if self.added == 0 && self.removed == 0 {
+            format!(
+                "equivalence: CERTIFIED — the versions are structurally identical \
+                 ({} shared rule{}); repair-identical on every row the master can produce",
+                self.shared,
+                plural(self.shared),
+            )
+        } else {
+            format!(
+                "equivalence: CERTIFIED — {} added / {} removed rule{} leave every repair \
+                 verdict unchanged across {} signature{} over {} master row{} (generation {}); \
+                 the versions are repair-identical on every row the master can produce",
+                self.added,
+                self.removed,
+                plural(self.added + self.removed),
+                self.signatures,
+                plural(self.signatures),
+                self.master_rows,
+                plural(self.master_rows),
+                self.generation,
+            )
+        })
+    }
+
+    /// Render the report as text.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "diff: {} -> {} rule{} ({} shared, {} added, {} removed, {} pruned as dead); \
+             master: {} row{} (generation {})",
+            self.old_rules,
+            self.new_rules,
+            plural(self.new_rules),
+            self.shared,
+            self.added,
+            self.removed,
+            self.pruned,
+            self.master_rows,
+            plural(self.master_rows),
+            self.generation,
+        );
+        match self.certificate() {
+            Some(cert) => {
+                let _ = writeln!(out, "{cert}");
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "edit scope: {} of {} signature{} change{} their repair verdict \
+                     ({} candidate{} recomputed{})",
+                    self.changes.len(),
+                    self.signatures,
+                    plural(self.signatures),
+                    if self.changes.len() == 1 { "s" } else { "" },
+                    self.candidates,
+                    plural(self.candidates),
+                    if self.scope_declared {
+                        "; edit scope declared"
+                    } else {
+                        ""
+                    },
+                );
+                for (i, c) in self.changes.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "  [{}] {} @ {{{}}}: {} -> {} ({} master row{}; witness row {}: {}){}",
+                        i,
+                        c.target,
+                        c.signature_display(),
+                        render_verdict(&c.old),
+                        render_verdict(&c.new),
+                        c.rows,
+                        plural(c.rows),
+                        c.master_row,
+                        c.master_tuple.join(", "),
+                        if c.in_scope { "" } else { " [OUT OF SCOPE]" },
+                    );
+                }
+            }
+        }
+        out.push('\n');
+        for f in &self.findings {
+            let _ = writeln!(out, "{}[{}]: {}", f.severity, f.code, f.message);
+            let _ = writeln!(out, "  --> change #{}: {}", f.rule, f.span);
+            if let Some(note) = &f.note {
+                let _ = writeln!(out, "  = note: {note}");
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "diff: {} verdict change{}, {} error{}, {} info{}",
+            self.changes.len(),
+            plural(self.changes.len()),
+            self.errors(),
+            plural(self.errors()),
+            self.infos(),
+            plural(self.infos()),
+        );
+        out
+    }
+
+    /// Render the full report as JSON.
+    pub fn render_json(&self) -> String {
+        // A pure value tree; serialization is infallible by construction.
+        #[allow(clippy::expect_used)]
+        serde_json::to_string_pretty(self).expect("diff report serializes")
+    }
+}
+
+fn render_verdict(v: &Option<String>) -> String {
+    match v {
+        Some(value) => format!("{value:?}"),
+        None => "no fix".to_string(),
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+impl Serialize for VerdictChange {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("target".to_string(), Value::Str(self.target.clone())),
+            (
+                "signature".to_string(),
+                Value::Object(
+                    self.signature
+                        .iter()
+                        .map(|(a, v)| (a.clone(), Value::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            ("master_row".to_string(), Value::Int(self.master_row as i64)),
+            (
+                "master_tuple".to_string(),
+                Value::Array(
+                    self.master_tuple
+                        .iter()
+                        .map(|v| Value::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+            ("rows".to_string(), Value::Int(self.rows as i64)),
+            (
+                "old".to_string(),
+                match &self.old {
+                    Some(v) => Value::Str(v.clone()),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "new".to_string(),
+                match &self.new {
+                    Some(v) => Value::Str(v.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("in_scope".to_string(), Value::Bool(self.in_scope)),
+        ])
+    }
+}
+
+impl Serialize for DiffReport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("old_rules".to_string(), Value::Int(self.old_rules as i64)),
+            ("new_rules".to_string(), Value::Int(self.new_rules as i64)),
+            ("shared".to_string(), Value::Int(self.shared as i64)),
+            ("added".to_string(), Value::Int(self.added as i64)),
+            ("removed".to_string(), Value::Int(self.removed as i64)),
+            ("pruned".to_string(), Value::Int(self.pruned as i64)),
+            (
+                "master_rows".to_string(),
+                Value::Int(self.master_rows as i64),
+            ),
+            ("generation".to_string(), Value::Int(self.generation as i64)),
+            ("signatures".to_string(), Value::Int(self.signatures as i64)),
+            ("candidates".to_string(), Value::Int(self.candidates as i64)),
+            (
+                "scope_declared".to_string(),
+                Value::Bool(self.scope_declared),
+            ),
+            ("equivalent".to_string(), Value::Bool(self.equivalent())),
+            (
+                "certificate".to_string(),
+                match self.certificate() {
+                    Some(c) => Value::Str(c),
+                    None => Value::Null,
+                },
+            ),
+            ("errors".to_string(), Value::Int(self.errors() as i64)),
+            ("infos".to_string(), Value::Int(self.infos() as i64)),
+            (
+                "changes".to_string(),
+                Value::Array(self.changes.iter().map(Serialize::to_value).collect()),
+            ),
+            (
+                "findings".to_string(),
+                Value::Array(self.findings.iter().map(Serialize::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+/// One target group's worth of diff work.
+struct GroupPlan<'a> {
+    ym: AttrId,
+    y_name: String,
+    old: Vec<&'a EditingRule>,
+    new: Vec<&'a EditingRule>,
+    /// Distinct changed (added or removed) rules that survived pruning.
+    changed: Vec<&'a EditingRule>,
+    /// Sorted distinct input attributes the group's rules read.
+    sig_attrs: Vec<AttrId>,
+}
+
+/// A signature group: the projected codes, the witness row, the row count.
+struct SigGroup {
+    codes: Vec<Code>,
+    first_row: usize,
+    rows: usize,
+}
+
+/// Diff two resolved multi-target rule-set versions against a master.
+///
+/// `matching` supplies the schema match the master "produces" input rows
+/// through; `scope` is the caller-declared edit scope (`None` = undeclared:
+/// every change is informational ER011, never ER012).
+///
+/// # Panics
+/// Panics if a rule's target differs from its [`TargetRules::target`].
+pub fn diff(
+    input_schema: &Arc<Schema>,
+    master: &Relation,
+    matching: &SchemaMatch,
+    old: &[TargetRules],
+    new: &[TargetRules],
+    scope: Option<&EditScope>,
+    config: &AnalyzeConfig,
+) -> DiffReport {
+    for t in old.iter().chain(new) {
+        for r in &t.rules {
+            assert_eq!(r.target(), t.target, "rule target mismatch in TargetRules");
+        }
+    }
+    let pool = WorkerPool::new(er_par::resolve_threads(config.threads));
+    let old_rules: usize = old.iter().map(|t| t.rules.len()).sum();
+    let new_rules: usize = new.iter().map(|t| t.rules.len()).sum();
+
+    // Union of targets, in first-appearance order (old first, then new).
+    let mut targets: Vec<(AttrId, AttrId)> = Vec::new();
+    for t in old.iter().chain(new) {
+        if !targets.contains(&t.target) {
+            targets.push(t.target);
+        }
+    }
+
+    let profile = MasterProfile::new(master);
+    let mut shared = 0usize;
+    let mut added = 0usize;
+    let mut removed = 0usize;
+    let mut pruned = 0usize;
+    let mut plans: Vec<GroupPlan<'_>> = Vec::new();
+    for &target in &targets {
+        let old_group: Vec<&EditingRule> = old
+            .iter()
+            .filter(|t| t.target == target)
+            .flat_map(|t| t.rules.iter())
+            .collect();
+        let new_group: Vec<&EditingRule> = new
+            .iter()
+            .filter(|t| t.target == target)
+            .flat_map(|t| t.rules.iter())
+            .collect();
+        // Multiset delta: a rule's vote weight is its multiplicity, so a
+        // multiplicity change is a change.
+        let mut counts: HashMap<&EditingRule, (usize, usize)> = HashMap::new();
+        let mut order: Vec<&EditingRule> = Vec::new();
+        for &r in &old_group {
+            if !counts.contains_key(r) {
+                order.push(r);
+            }
+            counts.entry(r).or_insert((0, 0)).0 += 1;
+        }
+        for &r in &new_group {
+            if !counts.contains_key(r) {
+                order.push(r);
+            }
+            counts.entry(r).or_insert((0, 0)).1 += 1;
+        }
+        let mut changed: Vec<&EditingRule> = Vec::new();
+        for &r in &order {
+            let (o, n) = counts[r];
+            shared += o.min(n);
+            added += n.saturating_sub(o);
+            removed += o.saturating_sub(n);
+            if o != n {
+                // A statically dead rule cannot fire in either version, so
+                // its multiplicity cannot move any vote.
+                if reach::dead_reason(input_schema, master, &profile, target.1, r).is_some() {
+                    pruned += 1;
+                } else {
+                    changed.push(r);
+                }
+            }
+        }
+        if changed.is_empty() {
+            continue;
+        }
+        let mut sig_attrs: Vec<AttrId> = Vec::new();
+        for r in old_group.iter().chain(&new_group) {
+            for a in r.x().into_iter().chain(r.pattern_attrs()) {
+                if !sig_attrs.contains(&a) {
+                    sig_attrs.push(a);
+                }
+            }
+        }
+        sig_attrs.sort_unstable();
+        plans.push(GroupPlan {
+            ym: target.1,
+            y_name: input_schema.attr(target.0).name.clone(),
+            old: old_group,
+            new: new_group,
+            changed,
+            sig_attrs,
+        });
+    }
+
+    let mut signatures = 0usize;
+    let mut candidates = 0usize;
+    let mut changes: Vec<VerdictChange> = Vec::new();
+    for plan in &plans {
+        // One warm index per distinct X_m list across both versions.
+        let mut indexes: HashMap<Vec<AttrId>, GroupIndex> = HashMap::new();
+        for r in plan.old.iter().chain(&plan.new) {
+            indexes
+                .entry(r.xm())
+                .or_insert_with(|| GroupIndex::build(master, &r.xm(), plan.ym));
+        }
+        // The master column feeding each signature attribute through the
+        // schema match (`None` = unmatched, the induced cell is NULL).
+        let feeds: Vec<Option<AttrId>> = plan
+            .sig_attrs
+            .iter()
+            .map(|&a| matching.of(a).first().copied())
+            .collect();
+        // Group master rows by their induced signature, first row wins.
+        let mut by_codes: HashMap<Vec<Code>, usize> = HashMap::new();
+        let mut groups: Vec<SigGroup> = Vec::new();
+        for row in 0..master.num_rows() {
+            let codes: Vec<Code> = feeds
+                .iter()
+                .map(|am| am.map_or(NULL_CODE, |am| master.code(row, am)))
+                .collect();
+            match by_codes.get(&codes) {
+                Some(&g) => groups[g].rows += 1,
+                None => {
+                    by_codes.insert(codes.clone(), groups.len());
+                    groups.push(SigGroup {
+                        codes,
+                        first_row: row,
+                        rows: 1,
+                    });
+                }
+            }
+        }
+        signatures += groups.len();
+        let candidate_groups: Vec<&SigGroup> = groups
+            .iter()
+            .filter(|g| {
+                plan.changed
+                    .iter()
+                    .any(|r| fires(r, &plan.sig_attrs, &g.codes, master, &indexes))
+            })
+            .collect();
+        candidates += candidate_groups.len();
+        // Verdicts fan out per candidate signature; the two folds inside are
+        // sequential in rule order, so the outcome is thread-count-invariant.
+        // A changed signature yields (witness row, old verdict, new verdict).
+        type VerdictDiff = Option<(usize, Option<Code>, Option<Code>)>;
+        let diffs: Vec<VerdictDiff> = pool.map(&candidate_groups, |g| {
+            let old = verdict(&plan.old, &plan.sig_attrs, &g.codes, master, &indexes);
+            let new = verdict(&plan.new, &plan.sig_attrs, &g.codes, master, &indexes);
+            (old != new).then_some((g.first_row, old, new))
+        });
+        for (g, d) in candidate_groups.iter().zip(diffs) {
+            let Some((witness, old_v, new_v)) = d else {
+                continue;
+            };
+            let render =
+                |code: Option<Code>| code.map(|c| master.pool().value(c).render().into_owned());
+            let signature: Vec<(String, String)> = plan
+                .sig_attrs
+                .iter()
+                .zip(&g.codes)
+                .filter(|&(_, &c)| c != NULL_CODE)
+                .map(|(&a, &c)| {
+                    (
+                        input_schema.attr(a).name.clone(),
+                        master.pool().value(c).render().into_owned(),
+                    )
+                })
+                .collect();
+            let in_scope = scope.is_none_or(|s| s.contains(&signature));
+            changes.push(VerdictChange {
+                target: plan.y_name.clone(),
+                signature,
+                master_row: witness,
+                master_tuple: (0..master.schema().arity())
+                    .map(|a| master.value(witness, a).render().into_owned())
+                    .collect(),
+                rows: g.rows,
+                old: render(old_v),
+                new: render(new_v),
+                in_scope,
+            });
+        }
+    }
+
+    let findings = build_diff_findings(&changes, scope.is_some());
+    DiffReport {
+        old_rules,
+        new_rules,
+        shared,
+        added,
+        removed,
+        pruned,
+        master_rows: master.num_rows(),
+        generation: master.generation(),
+        signatures,
+        candidates,
+        scope_declared: scope.is_some(),
+        changes,
+        findings,
+    }
+}
+
+/// Whether `rule` can fire on a signature: pattern satisfied on the induced
+/// values, LHS key fully non-NULL, and the key's master group holds at least
+/// one non-NULL target value to copy.
+fn fires(
+    rule: &EditingRule,
+    sig_attrs: &[AttrId],
+    codes: &[Code],
+    master: &Relation,
+    indexes: &HashMap<Vec<AttrId>, GroupIndex>,
+) -> bool {
+    contribution_total(rule, sig_attrs, codes, master, indexes) > 0
+}
+
+/// The non-NULL distribution mass `rule` would vote with on a signature
+/// (0 = the rule does not fire there).
+fn contribution_total(
+    rule: &EditingRule,
+    sig_attrs: &[AttrId],
+    codes: &[Code],
+    master: &Relation,
+    indexes: &HashMap<Vec<AttrId>, GroupIndex>,
+) -> u32 {
+    let code_of = |a: AttrId| -> Code {
+        match sig_attrs.binary_search(&a) {
+            Ok(pos) => codes[pos],
+            Err(_) => NULL_CODE,
+        }
+    };
+    for cond in rule.pattern() {
+        let c = code_of(cond.attr);
+        let numeric = (c != NULL_CODE)
+            .then(|| master.pool().value(c).as_f64())
+            .flatten();
+        if !cond.pred.matches(c, numeric) {
+            return 0;
+        }
+    }
+    let mut key = Vec::with_capacity(rule.lhs_len());
+    for &(a, _) in rule.lhs() {
+        let c = code_of(a);
+        if c == NULL_CODE {
+            return 0;
+        }
+        key.push(c);
+    }
+    let Some(index) = indexes.get(&rule.xm()) else {
+        return 0;
+    };
+    index
+        .get(&key)
+        .iter()
+        .filter(|&&(c, _)| c != NULL_CODE)
+        .map(|&(_, n)| n)
+        .sum()
+}
+
+/// The certainty-score vote of §V-B2 for one signature under one version:
+/// every firing rule contributes its group distribution normalized to mass
+/// 1; the winner is the maximum accumulated score, ties to the smaller code
+/// (exactly [`er_rules::apply_rules`]' fold).
+fn verdict(
+    rules: &[&EditingRule],
+    sig_attrs: &[AttrId],
+    codes: &[Code],
+    master: &Relation,
+    indexes: &HashMap<Vec<AttrId>, GroupIndex>,
+) -> Option<Code> {
+    let mut votes: Vec<(Code, f64)> = Vec::new();
+    for rule in rules {
+        let total = contribution_total(rule, sig_attrs, codes, master, indexes);
+        if total == 0 {
+            continue;
+        }
+        let code_of = |a: AttrId| -> Code {
+            match sig_attrs.binary_search(&a) {
+                Ok(pos) => codes[pos],
+                Err(_) => NULL_CODE,
+            }
+        };
+        let key: Vec<Code> = rule.lhs().iter().map(|&(a, _)| code_of(a)).collect();
+        for &(code, count) in indexes[&rule.xm()].get(&key) {
+            if code == NULL_CODE {
+                continue;
+            }
+            let delta = count as f64 / total as f64;
+            match votes.iter_mut().find(|(c, _)| *c == code) {
+                Some((_, score)) => *score += delta,
+                None => votes.push((code, delta)),
+            }
+        }
+    }
+    votes
+        .into_iter()
+        .max_by(|(ca, sa), (cb, sb)| {
+            sa.partial_cmp(sb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| cb.cmp(ca))
+        })
+        .map(|(code, _)| code)
+}
+
+/// ER011 per change, plus ER012 when a change escapes a declared scope.
+fn build_diff_findings(changes: &[VerdictChange], scope_declared: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, c) in changes.iter().enumerate() {
+        let span = format!(
+            "signature {{{}}} (target {})",
+            c.signature_display(),
+            c.target
+        );
+        findings.push(Finding {
+            code: DiagCode::Er011,
+            severity: Severity::Info,
+            rule: i,
+            related: None,
+            span: span.clone(),
+            message: format!(
+                "repair verdict changes from {} to {} on {} master row{}",
+                render_verdict(&c.old),
+                render_verdict(&c.new),
+                c.rows,
+                plural(c.rows),
+            ),
+            note: Some(format!(
+                "witness: master row {} ({})",
+                c.master_row,
+                c.master_tuple.join(", ")
+            )),
+        });
+        if scope_declared && !c.in_scope {
+            findings.push(Finding {
+                code: DiagCode::Er012,
+                severity: Severity::Error,
+                rule: i,
+                related: None,
+                span,
+                message: format!(
+                    "verdict change ({} -> {}) lies outside the declared edit scope — \
+                     behavior-preservation violation",
+                    render_verdict(&c.old),
+                    render_verdict(&c.new),
+                ),
+                note: Some(
+                    "widen the declared scope if the change is intended, or narrow the rule \
+                     edit so out-of-scope signatures keep their verdict"
+                        .to_string(),
+                ),
+            });
+        }
+    }
+    findings.sort_by_key(|f| (f.rule, f.code, f.related));
+    findings
+}
+
+/// Diff two portable rule-set versions against `task`'s master. Both
+/// documents may be multi-target; groups are diffed per resolved target.
+pub fn diff_portable(
+    old: &[PortableRule],
+    new: &[PortableRule],
+    task: &Task,
+    scope: Option<&EditScope>,
+    config: &AnalyzeConfig,
+) -> Result<DiffReport, String> {
+    let old_targets = resolve_groups(old, task, "old")?;
+    let new_targets = resolve_groups(new, task, "new")?;
+    Ok(diff(
+        task.input().schema(),
+        task.master(),
+        task.matching(),
+        &old_targets,
+        &new_targets,
+        scope,
+        config,
+    ))
+}
+
+/// Diff two rule-set JSON documents (the [`er_rules::rules_to_json`]
+/// format) against `task`'s master.
+pub fn diff_json(
+    old_json: &str,
+    new_json: &str,
+    task: &Task,
+    scope: Option<&EditScope>,
+    config: &AnalyzeConfig,
+) -> Result<DiffReport, String> {
+    let old: Vec<PortableRule> =
+        serde_json::from_str(old_json).map_err(|e| format!("old: not a rule-set document: {e}"))?;
+    let new: Vec<PortableRule> =
+        serde_json::from_str(new_json).map_err(|e| format!("new: not a rule-set document: {e}"))?;
+    diff_portable(&old, &new, task, scope, config)
+}
+
+/// Group a portable document by resolved target, resolving each rule against
+/// a per-target view of the task (the same grouping
+/// [`crate::analyze_portable`] uses).
+fn resolve_groups(
+    rules: &[PortableRule],
+    task: &Task,
+    which: &str,
+) -> Result<Vec<TargetRules>, String> {
+    let in_schema = task.input().schema();
+    let m_schema = task.master().schema();
+    let mut order: Vec<(AttrId, AttrId)> = Vec::new();
+    let mut groups: HashMap<(AttrId, AttrId), Vec<EditingRule>> = HashMap::new();
+    let mut sub_tasks: HashMap<(AttrId, AttrId), Task> = HashMap::new();
+    for (idx, p) in rules.iter().enumerate() {
+        crate::portable::precheck(idx, p).map_err(|e| format!("{which}: {e}"))?;
+        let y = in_schema.attr_id(&p.target.0).map_err(|_| {
+            format!(
+                "{which}: rule #{idx}: unknown input attribute `{}`",
+                p.target.0
+            )
+        })?;
+        let ym = m_schema.attr_id(&p.target.1).map_err(|_| {
+            format!(
+                "{which}: rule #{idx}: unknown master attribute `{}`",
+                p.target.1
+            )
+        })?;
+        let sub = sub_tasks.entry((y, ym)).or_insert_with(|| {
+            Task::new(
+                task.input().clone(),
+                task.master().clone(),
+                task.matching().clone(),
+                (y, ym),
+            )
+        });
+        let rule = from_portable(p, sub).map_err(|e| format!("{which}: rule #{idx}: {e}"))?;
+        groups
+            .entry((y, ym))
+            .or_insert_with(|| {
+                order.push((y, ym));
+                Vec::new()
+            })
+            .push(rule);
+    }
+    Ok(order
+        .into_iter()
+        .map(|t| TargetRules {
+            target: t,
+            rules: groups.remove(&t).unwrap_or_default(),
+        })
+        .collect())
+}

@@ -21,6 +21,12 @@
 //! 3. **Can every rule fire?** ([`reach`]) Rules dead against the current
 //!    master domains ([`MasterProfile`], generation-aware per-column
 //!    [`er_table::ColumnStats`]) — ER010 (Warning).
+//! 4. **What does a change do?** ([`diff`]) Given an (old, new) version
+//!    pair, the diff pass computes the **edit scope** symbolically: the
+//!    master code signatures whose repair verdict differs, each with a
+//!    concrete master-row witness — ER011 (Info) per changed signature,
+//!    ER012 (Error) when a change lands outside a caller-declared
+//!    [`EditScope`], and an equivalence certificate when nothing changes.
 //!
 //! `er-serve` gates `reload` and `append` on [`AnalysisReport::gate_clean`]
 //! (no ER008/ER009): a rejected load returns a typed NDJSON error and never
@@ -32,12 +38,14 @@
 //! count (enforced by `crates/bench/tests/par_determinism.rs`).
 
 mod conflict;
+mod diff;
 mod graph;
 mod portable;
 mod reach;
 mod report;
 
 pub use conflict::ConflictWitness;
+pub use diff::{diff, diff_json, diff_portable, DiffReport, EditScope, VerdictChange};
 pub use graph::{CycleWitness, TerminationCertificate};
 pub use portable::{analyze_json, analyze_portable};
 pub use reach::{MasterProfile, UnreachableRule};

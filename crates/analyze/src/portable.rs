@@ -90,7 +90,7 @@ pub fn analyze_json(
 
 /// Definition 1 sanity so resolving cannot panic: these are the same fatal
 /// shapes the lint layer reports as ER006.
-fn precheck(idx: usize, p: &PortableRule) -> Result<(), String> {
+pub(crate) fn precheck(idx: usize, p: &PortableRule) -> Result<(), String> {
     let ill = |what: &str| {
         Err(format!(
             "rule #{idx} is ill-formed ({what}); run `experiments lint`"

@@ -104,7 +104,7 @@ pub(crate) fn reachability_pass(
 /// to copy, and pattern conditions on LHS attributes that exclude every
 /// value the paired master column holds (for `(A, A_m)` in the LHS, a firing
 /// requires `t[A] = t_m[A_m]`, so `t[A]` is confined to `A_m`'s domain).
-fn dead_reason(
+pub(crate) fn dead_reason(
     input_schema: &Schema,
     master: &Relation,
     profile: &MasterProfile,

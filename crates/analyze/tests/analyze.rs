@@ -2,7 +2,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use er_analyze::{analyze, analyze_json, cap_finding, AnalyzeConfig};
+use er_analyze::{analyze, analyze_json, cap_finding, AnalyzeConfig, EditScope};
 use er_lint::{DiagCode, Severity};
 use er_rules::{chase, ChaseConfig, EditingRule, SchemaMatch, TargetRules, Task};
 use er_table::{Attribute, Pool, Relation, RelationBuilder, Schema, Value};
@@ -306,4 +306,249 @@ fn ill_formed_portable_rules_are_hard_errors() {
     ]"#;
     let err = analyze_json(bad_attr, &task, &AnalyzeConfig::default()).unwrap_err();
     assert!(err.contains("rule #0"), "{err}");
+}
+
+// ---- er-diff: edit-scope analysis of rule-set version pairs ----
+
+/// The Figure-1 schema match (Name and Overseas unmatched).
+fn figure1_matching() -> SchemaMatch {
+    SchemaMatch::from_pairs(9, &[(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8)])
+}
+
+/// The four Figure-1 v1 rules: City/Date/ZIP/AC each key Case, no pattern.
+fn v1_targets() -> Vec<TargetRules> {
+    vec![TargetRules {
+        target: (6, 7),
+        rules: vec![
+            EditingRule::new(vec![(1, 2)], (6, 7), vec![]),
+            EditingRule::new(vec![(7, 8)], (6, 7), vec![]),
+            EditingRule::new(vec![(2, 3)], (6, 7), vec![]),
+            EditingRule::new(vec![(3, 4)], (6, 7), vec![]),
+        ],
+    }]
+}
+
+/// v2: every v1 rule gains the pattern Date = "2021-12", so the 2021-10 and
+/// 2021-11 master signatures lose their prescription entirely.
+fn v2_targets(master: &Relation) -> Vec<TargetRules> {
+    let date = master.pool().code_of(&Value::str("2021-12")).unwrap();
+    let cond = || vec![er_rules::Condition::eq(7, date)];
+    vec![TargetRules {
+        target: (6, 7),
+        rules: vec![
+            EditingRule::new(vec![(1, 2)], (6, 7), cond()),
+            EditingRule::new(vec![(7, 8)], (6, 7), cond()),
+            EditingRule::new(vec![(2, 3)], (6, 7), cond()),
+            EditingRule::new(vec![(3, 4)], (6, 7), cond()),
+        ],
+    }]
+}
+
+#[test]
+fn identical_versions_certify_equivalence_structurally() {
+    let (in_schema, master) = figure1();
+    let v1 = v1_targets();
+    let report = er_analyze::diff(
+        &in_schema,
+        &master,
+        &figure1_matching(),
+        &v1,
+        &v1,
+        None,
+        &AnalyzeConfig::default(),
+    );
+    assert!(report.equivalent());
+    assert!(report.gate_clean());
+    assert!(report.findings.is_empty());
+    assert_eq!((report.shared, report.added, report.removed), (4, 0, 0));
+    // Structural identity short-circuits: no signatures are enumerated.
+    assert_eq!(report.candidates, 0);
+    let cert = report.certificate().expect("certificate");
+    assert!(cert.contains("CERTIFIED"), "{cert}");
+    assert!(cert.contains("structurally identical"), "{cert}");
+    assert!(report.render_text().contains("CERTIFIED"));
+    assert!(report.render_json().contains("\"equivalent\": true"));
+}
+
+#[test]
+fn narrowing_every_rule_to_one_date_changes_two_signatures() {
+    let (in_schema, master) = figure1();
+    let report = er_analyze::diff(
+        &in_schema,
+        &master,
+        &figure1_matching(),
+        &v1_targets(),
+        &v2_targets(&master),
+        None,
+        &AnalyzeConfig::default(),
+    );
+    // Three master signatures over {City, ZIP, AC, Date}: SZ/2021-10,
+    // BJ/2021-11, HZ/2021-12 (two rows). All three are candidates (the
+    // removed v1 rules fire everywhere); only the first two change verdict.
+    assert_eq!(report.signatures, 3);
+    assert_eq!(report.candidates, 3);
+    assert_eq!((report.added, report.removed, report.shared), (4, 4, 0));
+    assert!(!report.equivalent());
+    assert!(report.certificate().is_none());
+    assert_eq!(report.changes.len(), 2);
+
+    let sz = &report.changes[0];
+    assert_eq!(sz.master_row, 0);
+    assert_eq!(sz.rows, 1);
+    assert_eq!(sz.old.as_deref(), Some("contact with imports"));
+    assert_eq!(sz.new, None);
+    assert!(sz.in_scope, "no scope declared => everything in scope");
+    assert!(sz
+        .signature
+        .contains(&("City".to_string(), "SZ".to_string())));
+    assert!(sz
+        .signature
+        .contains(&("Date".to_string(), "2021-10".to_string())));
+    assert_eq!(sz.master_tuple[0], "Kevin");
+    assert_eq!(sz.master_tuple[1], "Lees");
+
+    let bj = &report.changes[1];
+    assert_eq!(bj.master_row, 1);
+    assert_eq!(bj.old.as_deref(), Some("contact with imports"));
+    assert_eq!(bj.new, None);
+    assert!(bj
+        .signature
+        .contains(&("City".to_string(), "BJ".to_string())));
+
+    // ER011 per change, Info severity: the gate stays clean without a scope.
+    assert_eq!(report.findings.len(), 2);
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.code == DiagCode::Er011 && f.severity == Severity::Info));
+    assert_eq!(report.errors(), 0);
+    assert_eq!(report.infos(), 2);
+    assert!(report.gate_clean());
+    let text = report.render_text();
+    assert!(text.contains("info[ER011]"), "{text}");
+    assert!(text.contains("witness: master row 0"), "{text}");
+}
+
+#[test]
+fn out_of_scope_changes_are_er012_errors() {
+    let (in_schema, master) = figure1();
+    // The caller declares the edit only touches Date=2021-12 signatures —
+    // but the actual changes hit 2021-10 and 2021-11.
+    let scope = EditScope::from_json(r#"[{"Date":"2021-12"}]"#).unwrap();
+    let report = er_analyze::diff(
+        &in_schema,
+        &master,
+        &figure1_matching(),
+        &v1_targets(),
+        &v2_targets(&master),
+        Some(&scope),
+        &AnalyzeConfig::default(),
+    );
+    assert_eq!(report.changes.len(), 2);
+    assert!(report.changes.iter().all(|c| !c.in_scope));
+    assert_eq!(report.errors(), 2);
+    assert_eq!(report.infos(), 2);
+    assert!(!report.gate_clean());
+    let er012: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.code == DiagCode::Er012)
+        .collect();
+    assert_eq!(er012.len(), 2);
+    assert!(er012.iter().all(|f| f.severity == Severity::Error));
+    assert!(report.render_text().contains("OUT OF SCOPE"));
+
+    // A scope that names the changed signatures keeps the gate clean.
+    let wide = EditScope::from_json(r#"[{"Date":"2021-10"},{"Date":"2021-11"}]"#).unwrap();
+    let report = er_analyze::diff(
+        &in_schema,
+        &master,
+        &figure1_matching(),
+        &v1_targets(),
+        &v2_targets(&master),
+        Some(&wide),
+        &AnalyzeConfig::default(),
+    );
+    assert_eq!(report.changes.len(), 2);
+    assert!(report.changes.iter().all(|c| c.in_scope));
+    assert_eq!(report.errors(), 0);
+    assert!(report.gate_clean());
+}
+
+#[test]
+fn statically_dead_added_rules_are_pruned_and_equivalence_holds() {
+    let (in_schema, master) = figure1();
+    let paris = master.pool().intern(Value::str("PARIS"));
+    let mut v2 = v1_targets();
+    // City=PARIS is outside the master City domain, so the added rule can
+    // never fire: ColumnStats prune it without enumerating signatures.
+    v2[0].rules.push(EditingRule::new(
+        vec![(1, 2)],
+        (6, 7),
+        vec![er_rules::Condition::eq(1, paris)],
+    ));
+    let report = er_analyze::diff(
+        &in_schema,
+        &master,
+        &figure1_matching(),
+        &v1_targets(),
+        &v2,
+        None,
+        &AnalyzeConfig::default(),
+    );
+    assert_eq!(report.added, 1);
+    assert_eq!(report.pruned, 1);
+    assert_eq!(report.candidates, 0);
+    assert!(report.equivalent());
+    let cert = report.certificate().expect("certificate");
+    assert!(cert.contains("1 added"), "{cert}");
+}
+
+#[test]
+fn diff_json_resolves_portable_documents() {
+    let (in_schema, master) = figure1();
+    let mut b = RelationBuilder::new(Arc::clone(&in_schema), Arc::clone(master.pool()));
+    b.push_row(vec![Value::Null; 9]).unwrap();
+    let input = b.finish();
+    let task = Task::new(input, master, figure1_matching(), (6, 7));
+    let v1 = r#"[
+        {"lhs": [["City", "City"]], "target": ["Case", "Case"], "pattern": [], "measures": null},
+        {"lhs": [["Date", "Date"]], "target": ["Case", "Case"], "pattern": [], "measures": null}
+    ]"#;
+    let v2 = r#"[
+        {"lhs": [["City", "City"]], "target": ["Case", "Case"],
+         "pattern": [{"Eq": {"attr": "Date", "value": "2021-12", "numeric": false}}], "measures": null},
+        {"lhs": [["Date", "Date"]], "target": ["Case", "Case"],
+         "pattern": [{"Eq": {"attr": "Date", "value": "2021-12", "numeric": false}}], "measures": null}
+    ]"#;
+    let report = er_analyze::diff_json(v1, v2, &task, None, &AnalyzeConfig::default()).unwrap();
+    assert_eq!(report.changes.len(), 2);
+    assert_eq!(report.changes[0].master_row, 0);
+    assert_eq!(report.changes[1].master_row, 1);
+    assert!(report
+        .changes
+        .iter()
+        .all(|c| c.old.as_deref() == Some("contact with imports") && c.new.is_none()));
+
+    // Identity through JSON certifies equivalence.
+    let same = er_analyze::diff_json(v1, v1, &task, None, &AnalyzeConfig::default()).unwrap();
+    assert!(same.equivalent());
+
+    let err = er_analyze::diff_json("[", v1, &task, None, &AnalyzeConfig::default()).unwrap_err();
+    assert!(err.starts_with("old:"), "{err}");
+}
+
+#[test]
+fn scope_json_rejects_malformed_documents() {
+    assert!(EditScope::from_json(r#"[{"City":"HZ"}]"#).is_ok());
+    assert!(EditScope::from_json(r#"{"City":"HZ"}"#).is_ok());
+    assert!(EditScope::from_json(r#""City""#).is_err());
+    assert!(EditScope::from_json(r#"[{"City":true}]"#).is_err());
+    let scope = EditScope::from_json(r#"[{"City":"HZ","ZIP":"31200"}]"#).unwrap();
+    let sig = vec![
+        ("City".to_string(), "HZ".to_string()),
+        ("ZIP".to_string(), "31200".to_string()),
+    ];
+    assert!(scope.contains(&sig));
+    assert!(!scope.contains(&sig[..1]));
 }

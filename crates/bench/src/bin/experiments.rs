@@ -15,6 +15,7 @@ const USAGE: &str = "\
 usage: experiments [--paper-scale|--quick] [--repeats N] [--train-steps N] [--threads N] <ids...>
        experiments lint [--dataset NAME] [--seed N] [--json] [--fix [--out PATH]] <rules.json>
        experiments analyze [--dataset NAME] [--seed N] [--threads N] [--json] [--out PATH] <rules.json>
+       experiments diff [--dataset NAME] [--seed N] [--threads N] [--scope JSON] [--json] [--out PATH] <old.json> <new.json>
   ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate par_sweep serve_bench incr_bench
   --paper-scale   run at the paper's dataset sizes (EnuMiner may take hours)
   --quick         smoke-test scale (shorter training, tighter budgets)
@@ -35,6 +36,16 @@ analyze: whole-rule-set static analysis (er-analyze) against a scenario:
   --dataset/--seed as for lint; --threads N for the analysis fan-out
   --json          print the JSON report instead of text
   --out PATH      also save the JSON report (default: results/analyze.json)
+  exits 1 when the report contains errors, 2 on usage/IO problems
+diff: edit-scope analysis of a rule-set change (er-analyze diff pass):
+  which master signatures change repair verdict between the two versions,
+  each with a concrete master-row witness (ER011), or an equivalence
+  certificate when none do; with --scope, changes outside the declared
+  scope are ER012 errors (exit 1) — the serve promotion gate
+  --scope JSON    declared edit scope: {attr:value,...} or a list of such
+                  conjunctions of input-attribute equalities
+  --dataset/--seed/--threads/--json as for analyze
+  --out PATH      also save the JSON report (default: results/diff.json)
   exits 1 when the report contains errors, 2 on usage/IO problems";
 
 fn main() {
@@ -49,6 +60,10 @@ fn main() {
     }
     if args[0] == "analyze" {
         analyze_main(&args[1..]);
+        return;
+    }
+    if args[0] == "diff" {
+        diff_main(&args[1..]);
         return;
     }
     let mut cfg = ExperimentConfig::default();
@@ -260,6 +275,113 @@ fn analyze_main(args: &[String]) {
     }
     match std::fs::write(&out, rendered_json + "\n") {
         Ok(()) => eprintln!("analyze: saved {out}"),
+        Err(e) => eprintln!("warning: cannot write {out}: {e}"),
+    }
+    if report.errors() > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// The `diff` subcommand: run the er-analyze edit-scope diff over two
+/// rule-set JSON files against the named dataset scenario, print the
+/// changed signatures (or the equivalence certificate), and save the JSON
+/// report.
+fn diff_main(args: &[String]) {
+    let mut dataset = "figure1".to_string();
+    let mut seed = 1u64;
+    let mut threads = 0usize;
+    let mut json_out = false;
+    let mut out = "results/diff.json".to_string();
+    let mut scope_json: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dataset" => {
+                dataset = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--dataset needs a name"));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a number"));
+            }
+            "--json" => json_out = true,
+            "--out" => {
+                out = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--scope" => {
+                scope_json = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--scope needs a JSON document")),
+                );
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            path if !path.starts_with('-') => files.push(path.to_string()),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        die("diff needs exactly two rules.json paths (old, new)")
+    };
+    let scope = scope_json.map(|s| {
+        er_analyze::EditScope::from_json(&s).unwrap_or_else(|e| {
+            eprintln!("error: --scope: {e}");
+            std::process::exit(2);
+        })
+    });
+    let scenario = load_scenario(&dataset, seed);
+    let read = |path: &String| match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (old_json, new_json) = (read(old_path), read(new_path));
+    let config = er_analyze::AnalyzeConfig::with_threads(threads);
+    let report = match er_analyze::diff_json(
+        &old_json,
+        &new_json,
+        &scenario.task,
+        scope.as_ref(),
+        &config,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rendered_json = report.render_json();
+    if json_out {
+        println!("{rendered_json}");
+    } else {
+        print!("{}", report.render_text());
+    }
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match std::fs::write(&out, rendered_json + "\n") {
+        Ok(()) => eprintln!("diff: saved {out}"),
         Err(e) => eprintln!("warning: cannot write {out}: {e}"),
     }
     if report.errors() > 0 {

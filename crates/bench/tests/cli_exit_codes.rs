@@ -1,0 +1,115 @@
+//! Exit-code contract of the `experiments` CLI subcommands: 0 for clean and
+//! warnings-only reports, 1 when a report carries errors, 2 for usage and
+//! IO problems. A warning (e.g. an ER010 dead rule or an ER011 verdict
+//! change) must never fail a pipeline that only gates on errors.
+
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn experiments() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/../../{}", env!("CARGO_MANIFEST_DIR"), rel)
+}
+
+/// A scratch file under the target-specific temp dir, cleaned up by the OS.
+fn scratch(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("er-cli-exit-codes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn out_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join("er-cli-exit-codes").join(name)
+}
+
+#[test]
+fn analyze_exits_zero_on_warnings_only_reports() {
+    // A rule whose pattern pins City to a value the figure-1 master never
+    // holds: statically dead, diagnosed ER010 — a warning, not an error.
+    let rules = scratch(
+        "dead_rule.json",
+        r#"[{"lhs":[["City","City"]],"target":["Case","Case"],
+            "pattern":[{"Eq":{"attr":"City","value":"Nowhereville","numeric":false}}],
+            "measures":null}]"#,
+    );
+    let output = experiments()
+        .args(["analyze", "--out"])
+        .arg(out_path("analyze-dead.json"))
+        .arg(&rules)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("ER010"), "{stdout}");
+    assert!(
+        output.status.success(),
+        "warnings-only analysis must exit 0, got {:?}\n{stdout}",
+        output.status.code()
+    );
+}
+
+#[test]
+fn analyze_exits_one_on_errors_and_two_on_usage() {
+    let output = experiments()
+        .args(["analyze", "--out"])
+        .arg(out_path("analyze-conflicting.json"))
+        .arg(repo_path("examples/conflicting_rules.json"))
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1), "ER009 errors must exit 1");
+    let output = experiments().arg("analyze").output().unwrap();
+    assert_eq!(output.status.code(), Some(2), "missing path must exit 2");
+}
+
+#[test]
+fn diff_exit_codes_follow_the_report_severity() {
+    let v1 = repo_path("examples/figure1_rules.json");
+    let v2 = repo_path("examples/figure1_rules_v2.json");
+    // Identical versions: certified equivalent, exit 0.
+    let output = experiments()
+        .args(["diff", "--out"])
+        .arg(out_path("diff-same.json"))
+        .args([&v1, &v1])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("CERTIFIED"), "{stdout}");
+    assert_eq!(output.status.code(), Some(0));
+    // Unscoped v1 -> v2: ER011 infos only, exit 0.
+    let output = experiments()
+        .args(["diff", "--out"])
+        .arg(out_path("diff-v2.json"))
+        .args([&v1, &v2])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("ER011"), "{stdout}");
+    assert_eq!(output.status.code(), Some(0), "infos must not fail the CLI");
+    // A scope that does not cover the change: ER012, exit 1.
+    let output = experiments()
+        .args(["diff", "--scope", r#"{"Date":"2021-12"}"#, "--out"])
+        .arg(out_path("diff-scoped.json"))
+        .args([&v1, &v2])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("ER012"), "{stdout}");
+    assert_eq!(output.status.code(), Some(1));
+    // Usage problems: exit 2.
+    let output = experiments().args(["diff"]).arg(&v1).output().unwrap();
+    assert_eq!(output.status.code(), Some(2), "one path must exit 2");
+    let output = experiments()
+        .args(["diff", "--scope", "not json"])
+        .args([&v1, &v2])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2), "bad scope must exit 2");
+}

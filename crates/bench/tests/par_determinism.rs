@@ -140,6 +140,56 @@ fn analyzer_report_is_thread_count_invariant() {
     }
 }
 
+/// The diff pass fans its per-signature verdict recomputation out over the
+/// worker pool; the rendered edit-scope report — changed signatures,
+/// witnesses, ER011/ER012 findings — must be byte-identical at any thread
+/// count.
+#[test]
+fn diff_report_is_thread_count_invariant() {
+    let s = er_datagen::figure1();
+    let old_json = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/figure1_rules.json"
+    ))
+    .unwrap();
+    let new_json = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/figure1_rules_v2.json"
+    ))
+    .unwrap();
+    // A scope narrower than the actual edit, so the reports carry both
+    // ER011 infos and ER012 errors.
+    let scope = er_analyze::EditScope::from_json(r#"{"Date":"2021-10"}"#).unwrap();
+    let reports: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            er_analyze::diff_json(
+                &old_json,
+                &new_json,
+                &s.task,
+                Some(&scope),
+                &AnalyzeConfig::with_threads(threads),
+            )
+            .unwrap()
+        })
+        .collect();
+    let base = &reports[0];
+    assert_eq!(base.changes.len(), 2, "fixture must exercise the fan-out");
+    assert!(base.errors() > 0, "scope must be violated in this fixture");
+    for (report, threads) in reports.iter().zip(THREAD_COUNTS).skip(1) {
+        assert_eq!(
+            report.render_json(),
+            base.render_json(),
+            "diff JSON diverged at {threads} threads"
+        );
+        assert_eq!(
+            report.render_text(),
+            base.render_text(),
+            "diff text diverged at {threads} threads"
+        );
+    }
+}
+
 /// The RLMiner path: training (mask refresh via the evaluator pool) and the
 /// greedy re-evaluation sweep in `mine` both fan out; with a fixed seed the
 /// whole train-then-mine pipeline must be identical at any thread count.

@@ -54,6 +54,16 @@ pub enum DiagCode {
     /// the matching master column holds. Generation-aware: appends can both
     /// create and clear this finding.
     Er010,
+    /// Verdict-changed signature: between two rule-set versions, the repair
+    /// verdict (prescribed value, or no-fix) of one master-derived LHS code
+    /// signature differs, witnessed by a concrete master row. Informational:
+    /// this is what an edit *does*, not necessarily what is wrong with it.
+    Er011,
+    /// Behavior-preservation violation: a verdict change (ER011) lies
+    /// *outside* the edit scope the caller declared for the change. The
+    /// model-editing discipline: an edit may change behavior inside its
+    /// declared scope and must preserve it everywhere else.
+    Er012,
 }
 
 impl DiagCode {
@@ -70,6 +80,8 @@ impl DiagCode {
             DiagCode::Er008 => "ER008",
             DiagCode::Er009 => "ER009",
             DiagCode::Er010 => "ER010",
+            DiagCode::Er011 => "ER011",
+            DiagCode::Er012 => "ER012",
         }
     }
 
@@ -86,6 +98,8 @@ impl DiagCode {
             DiagCode::Er008 => "non-terminating dependency cycle",
             DiagCode::Er009 => "conflicting repairs",
             DiagCode::Er010 => "unreachable rule",
+            DiagCode::Er011 => "verdict-changed signature",
+            DiagCode::Er012 => "behavior-preservation violation",
         }
     }
 }
@@ -105,6 +119,9 @@ impl Serialize for DiagCode {
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
+    /// Nothing is wrong: the finding describes an observed fact (e.g. an
+    /// ER011 verdict change) the caller asked to be surfaced.
+    Info,
     /// The rule set is still usable, but this rule wastes work or makes
     /// repairs harder to predict.
     Warning,
@@ -118,6 +135,7 @@ impl Severity {
         match self {
             Severity::Error => "error",
             Severity::Warning => "warning",
+            Severity::Info => "info",
         }
     }
 }

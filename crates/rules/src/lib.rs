@@ -21,6 +21,9 @@
 //! * [`batch`] — the long-lived serving entry: a [`BatchRepairer`] warms the
 //!   master-side indexes once and repairs streamed input batches with the
 //!   exact voting semantics of [`repair`].
+//! * [`store`] — a minimal versioned rule store: append-only, hash-chained
+//!   lineage of portable rule-set documents with history-preserving
+//!   rollback, backing `er-serve`'s gated promotions.
 //! * [`metrics`] — weighted precision / recall / F-measure (§V-A2).
 
 pub mod analysis;
@@ -33,6 +36,7 @@ pub mod measures;
 pub mod metrics;
 pub mod repair;
 pub mod rule;
+pub mod store;
 pub mod task;
 
 pub use analysis::{coverage, overlap, CoverageReport, RuleCoverage};
@@ -45,4 +49,5 @@ pub use measures::{Evaluator, Measures};
 pub use metrics::{evaluate_repairs, WeightedPrf};
 pub use repair::{apply_rules, apply_rules_with, changed_rows, RepairReport};
 pub use rule::{Condition, EditingRule, Pred};
+pub use store::{content_hash, RuleStore, RuleVersion};
 pub use task::{ConditionSpace, ConditionSpaceConfig, Task};

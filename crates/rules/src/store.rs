@@ -1,0 +1,261 @@
+//! A minimal versioned rule store.
+//!
+//! Successive mining runs (the paper's RLMiner-ft loop, §V-D3) produce
+//! successive rule sets; serving wants to promote them one at a time, keep
+//! the lineage, and be able to roll back. The store keeps each promoted
+//! version's portable JSON document verbatim, stamped with a content hash
+//! and its parent's hash, so lineage integrity is checkable without parsing
+//! a single rule: version `n` was derived from exactly the bytes version
+//! `n-1` holds.
+//!
+//! The store is deliberately in-memory and append-only — it versions what a
+//! *live service* has promoted, not a general artifact repository. Rollback
+//! does not erase history: it commits nothing and simply moves the head to
+//! an ancestor, so a later `lineage()` still shows every promotion.
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// One committed rule-set version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleVersion {
+    /// Version id, assigned sequentially from 1.
+    pub id: u64,
+    /// The version this one was promoted over (`None` for the root).
+    pub parent: Option<u64>,
+    /// FNV-1a content hash of `json`.
+    pub hash: u64,
+    /// The parent version's content hash (`None` for the root). Lets a
+    /// reader verify lineage integrity without loading the parent.
+    pub parent_hash: Option<u64>,
+    /// The portable rule-set document, verbatim.
+    pub json: String,
+    /// Free-form promotion note (e.g. the diff summary that gated it).
+    pub note: String,
+}
+
+impl RuleVersion {
+    /// The content hash in the fixed-width hex form used by the protocol.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+}
+
+impl Serialize for RuleVersion {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("id".to_string(), Value::UInt(self.id)),
+            (
+                "parent".to_string(),
+                match self.parent {
+                    Some(p) => Value::UInt(p),
+                    None => Value::Null,
+                },
+            ),
+            ("hash".to_string(), Value::Str(self.hash_hex())),
+            (
+                "parent_hash".to_string(),
+                match self.parent_hash {
+                    Some(h) => Value::Str(format!("{h:016x}")),
+                    None => Value::Null,
+                },
+            ),
+            ("note".to_string(), Value::Str(self.note.clone())),
+        ])
+    }
+}
+
+/// FNV-1a over the raw document bytes. Stable, dependency-free, and good
+/// enough for content identity of small JSON documents.
+pub fn content_hash(json: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The append-only version store.
+#[derive(Debug, Clone, Default)]
+pub struct RuleStore {
+    versions: Vec<RuleVersion>,
+    head: Option<u64>,
+}
+
+impl RuleStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Commit a document as a child of the current head and move the head
+    /// to it. Committing the exact bytes the head already holds is a no-op
+    /// returning the head's id (promoting an unchanged set is not a new
+    /// version).
+    pub fn commit(&mut self, json: &str, note: &str) -> u64 {
+        let hash = content_hash(json);
+        if let Some(head) = self.head() {
+            if head.hash == hash && head.json == json {
+                return head.id;
+            }
+        }
+        let parent = self.head;
+        let parent_hash = self.head().map(|v| v.hash);
+        let id = self.versions.len() as u64 + 1;
+        self.versions.push(RuleVersion {
+            id,
+            parent,
+            hash,
+            parent_hash,
+            json: json.to_string(),
+            note: note.to_string(),
+        });
+        self.head = Some(id);
+        id
+    }
+
+    /// The current head version.
+    pub fn head(&self) -> Option<&RuleVersion> {
+        self.head.and_then(|id| self.get(id))
+    }
+
+    /// The current head id.
+    pub fn head_id(&self) -> Option<u64> {
+        self.head
+    }
+
+    /// Look a version up by id.
+    pub fn get(&self, id: u64) -> Option<&RuleVersion> {
+        (id >= 1)
+            .then(|| self.versions.get(id as usize - 1))
+            .flatten()
+    }
+
+    /// Number of committed versions (rollbacks do not count).
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether nothing has been committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// The head's ancestry, head first, ending at the root.
+    pub fn lineage(&self) -> Vec<&RuleVersion> {
+        let mut out = Vec::new();
+        let mut cursor = self.head;
+        while let Some(id) = cursor {
+            let Some(v) = self.get(id) else { break };
+            out.push(v);
+            cursor = v.parent;
+        }
+        out
+    }
+
+    /// Move the head back to `id` (any committed version) and return its
+    /// document. The history is kept; a later commit parents onto `id`.
+    pub fn rollback(&mut self, id: u64) -> Option<&RuleVersion> {
+        if self.get(id).is_some() {
+            self.head = Some(id);
+        } else {
+            return None;
+        }
+        self.get(id)
+    }
+
+    /// All committed versions in commit order (protocol rendering).
+    pub fn versions(&self) -> &[RuleVersion] {
+        &self.versions
+    }
+}
+
+impl Serialize for RuleStore {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "head".to_string(),
+                match self.head {
+                    Some(id) => Value::UInt(id),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "versions".to_string(),
+                Value::Array(self.versions.iter().map(Serialize::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commits_chain_parent_hashes() {
+        let mut store = RuleStore::new();
+        assert!(store.is_empty());
+        assert!(store.head().is_none());
+        let v1 = store.commit("[1]", "initial");
+        let v2 = store.commit("[2]", "narrowed");
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(store.len(), 2);
+        let head = store.head().unwrap();
+        assert_eq!(head.id, 2);
+        assert_eq!(head.parent, Some(1));
+        assert_eq!(head.parent_hash, Some(store.get(1).unwrap().hash));
+        assert_eq!(head.hash, content_hash("[2]"));
+        assert_ne!(head.hash, store.get(1).unwrap().hash);
+    }
+
+    #[test]
+    fn identical_commit_is_a_no_op() {
+        let mut store = RuleStore::new();
+        let v1 = store.commit("[1]", "initial");
+        let again = store.commit("[1]", "same bytes");
+        assert_eq!(again, v1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn lineage_runs_head_to_root() {
+        let mut store = RuleStore::new();
+        store.commit("[1]", "a");
+        store.commit("[2]", "b");
+        store.commit("[3]", "c");
+        let ids: Vec<u64> = store.lineage().iter().map(|v| v.id).collect();
+        assert_eq!(ids, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn rollback_moves_head_and_keeps_history() {
+        let mut store = RuleStore::new();
+        store.commit("[1]", "a");
+        store.commit("[2]", "b");
+        let back = store.rollback(1).expect("version 1 exists");
+        assert_eq!(back.json, "[1]");
+        assert_eq!(store.head_id(), Some(1));
+        assert_eq!(store.len(), 2, "rollback erases nothing");
+        assert!(store.rollback(9).is_none());
+        // A commit after rollback parents onto the rolled-back-to version.
+        let v3 = store.commit("[3]", "fork");
+        assert_eq!(v3, 3);
+        let head = store.head().unwrap();
+        assert_eq!(head.parent, Some(1));
+        let ids: Vec<u64> = store.lineage().iter().map(|v| v.id).collect();
+        assert_eq!(ids, vec![3, 1]);
+    }
+
+    #[test]
+    fn serializes_for_the_protocol() {
+        let mut store = RuleStore::new();
+        store.commit("[1]", "initial");
+        let json = serde_json::to_string(&store).unwrap();
+        assert!(json.contains("\"head\":1"), "{json}");
+        assert!(json.contains("\"parent_hash\":null"), "{json}");
+        assert!(json.contains("\"note\":\"initial\""), "{json}");
+        assert_eq!(store.head().unwrap().hash_hex().len(), 16);
+    }
+}

@@ -12,9 +12,14 @@
 //! delta-updated rather than rebuilt, and the engine's generation counter
 //! advances so `stats` (and the ER007 lint) can report rule staleness.
 
-use er_analyze::{analyze, analyze_json, AnalysisReport, AnalyzeConfig};
+use er_analyze::{
+    analyze, analyze_json, diff_json, AnalysisReport, AnalyzeConfig, DiffReport, EditScope,
+};
 use er_incr::{AppendOutcome, IncrCounters, IncrEngine};
-use er_rules::{rules_from_json, BatchError, EditingRule, TargetRules, Task};
+use er_rules::{
+    rules_from_json, rules_to_json, BatchError, EditingRule, Measures, SchemaMatch, TargetRules,
+    Task,
+};
 use er_table::{Pool, Relation, Schema, Value};
 use std::sync::Arc;
 use std::time::Instant;
@@ -91,6 +96,7 @@ impl std::error::Error for EngineError {}
 pub struct RepairEngine {
     schema: Arc<Schema>,
     pool: Arc<Pool>,
+    matching: SchemaMatch,
     engine: IncrEngine,
 }
 
@@ -112,6 +118,7 @@ impl RepairEngine {
         Ok(RepairEngine {
             schema: Arc::clone(task.input().schema()),
             pool: Arc::clone(task.input().pool()),
+            matching: task.matching().clone(),
             engine,
         })
     }
@@ -177,6 +184,50 @@ impl RepairEngine {
             rules: self.engine.rules().to_vec(),
         }];
         analyze(&self.schema, master, &targets, &AnalyzeConfig::default())
+    }
+
+    /// A task equivalent to the one the engine was loaded with, rebuilt from
+    /// the engine's own state (empty input over the live schema and pool —
+    /// neither the diff pass nor portable resolution reads input *data*).
+    fn probe_task(&self) -> Task {
+        Task::new(
+            Relation::empty(Arc::clone(&self.schema), Arc::clone(&self.pool)),
+            self.master().clone(),
+            self.matching.clone(),
+            self.engine.target(),
+        )
+    }
+
+    /// The live rule set rendered back to the portable JSON document format
+    /// (the canonical bytes committed to the version store).
+    pub fn rules_json(&self) -> String {
+        let rules: Vec<(EditingRule, Measures)> = self
+            .engine
+            .rules()
+            .iter()
+            .map(|r| (r.clone(), Measures::zero()))
+            .collect();
+        rules_to_json(&rules, &self.probe_task())
+    }
+
+    /// Compute the edit scope of replacing the live rule set with
+    /// `candidate_json` (a portable rule-set document), against the engine's
+    /// current master. With a declared `scope`, verdict changes outside it
+    /// are ER012 errors and [`DiffReport::gate_clean`] fails — the serve
+    /// `reload` gate refuses such a promotion.
+    pub fn diff_against(
+        &self,
+        candidate_json: &str,
+        scope: Option<&EditScope>,
+    ) -> Result<DiffReport, EngineError> {
+        diff_json(
+            &self.rules_json(),
+            candidate_json,
+            &self.probe_task(),
+            scope,
+            &AnalyzeConfig::default(),
+        )
+        .map_err(EngineError::Rules)
     }
 
     /// Name of the target attribute `Y` repairs are written to.
@@ -395,6 +446,69 @@ mod tests {
             other => panic!("expected a row error, got {other:?}"),
         }
         assert_eq!(e.generation(), g0);
+    }
+
+    #[test]
+    fn er010_reachability_refires_across_append_generations() {
+        use er_lint::DiagCode;
+        use er_rules::Condition;
+        let task = covid_task();
+        let sz = task.input().pool().intern(Value::str("SZ"));
+        // City → Case only where City = "SZ": dead against the load-time
+        // master (no SZ row), so the analysis warns ER010 — and the warning
+        // must clear once an append gives the pattern master support.
+        let rules = vec![EditingRule::new(
+            vec![(0, 0)],
+            (1, 1),
+            vec![Condition::eq(0, sz)],
+        )];
+        let mut e = RepairEngine::new(&task, rules, 0).unwrap();
+        let report = e.analyze();
+        assert_eq!(report.unreachable.len(), 1);
+        assert!(report.findings.iter().any(|f| f.code == DiagCode::Er010));
+        assert!(report.gate_clean(), "ER010 is a warning, not a gate error");
+        let g0 = e.generation();
+        e.append(&[vec![Value::str("SZ"), Value::str("no symptoms")]])
+            .unwrap();
+        let report = e.analyze();
+        assert_eq!(
+            report.generation,
+            g0 + 1,
+            "analysis must see the new generation"
+        );
+        assert!(
+            report.unreachable.is_empty(),
+            "the appended SZ row revives the rule: {:?}",
+            report.unreachable
+        );
+        assert!(report.findings.iter().all(|f| f.code != DiagCode::Er010));
+        // The revived rule actually serves.
+        let out = e
+            .repair(&[vec![Value::str("SZ"), Value::Null]], None)
+            .unwrap();
+        assert_eq!(out.fixed(), 1);
+        assert_eq!(out.cells[0].value, "no symptoms");
+    }
+
+    #[test]
+    fn diff_against_certifies_the_live_set_and_flags_narrowing() {
+        use er_analyze::EditScope;
+        let e = engine();
+        // The engine's own document is equivalent by construction.
+        let report = e.diff_against(&e.rules_json(), None).unwrap();
+        assert!(report.equivalent());
+        assert!(report.certificate().is_some());
+        // Narrowing the rule to City="HZ" drops BJ's repair: one change,
+        // and with a declared HZ-only scope it is an ER012 error.
+        let narrowed = r#"[{"lhs":[["City","City"]],"target":["Case","Infection"],
+            "pattern":[{"Eq":{"attr":"City","value":"HZ","numeric":false}}],"measures":null}]"#;
+        let report = e.diff_against(narrowed, None).unwrap();
+        assert_eq!(report.changes.len(), 1);
+        assert!(report.gate_clean(), "no scope declared, no ER012");
+        let scope = EditScope::from_json(r#"{"City":"HZ"}"#).unwrap();
+        let report = e.diff_against(narrowed, Some(&scope)).unwrap();
+        assert_eq!(report.errors(), 1);
+        assert!(!report.gate_clean());
     }
 
     #[test]

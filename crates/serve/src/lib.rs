@@ -39,6 +39,13 @@
 //!   repairs). A gated rejection answers with the analysis findings and
 //!   leaves the live engine untouched; disable with
 //!   [`ServeConfig::analysis_gate`] (CLI: `--no-analysis-gate`).
+//! * **versioned, diff-gated promotion** — with the gate on, `reload` also
+//!   runs the edit-scope diff (`er-analyze` ER011/ER012) between the live
+//!   and candidate rule sets; a reload carrying a `scope` is rejected when
+//!   any verdict change leaks outside it. Promotions are committed to a
+//!   hash-chained [`er_rules::RuleStore`] (the `versions` op dumps the
+//!   lineage), and the read-only `diff` op previews a candidate without
+//!   promoting it.
 
 pub mod engine;
 pub mod metrics;

@@ -7,6 +7,7 @@
 
 use crate::lock;
 use serde_json::Value as Json;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -42,10 +43,15 @@ pub struct Metrics {
     overloaded: AtomicU64,
     reloads: AtomicU64,
     appends: AtomicU64,
+    diffs: AtomicU64,
     rejected: AtomicU64,
     /// Gauge, not a counter: the engine's master generation, stored after
     /// every engine-mutating op so `stats` can report it lock-free.
     engine_generation: AtomicU64,
+    /// Per-diagnostic-code breakdown of gate rejections, so `stats` can
+    /// attribute *why* promotions were refused (BTreeMap: deterministic
+    /// rendering order).
+    rejected_by_code: Mutex<BTreeMap<String, u64>>,
     latencies: Mutex<Reservoir>,
 }
 
@@ -66,8 +72,10 @@ impl Metrics {
             overloaded: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
             appends: AtomicU64::new(0),
+            diffs: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             engine_generation: AtomicU64::new(0),
+            rejected_by_code: Mutex::new(BTreeMap::new()),
             latencies: Mutex::new(Reservoir {
                 buf: Vec::new(),
                 next: 0,
@@ -110,9 +118,22 @@ impl Metrics {
         self.appends.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Count one reload or append refused by the static-analysis gate.
-    pub fn record_rejected(&self) {
+    /// Count one served `diff` comparison.
+    pub fn record_diff(&self) {
+        self.diffs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one reload or append refused by an analysis gate, attributing
+    /// the rejection to the diagnostic codes that caused it (each distinct
+    /// code counts once per rejection).
+    pub fn record_rejected(&self, codes: &[&str]) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+        if !codes.is_empty() {
+            let mut by_code = lock(&self.rejected_by_code);
+            for code in codes {
+                *by_code.entry((*code).to_string()).or_insert(0) += 1;
+            }
+        }
     }
 
     /// Update the engine-generation gauge (after load, reload, or append).
@@ -138,7 +159,12 @@ impl Metrics {
             overloaded: self.overloaded.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
             appends: self.appends.load(Ordering::Relaxed),
+            diffs: self.diffs.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            rejected_by_code: lock(&self.rejected_by_code)
+                .iter()
+                .map(|(code, n)| (code.clone(), *n))
+                .collect(),
             engine_generation: self.engine_generation.load(Ordering::Relaxed),
             queue_depth,
             p50_us,
@@ -173,8 +199,12 @@ pub struct Snapshot {
     pub reloads: u64,
     /// Successful master appends.
     pub appends: u64,
+    /// Served `diff` comparisons.
+    pub diffs: u64,
     /// Reloads and appends refused by the static-analysis gate.
     pub rejected: u64,
+    /// Gate rejections attributed per diagnostic code, sorted by code.
+    pub rejected_by_code: Vec<(String, u64)>,
     /// The engine's master generation at the last engine-mutating op.
     pub engine_generation: u64,
     /// Repair requests in flight when the snapshot was taken.
@@ -199,7 +229,17 @@ impl Snapshot {
             ("overloaded".to_string(), Json::UInt(self.overloaded)),
             ("reloads".to_string(), Json::UInt(self.reloads)),
             ("appends".to_string(), Json::UInt(self.appends)),
+            ("diffs".to_string(), Json::UInt(self.diffs)),
             ("rejected".to_string(), Json::UInt(self.rejected)),
+            (
+                "rejected_by_code".to_string(),
+                Json::Object(
+                    self.rejected_by_code
+                        .iter()
+                        .map(|(code, n)| (code.clone(), Json::UInt(*n)))
+                        .collect(),
+                ),
+            ),
             (
                 "engine_generation".to_string(),
                 Json::UInt(self.engine_generation),
@@ -261,12 +301,19 @@ mod tests {
         m.record_reload();
         m.record_append();
         m.record_append();
-        m.record_rejected();
+        m.record_diff();
+        m.record_rejected(&["ER009"]);
+        m.record_rejected(&["ER009", "ER012"]);
         m.set_engine_generation(42);
         let s = m.snapshot(0);
         assert_eq!(s.reloads, 1);
         assert_eq!(s.appends, 2);
-        assert_eq!(s.rejected, 1);
+        assert_eq!(s.diffs, 1);
+        assert_eq!(s.rejected, 2);
+        assert_eq!(
+            s.rejected_by_code,
+            vec![("ER009".to_string(), 2), ("ER012".to_string(), 1)]
+        );
         assert_eq!(s.engine_generation, 42);
         // The gauge tracks the latest value, it does not accumulate.
         m.set_engine_generation(7);
@@ -274,6 +321,7 @@ mod tests {
         let line = serde_json::to_string(&s.to_value()).unwrap();
         assert!(line.contains("\"appends\""));
         assert!(line.contains("\"engine_generation\""));
+        assert!(line.contains("\"rejected_by_code\":{\"ER009\":2,\"ER012\":1}"));
     }
 
     #[test]

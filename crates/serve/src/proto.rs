@@ -7,11 +7,16 @@
 //! request  := {"op":"ping"}
 //!           | {"op":"stats"}
 //!           | {"op":"reload"}
+//!           | {"op":"reload","scope":scope}     // gate on a declared edit scope
 //!           | {"op":"shutdown"}
 //!           | {"op":"repair","rows":[row...]}   // input-schema order
 //!           | {"op":"append","rows":[row...]}   // master-schema order
+//!           | {"op":"diff","rules":[rule...]}   // candidate portable rules
+//!           | {"op":"diff","rules":[rule...],"scope":scope}
+//!           | {"op":"versions"}
 //! row      := [cell...]             // one cell per schema attribute
 //! cell     := null | string | number
+//! scope    := {attr:value,...} | [{attr:value,...}...]   // see er-analyze EditScope
 //! response := {"ok":true,"op":...,...} | {"ok":false,"error":string,...}
 //! ```
 //!
@@ -20,6 +25,8 @@
 
 use crate::engine::RepairOutcome;
 use crate::metrics::Snapshot;
+use er_analyze::{DiffReport, EditScope};
+use er_rules::RuleStore;
 use er_table::Value as Cell;
 use serde_json::Value as Json;
 
@@ -30,8 +37,13 @@ pub enum Request {
     Ping,
     /// Metrics snapshot.
     Stats,
-    /// Rebuild the engine from its configured source (rules file).
-    Reload,
+    /// Rebuild the engine from its configured source (rules file). With a
+    /// declared scope, the promotion is additionally gated on the edit-scope
+    /// diff: verdict changes outside the scope reject the reload (ER012).
+    Reload {
+        /// The declared edit scope, if any.
+        scope: Option<EditScope>,
+    },
     /// Begin a graceful drain and close the session.
     Shutdown,
     /// Repair a batch of rows laid out in input-schema attribute order.
@@ -45,6 +57,16 @@ pub enum Request {
         /// The rows; each inner vector is one master tuple.
         rows: Vec<Vec<Cell>>,
     },
+    /// Compare the live rule set against a candidate document without
+    /// promoting anything: report the edit scope of the would-be change.
+    Diff {
+        /// The candidate rule set as a portable JSON document.
+        rules_json: String,
+        /// The declared edit scope, if any (out-of-scope changes → ER012).
+        scope: Option<EditScope>,
+    },
+    /// Report the rule version store: lineage, hashes, promotion notes.
+    Versions,
 }
 
 /// Parse one request line. `max_rows` bounds the batch size a single
@@ -58,7 +80,9 @@ pub fn parse_request(line: &str, max_rows: usize) -> Result<Request, String> {
     match op {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
-        "reload" => Ok(Request::Reload),
+        "reload" => Ok(Request::Reload {
+            scope: parse_scope(&value)?,
+        }),
         "shutdown" => Ok(Request::Shutdown),
         "repair" => Ok(Request::Repair {
             rows: parse_rows(&value, "repair", max_rows)?,
@@ -66,7 +90,29 @@ pub fn parse_request(line: &str, max_rows: usize) -> Result<Request, String> {
         "append" => Ok(Request::Append {
             rows: parse_rows(&value, "append", max_rows)?,
         }),
+        "diff" => {
+            let rules = value
+                .get("rules")
+                .ok_or_else(|| "diff needs a \"rules\" array".to_string())?;
+            if !matches!(rules, Json::Array(_)) {
+                return Err("diff needs a \"rules\" array".to_string());
+            }
+            Ok(Request::Diff {
+                rules_json: serde_json::to_string(rules)
+                    .map_err(|e| format!("unserializable rules: {e}"))?,
+                scope: parse_scope(&value)?,
+            })
+        }
+        "versions" => Ok(Request::Versions),
         other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Decode the optional `"scope"` field shared by `reload` and `diff`.
+fn parse_scope(value: &Json) -> Result<Option<EditScope>, String> {
+    match value.get("scope") {
+        None | Some(Json::Null) => Ok(None),
+        Some(raw) => EditScope::from_json_value(raw).map(Some),
     }
 }
 
@@ -148,12 +194,88 @@ pub fn ok_shutdown() -> String {
     ]))
 }
 
-/// `reload` acknowledgement with the reloaded rule count.
-pub fn ok_reload(num_rules: usize) -> String {
-    render(&obj(vec![
+/// `reload` acknowledgement: reloaded rule count, the version id the
+/// promotion committed to the store, and (when the diff gate ran) the
+/// edit-scope summary of what the promotion changes.
+pub fn ok_reload(num_rules: usize, version: Option<u64>, diff: Option<&DiffReport>) -> String {
+    let mut fields = vec![
         ("ok", Json::Bool(true)),
         ("op", Json::Str("reload".into())),
         ("rules", Json::Int(num_rules as i64)),
+    ];
+    if let Some(v) = version {
+        fields.push(("version", Json::UInt(v)));
+    }
+    if let Some(report) = diff {
+        fields.push(("diff", diff_summary(report)));
+    }
+    render(&obj(fields))
+}
+
+/// The compact edit-scope summary embedded in `reload` and rejection
+/// responses: counts plus the certificate when the change is a no-op.
+fn diff_summary(report: &DiffReport) -> Json {
+    obj(vec![
+        ("equivalent", Json::Bool(report.equivalent())),
+        ("added", Json::Int(report.added as i64)),
+        ("removed", Json::Int(report.removed as i64)),
+        ("changes", Json::Int(report.changes.len() as i64)),
+        ("infos", Json::Int(report.infos() as i64)),
+        ("errors", Json::Int(report.errors() as i64)),
+        (
+            "certificate",
+            match report.certificate() {
+                Some(c) => Json::Str(c),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+/// `diff` response: the full edit-scope report (summary, verdict changes
+/// with witnesses, findings) for the live-vs-candidate comparison.
+pub fn ok_diff(report: &DiffReport) -> String {
+    use serde::Serialize as _;
+    render(&obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("diff".into())),
+        ("summary", diff_summary(report)),
+        ("report", report.to_value()),
+    ]))
+}
+
+/// `versions` response: the rule version store (head id plus each version's
+/// id, parent, content hash and promotion note).
+pub fn ok_versions(store: &RuleStore) -> String {
+    use serde::Serialize as _;
+    render(&obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("versions".into())),
+        ("store", store.to_value()),
+    ]))
+}
+
+/// Edit-scope gate rejection: the `reload` was refused because the
+/// candidate changes repair verdicts outside the declared edit scope
+/// (ER012). The response carries the full diff report — every out-of-scope
+/// signature with its master-row witness — and the live engine is
+/// untouched.
+pub fn diff_rejected(op: &str, report: &DiffReport) -> String {
+    use serde::Serialize as _;
+    render(&obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::Str(format!(
+                "{op} rejected by edit-scope analysis: {} verdict change{} outside the declared scope",
+                report.errors(),
+                if report.errors() == 1 { "" } else { "s" },
+            )),
+        ),
+        ("op", Json::Str(op.to_string())),
+        ("rejected", Json::Bool(true)),
+        ("summary", diff_summary(report)),
+        ("report", report.to_value()),
     ]))
 }
 
@@ -257,12 +379,47 @@ mod tests {
         assert_eq!(parse_request("{\"op\":\"stats\"}", 10), Ok(Request::Stats));
         assert_eq!(
             parse_request("{\"op\":\"reload\"}", 10),
-            Ok(Request::Reload)
+            Ok(Request::Reload { scope: None })
         );
         assert_eq!(
             parse_request("{\"op\":\"shutdown\"}", 10),
             Ok(Request::Shutdown)
         );
+        assert_eq!(
+            parse_request("{\"op\":\"versions\"}", 10),
+            Ok(Request::Versions)
+        );
+    }
+
+    #[test]
+    fn parses_reload_scope_and_diff() {
+        let req =
+            parse_request("{\"op\":\"reload\",\"scope\":{\"Date\":\"2021-12\"}}", 10).unwrap();
+        let Request::Reload { scope: Some(scope) } = req else {
+            panic!("expected a scoped reload");
+        };
+        assert!(scope.contains(&[("Date".to_string(), "2021-12".to_string())]));
+        // A null scope means no scope was declared.
+        assert_eq!(
+            parse_request("{\"op\":\"reload\",\"scope\":null}", 10),
+            Ok(Request::Reload { scope: None })
+        );
+        let req = parse_request(
+            "{\"op\":\"diff\",\"rules\":[{\"x\":1}],\"scope\":[{\"City\":\"HZ\"}]}",
+            10,
+        )
+        .unwrap();
+        let Request::Diff { rules_json, scope } = req else {
+            panic!("expected a diff request");
+        };
+        assert_eq!(rules_json, "[{\"x\":1}]");
+        assert!(scope.is_some());
+        let err = parse_request("{\"op\":\"diff\"}", 10).unwrap_err();
+        assert!(err.contains("diff needs"), "{err}");
+        let err = parse_request("{\"op\":\"diff\",\"rules\":7}", 10).unwrap_err();
+        assert!(err.contains("diff needs"), "{err}");
+        let err = parse_request("{\"op\":\"reload\",\"scope\":7}", 10).unwrap_err();
+        assert!(err.contains("scope"), "{err}");
     }
 
     #[test]
@@ -352,7 +509,7 @@ mod tests {
         for resp in [
             ok_ping(),
             ok_shutdown(),
-            ok_reload(3),
+            ok_reload(3, Some(2), None),
             error("x"),
             overloaded(),
         ] {

@@ -8,11 +8,16 @@
 //! response line back; everything protocol-level lives in one place.
 
 use crate::engine::RepairEngine;
+use crate::lock;
 use crate::metrics::{Metrics, Snapshot};
 use crate::proto::{self, Request};
+use er_analyze::EditScope;
+use er_lint::Severity;
+use er_rules::RuleStore;
 use er_table::Value;
 use std::io::{self, BufRead, Write};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Serving configuration, shared by pipe and socket mode.
@@ -73,8 +78,24 @@ pub struct Server {
     reloader: Option<Reloader>,
     config: ServeConfig,
     metrics: Metrics,
+    /// The rule version store: the initially loaded set is version 1; every
+    /// promoted reload commits the candidate's canonical document on top.
+    store: Mutex<RuleStore>,
     in_flight: AtomicUsize,
     draining: AtomicBool,
+}
+
+/// Distinct error-severity diagnostic codes of a report, for the
+/// per-code rejection breakdown in `stats`.
+fn error_codes(findings: &[er_lint::Finding]) -> Vec<&'static str> {
+    let mut codes: Vec<&'static str> = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .map(|f| f.code.as_str())
+        .collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
 }
 
 impl Server {
@@ -82,11 +103,14 @@ impl Server {
     pub fn new(engine: RepairEngine, config: ServeConfig) -> Self {
         let metrics = Metrics::new();
         metrics.set_engine_generation(engine.generation());
+        let mut store = RuleStore::new();
+        store.commit(&engine.rules_json(), "initial load");
         Server {
             engine: parking_lot::RwLock::new(engine),
             reloader: None,
             config,
             metrics,
+            store: Mutex::new(store),
             in_flight: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
         }
@@ -144,41 +168,90 @@ impl Server {
                 self.begin_drain();
                 (proto::ok_shutdown(), true)
             }
-            Ok(Request::Reload) => match &self.reloader {
-                None => {
-                    self.metrics.record_error();
-                    (
-                        proto::error("reload is not configured for this server"),
-                        false,
-                    )
-                }
-                Some(reload) => match reload() {
-                    Ok(engine) => {
-                        if self.config.analysis_gate {
-                            let report = engine.analyze();
-                            if !report.gate_clean() {
-                                self.metrics.record_rejected();
-                                return (proto::analysis_rejected("reload", &report), false);
-                            }
-                        }
-                        let rules = engine.num_rules();
-                        self.metrics.set_engine_generation(engine.generation());
-                        *self.engine.write() = engine;
-                        self.metrics.record_reload();
-                        (proto::ok_reload(rules), false)
-                    }
-                    Err(ReloadError::Analysis(report)) => {
-                        self.metrics.record_rejected();
-                        (proto::analysis_rejected("reload", &report), false)
-                    }
-                    Err(ReloadError::Failed(message)) => {
-                        self.metrics.record_error();
-                        (proto::error(&format!("reload failed: {message}")), false)
-                    }
-                },
-            },
+            Ok(Request::Reload { scope }) => self.handle_reload(scope.as_ref()),
             Ok(Request::Repair { rows }) => self.handle_repair(&rows),
             Ok(Request::Append { rows }) => self.handle_append(&rows),
+            Ok(Request::Diff { rules_json, scope }) => {
+                self.handle_diff(&rules_json, scope.as_ref())
+            }
+            Ok(Request::Versions) => (proto::ok_versions(&lock(&self.store)), false),
+        }
+    }
+
+    fn handle_reload(&self, scope: Option<&EditScope>) -> (String, bool) {
+        let Some(reload) = &self.reloader else {
+            self.metrics.record_error();
+            return (
+                proto::error("reload is not configured for this server"),
+                false,
+            );
+        };
+        match reload() {
+            Ok(engine) => {
+                let mut diff = None;
+                if self.config.analysis_gate {
+                    let report = engine.analyze();
+                    if !report.gate_clean() {
+                        self.metrics.record_rejected(&error_codes(&report.findings));
+                        return (proto::analysis_rejected("reload", &report), false);
+                    }
+                    // The edit-scope gate: diff the live set against the
+                    // candidate's canonical document. ER012 (a verdict
+                    // change outside the declared scope) refuses the swap.
+                    let candidate_json = engine.rules_json();
+                    match self.engine.read().diff_against(&candidate_json, scope) {
+                        Ok(report) => {
+                            if !report.gate_clean() {
+                                self.metrics.record_rejected(&error_codes(&report.findings));
+                                return (proto::diff_rejected("reload", &report), false);
+                            }
+                            diff = Some(report);
+                        }
+                        Err(e) => {
+                            self.metrics.record_error();
+                            return (proto::error(&format!("reload diff failed: {e}")), false);
+                        }
+                    }
+                }
+                let rules = engine.num_rules();
+                let candidate_json = engine.rules_json();
+                self.metrics.set_engine_generation(engine.generation());
+                *self.engine.write() = engine;
+                self.metrics.record_reload();
+                let note = match &diff {
+                    Some(report) => match report.certificate() {
+                        Some(cert) => format!("promoted: {cert}"),
+                        None => format!(
+                            "promoted: {} signature(s) change verdict",
+                            report.changes.len()
+                        ),
+                    },
+                    None => "promoted without diff gate".to_string(),
+                };
+                let version = lock(&self.store).commit(&candidate_json, &note);
+                (proto::ok_reload(rules, Some(version), diff.as_ref()), false)
+            }
+            Err(ReloadError::Analysis(report)) => {
+                self.metrics.record_rejected(&error_codes(&report.findings));
+                (proto::analysis_rejected("reload", &report), false)
+            }
+            Err(ReloadError::Failed(message)) => {
+                self.metrics.record_error();
+                (proto::error(&format!("reload failed: {message}")), false)
+            }
+        }
+    }
+
+    fn handle_diff(&self, rules_json: &str, scope: Option<&EditScope>) -> (String, bool) {
+        match self.engine.read().diff_against(rules_json, scope) {
+            Ok(report) => {
+                self.metrics.record_diff();
+                (proto::ok_diff(&report), false)
+            }
+            Err(e) => {
+                self.metrics.record_error();
+                (proto::error(&e.to_string()), false)
+            }
         }
     }
 
@@ -197,7 +270,7 @@ impl Server {
                 let report = engine.analyze_with_master(&preview);
                 if !report.gate_clean() {
                     drop(engine);
-                    self.metrics.record_rejected();
+                    self.metrics.record_rejected(&error_codes(&report.findings));
                     return (proto::analysis_rejected("append", &report), false);
                 }
             }

@@ -409,6 +409,8 @@ fn conflicting_reload_is_rejected_and_the_old_engine_keeps_serving() {
     let stats = responses[2].get("stats").unwrap();
     assert_eq!(num(stats, "rejected"), 1);
     assert_eq!(num(stats, "reloads"), 0);
+    let by_code = stats.get("rejected_by_code").unwrap();
+    assert_eq!(num(by_code, "ER009"), 1, "{by_code:?}");
 }
 
 #[test]
@@ -494,6 +496,183 @@ fn cyclic_rule_file_is_rejected_by_the_gated_loader() {
         "{findings:?}"
     );
     assert!(ok(&responses[1]), "{responses:?}");
+}
+
+/// The live covid rule (City → Case, no pattern) as a portable document
+/// fragment, and the same rule narrowed to the pattern City = "HZ" —
+/// narrowing removes BJ's repair, so the diff reports exactly one changed
+/// signature with the BJ master rows as witness.
+const BROAD_RULE: &str =
+    r#"{"lhs":[["City","City"]],"target":["Case","Infection"],"pattern":[],"measures":null}"#;
+const NARROWED_RULE: &str = r#"{"lhs":[["City","City"]],"target":["Case","Infection"],"pattern":[{"Eq":{"attr":"City","value":"HZ","numeric":false}}],"measures":null}"#;
+
+#[test]
+fn diff_reports_the_edit_scope_without_promoting() {
+    let s = server(ServeConfig::default());
+    let responses = session(
+        &s,
+        &format!(
+            "{{\"op\":\"diff\",\"rules\":[{BROAD_RULE}]}}\n\
+             {{\"op\":\"diff\",\"rules\":[{NARROWED_RULE}]}}\n\
+             {{\"op\":\"repair\",\"rows\":[[\"BJ\",null]]}}\n\
+             {{\"op\":\"stats\"}}\n"
+        ),
+    );
+    // Identical candidate: certified equivalent.
+    let same = &responses[0];
+    assert!(ok(same), "{same:?}");
+    let summary = same.get("summary").unwrap();
+    assert_eq!(summary.get("equivalent"), Some(&Json::Bool(true)));
+    assert!(
+        summary
+            .get("certificate")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("structurally identical"),
+        "{summary:?}"
+    );
+    // Narrowed candidate: one signature (City=BJ) loses its repair.
+    let changed = &responses[1];
+    assert!(ok(changed), "{changed:?}");
+    let summary = changed.get("summary").unwrap();
+    assert_eq!(summary.get("equivalent"), Some(&Json::Bool(false)));
+    assert_eq!(num(summary, "changes"), 1);
+    assert_eq!(num(summary, "errors"), 0, "no scope declared, no ER012");
+    let report = changed.get("report").unwrap();
+    let changes = report.get("changes").and_then(Json::as_array).unwrap();
+    let sig = changes[0].get("signature").unwrap();
+    assert_eq!(sig.get("City").and_then(Json::as_str), Some("BJ"));
+    assert_eq!(
+        changes[0].get("old").and_then(Json::as_str),
+        Some("imports")
+    );
+    assert_eq!(changes[0].get("new"), Some(&Json::Null));
+    // Nothing was promoted: the live engine still repairs BJ.
+    let repair = &responses[2];
+    assert_eq!(repair.get("fixed"), Some(&Json::Int(1)));
+    let stats = responses[3].get("stats").unwrap();
+    assert_eq!(num(stats, "diffs"), 2);
+    assert_eq!(num(stats, "reloads"), 0);
+}
+
+#[test]
+fn unresolvable_diff_candidates_are_errors() {
+    let s = server(ServeConfig::default());
+    let responses = session(
+        &s,
+        "{\"op\":\"diff\",\"rules\":[{\"not\":\"a rule\"}]}\n\
+         {\"op\":\"diff\",\"rules\":\"nope\"}\n\
+         {\"op\":\"stats\"}\n",
+    );
+    assert!(!ok(&responses[0]), "{responses:?}");
+    assert!(!ok(&responses[1]), "{responses:?}");
+    assert!(
+        error_of(&responses[1]).contains("diff needs"),
+        "{responses:?}"
+    );
+    let stats = responses[2].get("stats").unwrap();
+    assert_eq!(num(stats, "diffs"), 0);
+    assert_eq!(num(stats, "errors"), 2);
+}
+
+#[test]
+fn out_of_scope_reload_is_rejected_and_in_scope_promotes() {
+    let task = covid_task();
+    let rules = vec![EditingRule::new(vec![(0, 0)], (1, 1), vec![])];
+    let engine = RepairEngine::new(&task, rules, 0).unwrap();
+    let reload_task = covid_task();
+    let narrowed = format!("[{NARROWED_RULE}]");
+    let s = Server::new(engine, ServeConfig::default()).with_reloader(Box::new(move || {
+        RepairEngine::from_json(&reload_task, &narrowed, 0)
+            .map_err(|e| ReloadError::Failed(e.to_string()))
+    }));
+    let responses = session(
+        &s,
+        "{\"op\":\"reload\",\"scope\":{\"City\":\"HZ\"}}\n\
+         {\"op\":\"repair\",\"rows\":[[\"BJ\",null]]}\n\
+         {\"op\":\"reload\",\"scope\":[{\"City\":\"HZ\"},{\"City\":\"BJ\"}]}\n\
+         {\"op\":\"repair\",\"rows\":[[\"BJ\",null]]}\n\
+         {\"op\":\"stats\"}\n",
+    );
+    // The candidate drops BJ's repair but the declared scope only covers
+    // HZ: ER012, no swap.
+    let reject = &responses[0];
+    assert!(!ok(reject), "{reject:?}");
+    assert!(error_of(reject).contains("edit-scope"), "{reject:?}");
+    assert_eq!(reject.get("rejected"), Some(&Json::Bool(true)));
+    let summary = reject.get("summary").unwrap();
+    assert_eq!(num(summary, "errors"), 1);
+    let report = reject.get("report").unwrap();
+    let findings = report.get("findings").and_then(Json::as_array).unwrap();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.get("code").and_then(Json::as_str) == Some("ER012")),
+        "{findings:?}"
+    );
+    // The live engine survived the rejection.
+    assert_eq!(responses[1].get("fixed"), Some(&Json::Int(1)));
+    // Widening the scope to cover BJ admits the same candidate.
+    let promote = &responses[2];
+    assert!(ok(promote), "{promote:?}");
+    assert_eq!(num(promote, "version"), 2);
+    let summary = promote.get("diff").unwrap();
+    assert_eq!(num(summary, "changes"), 1);
+    assert_eq!(num(summary, "errors"), 0);
+    // Now the narrowed set serves: BJ is out of pattern, nothing fixed.
+    assert_eq!(responses[3].get("fixed"), Some(&Json::Int(0)));
+    let stats = responses[4].get("stats").unwrap();
+    assert_eq!(num(stats, "reloads"), 1);
+    assert_eq!(num(stats, "rejected"), 1);
+    let by_code = stats.get("rejected_by_code").unwrap();
+    assert_eq!(num(by_code, "ER012"), 1);
+}
+
+#[test]
+fn versions_track_the_promotion_lineage() {
+    let task = covid_task();
+    let rules = vec![EditingRule::new(vec![(0, 0)], (1, 1), vec![])];
+    let engine = RepairEngine::new(&task, rules, 0).unwrap();
+    let reload_task = covid_task();
+    let narrowed = format!("[{NARROWED_RULE}]");
+    let s = Server::new(engine, ServeConfig::default()).with_reloader(Box::new(move || {
+        RepairEngine::from_json(&reload_task, &narrowed, 0)
+            .map_err(|e| ReloadError::Failed(e.to_string()))
+    }));
+    let responses = session(
+        &s,
+        "{\"op\":\"versions\"}\n\
+         {\"op\":\"reload\"}\n\
+         {\"op\":\"versions\"}\n",
+    );
+    let store = responses[0].get("store").unwrap();
+    assert_eq!(num(store, "head"), 1);
+    let versions = store.get("versions").and_then(Json::as_array).unwrap();
+    assert_eq!(versions.len(), 1);
+    assert_eq!(
+        versions[0].get("note").and_then(Json::as_str),
+        Some("initial load")
+    );
+    assert_eq!(versions[0].get("parent"), Some(&Json::Null));
+    assert!(ok(&responses[1]), "{responses:?}");
+    let store = responses[2].get("store").unwrap();
+    assert_eq!(num(store, "head"), 2);
+    let versions = store.get("versions").and_then(Json::as_array).unwrap();
+    assert_eq!(versions.len(), 2);
+    assert_eq!(num(&versions[1], "parent"), 1);
+    assert_eq!(
+        versions[1].get("parent_hash"),
+        versions[0].get("hash"),
+        "lineage hashes must chain"
+    );
+    assert!(
+        versions[1]
+            .get("note")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("1 signature(s) change verdict"),
+        "{versions:?}"
+    );
 }
 
 #[test]

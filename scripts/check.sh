@@ -54,6 +54,30 @@ cargo run -p er-bench --bin experiments -- analyze examples/conflicting_rules.js
     --out results/analyze-conflicting.json || rc=$?
 [[ "$rc" == 1 ]]
 
+echo "==> experiments diff v1 v1 (equivalence certified, exit 0)"
+same=$(cargo run -p er-bench --bin experiments -- diff \
+    examples/figure1_rules.json examples/figure1_rules.json \
+    --out results/diff-same.json)
+echo "$same"
+[[ "$same" == *'CERTIFIED'* ]]
+
+echo "==> experiments diff v1 v2 (ER011 witnesses, exit 0)"
+diffout=$(cargo run -p er-bench --bin experiments -- diff \
+    examples/figure1_rules.json examples/figure1_rules_v2.json \
+    --out results/diff.json)
+echo "$diffout"
+[[ "$diffout" == *'info[ER011]'* ]]
+[[ "$diffout" == *'witness row 0: Kevin, Lees'* ]]
+[[ "$diffout" == *'witness row 1: Kyrie, Wang'* ]]
+[[ "$diffout" == *'2 verdict changes, 0 errors, 2 infos'* ]]
+
+echo "==> experiments diff v1 v2 --scope Date=2021-12 (ER012, exit 1)"
+rc=0
+cargo run -p er-bench --bin experiments -- diff \
+    examples/figure1_rules.json examples/figure1_rules_v2.json \
+    --scope '{"Date":"2021-12"}' --out results/diff-scoped.json || rc=$?
+[[ "$rc" == 1 ]]
+
 echo "==> er-serve pipe-mode smoke"
 smoke=$(printf '%s\n' \
     '{"op":"ping"}' \

@@ -41,6 +41,15 @@ protocol (one JSON object per line):
   {\"op\":\"append\",\"rows\":[[cell,...],...]}   cells in master-schema order;
                      grows the master in place, delta-updating the warm
                      indexes (stats reports appends + engine_generation)
+  {\"op\":\"reload\",\"scope\":SCOPE}            gate the promotion on a declared
+                     edit scope: verdict changes outside SCOPE are ER012
+                     and the reload is refused (stats: rejected_by_code)
+  {\"op\":\"diff\",\"rules\":[...],\"scope\":SCOPE?}  compare the live rule set
+                     against a candidate portable document without
+                     promoting: reports changed signatures with witnesses
+  {\"op\":\"versions\"}  the rule version store: lineage, content hashes and
+                     promotion notes (reloads commit new versions)
+  SCOPE := {attr:value,...} or a list of such conjunctions
 shutdown: send {\"op\":\"shutdown\"} or close stdin (pipe mode); every fully
 read request is answered before the service exits";
 
