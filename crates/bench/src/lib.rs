@@ -28,12 +28,14 @@
 
 pub mod incr_bench;
 pub mod methods;
+pub mod repair_bench;
 pub mod runners;
 pub mod serve_bench;
 pub mod stats;
 
 pub use incr_bench::{incr_bench, IncrBench};
 pub use methods::{ctane_method, enuminer_method, rlminer_method, MethodOutcome};
+pub use repair_bench::{repair_bench, RepairBench};
 pub use runners::*;
 pub use serve_bench::{serve_bench, ServeBench};
 pub use stats::{mean_std, MeanStd};
@@ -66,6 +68,9 @@ pub struct ExperimentConfig {
     pub threads: usize,
     /// Where JSON results are written.
     pub out_dir: std::path::PathBuf,
+    /// Smoke-test mode (`--quick`): runners shrink their workloads, and
+    /// `repair_bench` skips appending to the `BENCH_repair.json` trajectory.
+    pub quick: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -77,6 +82,7 @@ impl Default for ExperimentConfig {
             enu_budget: Some(1_000_000),
             threads: 0,
             out_dir: std::path::PathBuf::from("results"),
+            quick: false,
         }
     }
 }
@@ -98,6 +104,7 @@ impl ExperimentConfig {
             repeats: 2,
             train_steps: 2000,
             enu_budget: Some(200_000),
+            quick: true,
             ..Default::default()
         }
     }

@@ -1,0 +1,328 @@
+//! `repair_bench` — throughput of the signature-batched repair hot path.
+//!
+//! Builds a large synthetic batch with a *skewed* signature distribution
+//! (many rows per popular city, a long tail of rare ones — the regime the
+//! signature batching exploits), runs [`er_rules::BatchRepairer`] through
+//! both its production path and the row-at-a-time reference kept behind the
+//! `reference-path` feature, asserts the two reports are **byte-identical**,
+//! and reports rows/s, per-batch p50/p99 latency, and the speedup.
+//!
+//! Besides `results/repair_bench.json`, a full (non-`--quick`) run appends
+//! one entry to the repo-root `BENCH_repair.json` trajectory file, so the
+//! perf delta of every PR is visible in review. Both modes then validate
+//! that the trajectory file exists and is well-formed, which is what
+//! `scripts/check.sh` and CI rely on.
+
+use crate::ExperimentConfig;
+use er_rules::{BatchRepairer, Condition, EditingRule, RepairReport};
+use er_table::{Attribute, Pool, Relation, RelationBuilder, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use serde_json::Value as Json;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Repo-root perf trajectory artifact; one entry appended per full run.
+const TRAJECTORY: &str = "BENCH_repair.json";
+
+/// Result of one repair benchmark run (also one trajectory entry).
+#[derive(Debug, Clone, Serialize)]
+pub struct RepairBench {
+    /// Rows in the synthetic input batch.
+    pub rows: usize,
+    /// Rules in the loaded set.
+    pub rules: usize,
+    /// Distinct `(X, X_m)` LHS groups those rules collapse to.
+    pub lhs_groups: usize,
+    /// Distinct signature probes one repair performs (all groups).
+    pub probes_per_batch: u64,
+    /// Timed iterations of the batched path.
+    pub iters: usize,
+    /// Batched path: rows repaired per second.
+    pub rows_per_second: f64,
+    /// Batched path: median per-batch latency, microseconds.
+    pub p50_us: u64,
+    /// Batched path: 99th-percentile per-batch latency, microseconds.
+    pub p99_us: u64,
+    /// Timed iterations of the row-at-a-time reference path.
+    pub reference_iters: usize,
+    /// Reference path: rows repaired per second.
+    pub reference_rows_per_second: f64,
+    /// Batched throughput over reference throughput.
+    pub speedup: f64,
+    /// Worker threads (`0` = auto).
+    pub threads: usize,
+    /// Whether this was a `--quick` smoke run (quick runs do not enter the
+    /// trajectory).
+    pub quick: bool,
+    /// Wall-clock seconds since the Unix epoch when the run finished.
+    pub unix_seconds: u64,
+}
+
+/// The skewed synthetic workload: a master with a known vote distribution
+/// per (city, region) and an input batch whose city popularity follows a
+/// quadratic skew — a few signatures cover most rows, with a long tail.
+fn workload(rows: usize, seed: u64) -> (Relation, Relation) {
+    let cities = 512usize;
+    let regions = 32usize;
+    let infections = ["patient", "imports", "flu", "none", "suspect", "cleared"];
+    let pool = Arc::new(Pool::new());
+    let in_schema = Arc::new(Schema::new(
+        "in",
+        vec![
+            Attribute::categorical("City"),
+            Attribute::categorical("Region"),
+            Attribute::categorical("Case"),
+        ],
+    ));
+    let m_schema = Arc::new(Schema::new(
+        "m",
+        vec![
+            Attribute::categorical("City"),
+            Attribute::categorical("Region"),
+            Attribute::categorical("Infection"),
+        ],
+    ));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bm = RelationBuilder::new(m_schema, Arc::clone(&pool));
+    for city in 0..cities {
+        let region = city % regions;
+        // 2–5 master rows per city with a city-dependent majority value, so
+        // votes have real distributions to sum and a clear winner to find.
+        for _ in 0..rng.gen_range(2..6) {
+            let inf = if rng.gen_range(0..10) < 7 {
+                infections[city % infections.len()]
+            } else {
+                infections[rng.gen_range(0..infections.len())]
+            };
+            bm.push_row(vec![
+                Value::str(format!("C{city}")),
+                Value::str(format!("R{region}")),
+                Value::str(inf),
+            ])
+            .unwrap_or_else(|e| panic!("repair_bench: master row rejected: {e}"));
+        }
+    }
+    let master = bm.finish();
+
+    let mut b = RelationBuilder::new(in_schema, pool);
+    for _ in 0..rows {
+        // Quadratic skew: city 0 is ~2*sqrt(cities) more popular than the
+        // tail, and most probability mass sits on a handful of signatures.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let city = ((u * u) * cities as f64) as usize;
+        let region = city % regions;
+        // A few percent NULL keys exercise the grouping filter.
+        let city_cell = if rng.gen_range(0..100) < 3 {
+            Value::Null
+        } else {
+            Value::str(format!("C{city}"))
+        };
+        b.push_row(vec![
+            city_cell,
+            Value::str(format!("R{region}")),
+            Value::Null,
+        ])
+        .unwrap_or_else(|e| panic!("repair_bench: input row rejected: {e}"));
+    }
+    (b.finish(), master)
+}
+
+/// Six rules across three LHS groups, mixing pattern-free and pattern
+/// rules, so the bench exercises probe dedup and the per-rule fan-out.
+fn bench_rules(input: &Relation) -> Vec<EditingRule> {
+    let r3 = input
+        .pool()
+        .code_of(&Value::str("R3"))
+        .unwrap_or_else(|| panic!("repair_bench: region R3 missing from the workload"));
+    let target = (2, 2);
+    vec![
+        EditingRule::new(vec![(0, 0)], target, vec![]),
+        EditingRule::new(vec![(0, 0)], target, vec![Condition::eq(1, r3)]),
+        EditingRule::new(vec![(1, 1)], target, vec![]),
+        EditingRule::new(vec![(0, 0), (1, 1)], target, vec![]),
+        EditingRule::new(vec![(0, 0), (1, 1)], target, vec![Condition::eq(1, r3)]),
+        EditingRule::new(vec![(1, 1)], target, vec![Condition::eq(1, r3)]),
+    ]
+}
+
+fn assert_bitwise_equal(batched: &RepairReport, reference: &RepairReport) {
+    assert_eq!(
+        batched.predictions, reference.predictions,
+        "repair_bench: batched predictions diverge from the reference path"
+    );
+    let bits = |r: &RepairReport| r.scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(batched),
+        bits(reference),
+        "repair_bench: batched scores are not byte-identical to the reference path"
+    );
+    assert_eq!(batched.candidates, reference.candidates);
+    assert_eq!(batched.rules_applied, reference.rules_applied);
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Benchmark the signature-batched repair path; see the module docs.
+pub fn repair_bench(cfg: &ExperimentConfig) -> RepairBench {
+    println!("== repair_bench: signature-batched vs row-at-a-time repair ==");
+    let (rows, iters, reference_iters) = if cfg.quick {
+        (8_192usize, 5usize, 2usize)
+    } else {
+        (65_536usize, 20usize, 4usize)
+    };
+    let (input, master) = workload(rows, 7);
+    let rules = bench_rules(&input);
+    let repairer = BatchRepairer::new(master, (2, 2), rules, cfg.threads)
+        .unwrap_or_else(|e| panic!("repair_bench: repairer construction failed: {e}"));
+
+    // Correctness first: the two paths must agree bit for bit before any
+    // number is worth reporting.
+    let batched_report = repairer
+        .repair_batch(&input)
+        .unwrap_or_else(|e| panic!("repair_bench: batched repair failed: {e}"));
+    let reference_report = repairer
+        .repair_batch_reference(&input)
+        .unwrap_or_else(|e| panic!("repair_bench: reference repair failed: {e}"));
+    assert_bitwise_equal(&batched_report, &reference_report);
+    let probes_per_batch = repairer.vote_stats().probes;
+
+    // Warm-up already happened above; now time the batched path.
+    let mut latencies: Vec<u64> = Vec::with_capacity(iters);
+    let batched_started = Instant::now();
+    for _ in 0..iters {
+        let t = Instant::now();
+        let report = repairer
+            .repair_batch(&input)
+            .unwrap_or_else(|e| panic!("repair_bench: batched repair failed: {e}"));
+        latencies.push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+        assert_eq!(report.predictions.len(), rows);
+    }
+    let batched_seconds = batched_started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+
+    let reference_started = Instant::now();
+    for _ in 0..reference_iters {
+        repairer
+            .repair_batch_reference(&input)
+            .unwrap_or_else(|e| panic!("repair_bench: reference repair failed: {e}"));
+    }
+    let reference_seconds = reference_started.elapsed().as_secs_f64();
+
+    let rows_per_second = (rows * iters) as f64 / batched_seconds.max(1e-9);
+    let reference_rows_per_second = (rows * reference_iters) as f64 / reference_seconds.max(1e-9);
+    let result = RepairBench {
+        rows,
+        rules: repairer.rules().len(),
+        lhs_groups: repairer.num_lhs_groups(),
+        probes_per_batch,
+        iters,
+        rows_per_second,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        reference_iters,
+        reference_rows_per_second,
+        speedup: rows_per_second / reference_rows_per_second.max(1e-9),
+        threads: cfg.threads,
+        quick: cfg.quick,
+        unix_seconds: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    };
+    println!(
+        "  {} rows × {} rules ({} LHS groups, {} probes/batch): batched {:.0} rows/s (p50={}us p99={}us)",
+        result.rows,
+        result.rules,
+        result.lhs_groups,
+        result.probes_per_batch,
+        result.rows_per_second,
+        result.p50_us,
+        result.p99_us
+    );
+    println!(
+        "  reference {:.0} rows/s over {} iters -> speedup {:.1}x (reports byte-identical)",
+        result.reference_rows_per_second, result.reference_iters, result.speedup
+    );
+    cfg.write_json("repair_bench", &result);
+    if result.quick {
+        println!("  [--quick: not appended to {TRAJECTORY}]");
+    } else {
+        append_trajectory(&result);
+    }
+    match validate_trajectory() {
+        Ok(entries) => println!("  [{TRAJECTORY}: {entries} trajectory entries, well-formed]"),
+        Err(e) => panic!("repair_bench: {TRAJECTORY} is missing or malformed: {e}"),
+    }
+    result
+}
+
+/// Append one entry to the repo-root trajectory file, creating it on the
+/// first ever full run.
+fn append_trajectory(result: &RepairBench) {
+    let mut entries: Vec<Json> = match std::fs::read_to_string(TRAJECTORY) {
+        Ok(s) => match serde_json::from_str::<Json>(&s) {
+            Ok(doc) => doc
+                .get("entries")
+                .and_then(Json::as_array)
+                .map(<[Json]>::to_vec)
+                .unwrap_or_default(),
+            Err(_) => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    // Round-trip through the serializer so the entry uses the exact field
+    // names `RepairBench` serializes with.
+    let entry = serde_json::to_string(result)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Json>(&s).ok());
+    let Some(entry) = entry else {
+        eprintln!("warn: cannot serialize the trajectory entry");
+        return;
+    };
+    entries.push(entry);
+    let doc = Json::Object(vec![
+        ("bench".to_string(), Json::Str("repair_bench".to_string())),
+        ("entries".to_string(), Json::Array(entries)),
+    ]);
+    match serde_json::to_string_pretty(&doc) {
+        Ok(json) => match std::fs::write(TRAJECTORY, json + "\n") {
+            Ok(()) => println!("  [appended entry to {TRAJECTORY}]"),
+            Err(e) => eprintln!("warn: cannot write {TRAJECTORY}: {e}"),
+        },
+        Err(e) => eprintln!("warn: cannot serialize {TRAJECTORY}: {e}"),
+    }
+}
+
+/// Check the trajectory file parses and every entry carries the perf fields
+/// the PR-over-PR comparison needs. Returns the entry count.
+fn validate_trajectory() -> Result<usize, String> {
+    let text = std::fs::read_to_string(TRAJECTORY).map_err(|e| format!("cannot read: {e}"))?;
+    let doc = serde_json::from_str::<Json>(&text).map_err(|e| format!("not JSON: {e}"))?;
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or("no \"entries\" array")?;
+    if entries.is_empty() {
+        return Err("\"entries\" is empty".to_string());
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        for field in ["rows", "rows_per_second", "p50_us", "p99_us", "speedup"] {
+            let ok = matches!(
+                entry.get(field),
+                Some(Json::Int(_) | Json::UInt(_) | Json::Float(_))
+            );
+            if !ok {
+                return Err(format!("entry {i} lacks numeric field \"{field}\""));
+            }
+        }
+    }
+    Ok(entries.len())
+}

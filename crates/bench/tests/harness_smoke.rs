@@ -14,6 +14,7 @@ fn micro() -> ExperimentConfig {
         train_steps: 300,
         enu_budget: Some(5_000),
         threads: 0,
+        quick: false,
         out_dir: std::env::temp_dir().join("erminer_bench_smoke"),
     }
 }

@@ -11,7 +11,7 @@ use er_analyze::AnalyzeConfig;
 use er_datagen::{DatasetKind, Scenario, ScenarioConfig};
 use er_enuminer::EnuMinerConfig;
 use er_rlminer::{RlMiner, RlMinerConfig};
-use er_rules::{EditingRule, TargetRules};
+use er_rules::{BatchRepairer, EditingRule, TargetRules};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -187,6 +187,60 @@ fn diff_report_is_thread_count_invariant() {
             base.render_text(),
             "diff text diverged at {threads} threads"
         );
+    }
+}
+
+/// The signature-batched repair path fans its LHS groups out over the
+/// worker pool; the report — predictions, scores *bit for bit*, candidate
+/// counts — must be byte-identical at any thread count, and identical to
+/// the row-at-a-time reference path.
+#[test]
+fn batched_repair_is_thread_count_invariant() {
+    let s = covid();
+    let task = &s.task;
+    let target = task.target();
+    let pairs = task.candidate_lhs_pairs();
+    let mut rules: Vec<EditingRule> = pairs
+        .iter()
+        .map(|&p| EditingRule::new(vec![p], target, vec![]))
+        .collect();
+    for window in pairs.windows(2) {
+        rules.push(EditingRule::new(window.to_vec(), target, vec![]));
+    }
+    let runs: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let repairer =
+                BatchRepairer::new(task.master().clone(), target, rules.clone(), threads).unwrap();
+            let batched = repairer.repair_batch(task.input()).unwrap();
+            let reference = repairer.repair_batch_reference(task.input()).unwrap();
+            (batched, reference)
+        })
+        .collect();
+    let (base, _) = &runs[0];
+    assert!(base.num_predictions() > 0, "fixture must predict something");
+    let bits =
+        |r: &er_rules::RepairReport| r.scores.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    for ((batched, reference), threads) in runs.iter().zip(THREAD_COUNTS) {
+        assert_eq!(
+            batched.predictions, base.predictions,
+            "predictions diverged at {threads} threads"
+        );
+        assert_eq!(
+            bits(batched),
+            bits(base),
+            "scores diverged bitwise at {threads} threads"
+        );
+        assert_eq!(
+            batched.candidates, base.candidates,
+            "candidate counts diverged at {threads} threads"
+        );
+        assert_eq!(
+            bits(batched),
+            bits(reference),
+            "batched and reference paths diverged at {threads} threads"
+        );
+        assert_eq!(batched.predictions, reference.predictions);
     }
 }
 

@@ -24,7 +24,7 @@
 //! grows large, callers re-mine (e.g. RLMiner-ft fine-tuning over the
 //! grown master) and install the result via [`IncrEngine::refresh_rules`].
 
-use er_rules::{BatchError, BatchRepairer, EditingRule, RepairReport};
+use er_rules::{BatchError, BatchRepairer, EditingRule, RepairReport, VoteStats};
 use er_table::{AttrId, Relation, Value};
 use std::time::Instant;
 
@@ -157,6 +157,13 @@ impl IncrEngine {
     /// Lifetime incremental-vs-rebuild counters.
     pub fn counters(&self) -> IncrCounters {
         self.counters
+    }
+
+    /// Lifetime vote-batching counters of the underlying repairer (rows
+    /// grouped vs. distinct signature probes). Reset by
+    /// [`IncrEngine::refresh_rules`], which replaces the repairer.
+    pub fn vote_stats(&self) -> VoteStats {
+        self.repairer.vote_stats()
     }
 
     /// The loaded rules.

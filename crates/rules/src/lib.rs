@@ -40,7 +40,7 @@ pub mod store;
 pub mod task;
 
 pub use analysis::{coverage, overlap, CoverageReport, RuleCoverage};
-pub use batch::{BatchError, BatchRepairer};
+pub use batch::{BatchError, BatchRepairer, VoteStats};
 pub use chase::{chase, ChaseConfig, ChaseResult, Fix, TargetRules};
 pub use domination::{dominates, pattern_dominates, select_top_k};
 pub use io::{from_portable, rules_from_json, rules_to_json, to_portable, PortableRule};

@@ -11,6 +11,7 @@ use crate::rule::EditingRule;
 use crate::task::Task;
 use er_table::{Code, Relation, RowId, NULL_CODE};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Result of applying a rule set: one optional predicted fix per input row.
 #[derive(Debug, Clone)]
@@ -91,16 +92,22 @@ pub fn apply_rules_with(ev: &Evaluator<'_>, rules: &[EditingRule]) -> RepairRepo
             if total == 0 {
                 continue;
             }
+            // The same `count * (1/total)` shape as the signature-batched
+            // path in `BatchRepairer`, so the two produce bitwise-identical
+            // scores (multiplying by a precomputed reciprocal rounds
+            // differently than a fresh division would).
+            let recip = 1.0 / total as f64;
             for &(code, count) in dist {
                 if code == NULL_CODE {
                     continue;
                 }
-                out.push((row, code, count as f64 / total as f64));
+                out.push((row, code, count as f64 * recip));
             }
         }
         out
     });
 
+    let contributions = contributions.into_iter().map(Contribution::Flat).collect();
     let report = fold_votes(n, contributions);
     #[cfg(feature = "debug-invariants")]
     {
@@ -127,20 +134,484 @@ pub fn apply_rules_with(ev: &Evaluator<'_>, rules: &[EditingRule]) -> RepairRepo
     report
 }
 
+/// Sentinel signature id: this row gets no vote from the rule (NULL key or
+/// failed pattern).
+pub(crate) const NO_SIG: u32 = u32::MAX;
+
+/// One rule's votes in signature-grouped, row-major form, as emitted by the
+/// batched repair path: every row of a signature receives the same
+/// candidate scores, so instead of materializing one `(row, code, score)`
+/// tuple per vote the rule carries a row-major signature-id vector plus a
+/// candidate arena indexed per signature. The arenas are `Arc`-shared
+/// across the rules of one LHS group (the probe-dedup satellite of the
+/// signature-batched pipeline), and the row-major shape lets the fold walk
+/// every rule in one streaming pass per row.
+#[derive(Debug, Clone)]
+pub(crate) struct RuleVotes {
+    /// Signature id of each batch row, `NO_SIG` where the rule is silent.
+    pub(crate) sigs: Arc<Vec<u32>>,
+    /// Flat `(candidate code, certainty score)` arena, one run per probed
+    /// signature, in master-distribution order.
+    pub(crate) cands: Arc<Vec<(Code, f64)>>,
+    /// `(cand_start, cand_end)` into `cands` per signature id.
+    pub(crate) ranges: Arc<Vec<(u32, u32)>>,
+    /// Whether the rule emitted at least one vote (some row carries a
+    /// signature with a non-empty candidate run). Tracked at emission so
+    /// `rules_applied` needs no O(rows) rescan.
+    pub(crate) live: bool,
+}
+
+impl RuleVotes {
+    /// The candidate run of signature `s`.
+    #[inline]
+    fn run(&self, s: u32) -> &[(Code, f64)] {
+        let (cs, ce) = self.ranges[s as usize];
+        &self.cands[cs as usize..ce as usize]
+    }
+}
+
+/// One rule's vote contribution, in either of the two shapes the engine
+/// produces. Both fold to bitwise-identical reports: each row gets at most
+/// one `(code, delta)` add per rule, so the per-slot sums accumulate in
+/// rule order regardless of the shape or the order within a rule.
+pub(crate) enum Contribution {
+    /// Row-at-a-time tuples (the one-shot path and the reference path).
+    Flat(Vec<(RowId, Code, f64)>),
+    /// Row-major signature vector + shared candidate arena (batched path).
+    Grouped(RuleVotes),
+}
+
+impl Contribution {
+    fn is_empty(&self) -> bool {
+        match self {
+            Contribution::Flat(votes) => votes.is_empty(),
+            Contribution::Grouped(g) => !g.live,
+        }
+    }
+}
+
+/// Dense-fold budget: the dense accumulator is used only when the candidate
+/// universe is at most this many distinct codes...
+const DENSE_MAX_CANDIDATES: usize = 64;
+/// ...and the `rows × candidates` slot matrix stays below this size
+/// (2^22 slots ≈ 32 MiB of `f64` plus the touched bitmap).
+const DENSE_MAX_SLOTS: usize = 1 << 22;
+
 /// Ordered fold of per-rule vote contributions into a [`RepairReport`]:
 /// `votes[row]: candidate code → accumulated certainty score`, summed in
 /// rule order so floating-point accumulation matches the sequential loop at
 /// any thread count. A rule applied iff it contributed. Shared by the
 /// one-shot path above and [`crate::BatchRepairer`].
-pub(crate) fn fold_votes(n: usize, contributions: Vec<Vec<(RowId, Code, f64)>>) -> RepairReport {
-    let mut votes: Vec<HashMap<Code, f64>> = vec![HashMap::new(); n];
-    let mut rules_applied = 0usize;
-    for contribution in contributions {
-        if !contribution.is_empty() {
-            rules_applied += 1;
+///
+/// When the candidate universe is small (the common case: candidates are
+/// master `Y_m` values reachable from the batch's signatures) the votes
+/// accumulate into a dense `rows × candidates` array instead of one
+/// `HashMap` per row; both folds produce bitwise-identical reports (each
+/// `(row, code)` slot receives exactly one add per rule, in rule order, and
+/// the winner scan visits candidates in ascending code order so the
+/// smaller-code tie-break is preserved).
+pub(crate) fn fold_votes(n: usize, contributions: Vec<Contribution>) -> RepairReport {
+    let rules_applied = contributions.iter().filter(|c| !c.is_empty()).count();
+    // Collect the candidate universe, giving up on the dense fold as soon
+    // as it outgrows the budget (the `contains` scan stays cheap because
+    // the vector is capped at DENSE_MAX_CANDIDATES + 1 entries).
+    let mut universe: Vec<Code> = Vec::new();
+    let mut dense_ok = true;
+    'scan: for contribution in &contributions {
+        match contribution {
+            Contribution::Flat(votes) => {
+                for &(_, code, _) in votes {
+                    if !universe.contains(&code) {
+                        universe.push(code);
+                        if universe.len() > DENSE_MAX_CANDIDATES {
+                            dense_ok = false;
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            Contribution::Grouped(g) => {
+                // The whole arena, not just voted runs: a signature whose
+                // rows were all pattern-filtered contributes codes that
+                // never receive a vote, which only widens the universe —
+                // their slots stay at 0.0 and are skipped by every fold.
+                for &(code, _) in g.cands.iter() {
+                    if !universe.contains(&code) {
+                        universe.push(code);
+                        if universe.len() > DENSE_MAX_CANDIDATES {
+                            dense_ok = false;
+                            break 'scan;
+                        }
+                    }
+                }
+            }
         }
-        for (row, code, delta) in contribution {
-            *votes[row].entry(code).or_insert(0.0) += delta;
+    }
+    let all_grouped = contributions
+        .iter()
+        .all(|c| matches!(c, Contribution::Grouped(_)));
+    if dense_ok && !universe.is_empty() && all_grouped {
+        universe.sort_unstable();
+        fold_grouped(n, &universe, &contributions, rules_applied)
+    } else if dense_ok
+        && !universe.is_empty()
+        && n.saturating_mul(universe.len()) <= DENSE_MAX_SLOTS
+    {
+        universe.sort_unstable();
+        fold_dense(n, &universe, &contributions, rules_applied)
+    } else {
+        fold_sparse(n, &contributions, rules_applied)
+    }
+}
+
+/// Per-rule delta matrix budget for the padded fold: `(sigs + 1) × K`
+/// `f64`s must stay cache-resident for the branchless row loop to pay off.
+const DENSE_DELTA_SLOTS: usize = 1 << 16;
+
+/// Fused fold for the batched path (every contribution signature-grouped,
+/// small universe): one streaming pass over the rows with a small local
+/// accumulator that lives in registers — no `rows × candidates` matrix, no
+/// second winner-scan pass. For each row the rules are visited in rule
+/// order, so every `(row, code)` slot accumulates in exactly the order the
+/// other folds use — the reports are bitwise identical.
+///
+/// The accumulator width is monomorphized (4/8/16 lanes) so the per-rule
+/// add compiles to fixed-width vector code; wider universes or oversized
+/// delta matrices fall back to the per-run walk.
+fn fold_grouped(
+    n: usize,
+    universe: &[Code],
+    contributions: &[Contribution],
+    rules_applied: usize,
+) -> RepairReport {
+    let k = universe.len();
+    let max_sigs = contributions
+        .iter()
+        .filter_map(|c| match c {
+            Contribution::Grouped(g) => Some(g.ranges.len()),
+            Contribution::Flat(_) => None,
+        })
+        .max()
+        .unwrap_or(0);
+    if (max_sigs + 1) * 16 <= DENSE_DELTA_SLOTS {
+        if k <= 4 {
+            return fold_grouped_padded::<4>(n, universe, contributions, rules_applied);
+        }
+        if k <= 8 {
+            return fold_grouped_padded::<8>(n, universe, contributions, rules_applied);
+        }
+        if k <= 16 {
+            return fold_grouped_padded::<16>(n, universe, contributions, rules_applied);
+        }
+    }
+    fold_grouped_runs(n, universe, contributions, rules_applied)
+}
+
+/// The padded fast path: per rule, the candidate runs expand into a dense
+/// `(sigs + 1) × K` delta matrix — row `s` holds signature `s`'s per-rank
+/// deltas (0.0 for ranks the signature does not vote), and the extra
+/// all-zero row is the landing pad for `NO_SIG`. The per-row work is then a
+/// branchless, fixed-width `acc[0..K] += deltas[s][0..K]` per rule.
+///
+/// Adding 0.0 for the silent ranks is a *bitwise* no-op: every accumulator
+/// state is +0.0 or a positive finite sum (all vote deltas are strictly
+/// positive), and `x + 0.0` reproduces such an `x` exactly. So each slot's
+/// effective add sequence is still exactly one add per voting rule, in rule
+/// order — identical bits to the other folds. Padding ranks `k..K` never
+/// receive a non-zero delta and are never scanned.
+fn fold_grouped_padded<const K: usize>(
+    n: usize,
+    universe: &[Code],
+    contributions: &[Contribution],
+    rules_applied: usize,
+) -> RepairReport {
+    let k = universe.len();
+    let grouped: Vec<&RuleVotes> = contributions
+        .iter()
+        .filter_map(|c| match c {
+            Contribution::Grouped(g) => Some(g),
+            Contribution::Flat(_) => None,
+        })
+        .collect();
+    // The rules of one LHS group share their candidate arena (`Arc`), so
+    // their delta matrices are identical — build each distinct arena's
+    // matrix once and let the lanes reference it.
+    let mut arena_keys: Vec<*const Vec<(Code, f64)>> = Vec::new();
+    let mut matrices: Vec<Vec<f64>> = Vec::new();
+    let mut matrix_of: Vec<usize> = Vec::with_capacity(grouped.len());
+    for g in &grouped {
+        let key = Arc::as_ptr(&g.cands);
+        let idx = arena_keys
+            .iter()
+            .position(|&p| p == key)
+            .unwrap_or_else(|| {
+                let num_sigs = g.ranges.len();
+                let mut deltas = vec![0.0f64; (num_sigs + 1) * K];
+                for (s, &(cs, ce)) in g.ranges.iter().enumerate() {
+                    for &(code, delta) in &g.cands[cs as usize..ce as usize] {
+                        // Invariant: the universe scan saw every code.
+                        #[allow(clippy::unwrap_used)]
+                        let id = universe.binary_search(&code).unwrap();
+                        deltas[s * K + id] = delta;
+                    }
+                }
+                arena_keys.push(key);
+                matrices.push(deltas);
+                arena_keys.len() - 1
+            });
+        matrix_of.push(idx);
+    }
+    let lanes: Vec<(&[u32], u32, &[f64])> = grouped
+        .iter()
+        .zip(&matrix_of)
+        .map(|(g, &mi)| {
+            // Invariant: `num_sigs ≤ rows < u32::MAX`, so `NO_SIG.min`
+            // lands exactly on the all-zero row.
+            (
+                g.sigs.as_slice(),
+                g.ranges.len() as u32,
+                matrices[mi].as_slice(),
+            )
+        })
+        .collect();
+
+    let mut predictions = Vec::with_capacity(n);
+    let mut scores = Vec::with_capacity(n);
+    let mut candidates = Vec::with_capacity(n);
+    for row in 0..n {
+        let mut acc = [0.0f64; K];
+        for &(sigs, silent, deltas) in &lanes {
+            let s = sigs[row].min(silent) as usize;
+            let run = &deltas[s * K..s * K + K];
+            for i in 0..K {
+                acc[i] += run[i];
+            }
+        }
+        finish_row(
+            universe,
+            &acc[..k],
+            &mut predictions,
+            &mut scores,
+            &mut candidates,
+        );
+    }
+    RepairReport {
+        predictions,
+        scores,
+        candidates,
+        rules_applied,
+    }
+}
+
+/// The general fused fold: per rule, walk the row-major signature vector
+/// and add the signature's `(rank, delta)` run into a k-wide accumulator.
+fn fold_grouped_runs(
+    n: usize,
+    universe: &[Code],
+    contributions: &[Contribution],
+    rules_applied: usize,
+) -> RepairReport {
+    let k = universe.len();
+    // Candidate ranks resolved once per rule; `ranked[cs..ce]` mirrors the
+    // rule's `cands[cs..ce]` run. Slices are hoisted out of the row loop so
+    // the inner pass does plain indexed loads, not `Arc` chains.
+    let ranked_arenas: Vec<Vec<(u32, f64)>> = contributions
+        .iter()
+        .filter_map(|c| match c {
+            Contribution::Grouped(g) => Some(g),
+            Contribution::Flat(_) => None,
+        })
+        .map(|g| {
+            g.cands
+                .iter()
+                .map(|&(code, delta)| {
+                    // Invariant: the universe scan saw every code.
+                    #[allow(clippy::unwrap_used)]
+                    let id = universe.binary_search(&code).unwrap() as u32;
+                    (id, delta)
+                })
+                .collect()
+        })
+        .collect();
+    // One lane per rule: (row-major signature vector, per-signature
+    // candidate ranges, rank-resolved candidate arena).
+    type RunLane<'a> = (&'a [u32], &'a [(u32, u32)], &'a [(u32, f64)]);
+    let rules: Vec<RunLane> = contributions
+        .iter()
+        .filter_map(|c| match c {
+            Contribution::Grouped(g) => Some(g),
+            Contribution::Flat(_) => None,
+        })
+        .zip(&ranked_arenas)
+        .map(|(g, ranked)| (g.sigs.as_slice(), g.ranges.as_slice(), ranked.as_slice()))
+        .collect();
+
+    let mut predictions = Vec::with_capacity(n);
+    let mut scores = Vec::with_capacity(n);
+    let mut candidates = Vec::with_capacity(n);
+    let mut acc = vec![0.0f64; k];
+    for row in 0..n {
+        acc.fill(0.0);
+        for &(sigs, ranges, ranked) in &rules {
+            let s = sigs[row];
+            if s == NO_SIG {
+                continue;
+            }
+            let (cs, ce) = ranges[s as usize];
+            for &(id, delta) in &ranked[cs as usize..ce as usize] {
+                acc[id as usize] += delta;
+            }
+        }
+        finish_row(
+            universe,
+            &acc,
+            &mut predictions,
+            &mut scores,
+            &mut candidates,
+        );
+    }
+    RepairReport {
+        predictions,
+        scores,
+        candidates,
+        rules_applied,
+    }
+}
+
+/// Winner scan of one row's accumulator: every vote carries strictly
+/// positive mass, so a slot was voted on iff it is > 0.0; ascending rank +
+/// strict `>` keeps the smaller-code tie-break of the sparse fold.
+#[inline]
+fn finish_row(
+    universe: &[Code],
+    acc: &[f64],
+    predictions: &mut Vec<Option<Code>>,
+    scores: &mut Vec<f64>,
+    candidates: &mut Vec<usize>,
+) {
+    // Branchless: scores are ≥ 0.0, so `score > best` (with `best`
+    // starting at 0.0) implies the slot was voted on, and the strict `>`
+    // keeps the first (smallest-rank) slot on exact ties.
+    let mut count = 0usize;
+    let mut best_id = 0usize;
+    let mut best = 0.0f64;
+    for (id, &score) in acc.iter().enumerate() {
+        count += usize::from(score > 0.0);
+        if score > best {
+            best = score;
+            best_id = id;
+        }
+    }
+    candidates.push(count);
+    if best > 0.0 {
+        predictions.push(Some(universe[best_id]));
+        scores.push(best);
+    } else {
+        predictions.push(None);
+        scores.push(0.0);
+    }
+}
+
+/// Dense fold: scores land in a `rows × candidates` array indexed by the
+/// candidate's rank in the (ascending-sorted) universe. The winner scan
+/// walks candidates in ascending code order with a strict `>`, so on exact
+/// score ties the smaller code wins — the same total order as the sparse
+/// fold's comparator.
+fn fold_dense(
+    n: usize,
+    universe: &[Code],
+    contributions: &[Contribution],
+    rules_applied: usize,
+) -> RepairReport {
+    let k = universe.len();
+    // No separate hit mask: every vote carries strictly positive mass
+    // (count ≥ 1 times a positive reciprocal), so a slot was voted on
+    // iff its accumulated score is > 0.0.
+    let mut acc = vec![0.0f64; n * k];
+    for contribution in contributions {
+        match contribution {
+            Contribution::Flat(votes) => {
+                for &(row, code, delta) in votes {
+                    // Invariant: the universe scan above saw every vote.
+                    #[allow(clippy::unwrap_used)]
+                    let id = universe.binary_search(&code).unwrap();
+                    acc[row * k + id] += delta;
+                }
+            }
+            Contribution::Grouped(g) => {
+                for (row, &s) in g.sigs.iter().enumerate() {
+                    if s == NO_SIG {
+                        continue;
+                    }
+                    let base = row * k;
+                    for &(code, delta) in g.run(s) {
+                        // Invariant: the universe scan above saw every code.
+                        #[allow(clippy::unwrap_used)]
+                        let id = universe.binary_search(&code).unwrap();
+                        acc[base + id] += delta;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut predictions = Vec::with_capacity(n);
+    let mut scores = Vec::with_capacity(n);
+    let mut candidates = Vec::with_capacity(n);
+    for row in 0..n {
+        let base = row * k;
+        let mut count = 0usize;
+        let mut best: Option<(Code, f64)> = None;
+        for (id, &code) in universe.iter().enumerate() {
+            let score = acc[base + id];
+            if score <= 0.0 {
+                continue;
+            }
+            count += 1;
+            if best.is_none_or(|(_, b)| score > b) {
+                best = Some((code, score));
+            }
+        }
+        candidates.push(count);
+        match best {
+            Some((code, score)) => {
+                predictions.push(Some(code));
+                scores.push(score);
+            }
+            None => {
+                predictions.push(None);
+                scores.push(0.0);
+            }
+        }
+    }
+    RepairReport {
+        predictions,
+        scores,
+        candidates,
+        rules_applied,
+    }
+}
+
+/// Sparse fold (one `HashMap` per row) for large candidate universes.
+fn fold_sparse(n: usize, contributions: &[Contribution], rules_applied: usize) -> RepairReport {
+    let mut votes: Vec<HashMap<Code, f64>> = vec![HashMap::new(); n];
+    for contribution in contributions {
+        match contribution {
+            Contribution::Flat(flat) => {
+                for &(row, code, delta) in flat {
+                    *votes[row].entry(code).or_insert(0.0) += delta;
+                }
+            }
+            Contribution::Grouped(g) => {
+                for (row, &s) in g.sigs.iter().enumerate() {
+                    if s == NO_SIG {
+                        continue;
+                    }
+                    for &(code, delta) in g.run(s) {
+                        *votes[row].entry(code).or_insert(0.0) += delta;
+                    }
+                }
+            }
         }
     }
 

@@ -18,7 +18,7 @@ use er_analyze::{
 use er_incr::{AppendOutcome, IncrCounters, IncrEngine};
 use er_rules::{
     rules_from_json, rules_to_json, BatchError, EditingRule, Measures, SchemaMatch, TargetRules,
-    Task,
+    Task, VoteStats,
 };
 use er_table::{Pool, Relation, Schema, Value};
 use std::sync::Arc;
@@ -249,6 +249,13 @@ impl RepairEngine {
     /// Lifetime incremental-vs-rebuild counters of the underlying engine.
     pub fn counters(&self) -> IncrCounters {
         self.engine.counters()
+    }
+
+    /// Lifetime vote-batching counters of the underlying engine (rows
+    /// grouped vs. distinct signature probes) — the `signature_dedup`
+    /// payoff the `stats` op reports.
+    pub fn vote_stats(&self) -> VoteStats {
+        self.engine.vote_stats()
     }
 
     /// Append rows (master-schema attribute order) to the master, updating

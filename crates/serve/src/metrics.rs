@@ -48,6 +48,12 @@ pub struct Metrics {
     /// Gauge, not a counter: the engine's master generation, stored after
     /// every engine-mutating op so `stats` can report it lock-free.
     engine_generation: AtomicU64,
+    /// Gauges mirroring the engine's lifetime vote-batching counters
+    /// (rows grouped vs. distinct signature probes), stored after every
+    /// successful repair so `stats` can report the batching payoff
+    /// (`signature_dedup`) lock-free.
+    vote_rows: AtomicU64,
+    signature_probes: AtomicU64,
     /// Per-diagnostic-code breakdown of gate rejections, so `stats` can
     /// attribute *why* promotions were refused (BTreeMap: deterministic
     /// rendering order).
@@ -75,6 +81,8 @@ impl Metrics {
             diffs: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             engine_generation: AtomicU64::new(0),
+            vote_rows: AtomicU64::new(0),
+            signature_probes: AtomicU64::new(0),
             rejected_by_code: Mutex::new(BTreeMap::new()),
             latencies: Mutex::new(Reservoir {
                 buf: Vec::new(),
@@ -141,6 +149,13 @@ impl Metrics {
         self.engine_generation.store(generation, Ordering::Relaxed);
     }
 
+    /// Update the vote-batching gauges from the engine's lifetime counters
+    /// (after a successful repair).
+    pub fn set_vote_stats(&self, rows: u64, probes: u64) {
+        self.vote_rows.store(rows, Ordering::Relaxed);
+        self.signature_probes.store(probes, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot for reporting (counters are read
     /// individually; exactness across counters is not required).
     pub fn snapshot(&self, queue_depth: usize) -> Snapshot {
@@ -166,6 +181,8 @@ impl Metrics {
                 .map(|(code, n)| (code.clone(), *n))
                 .collect(),
             engine_generation: self.engine_generation.load(Ordering::Relaxed),
+            vote_rows: self.vote_rows.load(Ordering::Relaxed),
+            signature_probes: self.signature_probes.load(Ordering::Relaxed),
             queue_depth,
             p50_us,
             p99_us,
@@ -207,6 +224,11 @@ pub struct Snapshot {
     pub rejected_by_code: Vec<(String, u64)>,
     /// The engine's master generation at the last engine-mutating op.
     pub engine_generation: u64,
+    /// Rows that entered signature grouping across all repairs (engine
+    /// lifetime counter, sampled at the last successful repair).
+    pub vote_rows: u64,
+    /// Distinct-signature index probes those rows collapsed to.
+    pub signature_probes: u64,
     /// Repair requests in flight when the snapshot was taken.
     pub queue_depth: usize,
     /// Median repair latency over the window, microseconds.
@@ -216,6 +238,17 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Rows handled per distinct signature probe — the batching payoff of
+    /// the signature-batched repair path on live traffic (`0.0` before any
+    /// repair). Computed, not stored, so the snapshot stays `Eq`.
+    pub fn signature_dedup(&self) -> f64 {
+        if self.signature_probes == 0 {
+            0.0
+        } else {
+            self.vote_rows as f64 / self.signature_probes as f64
+        }
+    }
+
     /// JSON object for the `stats` response.
     pub fn to_value(&self) -> Json {
         Json::Object(vec![
@@ -244,6 +277,15 @@ impl Snapshot {
                 "engine_generation".to_string(),
                 Json::UInt(self.engine_generation),
             ),
+            ("vote_rows".to_string(), Json::UInt(self.vote_rows)),
+            (
+                "signature_probes".to_string(),
+                Json::UInt(self.signature_probes),
+            ),
+            (
+                "signature_dedup".to_string(),
+                Json::Float(self.signature_dedup()),
+            ),
             (
                 "queue_depth".to_string(),
                 Json::UInt(self.queue_depth as u64),
@@ -256,7 +298,7 @@ impl Snapshot {
     /// One human-readable line for the periodic stderr log.
     pub fn log_line(&self) -> String {
         format!(
-            "serve: requests={} repairs={} fixed={} errors={} overloaded={} reloads={} appends={} rejected={} gen={} queue={} p50={}us p99={}us",
+            "serve: requests={} repairs={} fixed={} errors={} overloaded={} reloads={} appends={} rejected={} gen={} dedup={:.1} queue={} p50={}us p99={}us",
             self.requests,
             self.repairs,
             self.repaired_cells,
@@ -266,6 +308,7 @@ impl Snapshot {
             self.appends,
             self.rejected,
             self.engine_generation,
+            self.signature_dedup(),
             self.queue_depth,
             self.p50_us,
             self.p99_us
@@ -322,6 +365,28 @@ mod tests {
         assert!(line.contains("\"appends\""));
         assert!(line.contains("\"engine_generation\""));
         assert!(line.contains("\"rejected_by_code\":{\"ER009\":2,\"ER012\":1}"));
+    }
+
+    #[test]
+    fn vote_stats_gauges_and_dedup_ratio() {
+        let m = Metrics::new();
+        let fresh = m.snapshot(0);
+        assert_eq!(fresh.vote_rows, 0);
+        assert_eq!(fresh.signature_probes, 0);
+        assert_eq!(fresh.signature_dedup(), 0.0);
+        m.set_vote_stats(120, 30);
+        let s = m.snapshot(0);
+        assert_eq!(s.vote_rows, 120);
+        assert_eq!(s.signature_probes, 30);
+        assert!((s.signature_dedup() - 4.0).abs() < 1e-12);
+        // Gauges track the latest engine counters, they do not accumulate.
+        m.set_vote_stats(200, 40);
+        assert_eq!(m.snapshot(0).vote_rows, 200);
+        let line = serde_json::to_string(&s.to_value()).unwrap();
+        assert!(line.contains("\"vote_rows\":120"));
+        assert!(line.contains("\"signature_probes\":30"));
+        assert!(line.contains("\"signature_dedup\":4"));
+        assert!(s.log_line().contains("dedup=4.0"));
     }
 
     #[test]

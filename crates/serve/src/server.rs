@@ -300,12 +300,19 @@ impl Server {
         }
         let started = Instant::now();
         let deadline = self.config.deadline.map(|d| started + d);
-        let result = self.engine.read().repair(rows, deadline);
+        // Hold the read guard across the repair *and* the stats read, so the
+        // vote-batching gauges reflect the engine that served this request.
+        let (result, votes) = {
+            let engine = self.engine.read();
+            let result = engine.repair(rows, deadline);
+            (result, engine.vote_stats())
+        };
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
         match result {
             Ok(outcome) => {
                 self.metrics
                     .record_repair(started.elapsed(), outcome.fixed());
+                self.metrics.set_vote_stats(votes.rows, votes.probes);
                 (proto::ok_repair(&outcome), false)
             }
             Err(e) => {

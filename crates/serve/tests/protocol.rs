@@ -130,6 +130,17 @@ fn num(v: &Json, key: &str) -> i64 {
     }
 }
 
+/// Float field accessor tolerant of the parser narrowing whole floats to
+/// integers on the round trip.
+fn float(v: &Json, key: &str) -> f64 {
+    match v.get(key) {
+        Some(Json::Float(f)) => *f,
+        Some(Json::Int(i)) => *i as f64,
+        Some(Json::UInt(u)) => *u as f64,
+        other => panic!("field {key} is not a number: {other:?}"),
+    }
+}
+
 #[test]
 fn ping_repair_shutdown_round_trip() {
     let s = server(ServeConfig::default());
@@ -249,6 +260,26 @@ fn stats_reflect_traffic() {
     assert_eq!(num(stats, "repaired_cells"), 1);
     assert_eq!(num(stats, "errors"), 1);
     assert_eq!(num(stats, "queue_depth"), 0);
+    // The signature-batched repair path surfaces its payoff: one NULL-free
+    // row grouped, one distinct signature probed → dedup ratio 1.0.
+    assert_eq!(num(stats, "vote_rows"), 1);
+    assert_eq!(num(stats, "signature_probes"), 1);
+    assert!((float(stats, "signature_dedup") - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn signature_dedup_collapses_duplicate_rows() {
+    let s = server(ServeConfig::default());
+    let responses = session(
+        &s,
+        "{\"op\":\"repair\",\"rows\":[[\"HZ\",null],[\"HZ\",null],[\"HZ\",null],[\"BJ\",null]]}\n\
+         {\"op\":\"stats\"}\n",
+    );
+    let stats = responses[1].get("stats").unwrap();
+    // Four NULL-free rows collapse to two distinct city signatures.
+    assert_eq!(num(stats, "vote_rows"), 4);
+    assert_eq!(num(stats, "signature_probes"), 2);
+    assert!((float(stats, "signature_dedup") - 2.0).abs() < 1e-12);
 }
 
 #[test]

@@ -78,6 +78,12 @@ cargo run -p er-bench --bin experiments -- diff \
     --scope '{"Date":"2021-12"}' --out results/diff-scoped.json || rc=$?
 [[ "$rc" == 1 ]]
 
+echo "==> experiments repair_bench --quick (batched == reference, trajectory well-formed)"
+benchout=$(cargo run -p er-bench --release --bin experiments -- --quick repair_bench)
+echo "$benchout"
+[[ "$benchout" == *'byte-identical'* ]]
+[[ "$benchout" == *'well-formed'* ]]
+
 echo "==> er-serve pipe-mode smoke"
 smoke=$(printf '%s\n' \
     '{"op":"ping"}' \
@@ -92,6 +98,7 @@ echo "$smoke"
 [[ "$(echo "$smoke" | sed -n 3p)" == *'"appended":1'* ]]
 [[ "$(echo "$smoke" | sed -n 4p)" == *'"appends":1'* ]]
 [[ "$(echo "$smoke" | sed -n 4p)" == *'"engine_generation":5'* ]]
+[[ "$(echo "$smoke" | sed -n 4p)" == *'"signature_dedup"'* ]]
 
 if [[ "${BENCH:-0}" == "1" ]]; then
     echo "==> experiments par_sweep (refreshing results/par_sweep.json)"
