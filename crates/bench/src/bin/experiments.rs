@@ -16,7 +16,7 @@ usage: experiments [--paper-scale|--quick] [--repeats N] [--train-steps N] [--th
        experiments lint [--dataset NAME] [--seed N] [--json] [--fix [--out PATH]] <rules.json>
        experiments analyze [--dataset NAME] [--seed N] [--threads N] [--json] [--out PATH] <rules.json>
        experiments diff [--dataset NAME] [--seed N] [--threads N] [--scope JSON] [--json] [--out PATH] <old.json> <new.json>
-  ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate par_sweep serve_bench incr_bench repair_bench
+  ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate par_sweep serve_bench incr_bench repair_bench ingest_bench
   --paper-scale   run at the paper's dataset sizes (EnuMiner may take hours)
   --quick         smoke-test scale (shorter training, tighter budgets)
   --repeats N     repetitions for mean±std tables (default 3, paper 5)
@@ -24,7 +24,10 @@ usage: experiments [--paper-scale|--quick] [--repeats N] [--train-steps N] [--th
   --threads N     miner worker threads (default 0 = ER_THREADS env or 1);
                   results are identical at any thread count
 lint: statically analyze a rule-set JSON file against a dataset scenario
-  --dataset NAME  figure1 (default), adult, covid, nursery, location
+  --dataset NAME  any dataset-registry name: figure1 (default), adult,
+                  covid, nursery, location, or one defined by --registry
+  --registry PATH JSON config of extra named datasets (generator variants
+                  or chunk-streamed CSV pairs); see examples/datasets.json
   --seed N        scenario seed for the generated datasets (default 1)
   --json          emit the machine-readable JSON report instead of text
   --fix           remove rules flagged ER003/ER004 (mechanically safe) and
@@ -170,6 +173,9 @@ fn main() {
             "repair_bench" => {
                 er_bench::repair_bench(&cfg);
             }
+            "ingest_bench" => {
+                er_bench::ingest_bench(&cfg);
+            }
             other => die(&format!("unknown experiment id {other}")),
         }
         println!("[{} finished in {:.1?}]\n", id, start.elapsed());
@@ -181,23 +187,22 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Build the named dataset scenario shared by the `lint` and `analyze`
-/// subcommands.
-fn load_scenario(dataset: &str, seed: u64) -> er_datagen::Scenario {
-    match dataset {
-        "figure1" => er_datagen::figure1(),
-        name => {
-            let kind = er_datagen::DatasetKind::all()
-                .into_iter()
-                .find(|k| k.name() == name)
-                .unwrap_or_else(|| die(&format!("unknown dataset {name}")));
-            let config = er_datagen::ScenarioConfig {
-                seed,
-                ..kind.small_config()
-            };
-            kind.build(config)
+/// Build the named dataset scenario shared by the `lint`, `analyze`, and
+/// `diff` subcommands. Every name resolves through the er-ingest
+/// [`DatasetRegistry`](er_ingest::DatasetRegistry): the built-in catalog
+/// (figure1 + the four paper generators) optionally extended by a
+/// `--registry` JSON config of named dataset definitions.
+fn load_scenario(registry_config: Option<&str>, dataset: &str, seed: u64) -> er_datagen::Scenario {
+    let mut registry = er_ingest::DatasetRegistry::builtin();
+    if let Some(path) = registry_config {
+        if let Err(e) = registry.load_config(path) {
+            die(&format!("--registry {path}: {e}"));
         }
     }
+    let knobs = er_ingest::ScaleKnobs { scale: 1.0, seed };
+    registry
+        .build(dataset, &knobs)
+        .unwrap_or_else(|e| die(&e.to_string()))
 }
 
 /// The `analyze` subcommand: run the er-analyze passes over a rule-set JSON
@@ -208,6 +213,7 @@ fn analyze_main(args: &[String]) {
     let mut seed = 1u64;
     let mut threads = 0usize;
     let mut json_out = false;
+    let mut registry: Option<String> = None;
     let mut out = "results/analyze.json".to_string();
     let mut file: Option<String> = None;
     let mut it = args.iter();
@@ -218,6 +224,13 @@ fn analyze_main(args: &[String]) {
                     .next()
                     .cloned()
                     .unwrap_or_else(|| die("--dataset needs a name"));
+            }
+            "--registry" => {
+                registry = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--registry needs a path")),
+                );
             }
             "--seed" => {
                 seed = it
@@ -249,7 +262,7 @@ fn analyze_main(args: &[String]) {
     let Some(path) = file else {
         die("analyze needs a rules.json path")
     };
-    let scenario = load_scenario(&dataset, seed);
+    let scenario = load_scenario(registry.as_deref(), &dataset, seed);
     let json = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => {
@@ -294,6 +307,7 @@ fn diff_main(args: &[String]) {
     let mut seed = 1u64;
     let mut threads = 0usize;
     let mut json_out = false;
+    let mut registry: Option<String> = None;
     let mut out = "results/diff.json".to_string();
     let mut scope_json: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
@@ -305,6 +319,13 @@ fn diff_main(args: &[String]) {
                     .next()
                     .cloned()
                     .unwrap_or_else(|| die("--dataset needs a name"));
+            }
+            "--registry" => {
+                registry = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--registry needs a path")),
+                );
             }
             "--seed" => {
                 seed = it
@@ -349,7 +370,7 @@ fn diff_main(args: &[String]) {
             std::process::exit(2);
         })
     });
-    let scenario = load_scenario(&dataset, seed);
+    let scenario = load_scenario(registry.as_deref(), &dataset, seed);
     let read = |path: &String| match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -398,6 +419,7 @@ fn lint_main(args: &[String]) {
     let mut dataset = "figure1".to_string();
     let mut seed = 1u64;
     let mut json_out = false;
+    let mut registry: Option<String> = None;
     let mut fix = false;
     let mut out: Option<String> = None;
     let mut file: Option<String> = None;
@@ -409,6 +431,13 @@ fn lint_main(args: &[String]) {
                     .next()
                     .cloned()
                     .unwrap_or_else(|| die("--dataset needs a name"));
+            }
+            "--registry" => {
+                registry = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--registry needs a path")),
+                );
             }
             "--seed" => {
                 seed = it
@@ -437,7 +466,7 @@ fn lint_main(args: &[String]) {
         die("lint needs a rules.json path")
     };
 
-    let scenario = load_scenario(&dataset, seed);
+    let scenario = load_scenario(registry.as_deref(), &dataset, seed);
 
     let json = match std::fs::read_to_string(&path) {
         Ok(s) => s,

@@ -27,18 +27,22 @@
 //! where the crossovers are) is preserved at both scales.
 
 pub mod incr_bench;
+pub mod ingest_bench;
 pub mod methods;
 pub mod repair_bench;
 pub mod runners;
 pub mod serve_bench;
 pub mod stats;
+pub mod trajectory;
 
 pub use incr_bench::{incr_bench, IncrBench};
+pub use ingest_bench::{ingest_bench, IngestBench};
 pub use methods::{ctane_method, enuminer_method, rlminer_method, MethodOutcome};
 pub use repair_bench::{repair_bench, RepairBench};
 pub use runners::*;
 pub use serve_bench::{serve_bench, ServeBench};
 pub use stats::{mean_std, MeanStd};
+pub use trajectory::{append_trajectory, validate_trajectory};
 
 use er_datagen::{DatasetKind, Scenario, ScenarioConfig};
 use serde::Serialize;

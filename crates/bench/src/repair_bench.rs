@@ -13,13 +13,13 @@
 //! that the trajectory file exists and is well-formed, which is what
 //! `scripts/check.sh` and CI rely on.
 
+use crate::trajectory::{append_trajectory, validate_trajectory};
 use crate::ExperimentConfig;
 use er_rules::{BatchRepairer, Condition, EditingRule, RepairReport};
 use er_table::{Attribute, Pool, Relation, RelationBuilder, Schema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
-use serde_json::Value as Json;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -255,74 +255,14 @@ pub fn repair_bench(cfg: &ExperimentConfig) -> RepairBench {
     if result.quick {
         println!("  [--quick: not appended to {TRAJECTORY}]");
     } else {
-        append_trajectory(&result);
+        append_trajectory(TRAJECTORY, "repair_bench", &result);
     }
-    match validate_trajectory() {
+    match validate_trajectory(
+        TRAJECTORY,
+        &["rows", "rows_per_second", "p50_us", "p99_us", "speedup"],
+    ) {
         Ok(entries) => println!("  [{TRAJECTORY}: {entries} trajectory entries, well-formed]"),
         Err(e) => panic!("repair_bench: {TRAJECTORY} is missing or malformed: {e}"),
     }
     result
-}
-
-/// Append one entry to the repo-root trajectory file, creating it on the
-/// first ever full run.
-fn append_trajectory(result: &RepairBench) {
-    let mut entries: Vec<Json> = match std::fs::read_to_string(TRAJECTORY) {
-        Ok(s) => match serde_json::from_str::<Json>(&s) {
-            Ok(doc) => doc
-                .get("entries")
-                .and_then(Json::as_array)
-                .map(<[Json]>::to_vec)
-                .unwrap_or_default(),
-            Err(_) => Vec::new(),
-        },
-        Err(_) => Vec::new(),
-    };
-    // Round-trip through the serializer so the entry uses the exact field
-    // names `RepairBench` serializes with.
-    let entry = serde_json::to_string(result)
-        .ok()
-        .and_then(|s| serde_json::from_str::<Json>(&s).ok());
-    let Some(entry) = entry else {
-        eprintln!("warn: cannot serialize the trajectory entry");
-        return;
-    };
-    entries.push(entry);
-    let doc = Json::Object(vec![
-        ("bench".to_string(), Json::Str("repair_bench".to_string())),
-        ("entries".to_string(), Json::Array(entries)),
-    ]);
-    match serde_json::to_string_pretty(&doc) {
-        Ok(json) => match std::fs::write(TRAJECTORY, json + "\n") {
-            Ok(()) => println!("  [appended entry to {TRAJECTORY}]"),
-            Err(e) => eprintln!("warn: cannot write {TRAJECTORY}: {e}"),
-        },
-        Err(e) => eprintln!("warn: cannot serialize {TRAJECTORY}: {e}"),
-    }
-}
-
-/// Check the trajectory file parses and every entry carries the perf fields
-/// the PR-over-PR comparison needs. Returns the entry count.
-fn validate_trajectory() -> Result<usize, String> {
-    let text = std::fs::read_to_string(TRAJECTORY).map_err(|e| format!("cannot read: {e}"))?;
-    let doc = serde_json::from_str::<Json>(&text).map_err(|e| format!("not JSON: {e}"))?;
-    let entries = doc
-        .get("entries")
-        .and_then(Json::as_array)
-        .ok_or("no \"entries\" array")?;
-    if entries.is_empty() {
-        return Err("\"entries\" is empty".to_string());
-    }
-    for (i, entry) in entries.iter().enumerate() {
-        for field in ["rows", "rows_per_second", "p50_us", "p99_us", "speedup"] {
-            let ok = matches!(
-                entry.get(field),
-                Some(Json::Int(_) | Json::UInt(_) | Json::Float(_))
-            );
-            if !ok {
-                return Err(format!("entry {i} lacks numeric field \"{field}\""));
-            }
-        }
-    }
-    Ok(entries.len())
 }

@@ -1,0 +1,133 @@
+//! Repo-root perf trajectory files.
+//!
+//! Every perf-sensitive bench (`repair_bench`, `ingest_bench`) appends one
+//! entry per full run to a committed `BENCH_*.json` file at the repo root,
+//! so the perf delta of every PR is visible in review. This module holds the
+//! append/validate machinery the benches share: appending round-trips the
+//! result through its serializer so the trajectory uses the exact field
+//! names the struct serializes with, and validation checks the file parses
+//! and that every entry carries the numeric fields the PR-over-PR
+//! comparison needs.
+
+use serde::Serialize;
+use serde_json::Value as Json;
+
+/// Append one entry to the trajectory file `file`, creating it on the first
+/// ever full run. `bench` is recorded as the file's `"bench"` tag.
+pub fn append_trajectory<T: Serialize>(file: &str, bench: &str, result: &T) {
+    let mut entries: Vec<Json> = match std::fs::read_to_string(file) {
+        Ok(s) => match serde_json::from_str::<Json>(&s) {
+            Ok(doc) => doc
+                .get("entries")
+                .and_then(Json::as_array)
+                .map(<[Json]>::to_vec)
+                .unwrap_or_default(),
+            Err(_) => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    let entry = serde_json::to_string(result)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Json>(&s).ok());
+    let Some(entry) = entry else {
+        eprintln!("warn: cannot serialize the trajectory entry");
+        return;
+    };
+    entries.push(entry);
+    let doc = Json::Object(vec![
+        ("bench".to_string(), Json::Str(bench.to_string())),
+        ("entries".to_string(), Json::Array(entries)),
+    ]);
+    match serde_json::to_string_pretty(&doc) {
+        Ok(json) => match std::fs::write(file, json + "\n") {
+            Ok(()) => println!("  [appended entry to {file}]"),
+            Err(e) => eprintln!("warn: cannot write {file}: {e}"),
+        },
+        Err(e) => eprintln!("warn: cannot serialize {file}: {e}"),
+    }
+}
+
+/// Check that the trajectory file parses and every entry carries the given
+/// numeric fields. Returns the entry count.
+pub fn validate_trajectory(file: &str, required: &[&str]) -> Result<usize, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read: {e}"))?;
+    let doc = serde_json::from_str::<Json>(&text).map_err(|e| format!("not JSON: {e}"))?;
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or("no \"entries\" array")?;
+    if entries.is_empty() {
+        return Err("\"entries\" is empty".to_string());
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        for field in required {
+            let ok = matches!(
+                entry.get(field),
+                Some(Json::Int(_) | Json::UInt(_) | Json::Float(_))
+            );
+            if !ok {
+                return Err(format!("entry {i} lacks numeric field \"{field}\""));
+            }
+        }
+    }
+    Ok(entries.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_missing_fields() {
+        let dir = std::env::temp_dir().join("er_bench_trajectory_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("t.json");
+        let path = file.to_str().unwrap();
+        std::fs::write(
+            path,
+            r#"{"bench":"x","entries":[{"rows":1,"rows_per_second":2.0}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            validate_trajectory(path, &["rows", "rows_per_second"]),
+            Ok(1)
+        );
+        assert!(validate_trajectory(path, &["rows", "speedup"]).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn append_then_validate_round_trips() {
+        #[derive(Serialize)]
+        struct Entry {
+            rows: usize,
+            rows_per_second: f64,
+        }
+        let dir = std::env::temp_dir().join("er_bench_trajectory_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("rt.json");
+        let path = file.to_str().unwrap();
+        std::fs::remove_file(path).ok();
+        append_trajectory(
+            path,
+            "rt",
+            &Entry {
+                rows: 5,
+                rows_per_second: 10.0,
+            },
+        );
+        append_trajectory(
+            path,
+            "rt",
+            &Entry {
+                rows: 6,
+                rows_per_second: 11.0,
+            },
+        );
+        assert_eq!(
+            validate_trajectory(path, &["rows", "rows_per_second"]),
+            Ok(2)
+        );
+        std::fs::remove_file(path).ok();
+    }
+}

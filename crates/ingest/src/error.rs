@@ -1,0 +1,124 @@
+//! Typed ingestion errors.
+//!
+//! Every failure names the 1-based record number (header included) where it
+//! happened, so a multi-gigabyte load that dies on record 48-million is
+//! debuggable without bisecting the file.
+
+use std::fmt;
+
+/// Errors from chunked streaming ingestion.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// A record is not valid UTF-8. Unlike the lossy whole-file loader, the
+    /// streaming path refuses rather than silently substituting U+FFFD:
+    /// out-of-core loads are production feeds, not exploratory ones.
+    BadUtf8 {
+        /// 1-based record number (the header is record 1).
+        record: usize,
+    },
+    /// A record has the wrong number of fields for the schema.
+    ArityMismatch {
+        /// 1-based record number.
+        record: usize,
+        /// Fields the schema expects.
+        expected: usize,
+        /// Fields the record actually has.
+        got: usize,
+    },
+    /// A cell could not be converted to a relation value (NDJSON booleans,
+    /// nested arrays/objects, unsigned integers beyond `i64`).
+    UnparseableCell {
+        /// 1-based record number.
+        record: usize,
+        /// 0-based attribute index of the offending cell.
+        attr: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// No record terminator within the configured per-record byte budget.
+    /// Bounded-memory ingestion cannot buffer an unbounded record, so a
+    /// missing newline in a corrupt feed surfaces here instead of as OOM.
+    OversizedRecord {
+        /// 1-based record number.
+        record: usize,
+        /// The configured `max_record_bytes`.
+        limit: usize,
+    },
+    /// EOF arrived inside an open quoted field — the file was cut off
+    /// mid-record (a partial upload or a truncated download).
+    TruncatedRecord {
+        /// 1-based record number of the unfinished record.
+        record: usize,
+    },
+    /// Malformed CSV quoting or row structure inside one record.
+    Csv {
+        /// 1-based record number.
+        record: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// An NDJSON line failed to parse, or parsed to a non-record shape.
+    Json {
+        /// 1-based record number.
+        record: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// Header/schema mismatch, inference failure, or an unknown dataset or
+    /// malformed registry config.
+    Schema {
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The incremental engine refused an append (pool mismatch, row
+    /// validation); nothing from the offending chunk was committed.
+    Append {
+        /// What the engine reported.
+        message: String,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "io error: {e}"),
+            IngestError::BadUtf8 { record } => {
+                write!(f, "record {record}: invalid UTF-8")
+            }
+            IngestError::ArityMismatch {
+                record,
+                expected,
+                got,
+            } => write!(f, "record {record}: has {got} fields, expected {expected}"),
+            IngestError::UnparseableCell {
+                record,
+                attr,
+                message,
+            } => write!(f, "record {record}, cell {attr}: {message}"),
+            IngestError::OversizedRecord { record, limit } => {
+                write!(f, "record {record}: no terminator within {limit} bytes")
+            }
+            IngestError::TruncatedRecord { record } => {
+                write!(f, "record {record}: input truncated inside a quoted field")
+            }
+            IngestError::Csv { record, message } => {
+                write!(f, "record {record}: {message}")
+            }
+            IngestError::Json { record, message } => {
+                write!(f, "record {record}: {message}")
+            }
+            IngestError::Schema { message } => write!(f, "schema: {message}"),
+            IngestError::Append { message } => write!(f, "append refused: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}

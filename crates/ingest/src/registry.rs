@@ -1,0 +1,481 @@
+//! A registry of named dataset configs.
+//!
+//! Everything the experiment harness and the serve CLI can load — the
+//! synthetic generators, the paper's Figure-1 example, and on-disk CSV pairs
+//! streamed through the chunked loader — lives behind one [`Dataset`] trait,
+//! so scenarios are swept by *name* with a scale knob and a seed instead of
+//! per-source plumbing. Extra datasets come from a JSON config file (see
+//! `examples/datasets.json` and the README registry reference).
+
+use crate::error::IngestError;
+use crate::stream::{ingest_relation, Format, IngestConfig, SchemaMode};
+use er_datagen::{CsvScenarioOptions, DatasetKind, NoiseConfig, Scenario, ScenarioConfig};
+use er_table::Pool;
+use serde_json::Value as Json;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The sweep axes every dataset accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleKnobs {
+    /// Multiplier on the dataset's base input/master sizes (generators
+    /// only; file-backed datasets have the size their files have).
+    pub scale: f64,
+    /// Sampling/noise seed (generators only).
+    pub seed: u64,
+}
+
+impl Default for ScaleKnobs {
+    fn default() -> Self {
+        ScaleKnobs {
+            scale: 1.0,
+            seed: 1,
+        }
+    }
+}
+
+/// One named dataset the harness can build on demand.
+pub trait Dataset: Send + Sync {
+    /// Registry lookup key.
+    fn name(&self) -> &str;
+    /// One-line human description for listings.
+    fn describe(&self) -> String;
+    /// Materialize the scenario at the given scale/seed.
+    fn build(&self, knobs: &ScaleKnobs) -> Result<Scenario, IngestError>;
+}
+
+/// The paper's worked Figure-1 example (fixed size; knobs ignored).
+struct Figure1Dataset;
+
+impl Dataset for Figure1Dataset {
+    fn name(&self) -> &str {
+        "figure1"
+    }
+
+    fn describe(&self) -> String {
+        "the paper's Figure-1 worked example (3 input + 4 master rows, fixed)".to_string()
+    }
+
+    fn build(&self, _knobs: &ScaleKnobs) -> Result<Scenario, IngestError> {
+        Ok(er_datagen::figure1())
+    }
+}
+
+/// A synthetic generator with optional config-file overrides.
+struct SyntheticDataset {
+    name: String,
+    kind: DatasetKind,
+    /// Extra multiplier from the config entry, composed with the knob.
+    base_scale: f64,
+    noise: Option<NoiseConfig>,
+    labelled: Option<bool>,
+}
+
+impl SyntheticDataset {
+    fn plain(kind: DatasetKind) -> Self {
+        SyntheticDataset {
+            name: kind.name().to_string(),
+            kind,
+            base_scale: 1.0,
+            noise: None,
+            labelled: None,
+        }
+    }
+}
+
+/// Scale a base size, keeping at least a workable floor of rows.
+fn scaled(base: usize, factor: f64) -> usize {
+    ((base as f64 * factor) as usize).max(16)
+}
+
+impl Dataset for SyntheticDataset {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn describe(&self) -> String {
+        let base = self.kind.small_config();
+        format!(
+            "synthetic {} (base {}x{} rows, scalable)",
+            self.kind.name(),
+            scaled(base.input_size, self.base_scale),
+            scaled(base.master_size, self.base_scale),
+        )
+    }
+
+    fn build(&self, knobs: &ScaleKnobs) -> Result<Scenario, IngestError> {
+        let base = self.kind.small_config();
+        let factor = self.base_scale * knobs.scale;
+        let config = ScenarioConfig {
+            input_size: scaled(base.input_size, factor),
+            master_size: scaled(base.master_size, factor),
+            noise: self.noise.unwrap_or(base.noise),
+            labelled: self.labelled.unwrap_or(base.labelled),
+            seed: knobs.seed,
+            ..base
+        };
+        Ok(self.kind.build(config))
+    }
+}
+
+/// An on-disk CSV pair streamed through the chunked loader.
+struct FileDataset {
+    name: String,
+    input: PathBuf,
+    master: PathBuf,
+    options: CsvScenarioOptions,
+    config: IngestConfig,
+}
+
+impl Dataset for FileDataset {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "csv pair {} + {} (chunked streaming load)",
+            self.input.display(),
+            self.master.display()
+        )
+    }
+
+    fn build(&self, _knobs: &ScaleKnobs) -> Result<Scenario, IngestError> {
+        let pool = Arc::new(Pool::new());
+        let open = |path: &Path| {
+            std::fs::File::open(path).map_err(|e| IngestError::Schema {
+                message: format!("cannot open {}: {e}", path.display()),
+            })
+        };
+        let stem = |path: &Path| {
+            path.file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("relation")
+                .to_string()
+        };
+        let (input, _) = ingest_relation(
+            &stem(&self.input),
+            open(&self.input)?,
+            Arc::clone(&pool),
+            &self.config,
+        )?;
+        let (master, _) =
+            ingest_relation(&stem(&self.master), open(&self.master)?, pool, &self.config)?;
+        er_datagen::scenario_from_relations(input, master, &self.options).map_err(|e| {
+            IngestError::Schema {
+                message: e.to_string(),
+            }
+        })
+    }
+}
+
+/// Named datasets, looked up by exact name.
+pub struct DatasetRegistry {
+    entries: Vec<Box<dyn Dataset>>,
+}
+
+impl DatasetRegistry {
+    /// The built-in catalog: `figure1` plus the four paper datasets
+    /// (`adult`, `covid`, `nursery`, `location`) as scalable generators.
+    pub fn builtin() -> Self {
+        let mut entries: Vec<Box<dyn Dataset>> = vec![Box::new(Figure1Dataset)];
+        for kind in DatasetKind::all() {
+            entries.push(Box::new(SyntheticDataset::plain(kind)));
+        }
+        DatasetRegistry { entries }
+    }
+
+    /// Add (or shadow — later registrations win) a dataset.
+    pub fn register(&mut self, dataset: Box<dyn Dataset>) {
+        self.entries.retain(|d| d.name() != dataset.name());
+        self.entries.push(dataset);
+    }
+
+    /// Look up a dataset by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Dataset> {
+        self.entries
+            .iter()
+            .find(|d| d.name() == name)
+            .map(|d| d.as_ref())
+    }
+
+    /// All registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|d| d.name()).collect()
+    }
+
+    /// Build a named scenario, with a typed unknown-name error that lists
+    /// what the registry actually holds.
+    pub fn build(&self, name: &str, knobs: &ScaleKnobs) -> Result<Scenario, IngestError> {
+        match self.get(name) {
+            Some(d) => d.build(knobs),
+            None => Err(IngestError::Schema {
+                message: format!(
+                    "unknown dataset {name:?}; registered: {}",
+                    self.names().join(", ")
+                ),
+            }),
+        }
+    }
+
+    /// Extend the registry from a JSON config file.
+    ///
+    /// ```json
+    /// {"datasets": [
+    ///   {"name": "covid-4x", "generator": "covid", "scale": 4.0,
+    ///    "noise_rate": 0.15, "labelled": true},
+    ///   {"name": "mine", "input": "data/in.csv", "master": "data/master.csv",
+    ///    "target": "Condition", "master_target": "Condition",
+    ///    "match": [["Name", "Name"]], "support": 5, "chunk_bytes": 1048576}
+    /// ]}
+    /// ```
+    ///
+    /// Generator entries reference a built-in generator by name and may
+    /// override scale, noise rate, and labelling; file entries name a CSV
+    /// pair (paths relative to the config file) plus the target attribute
+    /// and optional match pairs / support threshold / chunk size.
+    pub fn load_config(&mut self, path: impl AsRef<Path>) -> Result<usize, IngestError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| IngestError::Schema {
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        let base = path.parent().unwrap_or_else(|| Path::new("."));
+        self.extend_from_json(&text, base)
+    }
+
+    /// [`load_config`](Self::load_config) on already-read text; `base`
+    /// anchors relative CSV paths. Returns how many datasets were added.
+    pub fn extend_from_json(&mut self, text: &str, base: &Path) -> Result<usize, IngestError> {
+        let bad = |message: String| IngestError::Schema { message };
+        let json: Json =
+            serde_json::from_str(text).map_err(|e| bad(format!("config parse: {e}")))?;
+        let Some(list) = json.get("datasets").and_then(|d| d.as_array()) else {
+            return Err(bad("config must have a \"datasets\" array".to_string()));
+        };
+        let mut added = 0usize;
+        for (i, entry) in list.iter().enumerate() {
+            let at = |field: &str| format!("datasets[{i}].{field}");
+            let name = entry
+                .get("name")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| bad(format!("{} must be a string", at("name"))))?
+                .to_string();
+            if let Some(generator) = entry.get("generator") {
+                let gen_name = generator
+                    .as_str()
+                    .ok_or_else(|| bad(format!("{} must be a string", at("generator"))))?;
+                let kind = DatasetKind::all()
+                    .into_iter()
+                    .find(|k| k.name() == gen_name)
+                    .ok_or_else(|| {
+                        bad(format!(
+                            "{}: unknown generator {gen_name:?}",
+                            at("generator")
+                        ))
+                    })?;
+                let noise = number(entry, "noise_rate")?.map(NoiseConfig::rate);
+                let labelled = match entry.get("labelled") {
+                    None => None,
+                    Some(Json::Bool(b)) => Some(*b),
+                    Some(other) => {
+                        return Err(bad(format!(
+                            "{} must be a bool, got {}",
+                            at("labelled"),
+                            other.kind()
+                        )))
+                    }
+                };
+                self.register(Box::new(SyntheticDataset {
+                    name,
+                    kind,
+                    base_scale: number(entry, "scale")?.unwrap_or(1.0),
+                    noise,
+                    labelled,
+                }));
+            } else if entry.get("input").is_some() {
+                let path_field = |field: &str| -> Result<PathBuf, IngestError> {
+                    let raw = entry
+                        .get(field)
+                        .and_then(|v| v.as_str())
+                        .ok_or_else(|| bad(format!("{} must be a string", at(field))))?;
+                    Ok(base.join(raw))
+                };
+                let target = entry
+                    .get("target")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| bad(format!("{} must be a string", at("target"))))?;
+                let master_target = entry
+                    .get("master_target")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or(target);
+                let mut options = CsvScenarioOptions::new(name.clone(), target, master_target);
+                if let Some(pairs) = entry.get("match") {
+                    let pairs = pairs
+                        .as_array()
+                        .ok_or_else(|| bad(format!("{} must be an array", at("match"))))?;
+                    for pair in pairs {
+                        match pair.as_array() {
+                            Some([a, b]) => match (a.as_str(), b.as_str()) {
+                                (Some(a), Some(b)) => {
+                                    options.match_pairs.push((a.to_string(), b.to_string()));
+                                }
+                                _ => {
+                                    return Err(bad(format!(
+                                        "{} entries must be string pairs",
+                                        at("match")
+                                    )))
+                                }
+                            },
+                            _ => {
+                                return Err(bad(format!(
+                                    "{} entries must be [input, master] pairs",
+                                    at("match")
+                                )))
+                            }
+                        }
+                    }
+                }
+                options.support_threshold = integer(entry, "support")?;
+                let mut config = IngestConfig {
+                    format: Format::Csv,
+                    schema: SchemaMode::Infer,
+                    ..IngestConfig::default()
+                };
+                if let Some(bytes) = integer(entry, "chunk_bytes")? {
+                    config.chunk.chunk_bytes = bytes;
+                }
+                self.register(Box::new(FileDataset {
+                    name,
+                    input: path_field("input")?,
+                    master: path_field("master")?,
+                    options,
+                    config,
+                }));
+            } else {
+                return Err(bad(format!(
+                    "datasets[{i}] needs either \"generator\" or \"input\"/\"master\""
+                )));
+            }
+            added += 1;
+        }
+        Ok(added)
+    }
+}
+
+fn number(entry: &Json, field: &str) -> Result<Option<f64>, IngestError> {
+    match entry.get(field) {
+        None => Ok(None),
+        Some(Json::Int(i)) => Ok(Some(*i as f64)),
+        Some(Json::UInt(u)) => Ok(Some(*u as f64)),
+        Some(Json::Float(f)) => Ok(Some(*f)),
+        Some(other) => Err(IngestError::Schema {
+            message: format!("{field} must be a number, got {}", other.kind()),
+        }),
+    }
+}
+
+fn integer(entry: &Json, field: &str) -> Result<Option<usize>, IngestError> {
+    match entry.get(field) {
+        None => Ok(None),
+        Some(Json::Int(i)) if *i >= 0 => Ok(Some(*i as usize)),
+        Some(Json::UInt(u)) => usize::try_from(*u)
+            .map(Some)
+            .map_err(|_| IngestError::Schema {
+                message: format!("{field} out of range"),
+            }),
+        Some(other) => Err(IngestError::Schema {
+            message: format!(
+                "{field} must be a non-negative integer, got {}",
+                other.kind()
+            ),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names() {
+        let reg = DatasetRegistry::builtin();
+        let names = reg.names();
+        assert!(names.contains(&"figure1"));
+        assert!(names.contains(&"adult"));
+        assert!(names.contains(&"covid"));
+        assert!(names.contains(&"nursery"));
+        assert!(names.contains(&"location"));
+    }
+
+    #[test]
+    fn builds_by_name_with_knobs() {
+        let reg = DatasetRegistry::builtin();
+        let knobs = ScaleKnobs {
+            scale: 0.5,
+            seed: 3,
+        };
+        let small = reg.build("covid", &knobs).unwrap();
+        let big = reg
+            .build(
+                "covid",
+                &ScaleKnobs {
+                    scale: 1.0,
+                    seed: 3,
+                },
+            )
+            .unwrap();
+        assert!(small.task.input().num_rows() < big.task.input().num_rows());
+    }
+
+    #[test]
+    fn same_name_and_knobs_is_deterministic() {
+        let reg = DatasetRegistry::builtin();
+        let knobs = ScaleKnobs::default();
+        let a = reg.build("nursery", &knobs).unwrap();
+        let b = reg.build("nursery", &knobs).unwrap();
+        assert_eq!(a.task.input().num_rows(), b.task.input().num_rows());
+        for row in 0..a.task.input().num_rows() {
+            for attr in 0..a.task.input().num_attrs() {
+                assert_eq!(
+                    a.task.input().value(row, attr),
+                    b.task.input().value(row, attr)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_catalog() {
+        let reg = DatasetRegistry::builtin();
+        let err = reg.build("nope", &ScaleKnobs::default()).unwrap_err();
+        assert!(err.to_string().contains("figure1"));
+    }
+
+    #[test]
+    fn config_registers_generator_variants() {
+        let mut reg = DatasetRegistry::builtin();
+        let added = reg
+            .extend_from_json(
+                r#"{"datasets": [
+                    {"name": "covid-tiny", "generator": "covid",
+                     "scale": 0.25, "noise_rate": 0.3, "labelled": true}
+                ]}"#,
+                Path::new("."),
+            )
+            .unwrap();
+        assert_eq!(added, 1);
+        let scenario = reg.build("covid-tiny", &ScaleKnobs::default()).unwrap();
+        assert!(scenario.task.input().num_rows() > 0);
+    }
+
+    #[test]
+    fn config_rejects_malformed_entries() {
+        let mut reg = DatasetRegistry::builtin();
+        assert!(reg
+            .extend_from_json(r#"{"datasets": [{"name": "x"}]}"#, Path::new("."))
+            .is_err());
+        assert!(reg
+            .extend_from_json(r#"{"nope": 1}"#, Path::new("."))
+            .is_err());
+    }
+}

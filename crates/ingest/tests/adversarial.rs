@@ -1,0 +1,219 @@
+//! Adversarial ingest suite: the malformed, truncated, and edge-case inputs
+//! a production feed will eventually deliver. Every failure must be a typed
+//! [`IngestError`] naming the offending record — never a panic, never
+//! silently wrong data.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use er_ingest::{ingest_relation, ChunkConfig, Format, IngestConfig, IngestError, SchemaMode};
+use er_table::{Attribute, Pool, Relation, Schema, Value};
+use std::sync::Arc;
+
+fn csv_config() -> IngestConfig {
+    IngestConfig::default()
+}
+
+fn ndjson_config() -> IngestConfig {
+    IngestConfig {
+        format: Format::Ndjson,
+        ..IngestConfig::default()
+    }
+}
+
+fn load(text: &str, config: &IngestConfig) -> Result<Relation, IngestError> {
+    ingest_relation("t", text.as_bytes(), Arc::new(Pool::new()).clone(), config).map(|(rel, _)| rel)
+}
+
+#[test]
+fn truncated_final_record_is_a_typed_error() {
+    // EOF inside an open quoted field: a partial upload, not a record.
+    let err = load("A,B\nx,\"cut off mid-fie", &csv_config()).unwrap_err();
+    match err {
+        IngestError::TruncatedRecord { record: 2 } => {}
+        other => panic!("expected TruncatedRecord at record 2, got {other}"),
+    }
+}
+
+#[test]
+fn chunk_boundary_mid_record_reassembles_the_record() {
+    // chunk_bytes far smaller than the quoted record: the record spans
+    // several reads and several boundary probes before it completes.
+    let long = "y".repeat(300);
+    let text = format!("A,B\n\"multi\nline,{long}\",z\np,q\n");
+    let config = IngestConfig {
+        chunk: ChunkConfig {
+            chunk_bytes: 16,
+            max_record_bytes: 1024,
+        },
+        ..IngestConfig::default()
+    };
+    let rel = load(&text, &config).unwrap();
+    assert_eq!(rel.num_rows(), 2);
+    assert_eq!(rel.value(0, 0), Value::str(format!("multi\nline,{long}")));
+    assert_eq!(rel.value(1, 1), Value::str("q"));
+}
+
+#[test]
+fn empty_file_cannot_infer_a_schema() {
+    let err = load("", &csv_config()).unwrap_err();
+    match err {
+        IngestError::Schema { message } => assert!(message.contains("empty")),
+        other => panic!("expected Schema error, got {other}"),
+    }
+}
+
+#[test]
+fn empty_file_with_explicit_schema_is_an_empty_relation() {
+    let schema = Arc::new(Schema::new(
+        "t",
+        vec![Attribute::categorical("A"), Attribute::categorical("B")],
+    ));
+    let config = IngestConfig {
+        schema: SchemaMode::Explicit(Arc::clone(&schema)),
+        format: Format::Ndjson, // no header record to demand
+        ..IngestConfig::default()
+    };
+    let rel = load("", &config).unwrap();
+    assert_eq!(rel.num_rows(), 0);
+    assert_eq!(rel.schema().arity(), 2);
+}
+
+#[test]
+fn header_only_file_is_an_empty_relation_with_the_inferred_schema() {
+    let rel = load("City,ZIP\n", &csv_config()).unwrap();
+    assert_eq!(rel.num_rows(), 0);
+    assert_eq!(rel.schema().attr(0).name, "City");
+    assert_eq!(rel.schema().attr(1).name, "ZIP");
+}
+
+#[test]
+fn arity_mismatch_names_the_record() {
+    let err = load("A,B\nx,y\nonly-one\n", &csv_config()).unwrap_err();
+    match err {
+        IngestError::ArityMismatch {
+            record: 3,
+            expected: 2,
+            got: 1,
+        } => {}
+        other => panic!("expected ArityMismatch at record 3, got {other}"),
+    }
+}
+
+#[test]
+fn ndjson_unparseable_cell_names_record_and_attr() {
+    let err = load(
+        "{\"a\":\"x\",\"b\":\"y\"}\n{\"a\":\"x\",\"b\":true}\n",
+        &ndjson_config(),
+    )
+    .unwrap_err();
+    match err {
+        IngestError::UnparseableCell {
+            record: 2, attr: 1, ..
+        } => {}
+        other => panic!("expected UnparseableCell at record 2 attr 1, got {other}"),
+    }
+}
+
+#[test]
+fn ndjson_unknown_key_is_a_typed_error() {
+    let err = load(
+        "{\"a\":\"x\"}\n{\"a\":\"y\",\"zz\":\"?\"}\n",
+        &ndjson_config(),
+    )
+    .unwrap_err();
+    match err {
+        IngestError::Json { record: 2, message } => assert!(message.contains("zz")),
+        other => panic!("expected Json error at record 2, got {other}"),
+    }
+}
+
+#[test]
+fn ndjson_missing_key_is_null() {
+    let rel = load(
+        "{\"a\":\"x\",\"b\":\"y\"}\n{\"a\":\"z\"}\n",
+        &ndjson_config(),
+    )
+    .unwrap();
+    assert_eq!(rel.num_rows(), 2);
+    assert!(rel.is_null(1, 1));
+}
+
+#[test]
+fn null_token_normalization_is_consistent_between_csv_and_ndjson() {
+    // The same logical table through both formats: a JSON null, a JSON
+    // empty string, and a CSV empty field must all land as NULL, and
+    // non-null cells must come out value-identical.
+    let csv_text = "a,b,c\nx,,\nk,w,\n";
+    let nd_text = concat!(
+        "{\"a\":\"x\",\"b\":null,\"c\":\"\"}\n",
+        "{\"a\":\"k\",\"b\":\"w\",\"c\":null}\n",
+    );
+    let from_csv = load(csv_text, &csv_config()).unwrap();
+    let from_nd = load(nd_text, &ndjson_config()).unwrap();
+    assert_eq!(from_csv.num_rows(), from_nd.num_rows());
+    assert_eq!(from_csv.schema().arity(), from_nd.schema().arity());
+    for row in 0..from_csv.num_rows() {
+        for attr in 0..from_csv.num_attrs() {
+            assert_eq!(
+                from_csv.value(row, attr),
+                from_nd.value(row, attr),
+                "cell ({row},{attr}) differs between formats"
+            );
+            assert_eq!(
+                from_csv.is_null(row, attr),
+                from_nd.is_null(row, attr),
+                "nullness ({row},{attr}) differs between formats"
+            );
+        }
+    }
+}
+
+#[test]
+fn ndjson_blank_and_whitespace_strings_normalize_like_csv_blanks() {
+    let rel = load("{\"a\":\"  \",\"b\":\" x \"}\n", &ndjson_config()).unwrap();
+    // Whitespace-only → NULL, padded → trimmed: parse_field semantics,
+    // shared verbatim with the CSV path.
+    assert!(rel.is_null(0, 0));
+    assert_eq!(rel.value(0, 1), Value::str("x"));
+}
+
+#[test]
+fn oversized_record_aborts_with_the_limit() {
+    let text = format!("A\n{}\n", "x".repeat(100_000));
+    let config = IngestConfig {
+        chunk: ChunkConfig {
+            chunk_bytes: 1024,
+            max_record_bytes: 2048,
+        },
+        ..IngestConfig::default()
+    };
+    let err = load(&text, &config).unwrap_err();
+    match err {
+        IngestError::OversizedRecord { limit: 2048, .. } => {}
+        other => panic!("expected OversizedRecord, got {other}"),
+    }
+}
+
+#[test]
+fn bad_utf8_in_streamed_data_is_refused_not_replaced() {
+    let mut bytes = b"A,B\nx,y\n".to_vec();
+    bytes.extend_from_slice(b"M\xFCnchen,z\n");
+    let err = ingest_relation("t", &bytes[..], Arc::new(Pool::new()), &csv_config()).unwrap_err();
+    match err {
+        IngestError::BadUtf8 { record: 3 } => {}
+        other => panic!("expected BadUtf8 at record 3, got {other}"),
+    }
+}
+
+#[test]
+fn crlf_and_cr_only_terminators_agree_with_the_in_memory_loader() {
+    let text = "A,B\r\nx,y\rz,w\r\n";
+    let streamed = load(text, &csv_config()).unwrap();
+    let whole = er_table::csv::read_str("t", text, Arc::new(Pool::new())).unwrap();
+    assert_eq!(streamed.num_rows(), whole.num_rows());
+    for row in 0..whole.num_rows() {
+        for attr in 0..whole.num_attrs() {
+            assert_eq!(streamed.value(row, attr), whole.value(row, attr));
+        }
+    }
+}

@@ -278,7 +278,7 @@ impl RepairEngine {
     ) -> Result<RepairOutcome, EngineError> {
         let mut batch = Relation::empty(Arc::clone(&self.schema), Arc::clone(&self.pool));
         for (i, row) in rows.iter().enumerate() {
-            batch.push_row(row.clone()).map_err(|e| EngineError::Row {
+            batch.push_row_ref(row).map_err(|e| EngineError::Row {
                 row: i,
                 message: e.to_string(),
             })?;

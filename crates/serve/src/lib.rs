@@ -55,7 +55,7 @@ pub mod tcp;
 
 pub use engine::{EngineError, RepairEngine, RepairOutcome, RepairedCell};
 pub use metrics::{Metrics, Snapshot};
-pub use proto::{parse_request, Request};
+pub use proto::{parse_request, Request, RowBatch};
 pub use server::{serve_pipe, ReloadError, Reloader, ServeConfig, Server};
 pub use tcp::TcpServer;
 

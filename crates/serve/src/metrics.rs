@@ -45,6 +45,8 @@ pub struct Metrics {
     appends: AtomicU64,
     diffs: AtomicU64,
     rejected: AtomicU64,
+    ingested_rows: AtomicU64,
+    ingest_chunks: AtomicU64,
     /// Gauge, not a counter: the engine's master generation, stored after
     /// every engine-mutating op so `stats` can report it lock-free.
     engine_generation: AtomicU64,
@@ -80,6 +82,8 @@ impl Metrics {
             appends: AtomicU64::new(0),
             diffs: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            ingested_rows: AtomicU64::new(0),
+            ingest_chunks: AtomicU64::new(0),
             engine_generation: AtomicU64::new(0),
             vote_rows: AtomicU64::new(0),
             signature_probes: AtomicU64::new(0),
@@ -131,6 +135,13 @@ impl Metrics {
         self.diffs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count the rows and chunks one `repair_csv` op streamed through the
+    /// chunked ingest reader.
+    pub fn record_ingest(&self, rows: u64, chunks: u64) {
+        self.ingested_rows.fetch_add(rows, Ordering::Relaxed);
+        self.ingest_chunks.fetch_add(chunks, Ordering::Relaxed);
+    }
+
     /// Count one reload or append refused by an analysis gate, attributing
     /// the rejection to the diagnostic codes that caused it (each distinct
     /// code counts once per rejection).
@@ -176,6 +187,8 @@ impl Metrics {
             appends: self.appends.load(Ordering::Relaxed),
             diffs: self.diffs.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            ingested_rows: self.ingested_rows.load(Ordering::Relaxed),
+            ingest_chunks: self.ingest_chunks.load(Ordering::Relaxed),
             rejected_by_code: lock(&self.rejected_by_code)
                 .iter()
                 .map(|(code, n)| (code.clone(), *n))
@@ -220,6 +233,10 @@ pub struct Snapshot {
     pub diffs: u64,
     /// Reloads and appends refused by the static-analysis gate.
     pub rejected: u64,
+    /// Rows streamed through `repair_csv`'s chunked ingest reader.
+    pub ingested_rows: u64,
+    /// Chunks those streamed rows arrived in.
+    pub ingest_chunks: u64,
     /// Gate rejections attributed per diagnostic code, sorted by code.
     pub rejected_by_code: Vec<(String, u64)>,
     /// The engine's master generation at the last engine-mutating op.
@@ -264,6 +281,8 @@ impl Snapshot {
             ("appends".to_string(), Json::UInt(self.appends)),
             ("diffs".to_string(), Json::UInt(self.diffs)),
             ("rejected".to_string(), Json::UInt(self.rejected)),
+            ("ingested_rows".to_string(), Json::UInt(self.ingested_rows)),
+            ("ingest_chunks".to_string(), Json::UInt(self.ingest_chunks)),
             (
                 "rejected_by_code".to_string(),
                 Json::Object(
@@ -387,6 +406,19 @@ mod tests {
         assert!(line.contains("\"signature_probes\":30"));
         assert!(line.contains("\"signature_dedup\":4"));
         assert!(s.log_line().contains("dedup=4.0"));
+    }
+
+    #[test]
+    fn ingest_counters_accumulate() {
+        let m = Metrics::new();
+        m.record_ingest(1000, 4);
+        m.record_ingest(24, 1);
+        let s = m.snapshot(0);
+        assert_eq!(s.ingested_rows, 1024);
+        assert_eq!(s.ingest_chunks, 5);
+        let line = serde_json::to_string(&s.to_value()).unwrap();
+        assert!(line.contains("\"ingested_rows\":1024"));
+        assert!(line.contains("\"ingest_chunks\":5"));
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!           | {"op":"shutdown"}
 //!           | {"op":"repair","rows":[row...]}   // input-schema order
 //!           | {"op":"append","rows":[row...]}   // master-schema order
+//!           | {"op":"repair_csv","path":string} // stream a server-side CSV
+//!           | {"op":"repair_csv","path":string,"chunk_bytes":number}
 //!           | {"op":"diff","rules":[rule...]}   // candidate portable rules
 //!           | {"op":"diff","rules":[rule...],"scope":scope}
 //!           | {"op":"versions"}
@@ -30,6 +32,59 @@ use er_rules::RuleStore;
 use er_table::Value as Cell;
 use serde_json::Value as Json;
 
+/// A reusable decoded-rows buffer, one per serving session.
+///
+/// `repair`/`append` requests arrive as JSON row arrays every few
+/// milliseconds on a busy session; decoding each into a fresh
+/// `Vec<Vec<Cell>>` allocates one vector per row per request. This buffer
+/// keeps both the outer vector and every inner row vector alive across
+/// requests — [`RowBatch::clear`] resets the logical length without
+/// releasing capacity, and the parser refills the same slots in place.
+#[derive(Debug, Default)]
+pub struct RowBatch {
+    rows: Vec<Vec<Cell>>,
+    len: usize,
+}
+
+impl RowBatch {
+    /// An empty buffer (no capacity until the first request).
+    pub fn new() -> Self {
+        RowBatch::default()
+    }
+
+    /// Forget the decoded rows but keep every allocation for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Number of decoded rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The decoded rows, in request order.
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows[..self.len]
+    }
+
+    /// Hand out the next reusable row slot, cleared but with its capacity
+    /// intact.
+    fn next_row(&mut self) -> &mut Vec<Cell> {
+        if self.len == self.rows.len() {
+            self.rows.push(Vec::new());
+        }
+        let row = &mut self.rows[self.len];
+        row.clear();
+        self.len += 1;
+        row
+    }
+}
+
 /// A decoded request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -46,16 +101,21 @@ pub enum Request {
     },
     /// Begin a graceful drain and close the session.
     Shutdown,
-    /// Repair a batch of rows laid out in input-schema attribute order.
-    Repair {
-        /// The rows; each inner vector is one tuple.
-        rows: Vec<Vec<Cell>>,
-    },
+    /// Repair a batch of rows laid out in input-schema attribute order. The
+    /// rows themselves are decoded into the session's [`RowBatch`].
+    Repair,
     /// Append rows (master-schema attribute order) to the master relation,
-    /// delta-updating the warmed indexes in place.
-    Append {
-        /// The rows; each inner vector is one master tuple.
-        rows: Vec<Vec<Cell>>,
+    /// delta-updating the warmed indexes in place. The rows are decoded
+    /// into the session's [`RowBatch`].
+    Append,
+    /// Stream a server-side CSV file through the chunked ingest reader and
+    /// repair it chunk by chunk (bulk repair without per-row JSON).
+    RepairCsv {
+        /// Path of the CSV file, resolved on the server's filesystem. Its
+        /// header must match the engine's input schema.
+        path: String,
+        /// Optional chunk-size override in bytes.
+        chunk_bytes: Option<usize>,
     },
     /// Compare the live rule set against a candidate document without
     /// promoting anything: report the edit scope of the would-be change.
@@ -70,8 +130,10 @@ pub enum Request {
 }
 
 /// Parse one request line. `max_rows` bounds the batch size a single
-/// `repair` request may carry.
-pub fn parse_request(line: &str, max_rows: usize) -> Result<Request, String> {
+/// `repair` request may carry; `repair`/`append` rows are decoded into
+/// `batch` (cleared first), so the caller can reuse one buffer per session.
+pub fn parse_request(line: &str, max_rows: usize, batch: &mut RowBatch) -> Result<Request, String> {
+    batch.clear();
     let value: Json = serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
     let op = value
         .get("op")
@@ -84,12 +146,30 @@ pub fn parse_request(line: &str, max_rows: usize) -> Result<Request, String> {
             scope: parse_scope(&value)?,
         }),
         "shutdown" => Ok(Request::Shutdown),
-        "repair" => Ok(Request::Repair {
-            rows: parse_rows(&value, "repair", max_rows)?,
-        }),
-        "append" => Ok(Request::Append {
-            rows: parse_rows(&value, "append", max_rows)?,
-        }),
+        "repair" => {
+            parse_rows(&value, "repair", max_rows, batch)?;
+            Ok(Request::Repair)
+        }
+        "append" => {
+            parse_rows(&value, "append", max_rows, batch)?;
+            Ok(Request::Append)
+        }
+        "repair_csv" => {
+            let path = value
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "repair_csv needs a \"path\" string".to_string())?
+                .to_string();
+            let chunk_bytes = match value.get("chunk_bytes") {
+                None | Some(Json::Null) => None,
+                Some(Json::Int(i)) if *i > 0 => Some(*i as usize),
+                Some(Json::UInt(u)) if *u > 0 => usize::try_from(*u)
+                    .map(Some)
+                    .map_err(|_| "oversized \"chunk_bytes\"".to_string())?,
+                Some(_) => return Err("\"chunk_bytes\" must be a positive integer".to_string()),
+            };
+            Ok(Request::RepairCsv { path, chunk_bytes })
+        }
         "diff" => {
             let rules = value
                 .get("rules")
@@ -116,32 +196,35 @@ fn parse_scope(value: &Json) -> Result<Option<EditScope>, String> {
     }
 }
 
-/// Decode the `"rows"` array shared by the `repair` and `append` ops.
-fn parse_rows(value: &Json, op: &str, max_rows: usize) -> Result<Vec<Vec<Cell>>, String> {
-    let rows = value
-        .get("rows")
-        .and_then(Json::as_array)
-        .ok_or_else(|| format!("{op} needs a \"rows\" array"))?;
-    if rows.len() > max_rows {
-        return Err(format!(
-            "batch of {} rows exceeds the {max_rows}-row limit",
-            rows.len()
-        ));
-    }
-    let mut out = Vec::with_capacity(rows.len());
-    for (i, row) in rows.iter().enumerate() {
-        let cells = row
-            .as_array()
-            .ok_or_else(|| format!("row {i} is not an array"))?;
-        let mut tuple = Vec::with_capacity(cells.len());
-        for (j, cell) in cells.iter().enumerate() {
-            tuple.push(
-                decode_cell(cell).map_err(|kind| format!("row {i} column {j}: {kind} cell"))?,
-            );
+/// Decode the `"rows"` array shared by the `repair` and `append` ops into
+/// the session's reusable batch buffer. On error the batch is cleared, so a
+/// rejected request never leaks half-decoded rows into the next one.
+fn parse_rows(value: &Json, op: &str, max_rows: usize, batch: &mut RowBatch) -> Result<(), String> {
+    let fill = |batch: &mut RowBatch| -> Result<(), String> {
+        let rows = value
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{op} needs a \"rows\" array"))?;
+        if rows.len() > max_rows {
+            return Err(format!(
+                "batch of {} rows exceeds the {max_rows}-row limit",
+                rows.len()
+            ));
         }
-        out.push(tuple);
-    }
-    Ok(out)
+        for (i, row) in rows.iter().enumerate() {
+            let cells = row
+                .as_array()
+                .ok_or_else(|| format!("row {i} is not an array"))?;
+            let tuple = batch.next_row();
+            for (j, cell) in cells.iter().enumerate() {
+                tuple.push(
+                    decode_cell(cell).map_err(|kind| format!("row {i} column {j}: {kind} cell"))?,
+                );
+            }
+        }
+        Ok(())
+    };
+    fill(batch).inspect_err(|_| batch.clear())
 }
 
 /// Map one JSON scalar to a table cell. Booleans and nested containers have
@@ -312,6 +395,19 @@ pub fn ok_repair(outcome: &RepairOutcome) -> String {
     ]))
 }
 
+/// `repair_csv` response: totals only (rows streamed, chunks committed,
+/// cells a repair would change) — a bulk file can carry millions of rows,
+/// so per-cell detail stays with the row-level `repair` op.
+pub fn ok_repair_csv(rows: usize, chunks: usize, fixed: usize) -> String {
+    render(&obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("repair_csv".into())),
+        ("rows", Json::Int(rows as i64)),
+        ("chunks", Json::Int(chunks as i64)),
+        ("fixed", Json::Int(fixed as i64)),
+    ]))
+}
+
 /// `append` acknowledgement: rows appended, the master's new row count,
 /// and its new generation.
 pub fn ok_append(outcome: &er_incr::AppendOutcome) -> String {
@@ -373,38 +469,36 @@ pub fn overloaded() -> String {
 mod tests {
     use super::*;
 
+    /// Parse with a throwaway batch, for tests that don't inspect rows.
+    fn parse(line: &str, max_rows: usize) -> Result<Request, String> {
+        parse_request(line, max_rows, &mut RowBatch::new())
+    }
+
     #[test]
     fn parses_simple_ops() {
-        assert_eq!(parse_request("{\"op\":\"ping\"}", 10), Ok(Request::Ping));
-        assert_eq!(parse_request("{\"op\":\"stats\"}", 10), Ok(Request::Stats));
+        assert_eq!(parse("{\"op\":\"ping\"}", 10), Ok(Request::Ping));
+        assert_eq!(parse("{\"op\":\"stats\"}", 10), Ok(Request::Stats));
         assert_eq!(
-            parse_request("{\"op\":\"reload\"}", 10),
+            parse("{\"op\":\"reload\"}", 10),
             Ok(Request::Reload { scope: None })
         );
-        assert_eq!(
-            parse_request("{\"op\":\"shutdown\"}", 10),
-            Ok(Request::Shutdown)
-        );
-        assert_eq!(
-            parse_request("{\"op\":\"versions\"}", 10),
-            Ok(Request::Versions)
-        );
+        assert_eq!(parse("{\"op\":\"shutdown\"}", 10), Ok(Request::Shutdown));
+        assert_eq!(parse("{\"op\":\"versions\"}", 10), Ok(Request::Versions));
     }
 
     #[test]
     fn parses_reload_scope_and_diff() {
-        let req =
-            parse_request("{\"op\":\"reload\",\"scope\":{\"Date\":\"2021-12\"}}", 10).unwrap();
+        let req = parse("{\"op\":\"reload\",\"scope\":{\"Date\":\"2021-12\"}}", 10).unwrap();
         let Request::Reload { scope: Some(scope) } = req else {
             panic!("expected a scoped reload");
         };
         assert!(scope.contains(&[("Date".to_string(), "2021-12".to_string())]));
         // A null scope means no scope was declared.
         assert_eq!(
-            parse_request("{\"op\":\"reload\",\"scope\":null}", 10),
+            parse("{\"op\":\"reload\",\"scope\":null}", 10),
             Ok(Request::Reload { scope: None })
         );
-        let req = parse_request(
+        let req = parse(
             "{\"op\":\"diff\",\"rules\":[{\"x\":1}],\"scope\":[{\"City\":\"HZ\"}]}",
             10,
         )
@@ -414,45 +508,122 @@ mod tests {
         };
         assert_eq!(rules_json, "[{\"x\":1}]");
         assert!(scope.is_some());
-        let err = parse_request("{\"op\":\"diff\"}", 10).unwrap_err();
+        let err = parse("{\"op\":\"diff\"}", 10).unwrap_err();
         assert!(err.contains("diff needs"), "{err}");
-        let err = parse_request("{\"op\":\"diff\",\"rules\":7}", 10).unwrap_err();
+        let err = parse("{\"op\":\"diff\",\"rules\":7}", 10).unwrap_err();
         assert!(err.contains("diff needs"), "{err}");
-        let err = parse_request("{\"op\":\"reload\",\"scope\":7}", 10).unwrap_err();
+        let err = parse("{\"op\":\"reload\",\"scope\":7}", 10).unwrap_err();
         assert!(err.contains("scope"), "{err}");
     }
 
     #[test]
-    fn parses_repair_rows() {
+    fn parses_repair_rows_into_the_batch() {
+        let mut batch = RowBatch::new();
         let req = parse_request(
             "{\"op\":\"repair\",\"rows\":[[\"HZ\",null],[\"BJ\",\"imports\"]]}",
             10,
+            &mut batch,
         )
         .unwrap();
-        let Request::Repair { rows } = req else {
-            panic!("not a repair request");
-        };
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0], vec![Cell::str("HZ"), Cell::Null]);
-        assert_eq!(rows[1], vec![Cell::str("BJ"), Cell::str("imports")]);
+        assert_eq!(req, Request::Repair);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.rows()[0], vec![Cell::str("HZ"), Cell::Null]);
+        assert_eq!(batch.rows()[1], vec![Cell::str("BJ"), Cell::str("imports")]);
     }
 
     #[test]
     fn parses_append_rows() {
+        let mut batch = RowBatch::new();
         let req = parse_request(
             "{\"op\":\"append\",\"rows\":[[\"SZ\",\"no symptoms\"]]}",
             10,
+            &mut batch,
         )
         .unwrap();
-        let Request::Append { rows } = req else {
-            panic!("not an append request");
-        };
-        assert_eq!(rows, vec![vec![Cell::str("SZ"), Cell::str("no symptoms")]]);
+        assert_eq!(req, Request::Append);
+        assert_eq!(
+            batch.rows(),
+            &[vec![Cell::str("SZ"), Cell::str("no symptoms")]]
+        );
         // The same row-array rules apply as for repair.
-        let err = parse_request("{\"op\":\"append\",\"rows\":[[1],[2],[3]]}", 2).unwrap_err();
+        let err = parse("{\"op\":\"append\",\"rows\":[[1],[2],[3]]}", 2).unwrap_err();
         assert!(err.contains("exceeds"), "{err}");
-        let err = parse_request("{\"op\":\"append\"}", 10).unwrap_err();
+        let err = parse("{\"op\":\"append\"}", 10).unwrap_err();
         assert!(err.contains("append needs"), "{err}");
+    }
+
+    #[test]
+    fn batch_buffer_is_reused_across_requests() {
+        let mut batch = RowBatch::new();
+        parse_request(
+            "{\"op\":\"repair\",\"rows\":[[\"a\"],[\"b\"],[\"c\"]]}",
+            10,
+            &mut batch,
+        )
+        .unwrap();
+        assert_eq!(batch.len(), 3);
+        // A smaller follow-up request truncates the logical view but keeps
+        // the old slots allocated for reuse.
+        parse_request(
+            "{\"op\":\"repair\",\"rows\":[[\"z\",\"y\"]]}",
+            10,
+            &mut batch,
+        )
+        .unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.rows(), &[vec![Cell::str("z"), Cell::str("y")]]);
+        // Row-less ops clear the batch outright.
+        parse_request("{\"op\":\"ping\"}", 10, &mut batch).unwrap();
+        assert!(batch.is_empty());
+        // A rejected request never leaks half-decoded rows.
+        parse_request(
+            "{\"op\":\"repair\",\"rows\":[[\"ok\"],[true]]}",
+            10,
+            &mut batch,
+        )
+        .unwrap_err();
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn parses_repair_csv() {
+        let req = parse("{\"op\":\"repair_csv\",\"path\":\"in.csv\"}", 10).unwrap();
+        assert_eq!(
+            req,
+            Request::RepairCsv {
+                path: "in.csv".to_string(),
+                chunk_bytes: None
+            }
+        );
+        let req = parse(
+            "{\"op\":\"repair_csv\",\"path\":\"in.csv\",\"chunk_bytes\":4096}",
+            10,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::RepairCsv {
+                path: "in.csv".to_string(),
+                chunk_bytes: Some(4096)
+            }
+        );
+        let err = parse("{\"op\":\"repair_csv\"}", 10).unwrap_err();
+        assert!(err.contains("path"), "{err}");
+        let err = parse(
+            "{\"op\":\"repair_csv\",\"path\":\"x\",\"chunk_bytes\":0}",
+            10,
+        )
+        .unwrap_err();
+        assert!(err.contains("chunk_bytes"), "{err}");
+    }
+
+    #[test]
+    fn repair_csv_response_shape() {
+        let resp = ok_repair_csv(1000, 4, 37);
+        let parsed: Json = serde_json::from_str(&resp).unwrap();
+        assert_eq!(parsed.get("rows"), Some(&Json::Int(1000)));
+        assert_eq!(parsed.get("chunks"), Some(&Json::Int(4)));
+        assert_eq!(parsed.get("fixed"), Some(&Json::Int(37)));
     }
 
     #[test]
@@ -471,36 +642,35 @@ mod tests {
 
     #[test]
     fn numbers_decode_to_typed_cells() {
-        let req = parse_request("{\"op\":\"repair\",\"rows\":[[3,2.5]]}", 10).unwrap();
-        let Request::Repair { rows } = req else {
-            panic!("not a repair request");
-        };
-        assert_eq!(rows[0], vec![Cell::int(3), Cell::float(2.5)]);
+        let mut batch = RowBatch::new();
+        let req = parse_request("{\"op\":\"repair\",\"rows\":[[3,2.5]]}", 10, &mut batch).unwrap();
+        assert_eq!(req, Request::Repair);
+        assert_eq!(batch.rows()[0], vec![Cell::int(3), Cell::float(2.5)]);
     }
 
     #[test]
     fn malformed_json_is_an_error() {
-        assert!(parse_request("{\"op\":", 10).is_err());
-        assert!(parse_request("not json at all", 10).is_err());
+        assert!(parse("{\"op\":", 10).is_err());
+        assert!(parse("not json at all", 10).is_err());
     }
 
     #[test]
     fn unknown_and_missing_ops_are_errors() {
-        let err = parse_request("{\"op\":\"frobnicate\"}", 10).unwrap_err();
+        let err = parse("{\"op\":\"frobnicate\"}", 10).unwrap_err();
         assert!(err.contains("unknown op"), "{err}");
-        let err = parse_request("{\"rows\":[]}", 10).unwrap_err();
+        let err = parse("{\"rows\":[]}", 10).unwrap_err();
         assert!(err.contains("missing"), "{err}");
     }
 
     #[test]
     fn oversized_batches_are_rejected() {
-        let err = parse_request("{\"op\":\"repair\",\"rows\":[[1],[2],[3]]}", 2).unwrap_err();
+        let err = parse("{\"op\":\"repair\",\"rows\":[[1],[2],[3]]}", 2).unwrap_err();
         assert!(err.contains("exceeds"), "{err}");
     }
 
     #[test]
     fn unsupported_cells_are_rejected_with_position() {
-        let err = parse_request("{\"op\":\"repair\",\"rows\":[[\"x\",true]]}", 10).unwrap_err();
+        let err = parse("{\"op\":\"repair\",\"rows\":[[\"x\",true]]}", 10).unwrap_err();
         assert!(err.contains("row 0 column 1"), "{err}");
     }
 

@@ -10,8 +10,9 @@
 use crate::engine::RepairEngine;
 use crate::lock;
 use crate::metrics::{Metrics, Snapshot};
-use crate::proto::{self, Request};
+use crate::proto::{self, Request, RowBatch};
 use er_analyze::EditScope;
+use er_ingest::{Format, IngestConfig, RowStream, SchemaMode};
 use er_lint::Severity;
 use er_rules::RuleStore;
 use er_table::Value;
@@ -149,15 +150,16 @@ impl Server {
         self.draining.store(true, Ordering::SeqCst);
     }
 
-    /// Handle one request line. Returns the response line (without the
-    /// trailing newline) and whether the session should close after sending
-    /// it.
-    pub fn handle_line(&self, line: &str) -> (String, bool) {
+    /// Handle one request line. `batch` is the session's reusable row
+    /// buffer: `repair`/`append` rows are decoded into it instead of fresh
+    /// per-request vectors. Returns the response line (without the trailing
+    /// newline) and whether the session should close after sending it.
+    pub fn handle_line(&self, line: &str, batch: &mut RowBatch) -> (String, bool) {
         let seen = self.metrics.record_request();
         if self.config.log_every > 0 && seen.is_multiple_of(self.config.log_every) {
             eprintln!("{}", self.snapshot().log_line());
         }
-        match proto::parse_request(line, self.config.max_batch_rows) {
+        match proto::parse_request(line, self.config.max_batch_rows, batch) {
             Err(message) => {
                 self.metrics.record_error();
                 (proto::error(&message), false)
@@ -169,8 +171,11 @@ impl Server {
                 (proto::ok_shutdown(), true)
             }
             Ok(Request::Reload { scope }) => self.handle_reload(scope.as_ref()),
-            Ok(Request::Repair { rows }) => self.handle_repair(&rows),
-            Ok(Request::Append { rows }) => self.handle_append(&rows),
+            Ok(Request::Repair) => self.handle_repair(batch.rows()),
+            Ok(Request::Append) => self.handle_append(batch.rows()),
+            Ok(Request::RepairCsv { path, chunk_bytes }) => {
+                self.handle_repair_csv(&path, chunk_bytes)
+            }
             Ok(Request::Diff { rules_json, scope }) => {
                 self.handle_diff(&rules_json, scope.as_ref())
             }
@@ -321,6 +326,77 @@ impl Server {
             }
         }
     }
+
+    /// Stream a server-side CSV through the chunked ingest reader and
+    /// repair it chunk by chunk. The whole op claims **one** in-flight slot
+    /// (for backpressure, a bulk file is one request), and the configured
+    /// deadline is applied *per chunk* — a bounded deadline bounds each
+    /// chunk's vote, not the whole (arbitrarily long) file.
+    fn handle_repair_csv(&self, path: &str, chunk_bytes: Option<usize>) -> (String, bool) {
+        let depth = self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if depth >= self.config.queue_capacity {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.metrics.record_overloaded();
+            return (proto::overloaded(), false);
+        }
+        let result = self.repair_csv_stream(path, chunk_bytes);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        match result {
+            Ok((rows, chunks, fixed)) => (proto::ok_repair_csv(rows, chunks, fixed), false),
+            Err(message) => {
+                self.metrics.record_error();
+                (proto::error(&message), false)
+            }
+        }
+    }
+
+    /// The `repair_csv` streaming loop: returns `(rows, chunks, fixed)`
+    /// totals. The CSV header must match the engine's input schema (the
+    /// explicit-schema mode of the ingest stream enforces it). Each chunk
+    /// takes the engine read lock independently, so reloads and appends can
+    /// interleave with a long-running bulk repair.
+    fn repair_csv_stream(
+        &self,
+        path: &str,
+        chunk_bytes: Option<usize>,
+    ) -> Result<(usize, usize, usize), String> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| format!("repair_csv: cannot open {path}: {e}"))?;
+        let schema = std::sync::Arc::clone(self.engine.read().schema());
+        let mut config = IngestConfig {
+            format: Format::Csv,
+            schema: SchemaMode::Explicit(schema),
+            ..IngestConfig::default()
+        };
+        if let Some(bytes) = chunk_bytes {
+            config.chunk.chunk_bytes = bytes;
+        }
+        let mut stream = RowStream::new("repair_csv", file, &config);
+        let mut fixed = 0usize;
+        loop {
+            let rows = match stream.next_batch() {
+                Ok(Some(rows)) => rows,
+                Ok(None) => break,
+                Err(e) => return Err(format!("repair_csv: {e}")),
+            };
+            let started = Instant::now();
+            let deadline = self.config.deadline.map(|d| started + d);
+            let (result, votes) = {
+                let engine = self.engine.read();
+                let result = engine.repair(&rows, deadline);
+                (result, engine.vote_stats())
+            };
+            let outcome = result.map_err(|e| format!("repair_csv: {e}"))?;
+            self.metrics
+                .record_repair(started.elapsed(), outcome.fixed());
+            self.metrics.set_vote_stats(votes.rows, votes.probes);
+            fixed += outcome.fixed();
+        }
+        let stats = stream.stats();
+        self.metrics
+            .record_ingest(stats.rows as u64, stats.chunks as u64);
+        Ok((stats.rows, stats.chunks, fixed))
+    }
 }
 
 /// One bounded line read.
@@ -390,6 +466,9 @@ pub fn serve_pipe<R: BufRead, W: Write>(
     reader: &mut R,
     writer: &mut W,
 ) -> io::Result<()> {
+    // One reusable row buffer for the whole session: request row vectors
+    // are decoded into it in place instead of being reallocated per line.
+    let mut batch = RowBatch::new();
     loop {
         match read_bounded_line(reader, server.config().max_line_bytes)? {
             LineRead::Eof => break,
@@ -409,7 +488,7 @@ pub fn serve_pipe<R: BufRead, W: Write>(
                 if line.trim().is_empty() {
                     continue;
                 }
-                let (response, stop) = server.handle_line(&line);
+                let (response, stop) = server.handle_line(&line, &mut batch);
                 writeln!(writer, "{response}")?;
                 writer.flush()?;
                 if stop {

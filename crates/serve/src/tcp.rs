@@ -191,6 +191,9 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
     };
     let mut reader = BufReader::new(reader);
     let mut writer = BufWriter::new(stream);
+    // One reusable row buffer per connection (connections are sticky to a
+    // worker, so the buffer lives exactly as long as the session).
+    let mut batch = crate::proto::RowBatch::new();
     loop {
         if server.is_draining() {
             break;
@@ -210,7 +213,7 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let (response, stop) = server.handle_line(&line);
+                let (response, stop) = server.handle_line(&line, &mut batch);
                 if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
                     break;
                 }

@@ -706,6 +706,89 @@ fn versions_track_the_promotion_lineage() {
     );
 }
 
+/// Write `text` to a unique temp file and return its path as a JSON string
+/// literal ready to splice into a request line.
+fn temp_csv(tag: &str, text: &str) -> (std::path::PathBuf, String) {
+    let path = std::env::temp_dir().join(format!("er_serve_{tag}_{}.csv", std::process::id()));
+    std::fs::write(&path, text).unwrap();
+    let literal = serde_json::to_string(&path.display().to_string()).unwrap();
+    (path, literal)
+}
+
+#[test]
+fn repair_csv_streams_a_server_side_file() {
+    let s = server(ServeConfig::default());
+    let (path, literal) = temp_csv("stream", "City,Case\nHZ,\nBJ,\n??,\n");
+    let responses = session(
+        &s,
+        &format!("{{\"op\":\"repair_csv\",\"path\":{literal}}}\n{{\"op\":\"stats\"}}\n"),
+    );
+    std::fs::remove_file(&path).ok();
+    let bulk = &responses[0];
+    assert!(ok(bulk), "{bulk:?}");
+    assert_eq!(bulk.get("op").and_then(Json::as_str), Some("repair_csv"));
+    assert_eq!(num(bulk, "rows"), 3);
+    assert_eq!(num(bulk, "chunks"), 1);
+    // HZ → patient, BJ → imports; ?? has no master support.
+    assert_eq!(num(bulk, "fixed"), 2);
+    let stats = responses[1].get("stats").unwrap();
+    assert_eq!(num(stats, "ingested_rows"), 3);
+    assert_eq!(num(stats, "ingest_chunks"), 1);
+    assert_eq!(num(stats, "repairs"), 1);
+}
+
+#[test]
+fn repair_csv_small_chunks_split_the_stream() {
+    let s = server(ServeConfig::default());
+    // Each record is ~7 bytes; a 8-byte chunk budget forces one row per
+    // chunk, exercising the per-chunk commit/deadline path.
+    let (path, literal) = temp_csv("chunked", "City,Case\nHZ,\nBJ,\nHZ,\n");
+    let responses = session(
+        &s,
+        &format!(
+            "{{\"op\":\"repair_csv\",\"path\":{literal},\"chunk_bytes\":8}}\n{{\"op\":\"stats\"}}\n"
+        ),
+    );
+    std::fs::remove_file(&path).ok();
+    let bulk = &responses[0];
+    assert!(ok(bulk), "{bulk:?}");
+    assert_eq!(num(bulk, "rows"), 3);
+    assert!(num(bulk, "chunks") > 1, "{bulk:?}");
+    assert_eq!(num(bulk, "fixed"), 3);
+    let stats = responses[1].get("stats").unwrap();
+    assert_eq!(num(stats, "ingested_rows"), 3);
+    assert_eq!(num(stats, "ingest_chunks"), num(&responses[0], "chunks"));
+}
+
+#[test]
+fn repair_csv_rejects_missing_files_and_foreign_headers() {
+    let s = server(ServeConfig::default());
+    let (path, literal) = temp_csv("badhdr", "Town,Case\nHZ,\n");
+    let responses = session(
+        &s,
+        &format!(
+            "{{\"op\":\"repair_csv\",\"path\":\"/nonexistent/input.csv\"}}\n\
+             {{\"op\":\"repair_csv\",\"path\":{literal}}}\n\
+             {{\"op\":\"repair_csv\"}}\n\
+             {{\"op\":\"stats\"}}\n"
+        ),
+    );
+    std::fs::remove_file(&path).ok();
+    assert!(!ok(&responses[0]), "{responses:?}");
+    assert!(
+        error_of(&responses[0]).contains("cannot open"),
+        "{responses:?}"
+    );
+    // A header that does not match the engine's input schema is a typed
+    // ingest error, not a silent misalignment.
+    assert!(!ok(&responses[1]), "{responses:?}");
+    // Missing path is a parse error.
+    assert!(!ok(&responses[2]), "{responses:?}");
+    let stats = responses[3].get("stats").unwrap();
+    assert_eq!(num(stats, "errors"), 3);
+    assert_eq!(num(stats, "ingested_rows"), 0);
+}
+
 #[test]
 fn disabling_the_gate_lets_a_conflicting_append_through() {
     let task = covid3_task(&[("HZ", "1", "patient"), ("HZ", "2", "patient")]);

@@ -19,19 +19,125 @@ use crate::value::Value;
 use std::path::Path;
 use std::sync::Arc;
 
-/// Parse CSV text into rows of raw string fields. The first record is the
-/// header. Empty input yields an error.
-fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
-    let mut records = Vec::new();
-    let mut record: Vec<String> = Vec::new();
+/// The terminator of one record found by [`RecordScanner::find`].
+///
+/// `buf[..end]` is the record body (terminator excluded); `buf[..next]` is
+/// the consumed prefix including the terminator (`\n`, `\r\n`, or a lone
+/// `\r`). `end == next` only for a final record with no trailing newline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordSpan {
+    /// Byte offset one past the record body.
+    pub end: usize,
+    /// Byte offset one past the record terminator.
+    pub next: usize,
+}
+
+/// Incremental, quote-aware record-boundary scanner.
+///
+/// Both the in-memory [`read_str`] path and er-ingest's chunked reader split
+/// input into records with this scanner, so the two paths agree byte-for-byte
+/// on where records end — the chunked-equals-whole-file identity holds by
+/// construction, not by parallel maintenance of two state machines.
+///
+/// The scanner only finds boundaries; it does not validate quoting. It
+/// toggles quote state on every `"` byte, which classifies escaped quotes
+/// (`""`) correctly for boundary purposes: the pair toggles twice and no
+/// line break can intervene. Field-level validation (stray quotes inside
+/// unquoted fields, escape pairs) happens in [`split_record`].
+///
+/// Call [`find`](Self::find) on a growing buffer: on `None`, append more
+/// bytes to the *same* buffer and call again — scanning resumes where it
+/// stopped rather than rescanning. On `Some(span)`, drain `buf[..span.next]`
+/// and start the next record at offset 0.
+#[derive(Debug, Default, Clone)]
+pub struct RecordScanner {
+    in_quotes: bool,
+    scanned: usize,
+}
+
+impl RecordScanner {
+    /// A scanner at the start of a record, outside any quoted field.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Find the terminator of the first record in `buf`.
+    ///
+    /// `eof` means no further bytes will ever arrive: a trailing record
+    /// without a newline is then returned, and a trailing `\r` is a complete
+    /// terminator (with more data pending it could be half of a `\r\n`, so
+    /// the scanner waits). Returns `None` when the buffer holds no complete
+    /// record — either more data is needed, or (`eof` with
+    /// [`in_quotes`](Self::in_quotes) true) a quoted field never closed.
+    pub fn find(&mut self, buf: &[u8], eof: bool) -> Option<RecordSpan> {
+        let mut i = self.scanned;
+        while i < buf.len() {
+            let b = buf[i];
+            if self.in_quotes {
+                if b == b'"' {
+                    self.in_quotes = false;
+                }
+            } else {
+                match b {
+                    b'"' => self.in_quotes = true,
+                    b'\n' => {
+                        self.scanned = 0;
+                        return Some(RecordSpan {
+                            end: i,
+                            next: i + 1,
+                        });
+                    }
+                    b'\r' => {
+                        if i + 1 < buf.len() {
+                            let next = i + 1 + usize::from(buf[i + 1] == b'\n');
+                            self.scanned = 0;
+                            return Some(RecordSpan { end: i, next });
+                        }
+                        if eof {
+                            self.scanned = 0;
+                            return Some(RecordSpan {
+                                end: i,
+                                next: i + 1,
+                            });
+                        }
+                        // The \r may be half of a CRLF split across reads:
+                        // resume here once the next byte is visible.
+                        self.scanned = i;
+                        return None;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if eof && !buf.is_empty() && !self.in_quotes {
+            self.scanned = 0;
+            return Some(RecordSpan {
+                end: buf.len(),
+                next: buf.len(),
+            });
+        }
+        self.scanned = buf.len();
+        None
+    }
+
+    /// True when the last scanned byte sits inside an open quoted field.
+    pub fn in_quotes(&self) -> bool {
+        self.in_quotes
+    }
+}
+
+/// Split one record body (terminator already stripped by [`RecordScanner`])
+/// into raw string fields, validating RFC-4180 quoting. `base_line` is the
+/// 1-based line number where the record starts, used in error reports; line
+/// breaks inside quoted fields advance it.
+pub fn split_record(record: &str, base_line: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
     let mut field = String::new();
     let mut in_quotes = false;
-    let mut line = 1usize;
-    let mut chars = text.chars().peekable();
-    let mut any = false;
-
+    let mut line = base_line;
+    let mut chars = record.chars().peekable();
     while let Some(c) = chars.next() {
-        any = true;
         if in_quotes {
             match c {
                 '"' => {
@@ -59,16 +165,15 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
                     }
                     in_quotes = true;
                 }
-                ',' => {
-                    record.push(std::mem::take(&mut field));
-                }
-                '\r' => {
-                    // Swallow; the following '\n' ends the record.
-                }
-                '\n' => {
-                    line += 1;
-                    record.push(std::mem::take(&mut field));
-                    records.push(std::mem::take(&mut record));
+                ',' => fields.push(std::mem::take(&mut field)),
+                '\r' | '\n' => {
+                    // Unreachable from scanner-delimited bodies (a line break
+                    // outside quotes terminates the record), but a caller
+                    // passing raw text deserves a typed error, not data loss.
+                    return Err(Error::Csv {
+                        line,
+                        message: "bare line break inside record".to_string(),
+                    });
                 }
                 _ => field.push(c),
             }
@@ -80,11 +185,35 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
             message: "unterminated quoted field".to_string(),
         });
     }
-    if !field.is_empty() || !record.is_empty() {
-        record.push(field);
-        records.push(record);
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Parse CSV text into rows of raw string fields. The first record is the
+/// header. Empty input yields an error. Records end on `\n`, `\r\n`, or a
+/// lone `\r` (classic-Mac exports) — previously lone `\r` was swallowed,
+/// silently merging every record into one.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let bytes = text.as_bytes();
+    let mut records = Vec::new();
+    let mut scanner = RecordScanner::new();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        let Some(span) = scanner.find(rest, true) else {
+            // Only reachable when a quoted field never closes before EOF.
+            let line = line + rest.iter().filter(|&&b| b == b'\n').count();
+            return Err(Error::Csv {
+                line,
+                message: "unterminated quoted field".to_string(),
+            });
+        };
+        records.push(split_record(&text[pos..pos + span.end], line)?);
+        line += rest[..span.next].iter().filter(|&&b| b == b'\n').count();
+        pos += span.next;
     }
-    if !any || records.is_empty() {
+    if records.is_empty() {
         return Err(Error::Csv {
             line: 1,
             message: "empty csv input".to_string(),
@@ -96,7 +225,7 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
 /// Validate an inferred header before handing it to [`Schema::new`] (which
 /// treats duplicates as caller bugs and panics): untrusted CSV input must
 /// surface schema-inference failures as typed errors instead.
-fn check_header(header: &[String]) -> Result<()> {
+pub fn check_header(header: &[String]) -> Result<()> {
     for (i, h) in header.iter().enumerate() {
         let name = h.trim();
         if name.is_empty() {
@@ -185,7 +314,11 @@ fn build_rows(schema: Arc<Schema>, records: &[Vec<String>], pool: Arc<Pool>) -> 
     Ok(b.finish())
 }
 
-fn parse_field(raw: &str, continuous: bool) -> Value {
+/// Parse one raw field into a [`Value`]: trimmed, empty means NULL, and
+/// continuous attributes try integer then float (unparsable numerics become
+/// NULL — real-world CSVs are dirty, that is the point). Shared with
+/// er-ingest so the chunked path normalizes cells identically.
+pub fn parse_field(raw: &str, continuous: bool) -> Value {
     let raw = raw.trim();
     if raw.is_empty() {
         return Value::Null;
@@ -251,7 +384,7 @@ fn write_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
             out.push(',');
         }
         first = false;
-        if f.contains(',') || f.contains('"') || f.contains('\n') {
+        if f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r') {
             out.push('"');
             out.push_str(&f.replace('"', "\"\""));
             out.push('"');
@@ -304,6 +437,81 @@ mod tests {
         let r = read_str("t", "A,B\r\nx,y\r\n", pool).unwrap();
         assert_eq!(r.num_rows(), 1);
         assert_eq!(r.value(0, 1), Value::str("y"));
+    }
+
+    #[test]
+    fn cr_only_line_endings_split_records() {
+        // Classic-Mac / legacy-export line endings. The old reader swallowed
+        // lone \r, silently merging every record into one giant row — a
+        // silent arity change. Each \r must terminate a record.
+        let pool = Arc::new(Pool::new());
+        let r = read_str("t", "A,B\rx,y\rz,w\r", pool).unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.value(0, 0), Value::str("x"));
+        assert_eq!(r.value(1, 1), Value::str("w"));
+    }
+
+    #[test]
+    fn cr_only_without_trailing_terminator() {
+        let pool = Arc::new(Pool::new());
+        let r = read_str("t", "A,B\rx,y\rz,w", pool).unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.value(1, 0), Value::str("z"));
+    }
+
+    #[test]
+    fn mixed_line_endings() {
+        let pool = Arc::new(Pool::new());
+        let r = read_str("t", "A,B\r\nx,y\rz,w\n", pool).unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.value(0, 1), Value::str("y"));
+        assert_eq!(r.value(1, 0), Value::str("z"));
+    }
+
+    #[test]
+    fn quoted_cr_stays_literal_and_round_trips() {
+        let pool = Arc::new(Pool::new());
+        let r = read_str("t", "A,B\n\"has\rcr\",y\n", Arc::clone(&pool)).unwrap();
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.value(0, 0), Value::str("has\rcr"));
+        // The writer must quote \r, or the round trip re-splits the record.
+        let out = write_str(&r);
+        let r2 = read_str("t", &out, pool).unwrap();
+        assert_eq!(r2.num_rows(), 1);
+        assert_eq!(r2.value(0, 0), Value::str("has\rcr"));
+    }
+
+    #[test]
+    fn scanner_resumes_across_partial_reads() {
+        // A CRLF split across two reads must not yield a phantom empty
+        // record, and a quoted newline must not end the record.
+        let mut scanner = RecordScanner::new();
+        let mut buf: Vec<u8> = b"a,\"x\ny\"\r".to_vec();
+        assert_eq!(scanner.find(&buf, false), None); // trailing \r: wait
+        buf.extend_from_slice(b"\nb,c\n");
+        let span = scanner.find(&buf, false).unwrap();
+        assert_eq!(&buf[..span.end], b"a,\"x\ny\"");
+        assert_eq!(span.next, span.end + 2); // consumed both \r and \n
+        buf.drain(..span.next);
+        let span = scanner.find(&buf, false).unwrap();
+        assert_eq!(&buf[..span.end], b"b,c");
+    }
+
+    #[test]
+    fn scanner_flushes_final_record_at_eof() {
+        let mut scanner = RecordScanner::new();
+        let buf = b"tail,rec";
+        assert_eq!(scanner.find(buf, false), None);
+        let span = scanner.find(buf, true).unwrap();
+        assert_eq!((span.end, span.next), (8, 8));
+        assert_eq!(scanner.find(&[], true), None); // nothing after the tail
+    }
+
+    #[test]
+    fn scanner_reports_open_quote_at_eof() {
+        let mut scanner = RecordScanner::new();
+        assert_eq!(scanner.find(b"\"oops", true), None);
+        assert!(scanner.in_quotes());
     }
 
     #[test]

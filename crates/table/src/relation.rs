@@ -270,6 +270,22 @@ impl Relation {
         self.push_row_internal(row)
     }
 
+    /// Append one row from a borrowed slice, cloning each cell only at the
+    /// interning boundary. The serve front end iterates a reusable batch
+    /// buffer as `&[Value]` windows; this avoids materializing a `Vec` per
+    /// row on the hot path. Same validation and atomicity as
+    /// [`push_row`](Self::push_row).
+    pub fn push_row_ref(&mut self, row: &[Value]) -> Result<()> {
+        self.validate_row(row)?;
+        for (attr, value) in row.iter().enumerate() {
+            let code = self.pool.intern(value.clone());
+            self.columns[attr].push(code);
+        }
+        self.num_rows += 1;
+        self.generation += 1;
+        Ok(())
+    }
+
     /// Append a batch of rows atomically: every row is validated before any
     /// row is committed, so an error (reported for the first offending row)
     /// leaves the relation unmodified. Returns the [`RowId`] of the first

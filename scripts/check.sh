@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # The local mirror of CI: formatting, the clippy lint wall, the full test
 # suite (sequential, with miner invariant audits, and with ER_THREADS=4
-# worker pools), er-lint over the committed example rule set, and an
-# er-serve pipe-mode smoke (ping + one repair batch over stdin/stdout).
-# Run from anywhere inside the repo.
+# worker pools), er-lint over the committed example rule set, the quick
+# repair/ingest benchmarks (identity + trajectory checks), and two
+# er-serve pipe-mode smokes (repair/append batches, then registry-backed
+# repair_csv bulk streaming). Run from anywhere inside the repo.
 #
 # BENCH=1 additionally runs the thread-scaling sweep and refreshes
 # results/par_sweep.json (release build; a few extra minutes).
@@ -84,6 +85,12 @@ echo "$benchout"
 [[ "$benchout" == *'byte-identical'* ]]
 [[ "$benchout" == *'well-formed'* ]]
 
+echo "==> experiments ingest_bench --quick (chunked == whole-file, trajectory well-formed)"
+ingestout=$(cargo run -p er-bench --release --bin experiments -- --quick ingest_bench)
+echo "$ingestout"
+[[ "$ingestout" == *'byte-identical'* ]]
+[[ "$ingestout" == *'well-formed'* ]]
+
 echo "==> er-serve pipe-mode smoke"
 smoke=$(printf '%s\n' \
     '{"op":"ping"}' \
@@ -99,6 +106,18 @@ echo "$smoke"
 [[ "$(echo "$smoke" | sed -n 4p)" == *'"appends":1'* ]]
 [[ "$(echo "$smoke" | sed -n 4p)" == *'"engine_generation":5'* ]]
 [[ "$(echo "$smoke" | sed -n 4p)" == *'"signature_dedup"'* ]]
+
+echo "==> er-serve repair_csv pipe smoke (registry-backed bulk streaming)"
+csv_smoke=$(printf '%s\n' \
+    '{"op":"repair_csv","path":"examples/figure1_input.csv"}' \
+    '{"op":"stats"}' \
+    | cargo run -q --bin er-serve -- --rules examples/figure1_rules.json \
+        --registry examples/datasets.json --dataset figure1-files)
+echo "$csv_smoke"
+[[ "$(echo "$csv_smoke" | sed -n 1p)" == *'"op":"repair_csv"'* ]]
+[[ "$(echo "$csv_smoke" | sed -n 1p)" == *'"rows":3'* ]]
+[[ "$(echo "$csv_smoke" | sed -n 2p)" == *'"ingested_rows"'* ]]
+[[ "$(echo "$csv_smoke" | sed -n 2p)" == *'"ingest_chunks"'* ]]
 
 if [[ "${BENCH:-0}" == "1" ]]; then
     echo "==> experiments par_sweep (refreshing results/par_sweep.json)"

@@ -15,7 +15,11 @@ use std::time::Duration;
 const USAGE: &str = "\
 usage: er-serve --rules FILE [options]
 data source (pick one):
-  --dataset NAME     figure1 (default), adult, covid, nursery, location
+  --dataset NAME     any dataset-registry name: figure1 (default), adult,
+                     covid, nursery, location, or one from --registry
+  --registry PATH    JSON config of extra named datasets (generator
+                     variants or chunk-streamed CSV pairs); see
+                     examples/datasets.json
   --seed N           scenario seed for the generated datasets (default 1)
   --input CSV --master CSV --target Y[:Y_m]
                      serve over your own CSV pair (shared value pool);
@@ -41,6 +45,12 @@ protocol (one JSON object per line):
   {\"op\":\"append\",\"rows\":[[cell,...],...]}   cells in master-schema order;
                      grows the master in place, delta-updating the warm
                      indexes (stats reports appends + engine_generation)
+  {\"op\":\"repair_csv\",\"path\":PATH,\"chunk_bytes\":N?}  stream a server-side
+                     CSV (header must match the input schema) through the
+                     engine chunk by chunk under one backpressure slot and
+                     a per-chunk deadline; answers totals only
+                     ({rows, chunks, fixed}; stats: ingested_rows,
+                     ingest_chunks)
   {\"op\":\"reload\",\"scope\":SCOPE}            gate the promotion on a declared
                      edit scope: verdict changes outside SCOPE are ER012
                      and the reload is refused (stats: rejected_by_code)
@@ -56,6 +66,7 @@ read request is answered before the service exits";
 struct Args {
     rules: Option<String>,
     dataset: String,
+    registry: Option<String>,
     seed: u64,
     input: Option<String>,
     master: Option<String>,
@@ -69,6 +80,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         rules: None,
         dataset: "figure1".to_string(),
+        registry: None,
         seed: 1,
         input: None,
         master: None,
@@ -82,6 +94,7 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--rules" => args.rules = Some(need(&mut it, "--rules")),
             "--dataset" => args.dataset = need(&mut it, "--dataset"),
+            "--registry" => args.registry = Some(need(&mut it, "--registry")),
             "--seed" => args.seed = need_num(&mut it, "--seed"),
             "--input" => args.input = Some(need(&mut it, "--input")),
             "--master" => args.master = Some(need(&mut it, "--master")),
@@ -144,18 +157,21 @@ fn load_scenario(args: &Args) -> er_datagen::Scenario {
                 std::process::exit(1);
             }
         }
-    } else if args.dataset == "figure1" {
-        er_datagen::figure1()
     } else {
-        let kind = er_datagen::DatasetKind::all()
-            .into_iter()
-            .find(|k| k.name() == args.dataset)
-            .unwrap_or_else(|| die(&format!("unknown dataset {}", args.dataset)));
-        let config = er_datagen::ScenarioConfig {
+        let mut registry = er_ingest::DatasetRegistry::builtin();
+        if let Some(path) = &args.registry {
+            if let Err(e) = registry.load_config(path) {
+                die(&format!("--registry {path}: {e}"));
+            }
+        }
+        let knobs = er_ingest::ScaleKnobs {
+            scale: 1.0,
             seed: args.seed,
-            ..kind.small_config()
         };
-        kind.build(config)
+        match registry.build(&args.dataset, &knobs) {
+            Ok(s) => s,
+            Err(e) => die(&e.to_string()),
+        }
     }
 }
 
