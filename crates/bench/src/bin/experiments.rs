@@ -16,7 +16,7 @@ usage: experiments [--paper-scale|--quick] [--repeats N] [--train-steps N] [--th
        experiments lint [--dataset NAME] [--seed N] [--json] [--fix [--out PATH]] <rules.json>
        experiments analyze [--dataset NAME] [--seed N] [--threads N] [--json] [--out PATH] <rules.json>
        experiments diff [--dataset NAME] [--seed N] [--threads N] [--scope JSON] [--json] [--out PATH] <old.json> <new.json>
-  ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate par_sweep serve_bench incr_bench repair_bench ingest_bench
+  ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate par_sweep serve_bench shard_bench incr_bench repair_bench ingest_bench
   --paper-scale   run at the paper's dataset sizes (EnuMiner may take hours)
   --quick         smoke-test scale (shorter training, tighter budgets)
   --repeats N     repetitions for mean±std tables (default 3, paper 5)
@@ -166,6 +166,9 @@ fn main() {
             }
             "serve_bench" => {
                 er_bench::serve_bench(&cfg);
+            }
+            "shard_bench" => {
+                er_bench::shard_bench(&cfg);
             }
             "incr_bench" => {
                 er_bench::incr_bench(&cfg);

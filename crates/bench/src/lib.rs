@@ -32,6 +32,7 @@ pub mod methods;
 pub mod repair_bench;
 pub mod runners;
 pub mod serve_bench;
+pub mod shard_bench;
 pub mod stats;
 pub mod trajectory;
 
@@ -41,6 +42,7 @@ pub use methods::{ctane_method, enuminer_method, rlminer_method, MethodOutcome};
 pub use repair_bench::{repair_bench, RepairBench};
 pub use runners::*;
 pub use serve_bench::{serve_bench, ServeBench};
+pub use shard_bench::{shard_bench, ShardBench};
 pub use stats::{mean_std, MeanStd};
 pub use trajectory::{append_trajectory, validate_trajectory};
 

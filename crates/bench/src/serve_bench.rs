@@ -4,28 +4,53 @@
 //! hand-built rule set (serving cost is dominated by the vote loop, not by
 //! where the rules came from), then drives it with several concurrent
 //! clients replaying the scenario's input rows in fixed-size batches.
-//! Reports wall-clock throughput plus client-side and server-side p50/p99
-//! latency, and writes `results/serve_bench.json`.
+//! Before any timing, one warm-up client replays the whole request stream
+//! and asserts every socket response is **byte-identical** to the pipe
+//! front-end over an identically built engine — the number is only worth
+//! reporting if the served answers are right. Reports wall-clock throughput
+//! plus client-side and server-side p50/p99 latency, and writes
+//! `results/serve_bench.json`.
+//!
+//! Besides the `results/` file, a full (non-`--quick`) run appends one
+//! entry to the repo-root `BENCH_serve.json` trajectory file shared with
+//! `shard_bench`, so the serving-tier perf delta of every PR — the
+//! server-side p50 in particular — is visible in review. Both modes then
+//! validate that the trajectory file exists and is well-formed, which is
+//! what `scripts/check.sh` and CI rely on.
 
+use crate::trajectory::{append_trajectory, validate_trajectory};
 use crate::ExperimentConfig;
 use er_datagen::DatasetKind;
 use er_rules::EditingRule;
-use er_serve::{RepairEngine, ServeConfig, Server, TcpServer};
-use er_table::Value;
+use er_serve::{serve_pipe, RepairEngine, ServeConfig, Server, TcpServer};
+use er_table::{Relation, Value};
 use serde::Serialize;
 use serde_json::Value as Json;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Result of one serve benchmark run.
+/// Repo-root perf trajectory artifact shared by the serving-tier benches;
+/// one entry appended per full run.
+pub(crate) const TRAJECTORY: &str = "BENCH_serve.json";
+
+/// Result of one serve benchmark run (also one trajectory entry).
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeBench {
+    /// Which serving-tier bench produced this entry.
+    pub bench: String,
     /// Dataset the server was loaded with.
     pub dataset: String,
     /// Loaded rule count.
     pub rules: usize,
+    /// Engine shards behind the server (this bench serves unsharded).
+    pub shards: usize,
+    /// Repair worker threads (`0` = auto).
+    pub threads: usize,
+    /// What `available_parallelism` reported on the bench host — the
+    /// honest context for any speedup numbers.
+    pub host_parallelism: usize,
     /// Concurrent client connections.
     pub clients: usize,
     /// Requests each client sent.
@@ -50,14 +75,32 @@ pub struct ServeBench {
     pub server_p99_us: u64,
     /// Total cells the served repairs would change.
     pub repaired_cells: u64,
+    /// Whether this was a `--quick` smoke run (quick runs do not enter the
+    /// trajectory).
+    pub quick: bool,
+    /// Wall-clock seconds since the Unix epoch when the run finished.
+    pub unix_seconds: u64,
 }
 
-fn percentile(sorted: &[u64], q: f64) -> u64 {
+pub(crate) fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
     let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+pub(crate) fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+pub(crate) fn unix_seconds() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 fn cell_to_json(value: &Value) -> Json {
@@ -69,53 +112,10 @@ fn cell_to_json(value: &Value) -> Json {
     }
 }
 
-/// Benchmark the serve path; see the module docs.
-pub fn serve_bench(cfg: &ExperimentConfig) -> ServeBench {
-    println!("== serve_bench: er-serve socket mode over the Covid scenario ==");
-    let s = cfg.scenario(DatasetKind::Covid, 1);
-    let task = &s.task;
-    let target = task.target();
-
-    // Single-attribute rules over every matched LHS pair, plus adjacent
-    // two-attribute rules for index diversity.
-    let pairs = task.candidate_lhs_pairs();
-    let mut rules: Vec<EditingRule> = pairs
-        .iter()
-        .map(|&p| EditingRule::new(vec![p], target, vec![]))
-        .collect();
-    for window in pairs.windows(2) {
-        rules.push(EditingRule::new(window.to_vec(), target, vec![]));
-    }
-    rules.truncate(12);
-
-    let engine = match RepairEngine::new(task, rules, cfg.threads) {
-        Ok(e) => e,
-        Err(e) => {
-            // The scenario and rules are constructed above; this is a bug,
-            // not an environment failure — surface it loudly.
-            panic!("serve_bench: engine construction failed: {e}");
-        }
-    };
-    let num_rules = engine.num_rules();
-
-    let clients = 4usize;
-    let rows_per_batch = 64usize;
-    let config = ServeConfig {
-        queue_capacity: 256,
-        workers: clients,
-        ..ServeConfig::default()
-    };
-    let server = Arc::new(Server::new(engine, config));
-    let tcp = match TcpServer::bind(Arc::clone(&server), "127.0.0.1:0") {
-        Ok(t) => t,
-        Err(e) => panic!("serve_bench: cannot bind a loopback socket: {e}"),
-    };
-    let addr = tcp.local_addr();
-
-    // Pre-render the request lines once; every client replays the same
-    // stream of batches.
-    let input = task.input();
-    let requests: Vec<(String, usize)> = (0..input.num_rows())
+/// Pre-render repair request lines over the input, `rows_per_batch` rows
+/// each; returns `(line, rows_in_line)` pairs.
+pub(crate) fn render_requests(input: &Relation, rows_per_batch: usize) -> Vec<(String, usize)> {
+    (0..input.num_rows())
         .collect::<Vec<_>>()
         .chunks(rows_per_batch)
         .map(|chunk| {
@@ -130,14 +130,73 @@ pub fn serve_bench(cfg: &ExperimentConfig) -> ServeBench {
             .unwrap_or_default();
             (line, chunk.len())
         })
-        .collect();
-    let passes = 3usize.max(cfg.repeats);
-    let requests_per_client = requests.len() * passes;
+        .collect()
+}
 
-    let started = Instant::now();
+/// Reference responses for `requests`: one scripted pipe session against
+/// `server`, split into lines. Repair responses carry no cross-request
+/// state, so line `i` is THE correct answer for request `i` on any
+/// front-end and at any concurrency.
+pub(crate) fn pipe_reference(server: &Server, requests: &[(String, usize)]) -> Vec<String> {
+    let script: String = requests
+        .iter()
+        .map(|(line, _)| format!("{line}\n"))
+        .collect();
+    let mut reader = Cursor::new(script.into_bytes());
+    let mut out: Vec<u8> = Vec::new();
+    if let Err(e) = serve_pipe(server, &mut reader, &mut out) {
+        panic!("serve bench: pipe reference session failed: {e}");
+    }
+    String::from_utf8(out)
+        .unwrap_or_else(|e| panic!("serve bench: pipe reference is not UTF-8: {e}"))
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Replay every request once on one connection and assert each response is
+/// byte-identical to `expected`.
+pub(crate) fn assert_identity(addr: SocketAddr, requests: &[(String, usize)], expected: &[String]) {
+    assert_eq!(requests.len(), expected.len(), "reference line count");
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => panic!("serve bench: identity client cannot connect: {e}"),
+    };
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => panic!("serve bench: identity client cannot clone: {e}"),
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    for ((request, _), want) in requests.iter().zip(expected) {
+        if let Err(e) = writeln!(writer, "{request}") {
+            panic!("serve bench: identity client write failed: {e}");
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {}
+            other => panic!("serve bench: identity client read failed: {other:?}"),
+        }
+        assert_eq!(
+            line.trim_end_matches('\n'),
+            want,
+            "socket response diverged from the pipe reference"
+        );
+    }
+}
+
+/// Drive `clients` concurrent connections, each replaying `requests`
+/// `passes` times; returns (sorted client latencies in µs, total rows).
+pub(crate) fn drive_clients(
+    addr: SocketAddr,
+    requests: &[(String, usize)],
+    clients: usize,
+    passes: usize,
+) -> (Vec<u64>, usize) {
     let handles: Vec<_> = (0..clients)
         .map(|_| {
-            let requests = requests.clone();
+            let requests = requests.to_vec();
             std::thread::spawn(move || -> (Vec<u64>, usize) {
                 let mut latencies = Vec::with_capacity(requests.len() * passes);
                 let mut rows_sent = 0usize;
@@ -181,9 +240,13 @@ pub fn serve_bench(cfg: &ExperimentConfig) -> ServeBench {
             total_rows += rows;
         }
     }
-    let wall_seconds = started.elapsed().as_secs_f64();
+    client_latencies.sort_unstable();
+    (client_latencies, total_rows)
+}
 
-    // Drain through the protocol so the bench exercises the full lifecycle.
+/// Drain a TCP server through the protocol so the bench exercises the full
+/// lifecycle, then join it.
+pub(crate) fn drain_over_protocol(addr: SocketAddr, tcp: TcpServer) {
     if let Ok(stream) = TcpStream::connect(addr) {
         if let Ok(read_half) = stream.try_clone() {
             let mut reader = BufReader::new(read_half);
@@ -196,13 +259,92 @@ pub fn serve_bench(cfg: &ExperimentConfig) -> ServeBench {
     }
     tcp.shutdown();
     tcp.join();
+}
 
-    client_latencies.sort_unstable();
+/// The shared rule set of the serving-tier benches: every rule anchored on
+/// the first candidate LHS pair (so the set has a common routing pair and
+/// multi-shard placement is non-degenerate), capped at 12 rules.
+pub(crate) fn bench_rules(task: &er_rules::Task) -> Vec<EditingRule> {
+    let target = task.target();
+    let pairs = task.candidate_lhs_pairs();
+    let anchor = match pairs.first() {
+        Some(&p) => p,
+        None => panic!("serve bench: scenario has no candidate LHS pairs"),
+    };
+    let mut rules = vec![EditingRule::new(vec![anchor], target, vec![])];
+    for &p in &pairs[1..] {
+        rules.push(EditingRule::new(vec![anchor, p], target, vec![]));
+    }
+    rules.truncate(12);
+    rules
+}
+
+/// Benchmark the serve path; see the module docs.
+pub fn serve_bench(cfg: &ExperimentConfig) -> ServeBench {
+    println!("== serve_bench: er-serve socket mode over the Covid scenario ==");
+    let s = cfg.scenario(DatasetKind::Covid, 1);
+    let task = &s.task;
+    let rules = bench_rules(task);
+
+    let build_engine = || match RepairEngine::new(task, rules.clone(), cfg.threads) {
+        Ok(e) => e,
+        Err(e) => {
+            // The scenario and rules are constructed above; this is a bug,
+            // not an environment failure — surface it loudly.
+            panic!("serve_bench: engine construction failed: {e}");
+        }
+    };
+    let engine = build_engine();
+    let num_rules = engine.num_rules();
+
+    let clients = 4usize;
+    let rows_per_batch = 64usize;
+    let config = ServeConfig {
+        queue_capacity: 256,
+        workers: clients,
+        ..ServeConfig::default()
+    };
+    let server = Arc::new(Server::new(engine, config));
+    let tcp = match TcpServer::bind(Arc::clone(&server), "127.0.0.1:0") {
+        Ok(t) => t,
+        Err(e) => panic!("serve_bench: cannot bind a loopback socket: {e}"),
+    };
+    let addr = tcp.local_addr();
+
+    // Pre-render the request lines once; every client replays the same
+    // stream of batches.
+    let requests = render_requests(task.input(), rows_per_batch);
+    let passes = if cfg.quick {
+        1
+    } else {
+        3usize.max(cfg.repeats)
+    };
+    let requests_per_client = requests.len() * passes;
+
+    // Correctness before timing: the socket path must answer byte-for-byte
+    // what the pipe front-end answers over an identically built engine.
+    let reference_server = Server::new(build_engine(), ServeConfig::default());
+    let expected = pipe_reference(&reference_server, &requests);
+    assert_identity(addr, &requests, &expected);
+    println!(
+        "  socket responses byte-identical to the pipe reference ({} requests)",
+        requests.len()
+    );
+
+    let started = Instant::now();
+    let (client_latencies, total_rows) = drive_clients(addr, &requests, clients, passes);
+    let wall_seconds = started.elapsed().as_secs_f64();
+    drain_over_protocol(addr, tcp);
+
     let snapshot = server.snapshot();
     let total_requests = client_latencies.len();
     let result = ServeBench {
+        bench: "serve_bench".to_string(),
         dataset: s.name.clone(),
         rules: num_rules,
+        shards: 1,
+        threads: cfg.threads,
+        host_parallelism: host_parallelism(),
         clients,
         requests_per_client,
         rows_per_batch,
@@ -215,6 +357,8 @@ pub fn serve_bench(cfg: &ExperimentConfig) -> ServeBench {
         server_p50_us: snapshot.p50_us,
         server_p99_us: snapshot.p99_us,
         repaired_cells: snapshot.repaired_cells,
+        quick: cfg.quick,
+        unix_seconds: unix_seconds(),
     };
     println!(
         "  {} clients × {} requests × {} rows: {:.2}s, {:.0} rows/s, {:.0} req/s",
@@ -234,5 +378,17 @@ pub fn serve_bench(cfg: &ExperimentConfig) -> ServeBench {
         result.repaired_cells
     );
     cfg.write_json("serve_bench", &result);
+    if result.quick {
+        println!("  [--quick: not appended to {TRAJECTORY}]");
+    } else {
+        append_trajectory(TRAJECTORY, "serve", &result);
+    }
+    match validate_trajectory(
+        TRAJECTORY,
+        &["shards", "total_rows", "rows_per_second", "server_p50_us"],
+    ) {
+        Ok(entries) => println!("  [{TRAJECTORY}: {entries} trajectory entries, well-formed]"),
+        Err(e) => panic!("serve_bench: {TRAJECTORY} is missing or malformed: {e}"),
+    }
     result
 }

@@ -1,0 +1,186 @@
+//! `shard_bench` — scaling of the sharded serving tier.
+//!
+//! Builds the same Covid serving workload as `serve_bench`, then serves it
+//! at 1, 2, and 8 engine shards. For every shard count the full request
+//! stream is first replayed through the socket and asserted
+//! **byte-identical** to the pipe front-end over an unsharded engine —
+//! sharding is a layout optimisation and must never change one byte of an
+//! answer — and only then timed with concurrent clients.
+//!
+//! Each full (non-`--quick`) run appends one entry per shard count to the
+//! repo-root `BENCH_serve.json` trajectory shared with `serve_bench`,
+//! carrying `speedup_vs_one_shard` and the host's `available_parallelism`:
+//! on a single-core container an honest ~1× is the expected reading, and
+//! the parallelism field says so.
+
+use crate::serve_bench::{
+    assert_identity, bench_rules, drain_over_protocol, drive_clients, host_parallelism, percentile,
+    pipe_reference, render_requests, unix_seconds, TRAJECTORY,
+};
+use crate::trajectory::{append_trajectory, validate_trajectory};
+use crate::ExperimentConfig;
+use er_datagen::DatasetKind;
+use er_serve::{RepairEngine, ServeConfig, Server, TcpServer};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Result of one shard count's run (also one trajectory entry).
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardBench {
+    /// Which serving-tier bench produced this entry.
+    pub bench: String,
+    /// Dataset the server was loaded with.
+    pub dataset: String,
+    /// Loaded rule count.
+    pub rules: usize,
+    /// Engine shards behind the server.
+    pub shards: usize,
+    /// Repair worker threads (`0` = auto).
+    pub threads: usize,
+    /// What `available_parallelism` reported on the bench host — the
+    /// honest context for `speedup_vs_one_shard`.
+    pub host_parallelism: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sent.
+    pub requests_per_client: usize,
+    /// Total rows pushed through the server.
+    pub total_rows: usize,
+    /// Wall-clock duration of the client phase, seconds.
+    pub wall_seconds: f64,
+    /// Rows repaired per second (aggregate).
+    pub rows_per_second: f64,
+    /// This shard count's throughput over the 1-shard run's.
+    pub speedup_vs_one_shard: f64,
+    /// Client-observed median round-trip, microseconds.
+    pub client_p50_us: u64,
+    /// Server-side median repair latency, microseconds.
+    pub server_p50_us: u64,
+    /// Server-side 99th-percentile repair latency, microseconds.
+    pub server_p99_us: u64,
+    /// Rows the sharded router sent to exactly one shard.
+    pub shard_routed: u64,
+    /// Rows broadcast to every shard (NULL routing key).
+    pub shard_broadcast: u64,
+    /// Whether this was a `--quick` smoke run (quick runs do not enter the
+    /// trajectory).
+    pub quick: bool,
+    /// Wall-clock seconds since the Unix epoch when the run finished.
+    pub unix_seconds: u64,
+}
+
+/// Benchmark the sharded serving tier; see the module docs.
+pub fn shard_bench(cfg: &ExperimentConfig) -> Vec<ShardBench> {
+    println!("== shard_bench: sharded serving tier at 1/2/8 shards ==");
+    let s = cfg.scenario(DatasetKind::Covid, 1);
+    let task = &s.task;
+    let rules = bench_rules(task);
+
+    let clients = 4usize;
+    let rows_per_batch = 64usize;
+    let requests = render_requests(task.input(), rows_per_batch);
+    let passes = if cfg.quick {
+        1
+    } else {
+        3usize.max(cfg.repeats)
+    };
+
+    // The cross-shard reference: the pipe front-end over an unsharded
+    // engine. Every shard count must reproduce these bytes.
+    let build_engine =
+        |shards: usize| match RepairEngine::with_shards(task, rules.clone(), cfg.threads, shards) {
+            Ok(e) => e,
+            Err(e) => panic!("shard_bench: engine construction failed at {shards} shards: {e}"),
+        };
+    let reference_server = Server::new(build_engine(1), ServeConfig::default());
+    let expected = pipe_reference(&reference_server, &requests);
+
+    let mut results: Vec<ShardBench> = Vec::with_capacity(SHARD_COUNTS.len());
+    for shards in SHARD_COUNTS {
+        let engine = build_engine(shards);
+        let num_rules = engine.num_rules();
+        let config = ServeConfig {
+            queue_capacity: 256,
+            workers: clients,
+            ..ServeConfig::default()
+        };
+        let server = Arc::new(Server::new(engine, config));
+        let tcp = match TcpServer::bind(Arc::clone(&server), "127.0.0.1:0") {
+            Ok(t) => t,
+            Err(e) => panic!("shard_bench: cannot bind a loopback socket: {e}"),
+        };
+        let addr = tcp.local_addr();
+
+        // Correctness before timing, at every shard count.
+        assert_identity(addr, &requests, &expected);
+
+        let started = Instant::now();
+        let (client_latencies, total_rows) = drive_clients(addr, &requests, clients, passes);
+        let wall_seconds = started.elapsed().as_secs_f64();
+        drain_over_protocol(addr, tcp);
+
+        let snapshot = server.snapshot();
+        let rows_per_second = total_rows as f64 / wall_seconds.max(1e-9);
+        let speedup = match results.first() {
+            Some(base) => rows_per_second / base.rows_per_second.max(1e-9),
+            None => 1.0,
+        };
+        let result = ShardBench {
+            bench: "shard_bench".to_string(),
+            dataset: s.name.clone(),
+            rules: num_rules,
+            shards,
+            threads: cfg.threads,
+            host_parallelism: host_parallelism(),
+            clients,
+            requests_per_client: requests.len() * passes,
+            total_rows,
+            wall_seconds,
+            rows_per_second,
+            speedup_vs_one_shard: speedup,
+            client_p50_us: percentile(&client_latencies, 0.50),
+            server_p50_us: snapshot.p50_us,
+            server_p99_us: snapshot.p99_us,
+            shard_routed: snapshot.shard_routed,
+            shard_broadcast: snapshot.shard_broadcast,
+            quick: cfg.quick,
+            unix_seconds: unix_seconds(),
+        };
+        println!(
+            "  {} shard(s): {:.2}s, {:.0} rows/s ({:.2}x vs 1 shard), server p50={}us p99={}us, routed={} broadcast={}",
+            result.shards,
+            result.wall_seconds,
+            result.rows_per_second,
+            result.speedup_vs_one_shard,
+            result.server_p50_us,
+            result.server_p99_us,
+            result.shard_routed,
+            result.shard_broadcast
+        );
+        results.push(result);
+    }
+    println!(
+        "  responses byte-identical across shard counts {SHARD_COUNTS:?} (host_parallelism={})",
+        host_parallelism()
+    );
+
+    cfg.write_json("shard_bench", &results);
+    if cfg.quick {
+        println!("  [--quick: not appended to {TRAJECTORY}]");
+    } else {
+        for result in &results {
+            append_trajectory(TRAJECTORY, "serve", result);
+        }
+    }
+    match validate_trajectory(
+        TRAJECTORY,
+        &["shards", "total_rows", "rows_per_second", "server_p50_us"],
+    ) {
+        Ok(entries) => println!("  [{TRAJECTORY}: {entries} trajectory entries, well-formed]"),
+        Err(e) => panic!("shard_bench: {TRAJECTORY} is missing or malformed: {e}"),
+    }
+    results
+}

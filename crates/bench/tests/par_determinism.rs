@@ -244,6 +244,57 @@ fn batched_repair_is_thread_count_invariant() {
     }
 }
 
+/// The sharded serving tier partitions the master by the rules' common LHS
+/// routing pair and fans requests out per shard; at every shard count ×
+/// thread count combination the answers must be byte-identical to the
+/// unsharded `BatchRepairer`.
+#[test]
+fn sharded_repair_is_shard_and_thread_count_invariant() {
+    const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+    let s = covid();
+    let task = &s.task;
+    let target = task.target();
+    let pairs = task.candidate_lhs_pairs();
+    // Anchor every rule on pairs[0] so the set has a common routing pair
+    // and multi-shard placement is non-degenerate.
+    let mut rules = vec![EditingRule::new(vec![pairs[0]], target, vec![])];
+    for &p in &pairs[1..] {
+        rules.push(EditingRule::new(vec![pairs[0], p], target, vec![]));
+    }
+    let reference = BatchRepairer::new(task.master().clone(), target, rules.clone(), 1)
+        .unwrap()
+        .repair_batch(task.input())
+        .unwrap();
+    assert!(reference.num_predictions() > 0, "fixture must predict");
+    let bits = |scores: &[f64]| scores.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            let engine = er_shard::ShardedEngine::new(
+                task.master().clone(),
+                target,
+                rules.clone(),
+                threads,
+                shards,
+            )
+            .unwrap();
+            let run = engine.repair_batch(task.input(), None).unwrap();
+            assert_eq!(
+                run.predictions, reference.predictions,
+                "predictions diverged at {shards} shards / {threads} threads"
+            );
+            assert_eq!(
+                bits(&run.scores),
+                bits(&reference.scores),
+                "scores diverged bitwise at {shards} shards / {threads} threads"
+            );
+            assert_eq!(
+                run.candidates, reference.candidates,
+                "candidate counts diverged at {shards} shards / {threads} threads"
+            );
+        }
+    }
+}
+
 /// The RLMiner path: training (mask refresh via the evaluator pool) and the
 /// greedy re-evaluation sweep in `mine` both fan out; with a fixed seed the
 /// whole train-then-mine pipeline must be identical at any thread count.

@@ -15,12 +15,13 @@
 use er_analyze::{
     analyze, analyze_json, diff_json, AnalysisReport, AnalyzeConfig, DiffReport, EditScope,
 };
-use er_incr::{AppendOutcome, IncrCounters, IncrEngine};
+use er_incr::{AppendOutcome, IncrCounters};
 use er_rules::{
     rules_from_json, rules_to_json, BatchError, EditingRule, Measures, SchemaMatch, TargetRules,
     Task, VoteStats,
 };
-use er_table::{Pool, Relation, Schema, Value};
+use er_shard::{AppendGuard, ShardStats, ShardedEngine};
+use er_table::{AttrId, Pool, Relation, Schema, Value};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -91,13 +92,20 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// A loaded, warmed repair engine: input schema + shared pool + batch
-/// repairer with pre-built master indexes.
+/// A loaded, warmed repair engine: input schema + shared pool + a sharded
+/// batch repairer with pre-built master indexes. With one shard (the
+/// default) this is exactly the unsharded engine; with N it partitions the
+/// master by the deterministic LHS routing hash and stays bitwise identical
+/// (see `er-shard`).
 pub struct RepairEngine {
     schema: Arc<Schema>,
     pool: Arc<Pool>,
     matching: SchemaMatch,
-    engine: IncrEngine,
+    /// Canonical copy of the installed rules/target: immutable for the
+    /// engine's lifetime, so analysis and JSON rendering need no shard locks.
+    rules: Vec<EditingRule>,
+    target: (AttrId, AttrId),
+    engine: ShardedEngine,
 }
 
 impl std::fmt::Debug for RepairEngine {
@@ -110,15 +118,36 @@ impl std::fmt::Debug for RepairEngine {
 }
 
 impl RepairEngine {
-    /// Build an engine from already-resolved rules. The task supplies the
-    /// input schema, the shared pool, the master relation and the target.
+    /// Build a single-shard engine from already-resolved rules. The task
+    /// supplies the input schema, the shared pool, the master relation and
+    /// the target.
     pub fn new(task: &Task, rules: Vec<EditingRule>, threads: usize) -> Result<Self, EngineError> {
-        let engine = IncrEngine::new(task.master().clone(), task.target(), rules, threads)
-            .map_err(EngineError::Batch)?;
+        Self::with_shards(task, rules, threads, 1)
+    }
+
+    /// Build an engine over `shards` master partitions (0 and 1 both mean
+    /// unsharded). Placement and routing follow the common LHS routing pair
+    /// of the rule set; see `er-shard` for the exactness argument.
+    pub fn with_shards(
+        task: &Task,
+        rules: Vec<EditingRule>,
+        threads: usize,
+        shards: usize,
+    ) -> Result<Self, EngineError> {
+        let engine = ShardedEngine::new(
+            task.master().clone(),
+            task.target(),
+            rules.clone(),
+            threads,
+            shards,
+        )
+        .map_err(EngineError::Batch)?;
         Ok(RepairEngine {
             schema: Arc::clone(task.input().schema()),
             pool: Arc::clone(task.input().pool()),
             matching: task.matching().clone(),
+            rules,
+            target: task.target(),
             engine,
         })
     }
@@ -126,9 +155,19 @@ impl RepairEngine {
     /// Build an engine from a rule-set JSON document (the format
     /// [`er_rules::rules_to_json`] writes and the miners emit).
     pub fn from_json(task: &Task, rules_json: &str, threads: usize) -> Result<Self, EngineError> {
+        Self::from_json_sharded(task, rules_json, threads, 1)
+    }
+
+    /// [`RepairEngine::from_json`] over `shards` master partitions.
+    pub fn from_json_sharded(
+        task: &Task,
+        rules_json: &str,
+        threads: usize,
+        shards: usize,
+    ) -> Result<Self, EngineError> {
         let rules =
             rules_from_json(rules_json, task).map_err(|e| EngineError::Rules(e.to_string()))?;
-        Self::new(task, rules, threads)
+        Self::with_shards(task, rules, threads, shards)
     }
 
     /// [`RepairEngine::from_json`] behind the static-analysis gate: the
@@ -141,22 +180,32 @@ impl RepairEngine {
         rules_json: &str,
         threads: usize,
     ) -> Result<Self, EngineError> {
+        Self::from_json_gated_sharded(task, rules_json, threads, 1)
+    }
+
+    /// [`RepairEngine::from_json_gated`] over `shards` master partitions.
+    pub fn from_json_gated_sharded(
+        task: &Task,
+        rules_json: &str,
+        threads: usize,
+        shards: usize,
+    ) -> Result<Self, EngineError> {
         let report = analyze_json(rules_json, task, &AnalyzeConfig::with_threads(threads))
             .map_err(EngineError::Rules)?;
         if !report.gate_clean() {
             return Err(EngineError::Analysis(Box::new(report)));
         }
-        Self::from_json(task, rules_json, threads)
+        Self::from_json_sharded(task, rules_json, threads, shards)
     }
 
     /// Number of loaded rules.
     pub fn num_rules(&self) -> usize {
-        self.engine.num_rules()
+        self.rules.len()
     }
 
-    /// Number of pre-built master-side group indexes.
+    /// Number of pre-built master-side group indexes (identical per shard).
     pub fn num_indexes(&self) -> usize {
-        self.engine.num_indexes()
+        self.engine.read_view().num_indexes()
     }
 
     /// The input schema incoming rows must follow.
@@ -164,15 +213,27 @@ impl RepairEngine {
         &self.schema
     }
 
-    /// The master relation the warmed indexes cover.
-    pub fn master(&self) -> &Relation {
-        self.engine.master()
+    /// A consistent snapshot of the full master relation the warmed indexes
+    /// cover, rows in global arrival order (reassembled across shards under
+    /// all shard read locks).
+    pub fn master_snapshot(&self) -> Relation {
+        self.engine.read_view().combined_master()
+    }
+
+    /// Number of master partitions.
+    pub fn shards(&self) -> usize {
+        self.engine.num_shards()
+    }
+
+    /// Aggregate shard counters (routing, broadcast, placement skew).
+    pub fn shard_stats(&self) -> ShardStats {
+        self.engine.shard_stats()
     }
 
     /// Statically analyze the loaded rule set against the engine's current
     /// master (termination, conflicts, reachability — see `er-analyze`).
     pub fn analyze(&self) -> AnalysisReport {
-        self.analyze_with_master(self.master())
+        self.analyze_with_master(&self.master_snapshot())
     }
 
     /// [`RepairEngine::analyze`] against an explicit master relation — used
@@ -180,8 +241,8 @@ impl RepairEngine {
     /// before committing the rows.
     pub fn analyze_with_master(&self, master: &Relation) -> AnalysisReport {
         let targets = [TargetRules {
-            target: self.engine.target(),
-            rules: self.engine.rules().to_vec(),
+            target: self.target,
+            rules: self.rules.clone(),
         }];
         analyze(&self.schema, master, &targets, &AnalyzeConfig::default())
     }
@@ -192,9 +253,9 @@ impl RepairEngine {
     fn probe_task(&self) -> Task {
         Task::new(
             Relation::empty(Arc::clone(&self.schema), Arc::clone(&self.pool)),
-            self.master().clone(),
+            self.master_snapshot(),
             self.matching.clone(),
-            self.engine.target(),
+            self.target,
         )
     }
 
@@ -202,8 +263,7 @@ impl RepairEngine {
     /// (the canonical bytes committed to the version store).
     pub fn rules_json(&self) -> String {
         let rules: Vec<(EditingRule, Measures)> = self
-            .engine
-            .rules()
+            .rules
             .iter()
             .map(|r| (r.clone(), Measures::zero()))
             .collect();
@@ -232,40 +292,48 @@ impl RepairEngine {
 
     /// Name of the target attribute `Y` repairs are written to.
     pub fn target_attr(&self) -> &str {
-        &self.schema.attr(self.engine.target().0).name
+        &self.schema.attr(self.target.0).name
     }
 
     /// Current master generation (rows the master has grown by since it was
-    /// first built).
+    /// first built), aggregated across shards.
     pub fn generation(&self) -> u64 {
-        self.engine.generation()
+        self.engine.read_view().generation()
     }
 
     /// How many rows the master has grown since the rule set was installed.
     pub fn staleness(&self) -> u64 {
-        self.engine.staleness()
+        self.engine.read_view().staleness()
     }
 
-    /// Lifetime incremental-vs-rebuild counters of the underlying engine.
+    /// Lifetime incremental-vs-rebuild counters, summed across shards.
     pub fn counters(&self) -> IncrCounters {
-        self.engine.counters()
+        self.engine.read_view().counters()
     }
 
-    /// Lifetime vote-batching counters of the underlying engine (rows
-    /// grouped vs. distinct signature probes) — the `signature_dedup`
-    /// payoff the `stats` op reports.
+    /// Lifetime vote-batching counters (rows grouped vs. distinct signature
+    /// probes), summed across shards — the `signature_dedup` payoff the
+    /// `stats` op reports. Exact: every routed row is grouped on exactly one
+    /// shard and NULL-keyed rows on none.
     pub fn vote_stats(&self) -> VoteStats {
-        self.engine.vote_stats()
+        self.engine.read_view().vote_stats()
     }
 
     /// Append rows (master-schema attribute order) to the master, updating
-    /// the warmed indexes in place. All-or-nothing: a bad row rejects the
-    /// whole batch and leaves the engine unchanged.
-    pub fn append(&mut self, rows: &[Vec<Value>]) -> Result<AppendOutcome, EngineError> {
-        self.engine.append_rows(rows).map_err(|e| match e {
-            BatchError::AppendRow { row, message } => EngineError::Row { row, message },
-            other => EngineError::Batch(other),
-        })
+    /// the warmed indexes in place. All-or-nothing across all shards: a bad
+    /// row rejects the whole batch and leaves every shard unchanged.
+    pub fn append(&self, rows: &[Vec<Value>]) -> Result<AppendOutcome, EngineError> {
+        self.begin_append().commit(rows)
+    }
+
+    /// Take every shard write lock for a gated append: the caller can
+    /// preview the combined post-append master for the analysis gate and
+    /// then commit under the *same* locks — no TOCTOU window between gate
+    /// and mutation, and readers never observe a partial fan-out.
+    pub fn begin_append(&self) -> AppendTxn<'_> {
+        AppendTxn {
+            guard: self.engine.begin_append(),
+        }
     }
 
     /// Repair one batch of rows (input-schema attribute order). With a
@@ -283,12 +351,11 @@ impl RepairEngine {
                 message: e.to_string(),
             })?;
         }
-        let report = match deadline {
-            Some(d) => self.engine.repair_batch_deadline(&batch, d),
-            None => self.engine.repair_batch(&batch),
-        }
-        .map_err(EngineError::Batch)?;
-        let (y, _) = self.engine.target();
+        let report = self
+            .engine
+            .repair_batch(&batch, deadline)
+            .map_err(EngineError::Batch)?;
+        let (y, _) = self.target;
         let attr = self.schema.attr(y).name.clone();
         let mut cells = Vec::new();
         for (row, pred) in report.predictions.iter().enumerate() {
@@ -308,6 +375,29 @@ impl RepairEngine {
         Ok(RepairOutcome {
             rows: rows.len(),
             cells,
+        })
+    }
+}
+
+/// An in-progress append holding every shard write lock (see
+/// [`RepairEngine::begin_append`]).
+pub struct AppendTxn<'a> {
+    guard: AppendGuard<'a>,
+}
+
+impl AppendTxn<'_> {
+    /// The combined master with `rows` appended — the analysis-gate
+    /// preview. `None` if any row fails schema validation; committing then
+    /// reports the per-row error.
+    pub fn preview(&self, rows: &[Vec<Value>]) -> Option<Relation> {
+        self.guard.preview(rows)
+    }
+
+    /// Commit the rows to their home shards, all-or-nothing.
+    pub fn commit(self, rows: &[Vec<Value>]) -> Result<AppendOutcome, EngineError> {
+        self.guard.commit(rows).map_err(|e| match e {
+            BatchError::AppendRow { row, message } => EngineError::Row { row, message },
+            other => EngineError::Batch(other),
         })
     }
 }
@@ -419,7 +509,7 @@ mod tests {
 
     #[test]
     fn append_updates_the_served_vote() {
-        let mut e = engine();
+        let e = engine();
         let rows = vec![vec![Value::str("SZ"), Value::Null]];
         assert_eq!(e.repair(&rows, None).unwrap().fixed(), 0);
         let g0 = e.generation();
@@ -440,7 +530,7 @@ mod tests {
 
     #[test]
     fn append_rejects_bad_rows_atomically() {
-        let mut e = engine();
+        let e = engine();
         let g0 = e.generation();
         let err = e
             .append(&[
@@ -469,7 +559,7 @@ mod tests {
             (1, 1),
             vec![Condition::eq(0, sz)],
         )];
-        let mut e = RepairEngine::new(&task, rules, 0).unwrap();
+        let e = RepairEngine::new(&task, rules, 0).unwrap();
         let report = e.analyze();
         assert_eq!(report.unreachable.len(), 1);
         assert!(report.findings.iter().any(|f| f.code == DiagCode::Er010));
@@ -516,6 +606,45 @@ mod tests {
         let report = e.diff_against(narrowed, Some(&scope)).unwrap();
         assert_eq!(report.errors(), 1);
         assert!(!report.gate_clean());
+    }
+
+    #[test]
+    fn sharded_engines_repair_and_append_like_the_single_engine() {
+        let task = covid_task();
+        let rules = vec![EditingRule::new(vec![(0, 0)], (1, 1), vec![])];
+        let single = RepairEngine::new(&task, rules.clone(), 0).unwrap();
+        let sharded = RepairEngine::with_shards(&task, rules, 0, 4).unwrap();
+        assert_eq!(sharded.shards(), 4);
+        let rows = vec![
+            vec![Value::str("HZ"), Value::Null],
+            vec![Value::str("BJ"), Value::Null],
+            vec![Value::Null, Value::Null], // broadcast row
+        ];
+        let a = single.repair(&rows, None).unwrap();
+        let b = sharded.repair(&rows, None).unwrap();
+        assert_eq!(a.cells, b.cells);
+        assert_eq!(single.generation(), sharded.generation());
+        let extra = vec![vec![Value::str("SZ"), Value::str("no symptoms")]];
+        let oa = single.append(&extra).unwrap();
+        let ob = sharded.append(&extra).unwrap();
+        assert_eq!(oa, ob);
+        let stats = sharded.shard_stats();
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.broadcast, 1);
+        assert_eq!(stats.routed, 2);
+        // The gate preview sees the combined master in arrival order.
+        let txn = sharded.begin_append();
+        let preview = txn.preview(&extra).unwrap();
+        assert_eq!(preview.num_rows(), 6);
+        drop(txn);
+        let snap = sharded.master_snapshot();
+        let want = single.master_snapshot();
+        assert_eq!(snap.num_rows(), want.num_rows());
+        for row in 0..snap.num_rows() {
+            for attr in 0..snap.num_attrs() {
+                assert_eq!(snap.code(row, attr), want.code(row, attr));
+            }
+        }
     }
 
     #[test]

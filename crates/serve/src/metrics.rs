@@ -56,6 +56,15 @@ pub struct Metrics {
     /// (`signature_dedup`) lock-free.
     vote_rows: AtomicU64,
     signature_probes: AtomicU64,
+    /// Shard gauges mirroring the sharded engine's counters (shard count,
+    /// routed/broadcast request rows, fullest-shard and total master rows),
+    /// stored after repairs and appends. `shard_imbalance` is computed from
+    /// the row gauges at render time.
+    shards: AtomicU64,
+    shard_routed: AtomicU64,
+    shard_broadcast: AtomicU64,
+    shard_rows_max: AtomicU64,
+    shard_rows_total: AtomicU64,
     /// Per-diagnostic-code breakdown of gate rejections, so `stats` can
     /// attribute *why* promotions were refused (BTreeMap: deterministic
     /// rendering order).
@@ -87,6 +96,11 @@ impl Metrics {
             engine_generation: AtomicU64::new(0),
             vote_rows: AtomicU64::new(0),
             signature_probes: AtomicU64::new(0),
+            shards: AtomicU64::new(1),
+            shard_routed: AtomicU64::new(0),
+            shard_broadcast: AtomicU64::new(0),
+            shard_rows_max: AtomicU64::new(0),
+            shard_rows_total: AtomicU64::new(0),
             rejected_by_code: Mutex::new(BTreeMap::new()),
             latencies: Mutex::new(Reservoir {
                 buf: Vec::new(),
@@ -167,6 +181,23 @@ impl Metrics {
         self.signature_probes.store(probes, Ordering::Relaxed);
     }
 
+    /// Update the shard gauges from the sharded engine's counters (at load
+    /// and after repairs/appends).
+    pub fn set_shard_stats(
+        &self,
+        shards: u64,
+        routed: u64,
+        broadcast: u64,
+        rows_max: u64,
+        rows_total: u64,
+    ) {
+        self.shards.store(shards.max(1), Ordering::Relaxed);
+        self.shard_routed.store(routed, Ordering::Relaxed);
+        self.shard_broadcast.store(broadcast, Ordering::Relaxed);
+        self.shard_rows_max.store(rows_max, Ordering::Relaxed);
+        self.shard_rows_total.store(rows_total, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot for reporting (counters are read
     /// individually; exactness across counters is not required).
     pub fn snapshot(&self, queue_depth: usize) -> Snapshot {
@@ -196,6 +227,11 @@ impl Metrics {
             engine_generation: self.engine_generation.load(Ordering::Relaxed),
             vote_rows: self.vote_rows.load(Ordering::Relaxed),
             signature_probes: self.signature_probes.load(Ordering::Relaxed),
+            shards: self.shards.load(Ordering::Relaxed),
+            shard_routed: self.shard_routed.load(Ordering::Relaxed),
+            shard_broadcast: self.shard_broadcast.load(Ordering::Relaxed),
+            shard_rows_max: self.shard_rows_max.load(Ordering::Relaxed),
+            shard_rows_total: self.shard_rows_total.load(Ordering::Relaxed),
             queue_depth,
             p50_us,
             p99_us,
@@ -246,6 +282,16 @@ pub struct Snapshot {
     pub vote_rows: u64,
     /// Distinct-signature index probes those rows collapsed to.
     pub signature_probes: u64,
+    /// Master partitions the engine serves from (1 = unsharded).
+    pub shards: u64,
+    /// Request rows routed to exactly one shard (engine lifetime counter).
+    pub shard_routed: u64,
+    /// Request rows broadcast to every shard (NULL routing keys).
+    pub shard_broadcast: u64,
+    /// Master rows on the fullest shard.
+    pub shard_rows_max: u64,
+    /// Master rows across all shards.
+    pub shard_rows_total: u64,
     /// Repair requests in flight when the snapshot was taken.
     pub queue_depth: usize,
     /// Median repair latency over the window, microseconds.
@@ -263,6 +309,18 @@ impl Snapshot {
             0.0
         } else {
             self.vote_rows as f64 / self.signature_probes as f64
+        }
+    }
+
+    /// Master placement skew: `shard_rows_max * shards / shard_rows_total`.
+    /// 1.0 is a perfect spread; equal to `shards` when everything landed on
+    /// one shard (e.g. the degenerate no-common-LHS-pair plan). Computed,
+    /// not stored, so the snapshot stays `Eq`.
+    pub fn shard_imbalance(&self) -> f64 {
+        if self.shard_rows_total == 0 {
+            1.0
+        } else {
+            (self.shard_rows_max * self.shards) as f64 / self.shard_rows_total as f64
         }
     }
 
@@ -304,6 +362,16 @@ impl Snapshot {
             (
                 "signature_dedup".to_string(),
                 Json::Float(self.signature_dedup()),
+            ),
+            ("shards".to_string(), Json::UInt(self.shards)),
+            ("shard_routed".to_string(), Json::UInt(self.shard_routed)),
+            (
+                "shard_broadcast".to_string(),
+                Json::UInt(self.shard_broadcast),
+            ),
+            (
+                "shard_imbalance".to_string(),
+                Json::Float(self.shard_imbalance()),
             ),
             (
                 "queue_depth".to_string(),
@@ -406,6 +474,31 @@ mod tests {
         assert!(line.contains("\"signature_probes\":30"));
         assert!(line.contains("\"signature_dedup\":4"));
         assert!(s.log_line().contains("dedup=4.0"));
+    }
+
+    #[test]
+    fn shard_gauges_and_imbalance() {
+        let m = Metrics::new();
+        let fresh = m.snapshot(0);
+        assert_eq!(fresh.shards, 1);
+        assert_eq!(fresh.shard_imbalance(), 1.0, "empty master reports 1.0");
+        // 4 shards, fullest holds 60 of 120 rows: imbalance 2.0.
+        m.set_shard_stats(4, 100, 7, 60, 120);
+        let s = m.snapshot(0);
+        assert_eq!(s.shards, 4);
+        assert_eq!(s.shard_routed, 100);
+        assert_eq!(s.shard_broadcast, 7);
+        assert!((s.shard_imbalance() - 2.0).abs() < 1e-12);
+        let line = serde_json::to_string(&s.to_value()).unwrap();
+        assert!(line.contains("\"shards\":4"));
+        assert!(line.contains("\"shard_routed\":100"));
+        assert!(line.contains("\"shard_broadcast\":7"));
+        assert!(line.contains("\"shard_imbalance\":2"));
+        // Gauges track the latest engine counters, they do not accumulate.
+        m.set_shard_stats(4, 120, 9, 30, 120);
+        let s = m.snapshot(0);
+        assert_eq!(s.shard_routed, 120);
+        assert!((s.shard_imbalance() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -104,6 +104,14 @@ impl Server {
     pub fn new(engine: RepairEngine, config: ServeConfig) -> Self {
         let metrics = Metrics::new();
         metrics.set_engine_generation(engine.generation());
+        let stats = engine.shard_stats();
+        metrics.set_shard_stats(
+            stats.shards as u64,
+            stats.routed,
+            stats.broadcast,
+            stats.rows_max,
+            stats.rows_total,
+        );
         let mut store = RuleStore::new();
         store.commit(&engine.rules_json(), "initial load");
         Server {
@@ -137,6 +145,20 @@ impl Server {
     pub fn snapshot(&self) -> Snapshot {
         self.metrics
             .snapshot(self.in_flight.load(Ordering::Relaxed))
+    }
+
+    /// Copy the engine's shard counters into the metrics gauges (the same
+    /// pattern as the vote-stats gauges: written after ops, so `stats`
+    /// stays lock-free).
+    fn publish_shard_stats(&self, engine: &RepairEngine) {
+        let stats = engine.shard_stats();
+        self.metrics.set_shard_stats(
+            stats.shards as u64,
+            stats.routed,
+            stats.broadcast,
+            stats.rows_max,
+            stats.rows_total,
+        );
     }
 
     /// Whether a graceful drain has begun.
@@ -261,34 +283,39 @@ impl Server {
     }
 
     fn handle_append(&self, rows: &[Vec<Value>]) -> (String, bool) {
-        // Appends take the engine write lock: in-flight repairs finish
-        // first, and every later repair sees the delta-updated indexes.
-        // The analysis gate previews the grown master under the *same*
-        // lock, so no other append can slip between the check and the
-        // commit.
-        let mut engine = self.engine.write();
+        // Appends hold every *shard* write lock (via the append
+        // transaction): in-flight repairs finish first, and every later
+        // repair sees the delta-updated indexes on every shard. The
+        // analysis gate previews the combined grown master under the same
+        // locks, so no other append can slip between the check and the
+        // commit; the outer engine lock is only read-held, letting the
+        // reloader (the sole outer writer) stay exclusive with us.
+        let engine = self.engine.read();
+        let txn = engine.begin_append();
         if self.config.analysis_gate {
-            let mut preview = engine.master().clone();
             // A row the preview cannot take will fail the real append with
             // its proper row error; only a clean preview is analyzed.
-            if rows.iter().all(|row| preview.push_row(row.clone()).is_ok()) {
+            if let Some(preview) = txn.preview(rows) {
                 let report = engine.analyze_with_master(&preview);
                 if !report.gate_clean() {
+                    drop(txn);
                     drop(engine);
                     self.metrics.record_rejected(&error_codes(&report.findings));
                     return (proto::analysis_rejected("append", &report), false);
                 }
             }
         }
-        let result = engine.append(rows);
-        drop(engine);
+        let result = txn.commit(rows);
         match result {
             Ok(outcome) => {
                 self.metrics.record_append();
                 self.metrics.set_engine_generation(outcome.generation);
+                self.publish_shard_stats(&engine);
+                drop(engine);
                 (proto::ok_append(&outcome), false)
             }
             Err(e) => {
+                drop(engine);
                 self.metrics.record_error();
                 (proto::error(&e.to_string()), false)
             }
@@ -297,9 +324,7 @@ impl Server {
 
     fn handle_repair(&self, rows: &[Vec<Value>]) -> (String, bool) {
         // Admission control: claim an in-flight slot or push back.
-        let depth = self.in_flight.fetch_add(1, Ordering::SeqCst);
-        if depth >= self.config.queue_capacity {
-            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        if !self.try_claim_slot() {
             self.metrics.record_overloaded();
             return (proto::overloaded(), false);
         }
@@ -310,9 +335,10 @@ impl Server {
         let (result, votes) = {
             let engine = self.engine.read();
             let result = engine.repair(rows, deadline);
+            self.publish_shard_stats(&engine);
             (result, engine.vote_stats())
         };
-        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.release_slot();
         match result {
             Ok(outcome) => {
                 self.metrics
@@ -327,20 +353,52 @@ impl Server {
         }
     }
 
-    /// Stream a server-side CSV through the chunked ingest reader and
-    /// repair it chunk by chunk. The whole op claims **one** in-flight slot
-    /// (for backpressure, a bulk file is one request), and the configured
-    /// deadline is applied *per chunk* — a bounded deadline bounds each
-    /// chunk's vote, not the whole (arbitrarily long) file.
-    fn handle_repair_csv(&self, path: &str, chunk_bytes: Option<usize>) -> (String, bool) {
+    /// Try to claim one in-flight backpressure slot; false = at capacity.
+    fn try_claim_slot(&self) -> bool {
         let depth = self.in_flight.fetch_add(1, Ordering::SeqCst);
         if depth >= self.config.queue_capacity {
             self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Release a previously claimed backpressure slot.
+    fn release_slot(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Claim a slot, waiting for one to free up instead of refusing —
+    /// used between `repair_csv` chunks, where the file as a whole was
+    /// already admitted. Gives up (false) once a drain begins.
+    fn claim_slot_waiting(&self) -> bool {
+        loop {
+            if self.try_claim_slot() {
+                return true;
+            }
+            if self.is_draining() {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Stream a server-side CSV through the chunked ingest reader and
+    /// repair it chunk by chunk. Admission is decided once, up front (a
+    /// bulk file at a full queue is refused like any other request), but
+    /// the in-flight slot is *released and re-claimed per chunk* so a long
+    /// file cannot starve interactive `repair` requests between chunks.
+    /// The configured deadline is applied per chunk — a bounded deadline
+    /// bounds each chunk's vote, not the whole (arbitrarily long) file.
+    fn handle_repair_csv(&self, path: &str, chunk_bytes: Option<usize>) -> (String, bool) {
+        if !self.try_claim_slot() {
             self.metrics.record_overloaded();
             return (proto::overloaded(), false);
         }
+        // Between chunks the stream loop claims its own slot; drop the
+        // admission claim so it never double-counts.
+        self.release_slot();
         let result = self.repair_csv_stream(path, chunk_bytes);
-        self.in_flight.fetch_sub(1, Ordering::SeqCst);
         match result {
             Ok((rows, chunks, fixed)) => (proto::ok_repair_csv(rows, chunks, fixed), false),
             Err(message) => {
@@ -379,13 +437,21 @@ impl Server {
                 Ok(None) => break,
                 Err(e) => return Err(format!("repair_csv: {e}")),
             };
+            // One backpressure slot per chunk: between chunks the slot is
+            // free and interactive repairs can slip in (waiting here, not
+            // refusing — the file itself was admitted up front).
+            if !self.claim_slot_waiting() {
+                return Err("repair_csv: server is draining".into());
+            }
             let started = Instant::now();
             let deadline = self.config.deadline.map(|d| started + d);
             let (result, votes) = {
                 let engine = self.engine.read();
                 let result = engine.repair(&rows, deadline);
+                self.publish_shard_stats(&engine);
                 (result, engine.vote_stats())
             };
+            self.release_slot();
             let outcome = result.map_err(|e| format!("repair_csv: {e}"))?;
             self.metrics
                 .record_repair(started.elapsed(), outcome.fixed());

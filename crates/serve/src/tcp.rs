@@ -1,89 +1,149 @@
-//! Socket mode: a bounded accept/worker model over `std::net`.
+//! Socket mode: a readiness-based event loop over non-blocking `std::net`
+//! sockets.
 //!
-//! One accept thread polls a non-blocking listener and pushes accepted
-//! connections onto a bounded queue; `workers` threads pop connections and
-//! speak the line protocol until the peer disconnects (connections are
-//! sticky — a worker serves one connection to completion, so per-connection
-//! responses stay in request order).
+//! One reactor thread owns the listener and every connection: it accepts,
+//! reads and frames request lines, and writes responses, all non-blocking
+//! (the workspace forbids `unsafe`, so instead of `poll(2)` the reactor
+//! scans its sockets and sleeps [`POLL`] between empty scans — the same
+//! discipline the previous accept loop used, now for all I/O). Requests are
+//! dispatched to a pool of `config.workers` worker threads over a channel;
+//! responses flow back to the reactor, which owns all socket writes. Each
+//! connection has **at most one request in flight**, so per-connection
+//! responses stay in request order while different connections repair in
+//! parallel.
 //!
-//! Backpressure is applied at two doors: a connection arriving while the
-//! queue is full is answered with the `overloaded` response and closed, and
-//! a `repair` request arriving while `queue_capacity` repairs are in flight
-//! gets the same response from [`Server::handle_line`].
+//! Backpressure is applied at two doors: a connection arriving while
+//! `workers + queue_capacity` connections are live is answered with the
+//! `overloaded` response and closed, and a `repair` request arriving while
+//! `queue_capacity` repairs are in flight gets the same response from
+//! [`Server::handle_line`].
 //!
-//! The drain protocol (the workspace forbids `unsafe`, so there is no
-//! signal handler — drains start from a `shutdown` op or
-//! [`TcpServer::shutdown`]):
+//! The drain protocol (no signal handler — drains start from a `shutdown`
+//! op or [`TcpServer::shutdown`]):
 //!
-//! 1. the draining flag flips; the accept thread stops accepting,
-//! 2. the accept thread shuts down the read half of every live connection,
-//!    unblocking workers parked in `read`,
-//! 3. workers finish the request they have fully read (its response is
-//!    always written) and close; queued-but-unserved connections are
-//!    closed without service.
+//! 1. the draining flag flips; the reactor stops accepting,
+//! 2. idle connections (nothing dispatched, nothing buffered to write) are
+//!    closed immediately — including connections whose buffered bytes were
+//!    never dispatched to a worker (nothing was promised for them),
+//! 3. requests already dispatched get their responses written, then their
+//!    connections close; once none remain the job channel closes and every
+//!    worker exits.
 
-use crate::server::{read_bounded_line, LineRead, Server};
+use crate::proto::RowBatch;
+use crate::server::Server;
 use crate::{lock, proto};
-use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Accept-loop poll interval while idle (the listener is non-blocking so
-/// the loop can observe the draining flag promptly).
-const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Reactor sleep between scans that made no progress: short enough that
+/// accept/read latency stays well under a millisecond of added tail, long
+/// enough that an idle server costs ~no CPU.
+const POLL: Duration = Duration::from_micros(500);
 
-struct Shared {
-    server: Arc<Server>,
-    /// Accepted connections waiting for a worker.
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
-    /// Read-half handles of connections currently being served, for drain
-    /// interrupts.
-    live: Mutex<HashMap<u64, TcpStream>>,
-    next_conn: AtomicU64,
+/// Read chunk size per connection per scan.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A framed request line headed to the worker pool.
+struct Job {
+    token: u64,
+    line: String,
+}
+
+/// A finished response headed back to the reactor.
+struct Done {
+    token: u64,
+    response: String,
+    stop: bool,
+}
+
+/// Per-connection reactor state.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet framed into a line.
+    rbuf: Vec<u8>,
+    /// Response bytes not yet written, starting at `wpos`.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// A request line was dispatched and its response is still pending.
+    busy: bool,
+    /// Close once `wbuf` fully flushes (set by a `stop` response).
+    stop_after_flush: bool,
+    /// The peer half-closed its write side; serve what was buffered, then
+    /// close once nothing remains to answer.
+    peer_eof: bool,
+    /// Inside an oversized line: discard bytes until its newline, then
+    /// answer with the line-too-long error.
+    too_long: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            busy: false,
+            stop_after_flush: false,
+            peer_eof: false,
+            too_long: false,
+        }
+    }
+
+    fn queue_response(&mut self, response: &str) {
+        self.wbuf.extend_from_slice(response.as_bytes());
+        self.wbuf.push(b'\n');
+    }
+
+    fn has_pending_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
 }
 
 /// A running TCP front-end.
 pub struct TcpServer {
     addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    shared: Arc<Shared>,
+    server: Arc<Server>,
 }
 
 impl TcpServer {
-    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start the accept thread plus
-    /// `config.workers` connection workers.
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start the reactor thread plus
+    /// `config.workers` request workers.
     pub fn bind(server: Arc<Server>, addr: impl ToSocketAddrs) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            server: Arc::clone(&server),
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
-            live: Mutex::new(HashMap::new()),
-            next_conn: AtomicU64::new(0),
-        });
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&listener, &shared))
-        };
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
         let workers = (0..server.config().workers.max(1))
             .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                let server = Arc::clone(&server);
+                let jobs = Arc::clone(&job_rx);
+                let done = done_tx.clone();
+                std::thread::spawn(move || worker_loop(&server, &jobs, &done))
             })
             .collect();
+        // The reactor owns the only remaining `done_tx` clone holder set
+        // (the workers); dropping `done_tx` here keeps the channel's sender
+        // count equal to the worker count.
+        drop(done_tx);
+        let reactor = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || reactor_loop(&listener, &server, job_tx, &done_rx))
+        };
         Ok(TcpServer {
             addr,
-            accept: Some(accept),
+            reactor: Some(reactor),
             workers,
-            shared,
+            server,
         })
     }
 
@@ -94,13 +154,12 @@ impl TcpServer {
 
     /// Begin a graceful drain from outside the protocol.
     pub fn shutdown(&self) {
-        self.shared.server.begin_drain();
-        self.shared.available.notify_all();
+        self.server.begin_drain();
     }
 
     /// Wait for the drain to complete and every thread to exit.
     pub fn join(mut self) {
-        if let Some(handle) = self.accept.take() {
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
         for handle in self.workers.drain(..) {
@@ -109,120 +168,243 @@ impl TcpServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    loop {
-        if shared.server.is_draining() {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = stream.set_nodelay(true);
-                let mut queue = lock(&shared.queue);
-                if queue.len() >= shared.server.config().queue_capacity {
-                    drop(queue);
-                    refuse(stream, shared.server.as_ref());
-                } else {
-                    queue.push_back(stream);
-                    drop(queue);
-                    shared.available.notify_one();
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            Err(_) => break,
-        }
-    }
-    // Drain: wake parked workers and unblock the ones mid-read so they can
-    // observe the flag. Requests already read still get their responses.
-    shared.available.notify_all();
-    for stream in lock(&shared.live).values() {
-        let _ = stream.shutdown(Shutdown::Read);
-    }
+/// Prepare an accepted socket for the reactor: `TCP_NODELAY` on the server
+/// side (small response lines must not wait for delayed ACKs) and
+/// non-blocking mode for the scan loop.
+fn prepare_accepted(stream: &TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_nonblocking(true)
 }
 
-/// Answer an over-capacity connection with the backpressure response.
-fn refuse(stream: TcpStream, server: &Server) {
+/// Answer an over-capacity connection with the backpressure response. The
+/// socket is fresh (empty send buffer), so a single non-blocking write of
+/// one short line succeeds in practice; a peer that manages to fill the
+/// window anyway just sees the close.
+fn refuse(mut stream: TcpStream, server: &Server) {
     server.metrics().record_overloaded();
-    let mut stream = stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
     let _ = writeln!(stream, "{}", proto::overloaded());
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(server: &Server, jobs: &Mutex<mpsc::Receiver<Job>>, done: &mpsc::Sender<Done>) {
+    // One reusable row buffer per worker (a worker decodes one request at a
+    // time, so the buffer lives as long as the thread).
+    let mut batch = RowBatch::new();
     loop {
-        let stream = {
-            let mut queue = lock(&shared.queue);
-            loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
-                }
-                if shared.server.is_draining() {
-                    break None;
-                }
-                queue = shared
-                    .available
-                    .wait(queue)
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
-            }
+        // Hold the receiver lock across the blocking recv: idle co-workers
+        // queue on the mutex instead of the channel, which is equivalent,
+        // and the channel closing (reactor exit) wakes everyone in turn.
+        let job = {
+            let rx = lock(jobs);
+            rx.recv()
         };
-        let Some(stream) = stream else {
+        let Ok(job) = job else { break };
+        let (response, stop) = server.handle_line(&job.line, &mut batch);
+        if done
+            .send(Done {
+                token: job.token,
+                response,
+                stop,
+            })
+            .is_err()
+        {
             break;
-        };
-        if shared.server.is_draining() {
-            // Accepted but never served: close without service (no request
-            // line was read from it, so nothing was promised).
-            continue;
         }
-        handle_conn(shared, stream);
     }
 }
 
-fn handle_conn(shared: &Shared, stream: TcpStream) {
-    let server = shared.server.as_ref();
-    // Register a second handle for drain interrupts.
-    let token = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-    if let Ok(clone) = stream.try_clone() {
-        lock(&shared.live).insert(token, clone);
-    }
-    let reader = match stream.try_clone() {
-        Ok(read_half) => read_half,
-        Err(_) => {
-            lock(&shared.live).remove(&token);
-            return;
-        }
-    };
-    let mut reader = BufReader::new(reader);
-    let mut writer = BufWriter::new(stream);
-    // One reusable row buffer per connection (connections are sticky to a
-    // worker, so the buffer lives exactly as long as the session).
-    let mut batch = crate::proto::RowBatch::new();
+fn reactor_loop(
+    listener: &TcpListener,
+    server: &Server,
+    job_tx: mpsc::Sender<Job>,
+    done_rx: &mpsc::Receiver<Done>,
+) {
+    let max_line = server.config().max_line_bytes;
+    let admit_cap = server.config().workers.max(1) + server.config().queue_capacity;
+    let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+    let mut next_token = 0u64;
     loop {
-        if server.is_draining() {
-            break;
-        }
-        match read_bounded_line(&mut reader, server.config().max_line_bytes) {
-            Ok(LineRead::Eof) | Err(_) => break,
-            Ok(LineRead::TooLong) => {
-                server.metrics().record_error();
-                let message = format!("line exceeds {} bytes", server.config().max_line_bytes);
-                if writeln!(writer, "{}", proto::error(&message)).is_err()
-                    || writer.flush().is_err()
-                {
-                    break;
+        let mut progress = false;
+        let draining = server.is_draining();
+
+        // Accept new connections (until the drain begins).
+        if !draining {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        progress = true;
+                        if conns.len() >= admit_cap {
+                            refuse(stream, server);
+                            continue;
+                        }
+                        if prepare_accepted(&stream).is_err() {
+                            continue;
+                        }
+                        conns.insert(next_token, Conn::new(stream));
+                        next_token += 1;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => break,
+                    Err(_) => break,
                 }
             }
-            Ok(LineRead::Line(line)) => {
+        }
+
+        // Collect finished responses.
+        while let Ok(done) = done_rx.try_recv() {
+            progress = true;
+            if let Some(conn) = conns.get_mut(&done.token) {
+                conn.queue_response(&done.response);
+                conn.busy = false;
+                conn.stop_after_flush |= done.stop;
+            }
+        }
+
+        // Per-connection read / frame / dispatch / flush.
+        let tokens: Vec<u64> = conns.keys().copied().collect();
+        for token in tokens {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            let mut dead = false;
+
+            // Read only when idle with nothing queued to write: an in-flight
+            // request or a partially written response already bounds this
+            // connection's buffers, and TCP backpressures the peer.
+            if !conn.busy && !conn.has_pending_write() && !conn.peer_eof && !draining {
+                let mut chunk = [0u8; READ_CHUNK];
+                loop {
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            conn.peer_eof = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            progress = true;
+                            conn.rbuf.extend_from_slice(&chunk[..n]);
+                            // One framed line is enough until its response
+                            // comes back; stop pulling more bytes.
+                            if conn.rbuf.contains(&b'\n') {
+                                break;
+                            }
+                            if conn.rbuf.len() > max_line {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // Frame and dispatch at most one request (one in flight per
+            // connection keeps response order).
+            while !dead && !conn.busy && !draining {
+                if conn.too_long {
+                    // Inside an oversized line: drop bytes until its end.
+                    match conn.rbuf.iter().position(|&b| b == b'\n') {
+                        Some(pos) => {
+                            conn.rbuf.drain(..=pos);
+                            conn.too_long = false;
+                            server.metrics().record_error();
+                            let message = format!("line exceeds {max_line} bytes");
+                            conn.queue_response(&proto::error(&message));
+                            progress = true;
+                        }
+                        None => {
+                            if !conn.rbuf.is_empty() {
+                                conn.rbuf.clear();
+                            }
+                            if conn.peer_eof {
+                                // Unterminated oversized tail: still an error.
+                                conn.too_long = false;
+                                server.metrics().record_error();
+                                let message = format!("line exceeds {max_line} bytes");
+                                conn.queue_response(&proto::error(&message));
+                                progress = true;
+                            }
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                let line = match conn.rbuf.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        let line: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+                        String::from_utf8_lossy(&line[..pos]).into_owned()
+                    }
+                    None if conn.rbuf.len() > max_line => {
+                        conn.too_long = true;
+                        conn.rbuf.clear();
+                        continue;
+                    }
+                    None if conn.peer_eof && !conn.rbuf.is_empty() => {
+                        // EOF: a trailing unterminated line still counts.
+                        let line = String::from_utf8_lossy(&conn.rbuf).into_owned();
+                        conn.rbuf.clear();
+                        line
+                    }
+                    None => break,
+                };
                 if line.trim().is_empty() {
                     continue;
                 }
-                let (response, stop) = server.handle_line(&line, &mut batch);
-                if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
-                    break;
+                if job_tx.send(Job { token, line }).is_ok() {
+                    conn.busy = true;
+                    progress = true;
                 }
-                if stop {
-                    break;
+                break;
+            }
+
+            // Flush pending response bytes.
+            while !dead && conn.has_pending_write() {
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        dead = true;
+                    }
+                    Ok(n) => {
+                        progress = true;
+                        conn.wpos += n;
+                        if conn.wpos == conn.wbuf.len() {
+                            conn.wbuf.clear();
+                            conn.wpos = 0;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                    }
                 }
             }
+
+            // Close: on socket error; after a `stop` response flushed; when
+            // the peer is gone and nothing remains to answer; or when a
+            // drain finds the connection idle (nothing promised).
+            let flushed = !conn.has_pending_write();
+            let idle = !conn.busy && flushed;
+            if dead
+                || (conn.stop_after_flush && idle)
+                || (conn.peer_eof && idle && conn.rbuf.is_empty())
+                || (draining && idle)
+            {
+                conns.remove(&token);
+                progress = true;
+            }
+        }
+
+        if draining && conns.is_empty() {
+            // Dropping `job_tx` (on return) closes the channel; workers
+            // drain and exit.
+            return;
+        }
+        if !progress {
+            std::thread::sleep(POLL);
         }
     }
-    let _ = writer.flush();
-    lock(&shared.live).remove(&token);
 }

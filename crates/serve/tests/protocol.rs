@@ -810,3 +810,99 @@ fn disabling_the_gate_lets_a_conflicting_append_through() {
     assert!(ok(&responses[0]), "{responses:?}");
     assert_eq!(num(&responses[0], "appended"), 2);
 }
+
+/// Run a scripted session and return the raw response bytes (no parsing):
+/// the sharded byte-identity tests compare responses verbatim.
+fn session_raw(server: &Server, script: &str) -> String {
+    let mut reader = Cursor::new(script.as_bytes().to_vec());
+    let mut out: Vec<u8> = Vec::new();
+    serve_pipe(server, &mut reader, &mut out).unwrap();
+    String::from_utf8(out).unwrap()
+}
+
+/// A wider master (seven cities, three rows each plus one 3:1 split) so a
+/// four-way partition actually spreads rows across shards.
+fn sharded_task() -> Task {
+    let pool = Arc::new(Pool::new());
+    let schema = |name: &str| {
+        Arc::new(Schema::new(
+            name,
+            vec![
+                Attribute::categorical("City"),
+                Attribute::categorical("Case"),
+            ],
+        ))
+    };
+    let s = |v: &str| Value::str(v);
+    let mut bm = RelationBuilder::new(schema("m"), Arc::clone(&pool));
+    for city in 0..7 {
+        for _ in 0..3 {
+            bm.push_row(vec![s(&format!("C{city}")), s(&format!("case{city}"))])
+                .unwrap();
+        }
+    }
+    bm.push_row(vec![s("C5"), s("case0")]).unwrap();
+    let master = bm.finish();
+    let mut bi = RelationBuilder::new(schema("in"), pool);
+    bi.push_row(vec![s("C0"), Value::Null]).unwrap();
+    let input = bi.finish();
+    Task::new(
+        input,
+        master,
+        SchemaMatch::from_pairs(2, &[(0, 0), (1, 1)]),
+        (1, 1),
+    )
+}
+
+#[test]
+fn sharded_servers_answer_byte_identically_over_the_protocol() {
+    // The same scripted session — repairs (including a NULL routing key
+    // that broadcasts), an append, and a repair over the grown master —
+    // must produce byte-identical responses whether the engine runs
+    // unsharded or over four shards.
+    let task = sharded_task();
+    let rules = vec![EditingRule::new(vec![(0, 0)], (1, 1), vec![])];
+    let script =
+        "{\"op\":\"repair\",\"rows\":[[\"C0\",null],[\"C5\",null],[null,null],[\"C6\",null]]}\n\
+                  {\"op\":\"append\",\"rows\":[[\"C5\",\"case5\"],[\"C5\",\"case5\"]]}\n\
+                  {\"op\":\"repair\",\"rows\":[[\"C5\",null],[null,null]]}\n";
+    let answers: Vec<String> = [1usize, 4]
+        .iter()
+        .map(|&shards| {
+            let engine = RepairEngine::with_shards(&task, rules.clone(), 0, shards).unwrap();
+            assert_eq!(engine.shards(), shards);
+            let server = Server::new(engine, ServeConfig::default());
+            session_raw(&server, script)
+        })
+        .collect();
+    assert!(
+        answers[0].contains("\"ok\":true"),
+        "the reference session must succeed: {}",
+        answers[0]
+    );
+    assert_eq!(
+        answers[0], answers[1],
+        "four shards must answer byte-identically to one"
+    );
+}
+
+#[test]
+fn stats_report_shard_routing_counters() {
+    let task = sharded_task();
+    let rules = vec![EditingRule::new(vec![(0, 0)], (1, 1), vec![])];
+    let engine = RepairEngine::with_shards(&task, rules, 0, 4).unwrap();
+    let server = Server::new(engine, ServeConfig::default());
+    let responses = session(
+        &server,
+        "{\"op\":\"repair\",\"rows\":[[\"C0\",null],[null,null]]}\n{\"op\":\"stats\"}\n",
+    );
+    assert!(ok(&responses[0]), "{responses:?}");
+    let stats = responses[1].get("stats").unwrap();
+    assert_eq!(num(stats, "shards"), 4);
+    assert_eq!(num(stats, "shard_routed"), 1, "one row had a routable key");
+    assert_eq!(num(stats, "shard_broadcast"), 1, "the NULL key broadcasts");
+    assert!(
+        float(stats, "shard_imbalance") >= 1.0,
+        "imbalance is a max/mean ratio: {stats:?}"
+    );
+}

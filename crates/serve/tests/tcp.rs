@@ -204,6 +204,191 @@ fn external_shutdown_unblocks_idle_connections() {
 }
 
 #[test]
+fn stats_reads_stay_monotone_under_concurrent_mutation() {
+    // One connection appends, one repairs, and a third polls `stats` the
+    // whole time: every counter must move monotonically and no read may be
+    // torn (the served generation can never exceed base + appended rows).
+    const MUTATIONS: u64 = 25;
+    let (server, tcp, batch, _) = start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    let addr = tcp.local_addr();
+    let base_generation = server.snapshot().engine_generation;
+
+    let appender = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        for _ in 0..MUTATIONS {
+            writeln!(writer, "{{\"op\":\"append\",\"rows\":[[\"C0\",\"ac0\"]]}}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("\"ok\":true"), "{line}");
+        }
+    });
+    let repairer = {
+        let request = batch_request(&batch);
+        std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            for _ in 0..MUTATIONS {
+                writeln!(writer, "{request}").unwrap();
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                assert!(line.contains("\"ok\":true"), "{line}");
+            }
+        })
+    };
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let read_stats = |writer: &mut TcpStream, reader: &mut BufReader<TcpStream>| {
+        writeln!(writer, "{{\"op\":\"stats\"}}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response: Json = serde_json::from_str(&line).unwrap();
+        let stats = response.get("stats").cloned().unwrap();
+        let field = |name: &str| match stats.get(name) {
+            Some(Json::Int(i)) => *i as u64,
+            Some(Json::UInt(u)) => *u,
+            other => panic!("stats field {name} is not a number: {other:?}"),
+        };
+        (
+            field("appends"),
+            field("repairs"),
+            field("engine_generation"),
+            field("requests"),
+        )
+    };
+    let mut prev = read_stats(&mut writer, &mut reader);
+    while !(appender.is_finished() && repairer.is_finished()) {
+        let next = read_stats(&mut writer, &mut reader);
+        assert!(
+            next.0 >= prev.0 && next.1 >= prev.1 && next.2 >= prev.2 && next.3 >= prev.3,
+            "counters went backwards: {prev:?} -> {next:?}"
+        );
+        // Each append commits exactly one row, and the generation gauge is
+        // only advanced after the append counter: a generation observed now
+        // can never exceed base + the append count observed later.
+        assert!(
+            prev.2 <= base_generation + next.0,
+            "torn read: generation {} with appends {} (base {base_generation})",
+            prev.2,
+            next.0,
+        );
+        prev = next;
+    }
+    appender.join().unwrap();
+    repairer.join().unwrap();
+
+    let last = read_stats(&mut writer, &mut reader);
+    assert_eq!(last.0, MUTATIONS, "every append acknowledged is counted");
+    assert_eq!(last.1, MUTATIONS, "every repair acknowledged is counted");
+    assert_eq!(
+        last.2,
+        base_generation + MUTATIONS,
+        "one generation step per appended row"
+    );
+    tcp.shutdown();
+    tcp.join();
+}
+
+#[test]
+fn repair_csv_yields_its_slot_to_interactive_repairs_between_chunks() {
+    // With a single backpressure slot, a long bulk repair must not starve
+    // interactive clients: the slot is released between chunks, so a
+    // `repair` issued mid-file succeeds instead of bouncing `overloaded`
+    // until the file completes. `ingested_rows` is only published once the
+    // stream finishes, so a success observed while it is still zero proves
+    // the interleaving.
+    const FIFO_ROWS: usize = 200;
+    let (server, tcp, batch, _) = start(ServeConfig {
+        workers: 2,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    });
+    let addr = tcp.local_addr();
+
+    // A FIFO makes the chunk source genuinely slow: `next_batch` blocks on
+    // the pipe while the writer dribbles rows, and the slot must be free
+    // during those waits.
+    let path = std::env::temp_dir().join(format!("er_serve_slow_csv_{}.fifo", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    let status = std::process::Command::new("mkfifo")
+        .arg(&path)
+        .status()
+        .expect("mkfifo must be runnable");
+    assert!(status.success(), "mkfifo failed");
+    let literal = serde_json::to_string(&path.display().to_string()).unwrap();
+
+    let feeder = {
+        let path = path.clone();
+        std::thread::spawn(move || {
+            // Opens once the server opens the read side.
+            let mut fifo = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            fifo.write_all(b"City,AC\n").unwrap();
+            for _ in 0..FIFO_ROWS {
+                fifo.write_all(b"C0,\n").unwrap();
+                fifo.flush().unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        })
+    };
+    let bulk = {
+        let request = format!("{{\"op\":\"repair_csv\",\"path\":{literal},\"chunk_bytes\":8}}");
+        std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            writeln!(writer, "{request}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        })
+    };
+
+    // Wait until the bulk repair is demonstrably mid-file (chunk repairs
+    // tick the `repairs` counter; the test has sent none of its own yet).
+    while server.snapshot().repairs < 5 {
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let request = batch_request(&batch[..1]);
+    let mut served_mid_file = false;
+    for _ in 0..200_000 {
+        writeln!(writer, "{request}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        if line.contains("\"ok\":true") {
+            served_mid_file = server.snapshot().ingested_rows == 0;
+            break;
+        }
+        assert!(line.contains("overloaded"), "{line}");
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    assert!(
+        served_mid_file,
+        "an interactive repair must be served while the csv stream is still running"
+    );
+
+    feeder.join().unwrap();
+    let bulk_response = bulk.join().unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(bulk_response.contains("\"ok\":true"), "{bulk_response}");
+    assert!(
+        bulk_response.contains(&format!("\"rows\":{FIFO_ROWS}")),
+        "{bulk_response}"
+    );
+    tcp.shutdown();
+    tcp.join();
+}
+
+#[test]
 fn full_accept_queue_is_refused_with_backpressure() {
     // One worker and a tiny queue: with the worker parked on an idle
     // connection and the queue full, the next connection is refused.

@@ -1,0 +1,43 @@
+#![forbid(unsafe_code)]
+//! Sharded serving tier for the repair engine: deterministic placement of
+//! master rows over N independent [`er_incr::IncrEngine`] shards plus a
+//! router that sends each repair request row to exactly the shard that can
+//! answer it bitwise-identically to the single-engine path.
+//!
+//! # Why sharding is exact here
+//!
+//! The paper's certainty vote is a *per-signature* computation: an input row
+//! `t` collects votes from exactly the master rows whose `X_m` projection
+//! equals `t[X]` under each rule's LHS list. A shard therefore answers `t`
+//! identically to the whole master iff it holds **all** master rows that can
+//! match `t` under **any** rule. [`ShardPlan`] guarantees this with a
+//! *common routing pair* `(x, x_m)` — an LHS pair present in every rule of
+//! the installed set:
+//!
+//! * master rows are **placed** by a pool-independent FNV-1a hash of the
+//!   value at `x_m`;
+//! * request rows are **routed** by the same hash of the value at `x`.
+//!
+//! Any master row matching `t` under any rule satisfies
+//! `row[x_m] == t[x]` (the common pair is in every LHS), so equal values
+//! hash to the same shard and the routed shard sees every matching row.
+//! Unrelated rows that collide into the shard contribute nothing (their
+//! signatures differ), and per-rule candidate counts, totals, reciprocal
+//! weights, and fold order are those of the single engine — the scores come
+//! out bitwise identical, not just semantically equal.
+//!
+//! Rows with NULL at `x` match nothing under any rule (NULL never equals
+//! anything in editing-rule semantics), so they are **broadcast** and the
+//! per-shard answers — all `(None, 0.0, 0)` — merge deterministically in
+//! ascending shard order. Rule sets with no common LHS pair degrade honestly
+//! to a single shard holding everything (`shard_imbalance` reports it).
+//!
+//! Mutations commit with all shard write locks held in ascending order
+//! (two-phase: validate every row globally, then the per-shard appends are
+//! infallible), so gates and readers always observe a consistent whole.
+
+mod engine;
+mod plan;
+
+pub use engine::{AppendGuard, ReadView, ShardStats, ShardedEngine, ShardedRepair};
+pub use plan::{fnv1a, hash_value, Route, ShardPlan};

@@ -1,0 +1,187 @@
+//! Deterministic shard placement and routing.
+//!
+//! Placement must be stable across processes, pools, and shard rebuilds, so
+//! it hashes the *value* (tag byte + canonical byte encoding), never the
+//! interned code — codes depend on interning order, values do not.
+
+use er_rules::EditingRule;
+use er_table::{AttrId, Value};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fold(FNV_OFFSET, bytes)
+}
+
+fn fold(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Canonical FNV-1a hash of a cell value: a type tag byte followed by the
+/// value's own bytes, so `Int(3)`, `Float(3.0)` and `Str("3")` — distinct
+/// values with distinct codes — hash independently, while equal values
+/// always hash equal regardless of which pool interned them.
+pub fn hash_value(v: &Value) -> u64 {
+    match v {
+        Value::Null => fold(FNV_OFFSET, &[0]),
+        Value::Int(i) => fold(fold(FNV_OFFSET, &[1]), &i.to_le_bytes()),
+        Value::Float(f) => fold(fold(FNV_OFFSET, &[2]), &f.to_bits().to_le_bytes()),
+        Value::Str(s) => fold(fold(FNV_OFFSET, &[3]), s.as_bytes()),
+    }
+}
+
+/// Where a request row must be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Exactly this shard holds every master row the row can match.
+    To(usize),
+    /// The row matches nothing anywhere (NULL routing key); ask every shard
+    /// and merge in ascending shard order.
+    Broadcast,
+}
+
+/// The placement function: shard count plus the common LHS routing pair.
+///
+/// The routing pair `(x, x_m)` is the lexicographically smallest LHS pair
+/// shared by *every* rule in the set. If none exists (or the set is empty),
+/// the plan is degenerate: everything lives on shard 0 and the other shards
+/// idle — still correct, and `shard_imbalance` makes it visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+    key: Option<(AttrId, AttrId)>,
+}
+
+impl ShardPlan {
+    /// Build a plan for `shards` partitions over `rules`. A shard count of
+    /// 0 or 1 yields the trivial single-shard plan.
+    pub fn new(shards: usize, rules: &[EditingRule]) -> Self {
+        let shards = shards.max(1);
+        if shards == 1 || rules.is_empty() {
+            return ShardPlan { shards, key: None };
+        }
+        // Rule LHS lists are sorted, so the running intersection stays
+        // sorted and `min` is the lexicographically smallest survivor.
+        let mut common: Vec<(AttrId, AttrId)> = rules[0].lhs().to_vec();
+        for rule in &rules[1..] {
+            let lhs = rule.lhs();
+            common.retain(|pair| lhs.contains(pair));
+            if common.is_empty() {
+                break;
+            }
+        }
+        ShardPlan {
+            shards,
+            key: common.into_iter().min(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The common routing pair `(x, x_m)`, if one exists.
+    pub fn key(&self) -> Option<(AttrId, AttrId)> {
+        self.key
+    }
+
+    /// True when more than one shard was requested but no common LHS pair
+    /// exists: everything is placed on shard 0.
+    pub fn is_degenerate(&self) -> bool {
+        self.shards > 1 && self.key.is_none()
+    }
+
+    /// Home shard of a *master* row, given its value at `x_m`. NULL-keyed
+    /// master rows get a deterministic home like any other value — they can
+    /// never vote (NULL matches nothing), they just need to live somewhere.
+    pub fn place(&self, v: &Value) -> usize {
+        match self.key {
+            None => 0,
+            Some(_) => (hash_value(v) % self.shards as u64) as usize,
+        }
+    }
+
+    /// Route of a *request* row, given its value at `x`.
+    pub fn route(&self, v: &Value) -> Route {
+        match self.key {
+            None => Route::To(0),
+            Some(_) if v.is_null() => Route::Broadcast,
+            Some(_) => Route::To((hash_value(v) % self.shards as u64) as usize),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn hash_value_separates_types_and_is_stable() {
+        let int = hash_value(&Value::int(3));
+        let float = hash_value(&Value::float(3.0));
+        let string = hash_value(&Value::str("3"));
+        assert_ne!(int, float);
+        assert_ne!(int, string);
+        assert_ne!(float, string);
+        assert_eq!(string, hash_value(&Value::str("3")));
+        assert_eq!(hash_value(&Value::Null), hash_value(&Value::Null));
+    }
+
+    fn rule(pairs: &[(AttrId, AttrId)]) -> EditingRule {
+        EditingRule::new(pairs.to_vec(), (9, 9), vec![])
+    }
+
+    #[test]
+    fn common_pair_is_the_smallest_shared_one() {
+        let rules = vec![rule(&[(0, 0), (1, 1), (2, 2)]), rule(&[(1, 1), (2, 2)])];
+        let plan = ShardPlan::new(4, &rules);
+        assert_eq!(plan.key(), Some((1, 1)));
+        assert!(!plan.is_degenerate());
+    }
+
+    #[test]
+    fn disjoint_rules_degrade_to_shard_zero() {
+        let rules = vec![rule(&[(0, 0)]), rule(&[(1, 1)])];
+        let plan = ShardPlan::new(4, &rules);
+        assert_eq!(plan.key(), None);
+        assert!(plan.is_degenerate());
+        assert_eq!(plan.place(&Value::str("x")), 0);
+        assert_eq!(plan.route(&Value::str("x")), Route::To(0));
+    }
+
+    #[test]
+    fn single_shard_plans_are_trivial() {
+        let rules = vec![rule(&[(0, 0)])];
+        let plan = ShardPlan::new(1, &rules);
+        assert_eq!(plan.key(), None);
+        assert!(!plan.is_degenerate());
+        assert_eq!(plan.route(&Value::Null), Route::To(0));
+    }
+
+    #[test]
+    fn routing_agrees_with_placement_and_nulls_broadcast() {
+        let rules = vec![rule(&[(2, 3)])];
+        let plan = ShardPlan::new(8, &rules);
+        for v in [Value::str("HZ"), Value::int(42), Value::float(1.5)] {
+            assert_eq!(Route::To(plan.place(&v)), plan.route(&v));
+        }
+        assert_eq!(plan.route(&Value::Null), Route::Broadcast);
+        // NULL master rows still get a home.
+        assert!(plan.place(&Value::Null) < 8);
+    }
+}

@@ -1,0 +1,278 @@
+//! Sharding is a wall-clock optimisation only: at every SHARDS × threads
+//! combination the sharded engine must produce bitwise-identical
+//! predictions, scores and candidate counts to one [`IncrEngine`] over the
+//! whole master — including NULL-keyed (broadcast) request rows, appends,
+//! aggregated statistics, and the degenerate no-common-pair plan.
+
+// Test code: a panic is the failure report; fixture helpers sit outside
+// any #[test] fn, so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use er_datagen::{DatasetKind, Scenario, ScenarioConfig};
+use er_incr::IncrEngine;
+use er_rules::{BatchError, EditingRule, RepairReport};
+use er_shard::{Route, ShardPlan, ShardedEngine, ShardedRepair};
+use er_table::{Relation, Value};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn covid() -> Scenario {
+    DatasetKind::Covid.build(ScenarioConfig {
+        input_size: 400,
+        master_size: 200,
+        seed: 11,
+        ..DatasetKind::Covid.paper_config()
+    })
+}
+
+/// Rules that all share one LHS pair (the routing pair), so a multi-shard
+/// plan is non-degenerate: one single-pair rule plus one two-pair rule per
+/// remaining candidate pair.
+fn routable_rules(s: &Scenario) -> Vec<EditingRule> {
+    let target = s.task.target();
+    let pairs = s.task.candidate_lhs_pairs();
+    assert!(pairs.len() >= 2, "fixture needs at least two LHS pairs");
+    let common = pairs[0];
+    let mut rules = vec![EditingRule::new(vec![common], target, vec![])];
+    for &p in &pairs[1..] {
+        rules.push(EditingRule::new(vec![common, p], target, vec![]));
+    }
+    rules
+}
+
+/// The request batch: the scenario's input plus rows whose routing-key
+/// value is NULL, to force broadcasts.
+fn batch_with_null_keys(s: &Scenario, rules: &[EditingRule]) -> Relation {
+    let plan = ShardPlan::new(2, rules);
+    let (x, _) = plan.key().expect("routable rules must share a pair");
+    let input = s.task.input();
+    let mut batch = input.clone();
+    for row in 0..3 {
+        let mut values: Vec<Value> = (0..input.num_attrs())
+            .map(|a| input.value(row, a))
+            .collect();
+        values[x] = Value::Null;
+        batch.push_row(values).unwrap();
+    }
+    batch
+}
+
+fn assert_same(sharded: &ShardedRepair, reference: &RepairReport, label: &str) {
+    assert_eq!(
+        sharded.predictions, reference.predictions,
+        "predictions diverged: {label}"
+    );
+    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&sharded.scores),
+        bits(&reference.scores),
+        "scores diverged bitwise: {label}"
+    );
+    assert_eq!(
+        sharded.candidates, reference.candidates,
+        "candidate counts diverged: {label}"
+    );
+}
+
+#[test]
+fn sharded_repair_is_byte_identical_at_every_shard_and_thread_count() {
+    let s = covid();
+    let target = s.task.target();
+    let rules = routable_rules(&s);
+    let batch = batch_with_null_keys(&s, &rules);
+    let reference = IncrEngine::new(s.task.master().clone(), target, rules.clone(), 1)
+        .unwrap()
+        .repair_batch(&batch)
+        .unwrap();
+    assert!(
+        reference.predictions.iter().any(Option::is_some),
+        "fixture must predict something"
+    );
+    for &threads in &THREAD_COUNTS {
+        for &shards in &SHARD_COUNTS {
+            let engine = ShardedEngine::new(
+                s.task.master().clone(),
+                target,
+                rules.clone(),
+                threads,
+                shards,
+            )
+            .unwrap();
+            let repair = engine.repair_batch(&batch, None).unwrap();
+            assert_same(
+                &repair,
+                &reference,
+                &format!("{shards} shards, {threads} threads"),
+            );
+            if shards == 1 {
+                // The single-shard fast path routes everything, NULLs included.
+                assert_eq!(engine.routed(), batch.num_rows() as u64);
+            } else {
+                // At least the 3 crafted rows broadcast (the scenario's own
+                // input carries natural NULLs at the routing attribute too).
+                assert!(engine.broadcast() >= 3, "NULL-keyed rows must broadcast");
+                assert_eq!(
+                    engine.routed() + engine.broadcast(),
+                    batch.num_rows() as u64
+                );
+                let stats = engine.shard_stats();
+                assert!(
+                    stats.rows_max < stats.rows_total,
+                    "placement must actually spread rows over shards"
+                );
+                assert!(stats.imbalance() >= 1.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn appends_preserve_equivalence_generation_and_the_combined_master() {
+    let s = covid();
+    let target = s.task.target();
+    let rules = routable_rules(&s);
+    let batch = batch_with_null_keys(&s, &rules);
+    let plan = ShardPlan::new(8, &rules);
+    let (_, xm) = plan.key().unwrap();
+    let master = s.task.master();
+    // Duplicates of existing master rows (shifts vote counts) plus one row
+    // with a NULL routing key (homed deterministically, can never vote).
+    let mut extra: Vec<Vec<Value>> = (0..8)
+        .map(|row| {
+            (0..master.num_attrs())
+                .map(|a| master.value(row, a))
+                .collect()
+        })
+        .collect();
+    let mut null_keyed: Vec<Value> = extra[0].clone();
+    null_keyed[xm] = Value::Null;
+    extra.push(null_keyed);
+
+    let mut single = IncrEngine::new(master.clone(), target, rules.clone(), 1).unwrap();
+    let single_outcome = single.append_rows(&extra).unwrap();
+    let reference = single.repair_batch(&batch).unwrap();
+
+    for &shards in &SHARD_COUNTS {
+        let engine = ShardedEngine::new(master.clone(), target, rules.clone(), 2, shards).unwrap();
+        let outcome = engine.append_rows(&extra).unwrap();
+        assert_eq!(outcome.appended, single_outcome.appended);
+        assert_eq!(outcome.master_rows, single_outcome.master_rows);
+        assert_eq!(outcome.generation, single_outcome.generation);
+        assert_eq!(outcome.indexes_updated, single_outcome.indexes_updated);
+
+        let repair = engine.repair_batch(&batch, None).unwrap();
+        assert_same(
+            &repair,
+            &reference,
+            &format!("{shards} shards after append"),
+        );
+
+        let view = engine.read_view();
+        assert_eq!(view.generation(), single.generation());
+        assert_eq!(view.staleness(), single.staleness());
+        assert_eq!(view.master_rows(), single.master().num_rows());
+        let combined = view.combined_master();
+        assert_eq!(combined.num_rows(), single.master().num_rows());
+        for row in 0..combined.num_rows() {
+            for attr in 0..combined.num_attrs() {
+                assert_eq!(
+                    combined.code(row, attr),
+                    single.master().code(row, attr),
+                    "combined master diverged at row {row} attr {attr} ({shards} shards)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn vote_stats_aggregate_exactly_across_shards() {
+    let s = covid();
+    let target = s.task.target();
+    let rules = routable_rules(&s);
+    let batch = batch_with_null_keys(&s, &rules);
+    let single = IncrEngine::new(s.task.master().clone(), target, rules.clone(), 1).unwrap();
+    single.repair_batch(&batch).unwrap();
+    for &shards in &SHARD_COUNTS {
+        let engine =
+            ShardedEngine::new(s.task.master().clone(), target, rules.clone(), 1, shards).unwrap();
+        engine.repair_batch(&batch, None).unwrap();
+        let view = engine.read_view();
+        assert_eq!(view.vote_stats(), single.vote_stats(), "{shards} shards");
+        assert_eq!(view.num_rules(), single.num_rules());
+        assert_eq!(view.num_indexes(), single.num_indexes());
+        assert_eq!(view.target(), single.target());
+    }
+}
+
+#[test]
+fn invalid_appends_report_the_first_offending_row_and_leave_shards_untouched() {
+    let s = covid();
+    let target = s.task.target();
+    let rules = routable_rules(&s);
+    let batch = batch_with_null_keys(&s, &rules);
+    let master = s.task.master();
+    let good: Vec<Value> = (0..master.num_attrs())
+        .map(|a| master.value(0, a))
+        .collect();
+    let bad = vec![Value::str("wrong-arity")];
+    let rows = vec![good.clone(), bad, good];
+
+    let mut single = IncrEngine::new(master.clone(), target, rules.clone(), 1).unwrap();
+    let single_err = single.append_rows(&rows).unwrap_err();
+    let reference = single.repair_batch(&batch).unwrap();
+
+    for &shards in &SHARD_COUNTS {
+        let engine = ShardedEngine::new(master.clone(), target, rules.clone(), 1, shards).unwrap();
+        let err = engine.append_rows(&rows).unwrap_err();
+        match (&err, &single_err) {
+            (
+                BatchError::AppendRow { row, message },
+                BatchError::AppendRow {
+                    row: want_row,
+                    message: want_message,
+                },
+            ) => {
+                assert_eq!(row, want_row, "{shards} shards");
+                assert_eq!(message, want_message, "{shards} shards");
+            }
+            other => panic!("expected AppendRow on both paths, got {other:?}"),
+        }
+        // All-or-nothing: the failed append changed nothing.
+        let repair = engine.repair_batch(&batch, None).unwrap();
+        assert_same(
+            &repair,
+            &reference,
+            &format!("{shards} shards post-rejected-append"),
+        );
+        assert_eq!(engine.read_view().generation(), single.generation());
+    }
+}
+
+#[test]
+fn degenerate_rule_sets_fall_back_to_shard_zero_and_stay_exact() {
+    let s = covid();
+    let target = s.task.target();
+    let pairs = s.task.candidate_lhs_pairs();
+    // No pair is common to all rules: the plan must degrade, not misroute.
+    let rules: Vec<EditingRule> = pairs
+        .iter()
+        .map(|&p| EditingRule::new(vec![p], target, vec![]))
+        .collect();
+    let plan = ShardPlan::new(4, &rules);
+    assert!(plan.is_degenerate());
+
+    let input = s.task.input();
+    let reference = IncrEngine::new(s.task.master().clone(), target, rules.clone(), 1)
+        .unwrap()
+        .repair_batch(input)
+        .unwrap();
+    let engine = ShardedEngine::new(s.task.master().clone(), target, rules.clone(), 1, 4).unwrap();
+    let repair = engine.repair_batch(input, None).unwrap();
+    assert_same(&repair, &reference, "degenerate 4-shard plan");
+    let stats = engine.shard_stats();
+    assert_eq!(stats.rows_max, stats.rows_total, "everything on shard 0");
+    assert_eq!(stats.broadcast, 0);
+    assert_eq!(plan.route(&Value::str("anything")), Route::To(0));
+}

@@ -4,7 +4,9 @@
 # worker pools), er-lint over the committed example rule set, the quick
 # repair/ingest benchmarks (identity + trajectory checks), and two
 # er-serve pipe-mode smokes (repair/append batches, then registry-backed
-# repair_csv bulk streaming). Run from anywhere inside the repo.
+# repair_csv bulk streaming), plus the sharded serving smokes: the same
+# session at --shards 4 (pipe and TCP) must answer byte-identically and
+# report shard routing counters. Run from anywhere inside the repo.
 #
 # BENCH=1 additionally runs the thread-scaling sweep and refreshes
 # results/par_sweep.json (release build; a few extra minutes).
@@ -91,6 +93,18 @@ echo "$ingestout"
 [[ "$ingestout" == *'byte-identical'* ]]
 [[ "$ingestout" == *'well-formed'* ]]
 
+echo "==> experiments serve_bench --quick (socket == pipe, trajectory well-formed)"
+serveout=$(cargo run -p er-bench --release --bin experiments -- --quick serve_bench)
+echo "$serveout"
+[[ "$serveout" == *'byte-identical'* ]]
+[[ "$serveout" == *'well-formed'* ]]
+
+echo "==> experiments shard_bench --quick (byte-identical at 1/2/8 shards, trajectory well-formed)"
+shardout=$(cargo run -p er-bench --release --bin experiments -- --quick shard_bench)
+echo "$shardout"
+[[ "$shardout" == *'byte-identical'* ]]
+[[ "$shardout" == *'well-formed'* ]]
+
 echo "==> er-serve pipe-mode smoke"
 smoke=$(printf '%s\n' \
     '{"op":"ping"}' \
@@ -118,6 +132,46 @@ echo "$csv_smoke"
 [[ "$(echo "$csv_smoke" | sed -n 1p)" == *'"rows":3'* ]]
 [[ "$(echo "$csv_smoke" | sed -n 2p)" == *'"ingested_rows"'* ]]
 [[ "$(echo "$csv_smoke" | sed -n 2p)" == *'"ingest_chunks"'* ]]
+
+echo "==> er-serve sharded pipe smoke (--shards 4, ER_THREADS=4)"
+shard_smoke=$(printf '%s\n' \
+    '{"op":"ping"}' \
+    '{"op":"repair","rows":[["Kevin","HZ",null,null,"325-8455","Male",null,"2021-12","No"]]}' \
+    '{"op":"append","rows":[["Lena","Wu","SZ","51800","0755","555-0101","Female","no symptoms","2021-10"]]}' \
+    '{"op":"stats"}' \
+    | ER_THREADS=4 cargo run -q --bin er-serve -- --rules examples/figure1_rules.json --shards 4)
+echo "$shard_smoke"
+# Byte-identical to the unsharded smoke on every non-stats line.
+[[ "$(echo "$shard_smoke" | sed -n 1,3p)" == "$(echo "$smoke" | sed -n 1,3p)" ]]
+[[ "$(echo "$shard_smoke" | sed -n 4p)" == *'"engine_generation":5'* ]]
+[[ "$(echo "$shard_smoke" | sed -n 4p)" == *'"shards":4'* ]]
+[[ "$(echo "$shard_smoke" | sed -n 4p)" == *'"shard_routed":1'* ]]
+[[ "$(echo "$shard_smoke" | sed -n 4p)" == *'"shard_imbalance"'* ]]
+
+echo "==> er-serve sharded TCP smoke (--shards 4, ER_THREADS=4, event loop)"
+tcp_log=$(mktemp)
+ER_THREADS=4 cargo run -q --bin er-serve -- --rules examples/figure1_rules.json \
+    --shards 4 --workers 4 --tcp 127.0.0.1:0 2>"$tcp_log" &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$tcp_log")
+    [[ -n "$port" ]] && break
+    sleep 0.1
+done
+[[ -n "$port" ]]
+tcp_smoke=$(printf '%s\n' \
+    '{"op":"repair","rows":[["Kevin","HZ",null,null,"325-8455","Male",null,"2021-12","No"]]}' \
+    '{"op":"stats"}' \
+    '{"op":"shutdown"}' \
+    | timeout 60 bash -c "exec 3<>/dev/tcp/127.0.0.1/$port; cat >&3; cat <&3")
+echo "$tcp_smoke"
+[[ "$(echo "$tcp_smoke" | sed -n 1p)" == "$(echo "$smoke" | sed -n 2p)" ]]
+[[ "$(echo "$tcp_smoke" | sed -n 2p)" == *'"shards":4'* ]]
+[[ "$(echo "$tcp_smoke" | sed -n 2p)" == *'"shard_routed":1'* ]]
+[[ "$(echo "$tcp_smoke" | sed -n 3p)" == *'"shutdown"'* ]]
+wait "$serve_pid"
+rm -f "$tcp_log"
 
 if [[ "${BENCH:-0}" == "1" ]]; then
     echo "==> experiments par_sweep (refreshing results/par_sweep.json)"

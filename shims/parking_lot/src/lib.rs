@@ -9,7 +9,10 @@
 //! parking_lot itself exhibits (it has no poisoning), so we recover the
 //! guard from the poison error.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+// Real parking_lot exports its guard types; the std guards play that role
+// here (deref surface is identical for the usage in this workspace).
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Mutual exclusion primitive with parking_lot's panic-free API.
 #[derive(Default, Debug)]

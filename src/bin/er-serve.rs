@@ -30,6 +30,11 @@ transport:
                      mode over stdin/stdout
 tuning:
   --threads N        repair worker threads (default 0 = ER_THREADS or 1)
+  --shards N         partition the master into N independent engine shards
+                     keyed by the rules' common LHS routing pair (default 1
+                     = unsharded); answers are byte-identical at any shard
+                     count; stats reports shards, shard_routed,
+                     shard_broadcast and shard_imbalance
   --deadline-ms N    per-request repair deadline (default: none)
   --queue N          max in-flight repairs / waiting connections (default 64)
   --max-rows N       max rows per repair request (default 4096)
@@ -73,6 +78,7 @@ struct Args {
     target: Option<String>,
     tcp: Option<String>,
     threads: usize,
+    shards: usize,
     config: ServeConfig,
 }
 
@@ -87,6 +93,7 @@ fn parse_args() -> Args {
         target: None,
         tcp: None,
         threads: 0,
+        shards: 1,
         config: ServeConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -101,6 +108,7 @@ fn parse_args() -> Args {
             "--target" => args.target = Some(need(&mut it, "--target")),
             "--tcp" => args.tcp = Some(need(&mut it, "--tcp")),
             "--threads" => args.threads = need_num(&mut it, "--threads"),
+            "--shards" => args.shards = need_num(&mut it, "--shards"),
             "--deadline-ms" => {
                 let ms: u64 = need_num(&mut it, "--deadline-ms");
                 args.config.deadline = (ms > 0).then(|| Duration::from_millis(ms));
@@ -190,9 +198,9 @@ fn main() {
         }
     };
     let load = if args.config.analysis_gate {
-        RepairEngine::from_json_gated(&task, &json, args.threads)
+        RepairEngine::from_json_gated_sharded(&task, &json, args.threads, args.shards)
     } else {
-        RepairEngine::from_json(&task, &json, args.threads)
+        RepairEngine::from_json_sharded(&task, &json, args.threads, args.shards)
     };
     let engine = match load {
         Ok(e) => e,
@@ -207,22 +215,24 @@ fn main() {
         }
     };
     eprintln!(
-        "er-serve: {} rules, {} warm indexes, target {:?}, master {} rows",
+        "er-serve: {} rules, {} warm indexes, target {:?}, master {} rows, {} shard(s)",
         engine.num_rules(),
         engine.num_indexes(),
         engine.target_attr(),
-        task.master().num_rows()
+        task.master().num_rows(),
+        engine.shards()
     );
     let reload_task = task.clone();
     let threads = args.threads;
+    let shards = args.shards;
     let gated = args.config.analysis_gate;
     let server = Server::new(engine, args.config.clone()).with_reloader(Box::new(move || {
         let json =
             std::fs::read_to_string(&rules_path).map_err(|e| ReloadError::Failed(e.to_string()))?;
         let load = if gated {
-            RepairEngine::from_json_gated(&reload_task, &json, threads)
+            RepairEngine::from_json_gated_sharded(&reload_task, &json, threads, shards)
         } else {
-            RepairEngine::from_json(&reload_task, &json, threads)
+            RepairEngine::from_json_sharded(&reload_task, &json, threads, shards)
         };
         load.map_err(|e| match e {
             EngineError::Analysis(report) => ReloadError::Analysis(report),
