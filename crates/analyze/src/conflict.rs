@@ -120,7 +120,7 @@ fn free_patterns_compatible(master: &Relation, a: &EditingRule, b: &EditingRule)
 }
 
 /// Whether some cell value satisfies both predicates.
-fn preds_overlap(master: &Relation, p: &Pred, q: &Pred) -> bool {
+pub(crate) fn preds_overlap(master: &Relation, p: &Pred, q: &Pred) -> bool {
     let numeric = |c: Code| master.pool().value(c).as_f64();
     let in_range = |c: Code, lo: f64, hi: f64| numeric(c).is_some_and(|v| v >= lo && v < hi);
     match (p, q) {
@@ -197,7 +197,7 @@ fn scan_pair(
 /// The modal non-NULL `Y_m` value of a key group (ties broken towards the
 /// smaller code — the same deterministic tie-break the repair vote and the
 /// ER005 lint use).
-fn modal(entries: &[(Code, u32)]) -> Option<Code> {
+pub(crate) fn modal(entries: &[(Code, u32)]) -> Option<Code> {
     entries
         .iter()
         .filter(|e| e.0 != NULL_CODE)

@@ -45,7 +45,7 @@
 
 use crate::reach::{self, MasterProfile};
 use crate::AnalyzeConfig;
-use er_lint::{DiagCode, Finding, Severity};
+use er_lint::{DiagnosticCode, Finding, Severity};
 use er_par::WorkerPool;
 use er_rules::io::PortableRule;
 use er_rules::{from_portable, EditingRule, SchemaMatch, TargetRules, Task};
@@ -778,7 +778,7 @@ fn build_diff_findings(changes: &[VerdictChange], scope_declared: bool) -> Vec<F
             c.target
         );
         findings.push(Finding {
-            code: DiagCode::Er011,
+            code: DiagnosticCode::Er011,
             severity: Severity::Info,
             rule: i,
             related: None,
@@ -798,7 +798,7 @@ fn build_diff_findings(changes: &[VerdictChange], scope_declared: bool) -> Vec<F
         });
         if scope_declared && !c.in_scope {
             findings.push(Finding {
-                code: DiagCode::Er012,
+                code: DiagnosticCode::Er012,
                 severity: Severity::Error,
                 rule: i,
                 related: None,

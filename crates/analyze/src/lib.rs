@@ -18,10 +18,18 @@
 //!    comparable evidence (strict-subset LHS) prescribing different certain
 //!    fixes is a contradiction, certified by a concrete master tuple —
 //!    ER009 (Error).
-//! 3. **Can every rule fire?** ([`reach`]) Rules dead against the current
+//! 3. **Does order matter?** ([`confluence`]) Every critical pair — two
+//!    rules on a shared target whose LHS patterns unify — is joined
+//!    symbolically over concrete master witnesses: a non-joinable pair is
+//!    ER013 (Error) with a two-order counterexample row, a pair that joins
+//!    only via the smaller-code tie-break is ER014 (Warning), and a set
+//!    where every pair joins outright earns a [`ConfluenceCertificate`]
+//!    (generation-stamped) that licenses the engines' arrival-order vote
+//!    merges (`er_par::WorkerPool::unordered_fold`, the sharded merge).
+//! 4. **Can every rule fire?** ([`reach`]) Rules dead against the current
 //!    master domains ([`MasterProfile`], generation-aware per-column
 //!    [`er_table::ColumnStats`]) — ER010 (Warning).
-//! 4. **What does a change do?** ([`diff`]) Given an (old, new) version
+//! 5. **What does a change do?** ([`diff`]) Given an (old, new) version
 //!    pair, the diff pass computes the **edit scope** symbolically: the
 //!    master code signatures whose repair verdict differs, each with a
 //!    concrete master-row witness — ER011 (Info) per changed signature,
@@ -38,6 +46,7 @@
 //! count (enforced by `crates/bench/tests/par_determinism.rs`).
 
 mod conflict;
+mod confluence;
 mod diff;
 mod graph;
 mod portable;
@@ -45,13 +54,14 @@ mod reach;
 mod report;
 
 pub use conflict::ConflictWitness;
+pub use confluence::{ConfluenceCertificate, JoinProof, OrderWitness};
 pub use diff::{diff, diff_json, diff_portable, DiffReport, EditScope, VerdictChange};
 pub use graph::{CycleWitness, TerminationCertificate};
 pub use portable::{analyze_json, analyze_portable};
 pub use reach::{MasterProfile, UnreachableRule};
 pub use report::AnalysisReport;
 
-use er_lint::{DiagCode, Finding, Severity};
+use er_lint::{DiagnosticCode, Finding, Severity};
 use er_par::WorkerPool;
 use er_rules::{ChaseConfig, ChaseResult, TargetRules};
 use er_table::{Relation, Schema};
@@ -111,6 +121,7 @@ pub(crate) fn analyze_with_display(
 
     let termination = graph::termination_pass(input_schema, targets, &display);
     let conflicts = conflict::conflict_pass(master, targets, &pool, &display);
+    let confluence = confluence::confluence_pass(master, targets, &pool, &display);
     let profile = MasterProfile::new(master);
     let unreachable =
         reach::reachability_pass(input_schema, master, &profile, targets, &pool, &display);
@@ -130,7 +141,8 @@ pub(crate) fn analyze_with_display(
         }
     }
     let span = |idx: usize| spans.get(&idx).cloned().unwrap_or_default();
-    let findings = report::build_findings(&termination, &conflicts, &unreachable, &span);
+    let findings =
+        report::build_findings(&termination, &conflicts, &confluence, &unreachable, &span);
     AnalysisReport {
         num_rules,
         num_targets: targets.len(),
@@ -138,6 +150,7 @@ pub(crate) fn analyze_with_display(
         generation: master.generation(),
         termination,
         conflicts,
+        confluence,
         unreachable,
         findings,
     }
@@ -152,7 +165,7 @@ pub fn cap_finding(result: &ChaseResult, config: &ChaseConfig) -> Option<Finding
         return None;
     }
     Some(Finding {
-        code: DiagCode::Er008,
+        code: DiagnosticCode::Er008,
         severity: Severity::Warning,
         rule: 0,
         related: None,

@@ -2,9 +2,10 @@
 //! renderings (text and JSON).
 
 use crate::conflict::ConflictWitness;
+use crate::confluence::{ConfluenceCertificate, JoinProof, OrderWitness};
 use crate::graph::{CycleWitness, TerminationCertificate};
 use crate::reach::UnreachableRule;
-use er_lint::{DiagCode, Finding, Severity};
+use er_lint::{DiagnosticCode, Finding, Severity};
 use serde::Serialize;
 use serde_json::Value;
 
@@ -26,6 +27,8 @@ pub struct AnalysisReport {
     pub termination: TerminationCertificate,
     /// Every proven conflict (ER009).
     pub conflicts: Vec<ConflictWitness>,
+    /// The confluence pass's certificate (ER013/ER014 witnesses inside).
+    pub confluence: ConfluenceCertificate,
     /// Every dead rule (ER010).
     pub unreachable: Vec<UnreachableRule>,
     /// The passes' findings, sorted by `(rule, code, related)`.
@@ -50,9 +53,16 @@ impl AnalysisReport {
     }
 
     /// Whether the set passes the serve gate: no ER008 cycle and no ER009
-    /// conflict (ER010 warnings do not block a load).
+    /// conflict (ER010 warnings do not block a load). ER013 non-confluence
+    /// is an error in the report but does not block the gate either: a
+    /// non-confluent set still serves correctly on the deterministic
+    /// rule-order paths — it is only refused the confluence certificate,
+    /// so the unordered merge paths stay unlicensed.
     pub fn gate_clean(&self) -> bool {
-        self.errors() == 0
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .all(|f| f.code == er_lint::DiagnosticCode::Er013)
     }
 
     /// The findings as a plain lint [`er_lint::Report`] (e.g. to merge with
@@ -115,6 +125,29 @@ impl AnalysisReport {
             n => {
                 let _ = writeln!(out, "conflicts: {n} contradicting pair{}", plural(n));
             }
+        }
+        let c = &self.confluence;
+        if c.certified {
+            let _ = writeln!(
+                out,
+                "confluence: CERTIFIED — {} critical pair{} join on the current master \
+                 (generation {}); arrival-order vote merges are licensed",
+                c.pairs,
+                plural(c.pairs),
+                c.generation,
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "confluence: NOT CERTIFIED — {} of {} critical pair{} diverge{}, {} join{} \
+                 only by tie-break; vote merges stay in rule order",
+                c.divergent.len(),
+                c.pairs,
+                plural(c.pairs),
+                if c.divergent.len() == 1 { "s" } else { "" },
+                c.tie_broken.len(),
+                if c.tie_broken.len() == 1 { "s" } else { "" },
+            );
         }
         match self.unreachable.len() {
             0 => {
@@ -221,6 +254,70 @@ impl Serialize for ConflictWitness {
     }
 }
 
+impl Serialize for ConfluenceCertificate {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("certified".to_string(), Value::Bool(self.certified)),
+            ("pairs".to_string(), Value::Int(self.pairs as i64)),
+            (
+                "proofs".to_string(),
+                Value::Array(self.proofs.iter().map(Serialize::to_value).collect()),
+            ),
+            (
+                "divergent".to_string(),
+                Value::Array(self.divergent.iter().map(Serialize::to_value).collect()),
+            ),
+            (
+                "tie_broken".to_string(),
+                Value::Array(self.tie_broken.iter().map(Serialize::to_value).collect()),
+            ),
+            ("generation".to_string(), Value::UInt(self.generation)),
+            ("num_rules".to_string(), Value::Int(self.num_rules as i64)),
+        ])
+    }
+}
+
+impl Serialize for JoinProof {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("rule".to_string(), Value::Int(self.rule as i64)),
+            ("related".to_string(), Value::Int(self.related as i64)),
+            (
+                "witness_rows".to_string(),
+                Value::Int(self.witness_rows as i64),
+            ),
+        ])
+    }
+}
+
+impl Serialize for OrderWitness {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("rule".to_string(), Value::Int(self.rule as i64)),
+            ("related".to_string(), Value::Int(self.related as i64)),
+            ("master_row".to_string(), Value::Int(self.master_row as i64)),
+            (
+                "master_tuple".to_string(),
+                Value::Array(
+                    self.master_tuple
+                        .iter()
+                        .map(|v| Value::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "first_value".to_string(),
+                Value::Str(self.first_value.clone()),
+            ),
+            (
+                "second_value".to_string(),
+                Value::Str(self.second_value.clone()),
+            ),
+            ("rows".to_string(), Value::Int(self.rows as i64)),
+        ])
+    }
+}
+
 impl Serialize for UnreachableRule {
     fn to_value(&self) -> Value {
         Value::Object(vec![
@@ -250,6 +347,7 @@ impl Serialize for AnalysisReport {
                 "conflicts".to_string(),
                 Value::Array(self.conflicts.iter().map(Serialize::to_value).collect()),
             ),
+            ("confluence".to_string(), self.confluence.to_value()),
             (
                 "unreachable".to_string(),
                 Value::Array(self.unreachable.iter().map(Serialize::to_value).collect()),
@@ -267,6 +365,7 @@ impl Serialize for AnalysisReport {
 pub(crate) fn build_findings(
     termination: &TerminationCertificate,
     conflicts: &[ConflictWitness],
+    confluence: &ConfluenceCertificate,
     unreachable: &[UnreachableRule],
     span: &dyn Fn(usize) -> String,
 ) -> Vec<Finding> {
@@ -274,7 +373,7 @@ pub(crate) fn build_findings(
     if let Some(cycle) = &termination.cycle {
         let anchor = cycle.rules.iter().copied().min().unwrap_or(0);
         findings.push(Finding {
-            code: DiagCode::Er008,
+            code: DiagnosticCode::Er008,
             severity: Severity::Error,
             rule: anchor,
             related: None,
@@ -298,7 +397,7 @@ pub(crate) fn build_findings(
     }
     for c in conflicts {
         findings.push(Finding {
-            code: DiagCode::Er009,
+            code: DiagnosticCode::Er009,
             severity: Severity::Error,
             rule: c.rule,
             related: Some(c.related),
@@ -319,9 +418,59 @@ pub(crate) fn build_findings(
             )),
         });
     }
+    for w in &confluence.divergent {
+        findings.push(Finding {
+            code: DiagnosticCode::Er013,
+            severity: Severity::Error,
+            rule: w.rule,
+            related: Some(w.related),
+            span: span(w.rule),
+            message: format!(
+                "critical pair with rule #{} is not joinable: applying #{} first commits \
+                 {:?}, applying #{} first commits {:?} — {} master-witnessed divergence{}",
+                w.related,
+                w.related,
+                w.first_value,
+                w.rule,
+                w.second_value,
+                w.rows,
+                plural(w.rows),
+            ),
+            note: Some(format!(
+                "two-order witness: master row {} ({}); no confluence certificate — vote \
+                 merges stay in rule order",
+                w.master_row,
+                w.master_tuple.join(", ")
+            )),
+        });
+    }
+    for w in &confluence.tie_broken {
+        findings.push(Finding {
+            code: DiagnosticCode::Er014,
+            severity: Severity::Warning,
+            rule: w.rule,
+            related: Some(w.related),
+            span: span(w.rule),
+            message: format!(
+                "critical pair with rule #{} joins only by tie-break: {:?} and {:?} carry \
+                 exactly equal combined evidence on {} master row{}",
+                w.related,
+                w.first_value,
+                w.second_value,
+                w.rows,
+                plural(w.rows),
+            ),
+            note: Some(format!(
+                "witness: master row {} ({}); verdict-equivalent but order-fragile — the \
+                 set stays on the ordered merge path",
+                w.master_row,
+                w.master_tuple.join(", ")
+            )),
+        });
+    }
     for u in unreachable {
         findings.push(Finding {
-            code: DiagCode::Er010,
+            code: DiagnosticCode::Er010,
             severity: Severity::Warning,
             rule: u.rule,
             related: None,

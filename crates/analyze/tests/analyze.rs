@@ -3,7 +3,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use er_analyze::{analyze, analyze_json, cap_finding, AnalyzeConfig, EditScope};
-use er_lint::{DiagCode, Severity};
+use er_lint::{DiagnosticCode, Severity};
 use er_rules::{chase, ChaseConfig, EditingRule, SchemaMatch, TargetRules, Task};
 use er_table::{Attribute, Pool, Relation, RelationBuilder, Schema, Value};
 use std::sync::Arc;
@@ -131,7 +131,7 @@ fn comparable_pair_with_contradicting_prescriptions_is_er009() {
     assert_eq!(w.master_tuple[2], "HZ");
     assert!(!report.gate_clean());
     let finding = &report.findings[0];
-    assert_eq!(finding.code, DiagCode::Er009);
+    assert_eq!(finding.code, DiagnosticCode::Er009);
     assert_eq!(finding.severity, Severity::Error);
     assert_eq!(finding.rule, 1);
     assert_eq!(finding.related, Some(0));
@@ -160,7 +160,7 @@ fn cyclic_targets_lose_the_termination_certificate() {
     let er008: Vec<_> = report
         .findings
         .iter()
-        .filter(|f| f.code == DiagCode::Er008)
+        .filter(|f| f.code == DiagnosticCode::Er008)
         .collect();
     assert_eq!(er008.len(), 1);
     assert_eq!(er008[0].severity, Severity::Error);
@@ -236,7 +236,7 @@ fn certified_sets_may_chase_uncapped() {
         },
     )
     .expect("cap hit reported");
-    assert_eq!(finding.code, DiagCode::Er008);
+    assert_eq!(finding.code, DiagnosticCode::Er008);
     assert_eq!(finding.severity, Severity::Warning);
 }
 
@@ -258,7 +258,7 @@ fn renders_text_and_json_with_certificates() {
     let json = report.render_json();
     assert!(json.contains("\"certified\": true"), "{json}");
     assert!(json.contains("\"master_row\": 2"), "{json}");
-    assert!(json.contains("ER009"), "{json}");
+    assert!(json.contains(DiagnosticCode::Er009.as_str()), "{json}");
 }
 
 #[test]
@@ -420,7 +420,7 @@ fn narrowing_every_rule_to_one_date_changes_two_signatures() {
     assert!(report
         .findings
         .iter()
-        .all(|f| f.code == DiagCode::Er011 && f.severity == Severity::Info));
+        .all(|f| f.code == DiagnosticCode::Er011 && f.severity == Severity::Info));
     assert_eq!(report.errors(), 0);
     assert_eq!(report.infos(), 2);
     assert!(report.gate_clean());
@@ -452,7 +452,7 @@ fn out_of_scope_changes_are_er012_errors() {
     let er012: Vec<_> = report
         .findings
         .iter()
-        .filter(|f| f.code == DiagCode::Er012)
+        .filter(|f| f.code == DiagnosticCode::Er012)
         .collect();
     assert_eq!(er012.len(), 2);
     assert!(er012.iter().all(|f| f.severity == Severity::Error));

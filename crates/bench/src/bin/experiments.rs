@@ -16,6 +16,7 @@ usage: experiments [--paper-scale|--quick] [--repeats N] [--train-steps N] [--th
        experiments lint [--dataset NAME] [--seed N] [--json] [--fix [--out PATH]] <rules.json>
        experiments analyze [--dataset NAME] [--seed N] [--threads N] [--json] [--out PATH] <rules.json>
        experiments diff [--dataset NAME] [--seed N] [--threads N] [--scope JSON] [--json] [--out PATH] <old.json> <new.json>
+       experiments prove [--dataset NAME] [--seed N] [--threads N] [--json] [--out PATH] <rules.json>
   ids: all table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablate par_sweep serve_bench shard_bench incr_bench repair_bench ingest_bench
   --paper-scale   run at the paper's dataset sizes (EnuMiner may take hours)
   --quick         smoke-test scale (shorter training, tighter budgets)
@@ -49,7 +50,14 @@ diff: edit-scope analysis of a rule-set change (er-analyze diff pass):
                   conjunctions of input-attribute equalities
   --dataset/--seed/--threads/--json as for analyze
   --out PATH      also save the JSON report (default: results/diff.json)
-  exits 1 when the report contains errors, 2 on usage/IO problems";
+  exits 1 when the report contains errors, 2 on usage/IO problems
+prove: confluence certification (er-analyze critical-pair pass): join every
+  critical pair of the rule set over concrete master witnesses and print the
+  machine-checkable ConfluenceCertificate, the ER013 two-order divergence
+  counterexamples, or the ER014 tie-break dependences
+  --dataset/--seed/--threads/--json as for analyze
+  --out PATH      also save the full JSON report (default: results/prove.json)
+  exits 0 only when the certificate is issued, 1 otherwise, 2 on usage/IO";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,6 +75,10 @@ fn main() {
     }
     if args[0] == "diff" {
         diff_main(&args[1..]);
+        return;
+    }
+    if args[0] == "prove" {
+        prove_main(&args[1..]);
         return;
     }
     let mut cfg = ExperimentConfig::default();
@@ -297,6 +309,131 @@ fn analyze_main(args: &[String]) {
         Err(e) => eprintln!("warning: cannot write {out}: {e}"),
     }
     if report.errors() > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// The `prove` subcommand: run the full er-analyze pipeline but report the
+/// confluence half — the certificate when every critical pair joins, the
+/// ER013/ER014 witnesses when not. Exit 0 only with a certificate in hand.
+fn prove_main(args: &[String]) {
+    let mut dataset = "figure1".to_string();
+    let mut seed = 1u64;
+    let mut threads = 0usize;
+    let mut json_out = false;
+    let mut registry: Option<String> = None;
+    let mut out = "results/prove.json".to_string();
+    let mut file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dataset" => {
+                dataset = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--dataset needs a name"));
+            }
+            "--registry" => {
+                registry = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--registry needs a path")),
+                );
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a number"));
+            }
+            "--json" => json_out = true,
+            "--out" => {
+                out = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            path if !path.starts_with('-') => file = Some(path.to_string()),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let Some(path) = file else {
+        die("prove needs a rules.json path")
+    };
+    let scenario = load_scenario(registry.as_deref(), &dataset, seed);
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = er_analyze::AnalyzeConfig::with_threads(threads);
+    let report = match er_analyze::analyze_json(&json, &scenario.task, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cert = &report.confluence;
+    if json_out {
+        println!("{}", serde_json::to_string_pretty(cert).unwrap_or_default());
+    } else if cert.certified {
+        println!(
+            "confluence: CERTIFIED — {} rules, {} critical pair(s) join on the current \
+             master (generation {}); arrival-order vote merges are licensed",
+            cert.num_rules, cert.pairs, cert.generation
+        );
+        for p in &cert.proofs {
+            println!(
+                "  pair (#{}, #{}): joins on {} witness row(s)",
+                p.related, p.rule, p.witness_rows
+            );
+        }
+    } else {
+        println!(
+            "confluence: NOT CERTIFIED — {} divergent pair(s), {} tie-break-dependent \
+             pair(s) of {} checked; vote merges stay in rule order",
+            cert.divergent.len(),
+            cert.tie_broken.len(),
+            cert.pairs
+        );
+        // The certificate-relevant findings carry the rendered two-order
+        // witnesses; everything else stays in `analyze`'s report.
+        for f in report.findings.iter().filter(|f| {
+            matches!(
+                f.code,
+                er_lint::DiagnosticCode::Er013 | er_lint::DiagnosticCode::Er014
+            )
+        }) {
+            println!("{}[{}]: {}", f.severity, f.code, f.message);
+            println!("  --> rule #{}: {}", f.rule, f.span);
+            if let Some(note) = &f.note {
+                println!("  = note: {note}");
+            }
+        }
+    }
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match std::fs::write(&out, report.render_json() + "\n") {
+        Ok(()) => eprintln!("prove: saved {out}"),
+        Err(e) => eprintln!("warning: cannot write {out}: {e}"),
+    }
+    if !cert.certified {
         std::process::exit(1);
     }
 }

@@ -7,6 +7,7 @@
 // any #[test] fn, so the clippy.toml test exemption does not reach them.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+use er_lint::DiagnosticCode;
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -48,7 +49,7 @@ fn analyze_exits_zero_on_warnings_only_reports() {
         .output()
         .unwrap();
     let stdout = String::from_utf8_lossy(&output.stdout);
-    assert!(stdout.contains("ER010"), "{stdout}");
+    assert!(stdout.contains(DiagnosticCode::Er010.as_str()), "{stdout}");
     assert!(
         output.status.success(),
         "warnings-only analysis must exit 0, got {:?}\n{stdout}",
@@ -91,7 +92,7 @@ fn diff_exit_codes_follow_the_report_severity() {
         .output()
         .unwrap();
     let stdout = String::from_utf8_lossy(&output.stdout);
-    assert!(stdout.contains("ER011"), "{stdout}");
+    assert!(stdout.contains(DiagnosticCode::Er011.as_str()), "{stdout}");
     assert_eq!(output.status.code(), Some(0), "infos must not fail the CLI");
     // A scope that does not cover the change: ER012, exit 1.
     let output = experiments()
@@ -101,7 +102,7 @@ fn diff_exit_codes_follow_the_report_severity() {
         .output()
         .unwrap();
     let stdout = String::from_utf8_lossy(&output.stdout);
-    assert!(stdout.contains("ER012"), "{stdout}");
+    assert!(stdout.contains(DiagnosticCode::Er012.as_str()), "{stdout}");
     assert_eq!(output.status.code(), Some(1));
     // Usage problems: exit 2.
     let output = experiments().args(["diff"]).arg(&v1).output().unwrap();

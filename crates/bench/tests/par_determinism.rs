@@ -295,6 +295,135 @@ fn sharded_repair_is_shard_and_thread_count_invariant() {
     }
 }
 
+/// The certificate-gated commutative fold: a rule set the er-analyze
+/// confluence pass certifies licenses `unordered_fold` inside every shard
+/// and arrival-order merging across shards. At every shard count × thread
+/// count combination the stamped (unordered) run must be byte-identical to
+/// the unstamped (ordered) run and to the 1-shard/1-thread reference.
+#[test]
+fn certified_unordered_fold_is_shard_and_thread_count_invariant() {
+    use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
+    use std::sync::Arc;
+
+    const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+    let pool = Arc::new(Pool::new());
+    let attrs = || {
+        vec![
+            Attribute::categorical("K"),
+            Attribute::categorical("A"),
+            Attribute::categorical("T"),
+        ]
+    };
+    let in_schema = Arc::new(Schema::new("in", attrs()));
+    let m_schema = Arc::new(Schema::new("m", attrs()));
+    let s = |v: String| Value::str(v);
+    // Master where T is a function of the routing key K: every critical
+    // pair joins (any joint witness agrees on the modal), so the set
+    // certifies honestly — the pass below must find zero divergences.
+    let mut bm = RelationBuilder::new(m_schema, Arc::clone(&pool));
+    for k in 0..8 {
+        for a in 0..4 {
+            for _ in 0..(1 + (k + a) % 3) {
+                bm.push_row(vec![
+                    s(format!("k{k}")),
+                    s(format!("a{a}")),
+                    s(format!("t{}", k % 5)),
+                ])
+                .unwrap();
+            }
+        }
+    }
+    let master = bm.finish();
+    let mut bi = RelationBuilder::new(Arc::clone(&in_schema), pool);
+    for row in 0..48 {
+        let k = row % 8;
+        bi.push_row(vec![
+            s(format!("k{k}")),
+            s(format!("a{}", row % 4)),
+            Value::Null,
+        ])
+        .unwrap();
+    }
+    // A NULL routing key exercises the broadcast path under both merges.
+    bi.push_row(vec![Value::Null, s("a0".into()), Value::Null])
+        .unwrap();
+    let input = bi.finish();
+    let target = (2, 2);
+    // Every rule anchors the routing pair (K, K), so multi-shard placement
+    // is non-degenerate and the pairwise unifications are non-trivial.
+    let rules = vec![
+        EditingRule::new(vec![(0, 0)], target, vec![]),
+        EditingRule::new(vec![(0, 0), (1, 1)], target, vec![]),
+        EditingRule::new(vec![(1, 1), (0, 0)], target, vec![]),
+    ];
+    let targets = [TargetRules {
+        target,
+        rules: rules.clone(),
+    }];
+    let reference = BatchRepairer::new(master.clone(), target, rules.clone(), 1)
+        .unwrap()
+        .repair_batch(&input)
+        .unwrap();
+    assert!(reference.num_predictions() > 0, "fixture must predict");
+    let bits = |scores: &[f64]| scores.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            let engine = er_shard::ShardedEngine::new(
+                master.clone(),
+                target,
+                rules.clone(),
+                threads,
+                shards,
+            )
+            .unwrap();
+            let ordered = engine.repair_batch(&input, None).unwrap();
+            // Certify honestly: run the confluence pass, then stamp the
+            // engine at its live aggregate generation — exactly what
+            // `er-serve` does on reload/append.
+            let report = er_analyze::analyze(
+                &in_schema,
+                &master,
+                &targets,
+                &AnalyzeConfig::with_threads(threads),
+            );
+            assert!(
+                report.confluence.certified,
+                "functionally determined fixture must certify: {}",
+                report.render_text()
+            );
+            assert_eq!(
+                report.confluence.generation,
+                engine.read_view().generation()
+            );
+            assert!(engine.set_confluence_stamp(report.confluence.generation));
+            assert!(engine.confluence_certified());
+            let unordered = engine.repair_batch(&input, None).unwrap();
+            assert_eq!(
+                unordered.predictions, ordered.predictions,
+                "stamped predictions diverged at {shards} shards / {threads} threads"
+            );
+            assert_eq!(
+                bits(&unordered.scores),
+                bits(&ordered.scores),
+                "stamped scores diverged bitwise at {shards} shards / {threads} threads"
+            );
+            assert_eq!(
+                unordered.candidates, ordered.candidates,
+                "stamped candidate counts diverged at {shards} shards / {threads} threads"
+            );
+            assert_eq!(
+                unordered.predictions, reference.predictions,
+                "predictions diverged from the reference at {shards} shards / {threads} threads"
+            );
+            assert_eq!(
+                bits(&unordered.scores),
+                bits(&reference.scores),
+                "scores diverged bitwise from the reference at {shards} shards / {threads} threads"
+            );
+        }
+    }
+}
+
 /// The RLMiner path: training (mask refresh via the evaluator pool) and the
 /// greedy re-evaluation sweep in `mine` both fan out; with a fixed seed the
 /// whole train-then-mine pipeline must be identical at any thread count.

@@ -8,7 +8,7 @@ use serde_json::Value;
 /// meaning across versions, so downstream tooling can match on the string
 /// form (`"ER001"`, ...) safely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum DiagCode {
+pub enum DiagnosticCode {
     /// Dangling attribute reference: a rule names an attribute that does not
     /// exist in the input or master schema.
     Er001,
@@ -64,53 +64,98 @@ pub enum DiagCode {
     /// model-editing discipline: an edit may change behavior inside its
     /// declared scope and must preserve it everywhere else.
     Er012,
+    /// Non-confluent rule pair: two rules on the same target form a critical
+    /// pair whose one-step chase states do not join — applying them in the
+    /// two possible orders commits *different* certain fixes on a concrete
+    /// master row. No confluence certificate exists for the set, and the
+    /// engines must keep merging votes in deterministic rule order.
+    Er013,
+    /// Tie-break-dependent confluence: a critical pair's divergent
+    /// prescriptions carry exactly equal combined evidence, so the chase
+    /// converges only because the deterministic smaller-code tie-break picks
+    /// the same value in both orders. Verdict-equivalent but order-fragile;
+    /// such sets stay on the ordered merge path.
+    Er014,
 }
 
-impl DiagCode {
+impl DiagnosticCode {
+    /// Every code in the registry, in numeric order. This is the single
+    /// source of truth for "which diagnostics exist": renderers, the README
+    /// diagnostics table (checked by `scripts/check_docs.sh`), and tests all
+    /// enumerate this instead of hand-maintaining string lists.
+    pub const ALL: [DiagnosticCode; 14] = [
+        DiagnosticCode::Er001,
+        DiagnosticCode::Er002,
+        DiagnosticCode::Er003,
+        DiagnosticCode::Er004,
+        DiagnosticCode::Er005,
+        DiagnosticCode::Er006,
+        DiagnosticCode::Er007,
+        DiagnosticCode::Er008,
+        DiagnosticCode::Er009,
+        DiagnosticCode::Er010,
+        DiagnosticCode::Er011,
+        DiagnosticCode::Er012,
+        DiagnosticCode::Er013,
+        DiagnosticCode::Er014,
+    ];
+
+    /// Look a code up by its stable string form (`"ER009"` -> `Er009`).
+    pub fn parse(s: &str) -> Option<DiagnosticCode> {
+        DiagnosticCode::ALL
+            .iter()
+            .copied()
+            .find(|c| c.as_str() == s)
+    }
+
     /// The stable string form, e.g. `"ER001"`.
     pub fn as_str(self) -> &'static str {
         match self {
-            DiagCode::Er001 => "ER001",
-            DiagCode::Er002 => "ER002",
-            DiagCode::Er003 => "ER003",
-            DiagCode::Er004 => "ER004",
-            DiagCode::Er005 => "ER005",
-            DiagCode::Er006 => "ER006",
-            DiagCode::Er007 => "ER007",
-            DiagCode::Er008 => "ER008",
-            DiagCode::Er009 => "ER009",
-            DiagCode::Er010 => "ER010",
-            DiagCode::Er011 => "ER011",
-            DiagCode::Er012 => "ER012",
+            DiagnosticCode::Er001 => "ER001",
+            DiagnosticCode::Er002 => "ER002",
+            DiagnosticCode::Er003 => "ER003",
+            DiagnosticCode::Er004 => "ER004",
+            DiagnosticCode::Er005 => "ER005",
+            DiagnosticCode::Er006 => "ER006",
+            DiagnosticCode::Er007 => "ER007",
+            DiagnosticCode::Er008 => "ER008",
+            DiagnosticCode::Er009 => "ER009",
+            DiagnosticCode::Er010 => "ER010",
+            DiagnosticCode::Er011 => "ER011",
+            DiagnosticCode::Er012 => "ER012",
+            DiagnosticCode::Er013 => "ER013",
+            DiagnosticCode::Er014 => "ER014",
         }
     }
 
     /// Short human title of the diagnostic class.
     pub fn title(self) -> &'static str {
         match self {
-            DiagCode::Er001 => "dangling attribute reference",
-            DiagCode::Er002 => "unsatisfiable pattern",
-            DiagCode::Er003 => "exact duplicate rule",
-            DiagCode::Er004 => "dominated (redundant) rule",
-            DiagCode::Er005 => "repair conflict",
-            DiagCode::Er006 => "ill-formed rule",
-            DiagCode::Er007 => "stale rule set",
-            DiagCode::Er008 => "non-terminating dependency cycle",
-            DiagCode::Er009 => "conflicting repairs",
-            DiagCode::Er010 => "unreachable rule",
-            DiagCode::Er011 => "verdict-changed signature",
-            DiagCode::Er012 => "behavior-preservation violation",
+            DiagnosticCode::Er001 => "dangling attribute reference",
+            DiagnosticCode::Er002 => "unsatisfiable pattern",
+            DiagnosticCode::Er003 => "exact duplicate rule",
+            DiagnosticCode::Er004 => "dominated (redundant) rule",
+            DiagnosticCode::Er005 => "repair conflict",
+            DiagnosticCode::Er006 => "ill-formed rule",
+            DiagnosticCode::Er007 => "stale rule set",
+            DiagnosticCode::Er008 => "non-terminating dependency cycle",
+            DiagnosticCode::Er009 => "conflicting repairs",
+            DiagnosticCode::Er010 => "unreachable rule",
+            DiagnosticCode::Er011 => "verdict-changed signature",
+            DiagnosticCode::Er012 => "behavior-preservation violation",
+            DiagnosticCode::Er013 => "non-confluent rule pair",
+            DiagnosticCode::Er014 => "tie-break-dependent confluence",
         }
     }
 }
 
-impl std::fmt::Display for DiagCode {
+impl std::fmt::Display for DiagnosticCode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.as_str())
     }
 }
 
-impl Serialize for DiagCode {
+impl Serialize for DiagnosticCode {
     fn to_value(&self) -> Value {
         Value::Str(self.as_str().to_string())
     }
@@ -156,7 +201,7 @@ impl Serialize for Severity {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Finding {
     /// Stable diagnostic code.
-    pub code: DiagCode,
+    pub code: DiagnosticCode,
     /// Severity of this particular finding (a code can surface at different
     /// severities: e.g. ER002 is an error for a contradiction but a warning
     /// for an out-of-domain constant, which only proves the rule dead on the
@@ -234,7 +279,7 @@ impl Report {
     }
 
     /// All findings with a given code.
-    pub fn with_code(&self, code: DiagCode) -> Vec<&Finding> {
+    pub fn with_code(&self, code: DiagnosticCode) -> Vec<&Finding> {
         self.findings.iter().filter(|f| f.code == code).collect()
     }
 
@@ -304,5 +349,50 @@ fn plural(n: usize) -> &'static str {
         ""
     } else {
         "s"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn registry_is_complete_unique_and_well_formed() {
+        // Every string form is distinct and follows the ERxxx shape.
+        let strings: Vec<&str> = DiagnosticCode::ALL.iter().map(|c| c.as_str()).collect();
+        let unique: BTreeSet<&str> = strings.iter().copied().collect();
+        assert_eq!(
+            unique.len(),
+            DiagnosticCode::ALL.len(),
+            "duplicate code strings"
+        );
+        for s in &strings {
+            assert_eq!(s.len(), 5, "{s} is not ERxxx");
+            assert!(s.starts_with("ER"), "{s} is not ERxxx");
+            assert!(
+                s[2..].chars().all(|c| c.is_ascii_digit()),
+                "{s} is not ERxxx"
+            );
+        }
+        // Codes are append-only and numbered densely from ER001.
+        for (i, s) in strings.iter().enumerate() {
+            assert_eq!(
+                s[2..].parse::<usize>().ok(),
+                Some(i + 1),
+                "{s} out of order"
+            );
+        }
+        // Titles are distinct, non-empty, and every code round-trips
+        // through the string lookup.
+        let titles: BTreeSet<&str> = DiagnosticCode::ALL.iter().map(|c| c.title()).collect();
+        assert_eq!(titles.len(), DiagnosticCode::ALL.len(), "duplicate titles");
+        for code in DiagnosticCode::ALL {
+            assert!(!code.title().is_empty());
+            assert_eq!(DiagnosticCode::parse(code.as_str()), Some(code));
+            assert_eq!(format!("{code}"), code.as_str());
+            assert_eq!(code.to_value(), Value::Str(code.as_str().to_string()));
+        }
+        assert_eq!(DiagnosticCode::parse("ER999"), None);
     }
 }

@@ -16,7 +16,7 @@
 //! Everything else (dangling references, unsatisfiable patterns, repair
 //! conflicts) needs a human decision and is left alone.
 
-use crate::diag::{DiagCode, Report};
+use crate::diag::{DiagnosticCode, Report};
 use er_rules::PortableRule;
 
 /// The result of applying the mechanical fixes.
@@ -35,7 +35,7 @@ pub fn removable(report: &Report) -> Vec<usize> {
     let mut indices: Vec<usize> = report
         .findings
         .iter()
-        .filter(|f| matches!(f.code, DiagCode::Er003 | DiagCode::Er004))
+        .filter(|f| matches!(f.code, DiagnosticCode::Er003 | DiagnosticCode::Er004))
         .map(|f| f.rule)
         .collect();
     indices.sort_unstable();
@@ -130,7 +130,7 @@ mod tests {
             again
                 .findings
                 .iter()
-                .all(|f| !matches!(f.code, DiagCode::Er003 | DiagCode::Er004)),
+                .all(|f| !matches!(f.code, DiagnosticCode::Er003 | DiagnosticCode::Er004)),
             "{again:?}"
         );
     }
@@ -167,7 +167,7 @@ mod tests {
             report_again
                 .findings
                 .iter()
-                .all(|f| !matches!(f.code, DiagCode::Er003 | DiagCode::Er004)),
+                .all(|f| !matches!(f.code, DiagnosticCode::Er003 | DiagnosticCode::Er004)),
             "{report_again:?}"
         );
     }

@@ -53,21 +53,21 @@
 //! dominator among the survivors).
 //!
 //! ```
-//! use er_lint::{lint_json, DiagCode};
+//! use er_lint::{lint_json, DiagnosticCode};
 //! # let scenario_task = er_lint::doctest_task();
 //! let json = r#"[{"lhs": [["City", "City"]],
 //!                 "target": ["Case", "Infection"],
 //!                 "pattern": [{"Eq": {"attr": "Nope", "value": "x", "numeric": false}}],
 //!                 "measures": null}]"#;
 //! let report = lint_json(json, &scenario_task).unwrap();
-//! assert_eq!(report.findings[0].code, DiagCode::Er001);
+//! assert_eq!(report.findings[0].code, DiagnosticCode::Er001);
 //! ```
 
 mod diag;
 mod fix;
 mod lint;
 
-pub use diag::{DiagCode, Finding, Report, Severity};
+pub use diag::{DiagnosticCode, Finding, Report, Severity};
 pub use fix::{apply_fixes, removable, FixOutcome};
 pub use lint::{check_staleness, lint_json, lint_portable, lint_resolved, render_portable};
 

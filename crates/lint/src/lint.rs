@@ -6,7 +6,7 @@
 //! the resolved rules: exact duplicates (ER003), domination (ER004), and
 //! repair conflicts (ER005).
 
-use crate::diag::{DiagCode, Finding, Report, Severity};
+use crate::diag::{DiagnosticCode, Finding, Report, Severity};
 use er_rules::io::{PortableCondition, PortableRule};
 use er_rules::{dominates, from_portable, EditingRule, Evaluator, Task};
 use er_table::{AttrId, Code, Relation, Value, NULL_CODE};
@@ -82,7 +82,7 @@ pub fn check_staleness(rules_generation: u64, master: &Relation) -> Option<Findi
         return None;
     }
     Some(Finding {
-        code: DiagCode::Er007,
+        code: DiagnosticCode::Er007,
         severity: Severity::Warning,
         rule: 0,
         related: None,
@@ -136,7 +136,7 @@ fn structural_pass(
             Err(_) => {
                 *fatal = true;
                 push(
-                    DiagCode::Er001,
+                    DiagnosticCode::Er001,
                     Severity::Error,
                     format!("unknown input attribute `{name}` in the {role}"),
                     Some(format!(
@@ -164,7 +164,7 @@ fn structural_pass(
             Err(_) => {
                 *fatal = true;
                 push(
-                    DiagCode::Er001,
+                    DiagnosticCode::Er001,
                     Severity::Error,
                     format!("unknown master attribute `{name}` in the {role}"),
                     Some(format!(
@@ -187,7 +187,7 @@ fn structural_pass(
     if rule.lhs.iter().any(|(a, _)| a == y_name) {
         fatal = true;
         push(
-            DiagCode::Er006,
+            DiagnosticCode::Er006,
             Severity::Error,
             format!("target attribute `{y_name}` appears in the LHS"),
             Some("Definition 1 requires Y ∈ R \\ X".to_string()),
@@ -196,7 +196,7 @@ fn structural_pass(
     if rule.pattern.iter().any(|c| condition_attr(c) == y_name) {
         fatal = true;
         push(
-            DiagCode::Er006,
+            DiagnosticCode::Er006,
             Severity::Error,
             format!("target attribute `{y_name}` is constrained by the pattern"),
             Some("Definition 1 requires X_p ⊂ R \\ {Y}".to_string()),
@@ -207,7 +207,7 @@ fn structural_pass(
         if seen_lhs.contains(&a.as_str()) {
             fatal = true;
             push(
-                DiagCode::Er006,
+                DiagnosticCode::Er006,
                 Severity::Error,
                 format!("input attribute `{a}` appears more than once in the LHS"),
                 None,
@@ -221,7 +221,7 @@ fn structural_pass(
             fatal = true;
             let (ty, tym) = task.target();
             push(
-                DiagCode::Er006,
+                DiagnosticCode::Er006,
                 Severity::Error,
                 format!(
                     "rule target ({}, {}) does not match the task target ({}, {})",
@@ -242,7 +242,7 @@ fn structural_pass(
             PortableCondition::Range { attr, lo, hi } => {
                 if lo >= hi {
                     push(
-                        DiagCode::Er002,
+                        DiagnosticCode::Er002,
                         Severity::Error,
                         format!("empty range [{lo}, {hi}) on `{attr}` can never match"),
                         None,
@@ -251,7 +251,7 @@ fn structural_pass(
                     match input.numeric_bounds(*a) {
                         Some((min, max)) if *lo > max || *hi <= min => {
                             push(
-                                DiagCode::Er002,
+                                DiagnosticCode::Er002,
                                 Severity::Warning,
                                 format!(
                                     "range [{lo}, {hi}) on `{attr}` lies outside the \
@@ -262,7 +262,7 @@ fn structural_pass(
                         }
                         None => {
                             push(
-                                DiagCode::Er002,
+                                DiagnosticCode::Er002,
                                 Severity::Warning,
                                 format!(
                                     "`{attr}` has no numeric values, so the range \
@@ -283,7 +283,7 @@ fn structural_pass(
                 if let Some(a) = resolved_attr {
                     if !value_observed(task, *a, value, *numeric) {
                         push(
-                            DiagCode::Er002,
+                            DiagnosticCode::Er002,
                             Severity::Warning,
                             format!(
                                 "constant {value:?} never occurs in input column `{attr}`, \
@@ -301,7 +301,7 @@ fn structural_pass(
             } => {
                 if values.is_empty() {
                     push(
-                        DiagCode::Er002,
+                        DiagnosticCode::Er002,
                         Severity::Error,
                         format!("empty value set on `{attr}` can never match"),
                         None,
@@ -312,7 +312,7 @@ fn structural_pass(
                         .all(|v| !value_observed(task, *a, v, *numeric))
                     {
                         push(
-                            DiagCode::Er002,
+                            DiagnosticCode::Er002,
                             Severity::Warning,
                             format!(
                                 "none of the {} values on `{attr}` occur in the input, \
@@ -350,7 +350,7 @@ fn structural_pass(
         }
         match contradiction {
             Some((c1, c2)) => push(
-                DiagCode::Er002,
+                DiagnosticCode::Er002,
                 Severity::Error,
                 format!("contradictory conditions on `{attr}` can never hold together"),
                 Some(format!(
@@ -360,7 +360,7 @@ fn structural_pass(
                 )),
             ),
             None => push(
-                DiagCode::Er006,
+                DiagnosticCode::Er006,
                 Severity::Error,
                 format!("pattern constrains `{attr}` more than once"),
                 Some("Definition 1 allows at most one condition per attribute".to_string()),
@@ -463,7 +463,7 @@ fn pairwise_pass(
     for &(i, rule) in &rules {
         match first_seen.get(rule) {
             Some(&j) => findings.push(Finding {
-                code: DiagCode::Er003,
+                code: DiagnosticCode::Er003,
                 severity: Severity::Warning,
                 rule: i,
                 related: Some(j),
@@ -483,7 +483,7 @@ fn pairwise_pass(
     for &(j, rj) in &rules {
         if let Some(&(i, _)) = rules.iter().find(|&&(_, ri)| dominates(ri, rj)) {
             findings.push(Finding {
-                code: DiagCode::Er004,
+                code: DiagnosticCode::Er004,
                 severity: Severity::Warning,
                 rule: j,
                 related: Some(i),
@@ -543,7 +543,7 @@ fn pairwise_pass(
             }
             if conflicts > 0 {
                 findings.push(Finding {
-                    code: DiagCode::Er005,
+                    code: DiagnosticCode::Er005,
                     severity: Severity::Warning,
                     rule: j,
                     related: Some(i),

@@ -5,7 +5,7 @@
 // library code, but fixture helpers here sit outside any #[test] fn).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use er_lint::{lint_json, lint_portable, lint_resolved, DiagCode, Severity};
+use er_lint::{lint_json, lint_portable, lint_resolved, DiagnosticCode, Severity};
 use er_rules::io::{PortableCondition, PortableRule};
 use er_rules::{dominates, rules_to_json, Condition, EditingRule, Evaluator, SchemaMatch, Task};
 use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
@@ -161,17 +161,17 @@ fn flags_all_five_classes_on_crafted_fixture() {
     let report = lint_portable(&rules, &t);
     let text = report.render_text();
 
-    let dup = report.with_code(DiagCode::Er003);
+    let dup = report.with_code(DiagnosticCode::Er003);
     assert_eq!(dup.len(), 1, "{text}");
     assert_eq!((dup[0].rule, dup[0].related), (1, Some(0)));
 
-    let dom: Vec<_> = report.with_code(DiagCode::Er004);
+    let dom: Vec<_> = report.with_code(DiagnosticCode::Er004);
     assert!(
         dom.iter().any(|f| f.rule == 2 && f.related == Some(0)),
         "{text}"
     );
 
-    let conflict = report.with_code(DiagCode::Er005);
+    let conflict = report.with_code(DiagnosticCode::Er005);
     assert!(
         conflict.iter().any(|f| {
             (f.rule == 3 && f.related == Some(0)) || (f.rule == 0 && f.related == Some(3))
@@ -179,13 +179,13 @@ fn flags_all_five_classes_on_crafted_fixture() {
         "{text}"
     );
 
-    let dangling = report.with_code(DiagCode::Er001);
+    let dangling = report.with_code(DiagnosticCode::Er001);
     assert_eq!(dangling.len(), 1, "{text}");
     assert_eq!(dangling[0].rule, 4);
     assert_eq!(dangling[0].severity, Severity::Error);
     assert!(dangling[0].message.contains("Zip"));
 
-    let unsat = report.with_code(DiagCode::Er002);
+    let unsat = report.with_code(DiagnosticCode::Er002);
     assert!(
         unsat
             .iter()
@@ -207,7 +207,7 @@ fn conflict_is_invisible_to_domination() {
     assert!(!dominates(&a, &b));
     assert!(!dominates(&b, &a));
     let report = lint_resolved(&[a, b], &t);
-    let conflicts = report.with_code(DiagCode::Er005);
+    let conflicts = report.with_code(DiagnosticCode::Er005);
     assert_eq!(conflicts.len(), 1, "{}", report.render_text());
     assert_eq!(conflicts[0].rule, 1);
     assert_eq!(conflicts[0].related, Some(0));
@@ -282,7 +282,7 @@ fn unsatisfiable_pattern_variants() {
     for (rule, severity) in expect {
         assert!(
             report
-                .with_code(DiagCode::Er002)
+                .with_code(DiagnosticCode::Er002)
                 .iter()
                 .any(|f| f.rule == rule && f.severity == severity),
             "rule #{rule} missing expected ER002 {severity}:\n{text}"
@@ -326,7 +326,7 @@ fn ill_formed_rules_are_er006() {
     for rule in 0..4 {
         assert!(
             report
-                .with_code(DiagCode::Er006)
+                .with_code(DiagnosticCode::Er006)
                 .iter()
                 .any(|f| f.rule == rule && f.severity == Severity::Error),
             "rule #{rule} missing expected ER006:\n{text}"
@@ -375,7 +375,10 @@ fn json_report_is_machine_readable() {
     assert_eq!(findings.len(), 1);
     let finding = findings[0].as_object().unwrap();
     let field = |key: &str| &finding.iter().find(|(k, _)| k == key).unwrap().1;
-    assert_eq!(*field("code"), serde_json::Value::Str("ER005".to_string()));
+    assert_eq!(
+        *field("code"),
+        serde_json::Value::Str(DiagnosticCode::Er005.to_string())
+    );
     assert_eq!(
         *field("severity"),
         serde_json::Value::Str("warning".to_string())
@@ -400,8 +403,8 @@ fn dangling_rules_are_excluded_from_pairwise_passes() {
     dangling.lhs = vec![("Nope".into(), "City".into())];
     let rules = vec![dangling.clone(), dangling];
     let report = lint_portable(&rules, &t);
-    assert_eq!(report.with_code(DiagCode::Er001).len(), 2);
-    assert!(report.with_code(DiagCode::Er003).is_empty());
+    assert_eq!(report.with_code(DiagnosticCode::Er001).len(), 2);
+    assert!(report.with_code(DiagnosticCode::Er003).is_empty());
 }
 
 #[test]
@@ -423,8 +426,8 @@ fn staleness_warns_only_after_the_master_grows() {
         .push_row(vec![Value::str("SZ"), Value::str("189"), Value::str("flu")])
         .unwrap();
     let finding = er_lint::check_staleness(mined_at, &master).expect("stale set is flagged");
-    assert_eq!(finding.code, DiagCode::Er007);
-    assert_eq!(finding.code.as_str(), "ER007");
+    assert_eq!(finding.code, DiagnosticCode::Er007);
+    assert_eq!(finding.code, DiagnosticCode::Er007);
     assert_eq!(finding.severity, Severity::Warning);
     assert_eq!(finding.span, "<rule set>");
     assert!(

@@ -231,9 +231,40 @@ impl RepairEngine {
     }
 
     /// Statically analyze the loaded rule set against the engine's current
-    /// master (termination, conflicts, reachability — see `er-analyze`).
+    /// master (termination, conflicts, confluence, reachability — see
+    /// `er-analyze`).
     pub fn analyze(&self) -> AnalysisReport {
         self.analyze_with_master(&self.master_snapshot())
+    }
+
+    /// Whether a live confluence certificate currently licenses the
+    /// engines' arrival-order merge paths — the `confluence_certified`
+    /// field of the serve `stats` op.
+    pub fn confluence_certified(&self) -> bool {
+        self.engine.confluence_certified()
+    }
+
+    /// Install (or drop) the arrival-order license from an analysis report
+    /// already computed for this engine's rules and master: a certified
+    /// confluence pass over the matching rule count stamps every shard;
+    /// anything else clears any existing stamp. Returns whether the
+    /// license is now held. The generation check inside the stamp refuses
+    /// reports that raced with an append.
+    pub fn apply_confluence(&self, report: &AnalysisReport) -> bool {
+        let cert = &report.confluence;
+        if cert.certified && cert.num_rules == self.rules.len() {
+            self.engine.set_confluence_stamp(cert.generation)
+        } else {
+            self.engine.clear_confluence_stamp();
+            false
+        }
+    }
+
+    /// Re-run the confluence pass against the current master and install
+    /// or drop the arrival-order license accordingly — the re-check serve
+    /// performs at startup and after every `reload`/`append`.
+    pub fn restamp_confluence(&self) -> bool {
+        self.apply_confluence(&self.analyze())
     }
 
     /// [`RepairEngine::analyze`] against an explicit master relation — used
@@ -547,7 +578,7 @@ mod tests {
 
     #[test]
     fn er010_reachability_refires_across_append_generations() {
-        use er_lint::DiagCode;
+        use er_lint::DiagnosticCode;
         use er_rules::Condition;
         let task = covid_task();
         let sz = task.input().pool().intern(Value::str("SZ"));
@@ -562,7 +593,10 @@ mod tests {
         let e = RepairEngine::new(&task, rules, 0).unwrap();
         let report = e.analyze();
         assert_eq!(report.unreachable.len(), 1);
-        assert!(report.findings.iter().any(|f| f.code == DiagCode::Er010));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == DiagnosticCode::Er010));
         assert!(report.gate_clean(), "ER010 is a warning, not a gate error");
         let g0 = e.generation();
         e.append(&[vec![Value::str("SZ"), Value::str("no symptoms")]])
@@ -578,7 +612,10 @@ mod tests {
             "the appended SZ row revives the rule: {:?}",
             report.unreachable
         );
-        assert!(report.findings.iter().all(|f| f.code != DiagCode::Er010));
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| f.code != DiagnosticCode::Er010));
         // The revived rule actually serves.
         let out = e
             .repair(&[vec![Value::str("SZ"), Value::Null]], None)

@@ -112,6 +112,10 @@ impl Server {
             stats.rows_max,
             stats.rows_total,
         );
+        // Run the confluence pass once at startup: a certified rule set
+        // licenses the commutative repair fold for the engine's lifetime
+        // (until an append or reload invalidates the stamp).
+        metrics.set_confluence_certified(engine.restamp_confluence());
         let mut store = RuleStore::new();
         store.commit(&engine.rules_json(), "initial load");
         Server {
@@ -222,6 +226,10 @@ impl Server {
                         self.metrics.record_rejected(&error_codes(&report.findings));
                         return (proto::analysis_rejected("reload", &report), false);
                     }
+                    // Re-check the certificate against the candidate's own
+                    // report: a confluent candidate serves unordered, a
+                    // non-confluent one silently falls back to ordered.
+                    engine.apply_confluence(&report);
                     // The edit-scope gate: diff the live set against the
                     // candidate's canonical document. ER012 (a verdict
                     // change outside the declared scope) refuses the swap.
@@ -239,10 +247,17 @@ impl Server {
                             return (proto::error(&format!("reload diff failed: {e}")), false);
                         }
                     }
+                } else {
+                    // No gate report to reuse: run the confluence pass
+                    // directly so a gate-less reload still re-earns (or
+                    // loses) the unordered-fold license.
+                    engine.restamp_confluence();
                 }
                 let rules = engine.num_rules();
                 let candidate_json = engine.rules_json();
                 self.metrics.set_engine_generation(engine.generation());
+                self.metrics
+                    .set_confluence_certified(engine.confluence_certified());
                 *self.engine.write() = engine;
                 self.metrics.record_reload();
                 let note = match &diff {
@@ -292,6 +307,7 @@ impl Server {
         // reloader (the sole outer writer) stay exclusive with us.
         let engine = self.engine.read();
         let txn = engine.begin_append();
+        let mut gate_report = None;
         if self.config.analysis_gate {
             // A row the preview cannot take will fail the real append with
             // its proper row error; only a clean preview is analyzed.
@@ -303,6 +319,7 @@ impl Server {
                     self.metrics.record_rejected(&error_codes(&report.findings));
                     return (proto::analysis_rejected("append", &report), false);
                 }
+                gate_report = Some(report);
             }
         }
         let result = txn.commit(rows);
@@ -310,6 +327,16 @@ impl Server {
             Ok(outcome) => {
                 self.metrics.record_append();
                 self.metrics.set_engine_generation(outcome.generation);
+                // Committing invalidated the confluence stamp. The gate's
+                // preview report analyzed exactly the combined master this
+                // commit produced (same generation), so it can re-earn the
+                // stamp; a stale or absent report leaves the engine on the
+                // ordered fallback until the next reload.
+                if let Some(report) = &gate_report {
+                    engine.apply_confluence(report);
+                }
+                self.metrics
+                    .set_confluence_certified(engine.confluence_certified());
                 self.publish_shard_stats(&engine);
                 drop(engine);
                 (proto::ok_append(&outcome), false)

@@ -6,6 +6,7 @@
 // any #[test] fn, so the clippy.toml test exemption does not reach them.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+use er_lint::DiagnosticCode;
 use er_rules::{EditingRule, SchemaMatch, Task};
 use er_serve::{serve_pipe, ReloadError, RepairEngine, ServeConfig, Server};
 use er_table::{Attribute, Pool, RelationBuilder, Schema, Value};
@@ -400,6 +401,59 @@ fn eof_ends_the_session_after_answering_everything() {
 }
 
 #[test]
+fn stats_exposes_the_confluence_certificate_across_appends() {
+    // A single rule has zero critical pairs: vacuously certified at startup.
+    let s = server(ServeConfig::default());
+    let responses = session(
+        &s,
+        "{\"op\":\"stats\"}\n\
+         {\"op\":\"append\",\"rows\":[[\"SZ\",\"no symptoms\"]]}\n\
+         {\"op\":\"stats\"}\n",
+    );
+    let certified = |r: &Json| {
+        r.get("stats")
+            .and_then(|s| s.get("confluence_certified"))
+            .cloned()
+    };
+    assert_eq!(
+        certified(&responses[0]),
+        Some(Json::Bool(true)),
+        "{:?}",
+        responses[0]
+    );
+    assert!(ok(&responses[1]), "{:?}", responses[1]);
+    // The gate's preview report analyzed exactly the grown master, so the
+    // append re-earns the stamp for the new generation.
+    assert_eq!(
+        certified(&responses[2]),
+        Some(Json::Bool(true)),
+        "{:?}",
+        responses[2]
+    );
+
+    // Without the gate there is no preview report: the commit invalidates
+    // the certificate and the engine stays on the ordered fallback.
+    let s = server(ServeConfig {
+        analysis_gate: false,
+        ..ServeConfig::default()
+    });
+    let responses = session(
+        &s,
+        "{\"op\":\"stats\"}\n\
+         {\"op\":\"append\",\"rows\":[[\"SZ\",\"no symptoms\"]]}\n\
+         {\"op\":\"stats\"}\n",
+    );
+    assert_eq!(certified(&responses[0]), Some(Json::Bool(true)));
+    assert!(ok(&responses[1]), "{:?}", responses[1]);
+    assert_eq!(
+        certified(&responses[2]),
+        Some(Json::Bool(false)),
+        "{:?}",
+        responses[2]
+    );
+}
+
+#[test]
 fn conflicting_reload_is_rejected_and_the_old_engine_keeps_serving() {
     // The live engine holds the clean single rule City → Case; the reloader
     // offers a set whose strict-subset pair contradicts on a master tuple.
@@ -424,11 +478,19 @@ fn conflicting_reload_is_rejected_and_the_old_engine_keeps_serving() {
     assert!(!ok(reject), "{reject:?}");
     assert!(error_of(reject).contains("static analysis"), "{reject:?}");
     assert_eq!(reject.get("rejected"), Some(&Json::Bool(true)));
-    assert_eq!(num(reject, "errors"), 1);
+    // The contradicting pair trips both the subset-conflict pass (ER009) and
+    // the critical-pair confluence pass (ER013).
+    assert_eq!(num(reject, "errors"), 2);
     let findings = reject.get("findings").and_then(Json::as_array).unwrap();
     assert_eq!(
         findings[0].get("code").and_then(Json::as_str),
-        Some("ER009"),
+        Some(DiagnosticCode::Er009.as_str()),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| {
+            f.get("code").and_then(Json::as_str) == Some(DiagnosticCode::Er013.as_str())
+        }),
         "{findings:?}"
     );
     // The previous engine still serves: HZ repairs to the broad modal "flu".
@@ -441,7 +503,11 @@ fn conflicting_reload_is_rejected_and_the_old_engine_keeps_serving() {
     assert_eq!(num(stats, "rejected"), 1);
     assert_eq!(num(stats, "reloads"), 0);
     let by_code = stats.get("rejected_by_code").unwrap();
-    assert_eq!(num(by_code, "ER009"), 1, "{by_code:?}");
+    assert_eq!(
+        num(by_code, DiagnosticCode::Er009.as_str()),
+        1,
+        "{by_code:?}"
+    );
 }
 
 #[test]
@@ -523,7 +589,7 @@ fn cyclic_rule_file_is_rejected_by_the_gated_loader() {
     let findings = reject.get("findings").and_then(Json::as_array).unwrap();
     assert_eq!(
         findings[0].get("code").and_then(Json::as_str),
-        Some("ER008"),
+        Some(DiagnosticCode::Er008.as_str()),
         "{findings:?}"
     );
     assert!(ok(&responses[1]), "{responses:?}");
@@ -638,7 +704,7 @@ fn out_of_scope_reload_is_rejected_and_in_scope_promotes() {
     assert!(
         findings
             .iter()
-            .any(|f| f.get("code").and_then(Json::as_str) == Some("ER012")),
+            .any(|f| f.get("code").and_then(Json::as_str) == Some(DiagnosticCode::Er012.as_str())),
         "{findings:?}"
     );
     // The live engine survived the rejection.
@@ -656,7 +722,7 @@ fn out_of_scope_reload_is_rejected_and_in_scope_promotes() {
     assert_eq!(num(stats, "reloads"), 1);
     assert_eq!(num(stats, "rejected"), 1);
     let by_code = stats.get("rejected_by_code").unwrap();
-    assert_eq!(num(by_code, "ER012"), 1);
+    assert_eq!(num(by_code, DiagnosticCode::Er012.as_str()), 1);
 }
 
 #[test]

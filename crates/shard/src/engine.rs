@@ -11,7 +11,7 @@ use er_incr::{AppendOutcome, IncrCounters, IncrEngine};
 use er_rules::{BatchError, EditingRule, RepairReport, VoteStats};
 use er_table::{AttrId, Code, Relation, RelationBuilder, Value};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Result of a sharded repair: per-row predictions, winning scores and
@@ -81,6 +81,12 @@ pub struct ShardedEngine {
     order: RwLock<Vec<u32>>,
     routed: AtomicU64,
     broadcast: AtomicU64,
+    /// Whether every shard holds a live er-analyze confluence-certificate
+    /// stamp. The license for both arrival-order paths: the per-shard
+    /// group fan-out (`BatchRepairer::set_unordered`) and the cross-shard
+    /// merge-on-arrival in [`ShardedEngine::repair_batch`]. Any committed
+    /// append clears it until the serving layer re-runs the pass.
+    certified: AtomicBool,
 }
 
 impl std::fmt::Debug for ShardedEngine {
@@ -118,6 +124,7 @@ impl ShardedEngine {
                 order: RwLock::new(order),
                 routed: AtomicU64::new(0),
                 broadcast: AtomicU64::new(0),
+                certified: AtomicBool::new(false),
             });
         }
         let base_generation = master.generation();
@@ -148,7 +155,49 @@ impl ShardedEngine {
             order: RwLock::new(order),
             routed: AtomicU64::new(0),
             broadcast: AtomicU64::new(0),
+            certified: AtomicBool::new(false),
         })
+    }
+
+    /// Install a confluence-certificate stamp issued at aggregate master
+    /// generation `generation`: every shard switches its group fan-out to
+    /// arrival order and [`ShardedEngine::repair_batch`] merges shard
+    /// answers as they complete instead of in ascending shard order.
+    /// Returns whether the license took — the stamp must match the live
+    /// aggregate generation, else everything stays (or reverts to) ordered.
+    /// Takes every write lock briefly; the engine does not re-verify the
+    /// certificate — callers run the er-analyze confluence pass first.
+    pub fn set_confluence_stamp(&self, generation: u64) -> bool {
+        let _order = self.order.write();
+        let mut shards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
+        let live = self.base_generation + shards.iter().map(|s| s.generation()).sum::<u64>();
+        let ok = generation == live;
+        for shard in &mut shards {
+            if ok {
+                let g = shard.generation();
+                shard.set_confluence_stamp(g);
+            } else {
+                shard.clear_confluence_stamp();
+            }
+        }
+        self.certified.store(ok, Ordering::Release);
+        ok
+    }
+
+    /// Drop the certificate stamp everywhere: every shard's fan-out and
+    /// the cross-shard merge return to their ordered paths.
+    pub fn clear_confluence_stamp(&self) {
+        let _order = self.order.write();
+        let mut shards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
+        for shard in &mut shards {
+            shard.clear_confluence_stamp();
+        }
+        self.certified.store(false, Ordering::Release);
+    }
+
+    /// Whether the arrival-order paths are currently licensed.
+    pub fn confluence_certified(&self) -> bool {
+        self.certified.load(Ordering::Acquire)
     }
 
     /// The placement plan.
@@ -172,10 +221,16 @@ impl ShardedEngine {
     }
 
     /// Repair one batch: route each row by the plan, fan sub-batches out to
-    /// their shards (in parallel), and merge in deterministic shard order.
-    /// Bitwise identical to the single engine on the same batch; the first
-    /// shard error (ascending order) wins, which matters only for the
-    /// inherently timing-dependent `DeadlineExceeded`.
+    /// their shards (in parallel), and merge. Without a confluence stamp
+    /// the merge waits for every shard and applies answers in ascending
+    /// shard order; with one ([`ShardedEngine::set_confluence_stamp`]) each
+    /// shard's answer is merged the moment it completes. Both are bitwise
+    /// identical to the single engine on the same batch — see
+    /// [`merge_shard`] for why arrival order is invisible. The first shard
+    /// error wins (ascending order unstamped, arrival order stamped); the
+    /// distinction matters only for the inherently timing-dependent
+    /// `DeadlineExceeded`, since every other error is identical across
+    /// shards (same rules, schema, and pool everywhere).
     pub fn repair_batch(
         &self,
         batch: &Relation,
@@ -215,6 +270,51 @@ impl ShardedEngine {
         self.routed.fetch_add(routed, Ordering::Relaxed);
         self.broadcast.fetch_add(broadcast, Ordering::Relaxed);
 
+        let mut merged = ShardedRepair {
+            predictions: vec![None; rows],
+            scores: vec![0.0; rows],
+            candidates: vec![0; rows],
+        };
+        let mut filled = vec![false; rows];
+
+        if self.certified.load(Ordering::Acquire) {
+            // Certificate-licensed merge-on-arrival: shard answers stream
+            // over a channel and scatter into `merged` as they land, so the
+            // slowest shard no longer serializes the whole collect loop.
+            let mut failure: Option<BatchError> = None;
+            std::thread::scope(|scope| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                for (s, list) in lists.iter().enumerate() {
+                    if list.is_empty() {
+                        continue;
+                    }
+                    let sub = batch.gather(list);
+                    let shard = &self.shards[s];
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        // The receiver drains the channel before the scope
+                        // joins the workers, so this send cannot fail.
+                        let _ = tx.send((s, run_repair(&shard.read(), &sub, deadline)));
+                    });
+                }
+                drop(tx);
+                for (s, result) in rx {
+                    match result {
+                        Ok(report) => {
+                            merge_shard(&mut merged, &mut filled, &routes, &lists[s], s, &report);
+                        }
+                        Err(e) => {
+                            failure.get_or_insert(e);
+                        }
+                    }
+                }
+            });
+            if let Some(e) = failure {
+                return Err(e);
+            }
+            return Ok(merged);
+        }
+
         let mut results: Vec<Option<Result<RepairReport, BatchError>>> =
             (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -237,37 +337,13 @@ impl ShardedEngine {
                 });
             }
         });
-        let mut reports: Vec<Option<RepairReport>> = Vec::with_capacity(n);
-        for result in results {
+        for (s, result) in results.into_iter().enumerate() {
             match result {
-                None => reports.push(None),
-                Some(Ok(report)) => reports.push(Some(report)),
-                Some(Err(e)) => return Err(e),
-            }
-        }
-
-        let mut merged = ShardedRepair {
-            predictions: vec![None; rows],
-            scores: vec![0.0; rows],
-            candidates: vec![0; rows],
-        };
-        let mut filled = vec![false; rows];
-        for (s, report) in reports.iter().enumerate() {
-            let Some(report) = report else { continue };
-            for (local, &row) in lists[s].iter().enumerate() {
-                let own = match routes[row] {
-                    Route::To(t) => t == s,
-                    // All shards answer (None, 0.0, 0) for a NULL-keyed
-                    // row; taking the first in ascending order is both
-                    // deterministic and exact.
-                    Route::Broadcast => !filled[row],
-                };
-                if own {
-                    merged.predictions[row] = report.predictions[local];
-                    merged.scores[row] = report.scores[local];
-                    merged.candidates[row] = report.candidates[local];
-                    filled[row] = true;
+                None => {}
+                Some(Ok(report)) => {
+                    merge_shard(&mut merged, &mut filled, &routes, &lists[s], s, &report);
                 }
+                Some(Err(e)) => return Err(e),
             }
         }
         Ok(merged)
@@ -283,6 +359,7 @@ impl ShardedEngine {
             base_generation: self.base_generation,
             order: self.order.write(),
             shards: self.shards.iter().map(|s| s.write()).collect(),
+            certified: &self.certified,
         }
     }
 
@@ -316,6 +393,34 @@ impl ShardedEngine {
             broadcast: self.broadcast(),
             rows_max,
             rows_total,
+        }
+    }
+}
+
+/// Scatter one shard's report into the merged result. Exact regardless of
+/// the order shards are merged in: a routed row is answered by exactly one
+/// shard, and a broadcast row — NULL routing key, and the routing pair is
+/// in every rule's LHS — fires no rule on any shard, so every shard
+/// reports the identical `(None, 0.0, 0)` for it and `filled` keeping the
+/// first arrival is exact either way.
+fn merge_shard(
+    merged: &mut ShardedRepair,
+    filled: &mut [bool],
+    routes: &[Route],
+    list: &[usize],
+    s: usize,
+    report: &RepairReport,
+) {
+    for (local, &row) in list.iter().enumerate() {
+        let own = match routes[row] {
+            Route::To(t) => t == s,
+            Route::Broadcast => !filled[row],
+        };
+        if own {
+            merged.predictions[row] = report.predictions[local];
+            merged.scores[row] = report.scores[local];
+            merged.candidates[row] = report.candidates[local];
+            filled[row] = true;
         }
     }
 }
@@ -363,6 +468,7 @@ pub struct AppendGuard<'a> {
     base_generation: u64,
     order: RwLockWriteGuard<'a, Vec<u32>>,
     shards: Vec<RwLockWriteGuard<'a, IncrEngine>>,
+    certified: &'a AtomicBool,
 }
 
 impl AppendGuard<'_> {
@@ -393,6 +499,9 @@ impl AppendGuard<'_> {
         if n == 1 {
             let outcome = self.shards[0].append_rows(rows)?;
             self.order.extend(std::iter::repeat_n(0, rows.len()));
+            if !rows.is_empty() {
+                self.invalidate_confluence();
+            }
             return Ok(outcome);
         }
         for (i, row) in rows.iter().enumerate() {
@@ -420,6 +529,9 @@ impl AppendGuard<'_> {
             }
         }
         self.order.extend(homes);
+        if !rows.is_empty() {
+            self.invalidate_confluence();
+        }
         let mut master_rows = 0;
         let mut generation = self.base_generation;
         for shard in &self.shards {
@@ -434,6 +546,17 @@ impl AppendGuard<'_> {
             // per-engine count the single path reports.
             indexes_updated: self.shards[0].num_indexes(),
         })
+    }
+
+    /// A committed append moved the aggregate generation past any held
+    /// confluence stamp: drop the arrival-order license on every shard
+    /// (even ones the append skipped — the certificate covers the combined
+    /// master, not the sub-masters) until the pass re-certifies.
+    fn invalidate_confluence(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear_confluence_stamp();
+        }
+        self.certified.store(false, Ordering::Release);
     }
 }
 

@@ -24,8 +24,11 @@ done
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets --all-features -- -D warnings"
+cargo clippy --workspace --all-targets --all-features -- -D warnings
+
+echo "==> diagnostics doc-drift check (registry <-> README table)"
+scripts/check_docs.sh
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
@@ -56,6 +59,22 @@ rc=0
 cargo run -p er-bench --bin experiments -- analyze examples/conflicting_rules.json \
     --out results/analyze-conflicting.json || rc=$?
 [[ "$rc" == 1 ]]
+
+echo "==> experiments prove examples/figure1_rules.json (confluent, exit 0)"
+proveout=$(cargo run -p er-bench --bin experiments -- prove examples/figure1_rules.json)
+echo "$proveout"
+[[ "$proveout" == *'CERTIFIED'* ]]
+[[ "$proveout" == *'arrival-order vote merges are licensed'* ]]
+
+echo "==> experiments prove examples/nonconfluent_rules.json (ER013 witness, exit 1)"
+rc=0
+proveout=$(cargo run -p er-bench --bin experiments -- prove examples/nonconfluent_rules.json \
+    --out results/prove-nonconfluent.json) || rc=$?
+echo "$proveout"
+[[ "$rc" == 1 ]]
+[[ "$proveout" == *'NOT CERTIFIED'* ]]
+[[ "$proveout" == *'error[ER013]'* ]]
+[[ "$proveout" == *'two-order witness: master row 2 (Kevin, Sun'* ]]
 
 echo "==> experiments diff v1 v1 (equivalence certified, exit 0)"
 same=$(cargo run -p er-bench --bin experiments -- diff \
@@ -120,6 +139,7 @@ echo "$smoke"
 [[ "$(echo "$smoke" | sed -n 4p)" == *'"appends":1'* ]]
 [[ "$(echo "$smoke" | sed -n 4p)" == *'"engine_generation":5'* ]]
 [[ "$(echo "$smoke" | sed -n 4p)" == *'"signature_dedup"'* ]]
+[[ "$(echo "$smoke" | sed -n 4p)" == *'"confluence_certified":false'* ]]
 
 echo "==> er-serve repair_csv pipe smoke (registry-backed bulk streaming)"
 csv_smoke=$(printf '%s\n' \
@@ -147,6 +167,7 @@ echo "$shard_smoke"
 [[ "$(echo "$shard_smoke" | sed -n 4p)" == *'"shards":4'* ]]
 [[ "$(echo "$shard_smoke" | sed -n 4p)" == *'"shard_routed":1'* ]]
 [[ "$(echo "$shard_smoke" | sed -n 4p)" == *'"shard_imbalance"'* ]]
+[[ "$(echo "$shard_smoke" | sed -n 4p)" == *'"confluence_certified":false'* ]]
 
 echo "==> er-serve sharded TCP smoke (--shards 4, ER_THREADS=4, event loop)"
 tcp_log=$(mktemp)

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Doc-drift gate: the single-source DiagnosticCode registry
+# (crates/lint/src/diag.rs) and the README diagnostics table must agree in
+# BOTH directions — every registered code has a documented table row, and
+# every table row documents a registered code. A new diagnostic landing
+# without its README row (or a row surviving a code's removal) fails CI.
+# Run from anywhere inside the repo; standalone or via scripts/check.sh.
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+# Registry codes: the `DiagnosticCode::ErNNN => "ERNNN"` arms of as_str().
+registry=$(grep -oE '=> "ER[0-9]{3}"' crates/lint/src/diag.rs \
+    | grep -oE 'ER[0-9]{3}' | sort -u)
+[[ -n "$registry" ]] || { echo "error: no codes found in the registry"; exit 1; }
+
+# Documented codes: the `| \`ERNNN\` | severity | ...` rows of the README
+# diagnostics table.
+documented=$(grep -oE '^\| `ER[0-9]{3}` \|' README.md \
+    | grep -oE 'ER[0-9]{3}' | sort -u)
+[[ -n "$documented" ]] || { echo "error: no diagnostics table rows in README.md"; exit 1; }
+
+status=0
+undocumented=$(comm -23 <(echo "$registry") <(echo "$documented"))
+if [[ -n "$undocumented" ]]; then
+    echo "error: registered in crates/lint/src/diag.rs but missing a README diagnostics table row:"
+    echo "$undocumented"
+    status=1
+fi
+unregistered=$(comm -13 <(echo "$registry") <(echo "$documented"))
+if [[ -n "$unregistered" ]]; then
+    echo "error: documented in the README diagnostics table but not in crates/lint/src/diag.rs:"
+    echo "$unregistered"
+    status=1
+fi
+
+if [[ "$status" == 0 ]]; then
+    count=$(echo "$registry" | wc -l | tr -d ' ')
+    echo "doc-drift: OK — $count diagnostic codes, registry and README agree"
+fi
+exit "$status"
